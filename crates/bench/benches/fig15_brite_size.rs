@@ -1,0 +1,36 @@
+//! Criterion bench for Fig. 15: cost versus network size on BRITE-like
+//! topologies with exponential expansion (all four algorithms, D = 0.01,
+//! k = 1).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rnn_bench::harness::{measure_restricted, Workload};
+use rnn_core::materialize::MaterializedKnn;
+use rnn_core::Algorithm;
+use rnn_datagen::{brite_topology, place_points_on_nodes, sample_node_queries, BriteConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15_brite_size");
+    for nodes in [5_000usize, 10_000, 20_000] {
+        let graph = brite_topology(&BriteConfig { num_nodes: nodes, ..Default::default() });
+        let points = place_points_on_nodes(&graph, 0.01, 3);
+        let queries = sample_node_queries(&points, 5, 5);
+        let workload = Workload::new(graph, points, queries);
+        let table = MaterializedKnn::build(&workload.graph, &workload.points, 1);
+        for algo in Algorithm::PAPER {
+            let t = if algo.needs_materialization() { Some(&table) } else { None };
+            group.bench_function(format!("{algo}/V={nodes}"), |b| {
+                b.iter(|| measure_restricted(algo, &workload, t, 1))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

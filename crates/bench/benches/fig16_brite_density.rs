@@ -1,0 +1,35 @@
+//! Criterion bench for Fig. 16: cost versus data density on a BRITE-like
+//! topology (all four algorithms, k = 1).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rnn_bench::harness::{measure_restricted, Workload};
+use rnn_core::materialize::MaterializedKnn;
+use rnn_core::Algorithm;
+use rnn_datagen::{brite_topology, place_points_on_nodes, sample_node_queries, BriteConfig};
+
+fn bench(c: &mut Criterion) {
+    let graph = brite_topology(&BriteConfig { num_nodes: 10_000, ..Default::default() });
+    let mut group = c.benchmark_group("fig16_brite_density");
+    for density in [0.0025, 0.01, 0.1] {
+        let points = place_points_on_nodes(&graph, density, 3);
+        let queries = sample_node_queries(&points, 5, 5);
+        let workload = Workload::new(graph.clone(), points, queries);
+        let table = MaterializedKnn::build(&workload.graph, &workload.points, 1);
+        for algo in Algorithm::PAPER {
+            let t = if algo.needs_materialization() { Some(&table) } else { None };
+            group.bench_function(format!("{algo}/D={density}"), |b| {
+                b.iter(|| measure_restricted(algo, &workload, t, 1))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

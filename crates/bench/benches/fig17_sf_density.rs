@@ -1,0 +1,32 @@
+//! Criterion bench for Fig. 17: cost versus density on the SF-like road
+//! network with data points on edges (unrestricted queries, k = 1).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rnn_bench::harness::{measure_unrestricted, UnrestrictedWorkload};
+use rnn_core::Algorithm;
+use rnn_datagen::{place_points_on_edges, sample_edge_queries, spatial_road_network, SpatialConfig};
+
+fn bench(c: &mut Criterion) {
+    let net = spatial_road_network(&SpatialConfig { num_nodes: 5_000, ..Default::default() });
+    let mut group = c.benchmark_group("fig17_sf_density");
+    for density in [0.0025, 0.01, 0.1] {
+        let points = place_points_on_edges(&net.graph, density, 3);
+        let queries = sample_edge_queries(&points, 5, 5);
+        let workload = UnrestrictedWorkload::with_buffer(net.graph.clone(), points, queries, 256);
+        for algo in Algorithm::PAPER {
+            group.bench_function(format!("{algo}/D={density}"), |b| {
+                b.iter(|| measure_unrestricted(algo, &workload, 1, 1))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for Fig. 18: cost versus k on the SF-like road network
+//! (unrestricted queries, D = 0.01).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rnn_bench::harness::{measure_unrestricted, UnrestrictedWorkload};
+use rnn_core::Algorithm;
+use rnn_datagen::{place_points_on_edges, sample_edge_queries, spatial_road_network, SpatialConfig};
+
+fn bench(c: &mut Criterion) {
+    let net = spatial_road_network(&SpatialConfig { num_nodes: 5_000, ..Default::default() });
+    let points = place_points_on_edges(&net.graph, 0.01, 3);
+    let queries = sample_edge_queries(&points, 5, 5);
+    let workload = UnrestrictedWorkload::with_buffer(net.graph.clone(), points, queries, 256);
+    let mut group = c.benchmark_group("fig18_sf_k");
+    for k in [1usize, 2, 8] {
+        for algo in Algorithm::PAPER {
+            group.bench_function(format!("{algo}/k={k}"), |b| {
+                b.iter(|| measure_unrestricted(algo, &workload, k, 8))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

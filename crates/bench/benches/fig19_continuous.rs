@@ -1,0 +1,32 @@
+//! Criterion bench for Fig. 19: continuous RNN queries versus route size on
+//! the SF-like road network (D = 0.01, k = 1).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rnn_bench::harness::{measure_continuous, Workload};
+use rnn_core::Algorithm;
+use rnn_datagen::{place_points_on_nodes, sample_routes, spatial_road_network, SpatialConfig};
+
+fn bench(c: &mut Criterion) {
+    let net = spatial_road_network(&SpatialConfig { num_nodes: 5_000, ..Default::default() });
+    let points = place_points_on_nodes(&net.graph, 0.01, 3);
+    let workload = Workload::new(net.graph, points, Vec::new());
+    let mut group = c.benchmark_group("fig19_continuous");
+    for len in [4usize, 16, 32] {
+        let routes = sample_routes(&workload.graph, len, 5, 9 + len as u64);
+        for algo in [Algorithm::Eager, Algorithm::Lazy] {
+            group.bench_function(format!("{algo}/route={len}"), |b| {
+                b.iter(|| measure_continuous(algo, &workload.paged, &workload.points, &routes, 1))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench for Fig. 20: grid maps — cost versus network size
+//! (Fig. 20a) and versus average degree (Fig. 20b), D = 0.01, k = 1.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rnn_bench::harness::{measure_restricted, Workload};
+use rnn_core::materialize::MaterializedKnn;
+use rnn_core::Algorithm;
+use rnn_datagen::{grid_map, place_points_on_nodes, sample_node_queries, GridConfig};
+
+fn run_case(c: &mut Criterion, group_name: &str, nodes: usize, degree: f64) {
+    let graph = grid_map(&GridConfig::with_nodes(nodes, degree, 11));
+    let points = place_points_on_nodes(&graph, 0.01, 3);
+    let queries = sample_node_queries(&points, 5, 5);
+    let workload = Workload::new(graph, points, queries);
+    let table = MaterializedKnn::build(&workload.graph, &workload.points, 1);
+    let mut group = c.benchmark_group(group_name);
+    for algo in Algorithm::PAPER {
+        let t = if algo.needs_materialization() { Some(&table) } else { None };
+        group.bench_function(format!("{algo}/V={nodes}/deg={degree}"), |b| {
+            b.iter(|| measure_restricted(algo, &workload, t, 1))
+        });
+    }
+    group.finish();
+}
+
+fn bench(c: &mut Criterion) {
+    // Fig. 20a: size sweep at degree 4.
+    for nodes in [2_500usize, 10_000] {
+        run_case(c, "fig20a_grid_size", nodes, 4.0);
+    }
+    // Fig. 20b: degree sweep at a fixed size.
+    for degree in [4.0f64, 6.0] {
+        run_case(c, "fig20b_grid_degree", 10_000, degree);
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = common::quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

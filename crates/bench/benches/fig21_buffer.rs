@@ -1,0 +1,33 @@
+//! Criterion bench for Fig. 21: cost versus LRU buffer size on the SF-like
+//! road network (D = 0.01, k = 1).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rnn_bench::harness::{measure_restricted, Workload};
+use rnn_core::Algorithm;
+use rnn_datagen::{place_points_on_nodes, sample_node_queries, spatial_road_network, SpatialConfig};
+
+fn bench(c: &mut Criterion) {
+    let net = spatial_road_network(&SpatialConfig { num_nodes: 5_000, ..Default::default() });
+    let points = place_points_on_nodes(&net.graph, 0.01, 3);
+    let queries = sample_node_queries(&points, 5, 5);
+    let mut group = c.benchmark_group("fig21_buffer");
+    for buffer in [0usize, 64, 256] {
+        let workload =
+            Workload::with_buffer(net.graph.clone(), points.clone(), queries.clone(), buffer);
+        for algo in [Algorithm::Eager, Algorithm::Lazy] {
+            group.bench_function(format!("{algo}/buffer={buffer}"), |b| {
+                b.iter(|| measure_restricted(algo, &workload, None, 1))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

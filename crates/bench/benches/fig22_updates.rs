@@ -1,0 +1,47 @@
+//! Criterion bench for Fig. 22: maintenance of the materialized k-NN table —
+//! insertion/deletion cost versus density (Fig. 22a) and versus K (Fig. 22b).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rnn_bench::harness::{measure_updates, Workload};
+use rnn_datagen::{place_points_on_nodes, spatial_road_network, SpatialConfig};
+use rnn_graph::{NodeId, PointsOnNodes};
+
+fn workload(density: f64) -> (Workload, Vec<NodeId>, Vec<NodeId>) {
+    let net = spatial_road_network(&SpatialConfig { num_nodes: 5_000, ..Default::default() });
+    let points = place_points_on_nodes(&net.graph, density, 3);
+    let inserts: Vec<NodeId> = (0..net.graph.num_nodes())
+        .map(NodeId::new)
+        .filter(|n| !points.contains_node(*n))
+        .take(10)
+        .collect();
+    let deletes: Vec<NodeId> = points.nodes().iter().copied().take(10).collect();
+    (Workload::new(net.graph, points, Vec::new()), inserts, deletes)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig22_updates");
+    // Fig. 22a: density sweep at K = 1.
+    for density in [0.01, 0.1] {
+        let (w, inserts, deletes) = workload(density);
+        group.bench_function(format!("K=1/D={density}"), |b| {
+            b.iter(|| measure_updates(&w.paged, &w.points, 1, &inserts, &deletes))
+        });
+    }
+    // Fig. 22b: K sweep at D = 0.01.
+    let (w, inserts, deletes) = workload(0.01);
+    for capacity_k in [2usize, 8] {
+        group.bench_function(format!("K={capacity_k}/D=0.01"), |b| {
+            b.iter(|| measure_updates(&w.paged, &w.points, capacity_k, &inserts, &deletes))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

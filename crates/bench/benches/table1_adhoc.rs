@@ -1,0 +1,40 @@
+//! Criterion bench for Table 1: ad hoc RNN queries on the coauthorship graph
+//! (eager vs lazy, k = 1, predicate selectivity as the varying parameter).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rnn_bench::harness::{measure_restricted, Workload};
+use rnn_core::Algorithm;
+use rnn_datagen::{coauthorship_graph, sample_node_queries, CoauthorConfig};
+use rnn_graph::PointsOnNodes;
+
+fn bench(c: &mut Criterion) {
+    let co = coauthorship_graph(&CoauthorConfig {
+        num_authors: 2_000,
+        num_papers: 2_400,
+        ..Default::default()
+    });
+    let mut group = c.benchmark_group("table1_adhoc");
+    for threshold in [1u32, 2, 5] {
+        let points = co.authors_with_at_least(threshold);
+        if points.is_empty() {
+            continue;
+        }
+        let queries = sample_node_queries(&points, 10, 7);
+        let workload = Workload::new(co.graph.clone(), points, queries);
+        for algo in [Algorithm::Eager, Algorithm::Lazy] {
+            group.bench_function(format!("{algo}/papers>={threshold}"), |b| {
+                b.iter(|| measure_restricted(algo, &workload, None, 1))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

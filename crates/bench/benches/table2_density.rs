@@ -1,0 +1,36 @@
+//! Criterion bench for Table 2: RNN cost versus data density on the
+//! coauthorship graph (eager vs lazy, k = 1).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rnn_bench::harness::{measure_restricted, Workload};
+use rnn_core::Algorithm;
+use rnn_datagen::{coauthorship_graph, place_points_on_nodes, sample_node_queries, CoauthorConfig};
+
+fn bench(c: &mut Criterion) {
+    let co = coauthorship_graph(&CoauthorConfig {
+        num_authors: 2_000,
+        num_papers: 2_400,
+        ..Default::default()
+    });
+    let mut group = c.benchmark_group("table2_density");
+    for density in [0.0125, 0.05, 0.1] {
+        let points = place_points_on_nodes(&co.graph, density, 3);
+        let queries = sample_node_queries(&points, 10, 5);
+        let workload = Workload::new(co.graph.clone(), points, queries);
+        for algo in [Algorithm::Eager, Algorithm::Lazy] {
+            group.bench_function(format!("{algo}/D={density}"), |b| {
+                b.iter(|| measure_restricted(algo, &workload, None, 1))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

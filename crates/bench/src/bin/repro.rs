@@ -1,0 +1,65 @@
+//! Reproduction harness: prints paper-style rows for every table and figure
+//! of the evaluation section.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [EXPERIMENT ...] [--full] [--markdown]
+//!
+//! EXPERIMENT   one or more of: table1 table2 fig15 fig16 fig17 fig18 fig19
+//!              fig20a fig20b fig21 fig22a fig22b all   (default: all)
+//! --full       use the paper's graph cardinalities instead of the quick,
+//!              laptop-friendly sizes
+//! --markdown   emit Markdown tables (for EXPERIMENTS.md) instead of plain text
+//! ```
+
+use rnn_bench::experiments::{run_by_name, ALL_EXPERIMENTS};
+use rnn_bench::Scale;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let scale = if full { Scale::Full } else { Scale::Quick };
+
+    let mut requested: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    if requested.is_empty() || requested.iter().any(|r| r == "all") {
+        requested = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+
+    eprintln!(
+        "# reproduction run: scale = {:?}, experiments = {}",
+        scale,
+        requested.join(", ")
+    );
+
+    let mut failures = 0;
+    for name in &requested {
+        let started = Instant::now();
+        match run_by_name(name, scale) {
+            Some(report) => {
+                if markdown {
+                    println!("{}", report.to_markdown());
+                } else {
+                    println!("{report}");
+                }
+                eprintln!("# {name} finished in {:.1?}", started.elapsed());
+            }
+            None => {
+                eprintln!(
+                    "unknown experiment '{name}'; available: {} all",
+                    ALL_EXPERIMENTS.join(" ")
+                );
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,495 @@
+//! One function per table / figure of the paper's evaluation (Section 6).
+//!
+//! Every function builds the corresponding workload, measures the algorithms
+//! on the disk-page backed graph and returns a [`Report`] whose rows mirror
+//! the original table or figure. See DESIGN.md for the per-experiment index
+//! and EXPERIMENTS.md for measured-vs-paper numbers.
+
+use crate::harness::{
+    measure_continuous, measure_restricted, measure_unrestricted, measure_updates, Measurement,
+    Scale, UnrestrictedWorkload, Workload,
+};
+use crate::report::Report;
+use rnn_core::materialize::MaterializedKnn;
+use rnn_core::Algorithm;
+use rnn_datagen::{
+    brite_topology, coauthorship_graph, grid_map, place_points_on_edges, place_points_on_nodes,
+    sample_edge_queries, sample_node_queries, sample_routes, spatial_road_network, BriteConfig,
+    CoauthorConfig, GridConfig, SpatialConfig,
+};
+use rnn_graph::{NodeId, PointsOnNodes};
+
+const SEED: u64 = 42;
+
+/// The four algorithms shown in the paper's figures.
+const FIGURE_ALGOS: [Algorithm; 4] = Algorithm::PAPER;
+
+fn cost_columns(algos: &[Algorithm]) -> Vec<String> {
+    algos
+        .iter()
+        .flat_map(|a| {
+            [
+                format!("{} faults", a.short_name()),
+                format!("{} cpu(s)", a.short_name()),
+                format!("{} cost(s)", a.short_name()),
+            ]
+        })
+        .collect()
+}
+
+fn cost_values(ms: &[Measurement]) -> Vec<f64> {
+    ms.iter()
+        .flat_map(|m| [m.avg.faults, m.avg.cpu_seconds, m.total_seconds()])
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 and Table 2: the DBLP coauthorship graph.
+// ---------------------------------------------------------------------------
+
+/// Table 1: ad hoc queries on the coauthorship graph (k = 1). The data set is
+/// defined at query time by "at least N SIGMOD papers", so materialization is
+/// not applicable and the paper compares eager with lazy.
+pub fn table1_adhoc(scale: Scale) -> Report {
+    let co = coauthorship_graph(&CoauthorConfig::default());
+    let algos = [Algorithm::Eager, Algorithm::Lazy];
+    let mut report = Report::new(
+        "Table 1",
+        format!(
+            "ad hoc queries on the coauthorship graph (|V|={}, |E|={}, k=1)",
+            co.graph.num_nodes(),
+            co.graph.num_edges()
+        ),
+        "condition",
+        cost_columns(&algos),
+    );
+    for threshold in [1u32, 2, 5] {
+        let points = co.authors_with_at_least(threshold);
+        if points.is_empty() {
+            continue;
+        }
+        let queries = sample_node_queries(&points, scale.queries(), SEED + threshold as u64);
+        let workload = Workload::new(co.graph.clone(), points, queries);
+        let ms: Vec<Measurement> = algos
+            .iter()
+            .map(|&a| measure_restricted(a, &workload, None, 1))
+            .collect();
+        report.push_row(
+            format!(">= {threshold} SIGMOD papers (sel. {:.3})", co.selectivity(threshold)),
+            cost_values(&ms),
+        );
+    }
+    report
+}
+
+/// Table 2: cost versus data density on the coauthorship graph (k = 1).
+pub fn table2_density(scale: Scale) -> Report {
+    let co = coauthorship_graph(&CoauthorConfig::default());
+    let algos = [Algorithm::Eager, Algorithm::Lazy];
+    let mut report = Report::new(
+        "Table 2",
+        format!("cost vs density on the coauthorship graph (|V|={}, k=1)", co.graph.num_nodes()),
+        "density D",
+        cost_columns(&algos),
+    );
+    for density in [0.0125, 0.025, 0.05, 0.1] {
+        let points = place_points_on_nodes(&co.graph, density, SEED);
+        let queries = sample_node_queries(&points, scale.queries(), SEED + 1);
+        let workload = Workload::new(co.graph.clone(), points, queries);
+        let ms: Vec<Measurement> = algos
+            .iter()
+            .map(|&a| measure_restricted(a, &workload, None, 1))
+            .collect();
+        report.push_row(format!("{density}"), cost_values(&ms));
+    }
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 15 / Fig. 16: BRITE topologies (exponential expansion).
+// ---------------------------------------------------------------------------
+
+fn measure_brite(graph_nodes: usize, density: f64, k: usize, queries: usize, seed: u64) -> Vec<Measurement> {
+    let graph = brite_topology(&BriteConfig { num_nodes: graph_nodes, seed, ..Default::default() });
+    let points = place_points_on_nodes(&graph, density, seed + 1);
+    let query_nodes = sample_node_queries(&points, queries, seed + 2);
+    let workload = Workload::new(graph, points, query_nodes);
+    let table = MaterializedKnn::build(&workload.graph, &workload.points, k.max(1));
+    FIGURE_ALGOS
+        .iter()
+        .map(|&a| {
+            let t = if a.needs_materialization() { Some(&table) } else { None };
+            measure_restricted(a, &workload, t, k)
+        })
+        .collect()
+}
+
+/// Fig. 15: cost versus network size on BRITE-like topologies
+/// (D = 0.01, k = 1).
+pub fn fig15_brite_size(scale: Scale) -> Report {
+    let sizes: &[usize] = match scale {
+        Scale::Quick => &[20_000, 40_000, 80_000],
+        Scale::Full => &[90_000, 180_000, 270_000, 360_000],
+    };
+    let mut report = Report::new(
+        "Fig 15",
+        "cost vs |V| (BRITE-like topology, D=0.01, k=1)",
+        "|V|",
+        cost_columns(&FIGURE_ALGOS),
+    );
+    for &n in sizes {
+        let ms = measure_brite(n, 0.01, 1, scale.queries(), SEED);
+        report.push_row(format!("{n}"), cost_values(&ms));
+    }
+    report
+}
+
+/// Fig. 16: cost versus density on a BRITE-like topology (k = 1).
+pub fn fig16_brite_density(scale: Scale) -> Report {
+    let nodes = scale.pick(40_000, 160_000);
+    let mut report = Report::new(
+        "Fig 16",
+        format!("cost vs density (BRITE-like topology, |V|={nodes}, k=1)"),
+        "density D",
+        cost_columns(&FIGURE_ALGOS),
+    );
+    for density in [0.0025, 0.01, 0.04, 0.1] {
+        let ms = measure_brite(nodes, density, 1, scale.queries(), SEED);
+        report.push_row(format!("{density}"), cost_values(&ms));
+    }
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 17 / Fig. 18: the San-Francisco-like unrestricted road network.
+// ---------------------------------------------------------------------------
+
+fn sf_workload(scale: Scale, density: f64, seed: u64) -> UnrestrictedWorkload {
+    let net = spatial_road_network(&SpatialConfig {
+        num_nodes: scale.pick(20_000, 175_000),
+        seed,
+        ..Default::default()
+    });
+    let points = place_points_on_edges(&net.graph, density, seed + 1);
+    let queries = sample_edge_queries(&points, scale.queries(), seed + 2);
+    UnrestrictedWorkload::with_buffer(net.graph, points, queries, 256)
+}
+
+/// Fig. 17: cost versus density on the road network (unrestricted points,
+/// k = 1). Eager and lazy run natively on the unrestricted network; eager-M
+/// and lazy-EP run on the equivalent restricted transformation.
+pub fn fig17_sf_density(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "Fig 17",
+        format!("cost vs density (SF-like road network, |V|≈{}, k=1)", scale.pick(20_000, 175_000)),
+        "density D",
+        cost_columns(&FIGURE_ALGOS),
+    );
+    for density in [0.0025, 0.01, 0.04, 0.1] {
+        let workload = sf_workload(scale, density, SEED);
+        let ms: Vec<Measurement> = FIGURE_ALGOS
+            .iter()
+            .map(|&a| measure_unrestricted(a, &workload, 1, 1))
+            .collect();
+        report.push_row(format!("{density}"), cost_values(&ms));
+    }
+    report
+}
+
+/// Fig. 18: cost versus k on the road network (D = 0.01).
+pub fn fig18_sf_k(scale: Scale) -> Report {
+    let workload = sf_workload(scale, 0.01, SEED);
+    let mut report = Report::new(
+        "Fig 18",
+        format!("cost vs k (SF-like road network, |V|≈{}, D=0.01)", scale.pick(20_000, 175_000)),
+        "k",
+        cost_columns(&FIGURE_ALGOS),
+    );
+    for k in [1usize, 2, 4, 8] {
+        let ms: Vec<Measurement> = FIGURE_ALGOS
+            .iter()
+            .map(|&a| measure_unrestricted(a, &workload, k, 8))
+            .collect();
+        report.push_row(format!("{k}"), cost_values(&ms));
+    }
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 19: continuous queries along routes.
+// ---------------------------------------------------------------------------
+
+/// Fig. 19: continuous RNN queries versus route size on the road network
+/// (D = 0.01, k = 1). The paper evaluates all four variants; this harness
+/// reports the eager and lazy continuous algorithms (Section 5.1).
+pub fn fig19_continuous(scale: Scale) -> Report {
+    let net = spatial_road_network(&SpatialConfig {
+        num_nodes: scale.pick(20_000, 175_000),
+        seed: SEED,
+        ..Default::default()
+    });
+    let points = place_points_on_nodes(&net.graph, 0.01, SEED + 1);
+    let workload = Workload::new(net.graph, points, Vec::new());
+    let algos = [Algorithm::Eager, Algorithm::Lazy];
+    let mut report = Report::new(
+        "Fig 19",
+        "continuous queries: cost vs route size (SF-like road network, D=0.01, k=1)",
+        "route nodes",
+        cost_columns(&algos),
+    );
+    for len in [4usize, 8, 16, 32] {
+        let routes = sample_routes(&workload.graph, len, scale.queries().min(20), SEED + len as u64);
+        let ms: Vec<Measurement> = algos
+            .iter()
+            .map(|&a| measure_continuous(a, &workload.paged, &workload.points, &routes, 1))
+            .collect();
+        report.push_row(format!("{len}"), cost_values(&ms));
+    }
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 20: synthetic grid maps.
+// ---------------------------------------------------------------------------
+
+fn measure_grid(nodes: usize, degree: f64, scale: Scale) -> Vec<Measurement> {
+    let graph = grid_map(&GridConfig::with_nodes(nodes, degree, SEED));
+    let points = place_points_on_nodes(&graph, 0.01, SEED + 1);
+    let queries = sample_node_queries(&points, scale.queries(), SEED + 2);
+    let workload = Workload::new(graph, points, queries);
+    let table = MaterializedKnn::build(&workload.graph, &workload.points, 1);
+    FIGURE_ALGOS
+        .iter()
+        .map(|&a| {
+            let t = if a.needs_materialization() { Some(&table) } else { None };
+            measure_restricted(a, &workload, t, 1)
+        })
+        .collect()
+}
+
+/// Fig. 20a: grid maps, cost versus network size (degree 4, D = 0.01, k = 1).
+pub fn fig20a_grid_size(scale: Scale) -> Report {
+    let sizes: &[usize] = match scale {
+        Scale::Quick => &[10_000, 22_500, 40_000],
+        Scale::Full => &[40_000, 90_000, 160_000, 250_000],
+    };
+    let mut report = Report::new(
+        "Fig 20a",
+        "grid maps: cost vs |V| (degree 4, D=0.01, k=1)",
+        "|V|",
+        cost_columns(&FIGURE_ALGOS),
+    );
+    for &n in sizes {
+        let ms = measure_grid(n, 4.0, scale);
+        report.push_row(format!("{n}"), cost_values(&ms));
+    }
+    report
+}
+
+/// Fig. 20b: grid maps, cost versus average degree (D = 0.01, k = 1).
+pub fn fig20b_grid_degree(scale: Scale) -> Report {
+    let nodes = scale.pick(40_000, 160_000);
+    let mut report = Report::new(
+        "Fig 20b",
+        format!("grid maps: cost vs degree (|V|={nodes}, D=0.01, k=1)"),
+        "degree",
+        cost_columns(&FIGURE_ALGOS),
+    );
+    for degree in [4.0, 5.0, 6.0, 7.0] {
+        let ms = measure_grid(nodes, degree, scale);
+        report.push_row(format!("{degree}"), cost_values(&ms));
+    }
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 21: buffer size.
+// ---------------------------------------------------------------------------
+
+/// Fig. 21: cost versus LRU buffer size on the road network (D = 0.01,
+/// k = 1). Restricted view of the spatial graph, matching the eager/lazy
+/// comparison of the paper.
+pub fn fig21_buffer(scale: Scale) -> Report {
+    let net = spatial_road_network(&SpatialConfig {
+        num_nodes: scale.pick(20_000, 175_000),
+        seed: SEED,
+        ..Default::default()
+    });
+    let points = place_points_on_nodes(&net.graph, 0.01, SEED + 1);
+    let queries = sample_node_queries(&points, scale.queries(), SEED + 2);
+    let algos = [Algorithm::Eager, Algorithm::Lazy];
+    let mut report = Report::new(
+        "Fig 21",
+        "cost vs buffer size in pages (SF-like road network, D=0.01, k=1)",
+        "buffer pages",
+        cost_columns(&algos),
+    );
+    for buffer in [0usize, 16, 64, 256, 1024] {
+        let workload =
+            Workload::with_buffer(net.graph.clone(), points.clone(), queries.clone(), buffer);
+        let ms: Vec<Measurement> = algos
+            .iter()
+            .map(|&a| measure_restricted(a, &workload, None, 1))
+            .collect();
+        report.push_row(format!("{buffer}"), cost_values(&ms));
+    }
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 22: maintenance of the materialized table.
+// ---------------------------------------------------------------------------
+
+fn update_workload(scale: Scale, density: f64) -> (Workload, Vec<NodeId>, Vec<NodeId>) {
+    let net = spatial_road_network(&SpatialConfig {
+        num_nodes: scale.pick(20_000, 175_000),
+        seed: SEED,
+        ..Default::default()
+    });
+    let points = place_points_on_nodes(&net.graph, density, SEED + 1);
+    let num_updates = scale.queries();
+    // Inserted points follow the node distribution; deletions pick existing points.
+    let empty_nodes: Vec<NodeId> = (0..net.graph.num_nodes())
+        .map(NodeId::new)
+        .filter(|n| !points.contains_node(*n))
+        .take(num_updates)
+        .collect();
+    let delete_nodes: Vec<NodeId> = points.nodes().iter().copied().take(num_updates).collect();
+    (Workload::new(net.graph, points, Vec::new()), empty_nodes, delete_nodes)
+}
+
+/// Fig. 22a: maintenance cost versus density (K = 1).
+pub fn fig22a_update_density(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "Fig 22a",
+        "materialization maintenance: cost vs density (SF-like road network, K=1)",
+        "density D",
+        vec![
+            "insert faults".into(),
+            "insert cpu(s)".into(),
+            "insert cost(s)".into(),
+            "delete faults".into(),
+            "delete cpu(s)".into(),
+            "delete cost(s)".into(),
+        ],
+    );
+    let model = rnn_core::CostModel::default();
+    for density in [0.0025, 0.01, 0.04, 0.1] {
+        let (workload, inserts, deletes) = update_workload(scale, density);
+        let (ins, del) = measure_updates(&workload.paged, &workload.points, 1, &inserts, &deletes);
+        report.push_row(
+            format!("{density}"),
+            vec![
+                ins.faults,
+                ins.cpu_seconds,
+                ins.total_seconds(&model),
+                del.faults,
+                del.cpu_seconds,
+                del.total_seconds(&model),
+            ],
+        );
+    }
+    report
+}
+
+/// Fig. 22b: maintenance cost versus the number K of materialized neighbors
+/// (D = 0.01).
+pub fn fig22b_update_k(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "Fig 22b",
+        "materialization maintenance: cost vs K (SF-like road network, D=0.01)",
+        "K",
+        vec![
+            "insert faults".into(),
+            "insert cpu(s)".into(),
+            "insert cost(s)".into(),
+            "delete faults".into(),
+            "delete cpu(s)".into(),
+            "delete cost(s)".into(),
+        ],
+    );
+    let model = rnn_core::CostModel::default();
+    let (workload, inserts, deletes) = update_workload(scale, 0.01);
+    for capacity_k in [1usize, 2, 4, 8] {
+        let (ins, del) =
+            measure_updates(&workload.paged, &workload.points, capacity_k, &inserts, &deletes);
+        report.push_row(
+            format!("{capacity_k}"),
+            vec![
+                ins.faults,
+                ins.cpu_seconds,
+                ins.total_seconds(&model),
+                del.faults,
+                del.cpu_seconds,
+                del.total_seconds(&model),
+            ],
+        );
+    }
+    report
+}
+
+/// All experiment ids, in the order they appear in the paper.
+pub const ALL_EXPERIMENTS: [&str; 12] = [
+    "table1", "table2", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20a", "fig20b", "fig21",
+    "fig22a", "fig22b",
+];
+
+/// Runs one experiment by id. Returns `None` for an unknown id.
+pub fn run_by_name(name: &str, scale: Scale) -> Option<Report> {
+    let report = match name {
+        "table1" => table1_adhoc(scale),
+        "table2" => table2_density(scale),
+        "fig15" => fig15_brite_size(scale),
+        "fig16" => fig16_brite_density(scale),
+        "fig17" => fig17_sf_density(scale),
+        "fig18" => fig18_sf_k(scale),
+        "fig19" => fig19_continuous(scale),
+        "fig20a" => fig20a_grid_size(scale),
+        "fig20b" => fig20b_grid_degree(scale),
+        "fig21" => fig21_buffer(scale),
+        "fig22a" => fig22a_update_density(scale),
+        "fig22b" => fig22b_update_k(scale),
+        _ => return None,
+    };
+    Some(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_registry_is_complete() {
+        for name in ALL_EXPERIMENTS {
+            // only check registration here; the cheap ones are exercised in
+            // the integration tests and the full set by the repro binary.
+            assert!(
+                [
+                    "table1", "table2", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20a",
+                    "fig20b", "fig21", "fig22a", "fig22b"
+                ]
+                .contains(&name)
+            );
+        }
+        assert!(run_by_name("nonsense", Scale::Quick).is_none());
+    }
+
+    #[test]
+    fn table2_produces_one_row_per_density_with_sane_values() {
+        let report = table2_density(Scale::Quick);
+        assert_eq!(report.rows.len(), 4);
+        assert_eq!(report.columns.len(), 6);
+        for (label, values) in &report.rows {
+            assert!(!label.is_empty());
+            for v in values {
+                assert!(v.is_finite() && *v >= 0.0);
+            }
+        }
+        // higher density means cheaper queries: the eager cost column must not
+        // increase from the lowest to the highest density
+        let cost_col = report.column_index("E cost(s)").unwrap();
+        let first = report.value(0, cost_col).unwrap();
+        let last = report.value(3, cost_col).unwrap();
+        assert!(last <= first * 1.5, "density 0.1 should not be much costlier than 0.0125");
+    }
+}

@@ -1,0 +1,348 @@
+//! Measurement utilities shared by the experiments and the criterion benches.
+
+use rnn_core::cost::{AverageCost, CostModel, QueryCost};
+use rnn_core::materialize::MaterializedKnn;
+use rnn_core::unrestricted::{
+    transform_to_restricted, unrestricted_eager_rknn, unrestricted_lazy_rknn,
+    unrestricted_naive_rknn, EdgePosition,
+};
+use rnn_core::{run_rknn, Algorithm};
+use rnn_graph::{EdgePointSet, Graph, NodeId, NodePointSet, PointId, Route};
+use rnn_storage::{IoCounters, IoStats, LayoutStrategy, PagedGraph};
+use std::time::{Duration, Instant};
+
+/// Experiment scale: laptop-friendly or the paper's cardinalities.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced sizes (default): every experiment finishes in seconds to a few
+    /// minutes on a laptop.
+    Quick,
+    /// The paper's sizes (up to 360K nodes); substantially slower.
+    Full,
+}
+
+impl Scale {
+    /// Picks `quick` or `full` depending on the scale.
+    pub fn pick<T: Copy>(self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+
+    /// Number of queries per workload (the paper uses 50).
+    pub fn queries(self) -> usize {
+        self.pick(20, 50)
+    }
+}
+
+/// A restricted-network workload ready to be measured: the in-memory graph,
+/// its paged counterpart, a data point set and the query nodes.
+pub struct Workload {
+    /// The in-memory graph (used to build materializations and transforms).
+    pub graph: Graph,
+    /// The disk-page backed view used for the measured traversals.
+    pub paged: PagedGraph,
+    /// The data points.
+    pub points: NodePointSet,
+    /// Query nodes, drawn from the data points.
+    pub queries: Vec<NodeId>,
+}
+
+impl Workload {
+    /// Builds a workload with the paper's default 256-page buffer.
+    pub fn new(graph: Graph, points: NodePointSet, queries: Vec<NodeId>) -> Self {
+        Self::with_buffer(graph, points, queries, 256)
+    }
+
+    /// Builds a workload with an explicit buffer capacity (in pages).
+    pub fn with_buffer(
+        graph: Graph,
+        points: NodePointSet,
+        queries: Vec<NodeId>,
+        buffer_pages: usize,
+    ) -> Self {
+        let paged = PagedGraph::build_with(
+            &graph,
+            LayoutStrategy::BfsLocality,
+            buffer_pages,
+            IoCounters::new(),
+        )
+        .expect("paged graph construction");
+        Workload { graph, paged, points, queries }
+    }
+}
+
+/// The averaged outcome of running one algorithm over a workload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Measurement {
+    /// The algorithm that was measured.
+    pub algorithm: Algorithm,
+    /// Per-query averages (CPU seconds, buffer faults, page accesses).
+    pub avg: AverageCost,
+    /// Average result cardinality.
+    pub avg_result_size: f64,
+}
+
+impl Measurement {
+    /// Combined cost in seconds under the paper's 10 ms/fault model.
+    pub fn total_seconds(&self) -> f64 {
+        self.avg.total_seconds(&CostModel::default())
+    }
+}
+
+fn finish(
+    algorithm: Algorithm,
+    cpu: Duration,
+    io: IoStats,
+    result_total: usize,
+    queries: usize,
+) -> Measurement {
+    let cost = QueryCost::new(cpu, io);
+    Measurement {
+        algorithm,
+        avg: cost.averaged_over(queries),
+        avg_result_size: result_total as f64 / queries.max(1) as f64,
+    }
+}
+
+/// Measures one algorithm over a restricted workload. The buffer is cold at
+/// the start of the workload and shared across its queries, as in the paper.
+pub fn measure_restricted(
+    algorithm: Algorithm,
+    workload: &Workload,
+    table: Option<&MaterializedKnn>,
+    k: usize,
+) -> Measurement {
+    workload.paged.cold_start();
+    if let Some(t) = table {
+        t.reset_io();
+    }
+    let mut result_total = 0usize;
+    let start = Instant::now();
+    for &q in &workload.queries {
+        let out = run_rknn(algorithm, &workload.paged, &workload.points, table, q, k);
+        result_total += out.len();
+    }
+    let cpu = start.elapsed();
+    let mut io = workload.paged.io_stats();
+    if let Some(t) = table {
+        io.accumulate(&t.io_stats());
+    }
+    finish(algorithm, cpu, io, result_total, workload.queries.len())
+}
+
+/// An unrestricted workload: the spatial graph, data points on its edges and
+/// query points (drawn from the data points).
+pub struct UnrestrictedWorkload {
+    /// The in-memory road graph.
+    pub graph: Graph,
+    /// The paged view used for the measured traversals.
+    pub paged: PagedGraph,
+    /// Data points on edges.
+    pub points: EdgePointSet,
+    /// Query points.
+    pub queries: Vec<PointId>,
+}
+
+impl UnrestrictedWorkload {
+    /// Builds an unrestricted workload with a given buffer capacity.
+    pub fn with_buffer(
+        graph: Graph,
+        points: EdgePointSet,
+        queries: Vec<PointId>,
+        buffer_pages: usize,
+    ) -> Self {
+        let paged = PagedGraph::build_with(
+            &graph,
+            LayoutStrategy::BfsLocality,
+            buffer_pages,
+            IoCounters::new(),
+        )
+        .expect("paged graph construction");
+        UnrestrictedWorkload { graph, paged, points, queries }
+    }
+}
+
+/// Measures eager / lazy / naive natively on an unrestricted workload.
+/// `Algorithm::EagerMaterialized` and `Algorithm::LazyExtendedPruning` are
+/// measured on the equivalent restricted transformation (see DESIGN.md).
+pub fn measure_unrestricted(
+    algorithm: Algorithm,
+    workload: &UnrestrictedWorkload,
+    k: usize,
+    table_capacity: usize,
+) -> Measurement {
+    match algorithm {
+        Algorithm::Eager | Algorithm::Lazy | Algorithm::Naive => {
+            workload.paged.cold_start();
+            let mut result_total = 0usize;
+            let start = Instant::now();
+            for &q in &workload.queries {
+                let query = EdgePosition::of_point(&workload.graph, &workload.points, q);
+                let out = match algorithm {
+                    Algorithm::Eager => unrestricted_eager_rknn(
+                        &workload.paged,
+                        &workload.graph,
+                        &workload.points,
+                        &query,
+                        k,
+                    ),
+                    Algorithm::Lazy => unrestricted_lazy_rknn(
+                        &workload.paged,
+                        &workload.graph,
+                        &workload.points,
+                        &query,
+                        k,
+                    ),
+                    _ => unrestricted_naive_rknn(
+                        &workload.paged,
+                        &workload.graph,
+                        &workload.points,
+                        &query,
+                        k,
+                    ),
+                };
+                result_total += out.len();
+            }
+            let cpu = start.elapsed();
+            finish(algorithm, cpu, workload.paged.io_stats(), result_total, workload.queries.len())
+        }
+        Algorithm::EagerMaterialized | Algorithm::LazyExtendedPruning => {
+            // Transform to a restricted instance and measure there.
+            let view = transform_to_restricted(&workload.graph, &workload.points)
+                .expect("datagen produces transformable instances");
+            let queries: Vec<NodeId> = workload
+                .queries
+                .iter()
+                .map(|&q| view.node_of_point[q.index()])
+                .collect();
+            let restricted = Workload::with_buffer(
+                view.graph.clone(),
+                view.points.clone(),
+                queries,
+                workload.paged.buffer_capacity(),
+            );
+            let table = if algorithm.needs_materialization() {
+                Some(MaterializedKnn::build(&restricted.paged, &restricted.points, table_capacity.max(k)))
+            } else {
+                None
+            };
+            measure_restricted(algorithm, &restricted, table.as_ref(), k)
+        }
+    }
+}
+
+/// Measures continuous queries (eager or lazy) over routes on a restricted
+/// workload view of the graph.
+pub fn measure_continuous(
+    algorithm: Algorithm,
+    paged: &PagedGraph,
+    points: &NodePointSet,
+    routes: &[Route],
+    k: usize,
+) -> Measurement {
+    paged.cold_start();
+    let mut result_total = 0usize;
+    let start = Instant::now();
+    for route in routes {
+        let out = match algorithm {
+            Algorithm::Lazy => rnn_core::continuous::continuous_lazy_rknn(paged, points, route, k),
+            Algorithm::Naive => rnn_core::continuous::naive_continuous_rknn(paged, points, route, k),
+            _ => rnn_core::continuous::continuous_eager_rknn(paged, points, route, k),
+        };
+        result_total += out.len();
+    }
+    let cpu = start.elapsed();
+    finish(algorithm, cpu, paged.io_stats(), result_total, routes.len())
+}
+
+/// Measures the maintenance cost of the materialized k-NN table: the average
+/// cost of an insertion and of a deletion, in the same units as queries.
+pub fn measure_updates(
+    paged: &PagedGraph,
+    points: &NodePointSet,
+    capacity_k: usize,
+    insert_nodes: &[NodeId],
+    delete_nodes: &[NodeId],
+) -> (AverageCost, AverageCost) {
+    let mut table = MaterializedKnn::build(paged, points, capacity_k);
+
+    paged.cold_start();
+    table.reset_io();
+    let start = Instant::now();
+    for &n in insert_nodes {
+        table.insert_point(paged, n);
+    }
+    let cpu = start.elapsed();
+    let mut io = paged.io_stats();
+    io.accumulate(&table.io_stats());
+    let inserts = QueryCost::new(cpu, io).averaged_over(insert_nodes.len());
+
+    paged.cold_start();
+    table.reset_io();
+    let start = Instant::now();
+    for &n in delete_nodes {
+        table.delete_point(paged, n);
+    }
+    let cpu = start.elapsed();
+    let mut io = paged.io_stats();
+    io.accumulate(&table.io_stats());
+    let deletes = QueryCost::new(cpu, io).averaged_over(delete_nodes.len());
+
+    (inserts, deletes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnn_datagen::{grid_map, place_points_on_nodes, sample_node_queries, GridConfig};
+
+    fn small_workload() -> Workload {
+        let g = grid_map(&GridConfig { rows: 20, cols: 20, ..Default::default() });
+        let pts = place_points_on_nodes(&g, 0.05, 3);
+        let queries = sample_node_queries(&pts, 5, 4);
+        Workload::new(g, pts, queries)
+    }
+
+    #[test]
+    fn all_algorithms_produce_identical_result_sizes_and_positive_io() {
+        let w = small_workload();
+        let table = MaterializedKnn::build(&w.graph, &w.points, 2);
+        let mut sizes = Vec::new();
+        for algo in Algorithm::ALL {
+            let m = measure_restricted(algo, &w, Some(&table), 1);
+            assert_eq!(m.algorithm, algo);
+            assert!(m.avg.accesses > 0.0, "{algo} must access pages");
+            assert!(m.total_seconds() >= 0.0);
+            sizes.push(m.avg_result_size);
+        }
+        for s in &sizes {
+            assert_eq!(*s, sizes[0], "every algorithm reports the same result sizes");
+        }
+    }
+
+    #[test]
+    fn scale_helpers() {
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+        assert_eq!(Scale::Full.queries(), 50);
+        assert_eq!(Scale::Quick.queries(), 20);
+    }
+
+    #[test]
+    fn update_measurements_are_positive() {
+        let w = small_workload();
+        let inserts: Vec<NodeId> = (0..5)
+            .map(|i| NodeId::new(i * 7 + 3))
+            .filter(|n| {
+                use rnn_graph::PointsOnNodes;
+                !w.points.contains_node(*n)
+            })
+            .collect();
+        let deletes: Vec<NodeId> = w.points.nodes().iter().take(3).copied().collect();
+        let (ins, del) = measure_updates(&w.paged, &w.points, 2, &inserts, &deletes);
+        assert!(ins.accesses > 0.0);
+        assert!(del.accesses > 0.0);
+    }
+}

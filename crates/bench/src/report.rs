@@ -1,0 +1,131 @@
+//! Tabular experiment reports.
+
+use std::fmt;
+
+/// One reproduced table or figure: a header row plus one labelled row per
+/// x-axis value, with one numeric column per series (algorithm/metric).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Report {
+    /// Experiment identifier (e.g. "Table 1", "Fig 15").
+    pub id: String,
+    /// Human readable title with the fixed parameters.
+    pub title: String,
+    /// Name of the x-axis (first column).
+    pub x_label: String,
+    /// Names of the numeric columns.
+    pub columns: Vec<String>,
+    /// Rows: x-axis label plus one value per column.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; the number of values must match the number of columns.
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        debug_assert_eq!(values.len(), self.columns.len());
+        self.rows.push((label.into(), values));
+    }
+
+    /// Returns the value at (row, column) if present.
+    pub fn value(&self, row: usize, column: usize) -> Option<f64> {
+        self.rows.get(row).and_then(|(_, v)| v.get(column)).copied()
+    }
+
+    /// Looks up a column index by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Renders the report as a Markdown table (used by EXPERIMENTS.md).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} — {}\n\n", self.id, self.title));
+        out.push_str(&format!("| {} |", self.x_label));
+        for c in &self.columns {
+            out.push_str(&format!(" {c} |"));
+        }
+        out.push('\n');
+        out.push_str(&format!("|{}|", "---|".repeat(self.columns.len() + 1)));
+        out.push('\n');
+        for (label, values) in &self.rows {
+            out.push_str(&format!("| {label} |"));
+            for v in values {
+                out.push_str(&format!(" {} |", format_value(*v)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn format_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {}", self.id, self.title)?;
+        write!(f, "{:>18}", self.x_label)?;
+        for c in &self.columns {
+            write!(f, "{c:>16}")?;
+        }
+        writeln!(f)?;
+        for (label, values) in &self.rows {
+            write!(f, "{label:>18}")?;
+            for v in values {
+                write!(f, "{:>16}", format_value(*v))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_builds_and_renders() {
+        let mut r = Report::new("Fig X", "test", "D", vec!["eager".into(), "lazy".into()]);
+        r.push_row("0.01", vec![1.5, 1234.0]);
+        r.push_row("0.1", vec![0.25, 0.0]);
+        assert_eq!(r.value(0, 1), Some(1234.0));
+        assert_eq!(r.value(5, 0), None);
+        assert_eq!(r.column_index("lazy"), Some(1));
+        assert_eq!(r.column_index("nope"), None);
+
+        let text = r.to_string();
+        assert!(text.contains("Fig X"));
+        assert!(text.contains("eager"));
+        assert!(text.contains("1234"));
+
+        let md = r.to_markdown();
+        assert!(md.starts_with("### Fig X"));
+        assert!(md.contains("| 0.01 | 1.50 | 1234 |"));
+        assert!(md.contains("| 0.1 | 0.2500 | 0 |"));
+    }
+}

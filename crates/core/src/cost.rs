@@ -1,0 +1,138 @@
+//! The cost model of the experimental evaluation.
+//!
+//! The paper reports the I/O cost (buffer faults) and the CPU time of each
+//! workload, and in most figures combines them into a single cost by charging
+//! 10 ms for each random I/O — "a common value used in the literature".
+//! [`CostModel`] encodes that charge and [`QueryCost`] is one measurement.
+
+use rnn_storage::IoStats;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// How measured CPU time and counted page faults are combined into a single
+/// cost figure.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Penalty charged per buffer fault (default: 10 ms, the paper's value).
+    pub fault_penalty: Duration,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel { fault_penalty: Duration::from_millis(10) }
+    }
+}
+
+impl CostModel {
+    /// Creates a cost model with a custom fault penalty.
+    pub fn with_fault_penalty(fault_penalty: Duration) -> Self {
+        CostModel { fault_penalty }
+    }
+
+    /// Total cost of a measurement under this model.
+    pub fn total(&self, cost: &QueryCost) -> Duration {
+        cost.cpu + self.fault_penalty * cost.faults() as u32
+    }
+}
+
+/// CPU time and I/O activity of one query (or one workload).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QueryCost {
+    /// Measured CPU (wall-clock) time of the algorithm itself.
+    pub cpu: Duration,
+    /// I/O counters accumulated while the algorithm ran.
+    pub io: IoStats,
+}
+
+impl QueryCost {
+    /// Creates a cost record.
+    pub fn new(cpu: Duration, io: IoStats) -> Self {
+        QueryCost { cpu, io }
+    }
+
+    /// Number of buffer faults (the paper's "I/O cost" unit).
+    pub fn faults(&self) -> u64 {
+        self.io.faults
+    }
+
+    /// Number of logical page accesses.
+    pub fn accesses(&self) -> u64 {
+        self.io.accesses
+    }
+
+    /// Adds another measurement (used to aggregate a workload).
+    pub fn accumulate(&mut self, other: &QueryCost) {
+        self.cpu += other.cpu;
+        self.io.accumulate(&other.io);
+    }
+
+    /// Divides the cost by a number of queries, yielding the per-query
+    /// average the paper's diagrams report.
+    pub fn averaged_over(&self, queries: usize) -> AverageCost {
+        let q = queries.max(1) as f64;
+        AverageCost {
+            cpu_seconds: self.cpu.as_secs_f64() / q,
+            faults: self.io.faults as f64 / q,
+            accesses: self.io.accesses as f64 / q,
+        }
+    }
+}
+
+/// Per-query averages of a workload, in the units the paper reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct AverageCost {
+    /// Average CPU seconds per query.
+    pub cpu_seconds: f64,
+    /// Average buffer faults per query.
+    pub faults: f64,
+    /// Average logical page accesses per query.
+    pub accesses: f64,
+}
+
+impl AverageCost {
+    /// Combined cost in seconds under `model` (CPU + penalty × faults).
+    pub fn total_seconds(&self, model: &CostModel) -> f64 {
+        self.cpu_seconds + model.fault_penalty.as_secs_f64() * self.faults
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_model_charges_ten_ms_per_fault() {
+        let model = CostModel::default();
+        let cost = QueryCost::new(
+            Duration::from_millis(50),
+            IoStats { accesses: 100, faults: 7, evictions: 0 },
+        );
+        assert_eq!(model.total(&cost), Duration::from_millis(50 + 70));
+        assert_eq!(cost.faults(), 7);
+        assert_eq!(cost.accesses(), 100);
+    }
+
+    #[test]
+    fn accumulate_and_average() {
+        let mut total = QueryCost::default();
+        for _ in 0..10 {
+            total.accumulate(&QueryCost::new(
+                Duration::from_millis(2),
+                IoStats { accesses: 30, faults: 5, evictions: 1 },
+            ));
+        }
+        let avg = total.averaged_over(10);
+        assert!((avg.cpu_seconds - 0.002).abs() < 1e-9);
+        assert_eq!(avg.faults, 5.0);
+        assert_eq!(avg.accesses, 30.0);
+        let model = CostModel::with_fault_penalty(Duration::from_millis(10));
+        assert!((avg.total_seconds(&model) - (0.002 + 0.05)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn averaging_by_zero_is_guarded() {
+        let cost = QueryCost::default();
+        let avg = cost.averaged_over(0);
+        assert_eq!(avg.faults, 0.0);
+    }
+}

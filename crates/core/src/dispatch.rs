@@ -1,0 +1,155 @@
+//! Uniform dispatch over the RkNN algorithms.
+//!
+//! The benchmark harness and the examples iterate over algorithms; this
+//! module gives them a single entry point and stable display names matching
+//! the abbreviations used in the paper's figures (E, L, EM, LP).
+
+use crate::materialize::MaterializedKnn;
+use crate::query::RknnOutcome;
+use crate::{eager, lazy, lazy_ep, naive};
+use rnn_graph::{NodeId, PointsOnNodes, Topology};
+use serde::{Deserialize, Serialize};
+
+/// The monochromatic RkNN algorithms of the paper (plus the naive baseline).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Eager (Section 3.2): prunes nodes as soon as they are de-heaped.
+    Eager,
+    /// Eager-M (Section 4.1): eager over a materialized k-NN table.
+    EagerMaterialized,
+    /// Lazy (Section 3.3): prunes when data points are discovered.
+    Lazy,
+    /// Lazy-EP (Section 4.2): lazy with the extended, parallel-heap pruning.
+    LazyExtendedPruning,
+    /// The naive baseline (full traversal + one NN query per data point).
+    Naive,
+}
+
+impl Algorithm {
+    /// All algorithms, in the order the paper's figures list them.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::Eager,
+        Algorithm::EagerMaterialized,
+        Algorithm::Lazy,
+        Algorithm::LazyExtendedPruning,
+        Algorithm::Naive,
+    ];
+
+    /// The four algorithms evaluated in the paper (no baseline).
+    pub const PAPER: [Algorithm; 4] = [
+        Algorithm::Eager,
+        Algorithm::EagerMaterialized,
+        Algorithm::Lazy,
+        Algorithm::LazyExtendedPruning,
+    ];
+
+    /// Short label as used on top of the paper's bar charts.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Algorithm::Eager => "E",
+            Algorithm::EagerMaterialized => "EM",
+            Algorithm::Lazy => "L",
+            Algorithm::LazyExtendedPruning => "LP",
+            Algorithm::Naive => "NAIVE",
+        }
+    }
+
+    /// Full human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Eager => "eager",
+            Algorithm::EagerMaterialized => "eager-M",
+            Algorithm::Lazy => "lazy",
+            Algorithm::LazyExtendedPruning => "lazy-EP",
+            Algorithm::Naive => "naive",
+        }
+    }
+
+    /// Returns `true` if the algorithm needs a materialized k-NN table.
+    pub fn needs_materialization(self) -> bool {
+        matches!(self, Algorithm::EagerMaterialized)
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Runs `algorithm` on a restricted network.
+///
+/// `materialized` must be `Some` for [`Algorithm::EagerMaterialized`] (with
+/// `K >= k`) and is ignored by the other algorithms.
+///
+/// # Panics
+/// Panics if `k == 0`, or if eager-M is requested without a materialized
+/// table.
+pub fn run_rknn<T, P>(
+    algorithm: Algorithm,
+    topo: &T,
+    points: &P,
+    materialized: Option<&MaterializedKnn>,
+    query: NodeId,
+    k: usize,
+) -> RknnOutcome
+where
+    T: Topology + ?Sized,
+    P: PointsOnNodes + ?Sized,
+{
+    match algorithm {
+        Algorithm::Eager => eager::eager_rknn(topo, points, query, k),
+        Algorithm::Lazy => lazy::lazy_rknn(topo, points, query, k),
+        Algorithm::LazyExtendedPruning => lazy_ep::lazy_ep_rknn(topo, points, query, k),
+        Algorithm::Naive => naive::naive_rknn(topo, points, query, k),
+        Algorithm::EagerMaterialized => {
+            let table = materialized
+                .expect("eager-M requires a materialized k-NN table (Algorithm::needs_materialization)");
+            crate::materialize::eager_m_rknn(topo, points, table, query, k)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnn_graph::{GraphBuilder, NodePointSet};
+
+    #[test]
+    fn names_and_flags() {
+        assert_eq!(Algorithm::Eager.short_name(), "E");
+        assert_eq!(Algorithm::LazyExtendedPruning.short_name(), "LP");
+        assert_eq!(Algorithm::EagerMaterialized.to_string(), "eager-M");
+        assert!(Algorithm::EagerMaterialized.needs_materialization());
+        assert!(!Algorithm::Lazy.needs_materialization());
+        assert_eq!(Algorithm::ALL.len(), 5);
+        assert_eq!(Algorithm::PAPER.len(), 4);
+    }
+
+    #[test]
+    fn dispatch_runs_every_algorithm_and_agrees() {
+        let mut b = GraphBuilder::new(8);
+        for i in 0..7 {
+            b.add_edge(i, i + 1, 1.0 + (i % 3) as f64).unwrap();
+        }
+        b.add_edge(0, 7, 2.5).unwrap();
+        let g = b.build().unwrap();
+        let pts = NodePointSet::from_nodes(8, [NodeId::new(1), NodeId::new(4), NodeId::new(6)]);
+        let table = MaterializedKnn::build(&g, &pts, 2);
+        let q = NodeId::new(2);
+
+        let reference = run_rknn(Algorithm::Naive, &g, &pts, None, q, 2);
+        for algo in Algorithm::ALL {
+            let out = run_rknn(algo, &g, &pts, Some(&table), q, 2);
+            assert_eq!(out.points, reference.points, "{algo}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn eager_m_without_table_panics() {
+        let g = GraphBuilder::new(2).build().unwrap();
+        let pts = NodePointSet::empty(2);
+        let _ = run_rknn(Algorithm::EagerMaterialized, &g, &pts, None, NodeId::new(0), 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! Priority queue used by the network expansions.
+//!
+//! [`ExpansionHeap`] is a binary min-heap over `(distance, node)` entries with
+//! two extra features the lazy algorithm needs:
+//!
+//! * every pushed entry receives a unique ticket, so entries can later be
+//!   *invalidated* ("removed from the heap" in the paper's terminology, via
+//!   the hash table of back-pointers) without rebuilding the heap;
+//! * pops skip invalidated and stale entries transparently.
+
+use crate::fast_hash::{fast_set, FastSet};
+use rnn_graph::{NodeId, Weight};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A unique identifier of a heap entry (the "pointer" stored in lazy's hash
+/// table).
+pub type Ticket = u64;
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+struct Entry {
+    dist: Weight,
+    node: NodeId,
+    ticket: Ticket,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to get a min-heap. Ties are
+// broken by node id and then ticket so the order is fully deterministic.
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .dist
+            .cmp(&self.dist)
+            .then_with(|| other.node.cmp(&self.node))
+            .then_with(|| other.ticket.cmp(&self.ticket))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A min-heap of `(distance, node)` entries with ticket-based invalidation.
+#[derive(Debug, Default)]
+pub struct ExpansionHeap {
+    heap: BinaryHeap<Entry>,
+    invalidated: FastSet<Ticket>,
+    next_ticket: Ticket,
+    pushes: u64,
+}
+
+impl ExpansionHeap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        ExpansionHeap {
+            heap: BinaryHeap::new(),
+            invalidated: fast_set(),
+            next_ticket: 0,
+            pushes: 0,
+        }
+    }
+
+    /// Pushes an entry and returns its ticket.
+    pub fn push(&mut self, node: NodeId, dist: Weight) -> Ticket {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.pushes += 1;
+        self.heap.push(Entry { dist, node, ticket });
+        ticket
+    }
+
+    /// Marks a previously pushed entry as invalid; it will be skipped by
+    /// [`ExpansionHeap::pop`].
+    pub fn invalidate(&mut self, ticket: Ticket) {
+        self.invalidated.insert(ticket);
+    }
+
+    /// Pops the valid entry with the smallest distance, if any.
+    pub fn pop(&mut self) -> Option<(NodeId, Weight, Ticket)> {
+        while let Some(e) = self.heap.pop() {
+            if self.invalidated.remove(&e.ticket) {
+                continue;
+            }
+            return Some((e.node, e.dist, e.ticket));
+        }
+        None
+    }
+
+    /// Distance of the smallest valid entry without popping it.
+    pub fn peek_dist(&mut self) -> Option<Weight> {
+        while let Some(e) = self.heap.peek() {
+            if self.invalidated.contains(&e.ticket) {
+                let e = self.heap.pop().expect("peeked entry exists");
+                self.invalidated.remove(&e.ticket);
+                continue;
+            }
+            return Some(e.dist);
+        }
+        None
+    }
+
+    /// Returns `true` if no valid entries remain.
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_dist().is_none()
+    }
+
+    /// Total number of entries ever pushed (for statistics).
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i as usize)
+    }
+
+    fn w(v: f64) -> Weight {
+        Weight::new(v)
+    }
+
+    #[test]
+    fn pops_in_distance_order() {
+        let mut h = ExpansionHeap::new();
+        h.push(n(1), w(5.0));
+        h.push(n(2), w(1.0));
+        h.push(n(3), w(3.0));
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop()).map(|(nd, _, _)| nd.0).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+        assert_eq!(h.pushes(), 3);
+    }
+
+    #[test]
+    fn ties_broken_deterministically() {
+        let mut h = ExpansionHeap::new();
+        h.push(n(9), w(2.0));
+        h.push(n(4), w(2.0));
+        h.push(n(7), w(2.0));
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop()).map(|(nd, _, _)| nd.0).collect();
+        assert_eq!(order, vec![4, 7, 9]);
+    }
+
+    #[test]
+    fn invalidated_entries_are_skipped() {
+        let mut h = ExpansionHeap::new();
+        let t1 = h.push(n(1), w(1.0));
+        h.push(n(2), w(2.0));
+        let t3 = h.push(n(3), w(3.0));
+        h.invalidate(t1);
+        h.invalidate(t3);
+        assert_eq!(h.pop().map(|(nd, _, _)| nd), Some(n(2)));
+        assert_eq!(h.pop(), None);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn peek_skips_invalidated_entries() {
+        let mut h = ExpansionHeap::new();
+        let t1 = h.push(n(1), w(1.0));
+        h.push(n(2), w(2.5));
+        h.invalidate(t1);
+        assert_eq!(h.peek_dist(), Some(w(2.5)));
+        assert!(!h.is_empty());
+        assert_eq!(h.pop().map(|(nd, _, _)| nd), Some(n(2)));
+        assert_eq!(h.peek_dist(), None);
+    }
+
+    #[test]
+    fn empty_heap_behaves() {
+        let mut h = ExpansionHeap::new();
+        assert!(h.is_empty());
+        assert_eq!(h.pop(), None);
+        assert_eq!(h.peek_dist(), None);
+    }
+}

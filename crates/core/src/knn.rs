@@ -1,0 +1,176 @@
+//! Nearest-neighbor primitives: k-NN search and the *range-NN* query.
+//!
+//! Section 3.1 of the paper defines two flavours of NN search used by the RNN
+//! algorithms:
+//!
+//! * a plain k-NN query around a node (used by the naive baseline, the
+//!   materialization code and the examples), and
+//! * `range-NN(n, k, e)`: "retrieves the k nearest data points with network
+//!   distance **smaller than** `e` from `n`, if such `k` points exist;
+//!   otherwise it returns a smaller number (possibly 0) of NNs". This is the
+//!   pruning probe of the eager algorithm.
+
+use crate::expansion::NetworkExpansion;
+use rnn_graph::{NodeId, PointId, PointsOnNodes, Topology, Weight};
+
+/// Result of a k-NN style probe, together with the number of nodes the
+/// expansion settled (the CPU-work the probe cost).
+#[derive(Clone, Debug, PartialEq)]
+pub struct NnProbe {
+    /// The data points found, as `(point, distance)` in ascending distance
+    /// order.
+    pub found: Vec<(PointId, Weight)>,
+    /// Nodes settled by the probe's expansion.
+    pub settled: u64,
+}
+
+/// Retrieves the `k` nearest data points of `source` (including a point
+/// residing on `source` itself, at distance zero).
+pub fn k_nearest<T, P>(topo: &T, points: &P, source: NodeId, k: usize) -> NnProbe
+where
+    T: Topology + ?Sized,
+    P: PointsOnNodes + ?Sized,
+{
+    let mut exp = NetworkExpansion::new(topo, source);
+    let mut found = Vec::with_capacity(k);
+    if k == 0 {
+        return NnProbe { found, settled: 0 };
+    }
+    while let Some((node, dist)) = exp.next_settled() {
+        if let Some(p) = points.point_at(node) {
+            found.push((p, dist));
+            if found.len() == k {
+                break;
+            }
+        }
+    }
+    NnProbe { found, settled: exp.settled_count() }
+}
+
+/// The paper's `range-NN(n, k, e)` query: the `k` nearest data points of
+/// `source` with distance strictly smaller than `range`.
+///
+/// The expansion stops as soon as `k` points are found, the settled distance
+/// reaches `range`, or the graph is exhausted.
+pub fn range_nn<T, P>(
+    topo: &T,
+    points: &P,
+    source: NodeId,
+    k: usize,
+    range: Weight,
+) -> NnProbe
+where
+    T: Topology + ?Sized,
+    P: PointsOnNodes + ?Sized,
+{
+    let mut found = Vec::with_capacity(k.min(8));
+    if k == 0 || range == Weight::ZERO {
+        return NnProbe { found, settled: 0 };
+    }
+    let mut exp = NetworkExpansion::new(topo, source);
+    while let Some((node, dist)) = exp.next_settled_unexpanded() {
+        if dist >= range {
+            break;
+        }
+        if let Some(p) = points.point_at(node) {
+            found.push((p, dist));
+            if found.len() == k {
+                break;
+            }
+        }
+        exp.expand_from(node, dist);
+    }
+    NnProbe { found, settled: exp.settled_count() }
+}
+
+/// Distance from `source` to its nearest data point, or `None` if no data
+/// point is reachable.
+pub fn nearest_neighbor_distance<T, P>(topo: &T, points: &P, source: NodeId) -> Option<Weight>
+where
+    T: Topology + ?Sized,
+    P: PointsOnNodes + ?Sized,
+{
+    k_nearest(topo, points, source, 1).found.first().map(|&(_, d)| d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnn_graph::{Graph, GraphBuilder, NodePointSet};
+
+    /// Path graph 0 -2- 1 -2- 2 -2- 3 -2- 4 with points on 0 and 4.
+    fn path_graph() -> (Graph, NodePointSet) {
+        let mut b = GraphBuilder::new(5);
+        for i in 0..4 {
+            b.add_edge(i, i + 1, 2.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let pts = NodePointSet::from_nodes(5, [NodeId::new(0), NodeId::new(4)]);
+        (g, pts)
+    }
+
+    #[test]
+    fn k_nearest_returns_points_in_distance_order() {
+        let (g, pts) = path_graph();
+        let probe = k_nearest(&g, &pts, NodeId::new(1), 2);
+        assert_eq!(probe.found.len(), 2);
+        assert_eq!(probe.found[0].0, pts.point_at(NodeId::new(0)).unwrap());
+        assert_eq!(probe.found[0].1.value(), 2.0);
+        assert_eq!(probe.found[1].1.value(), 6.0);
+        assert!(probe.settled >= 2);
+    }
+
+    #[test]
+    fn k_nearest_includes_point_on_source_at_distance_zero() {
+        let (g, pts) = path_graph();
+        let probe = k_nearest(&g, &pts, NodeId::new(0), 1);
+        assert_eq!(probe.found, vec![(pts.point_at(NodeId::new(0)).unwrap(), Weight::ZERO)]);
+    }
+
+    #[test]
+    fn k_nearest_with_fewer_points_than_k() {
+        let (g, pts) = path_graph();
+        let probe = k_nearest(&g, &pts, NodeId::new(2), 5);
+        assert_eq!(probe.found.len(), 2);
+        assert_eq!(k_nearest(&g, &pts, NodeId::new(2), 0).found.len(), 0);
+    }
+
+    #[test]
+    fn range_nn_is_strict_on_the_range() {
+        let (g, pts) = path_graph();
+        // The nearest point of node 2 is at distance 4 (both sides).
+        let probe = range_nn(&g, &pts, NodeId::new(2), 1, Weight::new(4.0));
+        assert!(probe.found.is_empty(), "distance == range must not qualify");
+        let probe = range_nn(&g, &pts, NodeId::new(2), 1, Weight::new(4.1));
+        assert_eq!(probe.found.len(), 1);
+        // Paper example: range-NN(n4, 1, 7) is empty because d(p1, n4) = 7 >= e.
+    }
+
+    #[test]
+    fn range_nn_stops_after_k_points() {
+        let (g, pts) = path_graph();
+        let probe = range_nn(&g, &pts, NodeId::new(1), 1, Weight::new(100.0));
+        assert_eq!(probe.found.len(), 1);
+        assert_eq!(probe.found[0].1.value(), 2.0);
+        // k = 2 with a large range finds both
+        let probe = range_nn(&g, &pts, NodeId::new(1), 2, Weight::new(100.0));
+        assert_eq!(probe.found.len(), 2);
+        // zero range or zero k return empty without settling anything
+        assert_eq!(range_nn(&g, &pts, NodeId::new(1), 2, Weight::ZERO).settled, 0);
+        assert_eq!(range_nn(&g, &pts, NodeId::new(1), 0, Weight::new(5.0)).found.len(), 0);
+    }
+
+    #[test]
+    fn nearest_neighbor_distance_handles_unreachable_points() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1.0).unwrap();
+        b.add_edge(2, 3, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let pts = NodePointSet::from_nodes(4, [NodeId::new(3)]);
+        assert_eq!(nearest_neighbor_distance(&g, &pts, NodeId::new(0)), None);
+        assert_eq!(
+            nearest_neighbor_distance(&g, &pts, NodeId::new(2)).unwrap().value(),
+            1.0
+        );
+    }
+}

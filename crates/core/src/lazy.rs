@@ -1,0 +1,252 @@
+//! The *lazy* RkNN algorithm (Section 3.3, Fig. 7 of the paper).
+//!
+//! Lazy delays pruning until data points are discovered: the expansion around
+//! the query proceeds like Dijkstra, and when a node containing a data point
+//! is de-heaped, a verification query is issued. The nodes visited by that
+//! verification are closer to the discovered point than to the query, so they
+//! cannot lead to reverse neighbors: already-visited nodes have the heap
+//! entries created during their processing removed (through a hash table of
+//! back-pointers), and not-yet-visited nodes are remembered in a counter so
+//! they are discarded when they are eventually de-heaped. For RkNN with
+//! `k > 1` a node is only discarded once `k` distinct points have been
+//! counted against it.
+
+use crate::fast_hash::{fast_map, fast_set, FastMap, FastSet};
+use crate::heap::{ExpansionHeap, Ticket};
+use crate::query::{QueryStats, RknnOutcome};
+use crate::verify::{verify_candidate, VerifyParams};
+use rnn_graph::{NodeId, PointId, PointsOnNodes, Topology, Weight};
+
+/// Runs the lazy RkNN algorithm.
+///
+/// Returns every data point (other than one located exactly at the query
+/// node) that has the query among its `k` nearest neighbors.
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn lazy_rknn<T, P>(topo: &T, points: &P, query: NodeId, k: usize) -> RknnOutcome
+where
+    T: Topology + ?Sized,
+    P: PointsOnNodes + ?Sized,
+{
+    assert!(k >= 1, "RkNN queries require k >= 1");
+    let mut stats = QueryStats::default();
+    let mut result: Vec<PointId> = Vec::new();
+
+    // Main expansion state.
+    let mut heap = ExpansionHeap::new();
+    let mut best: FastMap<NodeId, Weight> = fast_map();
+    // Hash table of visited (settled) nodes: final distance from the query.
+    let mut settled: FastMap<NodeId, Weight> = fast_map();
+    // Back-pointers: heap tickets created while processing a node, so the
+    // node's expansion can be undone when it is later invalidated.
+    let mut children: FastMap<NodeId, Vec<Ticket>> = fast_map();
+    // Verification counters: how many distinct data points are known to be
+    // strictly closer to the node than the query.
+    let mut counters: FastMap<NodeId, usize> = fast_map();
+    // Nodes whose children have already been removed (the removal is done at
+    // most once per node).
+    let mut pruned_children: FastSet<NodeId> = fast_set();
+    let mut verified: FastSet<PointId> = fast_set();
+
+    best.insert(query, Weight::ZERO);
+    heap.push(query, Weight::ZERO);
+
+    while let Some((node, dist, _)) = heap.pop() {
+        if settled.contains_key(&node) {
+            continue; // stale entry
+        }
+        if best.get(&node).is_some_and(|b| *b < dist) {
+            continue; // superseded entry
+        }
+        settled.insert(node, dist);
+        stats.nodes_settled += 1;
+
+        // A node already counted against k distinct closer points cannot lead
+        // to (or be) a reverse neighbor.
+        if counters.get(&node).copied().unwrap_or(0) >= k {
+            continue;
+        }
+
+        // Process a data point residing on this node.
+        if dist > Weight::ZERO {
+            if let Some(p) = points.point_at(node) {
+                if verified.insert(p) {
+                    stats.candidates += 1;
+                    stats.verifications += 1;
+                    // p lies on the settled node, so d(p, q) == dist exactly.
+                    let v = verify_candidate(
+                        topo,
+                        points,
+                        p,
+                        node,
+                        |n| n == query,
+                        VerifyParams { k, collect_visited: true },
+                    );
+                    stats.auxiliary_settled += v.settled;
+                    if v.accepted {
+                        result.push(p);
+                    }
+                    // Pruning side effects: every node the verification
+                    // settled strictly within d(p, q) is strictly closer to p
+                    // than to the query.
+                    for &(m, dm) in &v.visited {
+                        let counted = match settled.get(&m) {
+                            // Visited node: count only when provably closer
+                            // to p than to the query.
+                            Some(&dq) => dm < dq,
+                            // Unvisited node: its eventual distance from the
+                            // query is at least the current frontier distance
+                            // (>= d(p, q) > dm).
+                            None => dm < dist,
+                        };
+                        if counted {
+                            let c = counters.entry(m).or_insert(0);
+                            *c += 1;
+                            if *c == k && settled.contains_key(&m) && pruned_children.insert(m) {
+                                // Remove the heap entries inserted while
+                                // processing m (the paper's hash-table based
+                                // deletion).
+                                if let Some(tickets) = children.get(&m) {
+                                    for &t in tickets {
+                                        heap.invalidate(t);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Re-check the counter: the verification of this node's own point
+        // counts the node itself (the point is at distance 0 from it), which
+        // is exactly what stops the k=1 expansion at nodes containing points.
+        if counters.get(&node).copied().unwrap_or(0) >= k {
+            continue;
+        }
+
+        // Expand the node, remembering the created heap entries.
+        let mut created: Vec<Ticket> = Vec::new();
+        topo.visit_neighbors(node, &mut |nb| {
+            if settled.contains_key(&nb.node) {
+                return;
+            }
+            let cand = dist + nb.weight;
+            let improves = best.get(&nb.node).map_or(true, |b| cand < *b);
+            if improves {
+                best.insert(nb.node, cand);
+                created.push(heap.push(nb.node, cand));
+            }
+        });
+        if !created.is_empty() {
+            children.insert(node, created);
+        }
+    }
+
+    stats.heap_pushes = heap.pushes();
+    RknnOutcome::from_points(result, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eager::eager_rknn;
+    use crate::naive::naive_rknn;
+    use rnn_graph::{Graph, GraphBuilder, NodePointSet};
+
+    /// Same running-example graph as in `eager::tests`.
+    fn fig3() -> (Graph, NodePointSet, NodeId) {
+        let mut b = GraphBuilder::new(7);
+        b.add_edge(3, 2, 4.0).unwrap();
+        b.add_edge(3, 0, 5.0).unwrap();
+        b.add_edge(2, 5, 3.0).unwrap();
+        b.add_edge(2, 0, 6.0).unwrap();
+        b.add_edge(0, 4, 3.0).unwrap();
+        b.add_edge(4, 1, 2.0).unwrap();
+        b.add_edge(1, 5, 8.0).unwrap();
+        b.add_edge(1, 6, 7.0).unwrap();
+        let g = b.build().unwrap();
+        let pts = NodePointSet::from_nodes(7, [NodeId::new(5), NodeId::new(4), NodeId::new(6)]);
+        (g, pts, NodeId::new(3))
+    }
+
+    #[test]
+    fn matches_eager_and_naive_on_running_example() {
+        let (g, pts, q) = fig3();
+        for k in 1..=3 {
+            let l = lazy_rknn(&g, &pts, q, k);
+            let e = eager_rknn(&g, &pts, q, k);
+            let n = naive_rknn(&g, &pts, q, k);
+            assert_eq!(l.points, e.points, "k={k}");
+            assert_eq!(l.points, n.points, "k={k}");
+        }
+    }
+
+    #[test]
+    fn verification_prunes_the_search_space() {
+        // Path graph with points surrounding the query: lazy should not walk
+        // to the ends of the path.
+        let n = 200;
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_edge(i, i + 1, 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let q = NodeId::new(100);
+        let pts = NodePointSet::from_nodes(n, [NodeId::new(97), NodeId::new(103)]);
+        let out = lazy_rknn(&g, &pts, q, 1);
+        assert_eq!(out.len(), 2);
+        assert!(
+            out.stats.nodes_settled < 20,
+            "lazy should prune after discovering the two points, settled {}",
+            out.stats.nodes_settled
+        );
+    }
+
+    #[test]
+    fn counters_allow_expansion_past_points_for_larger_k() {
+        // One point right next to the query, another farther away: for k=2
+        // the expansion must pass through the first point's node.
+        let mut b = GraphBuilder::new(6);
+        for i in 0..5 {
+            b.add_edge(i, i + 1, 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let q = NodeId::new(0);
+        let pts = NodePointSet::from_nodes(6, [NodeId::new(1), NodeId::new(4)]);
+        let k1 = lazy_rknn(&g, &pts, q, 1);
+        let k2 = lazy_rknn(&g, &pts, q, 2);
+        // k=1: the point at node 4 has the point at node 1 closer (distance 3
+        // vs 4), so only the nearby point is a reverse NN.
+        assert_eq!(k1.len(), 1);
+        // k=2: both points have q among their 2 nearest neighbors.
+        assert_eq!(k2.len(), 2);
+        assert_eq!(k1.points, naive_rknn(&g, &pts, q, 1).points);
+        assert_eq!(k2.points, naive_rknn(&g, &pts, q, 2).points);
+    }
+
+    #[test]
+    fn query_node_point_is_not_reported() {
+        let (g, pts, _) = fig3();
+        let out = lazy_rknn(&g, &pts, NodeId::new(4), 1);
+        assert!(!out.contains(pts.point_at(NodeId::new(4)).unwrap()));
+        assert_eq!(out.points, naive_rknn(&g, &pts, NodeId::new(4), 1).points);
+    }
+
+    #[test]
+    fn empty_point_set_is_handled() {
+        let (g, _, q) = fig3();
+        let out = lazy_rknn(&g, &NodePointSet::empty(7), q, 2);
+        assert!(out.is_empty());
+        // without points, lazy degenerates to a full Dijkstra over the graph
+        assert_eq!(out.stats.nodes_settled, 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn k_zero_panics() {
+        let (g, pts, q) = fig3();
+        let _ = lazy_rknn(&g, &pts, q, 0);
+    }
+}

@@ -1,0 +1,259 @@
+//! The *lazy-EP* algorithm: lazy with extended pruning (Section 4.2, Fig. 13
+//! of the paper).
+//!
+//! Lazy may expand nodes that could have been pruned, because its pruning is
+//! only triggered by verification queries. Lazy-EP expands the network in
+//! parallel with a second heap `H'` seeded with every discovered data point:
+//! whenever the top of `H'` is closer than the last distance de-heaped from
+//! the main heap, `H'` advances and records, per node, the nearest discovered
+//! points. A node de-heaped from the main heap whose k-th recorded point is
+//! strictly closer than the query is pruned by Lemma 1 without issuing any
+//! verification around it.
+
+use crate::fast_hash::{fast_map, fast_set, FastMap, FastSet};
+use crate::query::{QueryStats, RknnOutcome};
+use crate::verify::{verify_candidate, VerifyParams};
+use rnn_graph::{NodeId, PointId, PointsOnNodes, Topology, Weight};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Per-node list of the nearest discovered points, capped at `k` entries.
+#[derive(Clone, Debug, Default)]
+struct FoundList {
+    entries: Vec<(Weight, PointId)>,
+}
+
+impl FoundList {
+    fn contains(&self, p: PointId) -> bool {
+        self.entries.iter().any(|&(_, q)| q == p)
+    }
+
+    fn kth_distance(&self, k: usize) -> Weight {
+        if self.entries.len() >= k {
+            self.entries[k - 1].0
+        } else {
+            Weight::INFINITY
+        }
+    }
+
+    fn insert(&mut self, dist: Weight, p: PointId, k: usize) -> bool {
+        if self.entries.len() >= k || self.contains(p) {
+            return false;
+        }
+        let pos = self.entries.partition_point(|&(d, _)| d <= dist);
+        self.entries.insert(pos, (dist, p));
+        true
+    }
+}
+
+/// Runs the lazy-EP (extended pruning) RkNN algorithm.
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn lazy_ep_rknn<T, P>(topo: &T, points: &P, query: NodeId, k: usize) -> RknnOutcome
+where
+    T: Topology + ?Sized,
+    P: PointsOnNodes + ?Sized,
+{
+    assert!(k >= 1, "RkNN queries require k >= 1");
+    let mut stats = QueryStats::default();
+    let mut result: Vec<PointId> = Vec::new();
+
+    // Main expansion (H).
+    let mut heap: BinaryHeap<Reverse<(Weight, NodeId)>> = BinaryHeap::new();
+    let mut best: FastMap<NodeId, Weight> = fast_map();
+    let mut settled: FastSet<NodeId> = fast_set();
+
+    // Parallel point expansion (H').
+    let mut point_heap: BinaryHeap<Reverse<(Weight, NodeId, PointId)>> = BinaryHeap::new();
+    let mut found: FastMap<NodeId, FoundList> = fast_map();
+
+    let mut discovered: FastSet<PointId> = fast_set();
+
+    best.insert(query, Weight::ZERO);
+    heap.push(Reverse((Weight::ZERO, query)));
+    let mut last_main_dist = Weight::ZERO;
+
+    while let Some(&Reverse((dist, node))) = heap.peek() {
+        // Advance H' while its frontier is behind the main frontier.
+        while let Some(&Reverse((pd, pnode, pid))) = point_heap.peek() {
+            if pd >= last_main_dist {
+                break;
+            }
+            point_heap.pop();
+            let list = found.entry(pnode).or_default();
+            if !list.insert(pd, pid, k) {
+                continue;
+            }
+            stats.auxiliary_settled += 1;
+            topo.visit_neighbors(pnode, &mut |nb| {
+                let cand = pd + nb.weight;
+                let neighbor_list = found.entry(nb.node).or_default();
+                if neighbor_list.entries.len() < k && !neighbor_list.contains(pid) {
+                    point_heap.push(Reverse((cand, nb.node, pid)));
+                }
+            });
+        }
+
+        // Pop the main heap.
+        heap.pop();
+        if settled.contains(&node) {
+            continue;
+        }
+        if best.get(&node).is_some_and(|b| *b < dist) {
+            continue;
+        }
+        settled.insert(node);
+        stats.nodes_settled += 1;
+        last_main_dist = dist;
+
+        // Lemma 1 with the k-th discovered point of this node.
+        let kth = found.get(&node).map_or(Weight::INFINITY, |l| l.kth_distance(k));
+        if kth < dist {
+            continue;
+        }
+
+        // Process the resident point, if any.
+        if dist > Weight::ZERO {
+            if let Some(p) = points.point_at(node) {
+                if discovered.insert(p) {
+                    stats.candidates += 1;
+                    stats.verifications += 1;
+                    let v = verify_candidate(
+                        topo,
+                        points,
+                        p,
+                        node,
+                        |n| n == query,
+                        VerifyParams { k, collect_visited: false },
+                    );
+                    stats.auxiliary_settled += v.settled;
+                    if v.accepted {
+                        result.push(p);
+                    }
+                    // Seed the parallel expansion with the discovered point:
+                    // record it at its own node (distance 0) and offer its
+                    // neighbors to H'. The neighbors are only processed when
+                    // the throttling rule lets H' advance.
+                    found.entry(node).or_default().insert(Weight::ZERO, p, k);
+                    stats.auxiliary_settled += 1;
+                    topo.visit_neighbors(node, &mut |nb| {
+                        point_heap.push(Reverse((nb.weight, nb.node, p)));
+                    });
+                }
+            }
+        }
+
+        // Re-check the pruning condition: the node's own point (just recorded
+        // at distance 0) participates exactly as in lazy, which is what stops
+        // the k=1 expansion at nodes containing points.
+        let effective_kth = found.get(&node).map_or(Weight::INFINITY, |l| l.kth_distance(k));
+        if effective_kth < dist {
+            continue;
+        }
+
+        // Expand the node.
+        topo.visit_neighbors(node, &mut |nb| {
+            if settled.contains(&nb.node) {
+                return;
+            }
+            let cand = dist + nb.weight;
+            let improves = best.get(&nb.node).map_or(true, |b| cand < *b);
+            if improves {
+                best.insert(nb.node, cand);
+                heap.push(Reverse((cand, nb.node)));
+                stats.heap_pushes += 1;
+            }
+        });
+    }
+
+    RknnOutcome::from_points(result, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lazy::lazy_rknn;
+    use crate::naive::naive_rknn;
+    use rnn_graph::{Graph, GraphBuilder, NodePointSet};
+
+    fn fig3() -> (Graph, NodePointSet, NodeId) {
+        let mut b = GraphBuilder::new(7);
+        b.add_edge(3, 2, 4.0).unwrap();
+        b.add_edge(3, 0, 5.0).unwrap();
+        b.add_edge(2, 5, 3.0).unwrap();
+        b.add_edge(2, 0, 6.0).unwrap();
+        b.add_edge(0, 4, 3.0).unwrap();
+        b.add_edge(4, 1, 2.0).unwrap();
+        b.add_edge(1, 5, 8.0).unwrap();
+        b.add_edge(1, 6, 7.0).unwrap();
+        let g = b.build().unwrap();
+        let pts = NodePointSet::from_nodes(7, [NodeId::new(5), NodeId::new(4), NodeId::new(6)]);
+        (g, pts, NodeId::new(3))
+    }
+
+    #[test]
+    fn matches_lazy_and_naive_on_running_example() {
+        let (g, pts, q) = fig3();
+        for k in 1..=3 {
+            let lp = lazy_ep_rknn(&g, &pts, q, k);
+            assert_eq!(lp.points, lazy_rknn(&g, &pts, q, k).points, "k={k}");
+            assert_eq!(lp.points, naive_rknn(&g, &pts, q, k).points, "k={k}");
+        }
+    }
+
+    #[test]
+    fn extended_pruning_cuts_wasted_expansion() {
+        // The Fig. 12 situation: the query q (node 0) is adjacent to a point
+        // p (node 1), and a second branch q - n3 (node 2) - n4 (node 3) leads
+        // into a long tail. The verification of p prunes nothing on that
+        // branch, so plain lazy walks the whole tail; lazy-EP's parallel
+        // expansion of p reaches n4 first (d(p, n4) = 2 < d(q, n4) = 4) and
+        // stops the main expansion there.
+        let tail = 400;
+        let n = 4 + tail;
+        let mut b = GraphBuilder::new(n);
+        b.add_edge(0, 1, 1.0).unwrap(); // q - p
+        b.add_edge(0, 2, 3.0).unwrap(); // q - n3
+        b.add_edge(2, 3, 1.0).unwrap(); // n3 - n4
+        b.add_edge(1, 3, 2.0).unwrap(); // p - n4
+        for i in 3..n - 1 {
+            b.add_edge(i, i + 1, 1.0).unwrap(); // the long tail behind n4
+        }
+        let g = b.build().unwrap();
+        let pts = NodePointSet::from_nodes(n, [NodeId::new(1)]);
+        let q = NodeId::new(0);
+
+        let lp = lazy_ep_rknn(&g, &pts, q, 1);
+        let l = lazy_rknn(&g, &pts, q, 1);
+        assert_eq!(lp.points, l.points);
+        assert_eq!(lp.len(), 1);
+        assert!(
+            lp.stats.nodes_settled < l.stats.nodes_settled,
+            "lazy-EP ({}) should settle fewer main-heap nodes than lazy ({})",
+            lp.stats.nodes_settled,
+            l.stats.nodes_settled
+        );
+        assert!(
+            lp.stats.nodes_settled <= 5,
+            "lazy-EP should stop right after n4, settled {}",
+            lp.stats.nodes_settled
+        );
+    }
+
+    #[test]
+    fn handles_empty_point_sets_and_query_point_exclusion() {
+        let (g, pts, _) = fig3();
+        assert!(lazy_ep_rknn(&g, &NodePointSet::empty(7), NodeId::new(3), 2).is_empty());
+        let out = lazy_ep_rknn(&g, &pts, NodeId::new(4), 1);
+        assert!(!out.contains(pts.point_at(NodeId::new(4)).unwrap()));
+        assert_eq!(out.points, naive_rknn(&g, &pts, NodeId::new(4), 1).points);
+    }
+
+    #[test]
+    #[should_panic]
+    fn k_zero_panics() {
+        let (g, pts, q) = fig3();
+        let _ = lazy_ep_rknn(&g, &pts, q, 0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Incremental maintenance of the materialized k-NN table under data point
+//! insertions and deletions (Section 4.1, Fig. 10 of the paper).
+
+use super::{list_insert, KnnEntry, MaterializedKnn};
+use crate::fast_hash::{fast_map, fast_set, FastMap, FastSet};
+use rnn_graph::{NodeId, Topology, Weight};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Summary of the work done by one maintenance operation.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Nodes whose materialized list was modified.
+    pub lists_changed: u64,
+    /// Nodes examined by the update expansion(s).
+    pub nodes_visited: u64,
+}
+
+impl MaterializedKnn {
+    /// Handles the insertion of a new data point residing on `node`.
+    ///
+    /// A bounded expansion from the new point updates every list it improves
+    /// and stops at nodes whose K-th entry is already closer (the paper's
+    /// insertion variation of All-NN).
+    pub fn insert_point<T: Topology + ?Sized>(&mut self, topo: &T, node: NodeId) -> UpdateStats {
+        let capacity_k = self.capacity_k();
+        let mut stats = UpdateStats::default();
+        let mut heap: BinaryHeap<Reverse<(Weight, NodeId)>> = BinaryHeap::new();
+        let mut best: FastMap<NodeId, Weight> = fast_map();
+        let mut settled: FastSet<NodeId> = fast_set();
+        best.insert(node, Weight::ZERO);
+        heap.push(Reverse((Weight::ZERO, node)));
+
+        while let Some(Reverse((dist, n))) = heap.pop() {
+            if !settled.insert(n) {
+                continue;
+            }
+            if best.get(&n).is_some_and(|b| *b < dist) {
+                continue;
+            }
+            stats.nodes_visited += 1;
+            let inserted = list_insert(self.list_mut(n), node, dist, capacity_k);
+            if !inserted {
+                // The new point is not among the K nearest of n; by the
+                // triangle inequality it cannot be among the K nearest of any
+                // node whose shortest path to it passes through n.
+                continue;
+            }
+            stats.lists_changed += 1;
+            topo.visit_neighbors(n, &mut |nb| {
+                if settled.contains(&nb.node) {
+                    return;
+                }
+                let cand = dist + nb.weight;
+                if best.get(&nb.node).map_or(true, |b| cand < *b) {
+                    best.insert(nb.node, cand);
+                    heap.push(Reverse((cand, nb.node)));
+                }
+            });
+        }
+        debug_assert!(self.check_invariants());
+        stats
+    }
+
+    /// Handles the deletion of the data point residing on `node`.
+    ///
+    /// Two steps, following Fig. 10: first an expansion from the deleted
+    /// point removes it from every list containing it and stops at *border*
+    /// nodes (whose lists do not change); then a restricted All-NN expansion
+    /// seeded from the neighbors of every affected node completes the
+    /// affected lists again.
+    pub fn delete_point<T: Topology + ?Sized>(&mut self, topo: &T, node: NodeId) -> UpdateStats {
+        let capacity_k = self.capacity_k();
+        let mut stats = UpdateStats::default();
+
+        // ---- Step 1: find the affected nodes and remove the deleted point.
+        let mut affected: Vec<NodeId> = Vec::new();
+        let mut affected_set: FastSet<NodeId> = fast_set();
+        {
+            let mut heap: BinaryHeap<Reverse<(Weight, NodeId)>> = BinaryHeap::new();
+            let mut best: FastMap<NodeId, Weight> = fast_map();
+            let mut settled: FastSet<NodeId> = fast_set();
+            best.insert(node, Weight::ZERO);
+            heap.push(Reverse((Weight::ZERO, node)));
+            while let Some(Reverse((dist, n))) = heap.pop() {
+                if !settled.insert(n) {
+                    continue;
+                }
+                if best.get(&n).is_some_and(|b| *b < dist) {
+                    continue;
+                }
+                stats.nodes_visited += 1;
+                let list = self.list_mut(n);
+                let before = list.len();
+                list.retain(|&(loc, _)| loc != node);
+                if list.len() == before {
+                    // Border node: its list does not contain the deleted
+                    // point, so nothing beyond it can either.
+                    continue;
+                }
+                stats.lists_changed += 1;
+                affected.push(n);
+                affected_set.insert(n);
+                topo.visit_neighbors(n, &mut |nb| {
+                    if settled.contains(&nb.node) {
+                        return;
+                    }
+                    let cand = dist + nb.weight;
+                    if best.get(&nb.node).map_or(true, |b| cand < *b) {
+                        best.insert(nb.node, cand);
+                        heap.push(Reverse((cand, nb.node)));
+                    }
+                });
+            }
+        }
+        if affected.is_empty() {
+            return stats;
+        }
+
+        // ---- Step 2: complete the affected lists with a restricted All-NN.
+        //
+        // Seeds: for every affected node, every entry currently stored by any
+        // of its neighbors (border nodes carry unchanged, correct lists;
+        // affected neighbors carry their remaining entries). Propagation then
+        // stays inside the affected region.
+        let mut heap: BinaryHeap<Reverse<(Weight, NodeId, NodeId)>> = BinaryHeap::new();
+        for &a in &affected {
+            topo.visit_neighbors(a, &mut |nb| {
+                let neighbor_list: Vec<KnnEntry> = self.knn_of_untracked(nb.node).to_vec();
+                // Reading the neighbor's list is a table access.
+                self.touch(nb.node);
+                for (loc, d) in neighbor_list {
+                    heap.push(Reverse((d + nb.weight, a, loc)));
+                }
+            });
+        }
+        while let Some(Reverse((dist, n, point_node))) = heap.pop() {
+            stats.nodes_visited += 1;
+            if !list_insert(self.list_mut(n), point_node, dist, capacity_k) {
+                continue;
+            }
+            topo.visit_neighbors(n, &mut |nb| {
+                if affected_set.contains(&nb.node) {
+                    heap.push(Reverse((dist + nb.weight, nb.node, point_node)));
+                }
+            });
+        }
+        debug_assert!(self.check_invariants());
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnn_graph::{Graph, GraphBuilder, NodePointSet, PointsOnNodes};
+
+    fn grid(side: usize) -> Graph {
+        let mut b = GraphBuilder::new(side * side);
+        for r in 0..side {
+            for c in 0..side {
+                let v = r * side + c;
+                if c + 1 < side {
+                    b.add_edge(v, v + 1, 1.0 + ((v * 7 % 5) as f64) * 0.31).unwrap();
+                }
+                if r + 1 < side {
+                    b.add_edge(v, v + side, 1.0 + ((v * 11 % 7) as f64) * 0.23).unwrap();
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    fn assert_tables_equal(a: &MaterializedKnn, b: &MaterializedKnn, context: &str) {
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        for i in 0..a.num_nodes() {
+            let n = NodeId::new(i);
+            let la = a.knn_of_untracked(n);
+            let lb = b.knn_of_untracked(n);
+            assert_eq!(la.len(), lb.len(), "{context}: node {n} lengths differ");
+            for (x, y) in la.iter().zip(lb.iter()) {
+                assert_eq!(x.0, y.0, "{context}: node {n} entries differ: {la:?} vs {lb:?}");
+                assert!(x.1.approx_eq(y.1, 1e-9), "{context}: node {n} distances differ");
+            }
+        }
+    }
+
+    #[test]
+    fn insertion_matches_rebuild() {
+        let g = grid(6);
+        let n = g.num_nodes();
+        let initial = NodePointSet::from_nodes(n, [4, 17, 22, 30].map(NodeId::new));
+        for k in [1usize, 2, 3] {
+            let mut incremental = MaterializedKnn::build(&g, &initial, k);
+            let mut points = initial.clone();
+            for &new_node in &[0usize, 35, 18] {
+                let stats = incremental.insert_point(&g, NodeId::new(new_node));
+                assert!(stats.nodes_visited > 0);
+                points = points.with_point_on(NodeId::new(new_node));
+                let rebuilt = MaterializedKnn::build(&g, &points, k);
+                assert_tables_equal(&incremental, &rebuilt, &format!("K={k} insert {new_node}"));
+            }
+        }
+    }
+
+    #[test]
+    fn deletion_matches_rebuild() {
+        let g = grid(6);
+        let n = g.num_nodes();
+        let initial = NodePointSet::from_nodes(n, [1, 7, 14, 20, 28, 33].map(NodeId::new));
+        for k in [1usize, 2, 3] {
+            let mut incremental = MaterializedKnn::build(&g, &initial, k);
+            let mut points = initial.clone();
+            for &victim in &[14usize, 33, 1] {
+                let stats = incremental.delete_point(&g, NodeId::new(victim));
+                assert!(stats.lists_changed > 0, "deleting a point must touch some lists");
+                points = points.without_point_on(NodeId::new(victim));
+                let rebuilt = MaterializedKnn::build(&g, &points, k);
+                assert_tables_equal(&incremental, &rebuilt, &format!("K={k} delete {victim}"));
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_update_sequence_matches_rebuild() {
+        let g = grid(5);
+        let n = g.num_nodes();
+        let mut points = NodePointSet::from_nodes(n, [2, 11, 19].map(NodeId::new));
+        let mut table = MaterializedKnn::build(&g, &points, 2);
+        let ops: [(bool, usize); 6] = [
+            (true, 6),
+            (false, 11),
+            (true, 23),
+            (true, 0),
+            (false, 2),
+            (false, 23),
+        ];
+        for (insert, node) in ops {
+            let node = NodeId::new(node);
+            if insert {
+                assert!(points.point_at(node).is_none());
+                table.insert_point(&g, node);
+                points = points.with_point_on(node);
+            } else {
+                assert!(points.point_at(node).is_some());
+                table.delete_point(&g, node);
+                points = points.without_point_on(node);
+            }
+            let rebuilt = MaterializedKnn::build(&g, &points, 2);
+            assert_tables_equal(&table, &rebuilt, &format!("after op on {node}"));
+        }
+    }
+
+    #[test]
+    fn insertion_far_from_other_points_only_touches_its_region() {
+        // Points clustered in one corner; inserting in the opposite corner of
+        // a large grid must not visit the whole graph when K=1 and the
+        // cluster is dense around every node... here the point is new NN for
+        // the empty corner, so lists do change, but the expansion must stop
+        // where the existing points are closer.
+        let g = grid(8);
+        let pts = NodePointSet::from_nodes(64, [0, 1, 8, 9].map(NodeId::new));
+        let mut table = MaterializedKnn::build(&g, &pts, 1);
+        let stats = table.insert_point(&g, NodeId::new(63));
+        assert!(stats.lists_changed > 0);
+        assert!(
+            stats.nodes_visited < 64,
+            "insertion expansion should stop at nodes owned by the old points"
+        );
+    }
+
+    #[test]
+    fn deleting_an_irrelevant_point_is_cheap() {
+        // With K=1 and a dense cluster, a far-away point appears in few lists.
+        let g = grid(8);
+        let pts = NodePointSet::from_nodes(64, [0, 1, 8, 9, 63].map(NodeId::new));
+        let mut table = MaterializedKnn::build(&g, &pts, 1);
+        let stats = table.delete_point(&g, NodeId::new(0));
+        // node 0's point is surrounded by the other cluster points, so only a
+        // handful of lists referenced it.
+        assert!(stats.lists_changed < 10, "changed {}", stats.lists_changed);
+        let rebuilt = MaterializedKnn::build(&g, &pts.without_point_on(NodeId::new(0)), 1);
+        assert_tables_equal(&table, &rebuilt, "delete corner point");
+    }
+}

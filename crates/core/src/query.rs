@@ -1,0 +1,118 @@
+//! Query results and per-query execution statistics.
+
+use rnn_graph::PointId;
+use serde::{Deserialize, Serialize};
+
+/// Counters describing how much work a query did.
+///
+/// These are *algorithmic* counters (heap operations, expanded nodes,
+/// auxiliary queries); the I/O page counters live in
+/// [`rnn_storage::IoStats`] and the wall-clock CPU time is measured by the
+/// benchmark harness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryStats {
+    /// Nodes settled (de-heaped with their final distance) by the main
+    /// expansion around the query.
+    pub nodes_settled: u64,
+    /// Entries pushed onto the main expansion heap.
+    pub heap_pushes: u64,
+    /// Range-NN queries issued (eager variants).
+    pub range_nn_queries: u64,
+    /// Verification queries issued.
+    pub verifications: u64,
+    /// Nodes settled by auxiliary expansions (range-NN, verification, and the
+    /// parallel heap of lazy-EP).
+    pub auxiliary_settled: u64,
+    /// Data points discovered as candidates.
+    pub candidates: u64,
+}
+
+impl QueryStats {
+    /// Sums another stats record into this one (used when aggregating a
+    /// workload of queries).
+    pub fn accumulate(&mut self, other: &QueryStats) {
+        self.nodes_settled += other.nodes_settled;
+        self.heap_pushes += other.heap_pushes;
+        self.range_nn_queries += other.range_nn_queries;
+        self.verifications += other.verifications;
+        self.auxiliary_settled += other.auxiliary_settled;
+        self.candidates += other.candidates;
+    }
+
+    /// Total settled nodes across the main and auxiliary expansions; a rough
+    /// CPU-work proxy that is deterministic across machines.
+    pub fn total_settled(&self) -> u64 {
+        self.nodes_settled + self.auxiliary_settled
+    }
+}
+
+/// The outcome of a reverse k-nearest-neighbor query.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RknnOutcome {
+    /// The reverse k nearest neighbors, sorted by point id.
+    pub points: Vec<PointId>,
+    /// Work counters for this query.
+    pub stats: QueryStats,
+}
+
+impl RknnOutcome {
+    /// Creates an outcome from an unsorted candidate list, sorting and
+    /// deduplicating the points.
+    pub fn from_points(mut points: Vec<PointId>, stats: QueryStats) -> Self {
+        points.sort_unstable();
+        points.dedup();
+        RknnOutcome { points, stats }
+    }
+
+    /// Number of reverse neighbors found.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if no reverse neighbors were found.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Returns `true` if `point` is part of the result.
+    pub fn contains(&self, point: PointId) -> bool {
+        self.points.binary_search(&point).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_sorts_and_dedups() {
+        let o = RknnOutcome::from_points(
+            vec![PointId::new(3), PointId::new(1), PointId::new(3)],
+            QueryStats::default(),
+        );
+        assert_eq!(o.points, vec![PointId::new(1), PointId::new(3)]);
+        assert_eq!(o.len(), 2);
+        assert!(!o.is_empty());
+        assert!(o.contains(PointId::new(3)));
+        assert!(!o.contains(PointId::new(2)));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut a = QueryStats {
+            nodes_settled: 1,
+            heap_pushes: 2,
+            range_nn_queries: 3,
+            verifications: 4,
+            auxiliary_settled: 5,
+            candidates: 6,
+        };
+        let b = a;
+        a.accumulate(&b);
+        assert_eq!(a.nodes_settled, 2);
+        assert_eq!(a.auxiliary_settled, 10);
+        assert_eq!(a.total_settled(), 12);
+        assert_eq!(RknnOutcome::default().len(), 0);
+        assert!(RknnOutcome::default().is_empty());
+    }
+}

@@ -1,0 +1,326 @@
+//! Verification queries.
+//!
+//! A verification query `verify(p, k, q)` checks whether the query location
+//! is among the k nearest neighbors of a candidate data point `p`; the paper
+//! implements it as a range-NN query around the node containing `p` whose
+//! range is implied by the distance at which `q` is encountered. A candidate
+//! `p` belongs to the RkNN result iff fewer than `k` *other* data points lie
+//! strictly closer to `p` than the query does.
+//!
+//! The same primitive, parameterized by a target predicate, also serves
+//! continuous queries (the target is *any* node of the route).
+
+use crate::expansion::NetworkExpansion;
+use rnn_graph::{NodeId, PointId, PointsOnNodes, Topology, Weight};
+
+/// Outcome of a verification query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Verification {
+    /// `true` if the candidate is a reverse k nearest neighbor.
+    pub accepted: bool,
+    /// Distance from the candidate to the (nearest) target node, when the
+    /// target was reached before the query could be rejected.
+    pub target_distance: Option<Weight>,
+    /// Nodes settled by the verification expansion.
+    pub settled: u64,
+    /// The nodes settled strictly before the target, with their distances
+    /// from the candidate. The lazy algorithm uses these for its
+    /// counter-based pruning; other callers can ignore them (the vector is
+    /// only populated when `collect_visited` is set).
+    pub visited: Vec<(NodeId, Weight)>,
+}
+
+/// Parameters of [`verify_candidate`].
+#[derive(Clone, Copy, Debug)]
+pub struct VerifyParams {
+    /// The `k` of the RkNN query.
+    pub k: usize,
+    /// Whether to collect the nodes settled strictly before the target
+    /// (needed by the lazy algorithm's pruning side effects).
+    pub collect_visited: bool,
+}
+
+/// Verifies whether the candidate point residing on `candidate_node` is a
+/// reverse k nearest neighbor of the target location.
+///
+/// `is_target(n)` must return `true` exactly for the node(s) representing the
+/// query location (a single node for plain queries, every route node for
+/// continuous queries). `candidate` is the candidate point itself, which is
+/// never counted as "another point".
+pub fn verify_candidate<T, P, F>(
+    topo: &T,
+    points: &P,
+    candidate: PointId,
+    candidate_node: NodeId,
+    is_target: F,
+    params: VerifyParams,
+) -> Verification
+where
+    T: Topology + ?Sized,
+    P: PointsOnNodes + ?Sized,
+    F: Fn(NodeId) -> bool,
+{
+    let k = params.k;
+    debug_assert!(k >= 1, "RkNN queries require k >= 1");
+    let mut exp = NetworkExpansion::new(topo, candidate_node);
+    // Distances of the other data points discovered so far (ascending because
+    // nodes settle in distance order).
+    let mut other_points: Vec<Weight> = Vec::new();
+    let mut visited = Vec::new();
+
+    while let Some((node, dist)) = exp.next_settled() {
+        if is_target(node) {
+            // The target is reached at distance `dist`; the candidate is a
+            // reverse neighbor iff fewer than k other points are strictly
+            // closer.
+            let strictly_closer = other_points.iter().filter(|&&d| d < dist).count();
+            let accepted = strictly_closer < k;
+            if params.collect_visited {
+                // Only nodes strictly closer to the candidate than the target
+                // participate in Lemma-1 pruning.
+                visited.retain(|&(_, d)| d < dist);
+            }
+            return Verification {
+                accepted,
+                target_distance: Some(dist),
+                settled: exp.settled_count(),
+                visited,
+            };
+        }
+        if params.collect_visited {
+            visited.push((node, dist));
+        }
+        if let Some(p) = points.point_at(node) {
+            if p != candidate {
+                other_points.push(dist);
+                // Early rejection: once k other points have been settled and
+                // the expansion frontier has moved strictly past the k-th of
+                // them, any target found later is strictly farther than k
+                // other points.
+                if other_points.len() >= k && dist > other_points[k - 1] {
+                    return Verification {
+                        accepted: false,
+                        target_distance: None,
+                        settled: exp.settled_count(),
+                        visited: if params.collect_visited { visited } else { Vec::new() },
+                    };
+                }
+            }
+        }
+        // Early rejection also triggers on later (point-free) nodes once the
+        // frontier passes the k-th other point.
+        if other_points.len() >= k && dist > other_points[k - 1] {
+            return Verification {
+                accepted: false,
+                target_distance: None,
+                settled: exp.settled_count(),
+                visited: if params.collect_visited { visited } else { Vec::new() },
+            };
+        }
+    }
+
+    // The target is unreachable from the candidate: it cannot be one of its
+    // k nearest neighbors.
+    Verification {
+        accepted: false,
+        target_distance: None,
+        settled: exp.settled_count(),
+        visited,
+    }
+}
+
+/// Counts data points other than `exclude` with distance strictly smaller
+/// than `bound` from `source`, stopping early once `limit` such points have
+/// been found. Used by the naive baseline.
+pub fn count_points_strictly_within<T, P>(
+    topo: &T,
+    points: &P,
+    source: NodeId,
+    exclude: Option<PointId>,
+    bound: Weight,
+    limit: usize,
+) -> usize
+where
+    T: Topology + ?Sized,
+    P: PointsOnNodes + ?Sized,
+{
+    if limit == 0 || bound == Weight::ZERO {
+        return 0;
+    }
+    let mut exp = NetworkExpansion::new(topo, source);
+    let mut count = 0;
+    while let Some((node, dist)) = exp.next_settled() {
+        if dist >= bound {
+            break;
+        }
+        if let Some(p) = points.point_at(node) {
+            if Some(p) != exclude {
+                count += 1;
+                if count >= limit {
+                    break;
+                }
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnn_graph::{Graph, GraphBuilder, NodePointSet};
+
+    /// 0 -1- 1 -1- 2 -1- 3 -1- 4 ; points on 0, 2, 4.
+    fn line() -> (Graph, NodePointSet) {
+        let mut b = GraphBuilder::new(5);
+        for i in 0..4 {
+            b.add_edge(i, i + 1, 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let pts = NodePointSet::from_nodes(5, [NodeId::new(0), NodeId::new(2), NodeId::new(4)]);
+        (g, pts)
+    }
+
+    fn params(k: usize) -> VerifyParams {
+        VerifyParams { k, collect_visited: false }
+    }
+
+    #[test]
+    fn accepts_when_query_is_nearest() {
+        let (g, pts) = line();
+        // candidate = point on node 0; query at node 1 (distance 1); the
+        // nearest other point (node 2) is at distance 2 -> accepted for k=1.
+        let p0 = pts.point_at(NodeId::new(0)).unwrap();
+        let v = verify_candidate(&g, &pts, p0, NodeId::new(0), |n| n == NodeId::new(1), params(1));
+        assert!(v.accepted);
+        assert_eq!(v.target_distance.unwrap().value(), 1.0);
+    }
+
+    #[test]
+    fn rejects_when_another_point_is_strictly_closer() {
+        let (g, pts) = line();
+        // candidate = point on node 2; query at node 4 is at distance 2, but
+        // points on 0 and 4... point on 4 IS the query location here; use
+        // query at node 3 (distance 1): nothing is strictly closer -> accept;
+        // then query at node 4 (distance 2): point on node 0 is at distance 2
+        // (not strictly closer), point on node 4 is the target itself -> accept.
+        let p2 = pts.point_at(NodeId::new(2)).unwrap();
+        let v = verify_candidate(&g, &pts, p2, NodeId::new(2), |n| n == NodeId::new(3), params(1));
+        assert!(v.accepted);
+
+        // query at node 1: point on node 0 is at distance 2 == d(p2, n1)?
+        // d(p2, n1) = 1, so nothing closer -> accept.
+        let v = verify_candidate(&g, &pts, p2, NodeId::new(2), |n| n == NodeId::new(1), params(1));
+        assert!(v.accepted);
+
+        // candidate = point on node 4, query at node 1 (distance 3): the
+        // point on node 2 is strictly closer (distance 2) -> reject for k=1,
+        // accept for k=2.
+        let p4 = pts.point_at(NodeId::new(4)).unwrap();
+        let v = verify_candidate(&g, &pts, p4, NodeId::new(4), |n| n == NodeId::new(1), params(1));
+        assert!(!v.accepted);
+        let v = verify_candidate(&g, &pts, p4, NodeId::new(4), |n| n == NodeId::new(1), params(2));
+        assert!(v.accepted);
+    }
+
+    #[test]
+    fn ties_do_not_disqualify() {
+        // candidate p on node 2; another point at distance exactly equal to
+        // the query distance must not reject the candidate.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 2.0).unwrap(); // other point side
+        b.add_edge(1, 2, 2.0).unwrap(); // not used
+        b.add_edge(1, 3, 2.0).unwrap(); // query side
+        let g = b.build().unwrap();
+        // candidate on node 1, other point on node 0 (distance 2), query node 3 (distance 2)
+        let pts = NodePointSet::from_nodes(4, [NodeId::new(0), NodeId::new(1)]);
+        let cand = pts.point_at(NodeId::new(1)).unwrap();
+        let v = verify_candidate(&g, &pts, cand, NodeId::new(1), |n| n == NodeId::new(3), params(1));
+        assert!(v.accepted, "a tie with another point must not disqualify the candidate");
+    }
+
+    #[test]
+    fn unreachable_target_is_rejected() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1.0).unwrap();
+        b.add_edge(2, 3, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let pts = NodePointSet::from_nodes(4, [NodeId::new(0)]);
+        let p = pts.point_at(NodeId::new(0)).unwrap();
+        let v = verify_candidate(&g, &pts, p, NodeId::new(0), |n| n == NodeId::new(3), params(1));
+        assert!(!v.accepted);
+        assert_eq!(v.target_distance, None);
+    }
+
+    #[test]
+    fn early_rejection_does_not_scan_the_whole_graph() {
+        // long path with many points between candidate and a far query
+        let n = 50;
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_edge(i, i + 1, 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let pts = NodePointSet::from_nodes(n, (0..n).step_by(2).map(NodeId::new));
+        let cand = pts.point_at(NodeId::new(0)).unwrap();
+        let v = verify_candidate(
+            &g,
+            &pts,
+            cand,
+            NodeId::new(0),
+            |m| m == NodeId::new((n - 1) as usize),
+            params(1),
+        );
+        assert!(!v.accepted);
+        assert!(
+            v.settled < 10,
+            "early termination should settle a handful of nodes, settled {}",
+            v.settled
+        );
+    }
+
+    #[test]
+    fn collect_visited_returns_only_nodes_strictly_before_target() {
+        let (g, pts) = line();
+        let p0 = pts.point_at(NodeId::new(0)).unwrap();
+        let v = verify_candidate(
+            &g,
+            &pts,
+            p0,
+            NodeId::new(0),
+            |n| n == NodeId::new(2),
+            VerifyParams { k: 2, collect_visited: true },
+        );
+        assert!(v.accepted);
+        let visited_nodes: Vec<usize> = v.visited.iter().map(|(n, _)| n.index()).collect();
+        assert_eq!(visited_nodes, vec![0, 1]);
+    }
+
+    #[test]
+    fn count_points_strictly_within_respects_bound_and_limit() {
+        let (g, pts) = line();
+        // from node 2: points at distances 0 (itself), 2 (node 0), 2 (node 4)
+        let p2 = pts.point_at(NodeId::new(2)).unwrap();
+        assert_eq!(
+            count_points_strictly_within(&g, &pts, NodeId::new(2), Some(p2), Weight::new(2.0), 10),
+            0
+        );
+        assert_eq!(
+            count_points_strictly_within(&g, &pts, NodeId::new(2), Some(p2), Weight::new(2.5), 10),
+            2
+        );
+        assert_eq!(
+            count_points_strictly_within(&g, &pts, NodeId::new(2), Some(p2), Weight::new(2.5), 1),
+            1
+        );
+        assert_eq!(
+            count_points_strictly_within(&g, &pts, NodeId::new(2), None, Weight::new(0.5), 10),
+            1,
+            "the candidate's own node counts when not excluded"
+        );
+        assert_eq!(
+            count_points_strictly_within(&g, &pts, NodeId::new(2), None, Weight::ZERO, 10),
+            0
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! BRITE-like internet topologies.
+//!
+//! The paper generates P2P overlay graphs with the BRITE topology generator,
+//! configured for an average degree of 4. BRITE's default router-level model
+//! is Barabási–Albert preferential attachment, whose defining property for
+//! the RNN experiments is *exponential expansion*: the number of nodes within
+//! `h` hops grows exponentially with `h`, so an unpruned network expansion
+//! quickly touches the entire graph. This generator reproduces exactly that:
+//! each new node attaches to `m = 2` existing nodes chosen preferentially by
+//! degree (average degree ≈ 4), with light random edge weights.
+
+use crate::rng;
+use rand::Rng;
+use rnn_graph::{Graph, GraphBuilder};
+
+/// Configuration of the BRITE-like generator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BriteConfig {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Edges added per new node (BRITE's `m`; average degree is `2m`).
+    pub edges_per_node: usize,
+    /// Inclusive range of edge weights (e.g. latency); the paper effectively
+    /// uses unit-ish weights in the P2P scenario.
+    pub weight_range: (f64, f64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BriteConfig {
+    fn default() -> Self {
+        BriteConfig {
+            num_nodes: 10_000,
+            edges_per_node: 2,
+            // Light jitter around 1 (e.g. per-link latency). Keeping the
+            // weights continuous avoids the massive distance ties a pure
+            // hop-count metric would create, which would weaken the strict
+            // Lemma-1 pruning for *every* algorithm; the paper's BRITE
+            // topologies likewise carry non-uniform link costs.
+            weight_range: (0.5, 1.5),
+            seed: 7,
+        }
+    }
+}
+
+/// Generates a preferential-attachment topology with the given
+/// configuration. The result is always connected.
+pub fn brite_topology(config: &BriteConfig) -> Graph {
+    let n = config.num_nodes;
+    let m = config.edges_per_node.max(1);
+    let mut rand = rng(config.seed);
+    let mut builder = GraphBuilder::with_edge_capacity(n, n * m);
+    if n == 0 {
+        return builder.build().expect("empty graph");
+    }
+
+    // Repeated-endpoints list: node i appears once per incident edge, which
+    // makes degree-proportional sampling O(1).
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m);
+
+    // Seed clique over the first m+1 nodes (or a single node for tiny n).
+    let seed_size = (m + 1).min(n);
+    for a in 0..seed_size {
+        for b in (a + 1)..seed_size {
+            builder
+                .add_edge(a, b, sample_weight(&mut rand, config.weight_range))
+                .expect("seed edges are valid");
+            endpoints.push(a as u32);
+            endpoints.push(b as u32);
+        }
+    }
+
+    for v in seed_size..n {
+        let mut chosen: Vec<u32> = Vec::with_capacity(m);
+        let mut guard = 0;
+        while chosen.len() < m.min(v) && guard < 50 * m {
+            guard += 1;
+            let target = if endpoints.is_empty() {
+                rand.gen_range(0..v) as u32
+            } else {
+                endpoints[rand.gen_range(0..endpoints.len())]
+            };
+            if target as usize != v && !chosen.contains(&target) {
+                chosen.push(target);
+            }
+        }
+        if chosen.is_empty() {
+            chosen.push(rand.gen_range(0..v) as u32);
+        }
+        for &t in &chosen {
+            builder
+                .add_edge(v, t as usize, sample_weight(&mut rand, config.weight_range))
+                .expect("preferential edges are valid");
+            endpoints.push(v as u32);
+            endpoints.push(t);
+        }
+    }
+
+    builder.build().expect("generated topology is valid")
+}
+
+fn sample_weight<R: Rng>(rand: &mut R, range: (f64, f64)) -> f64 {
+    if range.0 >= range.1 {
+        range.0
+    } else {
+        rand.gen_range(range.0..=range.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnn_graph::{is_connected, GraphStats};
+
+    #[test]
+    fn average_degree_is_close_to_two_m() {
+        let g = brite_topology(&BriteConfig { num_nodes: 5_000, ..Default::default() });
+        let stats = GraphStats::compute(&g);
+        assert_eq!(stats.num_nodes, 5_000);
+        assert!(
+            (stats.average_degree - 4.0).abs() < 0.3,
+            "average degree {} should be about 4",
+            stats.average_degree
+        );
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let g = brite_topology(&BriteConfig { num_nodes: 5_000, ..Default::default() });
+        let stats = GraphStats::compute(&g);
+        // preferential attachment produces hubs far above the average degree
+        assert!(stats.max_degree > 40, "max degree {} too small for a scale-free graph", stats.max_degree);
+        assert!(stats.min_degree >= 1);
+    }
+
+    #[test]
+    fn expansion_is_exponential() {
+        // the number of nodes within h hops of a random node must blow up
+        let g = brite_topology(&BriteConfig { num_nodes: 20_000, ..Default::default() });
+        let mut frontier = vec![rnn_graph::NodeId::new(123)];
+        let mut seen = vec![false; g.num_nodes()];
+        seen[123] = true;
+        let mut within = vec![1usize];
+        for _ in 0..4 {
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for nb in g.neighbors(v) {
+                    if !seen[nb.node.index()] {
+                        seen[nb.node.index()] = true;
+                        next.push(nb.node);
+                    }
+                }
+            }
+            within.push(within.last().unwrap() + next.len());
+            frontier = next;
+        }
+        // after 4 hops a large fraction of a 20K-node graph is reached
+        assert!(
+            *within.last().unwrap() > g.num_nodes() / 20,
+            "only {} nodes within 4 hops",
+            within.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn deterministic_for_a_seed_and_sensitive_to_it() {
+        let a = brite_topology(&BriteConfig { num_nodes: 1_000, ..Default::default() });
+        let b = brite_topology(&BriteConfig { num_nodes: 1_000, ..Default::default() });
+        assert_eq!(a, b);
+        let c = brite_topology(&BriteConfig { num_nodes: 1_000, seed: 8, ..Default::default() });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn weight_range_is_respected_and_small_graphs_work() {
+        let g = brite_topology(&BriteConfig {
+            num_nodes: 50,
+            edges_per_node: 2,
+            weight_range: (0.5, 2.5),
+            seed: 3,
+        });
+        let stats = GraphStats::compute(&g);
+        assert!(stats.min_weight >= 0.5 && stats.max_weight <= 2.5);
+        let tiny = brite_topology(&BriteConfig { num_nodes: 1, ..Default::default() });
+        assert_eq!(tiny.num_nodes(), 1);
+        let empty = brite_topology(&BriteConfig { num_nodes: 0, ..Default::default() });
+        assert_eq!(empty.num_nodes(), 0);
+    }
+}

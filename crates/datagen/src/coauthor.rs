@@ -1,0 +1,195 @@
+//! DBLP-like coauthorship graphs.
+//!
+//! The paper's first experiment uses the coauthorship graph of authors that
+//! published in SIGMOD, VLDB, ICDE or PODS: 4,260 nodes, 13,199 edges, unit
+//! edge weights (so network distance is the *degree of separation*), and an
+//! ad hoc predicate on the number of SIGMOD papers per author. This generator
+//! reproduces the structural ingredients the experiment relies on:
+//!
+//! * papers are generated as small author cliques whose participants are
+//!   chosen preferentially (prolific authors keep publishing), giving the
+//!   heavy-tailed degree / publication-count distributions of real
+//!   collaboration networks;
+//! * all edge weights are 1;
+//! * every author carries a `sigmod_papers` count with a Zipf-like skew, so
+//!   predicates like "at least two SIGMOD papers" have the same qualitative
+//!   selectivities (most authors have 0) as in the paper's Table 1.
+
+use crate::rng;
+use rand::Rng;
+use rnn_graph::{largest_connected_component, Graph, GraphBuilder, NodeId, NodePointSet};
+
+/// Configuration of the coauthorship generator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoauthorConfig {
+    /// Number of authors before cleaning (the paper's graph has 4,260 after
+    /// cleaning).
+    pub num_authors: usize,
+    /// Number of generated papers.
+    pub num_papers: usize,
+    /// Maximum number of coauthors per paper (papers have 2..=max authors).
+    pub max_authors_per_paper: usize,
+    /// Fraction of papers that count as SIGMOD papers.
+    pub sigmod_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CoauthorConfig {
+    fn default() -> Self {
+        CoauthorConfig {
+            num_authors: 4_400,
+            num_papers: 5_200,
+            max_authors_per_paper: 4,
+            sigmod_fraction: 0.25,
+            seed: 13,
+        }
+    }
+}
+
+/// A generated coauthorship graph: the (cleaned) collaboration network plus
+/// the per-author SIGMOD paper counts.
+#[derive(Clone, Debug)]
+pub struct CoauthorGraph {
+    /// The collaboration network (largest connected component, unit weights).
+    pub graph: Graph,
+    /// Number of SIGMOD papers of each author (indexed by node id).
+    pub sigmod_papers: Vec<u32>,
+}
+
+impl CoauthorGraph {
+    /// The ad hoc data set "authors with at least `threshold` SIGMOD papers",
+    /// as used by the paper's Table 1.
+    pub fn authors_with_at_least(&self, threshold: u32) -> NodePointSet {
+        NodePointSet::from_predicate(self.graph.num_nodes(), |n| {
+            self.sigmod_papers[n.index()] >= threshold
+        })
+    }
+
+    /// Selectivity (fraction of authors) of the "at least `threshold` SIGMOD
+    /// papers" predicate.
+    pub fn selectivity(&self, threshold: u32) -> f64 {
+        if self.sigmod_papers.is_empty() {
+            return 0.0;
+        }
+        self.sigmod_papers.iter().filter(|&&c| c >= threshold).count() as f64
+            / self.sigmod_papers.len() as f64
+    }
+}
+
+/// Generates a DBLP-like coauthorship graph.
+pub fn coauthorship_graph(config: &CoauthorConfig) -> CoauthorGraph {
+    let mut rand = rng(config.seed);
+    let n = config.num_authors.max(2);
+    let mut builder = GraphBuilder::with_edge_capacity(n, config.num_papers * 3);
+    let mut sigmod = vec![0u32; n];
+
+    // Preferential pool: authors gain weight with every paper they appear in.
+    let mut pool: Vec<u32> = (0..n as u32).collect();
+
+    for _ in 0..config.num_papers {
+        let team_size = 2 + rand.gen_range(0..config.max_authors_per_paper.max(2) - 1);
+        let mut team: Vec<u32> = Vec::with_capacity(team_size);
+        let mut guard = 0;
+        while team.len() < team_size && guard < 20 * team_size {
+            guard += 1;
+            // 70% preferential pick, 30% uniform newcomer pick.
+            let author = if rand.gen::<f64>() < 0.7 {
+                pool[rand.gen_range(0..pool.len())]
+            } else {
+                rand.gen_range(0..n as u32)
+            };
+            if !team.contains(&author) {
+                team.push(author);
+            }
+        }
+        let is_sigmod = rand.gen::<f64>() < config.sigmod_fraction;
+        for (i, &a) in team.iter().enumerate() {
+            if is_sigmod {
+                sigmod[a as usize] += 1;
+            }
+            pool.push(a);
+            for &b in &team[i + 1..] {
+                if !builder.has_edge(a as usize, b as usize) {
+                    builder.add_edge(a as usize, b as usize, 1.0).expect("coauthor edge");
+                }
+            }
+        }
+    }
+
+    let raw = builder.build().expect("coauthorship graph is valid");
+    let (graph, mapping) = largest_connected_component(&raw);
+    let sigmod_papers = mapping.iter().map(|old: &NodeId| sigmod[old.index()]).collect();
+    CoauthorGraph { graph, sigmod_papers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnn_graph::{is_connected, GraphStats, PointsOnNodes};
+
+    #[test]
+    fn default_size_is_close_to_the_dblp_graph() {
+        let co = coauthorship_graph(&CoauthorConfig::default());
+        let stats = GraphStats::compute(&co.graph);
+        // paper: 4,260 nodes and 13,199 edges after cleaning
+        assert!(
+            (3_400..=4_400).contains(&stats.num_nodes),
+            "nodes {} not in the DBLP ballpark",
+            stats.num_nodes
+        );
+        let ratio = stats.num_edges as f64 / stats.num_nodes as f64;
+        assert!(
+            (2.0..=4.5).contains(&ratio),
+            "edges per node {ratio} should be near DBLP's 3.1"
+        );
+        assert!(is_connected(&co.graph));
+        assert_eq!(stats.min_weight, 1.0);
+        assert_eq!(stats.max_weight, 1.0);
+    }
+
+    #[test]
+    fn selectivity_decreases_with_the_threshold() {
+        let co = coauthorship_graph(&CoauthorConfig::default());
+        let s1 = co.selectivity(1);
+        let s2 = co.selectivity(2);
+        let s5 = co.selectivity(5);
+        assert!(s1 > s2 && s2 > s5, "selectivities must decrease: {s1} {s2} {s5}");
+        assert!(s1 < 0.8, "most authors have no SIGMOD papers");
+        assert!(s5 > 0.0, "a few prolific authors exist");
+    }
+
+    #[test]
+    fn predicate_point_sets_match_the_counts() {
+        let co = coauthorship_graph(&CoauthorConfig {
+            num_authors: 800,
+            num_papers: 900,
+            ..Default::default()
+        });
+        for threshold in [1u32, 2, 3] {
+            let set = co.authors_with_at_least(threshold);
+            let expected = co
+                .sigmod_papers
+                .iter()
+                .filter(|&&c| c >= threshold)
+                .count();
+            assert_eq!(set.num_points(), expected, "threshold {threshold}");
+        }
+    }
+
+    #[test]
+    fn collaboration_network_has_hubs() {
+        let co = coauthorship_graph(&CoauthorConfig::default());
+        let stats = GraphStats::compute(&co.graph);
+        assert!(stats.max_degree > 20, "expected prolific hub authors, max degree {}", stats.max_degree);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = CoauthorConfig { num_authors: 500, num_papers: 600, ..Default::default() };
+        let a = coauthorship_graph(&cfg);
+        let b = coauthorship_graph(&cfg);
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.sigmod_papers, b.sigmod_papers);
+    }
+}

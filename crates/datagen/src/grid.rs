@@ -1,0 +1,184 @@
+//! Synthetic grid maps (used by Fig. 20 of the paper).
+//!
+//! "The standard grid map has an average degree of 4. To generate maps with
+//! higher degree, new edges are randomly added between nearby nodes." This
+//! generator builds a `rows × cols` grid with mildly jittered weights and
+//! then adds random short-range diagonal/skip edges until the requested
+//! average degree is reached.
+
+use crate::rng;
+use rand::Rng;
+use rnn_graph::{Graph, GraphBuilder};
+
+/// Configuration of the grid map generator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GridConfig {
+    /// Number of grid rows.
+    pub rows: usize,
+    /// Number of grid columns.
+    pub cols: usize,
+    /// Target average degree (>= 4; the plain grid gives ~4).
+    pub average_degree: f64,
+    /// Base edge weight; actual weights are jittered by ±20%.
+    pub base_weight: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        GridConfig { rows: 100, cols: 100, average_degree: 4.0, base_weight: 1.0, seed: 11 }
+    }
+}
+
+impl GridConfig {
+    /// A roughly square grid with the given number of nodes and degree.
+    pub fn with_nodes(num_nodes: usize, average_degree: f64, seed: u64) -> Self {
+        let side = (num_nodes as f64).sqrt().round().max(1.0) as usize;
+        GridConfig {
+            rows: side,
+            cols: num_nodes.div_ceil(side),
+            average_degree,
+            base_weight: 1.0,
+            seed,
+        }
+    }
+}
+
+/// Generates a grid map.
+pub fn grid_map(config: &GridConfig) -> Graph {
+    let rows = config.rows;
+    let cols = config.cols;
+    let n = rows * cols;
+    let mut rand = rng(config.seed);
+    let mut builder = GraphBuilder::with_edge_capacity(n, (n as f64 * config.average_degree / 2.0) as usize + 4);
+
+    let index = |r: usize, c: usize| r * cols + c;
+    let jitter = |rand: &mut rand_chacha::ChaCha8Rng| {
+        config.base_weight * (0.8 + 0.4 * rand.gen::<f64>())
+    };
+
+    // Dedup set so that adding extra edges stays O(1) per attempt even for
+    // paper-scale grids (hundreds of thousands of nodes).
+    let mut present: std::collections::HashSet<(usize, usize)> =
+        std::collections::HashSet::with_capacity(2 * n);
+    let remember = |a: usize, b: usize, present: &mut std::collections::HashSet<(usize, usize)>| {
+        present.insert(if a < b { (a, b) } else { (b, a) })
+    };
+
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                let w = jitter(&mut rand);
+                builder.add_edge(index(r, c), index(r, c + 1), w).expect("grid edge");
+                remember(index(r, c), index(r, c + 1), &mut present);
+            }
+            if r + 1 < rows {
+                let w = jitter(&mut rand);
+                builder.add_edge(index(r, c), index(r + 1, c), w).expect("grid edge");
+                remember(index(r, c), index(r + 1, c), &mut present);
+            }
+        }
+    }
+
+    // Extra short-range edges until the requested degree is reached.
+    let target_edges = (n as f64 * config.average_degree / 2.0) as usize;
+    let mut guard = 0usize;
+    while builder.num_edges() < target_edges && guard < 20 * target_edges && n > 1 {
+        guard += 1;
+        let r = rand.gen_range(0..rows);
+        let c = rand.gen_range(0..cols);
+        // pick a nearby node within a 2-cell window
+        let dr = rand.gen_range(0..=2usize);
+        let dc = rand.gen_range(0..=2usize);
+        if dr == 0 && dc == 0 {
+            continue;
+        }
+        let r2 = (r + dr).min(rows - 1);
+        let c2 = (c + dc).min(cols - 1);
+        let (a, b) = (index(r, c), index(r2, c2));
+        if a == b || !remember(a, b, &mut present) {
+            continue;
+        }
+        let w = config.base_weight
+            * (((dr * dr + dc * dc) as f64).sqrt())
+            * (0.9 + 0.2 * rand.gen::<f64>());
+        builder.add_edge(a, b, w).expect("extra grid edge");
+    }
+
+    builder.build().expect("grid map is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnn_graph::{is_connected, GraphStats};
+
+    #[test]
+    fn plain_grid_has_degree_about_four() {
+        let g = grid_map(&GridConfig { rows: 40, cols: 40, ..Default::default() });
+        let stats = GraphStats::compute(&g);
+        assert_eq!(stats.num_nodes, 1600);
+        assert!((stats.average_degree - 3.9).abs() < 0.3, "avg degree {}", stats.average_degree);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn higher_degree_targets_are_met() {
+        for target in [5.0, 6.0, 7.0] {
+            let g = grid_map(&GridConfig {
+                rows: 30,
+                cols: 30,
+                average_degree: target,
+                ..Default::default()
+            });
+            let stats = GraphStats::compute(&g);
+            assert!(
+                (stats.average_degree - target).abs() < 0.4,
+                "requested degree {target}, got {}",
+                stats.average_degree
+            );
+            assert!(is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn with_nodes_constructor_hits_the_requested_cardinality() {
+        let cfg = GridConfig::with_nodes(5000, 4.0, 1);
+        let g = grid_map(&cfg);
+        let n = g.num_nodes() as f64;
+        assert!((n - 5000.0).abs() / 5000.0 < 0.05, "nodes {}", g.num_nodes());
+    }
+
+    #[test]
+    fn no_exponential_expansion() {
+        // grids expand polynomially: nodes within h hops grow like h^2
+        let g = grid_map(&GridConfig { rows: 60, cols: 60, ..Default::default() });
+        let start = rnn_graph::NodeId::new(30 * 60 + 30);
+        let mut frontier = vec![start];
+        let mut seen = vec![false; g.num_nodes()];
+        seen[start.index()] = true;
+        let mut total = 1usize;
+        for _ in 0..5 {
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for nb in g.neighbors(v) {
+                    if !seen[nb.node.index()] {
+                        seen[nb.node.index()] = true;
+                        next.push(nb.node);
+                    }
+                }
+            }
+            total += next.len();
+            frontier = next;
+        }
+        assert!(total < 120, "a grid must not expand exponentially, reached {total}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = grid_map(&GridConfig { rows: 10, cols: 10, average_degree: 5.0, ..Default::default() });
+        let b = grid_map(&GridConfig { rows: 10, cols: 10, average_degree: 5.0, ..Default::default() });
+        assert_eq!(a, b);
+    }
+}

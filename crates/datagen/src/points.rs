@@ -1,0 +1,108 @@
+//! Data point placement.
+//!
+//! The experiments control the data density `D = |P| / |V|`: points are
+//! located at random network nodes (restricted networks) or distributed
+//! randomly on the edges (unrestricted networks). The paper caps `D` at 0.1
+//! so that queries remain meaningful.
+
+use crate::rng;
+use rand::seq::index::sample;
+use rand::Rng;
+use rnn_graph::{EdgePointSet, EdgePointSetBuilder, Graph, NodeId, NodePointSet};
+
+/// Places `⌊density · |V|⌋` data points on distinct random nodes.
+pub fn place_points_on_nodes(graph: &Graph, density: f64, seed: u64) -> NodePointSet {
+    let n = graph.num_nodes();
+    let count = ((n as f64) * density).round() as usize;
+    let count = count.min(n);
+    if count == 0 {
+        return NodePointSet::empty(n);
+    }
+    let mut rand = rng(seed);
+    let chosen = sample(&mut rand, n, count);
+    NodePointSet::from_nodes(n, chosen.into_iter().map(NodeId::new))
+}
+
+/// Places `⌊density · |V|⌋` data points at random positions on random edges
+/// (the unrestricted setting). Offsets are drawn strictly inside the edge so
+/// the instance can also be transformed to a restricted one.
+pub fn place_points_on_edges(graph: &Graph, density: f64, seed: u64) -> EdgePointSet {
+    let count = ((graph.num_nodes() as f64) * density).round() as usize;
+    let mut rand = rng(seed);
+    let mut builder = EdgePointSetBuilder::new(graph);
+    if graph.num_edges() == 0 {
+        return builder.build();
+    }
+    let mut guard = 0;
+    while builder.len() < count && guard < 20 * count + 100 {
+        guard += 1;
+        let edge = rnn_graph::EdgeId::new(rand.gen_range(0..graph.num_edges()));
+        let w = graph.edge_weight(edge).value();
+        // strictly interior offset
+        let offset = w * (0.05 + 0.9 * rand.gen::<f64>());
+        if builder.add_point(edge, offset).is_err() {
+            continue;
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{grid_map, GridConfig};
+    use rnn_graph::PointsOnNodes;
+
+    fn graph() -> Graph {
+        grid_map(&GridConfig { rows: 30, cols: 30, ..Default::default() })
+    }
+
+    #[test]
+    fn node_placement_hits_the_requested_density() {
+        let g = graph();
+        for density in [0.0, 0.01, 0.05, 0.1] {
+            let pts = place_points_on_nodes(&g, density, 3);
+            let expected = ((g.num_nodes() as f64) * density).round() as usize;
+            assert_eq!(pts.num_points(), expected, "density {density}");
+            assert!((pts.density() - density).abs() < 2.0 / g.num_nodes() as f64);
+        }
+    }
+
+    #[test]
+    fn node_placement_is_deterministic_and_distinct() {
+        let g = graph();
+        let a = place_points_on_nodes(&g, 0.05, 9);
+        let b = place_points_on_nodes(&g, 0.05, 9);
+        assert_eq!(a, b);
+        let c = place_points_on_nodes(&g, 0.05, 10);
+        assert_ne!(a, c);
+        // all nodes distinct by construction of NodePointSet
+        assert_eq!(a.num_points(), a.nodes().len());
+    }
+
+    #[test]
+    fn edge_placement_hits_the_requested_density_with_interior_offsets() {
+        let g = graph();
+        let pts = place_points_on_edges(&g, 0.05, 21);
+        let expected = ((g.num_nodes() as f64) * 0.05).round() as usize;
+        assert_eq!(pts.num_points(), expected);
+        for (_, loc) in pts.iter() {
+            let w = g.edge_weight(loc.edge).value();
+            assert!(loc.offset.value() > 0.0 && loc.offset.value() < w);
+        }
+    }
+
+    #[test]
+    fn full_density_covers_every_node() {
+        let g = graph();
+        let pts = place_points_on_nodes(&g, 1.0, 4);
+        assert_eq!(pts.num_points(), g.num_nodes());
+    }
+
+    #[test]
+    fn zero_density_gives_empty_sets() {
+        let g = graph();
+        assert!(place_points_on_nodes(&g, 0.0, 1).is_empty());
+        assert!(place_points_on_edges(&g, 0.0, 1).is_empty());
+    }
+}

@@ -1,0 +1,188 @@
+//! San-Francisco-like spatial road networks.
+//!
+//! The paper's unrestricted experiments use the San Francisco map of the
+//! Digital Chart of the World: 174,956 nodes, 223,001 edges (≈ 1.27 edges per
+//! node), coordinates normalized to `[0, 10000]²` and edge weights equal to
+//! the Euclidean distance between the connected nodes. The defining
+//! characteristics for the experiments are (a) near-planarity — expansions
+//! grow polynomially, not exponentially — and (b) weights that reflect an
+//! underlying geometric embedding.
+//!
+//! This generator reproduces those characteristics: nodes are placed on a
+//! jittered grid inside `[0, 10000]²`, connected to their grid neighbors with
+//! Euclidean weights, and then edges and nodes are randomly thinned until the
+//! requested edge/node ratio is reached (road networks are sparser than full
+//! grids because of rivers, parks and dead ends). The largest connected
+//! component is returned, mirroring the paper's "cleaning" step.
+
+use crate::rng;
+use rand::Rng;
+use rnn_graph::{largest_connected_component, Graph, GraphBuilder, NodeId};
+
+/// Configuration of the spatial road network generator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpatialConfig {
+    /// Approximate number of nodes before cleaning.
+    pub num_nodes: usize,
+    /// Target edge/node ratio (San Francisco has ≈ 1.27).
+    pub edges_per_node: f64,
+    /// Side length of the coordinate space (the paper normalizes to 10,000).
+    pub extent: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SpatialConfig {
+    fn default() -> Self {
+        SpatialConfig { num_nodes: 10_000, edges_per_node: 1.27, extent: 10_000.0, seed: 5 }
+    }
+}
+
+/// A generated spatial network: the graph plus the coordinates of every node
+/// (indexed by node id), useful for visualization and for Euclidean baselines.
+#[derive(Clone, Debug)]
+pub struct SpatialNetwork {
+    /// The road graph (largest connected component, re-numbered).
+    pub graph: Graph,
+    /// Coordinates of each node in `[0, extent]²`.
+    pub coordinates: Vec<(f64, f64)>,
+}
+
+/// Generates a spatial road network.
+pub fn spatial_road_network(config: &SpatialConfig) -> SpatialNetwork {
+    let mut rand = rng(config.seed);
+    let n = config.num_nodes.max(1);
+    let side = (n as f64).sqrt().ceil() as usize;
+    let cell = config.extent / side.max(1) as f64;
+
+    // Jittered grid positions.
+    let mut coords: Vec<(f64, f64)> = Vec::with_capacity(side * side);
+    for r in 0..side {
+        for c in 0..side {
+            if coords.len() == n {
+                break;
+            }
+            let x = (c as f64 + 0.15 + 0.7 * rand.gen::<f64>()) * cell;
+            let y = (r as f64 + 0.15 + 0.7 * rand.gen::<f64>()) * cell;
+            coords.push((x, y));
+        }
+    }
+    let n = coords.len();
+    let index = |r: usize, c: usize| r * side + c;
+
+    // Candidate edges: grid neighbors plus occasional diagonals.
+    let mut candidates: Vec<(usize, usize)> = Vec::with_capacity(3 * n);
+    for r in 0..side {
+        for c in 0..side {
+            let v = index(r, c);
+            if v >= n {
+                continue;
+            }
+            if c + 1 < side && index(r, c + 1) < n {
+                candidates.push((v, index(r, c + 1)));
+            }
+            if r + 1 < side && index(r + 1, c) < n {
+                candidates.push((v, index(r + 1, c)));
+            }
+            if r + 1 < side && c + 1 < side && index(r + 1, c + 1) < n && rand.gen::<f64>() < 0.1 {
+                candidates.push((v, index(r + 1, c + 1)));
+            }
+        }
+    }
+
+    // Thin the candidate set down to the requested edge/node ratio.
+    let target_edges = ((n as f64) * config.edges_per_node) as usize;
+    let keep_probability = (target_edges as f64 / candidates.len().max(1) as f64).min(1.0);
+    let mut builder = GraphBuilder::with_edge_capacity(n, target_edges + 8);
+    for (a, b) in candidates {
+        if rand.gen::<f64>() > keep_probability {
+            continue;
+        }
+        let (ax, ay) = coords[a];
+        let (bx, by) = coords[b];
+        let w = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt().max(1e-6);
+        builder.add_edge(a, b, w).expect("spatial edge");
+    }
+    let raw = builder.build().expect("spatial graph is valid");
+
+    // Keep the largest connected component, as the paper does.
+    let (graph, mapping) = largest_connected_component(&raw);
+    let coordinates = mapping.iter().map(|old: &NodeId| coords[old.index()]).collect();
+    SpatialNetwork { graph, coordinates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnn_graph::{is_connected, GraphStats};
+
+    #[test]
+    fn edge_node_ratio_matches_san_francisco() {
+        let net = spatial_road_network(&SpatialConfig { num_nodes: 20_000, ..Default::default() });
+        let stats = GraphStats::compute(&net.graph);
+        let ratio = stats.num_edges as f64 / stats.num_nodes as f64;
+        assert!(
+            (ratio - 1.27).abs() < 0.12,
+            "edge/node ratio {ratio} should be close to the SF map's 1.27"
+        );
+        assert!(is_connected(&net.graph));
+        assert_eq!(net.coordinates.len(), net.graph.num_nodes());
+    }
+
+    #[test]
+    fn weights_are_euclidean_lengths() {
+        let net = spatial_road_network(&SpatialConfig { num_nodes: 2_000, ..Default::default() });
+        for (e, lo, hi, w) in net.graph.edges().take(200) {
+            let (ax, ay) = net.coordinates[lo.index()];
+            let (bx, by) = net.coordinates[hi.index()];
+            let d = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+            assert!(
+                (d - w.value()).abs() < 1e-6,
+                "edge {e} weight {} should equal the Euclidean distance {d}",
+                w.value()
+            );
+        }
+    }
+
+    #[test]
+    fn coordinates_stay_within_the_extent() {
+        let net = spatial_road_network(&SpatialConfig { num_nodes: 1_000, extent: 500.0, ..Default::default() });
+        for &(x, y) in &net.coordinates {
+            assert!((0.0..=500.0).contains(&x));
+            assert!((0.0..=500.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn expansion_is_polynomial_not_exponential() {
+        let net = spatial_road_network(&SpatialConfig { num_nodes: 20_000, ..Default::default() });
+        let g = &net.graph;
+        let start = rnn_graph::NodeId::new(g.num_nodes() / 2);
+        let mut frontier = vec![start];
+        let mut seen = vec![false; g.num_nodes()];
+        seen[start.index()] = true;
+        let mut total = 1usize;
+        for _ in 0..6 {
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for nb in g.neighbors(v) {
+                    if !seen[nb.node.index()] {
+                        seen[nb.node.index()] = true;
+                        next.push(nb.node);
+                    }
+                }
+            }
+            total += next.len();
+            frontier = next;
+        }
+        assert!(total < 200, "spatial networks must not expand exponentially, reached {total}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = spatial_road_network(&SpatialConfig { num_nodes: 1_000, ..Default::default() });
+        let b = spatial_road_network(&SpatialConfig { num_nodes: 1_000, ..Default::default() });
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.coordinates, b.coordinates);
+    }
+}

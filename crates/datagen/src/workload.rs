@@ -1,0 +1,114 @@
+//! Query workload sampling.
+//!
+//! "The diagrams display the average cost of workloads containing 50 queries.
+//! Each query is randomly chosen from the set of data points, so that the
+//! queries follow the data distribution." Continuous queries use routes that
+//! are "random walks without repeated nodes".
+
+use crate::rng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rnn_graph::{EdgePointSet, Graph, NodeId, NodePointSet, PointId, Route};
+
+/// Samples `count` query nodes from the data points of a restricted network
+/// (with replacement if there are fewer points than queries).
+pub fn sample_node_queries(points: &NodePointSet, count: usize, seed: u64) -> Vec<NodeId> {
+    let mut rand = rng(seed);
+    let nodes = points.nodes();
+    if nodes.is_empty() {
+        return Vec::new();
+    }
+    (0..count).map(|_| nodes[rand.gen_range(0..nodes.len())]).collect()
+}
+
+/// Samples `count` query points from an unrestricted data set.
+pub fn sample_edge_queries(points: &EdgePointSet, count: usize, seed: u64) -> Vec<PointId> {
+    let mut rand = rng(seed);
+    if points.is_empty() {
+        return Vec::new();
+    }
+    (0..count)
+        .map(|_| PointId::new(rand.gen_range(0..points.num_points())))
+        .collect()
+}
+
+/// Samples `count` routes of `length` nodes each as random walks without
+/// repeated nodes, starting from random nodes. Start nodes whose walks get
+/// stuck are retried with other starts.
+pub fn sample_routes(graph: &Graph, length: usize, count: usize, seed: u64) -> Vec<Route> {
+    let mut rand = rng(seed);
+    let mut routes = Vec::with_capacity(count);
+    if graph.num_nodes() == 0 {
+        return routes;
+    }
+    let mut starts: Vec<usize> = (0..graph.num_nodes()).collect();
+    starts.shuffle(&mut rand);
+    let mut cursor = 0;
+    while routes.len() < count && cursor < starts.len() {
+        let start = NodeId::new(starts[cursor]);
+        cursor += 1;
+        let route = Route::random_walk(graph, start, length, |n| rand.gen_range(0..n));
+        if let Some(r) = route {
+            routes.push(r);
+        }
+    }
+    routes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{grid_map, GridConfig};
+    use crate::points::{place_points_on_edges, place_points_on_nodes};
+    use rnn_graph::PointsOnNodes;
+
+    fn graph() -> Graph {
+        grid_map(&GridConfig { rows: 20, cols: 20, ..Default::default() })
+    }
+
+    #[test]
+    fn node_queries_follow_the_data_distribution() {
+        let g = graph();
+        let pts = place_points_on_nodes(&g, 0.1, 2);
+        let queries = sample_node_queries(&pts, 50, 3);
+        assert_eq!(queries.len(), 50);
+        for q in &queries {
+            assert!(pts.contains_node(*q), "queries must be data points");
+        }
+        // deterministic
+        assert_eq!(queries, sample_node_queries(&pts, 50, 3));
+        assert!(sample_node_queries(&NodePointSet::empty(10), 5, 1).is_empty());
+    }
+
+    #[test]
+    fn edge_queries_reference_existing_points() {
+        let g = graph();
+        let pts = place_points_on_edges(&g, 0.05, 7);
+        let queries = sample_edge_queries(&pts, 50, 11);
+        assert_eq!(queries.len(), 50);
+        for q in &queries {
+            assert!(q.index() < pts.num_points());
+        }
+    }
+
+    #[test]
+    fn routes_have_the_requested_length_and_are_simple_paths() {
+        let g = graph();
+        let routes = sample_routes(&g, 12, 10, 5);
+        assert_eq!(routes.len(), 10);
+        for r in &routes {
+            assert_eq!(r.len(), 12);
+            let mut nodes = r.nodes().to_vec();
+            nodes.sort_unstable();
+            nodes.dedup();
+            assert_eq!(nodes.len(), 12, "route must not repeat nodes");
+            assert!(Route::new(&g, r.nodes().to_vec()).is_ok(), "route must follow edges");
+        }
+    }
+
+    #[test]
+    fn empty_graph_yields_no_routes() {
+        let empty = rnn_graph::GraphBuilder::new(0).build().unwrap();
+        assert!(sample_routes(&empty, 3, 5, 1).is_empty());
+    }
+}

@@ -1,0 +1,135 @@
+//! Error types for graph construction and serialization.
+
+use crate::ids::{EdgeId, NodeId};
+use std::fmt;
+
+/// Errors produced while building, validating or (de)serializing graphs and
+/// data point sets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// An edge references a node index that is outside `0..num_nodes`.
+    NodeOutOfBounds {
+        /// The offending node index.
+        node: usize,
+        /// The number of nodes declared for the graph.
+        num_nodes: usize,
+    },
+    /// An edge connects a node to itself; the network model of the paper has
+    /// no self loops (they can never lie on a shortest path).
+    SelfLoop {
+        /// The node with the self loop.
+        node: NodeId,
+    },
+    /// An edge weight is not a positive finite number.
+    InvalidWeight {
+        /// Source node of the edge.
+        from: NodeId,
+        /// Target node of the edge.
+        to: NodeId,
+        /// The offending weight value.
+        weight: f64,
+    },
+    /// The same undirected edge was added twice with different weights.
+    DuplicateEdge {
+        /// Source node of the edge.
+        from: NodeId,
+        /// Target node of the edge.
+        to: NodeId,
+    },
+    /// A data point references an edge that does not exist.
+    EdgeOutOfBounds {
+        /// The offending edge id.
+        edge: EdgeId,
+        /// The number of edges in the graph.
+        num_edges: usize,
+    },
+    /// A data point's offset along an edge exceeds the edge weight.
+    OffsetOutOfRange {
+        /// The edge the point was placed on.
+        edge: EdgeId,
+        /// The requested offset from the lower-id endpoint.
+        offset: f64,
+        /// The weight (length) of the edge.
+        weight: f64,
+    },
+    /// A route contains consecutive nodes that are not adjacent in the graph.
+    RouteNotConnected {
+        /// First node of the offending pair.
+        from: NodeId,
+        /// Second node of the offending pair.
+        to: NodeId,
+    },
+    /// A parse error while reading a textual edge list.
+    Parse {
+        /// 1-based line number where the error occurred.
+        line: usize,
+        /// Human readable description.
+        message: String,
+    },
+    /// An I/O error while reading or writing a graph file.
+    Io(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, num_nodes } => {
+                write!(f, "node index {node} out of bounds (graph has {num_nodes} nodes)")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self loop on node {node}"),
+            GraphError::InvalidWeight { from, to, weight } => {
+                write!(f, "edge {from}-{to} has invalid weight {weight}; weights must be positive and finite")
+            }
+            GraphError::DuplicateEdge { from, to } => {
+                write!(f, "edge {from}-{to} added twice with conflicting weights")
+            }
+            GraphError::EdgeOutOfBounds { edge, num_edges } => {
+                write!(f, "edge {edge} out of bounds (graph has {num_edges} edges)")
+            }
+            GraphError::OffsetOutOfRange { edge, offset, weight } => {
+                write!(f, "offset {offset} exceeds weight {weight} of edge {edge}")
+            }
+            GraphError::RouteNotConnected { from, to } => {
+                write!(f, "route nodes {from} and {to} are not adjacent")
+            }
+            GraphError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readable_messages() {
+        let e = GraphError::NodeOutOfBounds { node: 9, num_nodes: 4 };
+        assert!(e.to_string().contains("out of bounds"));
+        let e = GraphError::SelfLoop { node: NodeId::new(2) };
+        assert!(e.to_string().contains("self loop"));
+        let e = GraphError::InvalidWeight {
+            from: NodeId::new(0),
+            to: NodeId::new(1),
+            weight: -2.0,
+        };
+        assert!(e.to_string().contains("invalid weight"));
+        let e = GraphError::Parse { line: 3, message: "bad token".into() };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: GraphError = io.into();
+        assert!(matches!(e, GraphError::Io(_)));
+    }
+}

@@ -1,0 +1,316 @@
+//! LRU buffer manager.
+//!
+//! The experiments in the paper use an LRU buffer of 1 MB (256 pages of
+//! 4 KB); Fig. 21 varies the buffer between 0 and 1024 pages. [`BufferPool`]
+//! reproduces that component: it caches decoded [`Page`]s, evicts the least
+//! recently used page when full, and records every access in the shared
+//! [`IoCounters`].
+//!
+//! The LRU list is an intrusive doubly-linked list over a slot vector, so
+//! both hits and evictions are `O(1)`.
+
+use crate::disk::PageStore;
+use crate::error::StorageError;
+use crate::io_stats::{IoCounters, IoStats};
+use crate::page::{Page, PageId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Number of pages in the paper's default 1 MB buffer.
+pub const DEFAULT_BUFFER_PAGES: usize = 256;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Slot {
+    page_id: PageId,
+    page: Page,
+    prev: usize,
+    next: usize,
+}
+
+#[derive(Debug, Default)]
+struct LruState {
+    slots: Vec<Slot>,
+    map: HashMap<PageId, usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+}
+
+impl LruState {
+    fn new() -> Self {
+        LruState { slots: Vec::new(), map: HashMap::new(), head: NIL, tail: NIL }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slots[idx].prev, self.slots[idx].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn touch(&mut self, idx: usize) {
+        if self.head == idx {
+            return;
+        }
+        self.unlink(idx);
+        self.push_front(idx);
+    }
+}
+
+/// An LRU page buffer on top of a [`PageStore`].
+pub struct BufferPool<S> {
+    store: S,
+    capacity: usize,
+    state: Mutex<LruState>,
+    counters: IoCounters,
+}
+
+impl<S: PageStore> BufferPool<S> {
+    /// Creates a buffer of `capacity` pages over `store`, reporting I/O into
+    /// `counters`.
+    ///
+    /// A capacity of 0 disables caching entirely: every access is a fault
+    /// (this is the leftmost point of Fig. 21).
+    pub fn new(store: S, capacity: usize, counters: IoCounters) -> Self {
+        BufferPool { store, capacity, state: Mutex::new(LruState::new()), counters }
+    }
+
+    /// Creates a buffer with the paper's default capacity of 256 pages.
+    pub fn with_default_capacity(store: S, counters: IoCounters) -> Self {
+        Self::new(store, DEFAULT_BUFFER_PAGES, counters)
+    }
+
+    /// The buffer capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of pages currently resident.
+    pub fn resident_pages(&self) -> usize {
+        self.state.lock().slots.len()
+    }
+
+    /// The shared I/O counters this pool reports into.
+    pub fn counters(&self) -> &IoCounters {
+        &self.counters
+    }
+
+    /// Convenience accessor for the current I/O snapshot.
+    pub fn io_stats(&self) -> IoStats {
+        self.counters.snapshot()
+    }
+
+    /// Drops all resident pages (without touching the counters).
+    pub fn clear(&self) {
+        let mut st = self.state.lock();
+        *st = LruState::new();
+    }
+
+    /// The underlying page store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Fetches a page through the buffer, recording the access.
+    pub fn fetch(&self, page_id: PageId) -> Result<Page, StorageError> {
+        if self.capacity == 0 {
+            // No buffer at all: every access is a fault and nothing is cached.
+            let page = self.store.read_page(page_id)?;
+            self.counters.record_access(true, false);
+            return Ok(page);
+        }
+
+        {
+            let mut st = self.state.lock();
+            if let Some(&idx) = st.map.get(&page_id) {
+                st.touch(idx);
+                let page = st.slots[idx].page.clone();
+                drop(st);
+                self.counters.record_access(false, false);
+                return Ok(page);
+            }
+        }
+
+        // Miss: read from the store outside the lock, then insert.
+        let page = self.store.read_page(page_id)?;
+        let mut evicted = false;
+        {
+            let mut st = self.state.lock();
+            // Re-check: another thread may have inserted the page meanwhile.
+            if let Some(&idx) = st.map.get(&page_id) {
+                st.touch(idx);
+            } else if st.slots.len() < self.capacity {
+                let idx = st.slots.len();
+                st.slots.push(Slot { page_id, page: page.clone(), prev: NIL, next: NIL });
+                st.map.insert(page_id, idx);
+                st.push_front(idx);
+            } else {
+                // Evict the least recently used slot and reuse it.
+                evicted = true;
+                let victim = st.tail;
+                debug_assert_ne!(victim, NIL, "non-zero capacity buffer has a tail");
+                st.unlink(victim);
+                let old_id = st.slots[victim].page_id;
+                st.map.remove(&old_id);
+                st.slots[victim].page_id = page_id;
+                st.slots[victim].page = page.clone();
+                st.map.insert(page_id, victim);
+                st.push_front(victim);
+            }
+        }
+        self.counters.record_access(true, evicted);
+        Ok(page)
+    }
+}
+
+impl<S: PageStore> std::fmt::Debug for BufferPool<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("capacity", &self.capacity)
+            .field("resident", &self.resident_pages())
+            .field("stats", &self.io_stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemoryDisk;
+    use crate::page::{PageBuilder, PageEntry};
+    use rnn_graph::{EdgeId, NodeId, Weight};
+
+    fn disk_with_pages(n: usize) -> MemoryDisk {
+        let pages = (0..n)
+            .map(|i| {
+                let mut b = PageBuilder::new();
+                b.push_record(
+                    NodeId(i as u32),
+                    &[PageEntry {
+                        neighbor: NodeId(0),
+                        edge: EdgeId(0),
+                        weight: Weight::new(1.0),
+                    }],
+                )
+                .unwrap();
+                b.build()
+            })
+            .collect();
+        MemoryDisk::new(pages)
+    }
+
+    #[test]
+    fn hits_and_faults_are_counted() {
+        let pool = BufferPool::new(disk_with_pages(3), 2, IoCounters::new());
+        pool.fetch(PageId(0)).unwrap(); // fault
+        pool.fetch(PageId(0)).unwrap(); // hit
+        pool.fetch(PageId(1)).unwrap(); // fault
+        pool.fetch(PageId(0)).unwrap(); // hit
+        let s = pool.io_stats();
+        assert_eq!(s.accesses, 4);
+        assert_eq!(s.faults, 2);
+        assert_eq!(s.evictions, 0);
+        assert_eq!(pool.resident_pages(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let pool = BufferPool::new(disk_with_pages(3), 2, IoCounters::new());
+        pool.fetch(PageId(0)).unwrap(); // fault, cache: [0]
+        pool.fetch(PageId(1)).unwrap(); // fault, cache: [1, 0]
+        pool.fetch(PageId(0)).unwrap(); // hit,   cache: [0, 1]
+        pool.fetch(PageId(2)).unwrap(); // fault, evicts 1
+        let s = pool.io_stats();
+        assert_eq!(s.faults, 3);
+        assert_eq!(s.evictions, 1);
+        // 1 was evicted, 0 was kept
+        pool.fetch(PageId(0)).unwrap(); // hit
+        pool.fetch(PageId(1)).unwrap(); // fault again
+        let s = pool.io_stats();
+        assert_eq!(s.accesses, 6);
+        assert_eq!(s.faults, 4);
+    }
+
+    #[test]
+    fn zero_capacity_buffer_always_faults() {
+        let pool = BufferPool::new(disk_with_pages(2), 0, IoCounters::new());
+        for _ in 0..5 {
+            pool.fetch(PageId(1)).unwrap();
+        }
+        let s = pool.io_stats();
+        assert_eq!(s.accesses, 5);
+        assert_eq!(s.faults, 5);
+        assert_eq!(pool.resident_pages(), 0);
+    }
+
+    #[test]
+    fn large_capacity_buffer_faults_once_per_page() {
+        let pool = BufferPool::with_default_capacity(disk_with_pages(10), IoCounters::new());
+        assert_eq!(pool.capacity(), DEFAULT_BUFFER_PAGES);
+        for round in 0..3 {
+            for i in 0..10 {
+                pool.fetch(PageId(i)).unwrap();
+            }
+            let s = pool.io_stats();
+            assert_eq!(s.faults, 10, "after round {round}");
+        }
+        assert_eq!(pool.io_stats().accesses, 30);
+    }
+
+    #[test]
+    fn clear_drops_pages_but_keeps_counters() {
+        let pool = BufferPool::new(disk_with_pages(2), 2, IoCounters::new());
+        pool.fetch(PageId(0)).unwrap();
+        pool.clear();
+        assert_eq!(pool.resident_pages(), 0);
+        pool.fetch(PageId(0)).unwrap(); // faults again
+        assert_eq!(pool.io_stats().faults, 2);
+        assert!(format!("{pool:?}").contains("BufferPool"));
+        assert_eq!(pool.store().num_pages(), 2);
+    }
+
+    #[test]
+    fn out_of_bounds_pages_error_without_counting() {
+        let pool = BufferPool::new(disk_with_pages(1), 2, IoCounters::new());
+        assert!(pool.fetch(PageId(5)).is_err());
+        assert_eq!(pool.io_stats().accesses, 0);
+    }
+
+    #[test]
+    fn eviction_pattern_cycling_through_pages() {
+        // capacity 3, cycle through 5 pages twice: every access after warmup
+        // is a fault because LRU is the worst policy for cyclic scans.
+        let pool = BufferPool::new(disk_with_pages(5), 3, IoCounters::new());
+        for _ in 0..2 {
+            for i in 0..5 {
+                pool.fetch(PageId(i)).unwrap();
+            }
+        }
+        let s = pool.io_stats();
+        assert_eq!(s.accesses, 10);
+        assert_eq!(s.faults, 10);
+        assert_eq!(s.evictions, 7);
+    }
+}

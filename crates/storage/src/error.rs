@@ -1,0 +1,78 @@
+//! Error type for the storage layer.
+
+use crate::page::PageId;
+use std::fmt;
+
+/// Errors produced by the page store, layout and paged graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    /// A page id is outside the bounds of the store.
+    PageOutOfBounds {
+        /// The offending page id.
+        page: PageId,
+        /// Number of pages in the store.
+        num_pages: usize,
+    },
+    /// An adjacency record does not fit in a single page.
+    ///
+    /// With 4 KB pages this means a node of degree greater than ~250; the
+    /// layout splits such nodes across continuation pages, so seeing this
+    /// error indicates a bug or a manually crafted page.
+    RecordTooLarge {
+        /// The node whose record overflowed.
+        node: u32,
+        /// The encoded size of the record in bytes.
+        size: usize,
+    },
+    /// A page's byte content is malformed and cannot be decoded.
+    CorruptPage {
+        /// The offending page id.
+        page: PageId,
+        /// Human readable description.
+        message: String,
+    },
+    /// Underlying file I/O failed.
+    Io(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::PageOutOfBounds { page, num_pages } => {
+                write!(f, "page {page:?} out of bounds (store has {num_pages} pages)")
+            }
+            StorageError::RecordTooLarge { node, size } => {
+                write!(f, "adjacency record of node {node} is {size} bytes and exceeds the page capacity")
+            }
+            StorageError::CorruptPage { page, message } => {
+                write!(f, "corrupt page {page:?}: {message}")
+            }
+            StorageError::Io(msg) => write!(f, "storage i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        let e = StorageError::PageOutOfBounds { page: PageId(7), num_pages: 3 };
+        assert!(e.to_string().contains("out of bounds"));
+        let e = StorageError::RecordTooLarge { node: 5, size: 9000 };
+        assert!(e.to_string().contains("exceeds"));
+        let e = StorageError::CorruptPage { page: PageId(0), message: "truncated".into() };
+        assert!(e.to_string().contains("corrupt"));
+        let e: StorageError = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        assert!(matches!(e, StorageError::Io(_)));
+    }
+}

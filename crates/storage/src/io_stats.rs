@@ -1,0 +1,127 @@
+//! I/O accounting.
+//!
+//! The experiments in the paper report the number of page accesses that miss
+//! the LRU buffer (charged at 10 ms each) separately from CPU time.
+//! [`IoCounters`] is the shared, thread-safe counter bundle that the buffer
+//! pool updates and the benchmark harness reads; [`IoStats`] is an immutable
+//! snapshot.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// An immutable snapshot of I/O activity.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Logical page accesses (every adjacency-list fetch).
+    pub accesses: u64,
+    /// Accesses that missed the buffer and had to "read from disk".
+    pub faults: u64,
+    /// Pages evicted from the buffer to make room for a faulted page.
+    pub evictions: u64,
+}
+
+impl IoStats {
+    /// Buffer hit ratio in `[0, 1]`; `1.0` when there were no accesses.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            return 1.0;
+        }
+        1.0 - (self.faults as f64 / self.accesses as f64)
+    }
+
+    /// The difference `self - earlier`, used to attribute I/O to a single
+    /// query inside a longer workload.
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            accesses: self.accesses - earlier.accesses,
+            faults: self.faults - earlier.faults,
+            evictions: self.evictions - earlier.evictions,
+        }
+    }
+
+    /// Adds another snapshot to this one (used when aggregating workloads).
+    pub fn accumulate(&mut self, other: &IoStats) {
+        self.accesses += other.accesses;
+        self.faults += other.faults;
+        self.evictions += other.evictions;
+    }
+}
+
+/// Shared, thread-safe I/O counters.
+///
+/// Cloning an `IoCounters` yields a handle to the *same* counters, so a
+/// benchmark can keep one handle while the buffer pool updates another.
+#[derive(Clone, Default, Debug)]
+pub struct IoCounters {
+    inner: Arc<Mutex<IoStats>>,
+}
+
+impl IoCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one logical access; `fault` tells whether it missed the
+    /// buffer, `evicted` whether a page was evicted to serve it.
+    pub fn record_access(&self, fault: bool, evicted: bool) {
+        let mut s = self.inner.lock();
+        s.accesses += 1;
+        if fault {
+            s.faults += 1;
+        }
+        if evicted {
+            s.evictions += 1;
+        }
+    }
+
+    /// Returns a snapshot of the current counters.
+    pub fn snapshot(&self) -> IoStats {
+        *self.inner.lock()
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        *self.inner.lock() = IoStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_recorded_accesses() {
+        let c = IoCounters::new();
+        c.record_access(true, false);
+        c.record_access(false, false);
+        c.record_access(true, true);
+        let s = c.snapshot();
+        assert_eq!(s, IoStats { accesses: 3, faults: 2, evictions: 1 });
+        assert!((s.hit_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clones_share_state_and_reset_clears() {
+        let c = IoCounters::new();
+        let c2 = c.clone();
+        c2.record_access(true, false);
+        assert_eq!(c.snapshot().faults, 1);
+        c.reset();
+        assert_eq!(c2.snapshot(), IoStats::default());
+        assert_eq!(c2.snapshot().hit_ratio(), 1.0);
+    }
+
+    #[test]
+    fn since_and_accumulate() {
+        let a = IoStats { accesses: 10, faults: 4, evictions: 2 };
+        let b = IoStats { accesses: 7, faults: 1, evictions: 0 };
+        let d = a.since(&b);
+        assert_eq!(d, IoStats { accesses: 3, faults: 3, evictions: 2 });
+        let mut acc = IoStats::default();
+        acc.accumulate(&a);
+        acc.accumulate(&b);
+        assert_eq!(acc.accesses, 17);
+        assert_eq!(acc.faults, 5);
+    }
+}

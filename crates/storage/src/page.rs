@@ -1,0 +1,358 @@
+//! Binary page format for adjacency lists.
+//!
+//! A page is a fixed-size (4 KB) block holding the adjacency records of one
+//! or more nodes. The record of a node `n` with degree `d` is encoded as:
+//!
+//! ```text
+//! [node: u32][count: u32] then `count` entries of
+//!     [neighbor: u32][edge: u32][weight: f64 little-endian]
+//! ```
+//!
+//! i.e. `8 + 16·d` bytes. High-degree nodes whose record does not fit in one
+//! page are split into *continuation records* over several pages; the node
+//! index records every page a node's list spans, so a lookup accesses all of
+//! them (this mirrors what a real adjacency file would do and keeps the I/O
+//! accounting honest for hub nodes).
+
+use crate::error::StorageError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rnn_graph::{EdgeId, NodeId, Weight};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The page size in bytes, matching the experimental setup of the paper.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Size in bytes of one record header (`node`, `count`).
+pub const RECORD_HEADER_BYTES: usize = 8;
+
+/// Size in bytes of one adjacency entry (`neighbor`, `edge`, `weight`).
+pub const ENTRY_BYTES: usize = 16;
+
+/// Identifier of a disk page.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+#[serde(transparent)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// Creates a page id from a dense index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        PageId(index as u32)
+    }
+
+    /// Returns the page id as a dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pg{}", self.0)
+    }
+}
+
+/// One adjacency entry decoded from a page.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct PageEntry {
+    /// The neighboring node.
+    pub neighbor: NodeId,
+    /// The undirected edge connecting the record's node to `neighbor`.
+    pub edge: EdgeId,
+    /// The weight of that edge.
+    pub weight: Weight,
+}
+
+/// A decoded adjacency record: a node plus (part of) its adjacency list.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PageRecord {
+    /// The node this record belongs to.
+    pub node: NodeId,
+    /// The adjacency entries stored in this record.
+    pub entries: Vec<PageEntry>,
+}
+
+impl PageRecord {
+    /// Encoded size of a record with `degree` entries.
+    #[inline]
+    pub fn encoded_size(degree: usize) -> usize {
+        RECORD_HEADER_BYTES + ENTRY_BYTES * degree
+    }
+
+    /// Maximum number of entries that fit into a fresh page together with the
+    /// record header.
+    #[inline]
+    pub fn max_entries_per_page() -> usize {
+        (PAGE_SIZE - RECORD_HEADER_BYTES) / ENTRY_BYTES
+    }
+}
+
+/// An immutable 4 KB page of encoded adjacency records.
+#[derive(Clone, PartialEq)]
+pub struct Page {
+    bytes: Bytes,
+}
+
+impl fmt::Debug for Page {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Page({} bytes used)", self.bytes.len())
+    }
+}
+
+impl Page {
+    /// Wraps raw page bytes (at most [`PAGE_SIZE`] bytes).
+    pub fn from_bytes(bytes: Bytes) -> Result<Self, StorageError> {
+        if bytes.len() > PAGE_SIZE {
+            return Err(StorageError::CorruptPage {
+                page: PageId(u32::MAX),
+                message: format!("page content of {} bytes exceeds PAGE_SIZE", bytes.len()),
+            });
+        }
+        Ok(Page { bytes })
+    }
+
+    /// The raw encoded bytes (without trailing padding).
+    pub fn as_bytes(&self) -> &Bytes {
+        &self.bytes
+    }
+
+    /// Number of used bytes in the page.
+    pub fn used_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Decodes all records stored in the page.
+    pub fn records(&self, page: PageId) -> Result<Vec<PageRecord>, StorageError> {
+        let mut buf = self.bytes.clone();
+        let mut records = Vec::new();
+        while buf.remaining() >= RECORD_HEADER_BYTES {
+            let node = NodeId(buf.get_u32_le());
+            let count = buf.get_u32_le() as usize;
+            if buf.remaining() < count * ENTRY_BYTES {
+                return Err(StorageError::CorruptPage {
+                    page,
+                    message: format!(
+                        "record of node {node} declares {count} entries but only {} bytes remain",
+                        buf.remaining()
+                    ),
+                });
+            }
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                let neighbor = NodeId(buf.get_u32_le());
+                let edge = EdgeId(buf.get_u32_le());
+                let weight = Weight::new(buf.get_f64_le());
+                entries.push(PageEntry { neighbor, edge, weight });
+            }
+            records.push(PageRecord { node, entries });
+        }
+        if buf.has_remaining() {
+            return Err(StorageError::CorruptPage {
+                page,
+                message: format!("{} trailing bytes after last record", buf.remaining()),
+            });
+        }
+        Ok(records)
+    }
+
+    /// Decodes only the record(s) of `node` stored in this page, appending
+    /// the entries to `out`. Returns `true` if the node was found.
+    ///
+    /// This is the hot path of [`crate::PagedGraph`]: it skips over other
+    /// nodes' entries without materializing them.
+    pub fn entries_of(
+        &self,
+        page: PageId,
+        node: NodeId,
+        out: &mut Vec<PageEntry>,
+    ) -> Result<bool, StorageError> {
+        let mut buf = self.bytes.clone();
+        let mut found = false;
+        while buf.remaining() >= RECORD_HEADER_BYTES {
+            let record_node = NodeId(buf.get_u32_le());
+            let count = buf.get_u32_le() as usize;
+            let record_bytes = count * ENTRY_BYTES;
+            if buf.remaining() < record_bytes {
+                return Err(StorageError::CorruptPage {
+                    page,
+                    message: format!(
+                        "record of node {record_node} declares {count} entries but only {} bytes remain",
+                        buf.remaining()
+                    ),
+                });
+            }
+            if record_node == node {
+                found = true;
+                out.reserve(count);
+                for _ in 0..count {
+                    let neighbor = NodeId(buf.get_u32_le());
+                    let edge = EdgeId(buf.get_u32_le());
+                    let weight = Weight::new(buf.get_f64_le());
+                    out.push(PageEntry { neighbor, edge, weight });
+                }
+            } else {
+                buf.advance(record_bytes);
+            }
+        }
+        Ok(found)
+    }
+}
+
+/// Mutable builder filling one page with adjacency records.
+#[derive(Debug, Default)]
+pub struct PageBuilder {
+    bytes: BytesMut,
+}
+
+impl PageBuilder {
+    /// Creates an empty page builder.
+    pub fn new() -> Self {
+        PageBuilder { bytes: BytesMut::with_capacity(PAGE_SIZE) }
+    }
+
+    /// Free space remaining in the page, in bytes.
+    pub fn free_bytes(&self) -> usize {
+        PAGE_SIZE - self.bytes.len()
+    }
+
+    /// Returns `true` if no record has been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Returns `true` if a record with `degree` entries fits in the remaining
+    /// free space.
+    pub fn fits(&self, degree: usize) -> bool {
+        PageRecord::encoded_size(degree) <= self.free_bytes()
+    }
+
+    /// Appends the record of `node` with the given entries.
+    ///
+    /// Callers must check [`PageBuilder::fits`] first; records never straddle
+    /// a page boundary.
+    pub fn push_record(
+        &mut self,
+        node: NodeId,
+        entries: &[PageEntry],
+    ) -> Result<(), StorageError> {
+        let size = PageRecord::encoded_size(entries.len());
+        if size > self.free_bytes() {
+            return Err(StorageError::RecordTooLarge { node: node.0, size });
+        }
+        self.bytes.put_u32_le(node.0);
+        self.bytes.put_u32_le(entries.len() as u32);
+        for e in entries {
+            self.bytes.put_u32_le(e.neighbor.0);
+            self.bytes.put_u32_le(e.edge.0);
+            self.bytes.put_f64_le(e.weight.value());
+        }
+        Ok(())
+    }
+
+    /// Finalizes the page.
+    pub fn build(self) -> Page {
+        Page { bytes: self.bytes.freeze() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(n: u32, e: u32, w: f64) -> PageEntry {
+        PageEntry { neighbor: NodeId(n), edge: EdgeId(e), weight: Weight::new(w) }
+    }
+
+    #[test]
+    fn record_sizes() {
+        assert_eq!(PageRecord::encoded_size(0), 8);
+        assert_eq!(PageRecord::encoded_size(3), 8 + 48);
+        assert_eq!(PageRecord::max_entries_per_page(), (4096 - 8) / 16);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut b = PageBuilder::new();
+        assert!(b.is_empty());
+        b.push_record(NodeId(1), &[entry(2, 0, 1.5), entry(3, 1, 2.5)]).unwrap();
+        b.push_record(NodeId(2), &[entry(1, 0, 1.5)]).unwrap();
+        assert!(!b.is_empty());
+        let page = b.build();
+        assert_eq!(page.used_bytes(), 8 + 32 + 8 + 16);
+
+        let records = page.records(PageId(0)).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].node, NodeId(1));
+        assert_eq!(records[0].entries.len(), 2);
+        assert_eq!(records[0].entries[1], entry(3, 1, 2.5));
+        assert_eq!(records[1].node, NodeId(2));
+    }
+
+    #[test]
+    fn entries_of_extracts_only_requested_node() {
+        let mut b = PageBuilder::new();
+        b.push_record(NodeId(7), &[entry(8, 3, 1.0)]).unwrap();
+        b.push_record(NodeId(9), &[entry(7, 4, 2.0), entry(10, 5, 3.0)]).unwrap();
+        let page = b.build();
+
+        let mut out = Vec::new();
+        assert!(page.entries_of(PageId(0), NodeId(9), &mut out).unwrap());
+        assert_eq!(out, vec![entry(7, 4, 2.0), entry(10, 5, 3.0)]);
+
+        out.clear();
+        assert!(!page.entries_of(PageId(0), NodeId(11), &mut out).unwrap());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn fits_and_overflow_are_detected() {
+        let mut b = PageBuilder::new();
+        let max = PageRecord::max_entries_per_page();
+        assert!(b.fits(max));
+        assert!(!b.fits(max + 1));
+        let big: Vec<PageEntry> = (0..max as u32).map(|i| entry(i, i, 1.0)).collect();
+        b.push_record(NodeId(0), &big).unwrap();
+        assert!(!b.fits(1));
+        let err = b.push_record(NodeId(1), &[entry(0, 0, 1.0)]).unwrap_err();
+        assert!(matches!(err, StorageError::RecordTooLarge { .. }));
+    }
+
+    #[test]
+    fn corrupt_pages_are_rejected() {
+        // record header declaring more entries than available bytes
+        let mut raw = BytesMut::new();
+        raw.put_u32_le(1);
+        raw.put_u32_le(10); // 10 entries claimed, none present
+        let page = Page::from_bytes(raw.freeze()).unwrap();
+        assert!(matches!(
+            page.records(PageId(3)),
+            Err(StorageError::CorruptPage { page: PageId(3), .. })
+        ));
+        let mut out = Vec::new();
+        assert!(page.entries_of(PageId(3), NodeId(1), &mut out).is_err());
+
+        // trailing garbage
+        let mut raw = BytesMut::new();
+        raw.put_u32_le(1);
+        raw.put_u32_le(0);
+        raw.put_u32_le(99); // 4 stray bytes
+        let page = Page::from_bytes(raw.freeze()).unwrap();
+        assert!(page.records(PageId(0)).is_err());
+
+        // oversized content
+        let raw = BytesMut::zeroed(PAGE_SIZE + 1);
+        assert!(Page::from_bytes(raw.freeze()).is_err());
+    }
+
+    #[test]
+    fn page_debug_and_accessors() {
+        let page = PageBuilder::new().build();
+        assert_eq!(page.used_bytes(), 0);
+        assert!(format!("{page:?}").contains("0 bytes"));
+        assert_eq!(page.as_bytes().len(), 0);
+        assert_eq!(PageId::new(5).index(), 5);
+        assert_eq!(format!("{:?}", PageId::new(5)), "pg5");
+    }
+}

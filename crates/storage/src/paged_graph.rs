@@ -1,0 +1,269 @@
+//! The disk-page backed graph view.
+//!
+//! [`PagedGraph`] combines a page store, the node-id index and an LRU buffer
+//! into a [`Topology`] implementation. Query algorithms written against the
+//! `Topology` trait run unchanged on a `PagedGraph`; the only difference from
+//! the in-memory [`rnn_graph::Graph`] is that every adjacency fetch goes
+//! through the buffer and is accounted for in [`IoStats`]. This is the
+//! component the paper's experiments measure.
+
+use crate::buffer::{BufferPool, DEFAULT_BUFFER_PAGES};
+use crate::disk::{MemoryDisk, PageStore};
+use crate::error::StorageError;
+use crate::io_stats::{IoCounters, IoStats};
+use crate::layout::{LayoutStrategy, PageLayout};
+use crate::node_index::NodeIndex;
+use crate::page::PageEntry;
+use parking_lot::Mutex;
+use rnn_graph::{Graph, Neighbor, NodeId, Topology};
+
+/// A graph stored on simulated disk pages and read through an LRU buffer.
+pub struct PagedGraph<S: PageStore = MemoryDisk> {
+    buffer: BufferPool<S>,
+    index: NodeIndex,
+    num_nodes: usize,
+    /// Scratch buffer reused across adjacency fetches to avoid per-call
+    /// allocation (the decoded entries are copied into `Neighbor` values
+    /// before the closure is invoked).
+    scratch: Mutex<Vec<PageEntry>>,
+}
+
+impl PagedGraph<MemoryDisk> {
+    /// Builds a paged graph from an in-memory graph using the default
+    /// BFS-locality layout and the paper's 256-page buffer.
+    pub fn build(graph: &Graph) -> Result<Self, StorageError> {
+        Self::build_with(graph, LayoutStrategy::BfsLocality, DEFAULT_BUFFER_PAGES, IoCounters::new())
+    }
+
+    /// Builds a paged graph with full control over layout strategy, buffer
+    /// capacity (in pages) and the I/O counters to report into.
+    pub fn build_with(
+        graph: &Graph,
+        strategy: LayoutStrategy,
+        buffer_pages: usize,
+        counters: IoCounters,
+    ) -> Result<Self, StorageError> {
+        let layout = PageLayout::build(graph, strategy)?;
+        let disk = MemoryDisk::new(layout.pages);
+        let buffer = BufferPool::new(disk, buffer_pages, counters);
+        Ok(PagedGraph {
+            buffer,
+            index: layout.index,
+            num_nodes: graph.num_nodes(),
+            scratch: Mutex::new(Vec::new()),
+        })
+    }
+}
+
+impl<S: PageStore> PagedGraph<S> {
+    /// Assembles a paged graph from pre-built parts (e.g. a [`crate::FileDisk`]
+    /// store opened from an existing page file).
+    pub fn from_parts(buffer: BufferPool<S>, index: NodeIndex, num_nodes: usize) -> Self {
+        PagedGraph { buffer, index, num_nodes, scratch: Mutex::new(Vec::new()) }
+    }
+
+    /// The shared I/O counters of the underlying buffer.
+    pub fn counters(&self) -> &IoCounters {
+        self.buffer.counters()
+    }
+
+    /// A snapshot of the I/O activity so far.
+    pub fn io_stats(&self) -> IoStats {
+        self.buffer.io_stats()
+    }
+
+    /// Resets the I/O counters (the buffer content is left untouched).
+    pub fn reset_io(&self) {
+        self.buffer.counters().reset();
+    }
+
+    /// Drops all buffered pages and resets the counters, simulating a cold
+    /// start. Used between workload repetitions in the experiments.
+    pub fn cold_start(&self) {
+        self.buffer.clear();
+        self.buffer.counters().reset();
+    }
+
+    /// Number of pages of the underlying store.
+    pub fn num_pages(&self) -> usize {
+        self.buffer.store().num_pages()
+    }
+
+    /// Buffer capacity in pages.
+    pub fn buffer_capacity(&self) -> usize {
+        self.buffer.capacity()
+    }
+
+    /// The node-id index.
+    pub fn node_index(&self) -> &NodeIndex {
+        &self.index
+    }
+
+    /// Fetches the adjacency list of `node`, going through the buffer.
+    fn fetch_neighbors(&self, node: NodeId, visit: &mut dyn FnMut(Neighbor)) -> Result<(), StorageError> {
+        let entry = self.index.entry(node);
+        // Take the scratch buffer out of the mutex so the lock is *not* held
+        // while the visitor runs: visitors may recursively fetch other
+        // adjacency lists (e.g. nested verification expansions).
+        let mut scratch = {
+            let mut guard = self.scratch.lock();
+            std::mem::take(&mut *guard)
+        };
+        scratch.clear();
+        let mut result = Ok(());
+        for page_id in entry.pages() {
+            match self.buffer.fetch(page_id) {
+                Ok(page) => {
+                    if let Err(e) = page.entries_of(page_id, node, &mut scratch) {
+                        result = Err(e);
+                        break;
+                    }
+                }
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        if result.is_ok() {
+            for e in scratch.iter() {
+                visit(Neighbor { node: e.neighbor, weight: e.weight, edge: e.edge });
+            }
+        }
+        // Return the (possibly grown) scratch buffer for reuse.
+        let mut guard = self.scratch.lock();
+        if guard.capacity() < scratch.capacity() {
+            *guard = scratch;
+        }
+        result
+    }
+}
+
+impl<S: PageStore> Topology for PagedGraph<S> {
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn visit_neighbors(&self, node: NodeId, visit: &mut dyn FnMut(Neighbor)) {
+        self.fetch_neighbors(node, visit)
+            .expect("pages built by PageLayout are well formed and in bounds");
+    }
+}
+
+impl<S: PageStore> std::fmt::Debug for PagedGraph<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PagedGraph")
+            .field("num_nodes", &self.num_nodes)
+            .field("num_pages", &self.num_pages())
+            .field("buffer_capacity", &self.buffer_capacity())
+            .field("io", &self.io_stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::FileDisk;
+    use rnn_graph::GraphBuilder;
+
+    fn grid_graph(side: usize) -> Graph {
+        let mut b = GraphBuilder::new(side * side);
+        for r in 0..side {
+            for c in 0..side {
+                let v = r * side + c;
+                if c + 1 < side {
+                    b.add_edge(v, v + 1, 1.0 + ((v % 3) as f64)).unwrap();
+                }
+                if r + 1 < side {
+                    b.add_edge(v, v + side, 2.0).unwrap();
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn paged_graph_reports_same_adjacency_as_in_memory_graph() {
+        let g = grid_graph(10);
+        let pg = PagedGraph::build(&g).unwrap();
+        assert_eq!(Topology::num_nodes(&pg), g.num_nodes());
+        for v in g.node_ids() {
+            let expected = g.neighbors_vec(v);
+            let got = pg.neighbors_vec(v);
+            assert_eq!(got, expected, "node {v}");
+        }
+    }
+
+    #[test]
+    fn io_is_counted_and_resettable() {
+        let g = grid_graph(10);
+        let pg = PagedGraph::build_with(&g, LayoutStrategy::BfsLocality, 4, IoCounters::new()).unwrap();
+        for v in g.node_ids() {
+            pg.neighbors_vec(v);
+        }
+        let s = pg.io_stats();
+        assert_eq!(s.accesses, 100);
+        assert!(s.faults >= pg.num_pages() as u64);
+        pg.reset_io();
+        assert_eq!(pg.io_stats(), IoStats::default());
+        pg.cold_start();
+        pg.neighbors_vec(NodeId::new(0));
+        assert_eq!(pg.io_stats().faults, 1);
+    }
+
+    #[test]
+    fn bfs_layout_produces_fewer_faults_than_shuffled_on_small_buffer() {
+        let g = grid_graph(24); // 576 nodes
+        let run = |strategy| {
+            let pg = PagedGraph::build_with(&g, strategy, 2, IoCounters::new()).unwrap();
+            // A BFS-like scan around each node mimics the locality of network
+            // expansion queries.
+            for v in g.node_ids() {
+                pg.neighbors_vec(v);
+            }
+            pg.io_stats().faults
+        };
+        let bfs = run(LayoutStrategy::BfsLocality);
+        let shuffled = run(LayoutStrategy::Shuffled(3));
+        assert!(
+            bfs < shuffled,
+            "BFS locality should fault less ({bfs}) than a shuffled layout ({shuffled})"
+        );
+    }
+
+    #[test]
+    fn buffer_capacity_zero_faults_every_access() {
+        let g = grid_graph(6);
+        let pg = PagedGraph::build_with(&g, LayoutStrategy::NodeOrder, 0, IoCounters::new()).unwrap();
+        for _ in 0..3 {
+            pg.neighbors_vec(NodeId::new(5));
+        }
+        let s = pg.io_stats();
+        assert_eq!(s.accesses, 3);
+        assert_eq!(s.faults, 3);
+        assert_eq!(pg.buffer_capacity(), 0);
+    }
+
+    #[test]
+    fn from_parts_with_file_disk() {
+        let g = grid_graph(5);
+        let layout = PageLayout::build(&g, LayoutStrategy::BfsLocality).unwrap();
+        let dir = std::env::temp_dir().join(format!("rnn_paged_graph_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("graph.pages");
+        let disk = FileDisk::create(&path, &layout.pages).unwrap();
+        let pool = BufferPool::new(disk, 8, IoCounters::new());
+        let pg = PagedGraph::from_parts(pool, layout.index, g.num_nodes());
+
+        for v in g.node_ids() {
+            assert_eq!(pg.neighbors_vec(v), g.neighbors_vec(v));
+        }
+        assert!(pg.io_stats().accesses > 0);
+        assert!(format!("{pg:?}").contains("PagedGraph"));
+        assert_eq!(pg.node_index().num_nodes(), g.num_nodes());
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+}

@@ -1,0 +1,52 @@
+//! The paper's DBLP scenario: reverse nearest neighbors under the *degree of
+//! separation* metric on a coauthorship graph, with ad hoc predicates that
+//! define the set of interesting authors at query time (so materialization is
+//! not applicable).
+//!
+//! Run with `cargo run --release --example coauthorship`.
+
+use rnn_core::{eager, lazy};
+use rnn_datagen::{coauthorship_graph, sample_node_queries, CoauthorConfig};
+use rnn_graph::PointsOnNodes;
+
+fn main() {
+    let co = coauthorship_graph(&CoauthorConfig::default());
+    println!(
+        "coauthorship graph: {} authors, {} collaboration edges (unit weights)",
+        co.graph.num_nodes(),
+        co.graph.num_edges()
+    );
+
+    for threshold in [1u32, 2, 5] {
+        let interesting = co.authors_with_at_least(threshold);
+        println!(
+            "\ncondition: at least {threshold} SIGMOD papers -> {} authors qualify (selectivity {:.3})",
+            interesting.num_points(),
+            co.selectivity(threshold)
+        );
+        if interesting.is_empty() {
+            continue;
+        }
+
+        // Pick a few qualifying authors and ask: for which other qualifying
+        // authors am I the closest (fewest degrees of separation) one?
+        let queries = sample_node_queries(&interesting, 3, threshold as u64 + 1);
+        for q in queries {
+            let e = eager::eager_rknn(&co.graph, &interesting, q, 1);
+            let l = lazy::lazy_rknn(&co.graph, &interesting, q, 1);
+            assert_eq!(e.points, l.points, "eager and lazy must agree");
+            println!(
+                "  author at node {q}: reverse nearest neighbor of {} qualifying authors \
+                 (eager settled {} nodes, lazy settled {})",
+                e.len(),
+                e.stats.nodes_settled,
+                l.stats.nodes_settled
+            );
+        }
+    }
+
+    println!(
+        "\nOn this graph lazy typically does less CPU work per query, while eager touches fewer nodes \
+         when the condition is selective — the trade-off reported in Table 1 of the paper."
+    );
+}

@@ -1,0 +1,17 @@
+//! Umbrella crate for the reproduction of *Reverse Nearest Neighbors in Large
+//! Graphs* (Yiu, Papadias, Mamoulis, Tao).
+//!
+//! This crate re-exports the public API of the workspace members so the
+//! examples and integration tests can use a single import root. Library users
+//! should normally depend on the individual crates:
+//!
+//! * [`rnn_graph`] — graph model, data point sets, routes.
+//! * [`rnn_storage`] — disk-page storage scheme, LRU buffer, I/O accounting.
+//! * [`rnn_core`] — the RNN query processing algorithms (eager, lazy,
+//!   lazy-EP, eager-M, bichromatic, continuous, unrestricted).
+//! * [`rnn_datagen`] — synthetic dataset and workload generators.
+
+pub use rnn_core as core;
+pub use rnn_datagen as datagen;
+pub use rnn_graph as graph;
+pub use rnn_storage as storage;

@@ -1,0 +1,135 @@
+//! Property tests: every RkNN algorithm returns exactly the same result set
+//! as the naive baseline, on arbitrary connected graphs, point sets, queries
+//! and k — the core correctness claim of the reproduction.
+
+mod common;
+
+use common::{restricted_instance, unrestricted_instance};
+use proptest::prelude::*;
+use rnn_core::bichromatic::{bichromatic_rknn, naive_bichromatic_rknn};
+use rnn_core::continuous::{
+    continuous_eager_rknn, continuous_lazy_rknn, naive_continuous_rknn,
+};
+use rnn_core::materialize::MaterializedKnn;
+use rnn_core::unrestricted::{
+    unrestricted_eager_rknn, unrestricted_lazy_rknn, unrestricted_naive_rknn, EdgePosition,
+};
+use rnn_core::{eager, lazy, lazy_ep, naive};
+use rnn_graph::{NodePointSet, PointsOnNodes, Route};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn all_monochromatic_algorithms_agree_with_naive(inst in restricted_instance()) {
+        let reference = naive::naive_rknn(&inst.graph, &inst.points, inst.query, inst.k);
+
+        let e = eager::eager_rknn(&inst.graph, &inst.points, inst.query, inst.k);
+        prop_assert_eq!(&e.points, &reference.points, "eager vs naive");
+
+        let l = lazy::lazy_rknn(&inst.graph, &inst.points, inst.query, inst.k);
+        prop_assert_eq!(&l.points, &reference.points, "lazy vs naive");
+
+        let lp = lazy_ep::lazy_ep_rknn(&inst.graph, &inst.points, inst.query, inst.k);
+        prop_assert_eq!(&lp.points, &reference.points, "lazy-EP vs naive");
+
+        let table = MaterializedKnn::build(&inst.graph, &inst.points, inst.k);
+        let em = rnn_core::materialize::eager_m_rknn(&inst.graph, &inst.points, &table, inst.query, inst.k);
+        prop_assert_eq!(&em.points, &reference.points, "eager-M vs naive");
+    }
+
+    #[test]
+    fn results_never_contain_the_query_point_and_grow_with_k(inst in restricted_instance()) {
+        // the point residing on the query node is never reported
+        for k in 1..=3usize {
+            let out = eager::eager_rknn(&inst.graph, &inst.points, inst.query, k);
+            if let Some(p) = inst.points.point_at(inst.query) {
+                prop_assert!(!out.contains(p));
+            }
+        }
+        // RkNN sets are monotone in k
+        let r1 = naive::naive_rknn(&inst.graph, &inst.points, inst.query, 1);
+        let r2 = naive::naive_rknn(&inst.graph, &inst.points, inst.query, 2);
+        let r3 = naive::naive_rknn(&inst.graph, &inst.points, inst.query, 3);
+        for p in &r1.points {
+            prop_assert!(r2.contains(*p), "R1NN ⊆ R2NN");
+        }
+        for p in &r2.points {
+            prop_assert!(r3.contains(*p), "R2NN ⊆ R3NN");
+        }
+    }
+
+    #[test]
+    fn bichromatic_eager_agrees_with_naive(inst in restricted_instance()) {
+        // reuse the instance: the point set acts as targets (P); sites (Q) are
+        // placed on every third node.
+        let sites = NodePointSet::from_predicate(inst.graph.num_nodes(), |n| n.index() % 3 == 0);
+        let fast = bichromatic_rknn(&inst.graph, &inst.points, &sites, inst.query, inst.k);
+        let slow = naive_bichromatic_rknn(&inst.graph, &inst.points, &sites, inst.query, inst.k);
+        prop_assert_eq!(fast.points, slow.points);
+    }
+
+    #[test]
+    fn continuous_algorithms_agree_with_the_union_of_single_queries(inst in restricted_instance()) {
+        // build a short route by walking from the query node
+        let mut nodes = vec![inst.query];
+        let mut current = inst.query;
+        for _ in 0..3 {
+            let next = inst
+                .graph
+                .neighbors(current)
+                .map(|nb| nb.node)
+                .find(|n| !nodes.contains(n));
+            match next {
+                Some(n) => {
+                    nodes.push(n);
+                    current = n;
+                }
+                None => break,
+            }
+        }
+        let route = Route::new(&inst.graph, nodes).expect("walk follows edges");
+        let reference = naive_continuous_rknn(&inst.graph, &inst.points, &route, inst.k);
+        let e = continuous_eager_rknn(&inst.graph, &inst.points, &route, inst.k);
+        prop_assert_eq!(&e.points, &reference.points, "continuous eager vs naive");
+        let l = continuous_lazy_rknn(&inst.graph, &inst.points, &route, inst.k);
+        prop_assert_eq!(&l.points, &reference.points, "continuous lazy vs naive");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn unrestricted_algorithms_agree_with_naive(inst in unrestricted_instance()) {
+        for qi in 0..inst.points.num_points().min(3) {
+            let query = EdgePosition::of_point(&inst.graph, &inst.points, rnn_graph::PointId::new(qi));
+            let reference =
+                unrestricted_naive_rknn(&inst.graph, &inst.graph, &inst.points, &query, inst.k);
+            let e = unrestricted_eager_rknn(&inst.graph, &inst.graph, &inst.points, &query, inst.k);
+            prop_assert_eq!(&e.points, &reference.points, "unrestricted eager vs naive");
+            let l = unrestricted_lazy_rknn(&inst.graph, &inst.graph, &inst.points, &query, inst.k);
+            prop_assert_eq!(&l.points, &reference.points, "unrestricted lazy vs naive");
+        }
+    }
+}
+
+/// A deterministic cross-check on a mid-sized generated workload, so a plain
+/// `cargo test` exercises the equivalence on something bigger than the
+/// proptest instances.
+#[test]
+fn generated_workload_equivalence_smoke_test() {
+    use rnn_datagen::{grid_map, place_points_on_nodes, sample_node_queries, GridConfig};
+    let graph = grid_map(&GridConfig { rows: 30, cols: 30, average_degree: 5.0, ..Default::default() });
+    let points = place_points_on_nodes(&graph, 0.03, 9);
+    let table = MaterializedKnn::build(&graph, &points, 2);
+    for q in sample_node_queries(&points, 10, 4) {
+        for k in [1usize, 2] {
+            let reference = naive::naive_rknn(&graph, &points, q, k);
+            for algo in rnn_core::Algorithm::ALL {
+                let out = rnn_core::run_rknn(algo, &graph, &points, Some(&table), q, k);
+                assert_eq!(out.points, reference.points, "{algo} q={q} k={k}");
+            }
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! End-to-end integration tests over generated workloads: the full pipeline
+//! of dataset generation → paged storage → query processing, checking both
+//! correctness (all algorithms agree) and the qualitative behaviours the
+//! paper reports (pruning effectiveness, buffer behaviour, density effects).
+
+use rnn_core::materialize::MaterializedKnn;
+use rnn_core::{naive, run_rknn, Algorithm};
+use rnn_datagen::{
+    brite_topology, coauthorship_graph, grid_map, place_points_on_nodes, sample_node_queries,
+    spatial_road_network, BriteConfig, CoauthorConfig, GridConfig, SpatialConfig,
+};
+use rnn_graph::{Graph, NodePointSet, PointsOnNodes};
+use rnn_storage::{IoCounters, LayoutStrategy, PagedGraph};
+
+fn check_workload(graph: &Graph, points: &NodePointSet, k: usize, queries: usize, seed: u64) {
+    let table = MaterializedKnn::build(graph, points, k);
+    let paged = PagedGraph::build(graph).expect("paged graph");
+    for q in sample_node_queries(points, queries, seed) {
+        let reference = naive::naive_rknn(graph, points, q, k);
+        for algo in Algorithm::PAPER {
+            let t = if algo.needs_materialization() { Some(&table) } else { None };
+            let out = run_rknn(algo, &paged, points, t, q, k);
+            assert_eq!(out.points, reference.points, "{algo} q={q} k={k}");
+        }
+    }
+}
+
+#[test]
+fn coauthorship_workload_all_algorithms_agree() {
+    let co = coauthorship_graph(&CoauthorConfig {
+        num_authors: 1_200,
+        num_papers: 1_400,
+        ..Default::default()
+    });
+    for threshold in [1u32, 2] {
+        let points = co.authors_with_at_least(threshold);
+        if points.num_points() > 1 {
+            check_workload(&co.graph, &points, 1, 5, threshold as u64);
+        }
+    }
+}
+
+#[test]
+fn brite_workload_all_algorithms_agree_and_eager_prunes() {
+    let graph = brite_topology(&BriteConfig { num_nodes: 3_000, ..Default::default() });
+    let points = place_points_on_nodes(&graph, 0.02, 5);
+    check_workload(&graph, &points, 2, 5, 6);
+
+    // the qualitative claim of Fig. 15/16: on exponential-expansion graphs,
+    // eager settles far fewer nodes than lazy
+    let q = sample_node_queries(&points, 1, 8)[0];
+    let e = rnn_core::eager::eager_rknn(&graph, &points, q, 1);
+    let l = rnn_core::lazy::lazy_rknn(&graph, &points, q, 1);
+    assert_eq!(e.points, l.points);
+    assert!(
+        e.stats.nodes_settled * 2 < l.stats.nodes_settled.max(1),
+        "eager ({}) should settle far fewer nodes than lazy ({}) on a BRITE-like graph",
+        e.stats.nodes_settled,
+        l.stats.nodes_settled
+    );
+}
+
+#[test]
+fn spatial_workload_all_algorithms_agree() {
+    let net = spatial_road_network(&SpatialConfig { num_nodes: 3_000, ..Default::default() });
+    let points = place_points_on_nodes(&net.graph, 0.02, 5);
+    check_workload(&net.graph, &points, 1, 5, 6);
+    check_workload(&net.graph, &points, 4, 3, 7);
+}
+
+#[test]
+fn grid_workload_all_algorithms_agree_across_degrees() {
+    for degree in [4.0, 6.0] {
+        let graph = grid_map(&GridConfig { rows: 40, cols: 40, average_degree: degree, ..Default::default() });
+        let points = place_points_on_nodes(&graph, 0.01, 3);
+        check_workload(&graph, &points, 1, 5, 4);
+    }
+}
+
+#[test]
+fn density_reduces_expansion_extent() {
+    // "high density leads to low processing cost since it limits the extent
+    // of expansions" — check the mechanism on a grid.
+    let graph = grid_map(&GridConfig { rows: 50, cols: 50, ..Default::default() });
+    let sparse = place_points_on_nodes(&graph, 0.005, 3);
+    let dense = place_points_on_nodes(&graph, 0.1, 3);
+    let q_sparse = sample_node_queries(&sparse, 5, 9);
+    let q_dense = sample_node_queries(&dense, 5, 9);
+    let settled = |points: &NodePointSet, queries: &[rnn_graph::NodeId]| -> u64 {
+        queries
+            .iter()
+            .map(|&q| rnn_core::eager::eager_rknn(&graph, points, q, 1).stats.nodes_settled)
+            .sum()
+    };
+    assert!(
+        settled(&dense, &q_dense) < settled(&sparse, &q_sparse),
+        "denser data must shrink the eager expansion"
+    );
+}
+
+#[test]
+fn buffer_size_changes_faults_but_not_results() {
+    let net = spatial_road_network(&SpatialConfig { num_nodes: 4_000, ..Default::default() });
+    let points = place_points_on_nodes(&net.graph, 0.01, 5);
+    let queries = sample_node_queries(&points, 10, 6);
+
+    let mut faults_by_buffer = Vec::new();
+    let mut results_by_buffer = Vec::new();
+    for buffer in [0usize, 64, 1024] {
+        let paged = PagedGraph::build_with(
+            &net.graph,
+            LayoutStrategy::BfsLocality,
+            buffer,
+            IoCounters::new(),
+        )
+        .expect("paged graph");
+        let mut results = Vec::new();
+        for &q in &queries {
+            results.push(run_rknn(Algorithm::Eager, &paged, &points, None, q, 1).points);
+        }
+        faults_by_buffer.push(paged.io_stats().faults);
+        results_by_buffer.push(results);
+    }
+    assert_eq!(results_by_buffer[0], results_by_buffer[1]);
+    assert_eq!(results_by_buffer[1], results_by_buffer[2]);
+    assert!(
+        faults_by_buffer[2] < faults_by_buffer[0],
+        "a 1024-page buffer must fault less than no buffer ({} vs {})",
+        faults_by_buffer[2],
+        faults_by_buffer[0]
+    );
+}
+
+#[test]
+fn bfs_page_layout_beats_shuffled_layout_on_query_workloads() {
+    let net = spatial_road_network(&SpatialConfig { num_nodes: 4_000, ..Default::default() });
+    let points = place_points_on_nodes(&net.graph, 0.01, 5);
+    let queries = sample_node_queries(&points, 10, 6);
+    let faults = |layout: LayoutStrategy| {
+        let paged =
+            PagedGraph::build_with(&net.graph, layout, 32, IoCounters::new()).expect("paged graph");
+        for &q in &queries {
+            let _ = run_rknn(Algorithm::Eager, &paged, &points, None, q, 1);
+        }
+        paged.io_stats().faults
+    };
+    let bfs = faults(LayoutStrategy::BfsLocality);
+    let shuffled = faults(LayoutStrategy::Shuffled(3));
+    assert!(
+        bfs < shuffled,
+        "the locality-preserving layout should fault less ({bfs}) than a shuffled one ({shuffled})"
+    );
+}

@@ -1,0 +1,101 @@
+//! Property tests for the materialized k-NN table: the single-pass All-NN
+//! construction matches independent k-NN queries, and incremental maintenance
+//! under insertions/deletions matches rebuilding from scratch — the paper's
+//! Section 4.1 claims.
+
+mod common;
+
+use common::restricted_instance;
+use proptest::prelude::*;
+use rnn_core::knn::k_nearest;
+use rnn_core::materialize::MaterializedKnn;
+use rnn_graph::{NodeId, PointsOnNodes};
+
+fn assert_tables_equal(
+    a: &MaterializedKnn,
+    b: &MaterializedKnn,
+    context: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.num_nodes(), b.num_nodes());
+    for i in 0..a.num_nodes() {
+        let n = NodeId::new(i);
+        let la = a.knn_of_untracked(n);
+        let lb = b.knn_of_untracked(n);
+        prop_assert_eq!(la.len(), lb.len(), "{}: node {} list lengths", context, n);
+        for (x, y) in la.iter().zip(lb.iter()) {
+            prop_assert_eq!(x.0, y.0, "{}: node {} entries", context, n);
+            prop_assert!(x.1.approx_eq(y.1, 1e-9), "{}: node {} distances", context, n);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn all_nn_matches_per_node_knn_queries(inst in restricted_instance(), big_k in 1usize..=3) {
+        let table = MaterializedKnn::build(&inst.graph, &inst.points, big_k);
+        prop_assert!(table.check_invariants());
+        for v in inst.graph.node_ids() {
+            let expected = k_nearest(&inst.graph, &inst.points, v, big_k).found;
+            let got = table.knn_of_untracked(v);
+            prop_assert_eq!(got.len(), expected.len(), "node {}", v);
+            for (entry, (p, d)) in got.iter().zip(expected.iter()) {
+                prop_assert_eq!(entry.0, inst.points.node_of(*p), "node {}", v);
+                prop_assert!(entry.1.approx_eq(*d, 1e-9), "node {}", v);
+            }
+        }
+    }
+
+    #[test]
+    fn random_update_sequences_match_rebuilding(
+        inst in restricted_instance(),
+        big_k in 1usize..=2,
+        ops in proptest::collection::vec((any::<bool>(), any::<u16>()), 1..8),
+    ) {
+        let mut points = inst.points.clone();
+        let mut table = MaterializedKnn::build(&inst.graph, &points, big_k);
+        for (i, (insert, node_pick)) in ops.into_iter().enumerate() {
+            let node = NodeId::new(node_pick as usize % inst.graph.num_nodes());
+            if insert {
+                if points.contains_node(node) {
+                    continue;
+                }
+                table.insert_point(&inst.graph, node);
+                points = points.with_point_on(node);
+            } else {
+                if !points.contains_node(node) {
+                    continue;
+                }
+                table.delete_point(&inst.graph, node);
+                points = points.without_point_on(node);
+            }
+            let rebuilt = MaterializedKnn::build(&inst.graph, &points, big_k);
+            assert_tables_equal(&table, &rebuilt, &format!("op #{i} on {node}"))?;
+        }
+    }
+
+    #[test]
+    fn eager_m_on_a_maintained_table_stays_correct(inst in restricted_instance()) {
+        // insert a point on the query node's first neighbor (if empty), then
+        // delete an existing point, and check eager-M still agrees with naive.
+        let mut points = inst.points.clone();
+        let mut table = MaterializedKnn::build(&inst.graph, &points, inst.k);
+
+        if let Some(nb) = inst.graph.neighbors(inst.query).next() {
+            if !points.contains_node(nb.node) {
+                table.insert_point(&inst.graph, nb.node);
+                points = points.with_point_on(nb.node);
+            }
+        }
+        if let Some(&victim) = points.nodes().first() {
+            table.delete_point(&inst.graph, victim);
+            points = points.without_point_on(victim);
+        }
+
+        let reference = rnn_core::naive::naive_rknn(&inst.graph, &points, inst.query, inst.k);
+        let em = rnn_core::materialize::eager_m_rknn(&inst.graph, &points, &table, inst.query, inst.k);
+        prop_assert_eq!(em.points, reference.points);
+    }
+}

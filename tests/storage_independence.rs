@@ -1,0 +1,107 @@
+//! Property tests: the storage layer (page layout, buffer size, file backing)
+//! affects only the cost counters, never the query results, and the I/O
+//! accounting itself behaves sanely.
+
+mod common;
+
+use common::restricted_instance;
+use proptest::prelude::*;
+use rnn_core::{naive, run_rknn, Algorithm};
+use rnn_graph::Topology;
+use rnn_storage::{BufferPool, FileDisk, IoCounters, LayoutStrategy, PageLayout, PagedGraph};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn results_are_identical_on_paged_graphs_for_any_layout_and_buffer(
+        inst in restricted_instance(),
+        buffer in prop_oneof![Just(0usize), Just(2), Just(8), Just(256)],
+        layout in prop_oneof![
+            Just(LayoutStrategy::BfsLocality),
+            Just(LayoutStrategy::NodeOrder),
+            Just(LayoutStrategy::Shuffled(77)),
+        ],
+    ) {
+        let reference = naive::naive_rknn(&inst.graph, &inst.points, inst.query, inst.k);
+        let paged = PagedGraph::build_with(&inst.graph, layout, buffer, IoCounters::new())
+            .expect("paged graph");
+        for algo in [Algorithm::Eager, Algorithm::Lazy, Algorithm::LazyExtendedPruning, Algorithm::Naive] {
+            let out = run_rknn(algo, &paged, &inst.points, None, inst.query, inst.k);
+            prop_assert_eq!(&out.points, &reference.points, "{} on {:?}/{} pages", algo, layout, buffer);
+        }
+        // I/O sanity: every access either hits or faults, and faults never
+        // exceed accesses.
+        let io = paged.io_stats();
+        prop_assert!(io.faults <= io.accesses);
+        if buffer == 0 {
+            prop_assert_eq!(io.faults, io.accesses, "no buffer means every access faults");
+        }
+    }
+
+    #[test]
+    fn adjacency_lists_survive_the_page_round_trip(inst in restricted_instance()) {
+        let paged = PagedGraph::build(&inst.graph).expect("paged graph");
+        prop_assert_eq!(Topology::num_nodes(&paged), inst.graph.num_nodes());
+        for v in inst.graph.node_ids() {
+            let mut expected = inst.graph.neighbors_vec(v);
+            let mut got = paged.neighbors_vec(v);
+            expected.sort_by_key(|n| n.node);
+            got.sort_by_key(|n| n.node);
+            prop_assert_eq!(got, expected, "node {}", v);
+        }
+    }
+
+    #[test]
+    fn smaller_buffers_never_fault_less(inst in restricted_instance()) {
+        let run_with_buffer = |pages: usize| {
+            let paged = PagedGraph::build_with(
+                &inst.graph,
+                LayoutStrategy::BfsLocality,
+                pages,
+                IoCounters::new(),
+            )
+            .expect("paged graph");
+            let _ = run_rknn(Algorithm::Lazy, &paged, &inst.points, None, inst.query, inst.k);
+            paged.io_stats()
+        };
+        let tiny = run_with_buffer(1);
+        let small = run_with_buffer(4);
+        let large = run_with_buffer(1024);
+        // identical logical access sequences...
+        prop_assert_eq!(tiny.accesses, small.accesses);
+        prop_assert_eq!(small.accesses, large.accesses);
+        // ...with monotonically non-increasing fault counts (LRU inclusion
+        // does not hold in general, but it does for these nested capacities
+        // on a shared access trace; we assert the weaker end-to-end property).
+        prop_assert!(large.faults <= tiny.faults);
+        prop_assert!(large.faults <= small.faults);
+    }
+}
+
+/// The file-backed page store serves the same adjacency data as the in-memory
+/// simulated disk.
+#[test]
+fn file_backed_store_matches_memory_store() {
+    use rnn_datagen::{grid_map, GridConfig};
+    use rnn_graph::NodeId;
+
+    let graph = grid_map(&GridConfig { rows: 12, cols: 12, ..Default::default() });
+    let layout = PageLayout::build(&graph, LayoutStrategy::BfsLocality).expect("layout");
+
+    let dir = std::env::temp_dir().join(format!("rnn_it_storage_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("graph.pages");
+    let disk = FileDisk::create(&path, &layout.pages).expect("file disk");
+    let pool = BufferPool::new(disk, 16, IoCounters::new());
+    let paged = PagedGraph::from_parts(pool, layout.index, graph.num_nodes());
+
+    for v in graph.node_ids() {
+        assert_eq!(paged.neighbors_vec(v), graph.neighbors_vec(v), "node {v}");
+    }
+    assert!(paged.io_stats().accesses >= graph.num_nodes() as u64);
+    assert_eq!(paged.neighbors_vec(NodeId::new(0)), graph.neighbors_vec(NodeId::new(0)));
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_dir(&dir).ok();
+}
