@@ -6,7 +6,9 @@ mod common;
 use criterion::{criterion_group, criterion_main, Criterion};
 use rnn_bench::harness::{measure_unrestricted, UnrestrictedWorkload};
 use rnn_core::Algorithm;
-use rnn_datagen::{place_points_on_edges, sample_edge_queries, spatial_road_network, SpatialConfig};
+use rnn_datagen::{
+    place_points_on_edges, sample_edge_queries, spatial_road_network, SpatialConfig,
+};
 
 fn bench(c: &mut Criterion) {
     let net = spatial_road_network(&SpatialConfig { num_nodes: 5_000, ..Default::default() });

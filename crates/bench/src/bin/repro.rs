@@ -23,20 +23,13 @@ fn main() {
     let markdown = args.iter().any(|a| a == "--markdown");
     let scale = if full { Scale::Full } else { Scale::Quick };
 
-    let mut requested: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .cloned()
-        .collect();
+    let mut requested: Vec<String> =
+        args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
     if requested.is_empty() || requested.iter().any(|r| r == "all") {
         requested = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
 
-    eprintln!(
-        "# reproduction run: scale = {:?}, experiments = {}",
-        scale,
-        requested.join(", ")
-    );
+    eprintln!("# reproduction run: scale = {:?}, experiments = {}", scale, requested.join(", "));
 
     let mut failures = 0;
     for name in &requested {

@@ -38,9 +38,7 @@ fn cost_columns(algos: &[Algorithm]) -> Vec<String> {
 }
 
 fn cost_values(ms: &[Measurement]) -> Vec<f64> {
-    ms.iter()
-        .flat_map(|m| [m.avg.faults, m.avg.cpu_seconds, m.total_seconds()])
-        .collect()
+    ms.iter().flat_map(|m| [m.avg.faults, m.avg.cpu_seconds, m.total_seconds()]).collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -70,10 +68,8 @@ pub fn table1_adhoc(scale: Scale) -> Report {
         }
         let queries = sample_node_queries(&points, scale.queries(), SEED + threshold as u64);
         let workload = Workload::new(co.graph.clone(), points, queries);
-        let ms: Vec<Measurement> = algos
-            .iter()
-            .map(|&a| measure_restricted(a, &workload, None, 1))
-            .collect();
+        let ms: Vec<Measurement> =
+            algos.iter().map(|&a| measure_restricted(a, &workload, None, 1)).collect();
         report.push_row(
             format!(">= {threshold} SIGMOD papers (sel. {:.3})", co.selectivity(threshold)),
             cost_values(&ms),
@@ -96,10 +92,8 @@ pub fn table2_density(scale: Scale) -> Report {
         let points = place_points_on_nodes(&co.graph, density, SEED);
         let queries = sample_node_queries(&points, scale.queries(), SEED + 1);
         let workload = Workload::new(co.graph.clone(), points, queries);
-        let ms: Vec<Measurement> = algos
-            .iter()
-            .map(|&a| measure_restricted(a, &workload, None, 1))
-            .collect();
+        let ms: Vec<Measurement> =
+            algos.iter().map(|&a| measure_restricted(a, &workload, None, 1)).collect();
         report.push_row(format!("{density}"), cost_values(&ms));
     }
     report
@@ -109,7 +103,13 @@ pub fn table2_density(scale: Scale) -> Report {
 // Fig. 15 / Fig. 16: BRITE topologies (exponential expansion).
 // ---------------------------------------------------------------------------
 
-fn measure_brite(graph_nodes: usize, density: f64, k: usize, queries: usize, seed: u64) -> Vec<Measurement> {
+fn measure_brite(
+    graph_nodes: usize,
+    density: f64,
+    k: usize,
+    queries: usize,
+    seed: u64,
+) -> Vec<Measurement> {
     let graph = brite_topology(&BriteConfig { num_nodes: graph_nodes, seed, ..Default::default() });
     let points = place_points_on_nodes(&graph, density, seed + 1);
     let query_nodes = sample_node_queries(&points, queries, seed + 2);
@@ -187,10 +187,8 @@ pub fn fig17_sf_density(scale: Scale) -> Report {
     );
     for density in [0.0025, 0.01, 0.04, 0.1] {
         let workload = sf_workload(scale, density, SEED);
-        let ms: Vec<Measurement> = FIGURE_ALGOS
-            .iter()
-            .map(|&a| measure_unrestricted(a, &workload, 1, 1))
-            .collect();
+        let ms: Vec<Measurement> =
+            FIGURE_ALGOS.iter().map(|&a| measure_unrestricted(a, &workload, 1, 1)).collect();
         report.push_row(format!("{density}"), cost_values(&ms));
     }
     report
@@ -206,10 +204,8 @@ pub fn fig18_sf_k(scale: Scale) -> Report {
         cost_columns(&FIGURE_ALGOS),
     );
     for k in [1usize, 2, 4, 8] {
-        let ms: Vec<Measurement> = FIGURE_ALGOS
-            .iter()
-            .map(|&a| measure_unrestricted(a, &workload, k, 8))
-            .collect();
+        let ms: Vec<Measurement> =
+            FIGURE_ALGOS.iter().map(|&a| measure_unrestricted(a, &workload, k, 8)).collect();
         report.push_row(format!("{k}"), cost_values(&ms));
     }
     report
@@ -238,7 +234,8 @@ pub fn fig19_continuous(scale: Scale) -> Report {
         cost_columns(&algos),
     );
     for len in [4usize, 8, 16, 32] {
-        let routes = sample_routes(&workload.graph, len, scale.queries().min(20), SEED + len as u64);
+        let routes =
+            sample_routes(&workload.graph, len, scale.queries().min(20), SEED + len as u64);
         let ms: Vec<Measurement> = algos
             .iter()
             .map(|&a| measure_continuous(a, &workload.paged, &workload.points, &routes, 1))
@@ -327,10 +324,8 @@ pub fn fig21_buffer(scale: Scale) -> Report {
     for buffer in [0usize, 16, 64, 256, 1024] {
         let workload =
             Workload::with_buffer(net.graph.clone(), points.clone(), queries.clone(), buffer);
-        let ms: Vec<Measurement> = algos
-            .iter()
-            .map(|&a| measure_restricted(a, &workload, None, 1))
-            .collect();
+        let ms: Vec<Measurement> =
+            algos.iter().map(|&a| measure_restricted(a, &workload, None, 1)).collect();
         report.push_row(format!("{buffer}"), cost_values(&ms));
     }
     report
@@ -463,13 +458,11 @@ mod tests {
         for name in ALL_EXPERIMENTS {
             // only check registration here; the cheap ones are exercised in
             // the integration tests and the full set by the repro binary.
-            assert!(
-                [
-                    "table1", "table2", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20a",
-                    "fig20b", "fig21", "fig22a", "fig22b"
-                ]
-                .contains(&name)
-            );
+            assert!([
+                "table1", "table2", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20a",
+                "fig20b", "fig21", "fig22a", "fig22b"
+            ]
+            .contains(&name));
         }
         assert!(run_by_name("nonsense", Scale::Quick).is_none());
     }

@@ -212,11 +212,8 @@ pub fn measure_unrestricted(
             // Transform to a restricted instance and measure there.
             let view = transform_to_restricted(&workload.graph, &workload.points)
                 .expect("datagen produces transformable instances");
-            let queries: Vec<NodeId> = workload
-                .queries
-                .iter()
-                .map(|&q| view.node_of_point[q.index()])
-                .collect();
+            let queries: Vec<NodeId> =
+                workload.queries.iter().map(|&q| view.node_of_point[q.index()]).collect();
             let restricted = Workload::with_buffer(
                 view.graph.clone(),
                 view.points.clone(),
@@ -224,7 +221,11 @@ pub fn measure_unrestricted(
                 workload.paged.buffer_capacity(),
             );
             let table = if algorithm.needs_materialization() {
-                Some(MaterializedKnn::build(&restricted.paged, &restricted.points, table_capacity.max(k)))
+                Some(MaterializedKnn::build(
+                    &restricted.paged,
+                    &restricted.points,
+                    table_capacity.max(k),
+                ))
             } else {
                 None
             };
@@ -248,7 +249,9 @@ pub fn measure_continuous(
     for route in routes {
         let out = match algorithm {
             Algorithm::Lazy => rnn_core::continuous::continuous_lazy_rknn(paged, points, route, k),
-            Algorithm::Naive => rnn_core::continuous::naive_continuous_rknn(paged, points, route, k),
+            Algorithm::Naive => {
+                rnn_core::continuous::naive_continuous_rknn(paged, points, route, k)
+            }
             _ => rnn_core::continuous::continuous_eager_rknn(paged, points, route, k),
         };
         result_total += out.len();

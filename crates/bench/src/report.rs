@@ -60,7 +60,7 @@ impl Report {
             out.push_str(&format!(" {c} |"));
         }
         out.push('\n');
-        out.push_str(&format!("|{}|", "---|".repeat(self.columns.len() + 1)));
+        out.push_str(&format!("|{}", "---|".repeat(self.columns.len() + 1)));
         out.push('\n');
         for (label, values) in &self.rows {
             out.push_str(&format!("| {label} |"));

@@ -48,7 +48,11 @@ where
             stats.range_nn_queries += 1;
             let probe = range_nn(topo, sites, node, k, dist);
             stats.auxiliary_settled += probe.settled;
-            probe.found.len()
+            // A site on the query node itself ties with the query everywhere
+            // and must not count as "strictly closer" (the probe re-derives
+            // its distance with a second expansion, so a floating-point tie
+            // can land on either side of `dist`).
+            probe.found.iter().filter(|&&(p, _)| sites.node_of(p) != query).count()
         } else {
             0
         };
@@ -105,8 +109,16 @@ where
 
     for (p, node, dist) in reachable {
         stats.candidates += 1;
-        let closer =
-            crate::verify::count_points_strictly_within(topo, sites, node, None, dist, k);
+        // Exclude a site residing on the query node: it ties with the query
+        // by definition (see the eager variant above).
+        let closer = crate::verify::count_points_strictly_within(
+            topo,
+            sites,
+            node,
+            sites.point_at(query),
+            dist,
+            k,
+        );
         if closer < k {
             result.push(p);
         }
@@ -169,7 +181,11 @@ mod tests {
         let blocks = NodePointSet::from_nodes(6, [1, 2, 3].map(NodeId::new));
         let sites = NodePointSet::from_nodes(6, [NodeId::new(5)]);
         let out = bichromatic_rknn(&g, &blocks, &sites, NodeId::new(0), 1);
-        assert_eq!(out.len(), 2, "blocks at nodes 1 and 2 are closer to q; node 3 ties with the site");
+        assert_eq!(
+            out.len(),
+            2,
+            "blocks at nodes 1 and 2 are closer to q; node 3 ties with the site"
+        );
         let naive = naive_bichromatic_rknn(&g, &blocks, &sites, NodeId::new(0), 1);
         assert_eq!(out.points, naive.points);
     }

@@ -33,12 +33,7 @@ fn route_membership(route: &Route, num_nodes: usize) -> Vec<bool> {
 ///
 /// # Panics
 /// Panics if `k == 0` or the route is empty.
-pub fn continuous_eager_rknn<T, P>(
-    topo: &T,
-    points: &P,
-    route: &Route,
-    k: usize,
-) -> RknnOutcome
+pub fn continuous_eager_rknn<T, P>(topo: &T, points: &P, route: &Route, k: usize) -> RknnOutcome
 where
     T: Topology + ?Sized,
     P: PointsOnNodes + ?Sized,
@@ -50,10 +45,8 @@ where
     let mut verified: FastSet<PointId> = fast_set();
     let on_route = route_membership(route, topo.num_nodes());
 
-    let mut exp = NetworkExpansion::with_sources(
-        topo,
-        route.nodes().iter().map(|&n| (n, Weight::ZERO)),
-    );
+    let mut exp =
+        NetworkExpansion::with_sources(topo, route.nodes().iter().map(|&n| (n, Weight::ZERO)));
     while let Some((node, dist)) = exp.next_settled_unexpanded() {
         stats.nodes_settled += 1;
         let probe = if dist > Weight::ZERO {
@@ -87,7 +80,14 @@ where
                 }
             }
         }
-        if probe.found.len() < k {
+        // Points on route nodes are at route distance zero and can never be
+        // strictly closer to anything than the route is; keep them out of the
+        // Lemma-1 count (the probe may report them spuriously on floating-
+        // point ties, since their distance is re-derived by a second
+        // expansion).
+        let closer =
+            probe.found.iter().filter(|&&(p, _)| !on_route[points.node_of(p).index()]).count();
+        if closer < k {
             exp.expand_from(node, dist);
         }
     }
@@ -101,12 +101,7 @@ where
 ///
 /// # Panics
 /// Panics if `k == 0` or the route is empty.
-pub fn continuous_lazy_rknn<T, P>(
-    topo: &T,
-    points: &P,
-    route: &Route,
-    k: usize,
-) -> RknnOutcome
+pub fn continuous_lazy_rknn<T, P>(topo: &T, points: &P, route: &Route, k: usize) -> RknnOutcome
 where
     T: Topology + ?Sized,
     P: PointsOnNodes + ?Sized,
@@ -178,7 +173,7 @@ where
                 return;
             }
             let cand = dist + nb.weight;
-            if best.get(&nb.node).map_or(true, |b| cand < *b) {
+            if best.get(&nb.node).is_none_or(|b| cand < *b) {
                 best.insert(nb.node, cand);
                 heap.push(nb.node, cand);
             }
@@ -190,12 +185,7 @@ where
 
 /// Naive continuous baseline: the union of per-route-node naive RkNN queries,
 /// minus points residing on the route itself. Used as the correctness oracle.
-pub fn naive_continuous_rknn<T, P>(
-    topo: &T,
-    points: &P,
-    route: &Route,
-    k: usize,
-) -> RknnOutcome
+pub fn naive_continuous_rknn<T, P>(topo: &T, points: &P, route: &Route, k: usize) -> RknnOutcome
 where
     T: Topology + ?Sized,
     P: PointsOnNodes + ?Sized,

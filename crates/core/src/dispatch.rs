@@ -103,8 +103,9 @@ where
         Algorithm::LazyExtendedPruning => lazy_ep::lazy_ep_rknn(topo, points, query, k),
         Algorithm::Naive => naive::naive_rknn(topo, points, query, k),
         Algorithm::EagerMaterialized => {
-            let table = materialized
-                .expect("eager-M requires a materialized k-NN table (Algorithm::needs_materialization)");
+            let table = materialized.expect(
+                "eager-M requires a materialized k-NN table (Algorithm::needs_materialization)",
+            );
             crate::materialize::eager_m_rknn(topo, points, table, query, k)
         }
     }

@@ -72,8 +72,13 @@ where
         }
 
         // Expansion proceeds only when fewer than k points were found
-        // strictly closer to the node than the query.
-        if probe.found.len() < k {
+        // strictly closer to the node than the query. A point residing on the
+        // query node can never be strictly closer to anything than the query
+        // is, so it must not contribute to the pruning count (the probe can
+        // report it spuriously: its distance is re-derived by a second
+        // expansion whose floating-point sums need not match `dist` exactly).
+        let closer = probe.found.iter().filter(|&&(p, _)| points.node_of(p) != query).count();
+        if closer < k {
             exp.expand_from(node, dist);
         }
     }
@@ -176,5 +181,31 @@ mod tests {
         let empty = NodePointSet::empty(7);
         let out = eager_rknn(&g, &empty, q, 1);
         assert!(out.is_empty());
+    }
+
+    /// Regression: the Lemma-1 probe re-derives the distance of the query
+    /// node's own data point by summing the path in the opposite order, so on
+    /// weights like 0.1/0.2/0.3 the probe sees `(0.3+0.2)+0.1 = 0.6` while
+    /// the main expansion settled the node at `(0.1+0.2)+0.3 = 0.6 + 1 ulp`.
+    /// Counting that spurious "strictly closer" point over-pruned the
+    /// expansion and dropped reverse neighbors behind the node.
+    #[test]
+    fn float_tie_with_query_point_does_not_over_prune() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 0.1).unwrap();
+        b.add_edge(1, 2, 0.2).unwrap();
+        b.add_edge(2, 3, 0.3).unwrap();
+        b.add_edge(3, 4, 10.0).unwrap();
+        let g = b.build().unwrap();
+        // A point on the query node and one far point reachable only through
+        // node 3, whose settle distance ties with the probe's view of p0.
+        let pts = NodePointSet::from_nodes(5, [NodeId::new(0), NodeId::new(4)]);
+        let q = NodeId::new(0);
+        let far = pts.point_at(NodeId::new(4)).unwrap();
+
+        let reference = crate::naive::naive_rknn(&g, &pts, q, 1);
+        assert!(reference.contains(far), "p4 ties with p0 and is a reverse neighbor");
+        let out = eager_rknn(&g, &pts, q, 1);
+        assert_eq!(out.points, reference.points);
     }
 }

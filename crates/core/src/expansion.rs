@@ -206,15 +206,9 @@ mod tests {
     fn shorter_path_through_more_hops_wins() {
         // node 2 is reachable directly (weight 4) or via 1,3 (total 3)
         let g = diamond();
-        assert_eq!(
-            network_distance(&g, NodeId::new(0), NodeId::new(2)).unwrap().value(),
-            3.0
-        );
+        assert_eq!(network_distance(&g, NodeId::new(0), NodeId::new(2)).unwrap().value(), 3.0);
         // symmetric
-        assert_eq!(
-            network_distance(&g, NodeId::new(2), NodeId::new(0)).unwrap().value(),
-            3.0
-        );
+        assert_eq!(network_distance(&g, NodeId::new(2), NodeId::new(0)).unwrap().value(), 3.0);
     }
 
     #[test]

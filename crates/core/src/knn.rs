@@ -52,13 +52,7 @@ where
 ///
 /// The expansion stops as soon as `k` points are found, the settled distance
 /// reaches `range`, or the graph is exhausted.
-pub fn range_nn<T, P>(
-    topo: &T,
-    points: &P,
-    source: NodeId,
-    k: usize,
-    range: Weight,
-) -> NnProbe
+pub fn range_nn<T, P>(topo: &T, points: &P, source: NodeId, k: usize, range: Weight) -> NnProbe
 where
     T: Topology + ?Sized,
     P: PointsOnNodes + ?Sized,
@@ -168,9 +162,6 @@ mod tests {
         let g = b.build().unwrap();
         let pts = NodePointSet::from_nodes(4, [NodeId::new(3)]);
         assert_eq!(nearest_neighbor_distance(&g, &pts, NodeId::new(0)), None);
-        assert_eq!(
-            nearest_neighbor_distance(&g, &pts, NodeId::new(2)).unwrap().value(),
-            1.0
-        );
+        assert_eq!(nearest_neighbor_distance(&g, &pts, NodeId::new(2)).unwrap().value(), 1.0);
     }
 }

@@ -133,7 +133,7 @@ where
                 return;
             }
             let cand = dist + nb.weight;
-            let improves = best.get(&nb.node).map_or(true, |b| cand < *b);
+            let improves = best.get(&nb.node).is_none_or(|b| cand < *b);
             if improves {
                 best.insert(nb.node, cand);
                 created.push(heap.push(nb.node, cand));

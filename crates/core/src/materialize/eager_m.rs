@@ -99,8 +99,12 @@ where
         }
 
         // Lemma 1: stop the expansion once k materialized points are strictly
-        // closer to the node than the query.
-        if candidates.len() < k {
+        // closer to the node than the query. The point on the query node (if
+        // any) ties with the query by definition and must not count — its
+        // materialized distance was computed independently of `dist`, so a
+        // floating-point tie can land on either side.
+        let closer = candidates.iter().filter(|&&(loc, _)| loc != query).count();
+        if closer < k {
             exp.expand_from(node, dist);
         }
     }

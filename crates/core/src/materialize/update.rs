@@ -52,7 +52,7 @@ impl MaterializedKnn {
                     return;
                 }
                 let cand = dist + nb.weight;
-                if best.get(&nb.node).map_or(true, |b| cand < *b) {
+                if best.get(&nb.node).is_none_or(|b| cand < *b) {
                     best.insert(nb.node, cand);
                     heap.push(Reverse((cand, nb.node)));
                 }
@@ -106,7 +106,7 @@ impl MaterializedKnn {
                         return;
                     }
                     let cand = dist + nb.weight;
-                    if best.get(&nb.node).map_or(true, |b| cand < *b) {
+                    if best.get(&nb.node).is_none_or(|b| cand < *b) {
                         best.insert(nb.node, cand);
                         heap.push(Reverse((cand, nb.node)));
                     }
@@ -227,14 +227,8 @@ mod tests {
         let n = g.num_nodes();
         let mut points = NodePointSet::from_nodes(n, [2, 11, 19].map(NodeId::new));
         let mut table = MaterializedKnn::build(&g, &points, 2);
-        let ops: [(bool, usize); 6] = [
-            (true, 6),
-            (false, 11),
-            (true, 23),
-            (true, 0),
-            (false, 2),
-            (false, 23),
-        ];
+        let ops: [(bool, usize); 6] =
+            [(true, 6), (false, 11), (true, 23), (true, 0), (false, 2), (false, 23)];
         for (insert, node) in ops {
             let node = NodeId::new(node);
             if insert {

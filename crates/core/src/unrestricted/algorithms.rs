@@ -55,14 +55,14 @@ pub fn unrestricted_eager_rknn<T: Topology + ?Sized>(
     let mut verified: FastSet<PointId> = fast_set();
 
     let verify_point = |p: PointId,
-                            stats: &mut QueryStats,
-                            result: &mut Vec<PointId>,
-                            verified: &mut FastSet<PointId>| {
+                        stats: &mut QueryStats,
+                        result: &mut Vec<PointId>,
+                        verified: &mut FastSet<PointId>| {
         if !verified.insert(p) {
             return;
         }
         let pos = resolve_point(graph, points, p);
-        if pos.coincides_with(query) {
+        if pos.same_location(query) {
             return;
         }
         stats.candidates += 1;
@@ -89,7 +89,11 @@ pub fn unrestricted_eager_rknn<T: Topology + ?Sized>(
         };
         stats.nodes_settled += 1;
 
-        // Lemma 1 probe.
+        // Lemma 1 probe. A data point coinciding with the query position ties
+        // with the query everywhere and must not count as "strictly closer":
+        // the probe re-derives its distance by a second expansion (summing the
+        // path in the opposite order), so a floating-point tie can land on
+        // either side of `dist` and k=1 queries would over-prune.
         let closer = if dist > Weight::ZERO {
             stats.range_nn_queries += 1;
             let (found, settled) = unrestricted_range_nn(topo, points, node, k, dist);
@@ -97,7 +101,10 @@ pub fn unrestricted_eager_rknn<T: Topology + ?Sized>(
             for &(p, _) in &found {
                 verify_point(p, &mut stats, &mut result, &mut verified);
             }
-            found.len()
+            found
+                .iter()
+                .filter(|&&(p, _)| !resolve_point(graph, points, p).same_location(query))
+                .count()
         } else {
             0
         };
@@ -137,17 +144,17 @@ pub fn unrestricted_lazy_rknn<T: Topology + ?Sized>(
     let mut settled: FastMap<NodeId, Weight> = fast_map();
 
     let process_candidate = |p: PointId,
-                                 frontier: Weight,
-                                 stats: &mut QueryStats,
-                                 result: &mut Vec<PointId>,
-                                 verified: &mut FastSet<PointId>,
-                                 counters: &mut FastMap<NodeId, usize>,
-                                 settled: &FastMap<NodeId, Weight>| {
+                             frontier: Weight,
+                             stats: &mut QueryStats,
+                             result: &mut Vec<PointId>,
+                             verified: &mut FastSet<PointId>,
+                             counters: &mut FastMap<NodeId, usize>,
+                             settled: &FastMap<NodeId, Weight>| {
         if !verified.insert(p) {
             return;
         }
         let pos = resolve_point(graph, points, p);
-        if pos.coincides_with(query) {
+        if pos.same_location(query) {
             return;
         }
         stats.candidates += 1;
@@ -308,7 +315,14 @@ mod tests {
         let g = b.build().unwrap();
         let mut pb = EdgePointSetBuilder::new(&g);
         // place points on a few edges at varying offsets
-        let place = [(0usize, 1usize, 1.2), (1, 2, 3.0), (3, 4, 2.5), (4, 7, 1.0), (6, 7, 3.3), (2, 5, 0.7)];
+        let place = [
+            (0usize, 1usize, 1.2),
+            (1, 2, 3.0),
+            (3, 4, 2.5),
+            (4, 7, 1.0),
+            (6, 7, 3.3),
+            (2, 5, 0.7),
+        ];
         for (a, bnode, off) in place {
             let e = g.edge_between(NodeId::new(a), NodeId::new(bnode)).unwrap();
             pb.add_point(e, off).unwrap();
@@ -339,7 +353,10 @@ mod tests {
         let (g, pts) = road();
         // a query on an edge with no data points
         let e = g.edge_between(NodeId::new(7), NodeId::new(8)).unwrap();
-        let query = EdgePosition::resolve(&g, rnn_graph::EdgeLocation { edge: e, offset: Weight::new(2.0) });
+        let query = EdgePosition::resolve(
+            &g,
+            rnn_graph::EdgeLocation { edge: e, offset: Weight::new(2.0) },
+        );
         for k in 1..=2 {
             let eager = unrestricted_eager_rknn(&g, &g, &pts, &query, k);
             let naive = unrestricted_naive_rknn(&g, &g, &pts, &query, k);
@@ -405,5 +422,40 @@ mod tests {
         let (g, pts) = road();
         let query = EdgePosition::of_point(&g, &pts, PointId::new(0));
         let _ = unrestricted_naive_rknn(&g, &g, &pts, &query, 0);
+    }
+
+    /// Boundary offsets are valid placements, so a point can sit exactly on a
+    /// node. A query on a *different* edge but at the same node is the same
+    /// physical location: the point must be excluded from the result (its
+    /// distance is zero) and from the Lemma-1 pruning count, even though the
+    /// two positions have different `(edge, offset)` representations.
+    #[test]
+    fn point_on_endpoint_of_adjacent_edge_counts_as_the_query_location() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 2.0).unwrap();
+        b.add_edge(1, 2, 2.0).unwrap();
+        b.add_edge(2, 3, 2.0).unwrap();
+        b.add_edge(3, 0, 2.0).unwrap();
+        let g = b.build().unwrap();
+        let e01 = g.edge_between(NodeId::new(0), NodeId::new(1)).unwrap();
+        let e12 = g.edge_between(NodeId::new(1), NodeId::new(2)).unwrap();
+        let mut pb = EdgePointSetBuilder::new(&g);
+        pb.add_point(e01, 2.0).unwrap(); // exactly on node 1
+        pb.add_point(e12, 1.5).unwrap(); // a genuine reverse neighbor
+        let pts = pb.build();
+        // Query at node 1 too, but represented on edge (1,2) at offset 0.
+        let query = EdgePosition::resolve(
+            &g,
+            rnn_graph::EdgeLocation { edge: e12, offset: Weight::new(0.0) },
+        );
+        assert!(EdgePosition::of_point(&g, &pts, PointId::new(0)).same_location(&query));
+
+        let naive = unrestricted_naive_rknn(&g, &g, &pts, &query, 1);
+        let eager = unrestricted_eager_rknn(&g, &g, &pts, &query, 1);
+        let lazy = unrestricted_lazy_rknn(&g, &g, &pts, &query, 1);
+        assert!(!naive.contains(PointId::new(0)), "collocated point is never reported");
+        assert_eq!(eager.points, naive.points);
+        assert_eq!(lazy.points, naive.points);
+        assert!(naive.contains(PointId::new(1)), "the interior point is a reverse neighbor");
     }
 }

@@ -42,10 +42,7 @@ impl Eq for HeapEntry {}
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap by distance; ties resolved by key kind/id for determinism.
-        other
-            .dist
-            .cmp(&self.dist)
-            .then_with(|| key_rank(&other.key).cmp(&key_rank(&self.key)))
+        other.dist.cmp(&self.dist).then_with(|| key_rank(&other.key).cmp(&key_rank(&self.key)))
     }
 }
 
@@ -140,7 +137,7 @@ impl<'a, T: Topology + ?Sized> UnrestrictedExpansion<'a, T> {
         if self.node_settled.contains(&node) {
             return;
         }
-        if self.node_best.get(&node).map_or(true, |b| dist < *b) {
+        if self.node_best.get(&node).is_none_or(|b| dist < *b) {
             self.node_best.insert(node, dist);
             self.heap.push(HeapEntry { dist, key: Key::Node(node) });
         }
@@ -209,24 +206,25 @@ impl<'a, T: Topology + ?Sized> UnrestrictedExpansion<'a, T> {
                 if self.point_emitted.contains(&ep.point) {
                     continue;
                 }
-                let direct = if node < nb.node {
-                    ep.offset
-                } else {
-                    nb.weight.saturating_sub(ep.offset)
-                };
+                let direct =
+                    if node < nb.node { ep.offset } else { nb.weight.saturating_sub(ep.offset) };
                 self.heap.push(HeapEntry { dist: dist + direct, key: Key::Point(ep.point) });
             }
             // The target location, if it lies on the adjacent edge.
             if let Some(t) = self.target {
                 if !self.target_emitted && t.edge == nb.edge {
-                    let direct = if node < nb.node { t.offset } else { t.edge_weight.saturating_sub(t.offset) };
+                    let direct = if node < nb.node {
+                        t.offset
+                    } else {
+                        t.edge_weight.saturating_sub(t.offset)
+                    };
                     self.heap.push(HeapEntry { dist: dist + direct, key: Key::Target });
                 }
             }
             // Ordinary node relaxation.
             if !self.node_settled.contains(&nb.node) {
                 let cand = dist + nb.weight;
-                if self.node_best.get(&nb.node).map_or(true, |b| cand < *b) {
+                if self.node_best.get(&nb.node).is_none_or(|b| cand < *b) {
                     self.node_best.insert(nb.node, cand);
                     self.heap.push(HeapEntry { dist: cand, key: Key::Node(nb.node) });
                 }

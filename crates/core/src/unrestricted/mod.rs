@@ -27,9 +27,7 @@ pub mod algorithms;
 pub mod expansion;
 mod transform;
 
-pub use algorithms::{
-    unrestricted_eager_rknn, unrestricted_lazy_rknn, unrestricted_naive_rknn,
-};
+pub use algorithms::{unrestricted_eager_rknn, unrestricted_lazy_rknn, unrestricted_naive_rknn};
 pub use transform::{transform_to_restricted, RestrictedView};
 
 use rnn_graph::{EdgeLocation, EdgePointSet, Graph, NodeId, PointId, Weight};
@@ -102,6 +100,31 @@ impl EdgePosition {
     /// Returns `true` if the two positions coincide (same edge, same offset).
     pub fn coincides_with(&self, other: &EdgePosition) -> bool {
         self.edge == other.edge && self.offset == other.offset
+    }
+
+    /// The node this position sits on, if its offset lands exactly on an
+    /// endpoint (boundary offsets are valid placements).
+    pub fn node_location(&self) -> Option<NodeId> {
+        if self.offset == Weight::ZERO {
+            Some(self.lo)
+        } else if self.offset == self.edge_weight {
+            Some(self.hi)
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` if the two positions denote the same physical location:
+    /// the same offset on the same edge, or the same node reached as a
+    /// boundary offset of two different edges.
+    pub fn same_location(&self, other: &EdgePosition) -> bool {
+        if self.coincides_with(other) {
+            return true;
+        }
+        match (self.node_location(), other.node_location()) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
     }
 }
 

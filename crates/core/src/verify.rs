@@ -121,12 +121,7 @@ where
 
     // The target is unreachable from the candidate: it cannot be one of its
     // k nearest neighbors.
-    Verification {
-        accepted: false,
-        target_distance: None,
-        settled: exp.settled_count(),
-        visited,
-    }
+    Verification { accepted: false, target_distance: None, settled: exp.settled_count(), visited }
 }
 
 /// Counts data points other than `exclude` with distance strictly smaller
@@ -235,7 +230,8 @@ mod tests {
         // candidate on node 1, other point on node 0 (distance 2), query node 3 (distance 2)
         let pts = NodePointSet::from_nodes(4, [NodeId::new(0), NodeId::new(1)]);
         let cand = pts.point_at(NodeId::new(1)).unwrap();
-        let v = verify_candidate(&g, &pts, cand, NodeId::new(1), |n| n == NodeId::new(3), params(1));
+        let v =
+            verify_candidate(&g, &pts, cand, NodeId::new(1), |n| n == NodeId::new(3), params(1));
         assert!(v.accepted, "a tie with another point must not disqualify the candidate");
     }
 
@@ -268,7 +264,7 @@ mod tests {
             &pts,
             cand,
             NodeId::new(0),
-            |m| m == NodeId::new((n - 1) as usize),
+            |m| m == NodeId::new(n - 1),
             params(1),
         );
         assert!(!v.accepted);

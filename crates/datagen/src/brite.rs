@@ -130,7 +130,11 @@ mod tests {
         let g = brite_topology(&BriteConfig { num_nodes: 5_000, ..Default::default() });
         let stats = GraphStats::compute(&g);
         // preferential attachment produces hubs far above the average degree
-        assert!(stats.max_degree > 40, "max degree {} too small for a scale-free graph", stats.max_degree);
+        assert!(
+            stats.max_degree > 40,
+            "max degree {} too small for a scale-free graph",
+            stats.max_degree
+        );
         assert!(stats.min_degree >= 1);
     }
 

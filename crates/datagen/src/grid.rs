@@ -51,12 +51,12 @@ pub fn grid_map(config: &GridConfig) -> Graph {
     let cols = config.cols;
     let n = rows * cols;
     let mut rand = rng(config.seed);
-    let mut builder = GraphBuilder::with_edge_capacity(n, (n as f64 * config.average_degree / 2.0) as usize + 4);
+    let mut builder =
+        GraphBuilder::with_edge_capacity(n, (n as f64 * config.average_degree / 2.0) as usize + 4);
 
     let index = |r: usize, c: usize| r * cols + c;
-    let jitter = |rand: &mut rand_chacha::ChaCha8Rng| {
-        config.base_weight * (0.8 + 0.4 * rand.gen::<f64>())
-    };
+    let jitter =
+        |rand: &mut rand_chacha::ChaCha8Rng| config.base_weight * (0.8 + 0.4 * rand.gen::<f64>());
 
     // Dedup set so that adding extra edges stays O(1) per attempt even for
     // paper-scale grids (hundreds of thousands of nodes).
@@ -177,8 +177,10 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = grid_map(&GridConfig { rows: 10, cols: 10, average_degree: 5.0, ..Default::default() });
-        let b = grid_map(&GridConfig { rows: 10, cols: 10, average_degree: 5.0, ..Default::default() });
+        let a =
+            grid_map(&GridConfig { rows: 10, cols: 10, average_degree: 5.0, ..Default::default() });
+        let b =
+            grid_map(&GridConfig { rows: 10, cols: 10, average_degree: 5.0, ..Default::default() });
         assert_eq!(a, b);
     }
 }

@@ -146,7 +146,11 @@ mod tests {
 
     #[test]
     fn coordinates_stay_within_the_extent() {
-        let net = spatial_road_network(&SpatialConfig { num_nodes: 1_000, extent: 500.0, ..Default::default() });
+        let net = spatial_road_network(&SpatialConfig {
+            num_nodes: 1_000,
+            extent: 500.0,
+            ..Default::default()
+        });
         for &(x, y) in &net.coordinates {
             assert!((0.0..=500.0).contains(&x));
             assert!((0.0..=500.0).contains(&y));

@@ -27,9 +27,7 @@ pub fn sample_edge_queries(points: &EdgePointSet, count: usize, seed: u64) -> Ve
     if points.is_empty() {
         return Vec::new();
     }
-    (0..count)
-        .map(|_| PointId::new(rand.gen_range(0..points.num_points())))
-        .collect()
+    (0..count).map(|_| PointId::new(rand.gen_range(0..points.num_points()))).collect()
 }
 
 /// Samples `count` routes of `length` nodes each as random walks without

@@ -95,8 +95,7 @@ impl GraphBuilder {
     pub fn build(mut self) -> Result<Graph, GraphError> {
         // Sort by (lo, hi) so duplicates become adjacent and edge ids are
         // deterministic regardless of insertion order.
-        self.edges
-            .sort_unstable_by(|x, y| (x.0, x.1).cmp(&(y.0, y.1)).then(x.2.total_cmp(&y.2)));
+        self.edges.sort_unstable_by(|x, y| (x.0, x.1).cmp(&(y.0, y.1)).then(x.2.total_cmp(&y.2)));
 
         let mut edge_endpoints: Vec<(NodeId, NodeId)> = Vec::with_capacity(self.edges.len());
         let mut edge_weights: Vec<Weight> = Vec::with_capacity(self.edges.len());
@@ -105,10 +104,7 @@ impl GraphBuilder {
                 if plo.0 == lo && phi.0 == hi {
                     let prev_w = *edge_weights.last().expect("parallel arrays");
                     if (prev_w.value() - w).abs() > f64::EPSILON * prev_w.value().max(1.0) {
-                        return Err(GraphError::DuplicateEdge {
-                            from: NodeId(lo),
-                            to: NodeId(hi),
-                        });
+                        return Err(GraphError::DuplicateEdge { from: NodeId(lo), to: NodeId(hi) });
                     }
                     // Identical duplicate: ignore.
                     continue;
@@ -158,9 +154,8 @@ impl GraphBuilder {
         for v in 0..self.num_nodes {
             let lo = offsets[v] as usize;
             let hi = offsets[v + 1] as usize;
-            let mut entries: Vec<(NodeId, Weight, EdgeId)> = (lo..hi)
-                .map(|a| (arc_targets[a], arc_weights[a], arc_edges[a]))
-                .collect();
+            let mut entries: Vec<(NodeId, Weight, EdgeId)> =
+                (lo..hi).map(|a| (arc_targets[a], arc_weights[a], arc_edges[a])).collect();
             entries.sort_unstable_by_key(|&(n, _, _)| n);
             for (off, (n, w, e)) in entries.into_iter().enumerate() {
                 arc_targets[lo + off] = n;
@@ -188,27 +183,12 @@ mod tests {
     #[test]
     fn rejects_invalid_edges() {
         let mut b = GraphBuilder::new(3);
-        assert!(matches!(
-            b.add_edge(0, 3, 1.0),
-            Err(GraphError::NodeOutOfBounds { node: 3, .. })
-        ));
+        assert!(matches!(b.add_edge(0, 3, 1.0), Err(GraphError::NodeOutOfBounds { node: 3, .. })));
         assert!(matches!(b.add_edge(1, 1, 1.0), Err(GraphError::SelfLoop { .. })));
-        assert!(matches!(
-            b.add_edge(0, 1, 0.0),
-            Err(GraphError::InvalidWeight { .. })
-        ));
-        assert!(matches!(
-            b.add_edge(0, 1, -3.0),
-            Err(GraphError::InvalidWeight { .. })
-        ));
-        assert!(matches!(
-            b.add_edge(0, 1, f64::NAN),
-            Err(GraphError::InvalidWeight { .. })
-        ));
-        assert!(matches!(
-            b.add_edge(0, 1, f64::INFINITY),
-            Err(GraphError::InvalidWeight { .. })
-        ));
+        assert!(matches!(b.add_edge(0, 1, 0.0), Err(GraphError::InvalidWeight { .. })));
+        assert!(matches!(b.add_edge(0, 1, -3.0), Err(GraphError::InvalidWeight { .. })));
+        assert!(matches!(b.add_edge(0, 1, f64::NAN), Err(GraphError::InvalidWeight { .. })));
+        assert!(matches!(b.add_edge(0, 1, f64::INFINITY), Err(GraphError::InvalidWeight { .. })));
     }
 
     #[test]

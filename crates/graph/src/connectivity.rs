@@ -60,12 +60,7 @@ pub fn largest_connected_component(graph: &Graph) -> (Graph, Vec<NodeId>) {
     for &c in &component {
         sizes[c] += 1;
     }
-    let largest = sizes
-        .iter()
-        .enumerate()
-        .max_by_key(|&(_, s)| *s)
-        .map(|(i, _)| i)
-        .unwrap_or(0);
+    let largest = sizes.iter().enumerate().max_by_key(|&(_, s)| *s).map(|(i, _)| i).unwrap_or(0);
 
     let mut new_id = vec![u32::MAX; graph.num_nodes()];
     let mut mapping = Vec::with_capacity(sizes[largest]);

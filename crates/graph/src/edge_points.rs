@@ -60,10 +60,7 @@ impl EdgePointSet {
     /// endpoint.
     #[inline]
     pub fn points_on_edge(&self, edge: EdgeId) -> &[EdgePoint] {
-        self.by_edge
-            .get(edge.index())
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        self.by_edge.get(edge.index()).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
     /// Returns the location of `point`.
@@ -74,10 +71,7 @@ impl EdgePointSet {
 
     /// Iterates over `(point, location)` pairs in point id order.
     pub fn iter(&self) -> impl Iterator<Item = (PointId, EdgeLocation)> + '_ {
-        self.locations
-            .iter()
-            .enumerate()
-            .map(|(i, &loc)| (PointId::new(i), loc))
+        self.locations.iter().enumerate().map(|(i, &loc)| (PointId::new(i), loc))
     }
 
     /// The *direct distance* `d_L(p, n)` from a point to one endpoint `n` of
@@ -134,10 +128,7 @@ impl<'g> EdgePointSetBuilder<'g> {
     /// endpoint.
     pub fn add_point(&mut self, edge: EdgeId, offset: f64) -> Result<(), GraphError> {
         if edge.index() >= self.graph.num_edges() {
-            return Err(GraphError::EdgeOutOfBounds {
-                edge,
-                num_edges: self.graph.num_edges(),
-            });
+            return Err(GraphError::EdgeOutOfBounds { edge, num_edges: self.graph.num_edges() });
         }
         let w = self.graph.edge_weight(edge).value();
         if !(offset.is_finite() && (0.0..=w).contains(&offset)) {
@@ -152,8 +143,7 @@ impl<'g> EdgePointSetBuilder<'g> {
     /// Points are assigned dense ids sorted by `(edge, offset)` so the result
     /// is deterministic regardless of insertion order.
     pub fn build(mut self) -> EdgePointSet {
-        self.placements
-            .sort_unstable_by(|a, b| (a.edge, a.offset).cmp(&(b.edge, b.offset)));
+        self.placements.sort_unstable_by_key(|a| (a.edge, a.offset));
         let mut by_edge = vec![Vec::new(); self.graph.num_edges()];
         let mut locations = Vec::with_capacity(self.placements.len());
         for (i, loc) in self.placements.into_iter().enumerate() {

@@ -92,7 +92,9 @@ impl fmt::Display for GraphError {
             GraphError::RouteNotConnected { from, to } => {
                 write!(f, "route nodes {from} and {to} are not adjacent")
             }
-            GraphError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
             GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
@@ -116,11 +118,8 @@ mod tests {
         assert!(e.to_string().contains("out of bounds"));
         let e = GraphError::SelfLoop { node: NodeId::new(2) };
         assert!(e.to_string().contains("self loop"));
-        let e = GraphError::InvalidWeight {
-            from: NodeId::new(0),
-            to: NodeId::new(1),
-            weight: -2.0,
-        };
+        let e =
+            GraphError::InvalidWeight { from: NodeId::new(0), to: NodeId::new(1), weight: -2.0 };
         assert!(e.to_string().contains("invalid weight"));
         let e = GraphError::Parse { line: 3, message: "bad token".into() };
         assert!(e.to_string().contains("line 3"));

@@ -59,14 +59,7 @@ impl Graph {
         debug_assert_eq!(arc_targets.len(), arc_edges.len());
         debug_assert_eq!(edge_endpoints.len(), edge_weights.len());
         debug_assert_eq!(*offsets.last().unwrap_or(&0) as usize, arc_targets.len());
-        Graph {
-            offsets,
-            arc_targets,
-            arc_weights,
-            arc_edges,
-            edge_endpoints,
-            edge_weights,
-        }
+        Graph { offsets, arc_targets, arc_weights, arc_edges, edge_endpoints, edge_weights }
     }
 
     /// Number of nodes `|V|`.
@@ -120,9 +113,7 @@ impl Graph {
     /// Runs in `O(min(deg(a), deg(b)))`.
     pub fn edge_between(&self, a: NodeId, b: NodeId) -> Option<EdgeId> {
         let (probe, target) = if self.degree(a) <= self.degree(b) { (a, b) } else { (b, a) };
-        self.neighbors(probe)
-            .find(|n| n.node == target)
-            .map(|n| n.edge)
+        self.neighbors(probe).find(|n| n.node == target).map(|n| n.edge)
     }
 
     /// Returns `true` if `a` and `b` are connected by an edge.
@@ -219,10 +210,7 @@ mod tests {
         // every arc has a reverse arc with the same weight
         for v in g.node_ids() {
             for n in g.neighbors(v) {
-                let back = g
-                    .neighbors(n.node)
-                    .find(|m| m.node == v)
-                    .expect("reverse arc present");
+                let back = g.neighbors(n.node).find(|m| m.node == v).expect("reverse arc present");
                 assert_eq!(back.weight, n.weight);
                 assert_eq!(back.edge, n.edge);
             }
@@ -280,7 +268,6 @@ mod tests {
         // and return a marker string containing a field name.
         fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
         assert_serde::<Graph>();
-        format!("{:?}", g.offsets)
-            .replace('[', "offsets[")
+        format!("{:?}", g.offsets).replace('[', "offsets[")
     }
 }

@@ -63,14 +63,11 @@ fn parse_field<T: std::str::FromStr>(
     line: usize,
     what: &str,
 ) -> Result<T, GraphError> {
-    let token = token.ok_or_else(|| GraphError::Parse {
-        line,
-        message: format!("missing {what}"),
-    })?;
-    token.parse().map_err(|_| GraphError::Parse {
-        line,
-        message: format!("invalid {what}: '{token}'"),
-    })
+    let token =
+        token.ok_or_else(|| GraphError::Parse { line, message: format!("missing {what}") })?;
+    token
+        .parse()
+        .map_err(|_| GraphError::Parse { line, message: format!("invalid {what}: '{token}'") })
 }
 
 /// Writes a graph in the textual edge-list format.

@@ -59,10 +59,7 @@ pub struct NodePointSet {
 impl NodePointSet {
     /// Creates an empty point set over a graph with `num_nodes` nodes.
     pub fn empty(num_nodes: usize) -> Self {
-        NodePointSet {
-            point_of_node: vec![None; num_nodes],
-            node_of_point: Vec::new(),
-        }
+        NodePointSet { point_of_node: vec![None; num_nodes], node_of_point: Vec::new() }
     }
 
     /// Creates a point set from the list of occupied nodes.
@@ -93,18 +90,12 @@ impl NodePointSet {
     /// attributes (e.g. "authors with at least two SIGMOD papers"), so no
     /// materialization is possible.
     pub fn from_predicate<F: FnMut(NodeId) -> bool>(num_nodes: usize, mut predicate: F) -> Self {
-        Self::from_nodes(
-            num_nodes,
-            (0..num_nodes).map(NodeId::new).filter(|&n| predicate(n)),
-        )
+        Self::from_nodes(num_nodes, (0..num_nodes).map(NodeId::new).filter(|&n| predicate(n)))
     }
 
     /// Iterates over `(point, node)` pairs in point id order.
     pub fn iter(&self) -> impl Iterator<Item = (PointId, NodeId)> + '_ {
-        self.node_of_point
-            .iter()
-            .enumerate()
-            .map(|(i, &n)| (PointId::new(i), n))
+        self.node_of_point.iter().enumerate().map(|(i, &n)| (PointId::new(i), n))
     }
 
     /// Returns the occupied nodes in point id order.
@@ -231,7 +222,7 @@ mod tests {
         let r: &dyn PointsOnNodes = &s;
         assert_eq!(r.num_points(), 1);
         assert!(!r.is_empty());
-        assert_eq!((&s).point_at(NodeId::new(0)), Some(PointId::new(0)));
+        assert_eq!(s.point_at(NodeId::new(0)), Some(PointId::new(0)));
         assert!(NodePointSet::empty(4).is_empty());
     }
 }

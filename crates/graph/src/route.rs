@@ -63,9 +63,7 @@ impl Route {
         self.nodes
             .windows(2)
             .map(|pair| {
-                let e = graph
-                    .edge_between(pair[0], pair[1])
-                    .expect("validated route edges exist");
+                let e = graph.edge_between(pair[0], pair[1]).expect("validated route edges exist");
                 graph.edge_weight(e)
             })
             .sum()
@@ -93,11 +91,8 @@ impl Route {
         visited[start.index()] = true;
         let mut current = start;
         while nodes.len() < len {
-            let candidates: Vec<NodeId> = graph
-                .neighbors(current)
-                .map(|n| n.node)
-                .filter(|n| !visited[n.index()])
-                .collect();
+            let candidates: Vec<NodeId> =
+                graph.neighbors(current).map(|n| n.node).filter(|n| !visited[n.index()]).collect();
             if candidates.is_empty() {
                 return None;
             }

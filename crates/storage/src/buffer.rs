@@ -208,11 +208,7 @@ mod tests {
                 let mut b = PageBuilder::new();
                 b.push_record(
                     NodeId(i as u32),
-                    &[PageEntry {
-                        neighbor: NodeId(0),
-                        edge: EdgeId(0),
-                        weight: Weight::new(1.0),
-                    }],
+                    &[PageEntry { neighbor: NodeId(0), edge: EdgeId(0), weight: Weight::new(1.0) }],
                 )
                 .unwrap();
                 b.build()
@@ -312,5 +308,89 @@ mod tests {
         assert_eq!(s.accesses, 10);
         assert_eq!(s.faults, 10);
         assert_eq!(s.evictions, 7);
+    }
+
+    #[test]
+    fn capacity_one_buffer_keeps_only_the_last_page() {
+        let pool = BufferPool::new(disk_with_pages(3), 1, IoCounters::new());
+        pool.fetch(PageId(0)).unwrap(); // fault, resident: {0}
+        pool.fetch(PageId(0)).unwrap(); // hit
+        pool.fetch(PageId(1)).unwrap(); // fault + eviction, resident: {1}
+        pool.fetch(PageId(1)).unwrap(); // hit
+        pool.fetch(PageId(0)).unwrap(); // fault + eviction again
+        let s = pool.io_stats();
+        assert_eq!(s.accesses, 5);
+        assert_eq!(s.faults, 3);
+        assert_eq!(s.evictions, 2);
+        assert_eq!(pool.resident_pages(), 1);
+    }
+
+    #[test]
+    fn evicted_slots_are_reused_with_the_right_contents() {
+        // After an eviction reuses a slot, the page served for the new id
+        // must be the new page, and re-fetching the evicted id must serve its
+        // original contents (read back through the store).
+        let pool = BufferPool::new(disk_with_pages(4), 2, IoCounters::new());
+        let direct: Vec<Page> =
+            (0..4).map(|i| pool.store().read_page(PageId(i)).unwrap()).collect();
+        for round in 0..3 {
+            for i in 0..4 {
+                let got = pool.fetch(PageId(i)).unwrap();
+                assert_eq!(got, direct[i as usize], "round {round}, page {i}");
+                let records = got.records(PageId(i)).unwrap();
+                assert_eq!(records[0].node, NodeId(i));
+            }
+        }
+        assert_eq!(pool.resident_pages(), 2, "resident never exceeds capacity");
+    }
+
+    #[test]
+    fn exact_lru_victim_sequence() {
+        // Track the precise eviction order through a mixed hit/fault pattern.
+        let pool = BufferPool::new(disk_with_pages(5), 3, IoCounters::new());
+        let faults = |pool: &BufferPool<MemoryDisk>| pool.io_stats().faults;
+
+        pool.fetch(PageId(0)).unwrap(); // LRU order (MRU first): [0]
+        pool.fetch(PageId(1)).unwrap(); // [1, 0]
+        pool.fetch(PageId(2)).unwrap(); // [2, 1, 0]
+        pool.fetch(PageId(0)).unwrap(); // hit -> [0, 2, 1]
+        pool.fetch(PageId(3)).unwrap(); // evicts 1 -> [3, 0, 2]
+        assert_eq!(faults(&pool), 4);
+        pool.fetch(PageId(2)).unwrap(); // still resident: hit -> [2, 3, 0]
+        assert_eq!(faults(&pool), 4, "page 2 must not have been evicted");
+        pool.fetch(PageId(1)).unwrap(); // fault (evicted above), evicts 0
+        assert_eq!(faults(&pool), 5);
+        pool.fetch(PageId(0)).unwrap(); // fault again: 0 was the LRU victim
+        assert_eq!(faults(&pool), 6);
+        assert_eq!(pool.io_stats().evictions, 3);
+    }
+
+    #[test]
+    fn concurrent_fetches_count_every_access_exactly_once() {
+        use std::sync::Arc;
+        let pool = Arc::new(BufferPool::new(disk_with_pages(8), 4, IoCounters::new()));
+        let threads = 4;
+        let per_thread = 200;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        let id = PageId(((t * 3 + i) % 8) as u32);
+                        let page = pool.fetch(id).unwrap();
+                        let records = page.records(id).unwrap();
+                        assert_eq!(records[0].node, NodeId(id.0));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = pool.io_stats();
+        assert_eq!(s.accesses, (threads * per_thread) as u64);
+        assert!(s.faults >= 8, "each of the 8 pages faults at least once");
+        assert!(s.faults <= s.accesses);
+        assert!(pool.resident_pages() <= 4);
     }
 }

@@ -71,12 +71,8 @@ impl FileDisk {
     /// Writes `pages` to `path` (truncating any existing file) and opens the
     /// resulting store.
     pub fn create<P: AsRef<Path>>(path: P, pages: &[Page]) -> Result<Self, StorageError> {
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
         let mut slot = vec![0u8; PAGE_SIZE + 8];
         for page in pages {
             let used = page.used_bytes();
@@ -95,7 +91,7 @@ impl FileDisk {
         let file = OpenOptions::new().read(true).open(path)?;
         let len = file.metadata()?.len() as usize;
         let slot = PAGE_SIZE + 8;
-        if len % slot != 0 {
+        if !len.is_multiple_of(slot) {
             return Err(StorageError::Io(format!(
                 "page file length {len} is not a multiple of the slot size {slot}"
             )));
@@ -183,7 +179,10 @@ mod tests {
         assert_eq!(disk.num_pages(), 3);
         for (i, expected) in pages.iter().enumerate() {
             let got = disk.read_page(PageId::new(i)).unwrap();
-            assert_eq!(got.records(PageId::new(i)).unwrap(), expected.records(PageId::new(i)).unwrap());
+            assert_eq!(
+                got.records(PageId::new(i)).unwrap(),
+                expected.records(PageId::new(i)).unwrap()
+            );
         }
         assert!(disk.read_page(PageId::new(3)).is_err());
 

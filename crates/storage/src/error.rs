@@ -42,7 +42,10 @@ impl fmt::Display for StorageError {
                 write!(f, "page {page:?} out of bounds (store has {num_pages} pages)")
             }
             StorageError::RecordTooLarge { node, size } => {
-                write!(f, "adjacency record of node {node} is {size} bytes and exceeds the page capacity")
+                write!(
+                    f,
+                    "adjacency record of node {node} is {size} bytes and exceeds the page capacity"
+                )
             }
             StorageError::CorruptPage { page, message } => {
                 write!(f, "corrupt page {page:?}: {message}")
@@ -72,7 +75,7 @@ mod tests {
         assert!(e.to_string().contains("exceeds"));
         let e = StorageError::CorruptPage { page: PageId(0), message: "truncated".into() };
         assert!(e.to_string().contains("corrupt"));
-        let e: StorageError = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        let e: StorageError = std::io::Error::other("boom").into();
         assert!(matches!(e, StorageError::Io(_)));
     }
 }

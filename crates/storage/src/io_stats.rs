@@ -124,4 +124,50 @@ mod tests {
         assert_eq!(acc.accesses, 17);
         assert_eq!(acc.faults, 5);
     }
+
+    #[test]
+    fn hit_ratio_edge_cases() {
+        assert_eq!(IoStats::default().hit_ratio(), 1.0, "no accesses counts as all hits");
+        let all_faults = IoStats { accesses: 5, faults: 5, evictions: 0 };
+        assert_eq!(all_faults.hit_ratio(), 0.0);
+        let all_hits = IoStats { accesses: 5, faults: 0, evictions: 0 };
+        assert_eq!(all_hits.hit_ratio(), 1.0);
+    }
+
+    #[test]
+    fn per_query_attribution_with_since() {
+        // The harness pattern: snapshot before each query, diff after.
+        let c = IoCounters::new();
+        c.record_access(true, false); // warmup access
+        let before = c.snapshot();
+        c.record_access(true, false);
+        c.record_access(false, false);
+        c.record_access(false, false);
+        let query_io = c.snapshot().since(&before);
+        assert_eq!(query_io, IoStats { accesses: 3, faults: 1, evictions: 0 });
+    }
+
+    #[test]
+    fn concurrent_recording_loses_no_accesses() {
+        use std::sync::Arc;
+        let c = IoCounters::new();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        c.record_access(i % 2 == 0, i % 10 == 0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = c.snapshot();
+        assert_eq!(s.accesses, 2000);
+        assert_eq!(s.faults, 1000);
+        assert_eq!(s.evictions, 200);
+        let _ = Arc::new(c); // counters remain usable behind an Arc
+    }
 }

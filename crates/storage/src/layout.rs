@@ -16,23 +16,18 @@ use rnn_graph::{Graph, NodeId, Topology};
 use std::collections::VecDeque;
 
 /// How adjacency lists are assigned to pages.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
 pub enum LayoutStrategy {
     /// Pack nodes in breadth-first order starting from node 0 (and from the
     /// lowest-id unvisited node of every further component). This is the
     /// locality-preserving grouping the paper uses.
+    #[default]
     BfsLocality,
     /// Pack nodes in ascending node-id order.
     NodeOrder,
     /// Pack nodes in a deterministic pseudo-random order derived from the
     /// given seed. Destroys locality on purpose (worst-case ablation).
     Shuffled(u64),
-}
-
-impl Default for LayoutStrategy {
-    fn default() -> Self {
-        LayoutStrategy::BfsLocality
-    }
 }
 
 /// The result of laying a graph out on pages.
@@ -60,10 +55,8 @@ impl PageLayout {
         let max_entries = PageRecord::max_entries_per_page();
 
         let mut pages: Vec<Page> = Vec::new();
-        let mut entries_index: Vec<NodeIndexEntry> = vec![
-            NodeIndexEntry { first_page: PageId(0), span: 0 };
-            graph.num_nodes()
-        ];
+        let mut entries_index: Vec<NodeIndexEntry> =
+            vec![NodeIndexEntry { first_page: PageId(0), span: 0 }; graph.num_nodes()];
         let mut current = PageBuilder::new();
         let mut scratch: Vec<PageEntry> = Vec::new();
 
@@ -101,11 +94,7 @@ impl PageLayout {
             pages.push(current.build());
         }
 
-        Ok(PageLayout {
-            pages,
-            index: NodeIndex::new(entries_index),
-            packing_order: order,
-        })
+        Ok(PageLayout { pages, index: NodeIndex::new(entries_index), packing_order: order })
     }
 
     /// Number of pages produced.
@@ -195,11 +184,9 @@ mod tests {
     #[test]
     fn every_node_has_an_index_entry_and_its_record_is_complete() {
         let g = grid_graph(8);
-        for strategy in [
-            LayoutStrategy::BfsLocality,
-            LayoutStrategy::NodeOrder,
-            LayoutStrategy::Shuffled(42),
-        ] {
+        for strategy in
+            [LayoutStrategy::BfsLocality, LayoutStrategy::NodeOrder, LayoutStrategy::Shuffled(42)]
+        {
             let layout = PageLayout::build(&g, strategy).unwrap();
             assert_eq!(layout.index.num_nodes(), g.num_nodes());
             assert!(layout.num_pages() >= 1);
@@ -207,9 +194,7 @@ mod tests {
                 let entry = layout.index.entry(v);
                 let mut decoded = Vec::new();
                 for p in entry.pages() {
-                    layout.pages[p.index()]
-                        .entries_of(p, v, &mut decoded)
-                        .unwrap();
+                    layout.pages[p.index()].entries_of(p, v, &mut decoded).unwrap();
                 }
                 let expected = g.neighbors_vec(v);
                 assert_eq!(decoded.len(), expected.len(), "{strategy:?} node {v}");
@@ -255,9 +240,7 @@ mod tests {
         assert_eq!(hub.span, 3);
         let mut decoded = Vec::new();
         for p in hub.pages() {
-            layout.pages[p.index()]
-                .entries_of(p, NodeId::new(0), &mut decoded)
-                .unwrap();
+            layout.pages[p.index()].entries_of(p, NodeId::new(0), &mut decoded).unwrap();
         }
         assert_eq!(decoded.len(), leaves);
     }
@@ -265,11 +248,9 @@ mod tests {
     #[test]
     fn packing_orders_are_permutations() {
         let g = grid_graph(5);
-        for strategy in [
-            LayoutStrategy::BfsLocality,
-            LayoutStrategy::NodeOrder,
-            LayoutStrategy::Shuffled(1),
-        ] {
+        for strategy in
+            [LayoutStrategy::BfsLocality, LayoutStrategy::NodeOrder, LayoutStrategy::Shuffled(1)]
+        {
             let mut order = packing_order(&g, strategy);
             order.sort_unstable();
             let expected: Vec<NodeId> = g.node_ids().collect();
@@ -301,9 +282,7 @@ mod tests {
         let mut decoded = Vec::new();
         let mut found = false;
         for p in entry.pages() {
-            found |= layout.pages[p.index()]
-                .entries_of(p, NodeId::new(2), &mut decoded)
-                .unwrap();
+            found |= layout.pages[p.index()].entries_of(p, NodeId::new(2), &mut decoded).unwrap();
         }
         assert!(found, "isolated node still has an (empty) record");
         assert!(decoded.is_empty());

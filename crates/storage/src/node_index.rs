@@ -60,10 +60,7 @@ impl NodeIndex {
 
     /// Iterates over all entries in node id order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeIndexEntry)> + '_ {
-        self.entries
-            .iter()
-            .enumerate()
-            .map(|(i, &e)| (NodeId::new(i), e))
+        self.entries.iter().enumerate().map(|(i, &e)| (NodeId::new(i), e))
     }
 
     /// Approximate in-memory size of the index in bytes.

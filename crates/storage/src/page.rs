@@ -232,11 +232,7 @@ impl PageBuilder {
     ///
     /// Callers must check [`PageBuilder::fits`] first; records never straddle
     /// a page boundary.
-    pub fn push_record(
-        &mut self,
-        node: NodeId,
-        entries: &[PageEntry],
-    ) -> Result<(), StorageError> {
+    pub fn push_record(&mut self, node: NodeId, entries: &[PageEntry]) -> Result<(), StorageError> {
         let size = PageRecord::encoded_size(entries.len());
         if size > self.free_bytes() {
             return Err(StorageError::RecordTooLarge { node: node.0, size });

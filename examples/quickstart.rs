@@ -11,7 +11,16 @@ fn main() {
     // A toy road network: 8 junctions connected in a ring with two chords.
     // Edge weights are travel times in minutes.
     let mut builder = GraphBuilder::new(8);
-    let ring = [(0, 1, 4.0), (1, 2, 3.0), (2, 3, 5.0), (3, 4, 2.0), (4, 5, 4.0), (5, 6, 3.0), (6, 7, 2.0), (7, 0, 5.0)];
+    let ring = [
+        (0, 1, 4.0),
+        (1, 2, 3.0),
+        (2, 3, 5.0),
+        (3, 4, 2.0),
+        (4, 5, 4.0),
+        (5, 6, 3.0),
+        (6, 7, 2.0),
+        (7, 0, 5.0),
+    ];
     for (a, b, w) in ring {
         builder.add_edge(a, b, w).expect("valid edge");
     }
@@ -34,11 +43,8 @@ fn main() {
         println!("reverse {k}-nearest-neighbors of the proposed site:");
         for algorithm in Algorithm::ALL {
             let outcome = run_rknn(algorithm, &graph, &cafes, Some(&table), proposed_site, k);
-            let nodes: Vec<String> = outcome
-                .points
-                .iter()
-                .map(|&p| format!("junction {}", cafes.node_of(p)))
-                .collect();
+            let nodes: Vec<String> =
+                outcome.points.iter().map(|&p| format!("junction {}", cafes.node_of(p))).collect();
             println!(
                 "  {:<22} -> {:<40} (settled {} nodes, {} verifications)",
                 algorithm.name(),
@@ -49,5 +55,7 @@ fn main() {
         }
     }
 
-    println!("\nAll algorithms agree; eager/lazy differ only in how much of the network they touch.");
+    println!(
+        "\nAll algorithms agree; eager/lazy differ only in how much of the network they touch."
+    );
 }

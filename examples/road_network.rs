@@ -27,16 +27,16 @@ fn main() {
     // ---- Unrestricted monochromatic queries: shops on road segments. -------
     let shops = place_points_on_edges(&net.graph, 0.01, 5);
     let queries = sample_edge_queries(&shops, 3, 9);
-    println!("\n{} shops placed on road segments; reverse-NN of three of them:", shops.num_points());
+    println!(
+        "\n{} shops placed on road segments; reverse-NN of three of them:",
+        shops.num_points()
+    );
     for q in queries {
         let pos = EdgePosition::of_point(&net.graph, &shops, q);
         let eager = unrestricted_eager_rknn(&net.graph, &net.graph, &shops, &pos, 1);
         let lazy = unrestricted_lazy_rknn(&net.graph, &net.graph, &shops, &pos, 1);
         assert_eq!(eager.points, lazy.points);
-        println!(
-            "  shop {q:?}: {} shops would have it as their nearest competitor",
-            eager.len()
-        );
+        println!("  shop {q:?}: {} shops would have it as their nearest competitor", eager.len());
     }
 
     // The same instance can be transformed to a restricted network, e.g. to

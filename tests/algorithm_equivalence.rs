@@ -7,9 +7,7 @@ mod common;
 use common::{restricted_instance, unrestricted_instance};
 use proptest::prelude::*;
 use rnn_core::bichromatic::{bichromatic_rknn, naive_bichromatic_rknn};
-use rnn_core::continuous::{
-    continuous_eager_rknn, continuous_lazy_rknn, naive_continuous_rknn,
-};
+use rnn_core::continuous::{continuous_eager_rknn, continuous_lazy_rknn, naive_continuous_rknn};
 use rnn_core::materialize::MaterializedKnn;
 use rnn_core::unrestricted::{
     unrestricted_eager_rknn, unrestricted_lazy_rknn, unrestricted_naive_rknn, EdgePosition,
@@ -120,7 +118,8 @@ proptest! {
 #[test]
 fn generated_workload_equivalence_smoke_test() {
     use rnn_datagen::{grid_map, place_points_on_nodes, sample_node_queries, GridConfig};
-    let graph = grid_map(&GridConfig { rows: 30, cols: 30, average_degree: 5.0, ..Default::default() });
+    let graph =
+        grid_map(&GridConfig { rows: 30, cols: 30, average_degree: 5.0, ..Default::default() });
     let points = place_points_on_nodes(&graph, 0.03, 9);
     let table = MaterializedKnn::build(&graph, &points, 2);
     for q in sample_node_queries(&points, 10, 4) {

@@ -71,7 +71,12 @@ fn spatial_workload_all_algorithms_agree() {
 #[test]
 fn grid_workload_all_algorithms_agree_across_degrees() {
     for degree in [4.0, 6.0] {
-        let graph = grid_map(&GridConfig { rows: 40, cols: 40, average_degree: degree, ..Default::default() });
+        let graph = grid_map(&GridConfig {
+            rows: 40,
+            cols: 40,
+            average_degree: degree,
+            ..Default::default()
+        });
         let points = place_points_on_nodes(&graph, 0.01, 3);
         check_workload(&graph, &points, 1, 5, 4);
     }

@@ -1,0 +1,66 @@
+//! Smoke test mirroring `examples/quickstart.rs` end-to-end on the same tiny
+//! graph, so `cargo test` exercises the exact flow the example demonstrates
+//! (every example additionally compiles as part of `cargo test`; CI runs the
+//! quickstart binary itself on top of this).
+
+use rnn::core::materialize::MaterializedKnn;
+use rnn::core::{run_rknn, Algorithm};
+use rnn::graph::{GraphBuilder, NodeId, NodePointSet};
+use rnn::storage::{IoCounters, LayoutStrategy, PagedGraph};
+
+/// The quickstart network: an 8-junction ring with two chords.
+fn quickstart_network() -> rnn::graph::Graph {
+    let mut builder = GraphBuilder::new(8);
+    let ring = [
+        (0, 1, 4.0),
+        (1, 2, 3.0),
+        (2, 3, 5.0),
+        (3, 4, 2.0),
+        (4, 5, 4.0),
+        (5, 6, 3.0),
+        (6, 7, 2.0),
+        (7, 0, 5.0),
+    ];
+    for (a, b, w) in ring {
+        builder.add_edge(a, b, w).expect("valid edge");
+    }
+    builder.add_edge(1, 5, 6.0).expect("valid edge");
+    builder.add_edge(2, 6, 7.0).expect("valid edge");
+    builder.build().expect("valid graph")
+}
+
+#[test]
+fn quickstart_flow_runs_end_to_end_and_all_algorithms_agree() {
+    let graph = quickstart_network();
+    let cafes = NodePointSet::from_nodes(8, [0, 3, 6].map(NodeId::new));
+    let proposed_site = NodeId::new(1);
+
+    let table = MaterializedKnn::build(&graph, &cafes, 2);
+    for k in [1usize, 2] {
+        let reference = run_rknn(Algorithm::Naive, &graph, &cafes, Some(&table), proposed_site, k);
+        assert!(!reference.is_empty(), "the toy instance has reverse neighbors for k={k}");
+        for algorithm in Algorithm::ALL {
+            let outcome = run_rknn(algorithm, &graph, &cafes, Some(&table), proposed_site, k);
+            assert_eq!(outcome.points, reference.points, "{algorithm} vs naive, k={k}");
+            // The example prints these stats; they must be populated.
+            assert!(outcome.stats.nodes_settled > 0, "{algorithm} settled no nodes");
+        }
+    }
+}
+
+#[test]
+fn quickstart_flow_works_identically_on_the_paged_backend() {
+    let graph = quickstart_network();
+    let cafes = NodePointSet::from_nodes(8, [0, 3, 6].map(NodeId::new));
+    let proposed_site = NodeId::new(1);
+
+    let paged =
+        PagedGraph::build_with(&graph, LayoutStrategy::BfsLocality, 4, IoCounters::new()).unwrap();
+    let table = MaterializedKnn::build(&graph, &cafes, 2);
+    for k in [1usize, 2] {
+        let in_memory = run_rknn(Algorithm::Eager, &graph, &cafes, Some(&table), proposed_site, k);
+        let on_disk = run_rknn(Algorithm::Eager, &paged, &cafes, Some(&table), proposed_site, k);
+        assert_eq!(in_memory.points, on_disk.points, "k={k}");
+    }
+    assert!(paged.io_stats().accesses > 0, "the paged run must be accounted");
+}

@@ -7,9 +7,7 @@ mod common;
 use common::unrestricted_instance;
 use proptest::prelude::*;
 use rnn_core::expansion::network_distance;
-use rnn_core::unrestricted::{
-    transform_to_restricted, unrestricted_naive_rknn, EdgePosition,
-};
+use rnn_core::unrestricted::{transform_to_restricted, unrestricted_naive_rknn, EdgePosition};
 use rnn_graph::PointId;
 
 proptest! {

@@ -1,0 +1,232 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supports the subset of the criterion API the bench targets use:
+//! `Criterion::default()` with the `sample_size` / `warm_up_time` /
+//! `measurement_time` builders, benchmark groups, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros. Measurement is a plain
+//! wall-clock mean over the sample count (no outlier analysis, no plots);
+//! results are printed one line per benchmark:
+//!
+//! ```text
+//! group/function          time: [   1.2345 ms]  (10 samples)
+//! ```
+//!
+//! The harness honors benchmark name filters passed on the command line
+//! (`cargo bench -- <substring>`) and the `--test` flag cargo uses for
+//! bench targets in test mode (each benchmark then runs exactly once).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark configuration and driver.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let test_mode = args.iter().any(|a| a == "--test");
+        // cargo passes `--bench`; the first non-flag argument is a filter.
+        let filter = args.iter().find(|a| !a.starts_with("--")).cloned();
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            filter,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration before measurement starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id, f);
+        self
+    }
+
+    fn run_one<F>(&self, id: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size: if self.test_mode { 1 } else { self.sample_size },
+            warm_up_time: if self.test_mode { Duration::ZERO } else { self.warm_up_time },
+            measurement_time: self.measurement_time,
+            mean: Duration::ZERO,
+            samples: 0,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("{id}: bench target ok (test mode)");
+        } else {
+            println!("{:<50} time: [{:>12.4?}]  ({} samples)", id, bencher.mean, bencher.samples);
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark of this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        self.criterion.run_one(&id, f);
+        self
+    }
+
+    /// Finishes the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Times closures handed to it by a benchmark function.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    mean: Duration,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Measures the mean wall-clock time of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: run until the warm-up budget is spent (at least once).
+        let warm_start = Instant::now();
+        let mut warm_iters: u32 = 0;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1);
+
+        // Budget the sample count so one benchmark cannot exceed the
+        // measurement time by more than ~one iteration.
+        let affordable = if per_iter.is_zero() {
+            self.sample_size
+        } else {
+            let fit = self.measurement_time.as_nanos() / per_iter.as_nanos().max(1);
+            (fit as usize).clamp(1, self.sample_size)
+        };
+
+        let start = Instant::now();
+        for _ in 0..affordable {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.samples = affordable;
+        self.mean = elapsed / affordable as u32;
+    }
+}
+
+/// Declares a group of benchmark targets with an optional configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_respects_budget() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(10));
+        // force non-test mode regardless of harness args
+        c.test_mode = false;
+        c.filter = None;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("work", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        group.finish();
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion::default().sample_size(2);
+        c.filter = Some("nomatch".into());
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        assert!(!ran, "filtered benchmark must not run");
+    }
+}

@@ -1,0 +1,80 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// The admissible lengths of a generated collection.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    /// Minimum length (inclusive).
+    pub lo: usize,
+    /// Maximum length (inclusive).
+    pub hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange { lo: exact, hi: exact }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+/// Strategy generating `Vec`s of values from an element strategy.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+        let span = (self.size.hi - self.size.lo) as u64 + 1;
+        let len = self.size.lo + rng.below(span) as usize;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            // One retry budget per element: a rejected element rejects the
+            // whole vector, mirroring upstream's local-rejection accounting.
+            out.push(self.element.sample(rng)?);
+        }
+        Some(out)
+    }
+}
+
+/// Generates vectors whose length lies in `size` and whose elements come
+/// from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size_bounds() {
+        let mut rng = TestRng::for_test("vec-bounds");
+        let strat = vec(0usize..5, 2..7);
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng).unwrap();
+            assert!((2..=6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+        let exact = vec(0usize..5, 4usize);
+        assert_eq!(exact.sample(&mut rng).unwrap().len(), 4);
+    }
+}

@@ -1,0 +1,459 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest used by the workspace's property tests:
+//! range/tuple/`Just`/`any` strategies, `prop_map` / `prop_flat_map` /
+//! `prop_filter`, `prop_oneof!`, `proptest::collection::vec`, the
+//! `proptest!` macro with `#![proptest_config(..)]`, and the Result-based
+//! `prop_assert*` macros.
+//!
+//! Two deliberate deviations from upstream, both in the direction of CI
+//! friendliness:
+//!
+//! * **Deterministic by construction.** Every test function derives its RNG
+//!   seed from its own module path, so a run is exactly reproducible with no
+//!   `proptest-regressions/` persistence files. Failure output includes the
+//!   case number, which is stable across runs.
+//! * **No shrinking.** Failing inputs are reported as-is (instances here are
+//!   small by strategy design), keeping worst-case runtime proportional to
+//!   the configured case count.
+//!
+//! The case count honors the `PROPTEST_CASES` environment variable as an
+//! override, and is additionally capped at [`MAX_CASES`] so a misconfigured
+//! suite cannot stall CI.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{Just, Strategy, Union};
+
+/// Hard upper bound on cases per property, keeping `cargo test` CI-friendly.
+pub const MAX_CASES: u32 = 256;
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per property.
+    pub cases: u32,
+    /// Upper bound on strategy rejections (filters) before giving up.
+    pub max_global_rejects: u32,
+    /// Accepted for upstream compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_global_rejects: 65536, max_shrink_iters: 0 }
+    }
+}
+
+/// Resolves the effective case count: `PROPTEST_CASES` env override if set,
+/// else the configured count, capped at [`MAX_CASES`].
+pub fn resolved_cases(configured: u32) -> u32 {
+    let requested = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(configured);
+    requested.clamp(1, MAX_CASES)
+}
+
+/// Why a test case did not pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// The input was rejected (filter); does not count as a failure.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Creates a rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+            TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+        }
+    }
+}
+
+/// Result type of one generated test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Drives one property: draws inputs from `strategy` until the configured
+/// number of accepted cases ran, panicking on the first failing case.
+///
+/// This is the engine behind the [`proptest!`] macro. Taking the case as a
+/// generic `FnMut(S::Value)` is load-bearing: the closure the macro builds
+/// gets its parameter types from this signature.
+pub fn run_property<S, F>(name: &str, config: &ProptestConfig, strategy: &S, mut case: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> TestCaseResult,
+{
+    let cases = resolved_cases(config.cases);
+    let mut rng = TestRng::for_test(name);
+    let mut accepted: u32 = 0;
+    let mut rejected: u32 = 0;
+    while accepted < cases {
+        match strategy.sample(&mut rng) {
+            Some(value) => {
+                accepted += 1;
+                match case(value) {
+                    Ok(()) => {}
+                    Err(TestCaseError::Reject(_)) => {
+                        accepted -= 1;
+                        rejected += 1;
+                    }
+                    Err(TestCaseError::Fail(reason)) => {
+                        panic!(
+                            "property {name} failed on deterministic case \
+                             #{accepted} of {cases}: {reason}"
+                        );
+                    }
+                }
+            }
+            None => rejected += 1,
+        }
+        assert!(
+            rejected <= config.max_global_rejects,
+            "property {name}: too many strategy rejections ({rejected})"
+        );
+    }
+}
+
+/// The deterministic generator driving strategy sampling (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator seeded from an explicit value.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x0051_eedb_adca_fe00 }
+    }
+
+    /// Creates the generator for a named test: the seed is the FNV-1a hash
+    /// of the name, so every property has its own stable stream.
+    pub fn for_test(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::from_seed(hash)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A strategy producing any value of `T` (the `any::<T>()` entry point).
+pub struct Any<T>(PhantomData<T>);
+
+/// Returns the full-range strategy for `T`.
+pub fn any<T>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.next_u64() as $t)
+            }
+        }
+    )*};
+}
+
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> Option<bool> {
+        Some(rng.next_u64() & 1 == 1)
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> Option<f64> {
+        Some(rng.unit_f64())
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "cannot sample empty range strategy");
+                let span = (self.end - self.start) as u64;
+                Some(self.start + rng.below(span) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range strategy");
+                let span = (hi - lo) as u64 + 1;
+                Some(lo + rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> Option<f64> {
+        assert!(self.start < self.end, "cannot sample empty range strategy");
+        Some(self.start + (self.end - self.start) * rng.unit_f64())
+    }
+}
+
+/// The prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking)
+/// so `?`-style helpers compose.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond),
+                format!($($fmt)+),
+                file!(),
+                line!()
+            )));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?} == {:?}` at {}:{}",
+                l,
+                r,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?} == {:?}` ({}) at {}:{}",
+                l,
+                r,
+                format!($($fmt)+),
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?} != {:?}` at {}:{}",
+                l,
+                r,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?} != {:?}` ({}) at {}:{}",
+                l,
+                r,
+                format!($($fmt)+),
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Picks uniformly among several strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let arms = $crate::Union::empty();
+        $(let arms = arms.with($strategy);)+
+        arms
+    }};
+}
+
+/// Declares property tests, mirroring upstream `proptest!` syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident($($arg:pat_param in $strategy:expr),+ $(,)?) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            $crate::run_property(
+                concat!(module_path!(), "::", stringify!($name)),
+                &config,
+                &($($strategy,)+),
+                |($($arg,)+)| {
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn ranges_are_uniformish_and_in_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        let mut seen = [false; 8];
+        for _ in 0..200 {
+            let v = Strategy::sample(&(2usize..10), &mut rng).unwrap();
+            assert!((2..10).contains(&v));
+            seen[v - 2] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range appear");
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = TestRng::for_test("combinators");
+        let strat = (1usize..5)
+            .prop_flat_map(|n| (Just(n), crate::collection::vec(0usize..n, n)))
+            .prop_map(|(n, v)| (n, v.len()))
+            .prop_filter("nonempty", |(n, _)| *n > 1);
+        let mut kept = 0;
+        for _ in 0..100 {
+            if let Some((n, len)) = Strategy::sample(&strat, &mut rng) {
+                assert_eq!(n, len);
+                assert!(n > 1);
+                kept += 1;
+            }
+        }
+        assert!(kept > 10);
+    }
+
+    #[test]
+    fn oneof_picks_all_arms() {
+        let mut rng = TestRng::for_test("oneof");
+        let strat = prop_oneof![Just(1u32), Just(2), Just(3)];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            let v = Strategy::sample(&strat, &mut rng).unwrap();
+            seen[(v - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_generates_runnable_properties(x in 0usize..100, flip in any::<bool>()) {
+            prop_assert!(x < 100);
+            if flip {
+                prop_assert_ne!(x + 1, x);
+            }
+            prop_assert_eq!(x, x, "x themselves {}", x);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let sample = |label: &str| {
+            let mut rng = TestRng::for_test(label);
+            (0..10).map(|_| Strategy::sample(&(0u64..1000), &mut rng).unwrap()).collect::<Vec<_>>()
+        };
+        assert_eq!(sample("a"), sample("a"));
+        assert_ne!(sample("a"), sample("b"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on its data types so
+//! they are wire-ready for any serde data format, but no code path in the
+//! repo actually serializes through a format crate (none is available
+//! offline). This stub therefore keeps the *trait bounds* honest — types
+//! still assert `T: Serialize + DeserializeOwned` at compile time and the
+//! derives still validate their `#[serde(...)]` attributes syntactically —
+//! while the traits carry no methods. Swapping in real serde later is a
+//! manifest-only change.
+
+// Lets the `::serde::...` paths the derives emit resolve inside this crate's
+// own tests as well.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized.
+///
+/// In real serde this carries `fn serialize<S: Serializer>`; the offline
+/// stand-in keeps only the bound so signatures and derives line up.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized from borrowed data.
+pub trait Deserialize<'de>: Sized {}
+
+/// Deserialization helpers (`serde::de`).
+pub mod de {
+    /// Marker for types deserializable from any lifetime (owned data).
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+}
+
+macro_rules! impl_primitive {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_primitive!(
+    bool, char, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+
+impl<T: Serialize> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+
+macro_rules! impl_tuple {
+    ($($name:ident)+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {}
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {}
+    };
+}
+
+impl_tuple!(A);
+impl_tuple!(A B);
+impl_tuple!(A B C);
+impl_tuple!(A B C D);
+impl_tuple!(A B C D E);
+impl_tuple!(A B C D E F);
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>, S: Default> Deserialize<'de>
+    for std::collections::HashMap<K, V, S>
+{
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+}
+
+#[cfg(test)]
+mod tests {
+    // The fixture types only exercise the derives; their fields are
+    // intentionally never read.
+    #![allow(dead_code)]
+
+    use super::*;
+
+    #[derive(Serialize, Deserialize)]
+    struct Plain {
+        a: u32,
+        b: Vec<f64>,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    #[serde(transparent)]
+    struct Transparent(u64);
+
+    #[derive(Serialize, Deserialize)]
+    enum Kind {
+        One,
+        Two(u8),
+    }
+
+    fn assert_owned<T: Serialize + de::DeserializeOwned>() {}
+
+    #[test]
+    fn derives_produce_both_impls() {
+        assert_owned::<Plain>();
+        assert_owned::<Transparent>();
+        assert_owned::<Kind>();
+        assert_owned::<Vec<(u32, String)>>();
+    }
+}

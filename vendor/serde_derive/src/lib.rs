@@ -1,0 +1,158 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The vendored `serde` traits are markers, so the derives only need the
+//! deriving type's name and generic parameters — parsed directly from the
+//! token stream (no `syn`/`quote` available offline). `#[serde(...)]`
+//! attributes are accepted and ignored, exactly as inert helper attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed header of a `struct`/`enum` item: its name plus the raw
+/// generics tokens (e.g. `<'a, T: Bound>`), if any.
+struct ItemHeader {
+    name: String,
+    /// Generic parameter *names* (lifetimes and type idents) for the impl's
+    /// use-site (`Foo<'a, T>`).
+    params: Vec<String>,
+    /// The full generics clause verbatim, bounds included, for the impl's
+    /// declaration site (`impl<'a, T: Bound>`).
+    decl: String,
+}
+
+fn parse_header(input: TokenStream) -> ItemHeader {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    let name = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // consume the bracket group of the attribute
+                let _ = iter.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                let word = id.to_string();
+                if word == "pub" {
+                    // optional restriction group: pub(crate) etc.
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            let _ = iter.next();
+                        }
+                    }
+                } else if word == "struct" || word == "enum" || word == "union" {
+                    match iter.next() {
+                        Some(TokenTree::Ident(n)) => break n.to_string(),
+                        other => panic!("expected type name after `{word}`, found {other:?}"),
+                    }
+                }
+                // any other ident (e.g. `r#` raw forms are idents already) — keep scanning
+            }
+            Some(_) => {}
+            None => panic!("serde derive: no struct/enum found in input"),
+        }
+    };
+
+    // Optionally parse `<...>` generics immediately after the name.
+    let mut params = Vec::new();
+    let mut decl = String::new();
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            let mut depth = 0i32;
+            let mut expect_param = true;
+            for tt in iter.by_ref() {
+                match &tt {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            decl.push('>');
+                            break;
+                        }
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expect_param = true,
+                    TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 && expect_param => {
+                        params.push("'".to_string());
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => {
+                        expect_param = false;
+                    }
+                    TokenTree::Ident(id) if depth == 1 && expect_param => {
+                        match params.last_mut() {
+                            Some(last) if last == "'" => last.push_str(&id.to_string()),
+                            _ => params.push(id.to_string()),
+                        }
+                        expect_param = false;
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                        expect_param = true;
+                    }
+                    _ => {}
+                }
+                decl.push_str(&tt.to_string());
+                decl.push(' ');
+                // restore comma-resets consumed by the ident arm above
+                if let TokenTree::Punct(p) = &tt {
+                    if p.as_char() == ',' && depth == 1 {
+                        expect_param = true;
+                    }
+                }
+            }
+        }
+    }
+
+    ItemHeader { name, params, decl }
+}
+
+fn use_site(header: &ItemHeader) -> String {
+    if header.params.is_empty() {
+        header.name.clone()
+    } else {
+        format!("{}<{}>", header.name, header.params.join(", "))
+    }
+}
+
+/// Derives the (marker) `serde::Serialize` impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let header = parse_header(input);
+    let decl = &header.decl;
+    let target = use_site(&header);
+    let bounds: String = header
+        .params
+        .iter()
+        .filter(|p| !p.starts_with('\''))
+        .map(|p| format!("{p}: ::serde::Serialize,"))
+        .collect();
+    let code = if header.params.is_empty() {
+        format!("impl ::serde::Serialize for {target} {{}}")
+    } else {
+        format!("impl{decl} ::serde::Serialize for {target} where {bounds} {{}}")
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the (marker) `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let header = parse_header(input);
+    let target = use_site(&header);
+    let code = if header.params.is_empty() {
+        format!("impl<'de> ::serde::Deserialize<'de> for {target} {{}}")
+    } else {
+        let decl_inner = header
+            .decl
+            .trim_start_matches('<')
+            .trim_end_matches('>')
+            .trim()
+            .trim_end_matches(',')
+            .to_string();
+        let bounds: String = header
+            .params
+            .iter()
+            .filter(|p| !p.starts_with('\''))
+            .map(|p| format!("{p}: ::serde::Deserialize<'de>,"))
+            .collect();
+        format!(
+            "impl<'de, {decl_inner}> ::serde::Deserialize<'de> for {target} where {bounds} {{}}"
+        )
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
