@@ -10,6 +10,7 @@ use crate::harness::{
     Scale, UnrestrictedWorkload, Workload,
 };
 use crate::report::Report;
+use rnn_core::engine::{QueryEngine, Workload as QueryWorkload};
 use rnn_core::materialize::MaterializedKnn;
 use rnn_core::Algorithm;
 use rnn_datagen::{
@@ -423,10 +424,85 @@ pub fn fig22b_update_k(scale: Scale) -> Report {
     report
 }
 
-/// All experiment ids, in the order they appear in the paper.
-pub const ALL_EXPERIMENTS: [&str; 12] = [
-    "table1", "table2", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20a", "fig20b", "fig21",
-    "fig22a", "fig22b",
+// ---------------------------------------------------------------------------
+// Beyond the paper: batch serving throughput.
+// ---------------------------------------------------------------------------
+
+/// Batch query throughput versus worker thread count on the in-memory
+/// backend (grid map, D = 0.01, k = 1).
+///
+/// This is not a figure of the paper: it measures the serving scenario the
+/// engine layer exists for — a workload of queries executed by
+/// `QueryEngine::run_batch` at 1/2/4/8 threads, reported as queries/second
+/// and as speedup over the single-threaded run. Results are asserted to be
+/// identical across thread counts (scaling must not change answers);
+/// speedups depend on the machine's core count.
+pub fn throughput(scale: Scale) -> Report {
+    let nodes = scale.pick(10_000, 40_000);
+    let graph = grid_map(&GridConfig::with_nodes(nodes, 4.0, SEED));
+    let points = place_points_on_nodes(&graph, 0.01, SEED + 1);
+    let query_nodes = sample_node_queries(&points, scale.pick(64, 200), SEED + 2);
+    let algos = [Algorithm::Eager, Algorithm::Lazy, Algorithm::LazyExtendedPruning];
+
+    let columns = algos
+        .iter()
+        .flat_map(|a| [format!("{} q/s", a.short_name()), format!("{} speedup", a.short_name())])
+        .collect();
+    let mut report = Report::new(
+        "Throughput",
+        format!(
+            "batch throughput vs worker threads (grid map, |V|={nodes}, D=0.01, k=1, \
+             in-memory backend, {} queries)",
+            query_nodes.len()
+        ),
+        "threads",
+        columns,
+    );
+
+    let mut baseline_qps = vec![0.0f64; algos.len()];
+    let mut baseline_results = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let mut values = Vec::new();
+        for (i, &algorithm) in algos.iter().enumerate() {
+            let engine = QueryEngine::new(&graph, &points).with_threads(threads);
+            let workload = QueryWorkload::uniform(algorithm, 1, query_nodes.iter().copied());
+            let start = std::time::Instant::now();
+            let batch = engine.run_batch(&workload);
+            let seconds = start.elapsed().as_secs_f64().max(1e-9);
+            let qps = workload.len() as f64 / seconds;
+            if threads == 1 {
+                baseline_qps[i] = qps;
+                baseline_results.push(batch.results);
+            } else {
+                assert_eq!(
+                    batch.results, baseline_results[i],
+                    "{algorithm} at {threads} threads must reproduce the sequential results"
+                );
+            }
+            values.push(qps);
+            values.push(qps / baseline_qps[i]);
+        }
+        report.push_row(format!("{threads}"), values);
+    }
+    report
+}
+
+/// All experiment ids: the paper's tables and figures, then the serving
+/// experiments added on top.
+pub const ALL_EXPERIMENTS: [&str; 13] = [
+    "table1",
+    "table2",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20a",
+    "fig20b",
+    "fig21",
+    "fig22a",
+    "fig22b",
+    "throughput",
 ];
 
 /// Runs one experiment by id. Returns `None` for an unknown id.
@@ -444,6 +520,7 @@ pub fn run_by_name(name: &str, scale: Scale) -> Option<Report> {
         "fig21" => fig21_buffer(scale),
         "fig22a" => fig22a_update_density(scale),
         "fig22b" => fig22b_update_k(scale),
+        "throughput" => throughput(scale),
         _ => return None,
     };
     Some(report)
@@ -459,8 +536,19 @@ mod tests {
             // only check registration here; the cheap ones are exercised in
             // the integration tests and the full set by the repro binary.
             assert!([
-                "table1", "table2", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20a",
-                "fig20b", "fig21", "fig22a", "fig22b"
+                "table1",
+                "table2",
+                "fig15",
+                "fig16",
+                "fig17",
+                "fig18",
+                "fig19",
+                "fig20a",
+                "fig20b",
+                "fig21",
+                "fig22a",
+                "fig22b",
+                "throughput"
             ]
             .contains(&name));
         }

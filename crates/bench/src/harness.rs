@@ -127,7 +127,7 @@ pub fn measure_restricted(
     let cpu = start.elapsed();
     let mut io = workload.paged.io_stats();
     if let Some(t) = table {
-        io.accumulate(&t.io_stats());
+        io += t.io_stats();
     }
     finish(algorithm, cpu, io, result_total, workload.queries.len())
 }
@@ -279,7 +279,7 @@ pub fn measure_updates(
     }
     let cpu = start.elapsed();
     let mut io = paged.io_stats();
-    io.accumulate(&table.io_stats());
+    io += table.io_stats();
     let inserts = QueryCost::new(cpu, io).averaged_over(insert_nodes.len());
 
     paged.cold_start();
@@ -290,7 +290,7 @@ pub fn measure_updates(
     }
     let cpu = start.elapsed();
     let mut io = paged.io_stats();
-    io.accumulate(&table.io_stats());
+    io += table.io_stats();
     let deletes = QueryCost::new(cpu, io).averaged_over(delete_nodes.len());
 
     (inserts, deletes)

@@ -10,8 +10,9 @@
 //! verification step is needed.
 
 use crate::expansion::NetworkExpansion;
-use crate::knn::range_nn;
+use crate::knn::range_nn_into;
 use crate::query::{QueryStats, RknnOutcome};
+use crate::scratch::Scratch;
 use rnn_graph::{NodeId, PointId, PointsOnNodes, Topology, Weight};
 
 /// Runs the bichromatic RkNN query with the eager (Lemma 1) pruning.
@@ -38,6 +39,14 @@ where
     assert!(k >= 1, "bichromatic RkNN queries require k >= 1");
     let mut stats = QueryStats::default();
     let mut result: Vec<PointId> = Vec::new();
+    let mut scratch = Scratch::new();
+    let mut probe_found = scratch.take_found();
+    // A site on the query node itself ties with the query everywhere and must
+    // not count as "strictly closer" (the probe re-derives its distance with
+    // a second expansion, so a floating-point tie can land on either side of
+    // `dist`); excluding it at probe level also keeps it from wasting one of
+    // the k probe slots.
+    let exclude = |p: PointId| sites.node_of(p) == query;
 
     let mut exp = NetworkExpansion::new(topo, query);
     while let Some((node, dist)) = exp.next_settled_unexpanded() {
@@ -46,13 +55,9 @@ where
         // How many sites are strictly closer to this node than the query is?
         let closer_sites = if dist > Weight::ZERO {
             stats.range_nn_queries += 1;
-            let probe = range_nn(topo, sites, node, k, dist);
-            stats.auxiliary_settled += probe.settled;
-            // A site on the query node itself ties with the query everywhere
-            // and must not count as "strictly closer" (the probe re-derives
-            // its distance with a second expansion, so a floating-point tie
-            // can land on either side of `dist`).
-            probe.found.iter().filter(|&&(p, _)| sites.node_of(p) != query).count()
+            stats.auxiliary_settled +=
+                range_nn_into(topo, sites, node, k, dist, &exclude, &mut scratch, &mut probe_found);
+            probe_found.len()
         } else {
             0
         };

@@ -11,9 +11,10 @@
 
 use crate::expansion::NetworkExpansion;
 use crate::fast_hash::{fast_map, fast_set, FastMap, FastSet};
-use crate::knn::range_nn;
+use crate::knn::range_nn_into;
 use crate::query::{QueryStats, RknnOutcome};
-use crate::verify::{verify_candidate, VerifyParams};
+use crate::scratch::Scratch;
+use crate::verify::{verify_candidate_in, VerifyParams};
 use rnn_graph::{NodeId, PointId, PointsOnNodes, Route, Topology, Weight};
 
 fn route_membership(route: &Route, num_nodes: usize) -> Vec<bool> {
@@ -44,35 +45,47 @@ where
     let mut result: Vec<PointId> = Vec::new();
     let mut verified: FastSet<PointId> = fast_set();
     let on_route = route_membership(route, topo.num_nodes());
+    let mut scratch = Scratch::new();
+    let mut probe_found = scratch.take_found();
+    // Points on route nodes are at route distance zero and can never be
+    // strictly closer to anything than the route is; the probes exclude them
+    // so they neither enter the Lemma-1 count (their distance is re-derived
+    // by a second expansion, so a floating-point tie can land on either side)
+    // nor waste one of the k probe slots. They are also excluded from the
+    // result by definition.
+    let exclude = |p: PointId| on_route[points.node_of(p).index()];
 
     let mut exp =
         NetworkExpansion::with_sources(topo, route.nodes().iter().map(|&n| (n, Weight::ZERO)));
     while let Some((node, dist)) = exp.next_settled_unexpanded() {
         stats.nodes_settled += 1;
-        let probe = if dist > Weight::ZERO {
+        probe_found.clear();
+        if dist > Weight::ZERO {
             stats.range_nn_queries += 1;
-            range_nn(topo, points, node, k, dist)
-        } else {
-            crate::knn::NnProbe { found: Vec::new(), settled: 0 }
-        };
-        stats.auxiliary_settled += probe.settled;
+            stats.auxiliary_settled += range_nn_into(
+                topo,
+                points,
+                node,
+                k,
+                dist,
+                &exclude,
+                &mut scratch,
+                &mut probe_found,
+            );
+        }
 
-        for &(p, _) in &probe.found {
-            // Points residing on the route itself are at route distance zero
-            // and are excluded from the result by definition.
-            if on_route[points.node_of(p).index()] {
-                continue;
-            }
+        for &(p, _) in &probe_found {
             if verified.insert(p) {
                 stats.candidates += 1;
                 stats.verifications += 1;
-                let v = verify_candidate(
+                let v = verify_candidate_in(
                     topo,
                     points,
                     p,
                     points.node_of(p),
                     |n| on_route[n.index()],
                     VerifyParams { k, collect_visited: false },
+                    &mut scratch,
                 );
                 stats.auxiliary_settled += v.settled;
                 if v.accepted {
@@ -80,14 +93,7 @@ where
                 }
             }
         }
-        // Points on route nodes are at route distance zero and can never be
-        // strictly closer to anything than the route is; keep them out of the
-        // Lemma-1 count (the probe may report them spuriously on floating-
-        // point ties, since their distance is re-derived by a second
-        // expansion).
-        let closer =
-            probe.found.iter().filter(|&&(p, _)| !on_route[points.node_of(p).index()]).count();
-        if closer < k {
+        if probe_found.len() < k {
             exp.expand_from(node, dist);
         }
     }
@@ -117,6 +123,7 @@ where
     let mut settled: FastMap<NodeId, Weight> = fast_map();
     let mut counters: FastMap<NodeId, usize> = fast_map();
     let mut verified: FastSet<PointId> = fast_set();
+    let mut scratch = Scratch::new();
 
     for &n in route.nodes() {
         best.insert(n, Weight::ZERO);
@@ -141,13 +148,14 @@ where
                 if verified.insert(p) {
                     stats.candidates += 1;
                     stats.verifications += 1;
-                    let v = verify_candidate(
+                    let v = verify_candidate_in(
                         topo,
                         points,
                         p,
                         node,
                         |n| on_route[n.index()],
                         VerifyParams { k, collect_visited: true },
+                        &mut scratch,
                     );
                     stats.auxiliary_settled += v.settled;
                     if v.accepted {
@@ -162,6 +170,7 @@ where
                             *counters.entry(m).or_insert(0) += 1;
                         }
                     }
+                    scratch.put_node_dists(v.visited);
                 }
             }
         }
@@ -197,7 +206,7 @@ where
     let mut all: Vec<PointId> = Vec::new();
     for &n in route.nodes() {
         let out = crate::naive::naive_rknn(topo, points, n, k);
-        stats.accumulate(&out.stats);
+        stats += &out.stats;
         all.extend(out.points);
     }
     all.retain(|&p| !on_route[points.node_of(p).index()]);

@@ -63,7 +63,7 @@ impl QueryCost {
     /// Adds another measurement (used to aggregate a workload).
     pub fn accumulate(&mut self, other: &QueryCost) {
         self.cpu += other.cpu;
-        self.io.accumulate(&other.io);
+        self.io += &other.io;
     }
 
     /// Divides the cost by a number of queries, yielding the per-query

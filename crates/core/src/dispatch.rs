@@ -2,11 +2,15 @@
 //!
 //! The benchmark harness and the examples iterate over algorithms; this
 //! module gives them a single entry point and stable display names matching
-//! the abbreviations used in the paper's figures (E, L, EM, LP).
+//! the abbreviations used in the paper's figures (E, L, EM, LP). Execution
+//! routes through the [`RknnAlgorithm`] trait objects of the engine layer,
+//! so the free functions here and [`crate::engine::QueryEngine`] run exactly
+//! the same code.
 
+use crate::engine::RknnAlgorithm;
 use crate::materialize::MaterializedKnn;
 use crate::query::RknnOutcome;
-use crate::{eager, lazy, lazy_ep, naive};
+use crate::scratch::Scratch;
 use rnn_graph::{NodeId, PointsOnNodes, Topology};
 use serde::{Deserialize, Serialize};
 
@@ -69,6 +73,12 @@ impl Algorithm {
     pub fn needs_materialization(self) -> bool {
         matches!(self, Algorithm::EagerMaterialized)
     }
+
+    /// Resolves the enum tag to the executable [`RknnAlgorithm`] trait
+    /// object the engine dispatches through.
+    pub fn resolve(self) -> &'static dyn RknnAlgorithm {
+        crate::engine::resolve(self)
+    }
 }
 
 impl std::fmt::Display for Algorithm {
@@ -97,18 +107,26 @@ where
     T: Topology + ?Sized,
     P: PointsOnNodes + ?Sized,
 {
-    match algorithm {
-        Algorithm::Eager => eager::eager_rknn(topo, points, query, k),
-        Algorithm::Lazy => lazy::lazy_rknn(topo, points, query, k),
-        Algorithm::LazyExtendedPruning => lazy_ep::lazy_ep_rknn(topo, points, query, k),
-        Algorithm::Naive => naive::naive_rknn(topo, points, query, k),
-        Algorithm::EagerMaterialized => {
-            let table = materialized.expect(
-                "eager-M requires a materialized k-NN table (Algorithm::needs_materialization)",
-            );
-            crate::materialize::eager_m_rknn(topo, points, table, query, k)
-        }
-    }
+    run_rknn_with(algorithm, topo, points, materialized, query, k, &mut Scratch::new())
+}
+
+/// [`run_rknn`] on the recycled buffers of `scratch` — the entry point for
+/// serving loops that answer many queries and want the steady state
+/// allocation-free.
+pub fn run_rknn_with<T, P>(
+    algorithm: Algorithm,
+    topo: &T,
+    points: &P,
+    materialized: Option<&MaterializedKnn>,
+    query: NodeId,
+    k: usize,
+    scratch: &mut Scratch,
+) -> RknnOutcome
+where
+    T: Topology + ?Sized,
+    P: PointsOnNodes + ?Sized,
+{
+    algorithm.resolve().run(&topo, &points, materialized, query, k, scratch)
 }
 
 #[cfg(test)]

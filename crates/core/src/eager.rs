@@ -9,10 +9,10 @@
 //! verification queries.
 
 use crate::expansion::NetworkExpansion;
-use crate::fast_hash::{fast_set, FastSet};
-use crate::knn::range_nn;
+use crate::knn::range_nn_into;
 use crate::query::{QueryStats, RknnOutcome};
-use crate::verify::{verify_candidate, VerifyParams};
+use crate::scratch::Scratch;
+use crate::verify::{verify_candidate_in, VerifyParams};
 use rnn_graph::{NodeId, PointId, PointsOnNodes, Topology, Weight};
 
 /// Runs the eager RkNN algorithm.
@@ -27,42 +27,66 @@ where
     T: Topology + ?Sized,
     P: PointsOnNodes + ?Sized,
 {
+    eager_rknn_in(topo, points, query, k, &mut Scratch::new())
+}
+
+/// [`eager_rknn`] on the recycled buffers of `scratch`: the main expansion,
+/// every range-NN probe and every verification run allocation-free in the
+/// steady state.
+pub fn eager_rknn_in<T, P>(
+    topo: &T,
+    points: &P,
+    query: NodeId,
+    k: usize,
+    scratch: &mut Scratch,
+) -> RknnOutcome
+where
+    T: Topology + ?Sized,
+    P: PointsOnNodes + ?Sized,
+{
     assert!(k >= 1, "RkNN queries require k >= 1");
     let mut stats = QueryStats::default();
     let mut result: Vec<PointId> = Vec::new();
-    let mut verified: FastSet<PointId> = fast_set();
+    let mut verified = scratch.take_point_set();
+    let mut probe_found = scratch.take_found();
+    // A point residing on the query node can never be strictly closer to
+    // anything than the query is, so the probes exclude it: it must neither
+    // contribute to the pruning count (its distance is re-derived by a second
+    // expansion whose floating-point sums need not match `dist` exactly, so a
+    // tie can land on either side) nor occupy one of the k probe slots.
+    let exclude = |p: PointId| points.node_of(p) == query;
 
-    let mut exp = NetworkExpansion::new(topo, query);
+    let mut exp = NetworkExpansion::reusing(
+        topo,
+        scratch.take_expansion(),
+        std::iter::once((query, Weight::ZERO)),
+    );
     while let Some((node, dist)) = exp.next_settled_unexpanded() {
         stats.nodes_settled += 1;
 
         // Lemma 1 probe: the k nearest data points strictly within d(q, n).
-        let probe = if dist > Weight::ZERO {
+        probe_found.clear();
+        if dist > Weight::ZERO {
             stats.range_nn_queries += 1;
-            range_nn(topo, points, node, k, dist)
-        } else {
-            // The source node: no point can be strictly closer than distance 0.
-            crate::knn::NnProbe { found: Vec::new(), settled: 0 }
-        };
-        stats.auxiliary_settled += probe.settled;
+            stats.auxiliary_settled +=
+                range_nn_into(topo, points, node, k, dist, &exclude, scratch, &mut probe_found);
+        }
+        // (At the source node no point can be strictly closer than distance 0.)
 
         // Every point discovered by the probe is a candidate and must be
-        // verified exactly once. A point residing on the query node itself is
-        // excluded from the result by definition (distance zero).
-        for &(p, _) in &probe.found {
-            if points.node_of(p) == query {
-                continue;
-            }
+        // verified exactly once.
+        for &(p, _) in &probe_found {
             if verified.insert(p) {
                 stats.candidates += 1;
                 stats.verifications += 1;
-                let v = verify_candidate(
+                let v = verify_candidate_in(
                     topo,
                     points,
                     p,
                     points.node_of(p),
                     |n| n == query,
                     VerifyParams { k, collect_visited: false },
+                    scratch,
                 );
                 stats.auxiliary_settled += v.settled;
                 if v.accepted {
@@ -72,17 +96,16 @@ where
         }
 
         // Expansion proceeds only when fewer than k points were found
-        // strictly closer to the node than the query. A point residing on the
-        // query node can never be strictly closer to anything than the query
-        // is, so it must not contribute to the pruning count (the probe can
-        // report it spuriously: its distance is re-derived by a second
-        // expansion whose floating-point sums need not match `dist` exactly).
-        let closer = probe.found.iter().filter(|&&(p, _)| points.node_of(p) != query).count();
-        if closer < k {
+        // strictly closer to the node than the query (the probe already
+        // excluded the query's own point).
+        if probe_found.len() < k {
             exp.expand_from(node, dist);
         }
     }
     stats.heap_pushes = exp.pushes();
+    scratch.put_expansion(exp.into_buffers());
+    scratch.put_found(probe_found);
+    scratch.put_point_set(verified);
     RknnOutcome::from_points(result, stats)
 }
 

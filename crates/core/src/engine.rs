@@ -1,0 +1,525 @@
+//! The query engine: trait-object algorithm dispatch, per-worker scratch
+//! reuse and multi-threaded batch execution.
+//!
+//! The paper's algorithms are exposed as free functions for one-off queries
+//! and figure reproduction; a serving system instead executes *workloads* —
+//! many queries against one graph — where per-query setup cost and
+//! single-threaded execution dominate. [`QueryEngine`] is that serving layer:
+//!
+//! * the five monochromatic algorithms sit behind the [`RknnAlgorithm`]
+//!   trait, dispatched from the existing [`Algorithm`] enum, so harnesses and
+//!   future algorithms plug in uniformly;
+//! * each worker thread owns a [`Scratch`] arena, making steady-state
+//!   queries allocation-free (the expansion heaps, label maps and candidate
+//!   buffers of one query are reset — not reallocated — for the next);
+//! * [`QueryEngine::run_batch`] executes a [`Workload`] across a configurable
+//!   number of threads with **deterministic, input-order results**: queries
+//!   are independent, so the result and [`QueryStats`] of each query are
+//!   identical no matter how many workers run them or how they interleave
+//!   (only I/O attribution depends on buffer state and thus on scheduling).
+//!
+//! The topology and point set are shared by reference across workers, which
+//! is why [`Topology`] and [`rnn_graph::PointsOnNodes`] require `Sync` and
+//! why `rnn-storage`'s buffer pool and I/O counters are thread-safe.
+
+use crate::dispatch::Algorithm;
+use crate::materialize::MaterializedKnn;
+use crate::query::{QueryStats, RknnOutcome};
+use crate::scratch::Scratch;
+use crate::{eager, lazy, lazy_ep, materialize, naive};
+use rnn_graph::{NodeId, PointsOnNodes, Topology};
+use rnn_storage::{IoCounters, IoStats};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A monochromatic RkNN algorithm, executable against any topology / point
+/// set pair with a reusable [`Scratch`] arena.
+///
+/// Implementations for the paper's algorithms are obtained with
+/// [`Algorithm::resolve`]. The arena's buffer pools are currently internal
+/// to this crate, so the trait mainly serves uniform dispatch: harnesses and
+/// the engine drive every algorithm — present and future in-crate ones —
+/// through one object-safe interface.
+pub trait RknnAlgorithm: Send + Sync {
+    /// The enum tag of this algorithm (for display and dispatch round-trips).
+    fn algorithm(&self) -> Algorithm;
+
+    /// Runs one RkNN query.
+    ///
+    /// `materialized` must be `Some` for algorithms whose
+    /// [`Algorithm::needs_materialization`] is `true` and is ignored by the
+    /// others.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, or if a materialized table is required but absent.
+    fn run(
+        &self,
+        topo: &dyn Topology,
+        points: &dyn PointsOnNodes,
+        materialized: Option<&MaterializedKnn>,
+        query: NodeId,
+        k: usize,
+        scratch: &mut Scratch,
+    ) -> RknnOutcome;
+}
+
+macro_rules! dispatch_struct {
+    ($name:ident, $tag:expr, |$topo:ident, $points:ident, $mat:ident, $query:ident, $k:ident, $scratch:ident| $body:expr) => {
+        struct $name;
+
+        impl RknnAlgorithm for $name {
+            fn algorithm(&self) -> Algorithm {
+                $tag
+            }
+
+            fn run(
+                &self,
+                $topo: &dyn Topology,
+                $points: &dyn PointsOnNodes,
+                $mat: Option<&MaterializedKnn>,
+                $query: NodeId,
+                $k: usize,
+                $scratch: &mut Scratch,
+            ) -> RknnOutcome {
+                $body
+            }
+        }
+    };
+}
+
+dispatch_struct!(EagerDispatch, Algorithm::Eager, |topo, points, _mat, query, k, scratch| {
+    eager::eager_rknn_in(topo, points, query, k, scratch)
+});
+dispatch_struct!(LazyDispatch, Algorithm::Lazy, |topo, points, _mat, query, k, scratch| {
+    lazy::lazy_rknn_in(topo, points, query, k, scratch)
+});
+dispatch_struct!(
+    LazyEpDispatch,
+    Algorithm::LazyExtendedPruning,
+    |topo, points, _mat, query, k, scratch| {
+        lazy_ep::lazy_ep_rknn_in(topo, points, query, k, scratch)
+    }
+);
+dispatch_struct!(NaiveDispatch, Algorithm::Naive, |topo, points, _mat, query, k, scratch| {
+    naive::naive_rknn_in(topo, points, query, k, scratch)
+});
+dispatch_struct!(
+    EagerMDispatch,
+    Algorithm::EagerMaterialized,
+    |topo, points, mat, query, k, scratch| {
+        let table = mat.expect(
+            "eager-M requires a materialized k-NN table (Algorithm::needs_materialization)",
+        );
+        materialize::eager_m_rknn_in(topo, points, table, query, k, scratch)
+    }
+);
+
+/// Resolves an [`Algorithm`] tag to its executable implementation.
+pub(crate) fn resolve(algorithm: Algorithm) -> &'static dyn RknnAlgorithm {
+    match algorithm {
+        Algorithm::Eager => &EagerDispatch,
+        Algorithm::EagerMaterialized => &EagerMDispatch,
+        Algorithm::Lazy => &LazyDispatch,
+        Algorithm::LazyExtendedPruning => &LazyEpDispatch,
+        Algorithm::Naive => &NaiveDispatch,
+    }
+}
+
+/// One query of a [`Workload`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct QuerySpec {
+    /// The algorithm to run.
+    pub algorithm: Algorithm,
+    /// The query node.
+    pub query: NodeId,
+    /// The `k` of the RkNN query.
+    pub k: usize,
+}
+
+/// A batch of RkNN queries to execute with [`QueryEngine::run_batch`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Workload {
+    /// The queries, in the order their results are reported.
+    pub queries: Vec<QuerySpec>,
+}
+
+impl Workload {
+    /// A workload running the same algorithm and `k` over many query nodes.
+    pub fn uniform<I>(algorithm: Algorithm, k: usize, queries: I) -> Self
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        Workload {
+            queries: queries.into_iter().map(|query| QuerySpec { algorithm, query, k }).collect(),
+        }
+    }
+
+    /// Number of queries in the workload.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Returns `true` if the workload has no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+/// The outcome of a batch: per-query results in input order plus aggregates.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BatchOutcome {
+    /// One outcome per query, in the workload's input order, independent of
+    /// the thread count (each also carries its per-query [`QueryStats`]).
+    pub results: Vec<RknnOutcome>,
+    /// Per-query I/O, attributed through the executing thread's counters.
+    /// All zeros unless counters were attached with
+    /// [`QueryEngine::with_io_counters`]. Unlike `results`, I/O depends on
+    /// the shared buffer state and is not deterministic across thread counts.
+    pub io: Vec<IoStats>,
+    /// Sum of the per-query [`QueryStats`].
+    pub aggregate: QueryStats,
+    /// Total I/O recorded while the batch ran (including cross-thread buffer
+    /// effects); zero without attached counters.
+    pub aggregate_io: IoStats,
+}
+
+/// A reusable executor for RkNN workloads over one topology and point set.
+///
+/// ```
+/// use rnn_core::engine::{QueryEngine, Workload};
+/// use rnn_core::Algorithm;
+/// use rnn_graph::{GraphBuilder, NodeId, NodePointSet};
+///
+/// let mut b = GraphBuilder::new(5);
+/// for i in 0..4 {
+///     b.add_edge(i, i + 1, 1.0).unwrap();
+/// }
+/// let g = b.build().unwrap();
+/// let pts = NodePointSet::from_nodes(5, [NodeId::new(0), NodeId::new(3)]);
+///
+/// let engine = QueryEngine::new(&g, &pts).with_threads(2);
+/// let workload = Workload::uniform(Algorithm::Eager, 1, g.node_ids());
+/// let batch = engine.run_batch(&workload);
+/// assert_eq!(batch.results.len(), 5);
+/// ```
+pub struct QueryEngine<'a> {
+    topo: &'a dyn Topology,
+    points: &'a dyn PointsOnNodes,
+    materialized: Option<&'a MaterializedKnn>,
+    io: Option<&'a IoCounters>,
+    threads: usize,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Creates an engine over a topology and point set. Defaults: no
+    /// materialized table, no I/O attribution, one thread.
+    pub fn new<T, P>(topo: &'a T, points: &'a P) -> Self
+    where
+        T: Topology,
+        P: PointsOnNodes,
+    {
+        QueryEngine { topo, points, materialized: None, io: None, threads: 1 }
+    }
+
+    /// Attaches a materialized k-NN table (required for eager-M queries).
+    pub fn with_materialized(mut self, table: &'a MaterializedKnn) -> Self {
+        self.materialized = Some(table);
+        self
+    }
+
+    /// Attaches I/O counters (e.g. `PagedGraph::counters()`) so batches
+    /// report per-query and aggregate I/O.
+    pub fn with_io_counters(mut self, counters: &'a IoCounters) -> Self {
+        self.io = Some(counters);
+        self
+    }
+
+    /// Sets the worker thread count for [`QueryEngine::run_batch`]. Values
+    /// are clamped to at least 1; the batch never spawns more workers than it
+    /// has queries.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured worker thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs a single query on a caller-provided scratch arena. This is the
+    /// building block `run_batch` gives each worker; serving loops that
+    /// process queries one at a time call it directly to keep the
+    /// steady-state allocation-free.
+    pub fn run(&self, spec: &QuerySpec, scratch: &mut Scratch) -> RknnOutcome {
+        resolve(spec.algorithm).run(
+            self.topo,
+            self.points,
+            self.materialized,
+            spec.query,
+            spec.k,
+            scratch,
+        )
+    }
+
+    fn run_attributed(&self, spec: &QuerySpec, scratch: &mut Scratch) -> (RknnOutcome, IoStats) {
+        let before = self.io.map(|c| c.snapshot_current_thread());
+        let outcome = self.run(spec, scratch);
+        let io = match (self.io, before) {
+            (Some(c), Some(b)) => c.snapshot_current_thread().since(&b),
+            _ => IoStats::default(),
+        };
+        (outcome, io)
+    }
+
+    /// Executes a workload and returns per-query results in input order plus
+    /// aggregated statistics.
+    ///
+    /// With `threads > 1` the queries are distributed over that many scoped
+    /// worker threads, each with its own [`Scratch`]; results and per-query
+    /// [`QueryStats`] are identical to the sequential execution (covered by
+    /// the batch-determinism property tests).
+    pub fn run_batch(&self, workload: &Workload) -> BatchOutcome {
+        let n = workload.queries.len();
+        let io_before = self.io.map(|c| c.snapshot());
+        let mut slots: Vec<Option<(RknnOutcome, IoStats)>> = Vec::new();
+        slots.resize_with(n, || None);
+
+        let workers = self.threads.min(n.max(1));
+        if workers <= 1 {
+            let mut scratch = Scratch::new();
+            for (slot, spec) in slots.iter_mut().zip(&workload.queries) {
+                *slot = Some(self.run_attributed(spec, &mut scratch));
+            }
+        } else {
+            // Work stealing off a shared cursor: workers pull the next query
+            // index and stash (index, outcome) pairs locally, merging once at
+            // the end. Results land in their input-order slots regardless of
+            // which worker ran them.
+            let next = AtomicUsize::new(0);
+            let done: Mutex<Vec<(usize, (RknnOutcome, IoStats))>> =
+                Mutex::new(Vec::with_capacity(n));
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| {
+                        let mut scratch = Scratch::new();
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local
+                                .push((i, self.run_attributed(&workload.queries[i], &mut scratch)));
+                        }
+                        // Fold this worker's I/O into the retired total:
+                        // ThreadIds are never reused, so without this every
+                        // batch would leak one dead per-thread entry per
+                        // worker in the shared counters.
+                        if let Some(counters) = self.io {
+                            counters.retire_current_thread();
+                        }
+                        done.lock().expect("worker result lock").extend(local);
+                    });
+                }
+            });
+            for (i, outcome) in done.into_inner().expect("worker result lock") {
+                slots[i] = Some(outcome);
+            }
+        }
+
+        let mut results = Vec::with_capacity(n);
+        let mut io = Vec::with_capacity(n);
+        let mut aggregate = QueryStats::default();
+        for slot in slots {
+            let (outcome, query_io) = slot.expect("every query index was executed exactly once");
+            aggregate += &outcome.stats;
+            results.push(outcome);
+            io.push(query_io);
+        }
+        let aggregate_io = match (self.io, io_before) {
+            (Some(c), Some(b)) => c.snapshot().since(&b),
+            _ => IoStats::default(),
+        };
+        BatchOutcome { results, io, aggregate, aggregate_io }
+    }
+}
+
+impl std::fmt::Debug for QueryEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryEngine")
+            .field("num_nodes", &self.topo.num_nodes())
+            .field("num_points", &self.points.num_points())
+            .field("materialized", &self.materialized.is_some())
+            .field("io_attribution", &self.io.is_some())
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_rknn;
+    use rnn_graph::{Graph, GraphBuilder, NodePointSet};
+    use rnn_storage::{IoCounters, LayoutStrategy, PagedGraph};
+
+    fn grid(side: usize) -> Graph {
+        let mut b = GraphBuilder::new(side * side);
+        for r in 0..side {
+            for c in 0..side {
+                let v = r * side + c;
+                if c + 1 < side {
+                    b.add_edge(v, v + 1, 1.0 + ((v * 7 % 5) as f64) * 0.25).unwrap();
+                }
+                if r + 1 < side {
+                    b.add_edge(v, v + side, 1.0 + ((v * 11 % 7) as f64) * 0.25).unwrap();
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    fn setup() -> (Graph, NodePointSet, MaterializedKnn) {
+        let g = grid(9);
+        let pts = NodePointSet::from_nodes(81, (0..81).step_by(7).map(NodeId::new));
+        let table = MaterializedKnn::build(&g, &pts, 2);
+        (g, pts, table)
+    }
+
+    #[test]
+    fn trait_dispatch_matches_direct_calls_for_every_algorithm() {
+        let (g, pts, table) = setup();
+        let mut scratch = Scratch::new();
+        for algorithm in Algorithm::ALL {
+            assert_eq!(resolve(algorithm).algorithm(), algorithm);
+            for q in [NodeId::new(0), NodeId::new(40), NodeId::new(80)] {
+                let via_trait = resolve(algorithm).run(&g, &pts, Some(&table), q, 2, &mut scratch);
+                let direct = run_rknn(algorithm, &g, &pts, Some(&table), q, 2);
+                assert_eq!(via_trait, direct, "{algorithm} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_results_are_input_ordered_and_match_single_queries() {
+        let (g, pts, table) = setup();
+        let engine = QueryEngine::new(&g, &pts).with_materialized(&table);
+        let workload = Workload::uniform(Algorithm::Eager, 1, pts.nodes().iter().copied());
+        assert!(!workload.is_empty());
+        let batch = engine.run_batch(&workload);
+        assert_eq!(batch.results.len(), workload.len());
+        assert_eq!(batch.io.len(), workload.len());
+        let mut expected_aggregate = QueryStats::default();
+        for (spec, outcome) in workload.queries.iter().zip(&batch.results) {
+            let single = run_rknn(spec.algorithm, &g, &pts, Some(&table), spec.query, spec.k);
+            assert_eq!(outcome, &single, "query {}", spec.query);
+            expected_aggregate += &single.stats;
+        }
+        assert_eq!(batch.aggregate, expected_aggregate);
+        assert_eq!(batch.aggregate_io, IoStats::default(), "no counters attached");
+    }
+
+    #[test]
+    fn multi_threaded_batches_reproduce_the_sequential_outcome() {
+        let (g, pts, table) = setup();
+        let mut queries = Vec::new();
+        for algorithm in Algorithm::ALL {
+            for &node in pts.nodes() {
+                queries.push(QuerySpec { algorithm, query: node, k: 2 });
+            }
+        }
+        let workload = Workload { queries };
+        let sequential = QueryEngine::new(&g, &pts).with_materialized(&table).run_batch(&workload);
+        for threads in [2usize, 4, 8] {
+            let parallel = QueryEngine::new(&g, &pts)
+                .with_materialized(&table)
+                .with_threads(threads)
+                .run_batch(&workload);
+            assert_eq!(parallel.results, sequential.results, "threads={threads}");
+            assert_eq!(parallel.aggregate, sequential.aggregate, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_workloads_are_a_no_op() {
+        let (g, pts, _) = setup();
+        let engine = QueryEngine::new(&g, &pts).with_threads(8);
+        let batch = engine.run_batch(&Workload::default());
+        assert!(batch.results.is_empty());
+        assert_eq!(batch.aggregate, QueryStats::default());
+        assert_eq!(engine.threads(), 8);
+        assert!(format!("{engine:?}").contains("QueryEngine"));
+    }
+
+    #[test]
+    fn io_attribution_on_a_shared_paged_graph() {
+        let (g, pts, _) = setup();
+        let paged =
+            PagedGraph::build_with(&g, LayoutStrategy::BfsLocality, 8, IoCounters::new()).unwrap();
+        let counters = paged.counters().clone();
+        let engine = QueryEngine::new(&paged, &pts).with_io_counters(&counters).with_threads(4);
+        let workload = Workload::uniform(Algorithm::Lazy, 1, pts.nodes().iter().copied());
+        let batch = engine.run_batch(&workload);
+        // Every query fetched at least one adjacency page, and the per-query
+        // attributions add up to the aggregate (all I/O came from workers).
+        assert!(batch.io.iter().all(|io| io.accesses > 0));
+        assert_eq!(IoStats::merged(batch.io.iter()).accesses, batch.aggregate_io.accesses);
+        // Results on the paged backend equal the in-memory ones.
+        let in_memory = QueryEngine::new(&g, &pts).run_batch(&workload);
+        assert_eq!(batch.results, in_memory.results);
+        // Workers retire their counters on exit, so repeated batches do not
+        // grow the live per-thread map (ThreadIds are never reused) and no
+        // counts are lost across batches.
+        let after_one = counters.snapshot();
+        for _ in 0..3 {
+            engine.run_batch(&workload);
+        }
+        assert!(counters.per_thread_snapshots().is_empty(), "all batch workers retired");
+        assert_eq!(counters.snapshot().accesses, 4 * after_one.accesses);
+    }
+
+    /// The scratch-reuse acceptance test: after the first (warm-up) query,
+    /// repeated queries create no new buffers — every checkout is an arena
+    /// reset of a pooled buffer.
+    #[test]
+    fn steady_state_queries_reuse_scratch_buffers_instead_of_allocating() {
+        let (g, pts, table) = setup();
+        for algorithm in [Algorithm::Eager, Algorithm::Lazy, Algorithm::LazyExtendedPruning] {
+            let engine = QueryEngine::new(&g, &pts).with_materialized(&table);
+            let spec = QuerySpec { algorithm, query: NodeId::new(40), k: 2 };
+            let mut scratch = Scratch::new();
+            let first = engine.run(&spec, &mut scratch);
+            let created_after_warmup = scratch.created();
+            let reuses_after_warmup = scratch.reuses();
+            assert!(created_after_warmup > 0, "{algorithm}: the warm-up query fills the pools");
+            for _ in 0..49 {
+                let again = engine.run(&spec, &mut scratch);
+                assert_eq!(again, first, "{algorithm}: reuse must not change results");
+            }
+            assert_eq!(
+                scratch.created(),
+                created_after_warmup,
+                "{algorithm}: steady-state queries must not allocate new buffers"
+            );
+            assert!(
+                scratch.reuses() >= reuses_after_warmup + 49,
+                "{algorithm}: every further query must reset pooled buffers \
+                 (reuses went {} -> {})",
+                reuses_after_warmup,
+                scratch.reuses()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn eager_m_without_table_panics_through_the_engine() {
+        let (g, pts, _) = setup();
+        let engine = QueryEngine::new(&g, &pts);
+        let _ = engine.run(
+            &QuerySpec { algorithm: Algorithm::EagerMaterialized, query: NodeId::new(0), k: 1 },
+            &mut Scratch::new(),
+        );
+    }
+}

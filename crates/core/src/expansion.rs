@@ -20,6 +20,33 @@ enum Label {
     Settled(Weight),
 }
 
+/// The allocation-bearing state of a [`NetworkExpansion`]: the frontier heap
+/// and the label map.
+///
+/// Buffers outlive individual expansions: an expansion built with
+/// [`NetworkExpansion::reusing`] starts from recycled (cleared but still
+/// allocated) buffers, and [`NetworkExpansion::into_buffers`] recovers them
+/// afterwards — this is how the query engine's `Scratch` arena keeps
+/// steady-state queries allocation-free.
+#[derive(Debug, Default)]
+pub struct ExpansionBuffers {
+    heap: BinaryHeap<Reverse<(Weight, NodeId)>>,
+    labels: FastMap<NodeId, Label>,
+}
+
+impl ExpansionBuffers {
+    /// Creates empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empties both buffers, retaining their capacity.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.labels.clear();
+    }
+}
+
 /// An incremental single- or multi-source Dijkstra expansion over a
 /// [`Topology`].
 ///
@@ -29,8 +56,7 @@ enum Label {
 /// how the paper's primitives bound their cost.
 pub struct NetworkExpansion<'a, T: Topology + ?Sized> {
     topo: &'a T,
-    heap: BinaryHeap<Reverse<(Weight, NodeId)>>,
-    labels: FastMap<NodeId, Label>,
+    bufs: ExpansionBuffers,
     settled_count: u64,
     pushes: u64,
 }
@@ -48,27 +74,36 @@ impl<'a, T: Topology + ?Sized> NetworkExpansion<'a, T> {
     where
         I: IntoIterator<Item = (NodeId, Weight)>,
     {
-        let mut exp = NetworkExpansion {
-            topo,
-            heap: BinaryHeap::new(),
-            labels: fast_map(),
-            settled_count: 0,
-            pushes: 0,
-        };
+        Self::reusing(topo, ExpansionBuffers::new(), sources)
+    }
+
+    /// Starts an expansion on recycled buffers (cleared here), avoiding the
+    /// heap/map allocations of a fresh expansion.
+    pub fn reusing<I>(topo: &'a T, mut bufs: ExpansionBuffers, sources: I) -> Self
+    where
+        I: IntoIterator<Item = (NodeId, Weight)>,
+    {
+        bufs.clear();
+        let mut exp = NetworkExpansion { topo, bufs, settled_count: 0, pushes: 0 };
         for (node, dist) in sources {
             exp.relax(node, dist);
         }
         exp
     }
 
+    /// Consumes the expansion, releasing its buffers for reuse.
+    pub fn into_buffers(self) -> ExpansionBuffers {
+        self.bufs
+    }
+
     /// Offers a (possibly better) tentative distance for `node`.
     fn relax(&mut self, node: NodeId, dist: Weight) {
-        match self.labels.get(&node) {
+        match self.bufs.labels.get(&node) {
             Some(Label::Settled(_)) => {}
             Some(Label::Tentative(best)) if *best <= dist => {}
             _ => {
-                self.labels.insert(node, Label::Tentative(dist));
-                self.heap.push(Reverse((dist, node)));
+                self.bufs.labels.insert(node, Label::Tentative(dist));
+                self.bufs.heap.push(Reverse((dist, node)));
                 self.pushes += 1;
             }
         }
@@ -91,13 +126,13 @@ impl<'a, T: Topology + ?Sized> NetworkExpansion<'a, T> {
     /// is how the eager algorithm applies Lemma 1 to stop the expansion at
     /// pruned nodes.
     pub fn next_settled_unexpanded(&mut self) -> Option<(NodeId, Weight)> {
-        while let Some(Reverse((dist, node))) = self.heap.pop() {
-            match self.labels.get(&node) {
+        while let Some(Reverse((dist, node))) = self.bufs.heap.pop() {
+            match self.bufs.labels.get(&node) {
                 Some(Label::Settled(_)) => continue, // stale entry
                 Some(Label::Tentative(best)) if *best < dist => continue, // superseded
                 _ => {}
             }
-            self.labels.insert(node, Label::Settled(dist));
+            self.bufs.labels.insert(node, Label::Settled(dist));
             self.settled_count += 1;
             return Some((node, dist));
         }
@@ -107,15 +142,17 @@ impl<'a, T: Topology + ?Sized> NetworkExpansion<'a, T> {
     /// Relaxes the neighbors of a node previously returned by
     /// [`NetworkExpansion::next_settled_unexpanded`].
     pub fn expand_from(&mut self, node: NodeId, dist: Weight) {
+        let bufs = &mut self.bufs;
+        let pushes = &mut self.pushes;
         self.topo.visit_neighbors(node, &mut |nb| {
             let cand = dist + nb.weight;
-            match self.labels.get(&nb.node) {
+            match bufs.labels.get(&nb.node) {
                 Some(Label::Settled(_)) => {}
                 Some(Label::Tentative(best)) if *best <= cand => {}
                 _ => {
-                    self.labels.insert(nb.node, Label::Tentative(cand));
-                    self.heap.push(Reverse((cand, nb.node)));
-                    self.pushes += 1;
+                    bufs.labels.insert(nb.node, Label::Tentative(cand));
+                    bufs.heap.push(Reverse((cand, nb.node)));
+                    *pushes += 1;
                 }
             }
         });
@@ -123,7 +160,7 @@ impl<'a, T: Topology + ?Sized> NetworkExpansion<'a, T> {
 
     /// Returns the settled distance of `node`, if it has been settled.
     pub fn settled_distance(&self, node: NodeId) -> Option<Weight> {
-        match self.labels.get(&node) {
+        match self.bufs.labels.get(&node) {
             Some(Label::Settled(d)) => Some(*d),
             _ => None,
         }
@@ -145,7 +182,7 @@ impl<'a, T: Topology + ?Sized> NetworkExpansion<'a, T> {
     pub fn run_to_completion(mut self) -> FastMap<NodeId, Weight> {
         while self.next_settled().is_some() {}
         let mut out = fast_map();
-        for (node, label) in self.labels.iter() {
+        for (node, label) in self.bufs.labels.iter() {
             if let Label::Settled(d) = label {
                 out.insert(*node, *d);
             }

@@ -62,6 +62,15 @@ impl ExpansionHeap {
         }
     }
 
+    /// Empties the heap for reuse: entries, invalidations, tickets and the
+    /// push counter all reset, while allocated capacity is retained.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.invalidated.clear();
+        self.next_ticket = 0;
+        self.pushes = 0;
+    }
+
     /// Pushes an entry and returns its ticket.
     pub fn push(&mut self, node: NodeId, dist: Weight) -> Ticket {
         let ticket = self.next_ticket;

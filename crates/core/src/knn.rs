@@ -9,8 +9,16 @@
 //!   distance **smaller than** `e` from `n`, if such `k` points exist;
 //!   otherwise it returns a smaller number (possibly 0) of NNs". This is the
 //!   pruning probe of the eager algorithm.
+//!
+//! The range-NN probe takes an `exclude` predicate so callers can keep the
+//! data point collocated with the query *out of the probe entirely*: such a
+//! point ties with the query everywhere and must neither count against the
+//! Lemma-1 pruning bound nor occupy one of the probe's `k` result slots (a
+//! post-probe filter would waste a slot at exact-tie nodes, settling extra
+//! nodes for nothing).
 
 use crate::expansion::NetworkExpansion;
+use crate::scratch::Scratch;
 use rnn_graph::{NodeId, PointId, PointsOnNodes, Topology, Weight};
 
 /// Result of a k-NN style probe, together with the number of nodes the
@@ -31,11 +39,30 @@ where
     T: Topology + ?Sized,
     P: PointsOnNodes + ?Sized,
 {
-    let mut exp = NetworkExpansion::new(topo, source);
+    k_nearest_in(topo, points, source, k, &mut Scratch::new())
+}
+
+/// [`k_nearest`] on recycled expansion buffers from `scratch`.
+pub fn k_nearest_in<T, P>(
+    topo: &T,
+    points: &P,
+    source: NodeId,
+    k: usize,
+    scratch: &mut Scratch,
+) -> NnProbe
+where
+    T: Topology + ?Sized,
+    P: PointsOnNodes + ?Sized,
+{
     let mut found = Vec::with_capacity(k);
     if k == 0 {
         return NnProbe { found, settled: 0 };
     }
+    let mut exp = NetworkExpansion::reusing(
+        topo,
+        scratch.take_expansion(),
+        std::iter::once((source, Weight::ZERO)),
+    );
     while let Some((node, dist)) = exp.next_settled() {
         if let Some(p) = points.point_at(node) {
             found.push((p, dist));
@@ -44,37 +71,83 @@ where
             }
         }
     }
-    NnProbe { found, settled: exp.settled_count() }
+    let settled = exp.settled_count();
+    scratch.put_expansion(exp.into_buffers());
+    NnProbe { found, settled }
 }
 
 /// The paper's `range-NN(n, k, e)` query: the `k` nearest data points of
-/// `source` with distance strictly smaller than `range`.
+/// `source` with distance strictly smaller than `range`, skipping points for
+/// which `exclude` returns `true`.
 ///
-/// The expansion stops as soon as `k` points are found, the settled distance
-/// reaches `range`, or the graph is exhausted.
-pub fn range_nn<T, P>(topo: &T, points: &P, source: NodeId, k: usize, range: Weight) -> NnProbe
+/// Excluded points do not occupy result slots and do not stop the expansion:
+/// the probe keeps searching for `k` *countable* points. Pass `|_| false` to
+/// exclude nothing. The expansion stops as soon as `k` points are found, the
+/// settled distance reaches `range`, or the graph is exhausted.
+pub fn range_nn<T, P, F>(
+    topo: &T,
+    points: &P,
+    source: NodeId,
+    k: usize,
+    range: Weight,
+    exclude: F,
+) -> NnProbe
 where
     T: Topology + ?Sized,
     P: PointsOnNodes + ?Sized,
+    F: Fn(PointId) -> bool,
 {
     let mut found = Vec::with_capacity(k.min(8));
+    let settled =
+        range_nn_into(topo, points, source, k, range, &exclude, &mut Scratch::new(), &mut found);
+    NnProbe { found, settled }
+}
+
+/// [`range_nn`] writing into a caller-provided buffer (cleared here) on
+/// recycled expansion buffers, so steady-state probes allocate nothing.
+/// Returns the number of nodes the probe settled.
+#[allow(clippy::too_many_arguments)] // mirrors range-NN(n, k, e) plus the reuse plumbing
+pub fn range_nn_into<T, P, F>(
+    topo: &T,
+    points: &P,
+    source: NodeId,
+    k: usize,
+    range: Weight,
+    exclude: &F,
+    scratch: &mut Scratch,
+    out: &mut Vec<(PointId, Weight)>,
+) -> u64
+where
+    T: Topology + ?Sized,
+    P: PointsOnNodes + ?Sized,
+    F: Fn(PointId) -> bool + ?Sized,
+{
+    out.clear();
     if k == 0 || range == Weight::ZERO {
-        return NnProbe { found, settled: 0 };
+        return 0;
     }
-    let mut exp = NetworkExpansion::new(topo, source);
+    let mut exp = NetworkExpansion::reusing(
+        topo,
+        scratch.take_expansion(),
+        std::iter::once((source, Weight::ZERO)),
+    );
     while let Some((node, dist)) = exp.next_settled_unexpanded() {
         if dist >= range {
             break;
         }
         if let Some(p) = points.point_at(node) {
-            found.push((p, dist));
-            if found.len() == k {
-                break;
+            if !exclude(p) {
+                out.push((p, dist));
+                if out.len() == k {
+                    break;
+                }
             }
         }
         exp.expand_from(node, dist);
     }
-    NnProbe { found, settled: exp.settled_count() }
+    let settled = exp.settled_count();
+    scratch.put_expansion(exp.into_buffers());
+    settled
 }
 
 /// Distance from `source` to its nearest data point, or `None` if no data
@@ -101,6 +174,10 @@ mod tests {
         let g = b.build().unwrap();
         let pts = NodePointSet::from_nodes(5, [NodeId::new(0), NodeId::new(4)]);
         (g, pts)
+    }
+
+    fn keep_all(_: PointId) -> bool {
+        false
     }
 
     #[test]
@@ -133,9 +210,9 @@ mod tests {
     fn range_nn_is_strict_on_the_range() {
         let (g, pts) = path_graph();
         // The nearest point of node 2 is at distance 4 (both sides).
-        let probe = range_nn(&g, &pts, NodeId::new(2), 1, Weight::new(4.0));
+        let probe = range_nn(&g, &pts, NodeId::new(2), 1, Weight::new(4.0), keep_all);
         assert!(probe.found.is_empty(), "distance == range must not qualify");
-        let probe = range_nn(&g, &pts, NodeId::new(2), 1, Weight::new(4.1));
+        let probe = range_nn(&g, &pts, NodeId::new(2), 1, Weight::new(4.1), keep_all);
         assert_eq!(probe.found.len(), 1);
         // Paper example: range-NN(n4, 1, 7) is empty because d(p1, n4) = 7 >= e.
     }
@@ -143,15 +220,60 @@ mod tests {
     #[test]
     fn range_nn_stops_after_k_points() {
         let (g, pts) = path_graph();
-        let probe = range_nn(&g, &pts, NodeId::new(1), 1, Weight::new(100.0));
+        let probe = range_nn(&g, &pts, NodeId::new(1), 1, Weight::new(100.0), keep_all);
         assert_eq!(probe.found.len(), 1);
         assert_eq!(probe.found[0].1.value(), 2.0);
         // k = 2 with a large range finds both
-        let probe = range_nn(&g, &pts, NodeId::new(1), 2, Weight::new(100.0));
+        let probe = range_nn(&g, &pts, NodeId::new(1), 2, Weight::new(100.0), keep_all);
         assert_eq!(probe.found.len(), 2);
         // zero range or zero k return empty without settling anything
-        assert_eq!(range_nn(&g, &pts, NodeId::new(1), 2, Weight::ZERO).settled, 0);
-        assert_eq!(range_nn(&g, &pts, NodeId::new(1), 0, Weight::new(5.0)).found.len(), 0);
+        assert_eq!(range_nn(&g, &pts, NodeId::new(1), 2, Weight::ZERO, keep_all).settled, 0);
+        assert_eq!(
+            range_nn(&g, &pts, NodeId::new(1), 0, Weight::new(5.0), keep_all).found.len(),
+            0
+        );
+    }
+
+    #[test]
+    fn excluded_points_free_their_result_slot() {
+        let (g, pts) = path_graph();
+        let p0 = pts.point_at(NodeId::new(0)).unwrap();
+        // Probing from node 1 with k = 1: normally p0 (distance 2) fills the
+        // single slot. Excluding p0 must let the probe continue to the point
+        // on node 4 (distance 6) instead of returning p0 or stopping early.
+        let probe = range_nn(&g, &pts, NodeId::new(1), 1, Weight::new(100.0), |p| p == p0);
+        assert_eq!(probe.found.len(), 1);
+        assert_eq!(probe.found[0].0, pts.point_at(NodeId::new(4)).unwrap());
+        assert_eq!(probe.found[0].1.value(), 6.0);
+        // Excluding everything finds nothing but still scans the range.
+        let probe = range_nn(&g, &pts, NodeId::new(1), 1, Weight::new(100.0), |_| true);
+        assert!(probe.found.is_empty());
+        assert_eq!(probe.settled, 5, "the probe scans the whole graph");
+    }
+
+    #[test]
+    fn scratch_backed_probes_match_the_allocating_path() {
+        let (g, pts) = path_graph();
+        let mut scratch = Scratch::new();
+        let mut out = Vec::new();
+        for (k, range) in [(1usize, 4.1), (2, 100.0), (1, 4.0)] {
+            let settled = range_nn_into(
+                &g,
+                &pts,
+                NodeId::new(2),
+                k,
+                Weight::new(range),
+                &keep_all,
+                &mut scratch,
+                &mut out,
+            );
+            let fresh = range_nn(&g, &pts, NodeId::new(2), k, Weight::new(range), keep_all);
+            assert_eq!(out, fresh.found, "k={k} range={range}");
+            assert_eq!(settled, fresh.settled, "k={k} range={range}");
+        }
+        let a = k_nearest_in(&g, &pts, NodeId::new(1), 2, &mut scratch);
+        assert_eq!(a, k_nearest(&g, &pts, NodeId::new(1), 2));
+        assert!(scratch.reuses() > 0, "the expansion buffers must be recycled");
     }
 
     #[test]

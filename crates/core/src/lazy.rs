@@ -11,11 +11,52 @@
 //! `k > 1` a node is only discarded once `k` distinct points have been
 //! counted against it.
 
-use crate::fast_hash::{fast_map, fast_set, FastMap, FastSet};
+use crate::fast_hash::{FastMap, FastSet};
 use crate::heap::{ExpansionHeap, Ticket};
 use crate::query::{QueryStats, RknnOutcome};
-use crate::verify::{verify_candidate, VerifyParams};
+use crate::scratch::{Reset, Scratch};
+use crate::verify::{verify_candidate_in, VerifyParams};
 use rnn_graph::{NodeId, PointId, PointsOnNodes, Topology, Weight};
+
+/// The reusable allocation state of the lazy main loop, pooled by
+/// [`Scratch`].
+#[derive(Debug, Default)]
+pub(crate) struct LazyBuffers {
+    /// Main expansion heap with ticket-based invalidation.
+    heap: ExpansionHeap,
+    /// Best tentative distance per node.
+    best: FastMap<NodeId, Weight>,
+    /// Hash table of visited (settled) nodes: final distance from the query.
+    settled: FastMap<NodeId, Weight>,
+    /// Back-pointers: heap tickets created while processing a node, so the
+    /// node's expansion can be undone when it is later invalidated.
+    children: FastMap<NodeId, Vec<Ticket>>,
+    /// Recycled ticket vectors for `children` entries.
+    spare_tickets: Vec<Vec<Ticket>>,
+    /// Verification counters: how many distinct data points are known to be
+    /// strictly closer to the node than the query.
+    counters: FastMap<NodeId, usize>,
+    /// Nodes whose children have already been removed (the removal is done at
+    /// most once per node).
+    pruned_children: FastSet<NodeId>,
+    verified: FastSet<PointId>,
+}
+
+impl Reset for LazyBuffers {
+    fn reset(&mut self) {
+        self.heap.clear();
+        self.best.clear();
+        self.settled.clear();
+        // Recycle the per-node ticket vectors instead of dropping them.
+        for (_, mut tickets) in self.children.drain() {
+            tickets.clear();
+            self.spare_tickets.push(tickets);
+        }
+        self.counters.clear();
+        self.pruned_children.clear();
+        self.verified.clear();
+    }
+}
 
 /// Runs the lazy RkNN algorithm.
 ///
@@ -29,59 +70,62 @@ where
     T: Topology + ?Sized,
     P: PointsOnNodes + ?Sized,
 {
+    lazy_rknn_in(topo, points, query, k, &mut Scratch::new())
+}
+
+/// [`lazy_rknn`] on the recycled buffers of `scratch`: the main heap, every
+/// hash table and every verification expansion run allocation-free in the
+/// steady state.
+pub fn lazy_rknn_in<T, P>(
+    topo: &T,
+    points: &P,
+    query: NodeId,
+    k: usize,
+    scratch: &mut Scratch,
+) -> RknnOutcome
+where
+    T: Topology + ?Sized,
+    P: PointsOnNodes + ?Sized,
+{
     assert!(k >= 1, "RkNN queries require k >= 1");
     let mut stats = QueryStats::default();
     let mut result: Vec<PointId> = Vec::new();
+    let mut bufs = scratch.take_lazy();
 
-    // Main expansion state.
-    let mut heap = ExpansionHeap::new();
-    let mut best: FastMap<NodeId, Weight> = fast_map();
-    // Hash table of visited (settled) nodes: final distance from the query.
-    let mut settled: FastMap<NodeId, Weight> = fast_map();
-    // Back-pointers: heap tickets created while processing a node, so the
-    // node's expansion can be undone when it is later invalidated.
-    let mut children: FastMap<NodeId, Vec<Ticket>> = fast_map();
-    // Verification counters: how many distinct data points are known to be
-    // strictly closer to the node than the query.
-    let mut counters: FastMap<NodeId, usize> = fast_map();
-    // Nodes whose children have already been removed (the removal is done at
-    // most once per node).
-    let mut pruned_children: FastSet<NodeId> = fast_set();
-    let mut verified: FastSet<PointId> = fast_set();
+    bufs.best.insert(query, Weight::ZERO);
+    bufs.heap.push(query, Weight::ZERO);
 
-    best.insert(query, Weight::ZERO);
-    heap.push(query, Weight::ZERO);
-
-    while let Some((node, dist, _)) = heap.pop() {
-        if settled.contains_key(&node) {
+    while let Some((node, dist, _)) = bufs.heap.pop() {
+        if bufs.settled.contains_key(&node) {
             continue; // stale entry
         }
-        if best.get(&node).is_some_and(|b| *b < dist) {
+        if bufs.best.get(&node).is_some_and(|b| *b < dist) {
             continue; // superseded entry
         }
-        settled.insert(node, dist);
+        bufs.settled.insert(node, dist);
         stats.nodes_settled += 1;
 
         // A node already counted against k distinct closer points cannot lead
         // to (or be) a reverse neighbor.
-        if counters.get(&node).copied().unwrap_or(0) >= k {
+        if bufs.counters.get(&node).copied().unwrap_or(0) >= k {
             continue;
         }
 
         // Process a data point residing on this node.
         if dist > Weight::ZERO {
             if let Some(p) = points.point_at(node) {
-                if verified.insert(p) {
+                if bufs.verified.insert(p) {
                     stats.candidates += 1;
                     stats.verifications += 1;
                     // p lies on the settled node, so d(p, q) == dist exactly.
-                    let v = verify_candidate(
+                    let v = verify_candidate_in(
                         topo,
                         points,
                         p,
                         node,
                         |n| n == query,
                         VerifyParams { k, collect_visited: true },
+                        scratch,
                     );
                     stats.auxiliary_settled += v.settled;
                     if v.accepted {
@@ -91,7 +135,7 @@ where
                     // settled strictly within d(p, q) is strictly closer to p
                     // than to the query.
                     for &(m, dm) in &v.visited {
-                        let counted = match settled.get(&m) {
+                        let counted = match bufs.settled.get(&m) {
                             // Visited node: count only when provably closer
                             // to p than to the query.
                             Some(&dq) => dm < dq,
@@ -101,20 +145,24 @@ where
                             None => dm < dist,
                         };
                         if counted {
-                            let c = counters.entry(m).or_insert(0);
+                            let c = bufs.counters.entry(m).or_insert(0);
                             *c += 1;
-                            if *c == k && settled.contains_key(&m) && pruned_children.insert(m) {
+                            if *c == k
+                                && bufs.settled.contains_key(&m)
+                                && bufs.pruned_children.insert(m)
+                            {
                                 // Remove the heap entries inserted while
                                 // processing m (the paper's hash-table based
                                 // deletion).
-                                if let Some(tickets) = children.get(&m) {
+                                if let Some(tickets) = bufs.children.get(&m) {
                                     for &t in tickets {
-                                        heap.invalidate(t);
+                                        bufs.heap.invalidate(t);
                                     }
                                 }
                             }
                         }
                     }
+                    scratch.put_node_dists(v.visited);
                 }
             }
         }
@@ -122,12 +170,15 @@ where
         // Re-check the counter: the verification of this node's own point
         // counts the node itself (the point is at distance 0 from it), which
         // is exactly what stops the k=1 expansion at nodes containing points.
-        if counters.get(&node).copied().unwrap_or(0) >= k {
+        if bufs.counters.get(&node).copied().unwrap_or(0) >= k {
             continue;
         }
 
         // Expand the node, remembering the created heap entries.
-        let mut created: Vec<Ticket> = Vec::new();
+        let mut created: Vec<Ticket> = bufs.spare_tickets.pop().unwrap_or_default();
+        let heap = &mut bufs.heap;
+        let best = &mut bufs.best;
+        let settled = &bufs.settled;
         topo.visit_neighbors(node, &mut |nb| {
             if settled.contains_key(&nb.node) {
                 return;
@@ -139,12 +190,15 @@ where
                 created.push(heap.push(nb.node, cand));
             }
         });
-        if !created.is_empty() {
-            children.insert(node, created);
+        if created.is_empty() {
+            bufs.spare_tickets.push(created);
+        } else {
+            bufs.children.insert(node, created);
         }
     }
 
-    stats.heap_pushes = heap.pushes();
+    stats.heap_pushes = bufs.heap.pushes();
+    scratch.put_lazy(bufs);
     RknnOutcome::from_points(result, stats)
 }
 

@@ -10,9 +10,10 @@
 //! strictly closer than the query is pruned by Lemma 1 without issuing any
 //! verification around it.
 
-use crate::fast_hash::{fast_map, fast_set, FastMap, FastSet};
+use crate::fast_hash::{FastMap, FastSet};
 use crate::query::{QueryStats, RknnOutcome};
-use crate::verify::{verify_candidate, VerifyParams};
+use crate::scratch::{Reset, Scratch};
+use crate::verify::{verify_candidate_in, VerifyParams};
 use rnn_graph::{NodeId, PointId, PointsOnNodes, Topology, Weight};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -46,6 +47,33 @@ impl FoundList {
     }
 }
 
+/// The reusable allocation state of the lazy-EP main loop, pooled by
+/// [`Scratch`].
+#[derive(Debug, Default)]
+pub(crate) struct LazyEpBuffers {
+    /// Main expansion heap (H).
+    heap: BinaryHeap<Reverse<(Weight, NodeId)>>,
+    best: FastMap<NodeId, Weight>,
+    settled: FastSet<NodeId>,
+    /// Parallel point expansion heap (H').
+    point_heap: BinaryHeap<Reverse<(Weight, NodeId, PointId)>>,
+    /// Per-node nearest discovered points (the lists themselves hold at most
+    /// `k` entries, so clearing the map between queries is cheap).
+    found: FastMap<NodeId, FoundList>,
+    discovered: FastSet<PointId>,
+}
+
+impl Reset for LazyEpBuffers {
+    fn reset(&mut self) {
+        self.heap.clear();
+        self.best.clear();
+        self.settled.clear();
+        self.point_heap.clear();
+        self.found.clear();
+        self.discovered.clear();
+    }
+}
+
 /// Runs the lazy-EP (extended pruning) RkNN algorithm.
 ///
 /// # Panics
@@ -55,37 +83,46 @@ where
     T: Topology + ?Sized,
     P: PointsOnNodes + ?Sized,
 {
+    lazy_ep_rknn_in(topo, points, query, k, &mut Scratch::new())
+}
+
+/// [`lazy_ep_rknn`] on the recycled buffers of `scratch`: both heaps, the
+/// per-node hash tables and every verification expansion run allocation-free
+/// in the steady state.
+pub fn lazy_ep_rknn_in<T, P>(
+    topo: &T,
+    points: &P,
+    query: NodeId,
+    k: usize,
+    scratch: &mut Scratch,
+) -> RknnOutcome
+where
+    T: Topology + ?Sized,
+    P: PointsOnNodes + ?Sized,
+{
     assert!(k >= 1, "RkNN queries require k >= 1");
     let mut stats = QueryStats::default();
     let mut result: Vec<PointId> = Vec::new();
+    let mut bufs = scratch.take_lazy_ep();
 
-    // Main expansion (H).
-    let mut heap: BinaryHeap<Reverse<(Weight, NodeId)>> = BinaryHeap::new();
-    let mut best: FastMap<NodeId, Weight> = fast_map();
-    let mut settled: FastSet<NodeId> = fast_set();
-
-    // Parallel point expansion (H').
-    let mut point_heap: BinaryHeap<Reverse<(Weight, NodeId, PointId)>> = BinaryHeap::new();
-    let mut found: FastMap<NodeId, FoundList> = fast_map();
-
-    let mut discovered: FastSet<PointId> = fast_set();
-
-    best.insert(query, Weight::ZERO);
-    heap.push(Reverse((Weight::ZERO, query)));
+    bufs.best.insert(query, Weight::ZERO);
+    bufs.heap.push(Reverse((Weight::ZERO, query)));
     let mut last_main_dist = Weight::ZERO;
 
-    while let Some(&Reverse((dist, node))) = heap.peek() {
+    while let Some(&Reverse((dist, node))) = bufs.heap.peek() {
         // Advance H' while its frontier is behind the main frontier.
-        while let Some(&Reverse((pd, pnode, pid))) = point_heap.peek() {
+        while let Some(&Reverse((pd, pnode, pid))) = bufs.point_heap.peek() {
             if pd >= last_main_dist {
                 break;
             }
-            point_heap.pop();
-            let list = found.entry(pnode).or_default();
+            bufs.point_heap.pop();
+            let list = bufs.found.entry(pnode).or_default();
             if !list.insert(pd, pid, k) {
                 continue;
             }
             stats.auxiliary_settled += 1;
+            let found = &mut bufs.found;
+            let point_heap = &mut bufs.point_heap;
             topo.visit_neighbors(pnode, &mut |nb| {
                 let cand = pd + nb.weight;
                 let neighbor_list = found.entry(nb.node).or_default();
@@ -96,19 +133,19 @@ where
         }
 
         // Pop the main heap.
-        heap.pop();
-        if settled.contains(&node) {
+        bufs.heap.pop();
+        if bufs.settled.contains(&node) {
             continue;
         }
-        if best.get(&node).is_some_and(|b| *b < dist) {
+        if bufs.best.get(&node).is_some_and(|b| *b < dist) {
             continue;
         }
-        settled.insert(node);
+        bufs.settled.insert(node);
         stats.nodes_settled += 1;
         last_main_dist = dist;
 
         // Lemma 1 with the k-th discovered point of this node.
-        let kth = found.get(&node).map_or(Weight::INFINITY, |l| l.kth_distance(k));
+        let kth = bufs.found.get(&node).map_or(Weight::INFINITY, |l| l.kth_distance(k));
         if kth < dist {
             continue;
         }
@@ -116,16 +153,17 @@ where
         // Process the resident point, if any.
         if dist > Weight::ZERO {
             if let Some(p) = points.point_at(node) {
-                if discovered.insert(p) {
+                if bufs.discovered.insert(p) {
                     stats.candidates += 1;
                     stats.verifications += 1;
-                    let v = verify_candidate(
+                    let v = verify_candidate_in(
                         topo,
                         points,
                         p,
                         node,
                         |n| n == query,
                         VerifyParams { k, collect_visited: false },
+                        scratch,
                     );
                     stats.auxiliary_settled += v.settled;
                     if v.accepted {
@@ -135,8 +173,9 @@ where
                     // record it at its own node (distance 0) and offer its
                     // neighbors to H'. The neighbors are only processed when
                     // the throttling rule lets H' advance.
-                    found.entry(node).or_default().insert(Weight::ZERO, p, k);
+                    bufs.found.entry(node).or_default().insert(Weight::ZERO, p, k);
                     stats.auxiliary_settled += 1;
+                    let point_heap = &mut bufs.point_heap;
                     topo.visit_neighbors(node, &mut |nb| {
                         point_heap.push(Reverse((nb.weight, nb.node, p)));
                     });
@@ -147,12 +186,15 @@ where
         // Re-check the pruning condition: the node's own point (just recorded
         // at distance 0) participates exactly as in lazy, which is what stops
         // the k=1 expansion at nodes containing points.
-        let effective_kth = found.get(&node).map_or(Weight::INFINITY, |l| l.kth_distance(k));
+        let effective_kth = bufs.found.get(&node).map_or(Weight::INFINITY, |l| l.kth_distance(k));
         if effective_kth < dist {
             continue;
         }
 
         // Expand the node.
+        let heap = &mut bufs.heap;
+        let best = &mut bufs.best;
+        let settled = &bufs.settled;
         topo.visit_neighbors(node, &mut |nb| {
             if settled.contains(&nb.node) {
                 return;
@@ -167,6 +209,7 @@ where
         });
     }
 
+    scratch.put_lazy_ep(bufs);
     RknnOutcome::from_points(result, stats)
 }
 

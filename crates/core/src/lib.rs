@@ -19,7 +19,12 @@
 //!   route, and queries on *unrestricted* networks where data points lie on
 //!   edges ([`unrestricted`]);
 //! * a [`naive`] baseline used for correctness cross-checks and as the
-//!   straw-man comparison.
+//!   straw-man comparison;
+//! * the [`engine`] serving layer: the [`RknnAlgorithm`] trait behind the
+//!   [`Algorithm`] enum, the reusable [`Scratch`] arena that makes
+//!   steady-state queries allocation-free, and
+//!   [`engine::QueryEngine::run_batch`] for multi-threaded workloads with
+//!   deterministic, input-order results.
 //!
 //! All algorithms are generic over [`rnn_graph::Topology`], so they run
 //! identically on the in-memory [`rnn_graph::Graph`] and on the disk-page
@@ -69,6 +74,7 @@ pub mod continuous;
 pub mod cost;
 pub mod dispatch;
 pub mod eager;
+pub mod engine;
 pub mod expansion;
 pub mod fast_hash;
 pub mod heap;
@@ -78,10 +84,13 @@ pub mod lazy_ep;
 pub mod materialize;
 pub mod naive;
 pub mod query;
+pub mod scratch;
 pub mod unrestricted;
 pub mod verify;
 
 pub use cost::{CostModel, QueryCost};
-pub use dispatch::{run_rknn, Algorithm};
+pub use dispatch::{run_rknn, run_rknn_with, Algorithm};
+pub use engine::{BatchOutcome, QueryEngine, QuerySpec, RknnAlgorithm, Workload};
 pub use materialize::MaterializedKnn;
 pub use query::{QueryStats, RknnOutcome};
+pub use scratch::Scratch;

@@ -10,9 +10,9 @@
 
 use super::MaterializedKnn;
 use crate::expansion::NetworkExpansion;
-use crate::fast_hash::{fast_set, FastSet};
 use crate::query::{QueryStats, RknnOutcome};
-use crate::verify::{verify_candidate, VerifyParams};
+use crate::scratch::Scratch;
+use crate::verify::{verify_candidate_in, VerifyParams};
 use rnn_graph::{NodeId, PointId, PointsOnNodes, Topology, Weight};
 
 /// Runs the eager-M RkNN algorithm over a materialized table.
@@ -30,6 +30,22 @@ where
     T: Topology + ?Sized,
     P: PointsOnNodes + ?Sized,
 {
+    eager_m_rknn_in(topo, points, table, query, k, &mut Scratch::new())
+}
+
+/// [`eager_m_rknn`] on the recycled buffers of `scratch`.
+pub fn eager_m_rknn_in<T, P>(
+    topo: &T,
+    points: &P,
+    table: &MaterializedKnn,
+    query: NodeId,
+    k: usize,
+    scratch: &mut Scratch,
+) -> RknnOutcome
+where
+    T: Topology + ?Sized,
+    P: PointsOnNodes + ?Sized,
+{
     assert!(k >= 1, "RkNN queries require k >= 1");
     assert!(
         k <= table.capacity_k(),
@@ -39,30 +55,38 @@ where
     );
     let mut stats = QueryStats::default();
     let mut result: Vec<PointId> = Vec::new();
-    let mut verified: FastSet<NodeId> = fast_set();
+    let mut verified = scratch.take_node_set();
+    let mut candidates = scratch.take_node_dists();
 
-    let mut exp = NetworkExpansion::new(topo, query);
+    let mut exp = NetworkExpansion::reusing(
+        topo,
+        scratch.take_expansion(),
+        std::iter::once((query, Weight::ZERO)),
+    );
     while let Some((node, dist)) = exp.next_settled_unexpanded() {
         stats.nodes_settled += 1;
 
-        // Candidate points: the (at most k) nearest materialized entries that
-        // are strictly closer to this node than the query is.
-        let mut candidates: Vec<(NodeId, Weight)> = Vec::new();
+        // Candidate points: the k nearest materialized entries that are
+        // strictly closer to this node than the query is. An entry on the
+        // query node itself is skipped outright — it ties with the query by
+        // definition (its materialized distance was computed independently of
+        // `dist`, so a floating-point tie can land on either side) and must
+        // neither count against the Lemma-1 bound nor waste one of the k
+        // candidate slots.
+        candidates.clear();
         if dist > Weight::ZERO {
             stats.range_nn_queries += 1; // a table lookup replaces the range-NN probe
-            for &(loc, d) in table.knn_of(node).iter().take(k) {
-                if d < dist {
+            for &(loc, d) in table.knn_of(node).iter() {
+                if d >= dist || candidates.len() == k {
+                    break;
+                }
+                if loc != query {
                     candidates.push((loc, d));
                 }
             }
         }
 
         for &(loc, d_to_node) in &candidates {
-            // A point residing on the query node itself is excluded from the
-            // result by definition (distance zero).
-            if loc == query {
-                continue;
-            }
             if !verified.insert(loc) {
                 continue;
             }
@@ -82,13 +106,14 @@ where
                 }
                 _ => {
                     stats.verifications += 1;
-                    let v = verify_candidate(
+                    let v = verify_candidate_in(
                         topo,
                         points,
                         p,
                         loc,
                         |n| n == query,
                         VerifyParams { k, collect_visited: false },
+                        scratch,
                     );
                     stats.auxiliary_settled += v.settled;
                     if v.accepted {
@@ -99,16 +124,16 @@ where
         }
 
         // Lemma 1: stop the expansion once k materialized points are strictly
-        // closer to the node than the query. The point on the query node (if
-        // any) ties with the query by definition and must not count — its
-        // materialized distance was computed independently of `dist`, so a
-        // floating-point tie can land on either side.
-        let closer = candidates.iter().filter(|&&(loc, _)| loc != query).count();
-        if closer < k {
+        // closer to the node than the query (the candidate collection above
+        // already excluded the query's own entry).
+        if candidates.len() < k {
             exp.expand_from(node, dist);
         }
     }
     stats.heap_pushes = exp.pushes();
+    scratch.put_expansion(exp.into_buffers());
+    scratch.put_node_dists(candidates);
+    scratch.put_node_set(verified);
     RknnOutcome::from_points(result, stats)
 }
 

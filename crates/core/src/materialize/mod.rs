@@ -16,7 +16,7 @@
 mod eager_m;
 mod update;
 
-pub use eager_m::eager_m_rknn;
+pub use eager_m::{eager_m_rknn, eager_m_rknn_in};
 
 use crate::fast_hash::{fast_map, FastMap};
 use rnn_graph::{NodeId, PointsOnNodes, Topology, Weight};

@@ -10,7 +10,8 @@
 
 use crate::expansion::NetworkExpansion;
 use crate::query::{QueryStats, RknnOutcome};
-use crate::verify::{verify_candidate, VerifyParams};
+use crate::scratch::Scratch;
+use crate::verify::{verify_candidate_in, VerifyParams};
 use rnn_graph::{NodeId, PointId, PointsOnNodes, Topology, Weight};
 
 /// Runs the naive RkNN baseline: a full expansion from the query followed by
@@ -23,13 +24,32 @@ where
     T: Topology + ?Sized,
     P: PointsOnNodes + ?Sized,
 {
+    naive_rknn_in(topo, points, query, k, &mut Scratch::new())
+}
+
+/// [`naive_rknn`] on the recycled buffers of `scratch`.
+pub fn naive_rknn_in<T, P>(
+    topo: &T,
+    points: &P,
+    query: NodeId,
+    k: usize,
+    scratch: &mut Scratch,
+) -> RknnOutcome
+where
+    T: Topology + ?Sized,
+    P: PointsOnNodes + ?Sized,
+{
     assert!(k >= 1, "RkNN queries require k >= 1");
     let mut stats = QueryStats::default();
     let mut result: Vec<PointId> = Vec::new();
 
     // Full single-source shortest paths from the query: the traversal the
     // naive method cannot avoid.
-    let mut exp = NetworkExpansion::new(topo, query);
+    let mut exp = NetworkExpansion::reusing(
+        topo,
+        scratch.take_expansion(),
+        std::iter::once((query, Weight::ZERO)),
+    );
     let mut reachable_points: Vec<(PointId, NodeId)> = Vec::new();
     while let Some((node, dist)) = exp.next_settled() {
         stats.nodes_settled += 1;
@@ -40,6 +60,7 @@ where
         }
     }
     stats.heap_pushes = exp.pushes();
+    scratch.put_expansion(exp.into_buffers());
 
     // Each encountered point is checked with the same verification primitive
     // the other algorithms use (a NN expansion around the point that stops
@@ -47,13 +68,14 @@ where
     for (p, node) in reachable_points {
         stats.candidates += 1;
         stats.verifications += 1;
-        let v = verify_candidate(
+        let v = verify_candidate_in(
             topo,
             points,
             p,
             node,
             |n| n == query,
             VerifyParams { k, collect_visited: false },
+            scratch,
         );
         stats.auxiliary_settled += v.settled;
         if v.accepted {

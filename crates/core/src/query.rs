@@ -2,6 +2,7 @@
 
 use rnn_graph::PointId;
 use serde::{Deserialize, Serialize};
+use std::ops::AddAssign;
 
 /// Counters describing how much work a query did.
 ///
@@ -28,9 +29,16 @@ pub struct QueryStats {
 }
 
 impl QueryStats {
-    /// Sums another stats record into this one (used when aggregating a
-    /// workload of queries).
-    pub fn accumulate(&mut self, other: &QueryStats) {
+    /// Total settled nodes across the main and auxiliary expansions; a rough
+    /// CPU-work proxy that is deterministic across machines.
+    pub fn total_settled(&self) -> u64 {
+        self.nodes_settled + self.auxiliary_settled
+    }
+}
+
+/// Summing stats records aggregates a workload of queries.
+impl AddAssign<&QueryStats> for QueryStats {
+    fn add_assign(&mut self, other: &QueryStats) {
         self.nodes_settled += other.nodes_settled;
         self.heap_pushes += other.heap_pushes;
         self.range_nn_queries += other.range_nn_queries;
@@ -38,11 +46,11 @@ impl QueryStats {
         self.auxiliary_settled += other.auxiliary_settled;
         self.candidates += other.candidates;
     }
+}
 
-    /// Total settled nodes across the main and auxiliary expansions; a rough
-    /// CPU-work proxy that is deterministic across machines.
-    pub fn total_settled(&self) -> u64 {
-        self.nodes_settled + self.auxiliary_settled
+impl AddAssign for QueryStats {
+    fn add_assign(&mut self, other: QueryStats) {
+        *self += &other;
     }
 }
 
@@ -98,7 +106,7 @@ mod tests {
     }
 
     #[test]
-    fn stats_accumulate() {
+    fn stats_add_assign_sums_every_field() {
         let mut a = QueryStats {
             nodes_settled: 1,
             heap_pushes: 2,
@@ -108,10 +116,16 @@ mod tests {
             candidates: 6,
         };
         let b = a;
-        a.accumulate(&b);
+        a += &b;
         assert_eq!(a.nodes_settled, 2);
+        assert_eq!(a.heap_pushes, 4);
+        assert_eq!(a.range_nn_queries, 6);
+        assert_eq!(a.verifications, 8);
         assert_eq!(a.auxiliary_settled, 10);
+        assert_eq!(a.candidates, 12);
         assert_eq!(a.total_settled(), 12);
+        a += b; // by value
+        assert_eq!(a.nodes_settled, 3);
         assert_eq!(RknnOutcome::default().len(), 0);
         assert!(RknnOutcome::default().is_empty());
     }

@@ -1,0 +1,169 @@
+//! Reusable per-worker scratch state for query execution.
+//!
+//! Every RkNN query needs a handful of allocation-heavy structures: the main
+//! expansion's heap and label map, one more expansion per auxiliary probe
+//! (range-NN, verification), candidate buffers and visit marks. Allocating
+//! them per query dominates steady-state serving cost, so [`Scratch`] pools
+//! them: an algorithm checks a buffer out, uses it, and returns it; the next
+//! query (or the next probe of the same query) *resets* the buffer — clears
+//! it while keeping its capacity — instead of allocating a new one.
+//!
+//! One `Scratch` belongs to one worker (it is deliberately not `Sync`); the
+//! query engine keeps one per thread. Buffer reuse never changes results:
+//! every checkout resets the buffer before handing it out, which the batch
+//! determinism tests verify end to end.
+//!
+//! The [`Scratch::created`] / [`Scratch::reuses`] counters exist so tests can
+//! assert the steady state — after a warm-up query, further identical queries
+//! create no new buffers (`created` stays flat) and only reset pooled ones
+//! (`reuses` grows).
+
+use crate::expansion::ExpansionBuffers;
+use crate::fast_hash::FastSet;
+use rnn_graph::{NodeId, PointId, Weight};
+
+/// A buffer that can be emptied for reuse while keeping its allocation.
+pub(crate) trait Reset: Default {
+    /// Clears the buffer's contents, retaining capacity.
+    fn reset(&mut self);
+}
+
+impl<T> Reset for Vec<T> {
+    fn reset(&mut self) {
+        self.clear();
+    }
+}
+
+impl<K> Reset for FastSet<K> {
+    fn reset(&mut self) {
+        self.clear();
+    }
+}
+
+impl Reset for ExpansionBuffers {
+    fn reset(&mut self) {
+        self.clear();
+    }
+}
+
+fn take_from<T: Reset>(pool: &mut Vec<T>, created: &mut u64, reuses: &mut u64) -> T {
+    match pool.pop() {
+        Some(mut buf) => {
+            *reuses += 1;
+            buf.reset();
+            buf
+        }
+        None => {
+            *created += 1;
+            T::default()
+        }
+    }
+}
+
+/// A reusable arena of query-execution buffers (see the module docs).
+#[derive(Debug, Default)]
+pub struct Scratch {
+    expansions: Vec<ExpansionBuffers>,
+    found: Vec<Vec<(PointId, Weight)>>,
+    weights: Vec<Vec<Weight>>,
+    node_dists: Vec<Vec<(NodeId, Weight)>>,
+    point_sets: Vec<FastSet<PointId>>,
+    node_sets: Vec<FastSet<NodeId>>,
+    lazy: Vec<crate::lazy::LazyBuffers>,
+    lazy_ep: Vec<crate::lazy_ep::LazyEpBuffers>,
+    created: u64,
+    reuses: u64,
+}
+
+macro_rules! pool_accessors {
+    ($($(#[$meta:meta])* $take:ident, $put:ident, $field:ident: $ty:ty;)*) => {
+        $(
+            $(#[$meta])*
+            pub(crate) fn $take(&mut self) -> $ty {
+                take_from(&mut self.$field, &mut self.created, &mut self.reuses)
+            }
+
+            $(#[$meta])*
+            pub(crate) fn $put(&mut self, buf: $ty) {
+                self.$field.push(buf);
+            }
+        )*
+    };
+}
+
+impl Scratch {
+    /// Creates an empty arena. The first queries executed against it populate
+    /// the pools; subsequent queries run allocation-free on the pooled
+    /// buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of fresh buffers constructed so far. Flat across steady-state
+    /// queries: everything is served from the pools.
+    pub fn created(&self) -> u64 {
+        self.created
+    }
+
+    /// Number of times a pooled buffer was reset and handed out again.
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+
+    pool_accessors! {
+        take_expansion, put_expansion, expansions: ExpansionBuffers;
+        take_found, put_found, found: Vec<(PointId, Weight)>;
+        take_weights, put_weights, weights: Vec<Weight>;
+        take_node_dists, put_node_dists, node_dists: Vec<(NodeId, Weight)>;
+        take_point_set, put_point_set, point_sets: FastSet<PointId>;
+        take_node_set, put_node_set, node_sets: FastSet<NodeId>;
+        take_lazy, put_lazy, lazy: crate::lazy::LazyBuffers;
+        take_lazy_ep, put_lazy_ep, lazy_ep: crate::lazy_ep::LazyEpBuffers;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_reuse_buffers_and_count_resets() {
+        let mut s = Scratch::new();
+        assert_eq!((s.created(), s.reuses()), (0, 0));
+
+        let mut v = s.take_found();
+        assert_eq!((s.created(), s.reuses()), (1, 0));
+        v.push((PointId::new(0), Weight::new(1.0)));
+        let capacity = v.capacity();
+        s.put_found(v);
+
+        // The same allocation comes back, cleared.
+        let v = s.take_found();
+        assert_eq!((s.created(), s.reuses()), (1, 1));
+        assert!(v.is_empty());
+        assert_eq!(v.capacity(), capacity);
+        s.put_found(v);
+
+        // Two simultaneous checkouts need a second buffer.
+        let a = s.take_expansion();
+        let b = s.take_expansion();
+        assert_eq!(s.created(), 3);
+        s.put_expansion(a);
+        s.put_expansion(b);
+        let a = s.take_expansion();
+        let b = s.take_expansion();
+        assert_eq!(s.created(), 3, "steady state: the pool serves both");
+        assert_eq!(s.reuses(), 3);
+        s.put_expansion(a);
+        s.put_expansion(b);
+    }
+
+    #[test]
+    fn sets_come_back_empty() {
+        let mut s = Scratch::new();
+        let mut set = s.take_point_set();
+        set.insert(PointId::new(7));
+        s.put_point_set(set);
+        assert!(s.take_point_set().is_empty());
+    }
+}

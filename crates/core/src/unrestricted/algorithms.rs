@@ -90,21 +90,21 @@ pub fn unrestricted_eager_rknn<T: Topology + ?Sized>(
         stats.nodes_settled += 1;
 
         // Lemma 1 probe. A data point coinciding with the query position ties
-        // with the query everywhere and must not count as "strictly closer":
-        // the probe re-derives its distance by a second expansion (summing the
-        // path in the opposite order), so a floating-point tie can land on
-        // either side of `dist` and k=1 queries would over-prune.
+        // with the query everywhere and is excluded at probe level: the probe
+        // re-derives its distance by a second expansion (summing the path in
+        // the opposite order), so a floating-point tie can land on either
+        // side of `dist` and k=1 queries would over-prune; excluding it also
+        // keeps it from wasting one of the k probe slots.
         let closer = if dist > Weight::ZERO {
             stats.range_nn_queries += 1;
-            let (found, settled) = unrestricted_range_nn(topo, points, node, k, dist);
+            let (found, settled) = unrestricted_range_nn(topo, points, node, k, dist, |p| {
+                resolve_point(graph, points, p).same_location(query)
+            });
             stats.auxiliary_settled += settled;
             for &(p, _) in &found {
                 verify_point(p, &mut stats, &mut result, &mut verified);
             }
-            found
-                .iter()
-                .filter(|&&(p, _)| !resolve_point(graph, points, p).same_location(query))
-                .count()
+            found.len()
         } else {
             0
         };

@@ -234,15 +234,26 @@ impl<'a, T: Topology + ?Sized> UnrestrictedExpansion<'a, T> {
 }
 
 /// The `k` nearest data points of a node with distance strictly smaller than
-/// `range` (the paper's unrestricted-range-NN query). Also returns the number
-/// of nodes the probe settled.
-pub fn unrestricted_range_nn<T: Topology + ?Sized>(
+/// `range` (the paper's unrestricted-range-NN query), skipping points for
+/// which `exclude` returns `true`. Also returns the number of nodes the probe
+/// settled.
+///
+/// Excluded points (typically a point coinciding with the query location,
+/// which ties with the query everywhere) do not occupy result slots and do
+/// not stop the expansion: the probe keeps searching for `k` countable
+/// points. Pass `|_| false` to exclude nothing.
+pub fn unrestricted_range_nn<T, F>(
     topo: &T,
     points: &EdgePointSet,
     source: NodeId,
     k: usize,
     range: Weight,
-) -> (Vec<(PointId, Weight)>, u64) {
+    exclude: F,
+) -> (Vec<(PointId, Weight)>, u64)
+where
+    T: Topology + ?Sized,
+    F: Fn(PointId) -> bool,
+{
     let mut found = Vec::new();
     if k == 0 || range == Weight::ZERO {
         return (found, 0);
@@ -252,6 +263,9 @@ pub fn unrestricted_range_nn<T: Topology + ?Sized>(
         match event {
             Event::Node(_, d) | Event::Point(_, d) | Event::Target(d) if d >= range => break,
             Event::Point(p, d) => {
+                if exclude(p) {
+                    continue;
+                }
                 found.push((p, d));
                 if found.len() == k {
                     break;
@@ -386,16 +400,31 @@ mod tests {
     #[test]
     fn range_nn_respects_strict_range_and_k() {
         let (g, pts) = sample();
-        let (found, _) = unrestricted_range_nn(&g, &pts, NodeId::new(0), 2, Weight::new(3.0));
+        let none = |_: PointId| false;
+        let (found, _) = unrestricted_range_nn(&g, &pts, NodeId::new(0), 2, Weight::new(3.0), none);
         assert!(found.is_empty(), "p0 at exactly distance 3 must be excluded");
-        let (found, _) = unrestricted_range_nn(&g, &pts, NodeId::new(0), 2, Weight::new(7.5));
+        let (found, _) = unrestricted_range_nn(&g, &pts, NodeId::new(0), 2, Weight::new(7.5), none);
         assert_eq!(found.len(), 2);
         assert_eq!(found[0].0, PointId::new(0));
-        let (found, _) = unrestricted_range_nn(&g, &pts, NodeId::new(0), 1, Weight::new(100.0));
+        let (found, _) =
+            unrestricted_range_nn(&g, &pts, NodeId::new(0), 1, Weight::new(100.0), none);
         assert_eq!(found.len(), 1);
-        let (found, settled) = unrestricted_range_nn(&g, &pts, NodeId::new(0), 0, Weight::new(5.0));
+        let (found, settled) =
+            unrestricted_range_nn(&g, &pts, NodeId::new(0), 0, Weight::new(5.0), none);
         assert!(found.is_empty());
         assert_eq!(settled, 0);
+    }
+
+    #[test]
+    fn range_nn_exclusion_frees_the_slot() {
+        let (g, pts) = sample();
+        // From n0 with k = 1, p0 (distance 3) normally fills the only slot.
+        // Excluding p0 lets the probe reach p1 (distance 7) instead.
+        let (found, _) =
+            unrestricted_range_nn(&g, &pts, NodeId::new(0), 1, Weight::new(7.5), |p| {
+                p == PointId::new(0)
+            });
+        assert_eq!(found, vec![(PointId::new(1), Weight::new(7.0))]);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! continuous queries (the target is *any* node of the route).
 
 use crate::expansion::NetworkExpansion;
+use crate::scratch::Scratch;
 use rnn_graph::{NodeId, PointId, PointsOnNodes, Topology, Weight};
 
 /// Outcome of a verification query.
@@ -60,32 +61,65 @@ where
     P: PointsOnNodes + ?Sized,
     F: Fn(NodeId) -> bool,
 {
+    verify_candidate_in(
+        topo,
+        points,
+        candidate,
+        candidate_node,
+        is_target,
+        params,
+        &mut Scratch::new(),
+    )
+}
+
+/// [`verify_candidate`] on recycled buffers from `scratch`.
+///
+/// The returned [`Verification::visited`] vector (populated only under
+/// `collect_visited`) comes from the arena; callers that want to keep the
+/// steady state allocation-free should hand it back with
+/// `scratch.put_node_dists(v.visited)` once processed.
+pub fn verify_candidate_in<T, P, F>(
+    topo: &T,
+    points: &P,
+    candidate: PointId,
+    candidate_node: NodeId,
+    is_target: F,
+    params: VerifyParams,
+    scratch: &mut Scratch,
+) -> Verification
+where
+    T: Topology + ?Sized,
+    P: PointsOnNodes + ?Sized,
+    F: Fn(NodeId) -> bool,
+{
     let k = params.k;
     debug_assert!(k >= 1, "RkNN queries require k >= 1");
-    let mut exp = NetworkExpansion::new(topo, candidate_node);
+    let mut exp = NetworkExpansion::reusing(
+        topo,
+        scratch.take_expansion(),
+        std::iter::once((candidate_node, Weight::ZERO)),
+    );
     // Distances of the other data points discovered so far (ascending because
     // nodes settle in distance order).
-    let mut other_points: Vec<Weight> = Vec::new();
-    let mut visited = Vec::new();
+    let mut other_points = scratch.take_weights();
+    let mut visited = if params.collect_visited { scratch.take_node_dists() } else { Vec::new() };
 
+    let mut accepted = false;
+    let mut target_distance = None;
     while let Some((node, dist)) = exp.next_settled() {
         if is_target(node) {
             // The target is reached at distance `dist`; the candidate is a
             // reverse neighbor iff fewer than k other points are strictly
             // closer.
             let strictly_closer = other_points.iter().filter(|&&d| d < dist).count();
-            let accepted = strictly_closer < k;
+            accepted = strictly_closer < k;
+            target_distance = Some(dist);
             if params.collect_visited {
                 // Only nodes strictly closer to the candidate than the target
                 // participate in Lemma-1 pruning.
                 visited.retain(|&(_, d)| d < dist);
             }
-            return Verification {
-                accepted,
-                target_distance: Some(dist),
-                settled: exp.settled_count(),
-                visited,
-            };
+            break;
         }
         if params.collect_visited {
             visited.push((node, dist));
@@ -93,35 +127,22 @@ where
         if let Some(p) = points.point_at(node) {
             if p != candidate {
                 other_points.push(dist);
-                // Early rejection: once k other points have been settled and
-                // the expansion frontier has moved strictly past the k-th of
-                // them, any target found later is strictly farther than k
-                // other points.
-                if other_points.len() >= k && dist > other_points[k - 1] {
-                    return Verification {
-                        accepted: false,
-                        target_distance: None,
-                        settled: exp.settled_count(),
-                        visited: if params.collect_visited { visited } else { Vec::new() },
-                    };
-                }
             }
         }
-        // Early rejection also triggers on later (point-free) nodes once the
-        // frontier passes the k-th other point.
+        // Early rejection: once k other points have been settled and the
+        // expansion frontier has moved strictly past the k-th of them, any
+        // target found later is strictly farther than k other points.
         if other_points.len() >= k && dist > other_points[k - 1] {
-            return Verification {
-                accepted: false,
-                target_distance: None,
-                settled: exp.settled_count(),
-                visited: if params.collect_visited { visited } else { Vec::new() },
-            };
+            break;
         }
     }
+    // Loop fall-through without a target: either early rejection triggered or
+    // the target is unreachable from the candidate — rejected both ways.
 
-    // The target is unreachable from the candidate: it cannot be one of its
-    // k nearest neighbors.
-    Verification { accepted: false, target_distance: None, settled: exp.settled_count(), visited }
+    let settled = exp.settled_count();
+    scratch.put_expansion(exp.into_buffers());
+    scratch.put_weights(other_points);
+    Verification { accepted, target_distance, settled, visited }
 }
 
 /// Counts data points other than `exclude` with distance strictly smaller

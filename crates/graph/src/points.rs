@@ -11,7 +11,10 @@ use crate::ids::{NodeId, PointId};
 use serde::{Deserialize, Serialize};
 
 /// Read access to a set of data points placed on nodes.
-pub trait PointsOnNodes {
+///
+/// `Sync` is a supertrait because point sets are shared by reference across
+/// the worker threads of batched query execution.
+pub trait PointsOnNodes: Sync {
     /// Returns the point residing on `node`, if any.
     fn point_at(&self, node: NodeId) -> Option<PointId>;
 

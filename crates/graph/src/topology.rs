@@ -14,7 +14,11 @@ use crate::ids::NodeId;
 ///
 /// Implementations may have interior mutability (e.g. an LRU buffer and I/O
 /// counters), which is why the visitor style method takes `&self`.
-pub trait Topology {
+///
+/// `Sync` is a supertrait because topologies are shared by reference across
+/// the worker threads of batched query execution (`rnn-core`'s query engine):
+/// any interior mutability must already be thread-safe.
+pub trait Topology: Sync {
     /// Number of nodes `|V|` of the graph.
     fn num_nodes(&self) -> usize;
 

@@ -15,7 +15,10 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 /// Abstract page store.
-pub trait PageStore {
+///
+/// `Sync` is a supertrait so a [`crate::PagedGraph`] built on any store can
+/// be shared across query worker threads.
+pub trait PageStore: Sync {
     /// Number of pages in the store.
     fn num_pages(&self) -> usize;
 

@@ -5,9 +5,18 @@
 //! [`IoCounters`] is the shared, thread-safe counter bundle that the buffer
 //! pool updates and the benchmark harness reads; [`IoStats`] is an immutable
 //! snapshot.
+//!
+//! Counters are kept **per accessing thread** and merged on read: the global
+//! snapshot is always the sum of the per-thread snapshots. This lets the
+//! batched query engine attribute I/O to an individual query even while other
+//! worker threads hammer the same shared buffer pool — each worker diffs its
+//! *own* thread's counters around the query it is running.
 
 use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::ops::AddAssign;
 use std::sync::Arc;
+use std::thread::ThreadId;
 
 /// An immutable snapshot of I/O activity.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -39,12 +48,53 @@ impl IoStats {
         }
     }
 
-    /// Adds another snapshot to this one (used when aggregating workloads).
-    pub fn accumulate(&mut self, other: &IoStats) {
+    /// Sums an iterator of snapshots into one (e.g. merging the per-thread
+    /// counters of a batch, or graph + materialized-table I/O).
+    pub fn merged<'a, I: IntoIterator<Item = &'a IoStats>>(parts: I) -> IoStats {
+        let mut total = IoStats::default();
+        for p in parts {
+            total += p;
+        }
+        total
+    }
+}
+
+impl AddAssign<&IoStats> for IoStats {
+    fn add_assign(&mut self, other: &IoStats) {
         self.accesses += other.accesses;
         self.faults += other.faults;
         self.evictions += other.evictions;
     }
+}
+
+impl AddAssign for IoStats {
+    fn add_assign(&mut self, other: IoStats) {
+        *self += &other;
+    }
+}
+
+/// The counters proper: one [`IoStats`] per live recording thread, plus the
+/// folded totals of retired threads. The global view is the merge of all of
+/// them.
+///
+/// Worker threads are expected to call [`IoCounters::retire_current_thread`]
+/// before exiting (the query engine's batch workers do); that folds their
+/// entry into `retired` so the map tracks only live threads and does not
+/// grow with the number of batches a long-lived process has served.
+#[derive(Debug, Default)]
+struct PerThreadStats {
+    retired: IoStats,
+    threads: HashMap<ThreadId, IoStats>,
+}
+
+thread_local! {
+    /// The calling thread's id, cached to keep `record_access` off the
+    /// `thread::current()` handle-clone path.
+    static CURRENT_THREAD_ID: ThreadId = std::thread::current().id();
+}
+
+fn current_thread_id() -> ThreadId {
+    CURRENT_THREAD_ID.with(|id| *id)
 }
 
 /// Shared, thread-safe I/O counters.
@@ -53,7 +103,7 @@ impl IoStats {
 /// benchmark can keep one handle while the buffer pool updates another.
 #[derive(Clone, Default, Debug)]
 pub struct IoCounters {
-    inner: Arc<Mutex<IoStats>>,
+    inner: Arc<Mutex<PerThreadStats>>,
 }
 
 impl IoCounters {
@@ -65,7 +115,9 @@ impl IoCounters {
     /// Records one logical access; `fault` tells whether it missed the
     /// buffer, `evicted` whether a page was evicted to serve it.
     pub fn record_access(&self, fault: bool, evicted: bool) {
-        let mut s = self.inner.lock();
+        let id = current_thread_id(); // resolved outside the lock
+        let mut inner = self.inner.lock();
+        let s = inner.threads.entry(id).or_default();
         s.accesses += 1;
         if fault {
             s.faults += 1;
@@ -75,14 +127,51 @@ impl IoCounters {
         }
     }
 
-    /// Returns a snapshot of the current counters.
+    /// Returns the merged snapshot over every thread that recorded accesses,
+    /// retired or live.
     pub fn snapshot(&self) -> IoStats {
-        *self.inner.lock()
+        let inner = self.inner.lock();
+        let mut total = IoStats::merged(inner.threads.values());
+        total += &inner.retired;
+        total
     }
 
-    /// Resets all counters to zero.
+    /// Returns the snapshot of the accesses recorded *by the calling thread*
+    /// (since it last retired, if ever).
+    ///
+    /// Diffing this around a query (with [`IoStats::since`]) attributes I/O
+    /// to that query even while other threads use the same buffer pool.
+    pub fn snapshot_current_thread(&self) -> IoStats {
+        self.inner.lock().threads.get(&current_thread_id()).copied().unwrap_or_default()
+    }
+
+    /// Folds the calling thread's entry into the retired total and removes
+    /// it from the live map.
+    ///
+    /// Exiting worker threads (e.g. the query engine's batch workers) call
+    /// this so the per-thread map only ever tracks live threads — `ThreadId`s
+    /// are never reused, so without retirement a long-lived process would
+    /// accumulate one dead entry per worker per batch. No counts are lost:
+    /// [`IoCounters::snapshot`] includes the retired total.
+    pub fn retire_current_thread(&self) {
+        let id = current_thread_id();
+        let mut inner = self.inner.lock();
+        if let Some(s) = inner.threads.remove(&id) {
+            inner.retired += s;
+        }
+    }
+
+    /// Live per-thread snapshots, in unspecified order. Their merge plus the
+    /// retired total equals [`IoCounters::snapshot`].
+    pub fn per_thread_snapshots(&self) -> Vec<IoStats> {
+        self.inner.lock().threads.values().copied().collect()
+    }
+
+    /// Resets all counters (every thread's, and the retired total) to zero.
     pub fn reset(&self) {
-        *self.inner.lock() = IoStats::default();
+        let mut inner = self.inner.lock();
+        inner.retired = IoStats::default();
+        inner.threads.clear();
     }
 }
 
@@ -99,6 +188,8 @@ mod tests {
         let s = c.snapshot();
         assert_eq!(s, IoStats { accesses: 3, faults: 2, evictions: 1 });
         assert!((s.hit_ratio() - 1.0 / 3.0).abs() < 1e-12);
+        // single-threaded: the calling thread's view is the whole view
+        assert_eq!(c.snapshot_current_thread(), s);
     }
 
     #[test]
@@ -110,19 +201,22 @@ mod tests {
         c.reset();
         assert_eq!(c2.snapshot(), IoStats::default());
         assert_eq!(c2.snapshot().hit_ratio(), 1.0);
+        assert_eq!(c2.snapshot_current_thread(), IoStats::default());
     }
 
     #[test]
-    fn since_and_accumulate() {
+    fn since_and_add_assign() {
         let a = IoStats { accesses: 10, faults: 4, evictions: 2 };
         let b = IoStats { accesses: 7, faults: 1, evictions: 0 };
         let d = a.since(&b);
         assert_eq!(d, IoStats { accesses: 3, faults: 3, evictions: 2 });
         let mut acc = IoStats::default();
-        acc.accumulate(&a);
-        acc.accumulate(&b);
+        acc += &a;
+        acc += b; // by value
         assert_eq!(acc.accesses, 17);
         assert_eq!(acc.faults, 5);
+        assert_eq!(IoStats::merged([&a, &b]), acc);
+        assert_eq!(IoStats::merged([]), IoStats::default());
     }
 
     #[test]
@@ -148,7 +242,7 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_recording_loses_no_accesses() {
+    fn concurrent_recording_loses_no_accesses_and_merge_matches_total() {
         use std::sync::Arc;
         let c = IoCounters::new();
         let handles: Vec<_> = (0..4)
@@ -158,6 +252,8 @@ mod tests {
                     for i in 0..500 {
                         c.record_access(i % 2 == 0, i % 10 == 0);
                     }
+                    // every worker sees exactly its own 500 accesses
+                    assert_eq!(c.snapshot_current_thread().accesses, 500);
                 })
             })
             .collect();
@@ -168,6 +264,68 @@ mod tests {
         assert_eq!(s.accesses, 2000);
         assert_eq!(s.faults, 1000);
         assert_eq!(s.evictions, 200);
+        // the global snapshot is exactly the merge of the per-thread parts
+        let parts = c.per_thread_snapshots();
+        assert_eq!(parts.len(), 4, "one shard per recording thread");
+        assert_eq!(IoStats::merged(parts.iter()), s);
         let _ = Arc::new(c); // counters remain usable behind an Arc
+    }
+
+    #[test]
+    fn retiring_folds_counts_without_losing_them() {
+        let c = IoCounters::new();
+        c.record_access(true, false);
+        // Worker threads record, retire, and exit; the live map must not
+        // accumulate their (never reused) ThreadIds.
+        for round in 0..3 {
+            let worker = {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    c.record_access(true, false);
+                    c.record_access(false, false);
+                    c.retire_current_thread();
+                    // After retiring, the thread's live view starts over.
+                    assert_eq!(c.snapshot_current_thread(), IoStats::default());
+                })
+            };
+            worker.join().unwrap();
+            assert_eq!(
+                c.per_thread_snapshots().len(),
+                1,
+                "round {round}: only the main thread stays in the live map"
+            );
+        }
+        let s = c.snapshot();
+        assert_eq!(s.accesses, 7, "retired totals are preserved in the merged snapshot");
+        assert_eq!(s.faults, 4);
+        // Retiring a thread that never recorded is a no-op.
+        c.retire_current_thread();
+        c.retire_current_thread();
+        assert_eq!(c.snapshot().accesses, 7);
+        assert!(c.per_thread_snapshots().is_empty());
+        // reset clears the retired total too.
+        c.reset();
+        assert_eq!(c.snapshot(), IoStats::default());
+    }
+
+    #[test]
+    fn thread_attribution_is_exact_under_interleaving() {
+        // Two threads interleave on the same counters; each thread's local
+        // snapshot diff must see only its own accesses.
+        let c = IoCounters::new();
+        c.record_access(true, false); // main-thread noise
+        let worker = {
+            let c = c.clone();
+            std::thread::spawn(move || {
+                let before = c.snapshot_current_thread();
+                assert_eq!(before, IoStats::default());
+                c.record_access(true, false);
+                c.record_access(false, false);
+                c.snapshot_current_thread().since(&before)
+            })
+        };
+        let local = worker.join().unwrap();
+        assert_eq!(local, IoStats { accesses: 2, faults: 1, evictions: 0 });
+        assert_eq!(c.snapshot().accesses, 3);
     }
 }

@@ -1,0 +1,94 @@
+//! Batch determinism: `QueryEngine::run_batch` over 1, 2 and 8 worker
+//! threads returns byte-identical outcomes — the same RkNN sets *and* the
+//! same per-query stats — as the plain sequential loop, for all five
+//! algorithms, on grid maps and BRITE-like topologies.
+//!
+//! This is the contract that makes the thread pool safe to turn on: scaling
+//! out a workload must never change its answers.
+
+mod common;
+
+use common::restricted_instance;
+use proptest::prelude::*;
+use rnn_core::engine::{QueryEngine, QuerySpec, Workload};
+use rnn_core::materialize::MaterializedKnn;
+use rnn_core::{run_rknn, Algorithm, QueryStats};
+use rnn_datagen::{
+    brite_topology, grid_map, place_points_on_nodes, sample_node_queries, BriteConfig, GridConfig,
+};
+use rnn_graph::{Graph, NodePointSet};
+
+/// Builds a mixed workload (every algorithm over every query node), runs it
+/// sequentially, and asserts `run_batch` reproduces it exactly at 1, 2 and 8
+/// threads.
+fn assert_batch_matches_sequential(
+    graph: &Graph,
+    points: &NodePointSet,
+    queries: &[rnn_graph::NodeId],
+    k: usize,
+) -> Result<(), TestCaseError> {
+    let table = MaterializedKnn::build(graph, points, k);
+    let mut specs = Vec::new();
+    for algorithm in Algorithm::ALL {
+        for &query in queries {
+            specs.push(QuerySpec { algorithm, query, k });
+        }
+    }
+    let workload = Workload { queries: specs };
+
+    // The reference: one independent single query per spec.
+    let mut expected = Vec::with_capacity(workload.len());
+    let mut expected_aggregate = QueryStats::default();
+    for spec in &workload.queries {
+        let outcome = run_rknn(spec.algorithm, graph, points, Some(&table), spec.query, spec.k);
+        expected_aggregate += &outcome.stats;
+        expected.push(outcome);
+    }
+
+    for threads in [1usize, 2, 8] {
+        let engine =
+            QueryEngine::new(graph, points).with_materialized(&table).with_threads(threads);
+        let batch = engine.run_batch(&workload);
+        // Byte-identical outcomes: result sets and per-query stats both.
+        prop_assert_eq!(&batch.results, &expected, "threads={}", threads);
+        prop_assert_eq!(batch.aggregate, expected_aggregate, "threads={}", threads);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    #[test]
+    fn grid_batches_are_deterministic_across_thread_counts(
+        seed in 0u64..1000,
+        k in 1usize..=2,
+    ) {
+        let graph = grid_map(&GridConfig { rows: 12, cols: 12, seed, ..Default::default() });
+        let points = place_points_on_nodes(&graph, 0.08, seed + 1);
+        prop_assert!(!points.nodes().is_empty(), "density 0.08 on 144 nodes yields points");
+        let queries = sample_node_queries(&points, 6, seed + 2);
+        assert_batch_matches_sequential(&graph, &points, &queries, k)?;
+    }
+
+    #[test]
+    fn brite_batches_are_deterministic_across_thread_counts(
+        seed in 0u64..1000,
+        k in 1usize..=2,
+    ) {
+        let graph = brite_topology(&BriteConfig { num_nodes: 150, seed, ..Default::default() });
+        let points = place_points_on_nodes(&graph, 0.08, seed + 1);
+        prop_assert!(!points.nodes().is_empty(), "density 0.08 on 150 nodes yields points");
+        let queries = sample_node_queries(&points, 6, seed + 2);
+        assert_batch_matches_sequential(&graph, &points, &queries, k)?;
+    }
+
+    /// Arbitrary connected graphs (not just the generators above): the batch
+    /// engine agrees with the sequential loop on the shared proptest
+    /// instances too.
+    #[test]
+    fn random_instance_batches_are_deterministic(inst in restricted_instance()) {
+        let queries = [inst.query];
+        assert_batch_matches_sequential(&inst.graph, &inst.points, &queries, inst.k)?;
+    }
+}

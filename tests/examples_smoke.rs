@@ -3,6 +3,7 @@
 //! (every example additionally compiles as part of `cargo test`; CI runs the
 //! quickstart binary itself on top of this).
 
+use rnn::core::engine::{QueryEngine, Workload};
 use rnn::core::materialize::MaterializedKnn;
 use rnn::core::{run_rknn, Algorithm};
 use rnn::graph::{GraphBuilder, NodeId, NodePointSet};
@@ -44,6 +45,26 @@ fn quickstart_flow_runs_end_to_end_and_all_algorithms_agree() {
             assert_eq!(outcome.points, reference.points, "{algorithm} vs naive, k={k}");
             // The example prints these stats; they must be populated.
             assert!(outcome.stats.nodes_settled > 0, "{algorithm} settled no nodes");
+        }
+    }
+}
+
+/// Mirrors `examples/batch_throughput.rs` on the quickstart network: the
+/// engine's batch execution reproduces the sequential per-query loop at
+/// every thread count.
+#[test]
+fn batch_throughput_flow_matches_sequential_queries() {
+    let graph = quickstart_network();
+    let cafes = NodePointSet::from_nodes(8, [0, 3, 6].map(NodeId::new));
+
+    for algorithm in [Algorithm::Eager, Algorithm::Lazy] {
+        let workload = Workload::uniform(algorithm, 1, graph.node_ids());
+        let sequential: Vec<_> =
+            graph.node_ids().map(|q| run_rknn(algorithm, &graph, &cafes, None, q, 1)).collect();
+        for threads in [1usize, 2, 4] {
+            let engine = QueryEngine::new(&graph, &cafes).with_threads(threads);
+            let batch = engine.run_batch(&workload);
+            assert_eq!(batch.results, sequential, "{algorithm} at {threads} threads");
         }
     }
 }
