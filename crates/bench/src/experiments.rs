@@ -12,13 +12,14 @@ use crate::harness::{
 use crate::report::Report;
 use rnn_core::engine::{QueryEngine, Workload as QueryWorkload};
 use rnn_core::materialize::MaterializedKnn;
-use rnn_core::Algorithm;
+use rnn_core::{run_rknn_with, Algorithm, Precomputed, Scratch};
 use rnn_datagen::{
     brite_topology, coauthorship_graph, grid_map, place_points_on_edges, place_points_on_nodes,
     sample_edge_queries, sample_node_queries, sample_routes, spatial_road_network, BriteConfig,
     CoauthorConfig, GridConfig, SpatialConfig,
 };
 use rnn_graph::{NodeId, PointsOnNodes};
+use rnn_index::HubLabelIndex;
 
 const SEED: u64 = 42;
 
@@ -487,9 +488,101 @@ pub fn throughput(scale: Scale) -> Report {
     report
 }
 
+/// Hub-label index: construction cost, label size and label-vs-expansion
+/// query latency on grid and BRITE graphs (in-memory backend).
+///
+/// Not a figure of the paper: this measures the preprocessing/latency trade
+/// the `rnn-index` subsystem makes. Every hub-label result set is asserted
+/// byte-identical to eager's before any number is reported.
+pub fn index(scale: Scale) -> Report {
+    let grid_nodes = scale.pick(2_500, 10_000);
+    let brite_nodes = scale.pick(2_000, 8_000);
+    let mut report = Report::new(
+        "Index",
+        "hub-label index vs eager expansion (in-memory backend, D=0.01, k=1)",
+        "graph",
+        vec![
+            "build(s)".into(),
+            "hubs/node".into(),
+            "label MiB".into(),
+            "HL q/s".into(),
+            "E q/s".into(),
+            "HL speedup".into(),
+        ],
+    );
+
+    let instances = [
+        (
+            format!("grid |V|={grid_nodes}"),
+            grid_map(&GridConfig::with_nodes(grid_nodes, 4.0, SEED)),
+        ),
+        (
+            format!("brite |V|={brite_nodes}"),
+            brite_topology(&BriteConfig {
+                num_nodes: brite_nodes,
+                seed: SEED,
+                ..Default::default()
+            }),
+        ),
+    ];
+    for (label, graph) in instances {
+        let points = place_points_on_nodes(&graph, 0.01, SEED + 1);
+        let queries = sample_node_queries(&points, scale.queries(), SEED + 2);
+
+        let start = std::time::Instant::now();
+        let hub_index = HubLabelIndex::build(&graph, &points);
+        let build_seconds = start.elapsed().as_secs_f64();
+        let stats = hub_index.labeling().stats();
+
+        let mut scratch = Scratch::new();
+        let pre = Precomputed::hub_labels(&hub_index);
+        let start = std::time::Instant::now();
+        let label_results: Vec<_> = queries
+            .iter()
+            .map(|&q| run_rknn_with(Algorithm::HubLabel, &graph, &points, pre, q, 1, &mut scratch))
+            .collect();
+        let label_seconds = start.elapsed().as_secs_f64().max(1e-9);
+
+        let start = std::time::Instant::now();
+        let eager_results: Vec<_> = queries
+            .iter()
+            .map(|&q| {
+                run_rknn_with(
+                    Algorithm::Eager,
+                    &graph,
+                    &points,
+                    Precomputed::none(),
+                    q,
+                    1,
+                    &mut scratch,
+                )
+            })
+            .collect();
+        let eager_seconds = start.elapsed().as_secs_f64().max(1e-9);
+
+        for (hl, e) in label_results.iter().zip(&eager_results) {
+            assert_eq!(hl.points, e.points, "{label}: hub-label must reproduce eager's results");
+        }
+
+        let n = queries.len() as f64;
+        report.push_row(
+            label,
+            vec![
+                build_seconds,
+                stats.avg_label(),
+                stats.bytes() as f64 / (1024.0 * 1024.0),
+                n / label_seconds,
+                n / eager_seconds,
+                eager_seconds / label_seconds,
+            ],
+        );
+    }
+    report
+}
+
 /// All experiment ids: the paper's tables and figures, then the serving
 /// experiments added on top.
-pub const ALL_EXPERIMENTS: [&str; 13] = [
+pub const ALL_EXPERIMENTS: [&str; 14] = [
     "table1",
     "table2",
     "fig15",
@@ -503,6 +596,7 @@ pub const ALL_EXPERIMENTS: [&str; 13] = [
     "fig22a",
     "fig22b",
     "throughput",
+    "index",
 ];
 
 /// Runs one experiment by id. Returns `None` for an unknown id.
@@ -521,6 +615,7 @@ pub fn run_by_name(name: &str, scale: Scale) -> Option<Report> {
         "fig22a" => fig22a_update_density(scale),
         "fig22b" => fig22b_update_k(scale),
         "throughput" => throughput(scale),
+        "index" => index(scale),
         _ => return None,
     };
     Some(report)
@@ -548,7 +643,8 @@ mod tests {
                 "fig21",
                 "fig22a",
                 "fig22b",
-                "throughput"
+                "throughput",
+                "index"
             ]
             .contains(&name));
         }

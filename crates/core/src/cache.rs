@@ -1,0 +1,248 @@
+//! Bounded LRU memoization of query results.
+//!
+//! ReHub-style serving workloads repeat queries: the same hot nodes are asked
+//! for their reverse neighbors over and over (popular locations, periodic
+//! monitoring). [`ResultCache`] memoizes whole [`RknnOutcome`]s keyed by
+//! `(algorithm, query node, k)` in a classic doubly-linked LRU bounded by a
+//! fixed capacity; [`crate::engine::QueryEngine::with_result_cache`] turns it
+//! on (it is **off by default** — caching never changes results, but batch
+//! workloads that measure per-query work want every query executed).
+//!
+//! Because every algorithm is deterministic for a fixed topology and point
+//! set, a cached outcome is byte-identical to a recomputed one (result set
+//! *and* [`crate::QueryStats`]), so enabling the cache only changes hit/miss
+//! counters ([`CacheStats`]) and latency — never answers.
+
+use crate::dispatch::Algorithm;
+use crate::fast_hash::FastMap;
+use crate::query::RknnOutcome;
+use rnn_graph::NodeId;
+use std::ops::AddAssign;
+use std::sync::Arc;
+
+/// Hit/miss counters of a [`ResultCache`], surfaced per batch in
+/// [`crate::engine::BatchOutcome::cache`] and cumulatively by
+/// [`crate::engine::QueryEngine::cache_stats`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that were executed and inserted.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups (hits + misses).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (0.0 when there were none).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / self.lookups() as f64
+    }
+
+    /// The difference `self - earlier`, for per-batch deltas of cumulative
+    /// counters.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats { hits: self.hits - earlier.hits, misses: self.misses - earlier.misses }
+    }
+}
+
+impl AddAssign for CacheStats {
+    fn add_assign(&mut self, other: CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+/// The cache key: one entry per distinct query the engine can serve.
+pub(crate) type CacheKey = (Algorithm, NodeId, usize);
+
+const NIL: usize = usize::MAX;
+
+struct Slot {
+    key: CacheKey,
+    value: Arc<RknnOutcome>,
+    prev: usize,
+    next: usize,
+}
+
+/// A bounded least-recently-used map from [`CacheKey`] to [`RknnOutcome`].
+///
+/// Slots live in a `Vec` linked into a recency list by index; the map points
+/// keys at slots. All operations are O(1) expected. Values are `Arc`-shared
+/// so lookups under the engine's cache mutex hand out a reference count, not
+/// a copy of the result vector — workers clone the data outside the lock.
+pub(crate) struct ResultCache {
+    capacity: usize,
+    map: FastMap<CacheKey, usize>,
+    slots: Vec<Slot>,
+    head: usize,
+    tail: usize,
+}
+
+impl ResultCache {
+    /// Creates a cache bounded at `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` (the engine treats zero as "disabled" and
+    /// never constructs the cache).
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a result cache needs capacity >= 1");
+        ResultCache {
+            capacity,
+            map: FastMap::default(),
+            slots: Vec::with_capacity(capacity.min(1024)),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn detach(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        } else {
+            self.tail = i;
+        }
+        self.head = i;
+    }
+
+    /// Returns a handle to the cached outcome (an O(1) `Arc` clone) and
+    /// marks the entry most recently used.
+    pub(crate) fn get(&mut self, key: &CacheKey) -> Option<Arc<RknnOutcome>> {
+        let &i = self.map.get(key)?;
+        self.detach(i);
+        self.push_front(i);
+        Some(Arc::clone(&self.slots[i].value))
+    }
+
+    /// Inserts (or refreshes) an entry, evicting the least recently used one
+    /// when at capacity.
+    pub(crate) fn insert(&mut self, key: CacheKey, value: Arc<RknnOutcome>) {
+        if let Some(&i) = self.map.get(&key) {
+            self.slots[i].value = value;
+            self.detach(i);
+            self.push_front(i);
+            return;
+        }
+        let i = if self.slots.len() < self.capacity {
+            self.slots.push(Slot { key, value, prev: NIL, next: NIL });
+            self.slots.len() - 1
+        } else {
+            let victim = self.tail;
+            self.detach(victim);
+            self.map.remove(&self.slots[victim].key);
+            self.slots[victim].key = key;
+            self.slots[victim].value = value;
+            victim
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryStats;
+    use rnn_graph::PointId;
+
+    fn key(q: usize) -> CacheKey {
+        (Algorithm::Eager, NodeId::new(q), 1)
+    }
+
+    fn outcome(p: usize) -> Arc<RknnOutcome> {
+        Arc::new(RknnOutcome::from_points(vec![PointId::new(p)], QueryStats::default()))
+    }
+
+    #[test]
+    fn evicts_in_least_recently_used_order() {
+        let mut c = ResultCache::new(2);
+        c.insert(key(0), outcome(0));
+        c.insert(key(1), outcome(1));
+        assert_eq!(c.len(), 2);
+        // Touch 0 so 1 becomes the victim.
+        assert_eq!(c.get(&key(0)), Some(outcome(0)));
+        c.insert(key(2), outcome(2));
+        assert_eq!(c.len(), 2, "bounded at capacity");
+        assert_eq!(c.get(&key(1)), None, "least recently used entry was evicted");
+        assert_eq!(c.get(&key(0)), Some(outcome(0)));
+        assert_eq!(c.get(&key(2)), Some(outcome(2)));
+    }
+
+    #[test]
+    fn reinserting_refreshes_value_and_recency() {
+        let mut c = ResultCache::new(2);
+        c.insert(key(0), outcome(0));
+        c.insert(key(1), outcome(1));
+        c.insert(key(0), outcome(9)); // refresh: 1 is now the oldest
+        c.insert(key(2), outcome(2));
+        assert_eq!(c.get(&key(0)), Some(outcome(9)), "value was replaced");
+        assert_eq!(c.get(&key(1)), None);
+    }
+
+    #[test]
+    fn capacity_one_keeps_only_the_latest() {
+        let mut c = ResultCache::new(1);
+        for q in 0..5 {
+            c.insert(key(q), outcome(q));
+            assert_eq!(c.len(), 1);
+            assert_eq!(c.get(&key(q)), Some(outcome(q)));
+        }
+        assert_eq!(c.get(&key(3)), None);
+    }
+
+    #[test]
+    fn distinct_algorithms_and_k_do_not_collide() {
+        let mut c = ResultCache::new(4);
+        c.insert((Algorithm::Eager, NodeId::new(0), 1), outcome(1));
+        c.insert((Algorithm::Lazy, NodeId::new(0), 1), outcome(2));
+        c.insert((Algorithm::Eager, NodeId::new(0), 2), outcome(3));
+        assert_eq!(c.get(&(Algorithm::Eager, NodeId::new(0), 1)), Some(outcome(1)));
+        assert_eq!(c.get(&(Algorithm::Lazy, NodeId::new(0), 1)), Some(outcome(2)));
+        assert_eq!(c.get(&(Algorithm::Eager, NodeId::new(0), 2)), Some(outcome(3)));
+    }
+
+    #[test]
+    fn stats_helpers() {
+        let mut s = CacheStats { hits: 3, misses: 1 };
+        assert_eq!(s.lookups(), 4);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        let earlier = CacheStats { hits: 1, misses: 1 };
+        assert_eq!(s.since(&earlier), CacheStats { hits: 2, misses: 0 });
+        s += CacheStats { hits: 1, misses: 2 };
+        assert_eq!(s, CacheStats { hits: 4, misses: 3 });
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_panics() {
+        let _ = ResultCache::new(0);
+    }
+}

@@ -6,15 +6,23 @@
 //! routes through the [`RknnAlgorithm`] trait objects of the engine layer,
 //! so the free functions here and [`crate::engine::QueryEngine`] run exactly
 //! the same code.
+//!
+//! Matches on [`Algorithm`] are deliberately wildcard-free throughout the
+//! workspace (dispatch, harness measurement, report code): adding a variant
+//! fails to *compile* everywhere a decision must be made, instead of being
+//! silently routed to a default arm. The `const` guard below documents that
+//! contract next to the enum itself.
 
 use crate::engine::RknnAlgorithm;
-use crate::materialize::MaterializedKnn;
+use crate::precomputed::Precomputed;
 use crate::query::RknnOutcome;
 use crate::scratch::Scratch;
 use rnn_graph::{NodeId, PointsOnNodes, Topology};
 use serde::{Deserialize, Serialize};
 
-/// The monochromatic RkNN algorithms of the paper (plus the naive baseline).
+/// The monochromatic RkNN algorithms: the paper's four (Sections 3–4), the
+/// naive baseline, and the hub-label algorithm served from a precomputed
+/// labeling (`rnn-index`).
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Algorithm {
     /// Eager (Section 3.2): prunes nodes as soon as they are de-heaped.
@@ -27,19 +35,40 @@ pub enum Algorithm {
     LazyExtendedPruning,
     /// The naive baseline (full traversal + one NN query per data point).
     Naive,
+    /// Hub-label (ReHub-style, beyond the paper): answers from a precomputed
+    /// pruned-landmark labeling plus a per-hub inverted point table — no
+    /// graph traversal at query time. Requires
+    /// [`Precomputed::hub_labels`].
+    HubLabel,
 }
 
+/// Compile-time exhaustiveness guard: this wildcard-free match breaks the
+/// build the moment a variant is added, pointing straight at the tables that
+/// must be extended ([`Algorithm::ALL`], the name methods, the engine's
+/// `resolve`). Never replace it with `_`.
+const _: fn(Algorithm) = |a| match a {
+    Algorithm::Eager
+    | Algorithm::EagerMaterialized
+    | Algorithm::Lazy
+    | Algorithm::LazyExtendedPruning
+    | Algorithm::Naive
+    | Algorithm::HubLabel => (),
+};
+
 impl Algorithm {
-    /// All algorithms, in the order the paper's figures list them.
-    pub const ALL: [Algorithm; 5] = [
+    /// All algorithms: the paper's figures order (E, EM, L, LP), then the
+    /// baseline, then the index-served extension.
+    pub const ALL: [Algorithm; 6] = [
         Algorithm::Eager,
         Algorithm::EagerMaterialized,
         Algorithm::Lazy,
         Algorithm::LazyExtendedPruning,
         Algorithm::Naive,
+        Algorithm::HubLabel,
     ];
 
-    /// The four algorithms evaluated in the paper (no baseline).
+    /// The four algorithms evaluated in the paper (no baseline, no
+    /// hub-label extension).
     pub const PAPER: [Algorithm; 4] = [
         Algorithm::Eager,
         Algorithm::EagerMaterialized,
@@ -47,7 +76,7 @@ impl Algorithm {
         Algorithm::LazyExtendedPruning,
     ];
 
-    /// Short label as used on top of the paper's bar charts.
+    /// Short label as used on top of the paper's bar charts (HL is ours).
     pub fn short_name(self) -> &'static str {
         match self {
             Algorithm::Eager => "E",
@@ -55,6 +84,7 @@ impl Algorithm {
             Algorithm::Lazy => "L",
             Algorithm::LazyExtendedPruning => "LP",
             Algorithm::Naive => "NAIVE",
+            Algorithm::HubLabel => "HL",
         }
     }
 
@@ -66,12 +96,19 @@ impl Algorithm {
             Algorithm::Lazy => "lazy",
             Algorithm::LazyExtendedPruning => "lazy-EP",
             Algorithm::Naive => "naive",
+            Algorithm::HubLabel => "hub-label",
         }
     }
 
     /// Returns `true` if the algorithm needs a materialized k-NN table.
     pub fn needs_materialization(self) -> bool {
         matches!(self, Algorithm::EagerMaterialized)
+    }
+
+    /// Returns `true` if the algorithm needs a prebuilt hub-label index
+    /// ([`Precomputed::hub_labels`]).
+    pub fn needs_hub_labels(self) -> bool {
+        matches!(self, Algorithm::HubLabel)
     }
 
     /// Resolves the enum tag to the executable [`RknnAlgorithm`] trait
@@ -89,17 +126,17 @@ impl std::fmt::Display for Algorithm {
 
 /// Runs `algorithm` on a restricted network.
 ///
-/// `materialized` must be `Some` for [`Algorithm::EagerMaterialized`] (with
-/// `K >= k`) and is ignored by the other algorithms.
+/// `pre` must carry a materialized table for [`Algorithm::EagerMaterialized`]
+/// (with `K >= k`) and a hub-label index for [`Algorithm::HubLabel`]; the
+/// traversal-based algorithms ignore it (pass [`Precomputed::none`]).
 ///
 /// # Panics
-/// Panics if `k == 0`, or if eager-M is requested without a materialized
-/// table.
+/// Panics if `k == 0`, or if a required precomputed structure is absent.
 pub fn run_rknn<T, P>(
     algorithm: Algorithm,
     topo: &T,
     points: &P,
-    materialized: Option<&MaterializedKnn>,
+    pre: Precomputed<'_>,
     query: NodeId,
     k: usize,
 ) -> RknnOutcome
@@ -107,7 +144,7 @@ where
     T: Topology + ?Sized,
     P: PointsOnNodes + ?Sized,
 {
-    run_rknn_with(algorithm, topo, points, materialized, query, k, &mut Scratch::new())
+    run_rknn_with(algorithm, topo, points, pre, query, k, &mut Scratch::new())
 }
 
 /// [`run_rknn`] on the recycled buffers of `scratch` — the entry point for
@@ -117,7 +154,7 @@ pub fn run_rknn_with<T, P>(
     algorithm: Algorithm,
     topo: &T,
     points: &P,
-    materialized: Option<&MaterializedKnn>,
+    pre: Precomputed<'_>,
     query: NodeId,
     k: usize,
     scratch: &mut Scratch,
@@ -126,27 +163,44 @@ where
     T: Topology + ?Sized,
     P: PointsOnNodes + ?Sized,
 {
-    algorithm.resolve().run(&topo, &points, materialized, query, k, scratch)
+    algorithm.resolve().run(&topo, &points, pre, query, k, scratch)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::materialize::MaterializedKnn;
     use rnn_graph::{GraphBuilder, NodePointSet};
 
     #[test]
     fn names_and_flags() {
         assert_eq!(Algorithm::Eager.short_name(), "E");
         assert_eq!(Algorithm::LazyExtendedPruning.short_name(), "LP");
+        assert_eq!(Algorithm::HubLabel.short_name(), "HL");
         assert_eq!(Algorithm::EagerMaterialized.to_string(), "eager-M");
+        assert_eq!(Algorithm::HubLabel.to_string(), "hub-label");
         assert!(Algorithm::EagerMaterialized.needs_materialization());
         assert!(!Algorithm::Lazy.needs_materialization());
-        assert_eq!(Algorithm::ALL.len(), 5);
+        assert!(Algorithm::HubLabel.needs_hub_labels());
+        assert!(!Algorithm::Eager.needs_hub_labels());
+        assert_eq!(Algorithm::ALL.len(), 6);
         assert_eq!(Algorithm::PAPER.len(), 4);
     }
 
     #[test]
-    fn dispatch_runs_every_algorithm_and_agrees() {
+    fn every_algorithm_has_a_unique_name_and_short_name() {
+        let mut names: Vec<&str> = Algorithm::ALL.iter().map(|a| a.name()).collect();
+        let mut shorts: Vec<&str> = Algorithm::ALL.iter().map(|a| a.short_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        shorts.sort_unstable();
+        shorts.dedup();
+        assert_eq!(names.len(), Algorithm::ALL.len(), "duplicate display name");
+        assert_eq!(shorts.len(), Algorithm::ALL.len(), "duplicate short name");
+    }
+
+    #[test]
+    fn dispatch_runs_every_traversal_algorithm_and_agrees() {
         let mut b = GraphBuilder::new(8);
         for i in 0..7 {
             b.add_edge(i, i + 1, 1.0 + (i % 3) as f64).unwrap();
@@ -157,9 +211,12 @@ mod tests {
         let table = MaterializedKnn::build(&g, &pts, 2);
         let q = NodeId::new(2);
 
-        let reference = run_rknn(Algorithm::Naive, &g, &pts, None, q, 2);
+        let reference = run_rknn(Algorithm::Naive, &g, &pts, Precomputed::none(), q, 2);
         for algo in Algorithm::ALL {
-            let out = run_rknn(algo, &g, &pts, Some(&table), q, 2);
+            if algo.needs_hub_labels() {
+                continue; // needs an rnn-index oracle; covered by engine tests
+            }
+            let out = run_rknn(algo, &g, &pts, Precomputed::materialized(&table), q, 2);
             assert_eq!(out.points, reference.points, "{algo}");
         }
     }
@@ -169,6 +226,21 @@ mod tests {
     fn eager_m_without_table_panics() {
         let g = GraphBuilder::new(2).build().unwrap();
         let pts = NodePointSet::empty(2);
-        let _ = run_rknn(Algorithm::EagerMaterialized, &g, &pts, None, NodeId::new(0), 1);
+        let _ = run_rknn(
+            Algorithm::EagerMaterialized,
+            &g,
+            &pts,
+            Precomputed::none(),
+            NodeId::new(0),
+            1,
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn hub_label_without_index_panics() {
+        let g = GraphBuilder::new(2).build().unwrap();
+        let pts = NodePointSet::empty(2);
+        let _ = run_rknn(Algorithm::HubLabel, &g, &pts, Precomputed::none(), NodeId::new(0), 1);
     }
 }

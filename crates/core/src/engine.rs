@@ -1,62 +1,70 @@
 //! The query engine: trait-object algorithm dispatch, per-worker scratch
-//! reuse and multi-threaded batch execution.
+//! reuse, result memoization and multi-threaded batch execution.
 //!
 //! The paper's algorithms are exposed as free functions for one-off queries
 //! and figure reproduction; a serving system instead executes *workloads* —
 //! many queries against one graph — where per-query setup cost and
 //! single-threaded execution dominate. [`QueryEngine`] is that serving layer:
 //!
-//! * the five monochromatic algorithms sit behind the [`RknnAlgorithm`]
-//!   trait, dispatched from the existing [`Algorithm`] enum, so harnesses and
-//!   future algorithms plug in uniformly;
+//! * the monochromatic algorithms sit behind the [`RknnAlgorithm`] trait,
+//!   dispatched from the existing [`Algorithm`] enum, so harnesses and
+//!   future algorithms plug in uniformly — including algorithms implemented
+//!   *outside* this crate, like `rnn-index`'s hub-label RkNN, which reaches
+//!   the dispatch through the object-safe
+//!   [`crate::precomputed::HubLabelRknn`] trait;
 //! * each worker thread owns a [`Scratch`] arena, making steady-state
 //!   queries allocation-free (the expansion heaps, label maps and candidate
 //!   buffers of one query are reset — not reallocated — for the next);
+//! * an optional bounded LRU ([`QueryEngine::with_result_cache`], off by
+//!   default) memoizes whole outcomes keyed by `(algorithm, query, k)` for
+//!   repeated-query workloads, with hit/miss counters in
+//!   [`BatchOutcome::cache`];
 //! * [`QueryEngine::run_batch`] executes a [`Workload`] across a configurable
 //!   number of threads with **deterministic, input-order results**: queries
 //!   are independent, so the result and [`QueryStats`] of each query are
 //!   identical no matter how many workers run them or how they interleave
-//!   (only I/O attribution depends on buffer state and thus on scheduling).
+//!   (only I/O attribution and cache hit counts depend on scheduling).
 //!
 //! The topology and point set are shared by reference across workers, which
 //! is why [`Topology`] and [`rnn_graph::PointsOnNodes`] require `Sync` and
 //! why `rnn-storage`'s buffer pool and I/O counters are thread-safe.
 
+use crate::cache::{CacheStats, ResultCache};
 use crate::dispatch::Algorithm;
 use crate::materialize::MaterializedKnn;
+use crate::precomputed::{HubLabelRknn, Precomputed};
 use crate::query::{QueryStats, RknnOutcome};
 use crate::scratch::Scratch;
 use crate::{eager, lazy, lazy_ep, materialize, naive};
 use rnn_graph::{NodeId, PointsOnNodes, Topology};
 use rnn_storage::{IoCounters, IoStats};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// A monochromatic RkNN algorithm, executable against any topology / point
 /// set pair with a reusable [`Scratch`] arena.
 ///
-/// Implementations for the paper's algorithms are obtained with
-/// [`Algorithm::resolve`]. The arena's buffer pools are currently internal
-/// to this crate, so the trait mainly serves uniform dispatch: harnesses and
-/// the engine drive every algorithm — present and future in-crate ones —
-/// through one object-safe interface.
+/// Implementations for the built-in algorithms are obtained with
+/// [`Algorithm::resolve`]. Harnesses and the engine drive every algorithm —
+/// traversal-based and index-served alike — through this one object-safe
+/// interface.
 pub trait RknnAlgorithm: Send + Sync {
     /// The enum tag of this algorithm (for display and dispatch round-trips).
     fn algorithm(&self) -> Algorithm;
 
     /// Runs one RkNN query.
     ///
-    /// `materialized` must be `Some` for algorithms whose
-    /// [`Algorithm::needs_materialization`] is `true` and is ignored by the
-    /// others.
+    /// `pre` must carry the precomputed structures the algorithm declares via
+    /// [`Algorithm::needs_materialization`] / [`Algorithm::needs_hub_labels`];
+    /// the traversal-based algorithms ignore it.
     ///
     /// # Panics
-    /// Panics if `k == 0`, or if a materialized table is required but absent.
+    /// Panics if `k == 0`, or if a required precomputed structure is absent.
     fn run(
         &self,
         topo: &dyn Topology,
         points: &dyn PointsOnNodes,
-        materialized: Option<&MaterializedKnn>,
+        pre: Precomputed<'_>,
         query: NodeId,
         k: usize,
         scratch: &mut Scratch,
@@ -64,7 +72,7 @@ pub trait RknnAlgorithm: Send + Sync {
 }
 
 macro_rules! dispatch_struct {
-    ($name:ident, $tag:expr, |$topo:ident, $points:ident, $mat:ident, $query:ident, $k:ident, $scratch:ident| $body:expr) => {
+    ($name:ident, $tag:expr, |$topo:ident, $points:ident, $pre:ident, $query:ident, $k:ident, $scratch:ident| $body:expr) => {
         struct $name;
 
         impl RknnAlgorithm for $name {
@@ -76,7 +84,7 @@ macro_rules! dispatch_struct {
                 &self,
                 $topo: &dyn Topology,
                 $points: &dyn PointsOnNodes,
-                $mat: Option<&MaterializedKnn>,
+                $pre: Precomputed<'_>,
                 $query: NodeId,
                 $k: usize,
                 $scratch: &mut Scratch,
@@ -87,32 +95,50 @@ macro_rules! dispatch_struct {
     };
 }
 
-dispatch_struct!(EagerDispatch, Algorithm::Eager, |topo, points, _mat, query, k, scratch| {
+dispatch_struct!(EagerDispatch, Algorithm::Eager, |topo, points, _pre, query, k, scratch| {
     eager::eager_rknn_in(topo, points, query, k, scratch)
 });
-dispatch_struct!(LazyDispatch, Algorithm::Lazy, |topo, points, _mat, query, k, scratch| {
+dispatch_struct!(LazyDispatch, Algorithm::Lazy, |topo, points, _pre, query, k, scratch| {
     lazy::lazy_rknn_in(topo, points, query, k, scratch)
 });
 dispatch_struct!(
     LazyEpDispatch,
     Algorithm::LazyExtendedPruning,
-    |topo, points, _mat, query, k, scratch| {
+    |topo, points, _pre, query, k, scratch| {
         lazy_ep::lazy_ep_rknn_in(topo, points, query, k, scratch)
     }
 );
-dispatch_struct!(NaiveDispatch, Algorithm::Naive, |topo, points, _mat, query, k, scratch| {
+dispatch_struct!(NaiveDispatch, Algorithm::Naive, |topo, points, _pre, query, k, scratch| {
     naive::naive_rknn_in(topo, points, query, k, scratch)
 });
 dispatch_struct!(
     EagerMDispatch,
     Algorithm::EagerMaterialized,
-    |topo, points, mat, query, k, scratch| {
-        let table = mat.expect(
+    |topo, points, pre, query, k, scratch| {
+        let table = pre.materialized.expect(
             "eager-M requires a materialized k-NN table (Algorithm::needs_materialization)",
         );
         materialize::eager_m_rknn_in(topo, points, table, query, k, scratch)
     }
 );
+dispatch_struct!(HubLabelDispatch, Algorithm::HubLabel, |topo, points, pre, query, k, scratch| {
+    let index = pre
+        .hub_labels
+        .expect("hub-label queries require a prebuilt index (Algorithm::needs_hub_labels)");
+    // The index is an oracle over a *specific* graph and point set; a
+    // mismatched one would silently return answers for a different world.
+    assert_eq!(
+        index.num_nodes(),
+        topo.num_nodes(),
+        "hub-label index was built over a different graph"
+    );
+    assert_eq!(
+        index.num_points(),
+        points.num_points(),
+        "hub-label index was built over a different point set"
+    );
+    index.rknn_from_labels(query, k, scratch)
+});
 
 /// Resolves an [`Algorithm`] tag to its executable implementation.
 pub(crate) fn resolve(algorithm: Algorithm) -> &'static dyn RknnAlgorithm {
@@ -122,6 +148,7 @@ pub(crate) fn resolve(algorithm: Algorithm) -> &'static dyn RknnAlgorithm {
         Algorithm::Lazy => &LazyDispatch,
         Algorithm::LazyExtendedPruning => &LazyEpDispatch,
         Algorithm::Naive => &NaiveDispatch,
+        Algorithm::HubLabel => &HubLabelDispatch,
     }
 }
 
@@ -181,6 +208,27 @@ pub struct BatchOutcome {
     /// Total I/O recorded while the batch ran (including cross-thread buffer
     /// effects); zero without attached counters.
     pub aggregate_io: IoStats,
+    /// Result-cache hits/misses during this batch; all zeros unless a cache
+    /// was attached with [`QueryEngine::with_result_cache`]. Like I/O, the
+    /// split between hits and misses depends on scheduling (two workers can
+    /// race to miss on the same key) — the *results* never do.
+    pub cache: CacheStats,
+}
+
+/// The memoization state attached by [`QueryEngine::with_result_cache`].
+struct CacheState {
+    lru: Mutex<ResultCache>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CacheState {
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// A reusable executor for RkNN workloads over one topology and point set.
@@ -206,19 +254,30 @@ pub struct QueryEngine<'a> {
     topo: &'a dyn Topology,
     points: &'a dyn PointsOnNodes,
     materialized: Option<&'a MaterializedKnn>,
+    hub_labels: Option<&'a dyn HubLabelRknn>,
     io: Option<&'a IoCounters>,
+    cache: Option<CacheState>,
     threads: usize,
 }
 
 impl<'a> QueryEngine<'a> {
     /// Creates an engine over a topology and point set. Defaults: no
-    /// materialized table, no I/O attribution, one thread.
+    /// materialized table, no hub-label index, no I/O attribution, no result
+    /// cache, one thread.
     pub fn new<T, P>(topo: &'a T, points: &'a P) -> Self
     where
         T: Topology,
         P: PointsOnNodes,
     {
-        QueryEngine { topo, points, materialized: None, io: None, threads: 1 }
+        QueryEngine {
+            topo,
+            points,
+            materialized: None,
+            hub_labels: None,
+            io: None,
+            cache: None,
+            threads: 1,
+        }
     }
 
     /// Attaches a materialized k-NN table (required for eager-M queries).
@@ -227,10 +286,34 @@ impl<'a> QueryEngine<'a> {
         self
     }
 
+    /// Attaches a hub-label index (required for [`Algorithm::HubLabel`]
+    /// queries). Build one with `rnn-index`'s `HubLabelIndex::build` over the
+    /// same graph and point set this engine serves.
+    pub fn with_hub_labels(mut self, index: &'a dyn HubLabelRknn) -> Self {
+        self.hub_labels = Some(index);
+        self
+    }
+
     /// Attaches I/O counters (e.g. `PagedGraph::counters()`) so batches
     /// report per-query and aggregate I/O.
     pub fn with_io_counters(mut self, counters: &'a IoCounters) -> Self {
         self.io = Some(counters);
+        self
+    }
+
+    /// Enables memoization of whole query outcomes in an LRU bounded at
+    /// `capacity` entries, keyed by `(algorithm, query node, k)`. A capacity
+    /// of zero leaves caching disabled.
+    ///
+    /// Off by default: caching never changes results (every algorithm is
+    /// deterministic, so a hit returns exactly what recomputation would),
+    /// but workloads that measure per-query work want every query executed.
+    pub fn with_result_cache(mut self, capacity: usize) -> Self {
+        self.cache = (capacity > 0).then(|| CacheState {
+            lru: Mutex::new(ResultCache::new(capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        });
         self
     }
 
@@ -247,15 +330,50 @@ impl<'a> QueryEngine<'a> {
         self.threads
     }
 
-    /// Runs a single query on a caller-provided scratch arena. This is the
-    /// building block `run_batch` gives each worker; serving loops that
-    /// process queries one at a time call it directly to keep the
-    /// steady-state allocation-free.
+    /// Cumulative result-cache hit/miss counters since the engine was built
+    /// (all zeros when no cache is attached).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.as_ref().map(|c| c.stats()).unwrap_or_default()
+    }
+
+    /// The precomputed-structure context this engine passes to every query.
+    fn precomputed(&self) -> Precomputed<'a> {
+        Precomputed { materialized: self.materialized, hub_labels: self.hub_labels }
+    }
+
+    /// Runs a single query on a caller-provided scratch arena, consulting the
+    /// result cache when one is attached. This is the building block
+    /// `run_batch` gives each worker; serving loops that process queries one
+    /// at a time call it directly to keep the steady-state allocation-free.
     pub fn run(&self, spec: &QuerySpec, scratch: &mut Scratch) -> RknnOutcome {
+        let Some(cache) = &self.cache else {
+            return self.run_uncached(spec, scratch);
+        };
+        let key = (spec.algorithm, spec.query, spec.k);
+        // A hit hands out an Arc under the lock (O(1)); the result data is
+        // cloned only after the lock is released.
+        let hit = cache.lru.lock().expect("result cache lock").get(&key);
+        if let Some(hit) = hit {
+            cache.hits.fetch_add(1, Ordering::Relaxed);
+            return (*hit).clone();
+        }
+        // Compute outside the lock: a concurrent miss on the same key just
+        // computes the identical outcome twice and inserts it twice.
+        let outcome = self.run_uncached(spec, scratch);
+        cache.misses.fetch_add(1, Ordering::Relaxed);
+        cache
+            .lru
+            .lock()
+            .expect("result cache lock")
+            .insert(key, std::sync::Arc::new(outcome.clone()));
+        outcome
+    }
+
+    fn run_uncached(&self, spec: &QuerySpec, scratch: &mut Scratch) -> RknnOutcome {
         resolve(spec.algorithm).run(
             self.topo,
             self.points,
-            self.materialized,
+            self.precomputed(),
             spec.query,
             spec.k,
             scratch,
@@ -282,6 +400,7 @@ impl<'a> QueryEngine<'a> {
     pub fn run_batch(&self, workload: &Workload) -> BatchOutcome {
         let n = workload.queries.len();
         let io_before = self.io.map(|c| c.snapshot());
+        let cache_before = self.cache_stats();
         let mut slots: Vec<Option<(RknnOutcome, IoStats)>> = Vec::new();
         slots.resize_with(n, || None);
 
@@ -341,7 +460,8 @@ impl<'a> QueryEngine<'a> {
             (Some(c), Some(b)) => c.snapshot().since(&b),
             _ => IoStats::default(),
         };
-        BatchOutcome { results, io, aggregate, aggregate_io }
+        let cache = self.cache_stats().since(&cache_before);
+        BatchOutcome { results, io, aggregate, aggregate_io, cache }
     }
 }
 
@@ -351,7 +471,9 @@ impl std::fmt::Debug for QueryEngine<'_> {
             .field("num_nodes", &self.topo.num_nodes())
             .field("num_points", &self.points.num_points())
             .field("materialized", &self.materialized.is_some())
+            .field("hub_labels", &self.hub_labels.is_some())
             .field("io_attribution", &self.io.is_some())
+            .field("result_cache", &self.cache.is_some())
             .field("threads", &self.threads)
             .finish()
     }
@@ -387,15 +509,39 @@ mod tests {
         (g, pts, table)
     }
 
+    /// A stand-in hub-label oracle backed by the naive algorithm, so the
+    /// dispatch plumbing for [`Algorithm::HubLabel`] is exercised without
+    /// depending on `rnn-index` (which sits above this crate). The real
+    /// labeling is cross-checked in the workspace-level `hub_label_index`
+    /// integration suite.
+    struct NaiveOracle<'a> {
+        topo: &'a Graph,
+        points: &'a NodePointSet,
+    }
+
+    impl HubLabelRknn for NaiveOracle<'_> {
+        fn num_nodes(&self) -> usize {
+            self.topo.num_nodes()
+        }
+        fn num_points(&self) -> usize {
+            self.points.num_points()
+        }
+        fn rknn_from_labels(&self, query: NodeId, k: usize, scratch: &mut Scratch) -> RknnOutcome {
+            naive::naive_rknn_in(self.topo, self.points, query, k, scratch)
+        }
+    }
+
     #[test]
     fn trait_dispatch_matches_direct_calls_for_every_algorithm() {
         let (g, pts, table) = setup();
+        let oracle = NaiveOracle { topo: &g, points: &pts };
+        let pre = Precomputed::materialized(&table).with_hub_labels(&oracle);
         let mut scratch = Scratch::new();
         for algorithm in Algorithm::ALL {
             assert_eq!(resolve(algorithm).algorithm(), algorithm);
             for q in [NodeId::new(0), NodeId::new(40), NodeId::new(80)] {
-                let via_trait = resolve(algorithm).run(&g, &pts, Some(&table), q, 2, &mut scratch);
-                let direct = run_rknn(algorithm, &g, &pts, Some(&table), q, 2);
+                let via_trait = resolve(algorithm).run(&g, &pts, pre, q, 2, &mut scratch);
+                let direct = run_rknn(algorithm, &g, &pts, pre, q, 2);
                 assert_eq!(via_trait, direct, "{algorithm} q={q}");
             }
         }
@@ -412,17 +558,26 @@ mod tests {
         assert_eq!(batch.io.len(), workload.len());
         let mut expected_aggregate = QueryStats::default();
         for (spec, outcome) in workload.queries.iter().zip(&batch.results) {
-            let single = run_rknn(spec.algorithm, &g, &pts, Some(&table), spec.query, spec.k);
+            let single = run_rknn(
+                spec.algorithm,
+                &g,
+                &pts,
+                Precomputed::materialized(&table),
+                spec.query,
+                spec.k,
+            );
             assert_eq!(outcome, &single, "query {}", spec.query);
             expected_aggregate += &single.stats;
         }
         assert_eq!(batch.aggregate, expected_aggregate);
         assert_eq!(batch.aggregate_io, IoStats::default(), "no counters attached");
+        assert_eq!(batch.cache, CacheStats::default(), "no cache attached");
     }
 
     #[test]
     fn multi_threaded_batches_reproduce_the_sequential_outcome() {
         let (g, pts, table) = setup();
+        let oracle = NaiveOracle { topo: &g, points: &pts };
         let mut queries = Vec::new();
         for algorithm in Algorithm::ALL {
             for &node in pts.nodes() {
@@ -430,15 +585,99 @@ mod tests {
             }
         }
         let workload = Workload { queries };
-        let sequential = QueryEngine::new(&g, &pts).with_materialized(&table).run_batch(&workload);
+        let sequential = QueryEngine::new(&g, &pts)
+            .with_materialized(&table)
+            .with_hub_labels(&oracle)
+            .run_batch(&workload);
         for threads in [2usize, 4, 8] {
             let parallel = QueryEngine::new(&g, &pts)
                 .with_materialized(&table)
+                .with_hub_labels(&oracle)
                 .with_threads(threads)
                 .run_batch(&workload);
             assert_eq!(parallel.results, sequential.results, "threads={threads}");
             assert_eq!(parallel.aggregate, sequential.aggregate, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn result_cache_hits_repeat_queries_without_changing_outcomes() {
+        let (g, pts, table) = setup();
+        let uncached = QueryEngine::new(&g, &pts).with_materialized(&table);
+        let cached = QueryEngine::new(&g, &pts).with_materialized(&table).with_result_cache(64);
+
+        // Each query node appears three times: two of the three executions
+        // must be cache hits, and results must match the uncached engine.
+        let mut specs = Vec::new();
+        for _ in 0..3 {
+            for &node in pts.nodes() {
+                specs.push(QuerySpec { algorithm: Algorithm::Eager, query: node, k: 2 });
+            }
+        }
+        let workload = Workload { queries: specs };
+        let plain = uncached.run_batch(&workload);
+        let memoized = cached.run_batch(&workload);
+        assert_eq!(memoized.results, plain.results, "caching must never change results");
+        assert_eq!(memoized.aggregate, plain.aggregate);
+        assert_eq!(memoized.cache.misses, pts.nodes().len() as u64);
+        assert_eq!(memoized.cache.hits, 2 * pts.nodes().len() as u64);
+        assert_eq!(cached.cache_stats(), memoized.cache, "cumulative == first batch");
+        assert_eq!(plain.cache, CacheStats::default());
+
+        // A second identical batch is served entirely from the cache.
+        let again = cached.run_batch(&workload);
+        assert_eq!(again.results, plain.results);
+        assert_eq!(again.cache.misses, 0);
+        assert_eq!(again.cache.hits, workload.len() as u64);
+    }
+
+    #[test]
+    fn result_cache_capacity_bounds_and_multi_threaded_batches_stay_exact() {
+        let (g, pts, table) = setup();
+        let reference = QueryEngine::new(&g, &pts).with_materialized(&table);
+        // A tiny capacity forces constant eviction; an 8-thread pool races on
+        // the shared LRU. Results must still be byte-identical.
+        let cached = QueryEngine::new(&g, &pts)
+            .with_materialized(&table)
+            .with_result_cache(2)
+            .with_threads(8);
+        let mut specs = Vec::new();
+        for _ in 0..4 {
+            for &node in pts.nodes() {
+                specs.push(QuerySpec { algorithm: Algorithm::Lazy, query: node, k: 1 });
+            }
+        }
+        let workload = Workload { queries: specs };
+        let plain = reference.run_batch(&workload);
+        let memoized = cached.run_batch(&workload);
+        assert_eq!(memoized.results, plain.results);
+        assert_eq!(memoized.cache.lookups(), workload.len() as u64);
+
+        // Capacity zero means "disabled": no counters move.
+        let disabled = QueryEngine::new(&g, &pts).with_materialized(&table).with_result_cache(0);
+        let out = disabled.run_batch(&workload);
+        assert_eq!(out.results, plain.results);
+        assert_eq!(disabled.cache_stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn hub_label_dispatch_requires_a_matching_index() {
+        let (g, pts, _) = setup();
+        let oracle = NaiveOracle { topo: &g, points: &pts };
+        let engine = QueryEngine::new(&g, &pts).with_hub_labels(&oracle);
+        let spec = QuerySpec { algorithm: Algorithm::HubLabel, query: NodeId::new(40), k: 2 };
+        let out = engine.run(&spec, &mut Scratch::new());
+        let direct = naive::naive_rknn(&g, &pts, NodeId::new(40), 2);
+        assert_eq!(out, direct);
+
+        // A mismatched index (different point count) is rejected loudly.
+        let fewer = NodePointSet::from_nodes(81, [NodeId::new(0)]);
+        let stale = NaiveOracle { topo: &g, points: &fewer };
+        let engine = QueryEngine::new(&g, &pts).with_hub_labels(&stale);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.run(&spec, &mut Scratch::new())
+        }));
+        assert!(err.is_err(), "point-set mismatch must panic");
     }
 
     #[test]

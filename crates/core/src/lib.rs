@@ -22,9 +22,13 @@
 //!   straw-man comparison;
 //! * the [`engine`] serving layer: the [`RknnAlgorithm`] trait behind the
 //!   [`Algorithm`] enum, the reusable [`Scratch`] arena that makes
-//!   steady-state queries allocation-free, and
-//!   [`engine::QueryEngine::run_batch`] for multi-threaded workloads with
-//!   deterministic, input-order results.
+//!   steady-state queries allocation-free, an optional bounded-LRU result
+//!   [`cache`], and [`engine::QueryEngine::run_batch`] for multi-threaded
+//!   workloads with deterministic, input-order results;
+//! * the [`precomputed`] context: the [`Precomputed`] bundle handed to every
+//!   query and the object-safe [`HubLabelRknn`] oracle trait through which
+//!   the `rnn-index` crate's hub-label RkNN ([`Algorithm::HubLabel`]) plugs
+//!   into the dispatch without a dependency cycle.
 //!
 //! All algorithms are generic over [`rnn_graph::Topology`], so they run
 //! identically on the in-memory [`rnn_graph::Graph`] and on the disk-page
@@ -70,6 +74,7 @@
 #![warn(missing_docs)]
 
 pub mod bichromatic;
+pub mod cache;
 pub mod continuous;
 pub mod cost;
 pub mod dispatch;
@@ -83,14 +88,17 @@ pub mod lazy;
 pub mod lazy_ep;
 pub mod materialize;
 pub mod naive;
+pub mod precomputed;
 pub mod query;
 pub mod scratch;
 pub mod unrestricted;
 pub mod verify;
 
+pub use cache::CacheStats;
 pub use cost::{CostModel, QueryCost};
 pub use dispatch::{run_rknn, run_rknn_with, Algorithm};
 pub use engine::{BatchOutcome, QueryEngine, QuerySpec, RknnAlgorithm, Workload};
 pub use materialize::MaterializedKnn;
+pub use precomputed::{HubLabelRknn, Precomputed};
 pub use query::{QueryStats, RknnOutcome};
 pub use scratch::Scratch;

@@ -19,7 +19,7 @@
 //! (`reuses` grows).
 
 use crate::expansion::ExpansionBuffers;
-use crate::fast_hash::FastSet;
+use crate::fast_hash::{FastMap, FastSet};
 use rnn_graph::{NodeId, PointId, Weight};
 
 /// A buffer that can be emptied for reuse while keeping its allocation.
@@ -35,6 +35,12 @@ impl<T> Reset for Vec<T> {
 }
 
 impl<K> Reset for FastSet<K> {
+    fn reset(&mut self) {
+        self.clear();
+    }
+}
+
+impl<K, V> Reset for FastMap<K, V> {
     fn reset(&mut self) {
         self.clear();
     }
@@ -68,6 +74,7 @@ pub struct Scratch {
     weights: Vec<Vec<Weight>>,
     node_dists: Vec<Vec<(NodeId, Weight)>>,
     point_sets: Vec<FastSet<PointId>>,
+    point_dist_maps: Vec<FastMap<PointId, Weight>>,
     node_sets: Vec<FastSet<NodeId>>,
     lazy: Vec<crate::lazy::LazyBuffers>,
     lazy_ep: Vec<crate::lazy_ep::LazyEpBuffers>,
@@ -76,15 +83,18 @@ pub struct Scratch {
 }
 
 macro_rules! pool_accessors {
-    ($($(#[$meta:meta])* $take:ident, $put:ident, $field:ident: $ty:ty;)*) => {
+    ($vis:vis, $($take:ident, $put:ident, $field:ident: $ty:ty;)*) => {
         $(
-            $(#[$meta])*
-            pub(crate) fn $take(&mut self) -> $ty {
+            /// Checks a buffer out of the arena: resets a pooled buffer when
+            /// one is available, otherwise constructs a fresh one (counted in
+            /// [`Scratch::created`]). Hand it back with the matching `put_*`
+            /// so the next checkout can reuse the allocation.
+            $vis fn $take(&mut self) -> $ty {
                 take_from(&mut self.$field, &mut self.created, &mut self.reuses)
             }
 
-            $(#[$meta])*
-            pub(crate) fn $put(&mut self, buf: $ty) {
+            /// Returns a buffer to the arena for reuse by later checkouts.
+            $vis fn $put(&mut self, buf: $ty) {
                 self.$field.push(buf);
             }
         )*
@@ -110,13 +120,22 @@ impl Scratch {
         self.reuses
     }
 
-    pool_accessors! {
+    // Public pools: generic buffers that algorithm crates layered on top of
+    // `rnn-core` (e.g. `rnn-index`'s hub-label RkNN) recycle the same way the
+    // built-in algorithms do.
+    pool_accessors! { pub,
         take_expansion, put_expansion, expansions: ExpansionBuffers;
         take_found, put_found, found: Vec<(PointId, Weight)>;
         take_weights, put_weights, weights: Vec<Weight>;
         take_node_dists, put_node_dists, node_dists: Vec<(NodeId, Weight)>;
         take_point_set, put_point_set, point_sets: FastSet<PointId>;
+        take_point_dist_map, put_point_dist_map, point_dist_maps: FastMap<PointId, Weight>;
         take_node_set, put_node_set, node_sets: FastSet<NodeId>;
+    }
+
+    // Crate-private pools: buffer bundles whose types are internal to the
+    // lazy / lazy-EP implementations.
+    pool_accessors! { pub(crate),
         take_lazy, put_lazy, lazy: crate::lazy::LazyBuffers;
         take_lazy_ep, put_lazy_ep, lazy_ep: crate::lazy_ep::LazyEpBuffers;
     }

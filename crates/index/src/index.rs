@@ -1,0 +1,428 @@
+//! The queryable hub-label index: labeling + point table + the ReHub-style
+//! RkNN algorithm.
+//!
+//! All queries here touch *only* label arrays — never an adjacency list.
+//! That changes the cost model completely: where the expansion algorithms
+//! charge page accesses per visited node, the index charges a few sorted
+//! scans whose length is bounded by the label size. The
+//! [`rnn_core::QueryStats`] counters are therefore reinterpreted (and
+//! documented on [`HubLabelIndex::rknn_in`]) as label-scan counts, keeping
+//! the engine's aggregation machinery meaningful without new fields.
+//!
+//! The monochromatic RkNN query runs in two label-only phases, mirroring
+//! ReHub's candidate/verification split:
+//!
+//! 1. **Candidates.** Scan the buckets of the query's hubs once, folding
+//!    `d(q, h) + d(h, p)` to the minimum per point. By the 2-hop cover this
+//!    minimum is the exact `d(q, p)` for every point in the query's
+//!    component (and only those points are touched).
+//! 2. **Verification.** For each candidate `p` with `d(q, p) > 0`, count
+//!    distinct other points within distance `< d(q, p)` of `p` by scanning
+//!    the bucket *prefixes* of `p`'s hubs (buckets are distance-sorted, so
+//!    each scan stops at the bound), short-circuiting once `k` are found.
+//!    `p` is a reverse neighbor iff fewer than `k` such points exist —
+//!    exactly the semantics of the expansion algorithms, ties included.
+
+use crate::labeling::HubLabeling;
+use crate::point_table::HubPointTable;
+use rnn_core::precomputed::HubLabelRknn;
+use rnn_core::query::{QueryStats, RknnOutcome};
+use rnn_core::scratch::Scratch;
+use rnn_graph::{NodeId, PointId, PointsOnNodes, Topology, Weight};
+use std::collections::hash_map::Entry;
+
+/// A hub labeling bundled with the inverted point table of one data set,
+/// answering distance, k-NN and RkNN queries without graph traversal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HubLabelIndex {
+    labeling: HubLabeling,
+    table: HubPointTable,
+}
+
+impl HubLabelIndex {
+    /// Builds labeling and point table in one go. Preprocessing cost is one
+    /// pruned Dijkstra per node plus one sort of the inverted entries; query
+    /// cost afterwards is label scans only.
+    pub fn build<T, P>(topo: &T, points: &P) -> Self
+    where
+        T: Topology + ?Sized,
+        P: PointsOnNodes + ?Sized,
+    {
+        let labeling = HubLabeling::build(topo);
+        Self::from_labeling(labeling, points)
+    }
+
+    /// Reuses an existing labeling for a (new) point set — the labeling
+    /// depends only on the graph, so serving several data sets over one
+    /// network shares the expensive half of the preprocessing.
+    pub fn from_labeling<P: PointsOnNodes + ?Sized>(labeling: HubLabeling, points: &P) -> Self {
+        let table = HubPointTable::build(&labeling, points);
+        HubLabelIndex { labeling, table }
+    }
+
+    /// The underlying labeling.
+    pub fn labeling(&self) -> &HubLabeling {
+        &self.labeling
+    }
+
+    /// The underlying inverted point table.
+    pub fn point_table(&self) -> &HubPointTable {
+        &self.table
+    }
+
+    /// Number of labeled graph nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.labeling.num_nodes()
+    }
+
+    /// Number of indexed data points.
+    pub fn num_points(&self) -> usize {
+        self.table.num_points()
+    }
+
+    /// Label-based shortest path distance (see [`HubLabeling::distance`]).
+    pub fn distance(&self, u: NodeId, v: NodeId) -> Option<Weight> {
+        self.labeling.distance(u, v)
+    }
+
+    /// The `k` nearest data points of `node` (including a point residing on
+    /// `node` itself, at distance zero), as `(point, distance)` in ascending
+    /// `(distance, point id)` order — the same order the expansion-based
+    /// [`rnn_core::knn::k_nearest`] reports on tie-free instances.
+    ///
+    /// Answered by scanning bucket prefixes of the node's hubs, cutting each
+    /// bucket off as soon as its candidates can no longer beat the current
+    /// k-th best.
+    pub fn k_nearest(&self, node: NodeId, k: usize) -> Vec<(PointId, Weight)> {
+        assert!(node.index() < self.num_nodes(), "node {node} outside the labeled graph");
+        let mut best: Vec<(Weight, PointId)> = Vec::with_capacity(k + 1);
+        if k == 0 {
+            return Vec::new();
+        }
+        let (hubs, hub_dists) = self.labeling.label(node);
+        for (i, &h) in hubs.iter().enumerate() {
+            let dh = hub_dists[i];
+            if best.len() == k && dh > best[k - 1].0 {
+                continue; // every candidate of this bucket is farther
+            }
+            let (dists, points) = self.table.bucket(h);
+            for (j, &d) in dists.iter().enumerate() {
+                let cand = dh + d;
+                if best.len() == k && cand > best[k - 1].0 {
+                    break; // bucket ascends: nothing better follows
+                }
+                Self::offer(&mut best, k, cand, points[j]);
+            }
+        }
+        best.into_iter().map(|(d, p)| (p, d)).collect()
+    }
+
+    /// Offers a candidate to the running top-k, keeping `best` sorted by
+    /// `(distance, point)` and deduplicated by point (minimum distance wins).
+    fn offer(best: &mut Vec<(Weight, PointId)>, k: usize, cand: Weight, p: PointId) {
+        if let Some(pos) = best.iter().position(|&(_, q)| q == p) {
+            if best[pos].0 <= cand {
+                return; // already listed at least as close
+            }
+            best.remove(pos);
+        }
+        let at = best.partition_point(|&e| e < (cand, p));
+        if at == best.len() && best.len() >= k {
+            return;
+        }
+        best.insert(at, (cand, p));
+        best.truncate(k);
+    }
+
+    /// [`HubLabelIndex::rknn_in`] on a throwaway scratch arena.
+    pub fn rknn(&self, query: NodeId, k: usize) -> RknnOutcome {
+        self.rknn_in(query, k, &mut Scratch::new())
+    }
+
+    /// Answers a monochromatic RkNN query purely from the labels (the
+    /// two-phase algorithm of the module docs), recycling buffers from
+    /// `scratch` so steady-state queries are allocation-free apart from the
+    /// result vector (like every other algorithm).
+    ///
+    /// [`QueryStats`] fields are label-scan counters here:
+    /// `nodes_settled` = query label entries processed (the "main
+    /// expansion"), `heap_pushes` = bucket entries folded in the candidate
+    /// phase, `candidates` / `verifications` as usual, and
+    /// `auxiliary_settled` = bucket entries scanned by verifications.
+    /// `range_nn_queries` stays zero — there is no range probe.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `query` lies outside the labeled graph.
+    pub fn rknn_in(&self, query: NodeId, k: usize, scratch: &mut Scratch) -> RknnOutcome {
+        assert!(k >= 1, "RkNN queries require k >= 1");
+        assert!(query.index() < self.num_nodes(), "query node {query} outside the labeled graph");
+        let mut stats = QueryStats::default();
+
+        // Phase 1: exact distance from the query to every point sharing a
+        // hub (= every point of the query's component). Folding goes through
+        // a pooled map (not a dense per-point array) so the per-query cost
+        // stays proportional to the touched label entries, never to the
+        // total point count; `touched` records first-touch order, keeping
+        // the verification sequence deterministic.
+        let mut dmin = scratch.take_point_dist_map();
+        let mut touched = scratch.take_found();
+        let (hubs, hub_dists) = self.labeling.label(query);
+        for (i, &h) in hubs.iter().enumerate() {
+            stats.nodes_settled += 1;
+            let dh = hub_dists[i];
+            let (dists, points) = self.table.bucket(h);
+            stats.heap_pushes += dists.len() as u64;
+            for (j, &d) in dists.iter().enumerate() {
+                let cand = dh + d;
+                match dmin.entry(points[j]) {
+                    Entry::Vacant(slot) => {
+                        slot.insert(cand);
+                        touched.push((points[j], cand));
+                    }
+                    Entry::Occupied(mut slot) => {
+                        if cand < *slot.get() {
+                            slot.insert(cand);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase 2: verify candidates. A point collocated with the query
+        // (distance zero) is trivially a reverse neighbor and not reported,
+        // matching the expansion algorithms.
+        let mut result: Vec<PointId> = Vec::new();
+        for &(p, _) in touched.iter() {
+            let dq = dmin[&p];
+            if dq == Weight::ZERO {
+                continue;
+            }
+            stats.candidates += 1;
+            stats.verifications += 1;
+            let closer =
+                self.count_strictly_closer(p, dq, k, scratch, &mut stats.auxiliary_settled);
+            if closer < k {
+                result.push(p);
+            }
+        }
+        scratch.put_point_dist_map(dmin);
+        scratch.put_found(touched);
+        RknnOutcome::from_points(result, stats)
+    }
+
+    /// Counts distinct data points other than `p` with exact distance
+    /// strictly below `bound` from `p`, stopping at `limit`.
+    ///
+    /// A point qualifies iff *some* hub of `p` certifies a sum below the
+    /// bound (the minimal sum is the exact distance, every other sum only
+    /// overestimates — an overestimate below a bound implies the exact
+    /// distance is too), so scanning each bucket prefix and deduplicating
+    /// into a set is exact. The point collocated with the query ties at
+    /// exactly `bound` (the labels produce identical, commuted sums for both
+    /// directions of a pair) and is therefore never counted — ties do not
+    /// disqualify, as in the paper.
+    fn count_strictly_closer(
+        &self,
+        p: PointId,
+        bound: Weight,
+        limit: usize,
+        scratch: &mut Scratch,
+        scanned: &mut u64,
+    ) -> usize {
+        let mut seen = scratch.take_point_set();
+        let mut count = 0;
+        let (hubs, hub_dists) = self.labeling.label(self.table.node_of(p));
+        'hubs: for (i, &h) in hubs.iter().enumerate() {
+            let dh = hub_dists[i];
+            if dh >= bound {
+                continue; // every sum through this hub is >= bound
+            }
+            let (dists, points) = self.table.bucket(h);
+            for (j, &d) in dists.iter().enumerate() {
+                if dh + d >= bound {
+                    break; // bucket ascends
+                }
+                *scanned += 1;
+                let other = points[j];
+                if other != p && seen.insert(other) {
+                    count += 1;
+                    if count >= limit {
+                        break 'hubs;
+                    }
+                }
+            }
+        }
+        scratch.put_point_set(seen);
+        count
+    }
+}
+
+impl HubLabelRknn for HubLabelIndex {
+    fn num_nodes(&self) -> usize {
+        self.num_nodes()
+    }
+
+    fn num_points(&self) -> usize {
+        self.num_points()
+    }
+
+    fn rknn_from_labels(&self, query: NodeId, k: usize, scratch: &mut Scratch) -> RknnOutcome {
+        self.rknn_in(query, k, scratch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnn_core::{knn, naive};
+    use rnn_graph::{Graph, GraphBuilder, NodePointSet};
+
+    /// Cycle of 6 unit-weight nodes, points on 1, 3, 4 — the instance the
+    /// naive baseline's manual analysis uses.
+    fn cycle() -> (Graph, NodePointSet) {
+        let mut b = GraphBuilder::new(6);
+        for i in 0..6 {
+            b.add_edge(i, (i + 1) % 6, 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let pts = NodePointSet::from_nodes(6, [NodeId::new(1), NodeId::new(3), NodeId::new(4)]);
+        (g, pts)
+    }
+
+    fn path5() -> (Graph, NodePointSet) {
+        let mut b = GraphBuilder::new(5);
+        for i in 0..4 {
+            b.add_edge(i, i + 1, 2.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let pts = NodePointSet::from_nodes(5, [NodeId::new(0), NodeId::new(4)]);
+        (g, pts)
+    }
+
+    #[test]
+    fn k_nearest_matches_the_expansion_primitive() {
+        let (g, pts) = path5();
+        let index = HubLabelIndex::build(&g, &pts);
+        for node in 0..5 {
+            for k in 0..=3 {
+                let via_labels = index.k_nearest(NodeId::new(node), k);
+                let via_expansion = knn::k_nearest(&g, &pts, NodeId::new(node), k).found;
+                assert_eq!(via_labels, via_expansion, "node {node} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn k_nearest_breaks_distance_ties_by_point_id() {
+        let (g, pts) = cycle();
+        let index = HubLabelIndex::build(&g, &pts);
+        // From node 0: p@1 at 1, p@4 at 2, p@3 at 3 — but from node 5:
+        // p@4 at 1, p@1 at 2, p@3 at 2 (tie between points 0 and 1).
+        let nn = index.k_nearest(NodeId::new(5), 2);
+        assert_eq!(nn.len(), 2);
+        assert_eq!(nn[0].0, pts.point_at(NodeId::new(4)).unwrap());
+        assert_eq!(nn[1].0, pts.point_at(NodeId::new(1)).unwrap(), "tie by point id");
+        assert_eq!(nn[1].1.value(), 2.0);
+    }
+
+    #[test]
+    fn rknn_matches_the_naive_baseline_on_the_cycle() {
+        let (g, pts) = cycle();
+        let index = HubLabelIndex::build(&g, &pts);
+        for q in 0..6 {
+            for k in 1..=3 {
+                let via_labels = index.rknn(NodeId::new(q), k);
+                let reference = naive::naive_rknn(&g, &pts, NodeId::new(q), k);
+                assert_eq!(via_labels.points, reference.points, "q={q} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn rknn_excludes_collocated_and_unreachable_points() {
+        // Two components: 0-1-2 (points on 0, 2) and 3-4 (point on 4).
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 1.0).unwrap();
+        b.add_edge(1, 2, 1.0).unwrap();
+        b.add_edge(3, 4, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let pts = NodePointSet::from_nodes(5, [NodeId::new(0), NodeId::new(2), NodeId::new(4)]);
+        let index = HubLabelIndex::build(&g, &pts);
+        let out = index.rknn(NodeId::new(0), 1);
+        // The collocated point (node 0) and the other component's point
+        // (node 4) are out; the point on node 2 ties with the point on node
+        // 0 (both at distance 2) and ties never disqualify.
+        assert_eq!(out.points, vec![pts.point_at(NodeId::new(2)).unwrap()]);
+        assert_eq!(out.stats.candidates, 1, "only the reachable non-collocated point");
+        let naive_out = naive::naive_rknn(&g, &pts, NodeId::new(0), 1);
+        assert_eq!(out.points, naive_out.points);
+    }
+
+    #[test]
+    fn rknn_stats_count_label_work() {
+        let (g, pts) = cycle();
+        let index = HubLabelIndex::build(&g, &pts);
+        let out = index.rknn(NodeId::new(0), 1);
+        assert!(out.stats.nodes_settled > 0, "query label entries were processed");
+        assert!(out.stats.heap_pushes > 0, "candidate-phase bucket entries were folded");
+        assert_eq!(out.stats.candidates, 3);
+        assert_eq!(out.stats.verifications, 3);
+        assert_eq!(out.stats.range_nn_queries, 0, "no range probes in label space");
+    }
+
+    #[test]
+    fn steady_state_rknn_reuses_scratch_buffers() {
+        let (g, pts) = cycle();
+        let index = HubLabelIndex::build(&g, &pts);
+        let mut scratch = Scratch::new();
+        let first = index.rknn_in(NodeId::new(2), 2, &mut scratch);
+        let created = scratch.created();
+        for _ in 0..20 {
+            let again = index.rknn_in(NodeId::new(2), 2, &mut scratch);
+            assert_eq!(again, first);
+        }
+        assert_eq!(scratch.created(), created, "steady state allocates no new buffers");
+        assert!(scratch.reuses() >= 20);
+    }
+
+    #[test]
+    fn from_labeling_shares_preprocessing_across_point_sets() {
+        let (g, pts) = cycle();
+        let labeling = crate::HubLabeling::build(&g);
+        let a = HubLabelIndex::from_labeling(labeling.clone(), &pts);
+        let other = NodePointSet::from_nodes(6, [NodeId::new(0), NodeId::new(5)]);
+        let b = HubLabelIndex::from_labeling(labeling, &other);
+        assert_eq!(a.num_points(), 3);
+        assert_eq!(b.num_points(), 2);
+        assert_eq!(a.labeling(), b.labeling());
+        assert_eq!(
+            b.rknn(NodeId::new(1), 1).points,
+            naive::naive_rknn(&g, &other, NodeId::new(1), 1).points
+        );
+    }
+
+    #[test]
+    fn oracle_trait_reports_sizes_and_routes_queries() {
+        let (g, pts) = cycle();
+        let index = HubLabelIndex::build(&g, &pts);
+        let oracle: &dyn HubLabelRknn = &index;
+        assert_eq!(oracle.num_nodes(), 6);
+        assert_eq!(oracle.num_points(), 3);
+        let out = oracle.rknn_from_labels(NodeId::new(0), 2, &mut Scratch::new());
+        assert_eq!(out, index.rknn(NodeId::new(0), 2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn k_zero_panics() {
+        let (g, pts) = cycle();
+        let _ = HubLabelIndex::build(&g, &pts).rknn(NodeId::new(0), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_query_panics() {
+        let (g, pts) = cycle();
+        let _ = HubLabelIndex::build(&g, &pts).rknn(NodeId::new(6), 1);
+    }
+}

@@ -1,0 +1,331 @@
+//! Degree-ordered pruned landmark labeling (PLL) over a [`Topology`].
+//!
+//! Every node `v` gets a sorted list of *hubs* `(h, d(v, h))` such that any
+//! connected pair `(u, v)` shares at least one hub on a shortest `u`–`v`
+//! path (the 2-hop cover property). Distances are then answered without
+//! touching the graph:
+//!
+//! ```text
+//! d(u, v) = min over common hubs h of  d(u, h) + d(h, v)
+//! ```
+//!
+//! Construction processes nodes in descending-degree order (high-degree
+//! nodes cover the most shortest paths) and runs one *pruned* Dijkstra per
+//! node: when settling `u` at distance `d` from the current root, the
+//! expansion is cut off if the already-built labels certify a distance
+//! `<= d` — those paths are covered by higher-ranked hubs, so neither a
+//! label nor further expansion through `u` is needed. Pruning is what keeps
+//! labels small: on road-like graphs the average label is polylogarithmic in
+//! practice.
+//!
+//! Hubs are stored as *ranks* (position in the construction order), so label
+//! lists are naturally sorted by rank as they are appended and intersect by
+//! a linear merge.
+
+use rnn_core::expansion::{ExpansionBuffers, NetworkExpansion};
+use rnn_graph::{NodeId, Topology, Weight};
+
+/// A pruned landmark labeling: per-node sorted hub lists with distances.
+///
+/// Immutable once built; shared by reference across query threads.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HubLabeling {
+    /// CSR offsets into `hub_ranks` / `hub_dists`; length `num_nodes + 1`.
+    offsets: Vec<usize>,
+    /// Hub lists, as ranks in the construction order, ascending per node.
+    hub_ranks: Vec<u32>,
+    /// Distance to the corresponding hub.
+    hub_dists: Vec<Weight>,
+    /// The construction order: `node_of_rank[r]` is the node with rank `r`.
+    node_of_rank: Vec<NodeId>,
+    /// Inverse of `node_of_rank`.
+    rank_of_node: Vec<u32>,
+}
+
+/// Size statistics of a labeling, reported by the `repro index` experiment.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct LabelStats {
+    /// Number of labeled nodes.
+    pub nodes: usize,
+    /// Total label entries over all nodes.
+    pub entries: usize,
+    /// Largest single label.
+    pub max_label: usize,
+}
+
+impl LabelStats {
+    /// Average label entries per node.
+    pub fn avg_label(&self) -> f64 {
+        if self.nodes == 0 {
+            return 0.0;
+        }
+        self.entries as f64 / self.nodes as f64
+    }
+
+    /// Approximate in-memory size of the label arrays (rank + distance per
+    /// entry, one offset per node).
+    pub fn bytes(&self) -> usize {
+        self.entries * (std::mem::size_of::<u32>() + std::mem::size_of::<Weight>())
+            + (self.nodes + 1) * std::mem::size_of::<usize>()
+    }
+}
+
+impl HubLabeling {
+    /// Builds the labeling with one pruned Dijkstra per node, in
+    /// descending-degree order (ties by ascending node id, so construction
+    /// is fully deterministic).
+    ///
+    /// The cost model is the same as the algorithms': adjacency fetches go
+    /// through [`Topology::visit_neighbors`], so building over a paged
+    /// backend is accounted I/O like any traversal.
+    pub fn build<T: Topology + ?Sized>(topo: &T) -> Self {
+        let n = topo.num_nodes();
+
+        // Construction order: descending degree, then ascending node id.
+        let mut degree = vec![0u32; n];
+        for (v, slot) in degree.iter_mut().enumerate() {
+            let mut d = 0u32;
+            topo.visit_neighbors(NodeId::new(v), &mut |_| d += 1);
+            *slot = d;
+        }
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by(|&a, &b| degree[b as usize].cmp(&degree[a as usize]).then(a.cmp(&b)));
+        let node_of_rank: Vec<NodeId> = order.iter().map(|&v| NodeId::new(v as usize)).collect();
+        let mut rank_of_node = vec![0u32; n];
+        for (rank, &v) in order.iter().enumerate() {
+            rank_of_node[v as usize] = rank as u32;
+        }
+
+        // Temporary per-node labels; entries are appended in ascending rank
+        // because roots run in rank order.
+        let mut labels: Vec<Vec<(u32, Weight)>> = vec![Vec::new(); n];
+        // Distances from the current root to its hubs, indexed by rank; only
+        // the entries of `labels[root]` are populated at any time.
+        let mut root_dist = vec![Weight::INFINITY; n];
+        let mut bufs = ExpansionBuffers::new();
+
+        for (rank, &root) in node_of_rank.iter().enumerate() {
+            for &(h, d) in &labels[root.index()] {
+                root_dist[h as usize] = d;
+            }
+            let mut exp =
+                NetworkExpansion::reusing(topo, bufs, std::iter::once((root, Weight::ZERO)));
+            while let Some((u, d)) = exp.next_settled_unexpanded() {
+                // Prune: if higher-ranked hubs already certify d(root, u)
+                // <= d, this shortest path is covered — no label, and no
+                // expansion through u (everything beyond is covered too).
+                let covered =
+                    labels[u.index()].iter().any(|&(h, d2)| root_dist[h as usize] + d2 <= d);
+                if covered {
+                    continue;
+                }
+                labels[u.index()].push((rank as u32, d));
+                exp.expand_from(u, d);
+            }
+            bufs = exp.into_buffers();
+            // `labels[root]` now also holds (rank, 0) — the root always
+            // labels itself — so this reset clears exactly what was set.
+            for &(h, _) in &labels[root.index()] {
+                root_dist[h as usize] = Weight::INFINITY;
+            }
+        }
+
+        // Freeze into CSR.
+        let mut offsets = Vec::with_capacity(n + 1);
+        let entries: usize = labels.iter().map(Vec::len).sum();
+        let mut hub_ranks = Vec::with_capacity(entries);
+        let mut hub_dists = Vec::with_capacity(entries);
+        offsets.push(0);
+        for label in &labels {
+            debug_assert!(label.windows(2).all(|w| w[0].0 < w[1].0), "ranks ascend");
+            for &(h, d) in label {
+                hub_ranks.push(h);
+                hub_dists.push(d);
+            }
+            offsets.push(hub_ranks.len());
+        }
+        HubLabeling { offsets, hub_ranks, hub_dists, node_of_rank, rank_of_node }
+    }
+
+    /// Number of labeled nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.node_of_rank.len()
+    }
+
+    /// The label of `node`: parallel slices of hub ranks (ascending) and
+    /// distances to them.
+    pub fn label(&self, node: NodeId) -> (&[u32], &[Weight]) {
+        let (lo, hi) = (self.offsets[node.index()], self.offsets[node.index() + 1]);
+        (&self.hub_ranks[lo..hi], &self.hub_dists[lo..hi])
+    }
+
+    /// The node acting as the hub with construction rank `rank`.
+    pub fn hub_node(&self, rank: u32) -> NodeId {
+        self.node_of_rank[rank as usize]
+    }
+
+    /// The construction rank of `node` (0 = first / highest degree).
+    pub fn rank_of(&self, node: NodeId) -> u32 {
+        self.rank_of_node[node.index()]
+    }
+
+    /// The label-based shortest path distance between two nodes, or `None`
+    /// if they share no hub (different connected components).
+    ///
+    /// Symmetric by construction: the same hub set and the same commutative
+    /// sums are considered for `(u, v)` and `(v, u)`.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> Option<Weight> {
+        let (hu, du) = self.label(u);
+        let (hv, dv) = self.label(v);
+        let mut best: Option<Weight> = None;
+        let (mut i, mut j) = (0, 0);
+        while i < hu.len() && j < hv.len() {
+            match hu[i].cmp(&hv[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let through = du[i] + dv[j];
+                    best = Some(best.map_or(through, |b| b.min(through)));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        best
+    }
+
+    /// Size statistics of the labeling.
+    pub fn stats(&self) -> LabelStats {
+        let nodes = self.num_nodes();
+        let max_label =
+            (0..nodes).map(|v| self.offsets[v + 1] - self.offsets[v]).max().unwrap_or(0);
+        LabelStats { nodes, entries: self.hub_ranks.len(), max_label }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnn_core::expansion::network_distance;
+    use rnn_graph::{Graph, GraphBuilder};
+
+    fn diamond() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1.0).unwrap();
+        b.add_edge(1, 3, 1.0).unwrap();
+        b.add_edge(0, 2, 4.0).unwrap();
+        b.add_edge(2, 3, 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    /// A denser exact-weight graph: 4x4 grid with 0.25-step weights.
+    fn grid4() -> Graph {
+        let mut b = GraphBuilder::new(16);
+        for r in 0..4 {
+            for c in 0..4 {
+                let v = r * 4 + c;
+                if c + 1 < 4 {
+                    b.add_edge(v, v + 1, 0.25 * (1 + (v * 5 % 7)) as f64).unwrap();
+                }
+                if r + 1 < 4 {
+                    b.add_edge(v, v + 4, 0.25 * (1 + (v * 3 % 5)) as f64).unwrap();
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn distances_match_dijkstra_on_all_pairs() {
+        for g in [diamond(), grid4()] {
+            let labeling = HubLabeling::build(&g);
+            for u in 0..g.num_nodes() {
+                for v in 0..g.num_nodes() {
+                    let via_labels = labeling.distance(NodeId::new(u), NodeId::new(v));
+                    let via_dijkstra = network_distance(&g, NodeId::new(u), NodeId::new(v));
+                    // Exact-weight graphs: every sum is exact, so the label
+                    // distance equals the Dijkstra distance bit for bit.
+                    assert_eq!(via_labels, via_dijkstra, "pair ({u}, {v})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_the_diagonal() {
+        let g = grid4();
+        let labeling = HubLabeling::build(&g);
+        for u in 0..16 {
+            assert_eq!(labeling.distance(NodeId::new(u), NodeId::new(u)), Some(Weight::ZERO));
+            for v in 0..16 {
+                assert_eq!(
+                    labeling.distance(NodeId::new(u), NodeId::new(v)),
+                    labeling.distance(NodeId::new(v), NodeId::new(u)),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_components_share_no_hub() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 1.0).unwrap();
+        b.add_edge(1, 2, 1.0).unwrap();
+        b.add_edge(3, 4, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let labeling = HubLabeling::build(&g);
+        assert_eq!(labeling.distance(NodeId::new(0), NodeId::new(4)), None);
+        assert_eq!(labeling.distance(NodeId::new(2), NodeId::new(3)), None);
+        assert_eq!(labeling.distance(NodeId::new(3), NodeId::new(4)).unwrap().value(), 1.0);
+    }
+
+    #[test]
+    fn labels_are_rank_sorted_pruned_and_rooted() {
+        let g = grid4();
+        let labeling = HubLabeling::build(&g);
+        let stats = labeling.stats();
+        assert_eq!(stats.nodes, 16);
+        assert!(stats.entries >= 16, "every node labels itself");
+        // Pruning must beat the quadratic trivial labeling (all hubs
+        // everywhere) by a wide margin even on this tiny grid.
+        assert!(stats.entries < 16 * 16 / 2, "pruning keeps labels small, got {stats:?}");
+        assert!(stats.max_label >= 1 && stats.max_label <= 16);
+        assert!(stats.avg_label() >= 1.0);
+        assert!(stats.bytes() > 0);
+        for v in 0..16 {
+            let node = NodeId::new(v);
+            let (ranks, dists) = labeling.label(node);
+            assert!(!ranks.is_empty());
+            assert!(ranks.windows(2).all(|w| w[0] < w[1]), "ranks strictly ascend");
+            // Every node's label contains itself at distance zero.
+            let own = ranks.iter().position(|&r| r == labeling.rank_of(node)).unwrap();
+            assert_eq!(dists[own], Weight::ZERO);
+            assert_eq!(labeling.hub_node(labeling.rank_of(node)), node);
+        }
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let g = grid4();
+        assert_eq!(HubLabeling::build(&g), HubLabeling::build(&g));
+    }
+
+    #[test]
+    fn highest_degree_node_gets_rank_zero() {
+        // Star graph: the center has degree 4, the leaves 1 — the center
+        // must be the first hub and appear in every label.
+        let mut b = GraphBuilder::new(5);
+        for leaf in 1..5 {
+            b.add_edge(0, leaf, 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let labeling = HubLabeling::build(&g);
+        assert_eq!(labeling.rank_of(NodeId::new(0)), 0);
+        for v in 0..5 {
+            let (ranks, _) = labeling.label(NodeId::new(v));
+            assert_eq!(ranks[0], 0, "node {v} is covered by the center hub");
+        }
+        // Leaves are fully covered by the center: label = {center, self}.
+        assert_eq!(labeling.stats().entries, 1 + 4 * 2);
+    }
+}

@@ -1,0 +1,169 @@
+//! The per-hub inverted point table.
+//!
+//! A [`super::HubLabeling`] answers node-to-node distances; point queries
+//! (k-NN, RkNN verification) additionally need "which data points does hub
+//! `h` cover, and how far away are they?". [`HubPointTable`] is that
+//! inverted view: for every hub, the `(distance, point)` pairs of all data
+//! points whose node's label contains the hub, sorted by ascending distance
+//! (ties by point id, so every scan is deterministic).
+//!
+//! By the 2-hop cover property, for any node `v` and point `p` in the same
+//! component there is a common hub `h` on a shortest path, so
+//! `min over hubs h of v  (d(v, h) + bucket_h(p))` is the exact network
+//! distance `d(v, p)` — the minimum is reached at that covering hub, and
+//! every other term only overestimates. This is what lets the index answer
+//! point queries by scanning a few sorted bucket prefixes instead of
+//! expanding the graph.
+
+use crate::labeling::HubLabeling;
+use rnn_graph::{NodeId, PointId, PointsOnNodes, Weight};
+
+/// Per-hub sorted lists of the data points the hub covers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HubPointTable {
+    /// CSR offsets per hub rank; length `num_hubs + 1`.
+    offsets: Vec<usize>,
+    /// Distance from the hub to the point's node, ascending per bucket.
+    dists: Vec<Weight>,
+    /// The point of each entry (ascending point id among equal distances).
+    points: Vec<PointId>,
+    /// The node each point resides on, indexed by point id.
+    node_of_point: Vec<NodeId>,
+}
+
+impl HubPointTable {
+    /// Inverts `labeling` over a point set: every label entry of an occupied
+    /// node becomes one bucket entry of its hub.
+    pub fn build<P: PointsOnNodes + ?Sized>(labeling: &HubLabeling, points: &P) -> Self {
+        let num_hubs = labeling.num_nodes();
+        let num_points = points.num_points();
+        let mut node_of_point = Vec::with_capacity(num_points);
+        let mut entries: Vec<(u32, Weight, PointId)> = Vec::new();
+        for p in 0..num_points {
+            let point = PointId::new(p);
+            let node = points.node_of(point);
+            assert!(
+                node.index() < num_hubs,
+                "point {point} on node {node} outside the labeled graph"
+            );
+            node_of_point.push(node);
+            let (ranks, dists) = labeling.label(node);
+            for (i, &rank) in ranks.iter().enumerate() {
+                entries.push((rank, dists[i], point));
+            }
+        }
+        entries.sort_unstable();
+
+        let mut offsets = Vec::with_capacity(num_hubs + 1);
+        let mut dists = Vec::with_capacity(entries.len());
+        let mut points_col = Vec::with_capacity(entries.len());
+        offsets.push(0);
+        let mut cursor = 0;
+        for rank in 0..num_hubs as u32 {
+            while cursor < entries.len() && entries[cursor].0 == rank {
+                dists.push(entries[cursor].1);
+                points_col.push(entries[cursor].2);
+                cursor += 1;
+            }
+            offsets.push(cursor);
+        }
+        debug_assert_eq!(cursor, entries.len());
+        HubPointTable { offsets, dists, points: points_col, node_of_point }
+    }
+
+    /// The bucket of hub `rank`: parallel slices of distances (ascending)
+    /// and points.
+    pub fn bucket(&self, rank: u32) -> (&[Weight], &[PointId]) {
+        let (lo, hi) = (self.offsets[rank as usize], self.offsets[rank as usize + 1]);
+        (&self.dists[lo..hi], &self.points[lo..hi])
+    }
+
+    /// Number of data points the table was built over.
+    pub fn num_points(&self) -> usize {
+        self.node_of_point.len()
+    }
+
+    /// The node `point` resides on.
+    pub fn node_of(&self, point: PointId) -> NodeId {
+        self.node_of_point[point.index()]
+    }
+
+    /// Total bucket entries (= sum of label sizes over occupied nodes).
+    pub fn entries(&self) -> usize {
+        self.points.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnn_graph::{Graph, GraphBuilder, NodePointSet};
+
+    fn path5() -> (Graph, NodePointSet) {
+        let mut b = GraphBuilder::new(5);
+        for i in 0..4 {
+            b.add_edge(i, i + 1, 2.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let pts = NodePointSet::from_nodes(5, [NodeId::new(0), NodeId::new(2), NodeId::new(4)]);
+        (g, pts)
+    }
+
+    #[test]
+    fn buckets_are_sorted_and_cover_every_label_entry() {
+        let (g, pts) = path5();
+        let labeling = HubLabeling::build(&g);
+        let table = HubPointTable::build(&labeling, &pts);
+        assert_eq!(table.num_points(), 3);
+
+        let expected_entries: usize = pts.nodes().iter().map(|&n| labeling.label(n).0.len()).sum();
+        assert_eq!(table.entries(), expected_entries);
+
+        let mut seen = 0;
+        for rank in 0..labeling.num_nodes() as u32 {
+            let (dists, points) = table.bucket(rank);
+            assert_eq!(dists.len(), points.len());
+            seen += dists.len();
+            assert!(dists.windows(2).all(|w| w[0] <= w[1]), "bucket {rank} distances ascend");
+            for (i, &p) in points.iter().enumerate() {
+                // Each entry mirrors one label entry of the point's node.
+                let (ranks, ldists) = labeling.label(pts.node_of(p));
+                let pos = ranks.iter().position(|&r| r == rank).unwrap();
+                assert_eq!(ldists[pos], dists[i]);
+            }
+        }
+        assert_eq!(seen, table.entries());
+    }
+
+    #[test]
+    fn node_of_round_trips_and_distance_ties_order_by_point_id() {
+        let (g, pts) = path5();
+        let labeling = HubLabeling::build(&g);
+        let table = HubPointTable::build(&labeling, &pts);
+        for (p, n) in pts.iter() {
+            assert_eq!(table.node_of(p), n);
+        }
+        // Points 0 (node 0) and 2 (node 4) are both at distance 4 from node
+        // 2; whichever hub covers both must list them in point id order.
+        for rank in 0..labeling.num_nodes() as u32 {
+            let (dists, points) = table.bucket(rank);
+            for w in 0..dists.len().saturating_sub(1) {
+                if dists[w] == dists[w + 1] {
+                    assert!(points[w] < points[w + 1], "equal-distance tie order");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_point_set_yields_empty_buckets() {
+        let (g, _) = path5();
+        let labeling = HubLabeling::build(&g);
+        let table = HubPointTable::build(&labeling, &NodePointSet::empty(5));
+        assert_eq!(table.num_points(), 0);
+        assert_eq!(table.entries(), 0);
+        for rank in 0..5 {
+            assert!(table.bucket(rank).0.is_empty());
+        }
+    }
+}

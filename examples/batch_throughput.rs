@@ -5,7 +5,7 @@
 //! (default: 2 worker threads).
 
 use rnn_core::engine::{QueryEngine, Workload};
-use rnn_core::{run_rknn_with, Algorithm, Scratch};
+use rnn_core::{run_rknn_with, Algorithm, Precomputed, Scratch};
 use rnn_datagen::{grid_map, place_points_on_nodes, sample_node_queries, GridConfig};
 use rnn_graph::PointsOnNodes;
 use std::time::Instant;
@@ -34,7 +34,9 @@ fn main() {
         let mut scratch = Scratch::new();
         let sequential: Vec<_> = query_nodes
             .iter()
-            .map(|&q| run_rknn_with(algorithm, &graph, &points, None, q, 1, &mut scratch))
+            .map(|&q| {
+                run_rknn_with(algorithm, &graph, &points, Precomputed::none(), q, 1, &mut scratch)
+            })
             .collect();
         let sequential_secs = start.elapsed().as_secs_f64();
 

@@ -1,0 +1,102 @@
+//! Hub-label serving: answer RkNN queries from a precomputed labeling
+//! through the query engine, with result memoization for repeated queries —
+//! the ReHub-style serving stack end to end.
+//!
+//! Run with `cargo run --release --example hub_label_serving -- [THREADS]`
+//! (default: 2 worker threads). Self-asserting: every hub-label result is
+//! compared against the paper's eager algorithm.
+
+use rnn_core::engine::{QueryEngine, Workload};
+use rnn_core::Algorithm;
+use rnn_datagen::{grid_map, place_points_on_nodes, sample_node_queries, GridConfig};
+use rnn_graph::PointsOnNodes;
+use rnn_index::HubLabelIndex;
+use std::time::Instant;
+
+fn main() {
+    let threads: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2).max(1);
+
+    // A grid map with data points at density 0.02 — the paper's synthetic
+    // road-network setup, on the in-memory backend.
+    let graph = grid_map(&GridConfig::with_nodes(2_500, 4.0, 42));
+    let points = place_points_on_nodes(&graph, 0.02, 43);
+    let hot_nodes = sample_node_queries(&points, 50, 44);
+    println!(
+        "grid map: {} nodes, {} points; {} hot query nodes",
+        graph.num_nodes(),
+        points.num_points(),
+        hot_nodes.len()
+    );
+
+    // One-time preprocessing: the pruned landmark labeling + inverted table.
+    let start = Instant::now();
+    let index = HubLabelIndex::build(&graph, &points);
+    let build = start.elapsed();
+    let stats = index.labeling().stats();
+    println!(
+        "labeling built in {build:.2?}: {:.1} hubs/node (max {}), {:.2} MiB labels, \
+         {} inverted point entries",
+        stats.avg_label(),
+        stats.max_label,
+        stats.bytes() as f64 / (1024.0 * 1024.0),
+        index.point_table().entries(),
+    );
+
+    // A serving workload where every hot query repeats three times — the
+    // repeated-query pattern that motivates the engine's result cache.
+    let mut serving_nodes = Vec::new();
+    for _ in 0..3 {
+        serving_nodes.extend(hot_nodes.iter().copied());
+    }
+
+    let label_engine = QueryEngine::new(&graph, &points)
+        .with_hub_labels(&index)
+        .with_result_cache(128)
+        .with_threads(threads);
+    // Warm the cache with one batch over the distinct hot nodes. A batch is
+    // a synchronization point, so the measured serving run below is all
+    // cache hits no matter how many workers race (within one batch, workers
+    // hitting the same cold key concurrently may each miss).
+    let warm = label_engine.run_batch(&Workload::uniform(
+        Algorithm::HubLabel,
+        2,
+        hot_nodes.iter().copied(),
+    ));
+    assert_eq!(warm.cache.lookups(), hot_nodes.len() as u64);
+    let label_workload = Workload::uniform(Algorithm::HubLabel, 2, serving_nodes.iter().copied());
+    let start = Instant::now();
+    let label_batch = label_engine.run_batch(&label_workload);
+    let label_secs = start.elapsed().as_secs_f64().max(1e-9);
+
+    // The same workload answered by the paper's eager expansion.
+    let eager_engine = QueryEngine::new(&graph, &points).with_threads(threads);
+    let eager_workload = Workload::uniform(Algorithm::Eager, 2, serving_nodes.iter().copied());
+    let start = Instant::now();
+    let eager_batch = eager_engine.run_batch(&eager_workload);
+    let eager_secs = start.elapsed().as_secs_f64().max(1e-9);
+
+    // Labels must reproduce the expansion results exactly, query by query.
+    assert_eq!(label_batch.results.len(), eager_batch.results.len());
+    for (i, (hl, e)) in label_batch.results.iter().zip(&eager_batch.results).enumerate() {
+        assert_eq!(hl.points, e.points, "query #{i}: hub-label must agree with eager");
+    }
+    // Every query went through the cache, and the warmed keys mean every
+    // one was served from it — at any thread count.
+    assert_eq!(label_batch.cache.lookups(), label_workload.len() as u64);
+    assert_eq!(
+        label_batch.cache.hits,
+        label_workload.len() as u64,
+        "every repeated query must hit the warmed result cache"
+    );
+
+    let qps = |secs: f64| serving_nodes.len() as f64 / secs;
+    println!(
+        "hub-label + cache: {:>9.0} q/s | eager expansion: {:>8.0} q/s | speedup x{:.1} | \
+         cache hit rate {:.0}%",
+        qps(label_secs),
+        qps(eager_secs),
+        eager_secs / label_secs,
+        100.0 * label_batch.cache.hit_rate(),
+    );
+    println!("all {} hub-label results identical to eager expansion.", label_batch.results.len());
+}

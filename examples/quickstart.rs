@@ -4,8 +4,9 @@
 //! Run with `cargo run --example quickstart`.
 
 use rnn_core::materialize::MaterializedKnn;
-use rnn_core::{run_rknn, Algorithm};
+use rnn_core::{run_rknn, Algorithm, Precomputed};
 use rnn_graph::{GraphBuilder, NodeId, NodePointSet, PointsOnNodes};
+use rnn_index::HubLabelIndex;
 
 fn main() {
     // A toy road network: 8 junctions connected in a ring with two chords.
@@ -38,11 +39,15 @@ fn main() {
 
     // Which existing cafés would have the new site as their nearest café?
     // (They are the ones likely to lose customers to it.)
+    // Eager-M consults a materialized k-NN table; the hub-label algorithm
+    // answers from a precomputed labeling — both are built once up front.
     let table = MaterializedKnn::build(&graph, &cafes, 2);
+    let hub_index = HubLabelIndex::build(&graph, &cafes);
+    let pre = Precomputed::materialized(&table).with_hub_labels(&hub_index);
     for k in [1usize, 2] {
         println!("reverse {k}-nearest-neighbors of the proposed site:");
         for algorithm in Algorithm::ALL {
-            let outcome = run_rknn(algorithm, &graph, &cafes, Some(&table), proposed_site, k);
+            let outcome = run_rknn(algorithm, &graph, &cafes, pre, proposed_site, k);
             let nodes: Vec<String> =
                 outcome.points.iter().map(|&p| format!("junction {}", cafes.node_of(p))).collect();
             println!(

@@ -9,9 +9,12 @@
 //! * [`rnn_storage`] — disk-page storage scheme, LRU buffer, I/O accounting.
 //! * [`rnn_core`] — the RNN query processing algorithms (eager, lazy,
 //!   lazy-EP, eager-M, bichromatic, continuous, unrestricted).
+//! * [`rnn_index`] — the hub-label index subsystem (pruned landmark
+//!   labeling, inverted point table, label-served RkNN).
 //! * [`rnn_datagen`] — synthetic dataset and workload generators.
 
 pub use rnn_core as core;
 pub use rnn_datagen as datagen;
 pub use rnn_graph as graph;
+pub use rnn_index as index;
 pub use rnn_storage as storage;

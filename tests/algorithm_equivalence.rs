@@ -34,6 +34,14 @@ proptest! {
         let table = MaterializedKnn::build(&inst.graph, &inst.points, inst.k);
         let em = rnn_core::materialize::eager_m_rknn(&inst.graph, &inst.points, &table, inst.query, inst.k);
         prop_assert_eq!(&em.points, &reference.points, "eager-M vs naive");
+
+        // The label-served algorithm must reproduce the expansion results
+        // byte for byte: the zoo's 0.25-step weights make all path sums
+        // exact, so not even a ulp of drift is tolerated.
+        let hub_index = rnn_index::HubLabelIndex::build(&inst.graph, &inst.points);
+        let hl = hub_index.rknn(inst.query, inst.k);
+        prop_assert_eq!(&hl.points, &e.points, "hub-label vs eager");
+        prop_assert_eq!(&hl.points, &reference.points, "hub-label vs naive");
     }
 
     #[test]
@@ -122,11 +130,13 @@ fn generated_workload_equivalence_smoke_test() {
         grid_map(&GridConfig { rows: 30, cols: 30, average_degree: 5.0, ..Default::default() });
     let points = place_points_on_nodes(&graph, 0.03, 9);
     let table = MaterializedKnn::build(&graph, &points, 2);
+    let hub_index = rnn_index::HubLabelIndex::build(&graph, &points);
+    let pre = rnn_core::Precomputed::materialized(&table).with_hub_labels(&hub_index);
     for q in sample_node_queries(&points, 10, 4) {
         for k in [1usize, 2] {
             let reference = naive::naive_rknn(&graph, &points, q, k);
             for algo in rnn_core::Algorithm::ALL {
-                let out = rnn_core::run_rknn(algo, &graph, &points, Some(&table), q, k);
+                let out = rnn_core::run_rknn(algo, &graph, &points, pre, q, k);
                 assert_eq!(out.points, reference.points, "{algo} q={q} k={k}");
             }
         }

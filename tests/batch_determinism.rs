@@ -1,7 +1,8 @@
 //! Batch determinism: `QueryEngine::run_batch` over 1, 2 and 8 worker
 //! threads returns byte-identical outcomes — the same RkNN sets *and* the
-//! same per-query stats — as the plain sequential loop, for all five
-//! algorithms, on grid maps and BRITE-like topologies.
+//! same per-query stats — as the plain sequential loop, for all six
+//! algorithms (including the label-served hub-label algorithm), on grid maps
+//! and BRITE-like topologies.
 //!
 //! This is the contract that makes the thread pool safe to turn on: scaling
 //! out a workload must never change its answers.
@@ -12,11 +13,12 @@ use common::restricted_instance;
 use proptest::prelude::*;
 use rnn_core::engine::{QueryEngine, QuerySpec, Workload};
 use rnn_core::materialize::MaterializedKnn;
-use rnn_core::{run_rknn, Algorithm, QueryStats};
+use rnn_core::{run_rknn, Algorithm, Precomputed, QueryStats};
 use rnn_datagen::{
     brite_topology, grid_map, place_points_on_nodes, sample_node_queries, BriteConfig, GridConfig,
 };
 use rnn_graph::{Graph, NodePointSet};
+use rnn_index::HubLabelIndex;
 
 /// Builds a mixed workload (every algorithm over every query node), runs it
 /// sequentially, and asserts `run_batch` reproduces it exactly at 1, 2 and 8
@@ -28,6 +30,8 @@ fn assert_batch_matches_sequential(
     k: usize,
 ) -> Result<(), TestCaseError> {
     let table = MaterializedKnn::build(graph, points, k);
+    let hub_index = HubLabelIndex::build(graph, points);
+    let pre = Precomputed::materialized(&table).with_hub_labels(&hub_index);
     let mut specs = Vec::new();
     for algorithm in Algorithm::ALL {
         for &query in queries {
@@ -40,14 +44,16 @@ fn assert_batch_matches_sequential(
     let mut expected = Vec::with_capacity(workload.len());
     let mut expected_aggregate = QueryStats::default();
     for spec in &workload.queries {
-        let outcome = run_rknn(spec.algorithm, graph, points, Some(&table), spec.query, spec.k);
+        let outcome = run_rknn(spec.algorithm, graph, points, pre, spec.query, spec.k);
         expected_aggregate += &outcome.stats;
         expected.push(outcome);
     }
 
     for threads in [1usize, 2, 8] {
-        let engine =
-            QueryEngine::new(graph, points).with_materialized(&table).with_threads(threads);
+        let engine = QueryEngine::new(graph, points)
+            .with_materialized(&table)
+            .with_hub_labels(&hub_index)
+            .with_threads(threads);
         let batch = engine.run_batch(&workload);
         // Byte-identical outcomes: result sets and per-query stats both.
         prop_assert_eq!(&batch.results, &expected, "threads={}", threads);

@@ -4,22 +4,27 @@
 //! paper reports (pruning effectiveness, buffer behaviour, density effects).
 
 use rnn_core::materialize::MaterializedKnn;
-use rnn_core::{naive, run_rknn, Algorithm};
+use rnn_core::{naive, run_rknn, Algorithm, Precomputed};
 use rnn_datagen::{
     brite_topology, coauthorship_graph, grid_map, place_points_on_nodes, sample_node_queries,
     spatial_road_network, BriteConfig, CoauthorConfig, GridConfig, SpatialConfig,
 };
 use rnn_graph::{Graph, NodePointSet, PointsOnNodes};
+use rnn_index::HubLabelIndex;
 use rnn_storage::{IoCounters, LayoutStrategy, PagedGraph};
 
 fn check_workload(graph: &Graph, points: &NodePointSet, k: usize, queries: usize, seed: u64) {
     let table = MaterializedKnn::build(graph, points, k);
+    let hub_index = HubLabelIndex::build(graph, points);
+    let pre = Precomputed::materialized(&table).with_hub_labels(&hub_index);
     let paged = PagedGraph::build(graph).expect("paged graph");
     for q in sample_node_queries(points, queries, seed) {
         let reference = naive::naive_rknn(graph, points, q, k);
-        for algo in Algorithm::PAPER {
-            let t = if algo.needs_materialization() { Some(&table) } else { None };
-            let out = run_rknn(algo, &paged, points, t, q, k);
+        for algo in Algorithm::ALL {
+            if algo == Algorithm::Naive {
+                continue; // naive is the reference itself
+            }
+            let out = run_rknn(algo, &paged, points, pre, q, k);
             assert_eq!(out.points, reference.points, "{algo} q={q} k={k}");
         }
     }
@@ -121,7 +126,9 @@ fn buffer_size_changes_faults_but_not_results() {
         .expect("paged graph");
         let mut results = Vec::new();
         for &q in &queries {
-            results.push(run_rknn(Algorithm::Eager, &paged, &points, None, q, 1).points);
+            results.push(
+                run_rknn(Algorithm::Eager, &paged, &points, Precomputed::none(), q, 1).points,
+            );
         }
         faults_by_buffer.push(paged.io_stats().faults);
         results_by_buffer.push(results);
@@ -145,7 +152,7 @@ fn bfs_page_layout_beats_shuffled_layout_on_query_workloads() {
         let paged =
             PagedGraph::build_with(&net.graph, layout, 32, IoCounters::new()).expect("paged graph");
         for &q in &queries {
-            let _ = run_rknn(Algorithm::Eager, &paged, &points, None, q, 1);
+            let _ = run_rknn(Algorithm::Eager, &paged, &points, Precomputed::none(), q, 1);
         }
         paged.io_stats().faults
     };

@@ -5,8 +5,9 @@
 
 use rnn::core::engine::{QueryEngine, Workload};
 use rnn::core::materialize::MaterializedKnn;
-use rnn::core::{run_rknn, Algorithm};
+use rnn::core::{run_rknn, Algorithm, Precomputed};
 use rnn::graph::{GraphBuilder, NodeId, NodePointSet};
+use rnn::index::HubLabelIndex;
 use rnn::storage::{IoCounters, LayoutStrategy, PagedGraph};
 
 /// The quickstart network: an 8-junction ring with two chords.
@@ -37,11 +38,13 @@ fn quickstart_flow_runs_end_to_end_and_all_algorithms_agree() {
     let proposed_site = NodeId::new(1);
 
     let table = MaterializedKnn::build(&graph, &cafes, 2);
+    let hub_index = HubLabelIndex::build(&graph, &cafes);
+    let pre = Precomputed::materialized(&table).with_hub_labels(&hub_index);
     for k in [1usize, 2] {
-        let reference = run_rknn(Algorithm::Naive, &graph, &cafes, Some(&table), proposed_site, k);
+        let reference = run_rknn(Algorithm::Naive, &graph, &cafes, pre, proposed_site, k);
         assert!(!reference.is_empty(), "the toy instance has reverse neighbors for k={k}");
         for algorithm in Algorithm::ALL {
-            let outcome = run_rknn(algorithm, &graph, &cafes, Some(&table), proposed_site, k);
+            let outcome = run_rknn(algorithm, &graph, &cafes, pre, proposed_site, k);
             assert_eq!(outcome.points, reference.points, "{algorithm} vs naive, k={k}");
             // The example prints these stats; they must be populated.
             assert!(outcome.stats.nodes_settled > 0, "{algorithm} settled no nodes");
@@ -59,8 +62,10 @@ fn batch_throughput_flow_matches_sequential_queries() {
 
     for algorithm in [Algorithm::Eager, Algorithm::Lazy] {
         let workload = Workload::uniform(algorithm, 1, graph.node_ids());
-        let sequential: Vec<_> =
-            graph.node_ids().map(|q| run_rknn(algorithm, &graph, &cafes, None, q, 1)).collect();
+        let sequential: Vec<_> = graph
+            .node_ids()
+            .map(|q| run_rknn(algorithm, &graph, &cafes, Precomputed::none(), q, 1))
+            .collect();
         for threads in [1usize, 2, 4] {
             let engine = QueryEngine::new(&graph, &cafes).with_threads(threads);
             let batch = engine.run_batch(&workload);
@@ -79,9 +84,52 @@ fn quickstart_flow_works_identically_on_the_paged_backend() {
         PagedGraph::build_with(&graph, LayoutStrategy::BfsLocality, 4, IoCounters::new()).unwrap();
     let table = MaterializedKnn::build(&graph, &cafes, 2);
     for k in [1usize, 2] {
-        let in_memory = run_rknn(Algorithm::Eager, &graph, &cafes, Some(&table), proposed_site, k);
-        let on_disk = run_rknn(Algorithm::Eager, &paged, &cafes, Some(&table), proposed_site, k);
+        let in_memory = run_rknn(
+            Algorithm::Eager,
+            &graph,
+            &cafes,
+            Precomputed::materialized(&table),
+            proposed_site,
+            k,
+        );
+        let on_disk = run_rknn(
+            Algorithm::Eager,
+            &paged,
+            &cafes,
+            Precomputed::materialized(&table),
+            proposed_site,
+            k,
+        );
         assert_eq!(in_memory.points, on_disk.points, "k={k}");
     }
     assert!(paged.io_stats().accesses > 0, "the paged run must be accounted");
+}
+
+/// Mirrors `examples/hub_label_serving.rs` on the quickstart network: the
+/// hub-label engine (with result cache) reproduces the expansion answers,
+/// and repeated queries are served from the cache.
+#[test]
+fn hub_label_serving_flow_matches_expansion_and_hits_the_cache() {
+    let graph = quickstart_network();
+    let cafes = NodePointSet::from_nodes(8, [0, 3, 6].map(NodeId::new));
+    let hub_index = HubLabelIndex::build(&graph, &cafes);
+
+    // Each query node twice: the second round must be pure cache hits on a
+    // single-threaded engine.
+    let mut nodes: Vec<NodeId> = graph.node_ids().collect();
+    nodes.extend(graph.node_ids());
+    let workload = Workload::uniform(Algorithm::HubLabel, 1, nodes.iter().copied());
+    let engine = QueryEngine::new(&graph, &cafes).with_hub_labels(&hub_index).with_result_cache(32);
+    let batch = engine.run_batch(&workload);
+
+    let expansion: Vec<_> = nodes
+        .iter()
+        .map(|&q| run_rknn(Algorithm::Eager, &graph, &cafes, Precomputed::none(), q, 1))
+        .collect();
+    for (hl, e) in batch.results.iter().zip(&expansion) {
+        assert_eq!(hl.points, e.points, "hub-label must agree with eager");
+    }
+    assert_eq!(batch.cache.misses, graph.num_nodes() as u64);
+    assert_eq!(batch.cache.hits, graph.num_nodes() as u64, "the repeat round hits the cache");
+    assert_eq!(engine.cache_stats(), batch.cache);
 }

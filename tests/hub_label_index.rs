@@ -1,0 +1,180 @@
+//! Property tests for the hub-label index subsystem (`rnn-index`):
+//!
+//! * PLL label distances agree with `NetworkExpansion` Dijkstra distances —
+//!   bit-exactly on the shared graph zoo (whose 0.25-step weights make every
+//!   path sum exact), and up to float associativity (`Weight::approx_eq`) on
+//!   the jittered-weight grid and BRITE generators, where the two methods
+//!   legitimately sum the same path in different orders;
+//! * the label-based k-NN primitive reproduces the expansion-based one;
+//! * hub-label RkNN result sets are byte-identical to eager across the graph
+//!   zoo, and `run_batch` with the hub-label algorithm is deterministic at
+//!   1/2/8 threads;
+//! * steady-state label queries are allocation-free on a reused `Scratch`.
+
+mod common;
+
+use common::restricted_instance;
+use proptest::prelude::*;
+use rnn_core::engine::{QueryEngine, Workload};
+use rnn_core::expansion::network_distance;
+use rnn_core::{eager, knn, Algorithm, Scratch};
+use rnn_datagen::{
+    brite_topology, grid_map, place_points_on_nodes, sample_node_queries, BriteConfig, GridConfig,
+};
+use rnn_graph::{Graph, NodeId, PointsOnNodes};
+use rnn_index::{HubLabelIndex, HubLabeling};
+
+/// Deterministically samples `count` node pairs of an `n`-node graph.
+fn node_pairs(n: usize, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    (0..count as u64)
+        .map(|i| {
+            let a = (seed.wrapping_mul(6364136223846793005).wrapping_add(i * 97)) % n as u64;
+            let b = (seed.wrapping_mul(1442695040888963407).wrapping_add(i * 31)) % n as u64;
+            (NodeId::new(a as usize), NodeId::new(b as usize))
+        })
+        .collect()
+}
+
+fn assert_label_distances_match(graph: &Graph, pairs: &[(NodeId, NodeId)]) {
+    let labeling = HubLabeling::build(graph);
+    for &(u, v) in pairs {
+        let via_labels = labeling.distance(u, v);
+        let via_dijkstra = network_distance(graph, u, v);
+        match (via_labels, via_dijkstra) {
+            (Some(l), Some(d)) => {
+                // Same path, possibly summed in a different association
+                // order: exact on exact-weight graphs, a few ulps otherwise.
+                assert!(l.approx_eq(d, 1e-9), "pair ({u}, {v}): labels say {l}, Dijkstra says {d}");
+            }
+            (None, None) => {} // both agree the pair is disconnected
+            (l, d) => panic!("pair ({u}, {v}): reachability disagrees ({l:?} vs {d:?})"),
+        }
+        assert_eq!(labeling.distance(u, v), labeling.distance(v, u), "symmetry ({u}, {v})");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn grid_label_distances_match_dijkstra(seed in 0u64..1000) {
+        let graph = grid_map(&GridConfig { rows: 10, cols: 10, seed, ..Default::default() });
+        assert_label_distances_match(&graph, &node_pairs(graph.num_nodes(), 40, seed));
+    }
+
+    #[test]
+    fn brite_label_distances_match_dijkstra(seed in 0u64..1000) {
+        let graph = brite_topology(&BriteConfig { num_nodes: 120, seed, ..Default::default() });
+        assert_label_distances_match(&graph, &node_pairs(graph.num_nodes(), 40, seed));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// On the zoo's exact-weight graphs the label distance must equal the
+    /// Dijkstra distance bit for bit — not just approximately.
+    #[test]
+    fn zoo_label_distances_are_bit_exact(inst in restricted_instance()) {
+        let labeling = HubLabeling::build(&inst.graph);
+        let n = inst.graph.num_nodes();
+        for u in 0..n {
+            let from_query = network_distance(&inst.graph, inst.query, NodeId::new(u));
+            prop_assert_eq!(
+                labeling.distance(inst.query, NodeId::new(u)),
+                from_query,
+                "query to node {}", u
+            );
+        }
+    }
+
+    /// The label-based k-NN primitive returns exactly the expansion-based
+    /// probe's points, distances and order.
+    #[test]
+    fn zoo_label_knn_matches_expansion_knn(inst in restricted_instance()) {
+        let index = HubLabelIndex::build(&inst.graph, &inst.points);
+        for source in 0..inst.graph.num_nodes() {
+            for k in 1..=3usize {
+                let via_labels = index.k_nearest(NodeId::new(source), k);
+                let via_expansion = knn::k_nearest(&inst.graph, &inst.points, NodeId::new(source), k);
+                prop_assert_eq!(&via_labels, &via_expansion.found, "source {} k {}", source, k);
+            }
+        }
+    }
+
+    /// The acceptance criterion: hub-label RkNN sets are byte-identical to
+    /// eager on every zoo instance.
+    #[test]
+    fn zoo_hub_label_rknn_is_byte_identical_to_eager(inst in restricted_instance()) {
+        let index = HubLabelIndex::build(&inst.graph, &inst.points);
+        let via_labels = index.rknn(inst.query, inst.k);
+        let via_eager = eager::eager_rknn(&inst.graph, &inst.points, inst.query, inst.k);
+        prop_assert_eq!(&via_labels.points, &via_eager.points);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    /// `run_batch` with the hub-label algorithm at 1/2/8 threads returns the
+    /// sequential outcome byte for byte (results and per-query stats).
+    #[test]
+    fn hub_label_batches_are_deterministic_across_thread_counts(seed in 0u64..1000) {
+        let graph = grid_map(&GridConfig { rows: 12, cols: 12, seed, ..Default::default() });
+        let points = place_points_on_nodes(&graph, 0.08, seed + 1);
+        prop_assert!(!points.nodes().is_empty());
+        let index = HubLabelIndex::build(&graph, &points);
+        let queries = sample_node_queries(&points, 8, seed + 2);
+        let workload = Workload::uniform(Algorithm::HubLabel, 2, queries.iter().copied());
+
+        let sequential =
+            QueryEngine::new(&graph, &points).with_hub_labels(&index).run_batch(&workload);
+        for threads in [2usize, 8] {
+            let parallel = QueryEngine::new(&graph, &points)
+                .with_hub_labels(&index)
+                .with_threads(threads)
+                .run_batch(&workload);
+            prop_assert_eq!(&parallel.results, &sequential.results, "threads={}", threads);
+            prop_assert_eq!(parallel.aggregate, sequential.aggregate, "threads={}", threads);
+        }
+    }
+}
+
+/// Steady-state label queries recycle scratch buffers instead of allocating:
+/// after the warm-up query, `Scratch::created` stays flat.
+#[test]
+fn steady_state_label_queries_are_allocation_free() {
+    let graph = grid_map(&GridConfig { rows: 15, cols: 15, seed: 3, ..Default::default() });
+    let points = place_points_on_nodes(&graph, 0.05, 4);
+    let index = HubLabelIndex::build(&graph, &points);
+    let queries = sample_node_queries(&points, 8, 5);
+
+    let mut scratch = Scratch::new();
+    let warmup: Vec<_> = queries.iter().map(|&q| index.rknn_in(q, 2, &mut scratch)).collect();
+    let created = scratch.created();
+    for _ in 0..10 {
+        for (i, &q) in queries.iter().enumerate() {
+            assert_eq!(index.rknn_in(q, 2, &mut scratch), warmup[i]);
+        }
+    }
+    assert_eq!(scratch.created(), created, "steady state must not allocate new buffers");
+    assert!(scratch.reuses() > 0);
+}
+
+/// The labeling of a graph is reusable across point sets, and the index
+/// agrees with eager on the second point set too.
+#[test]
+fn labeling_reuse_across_point_sets_stays_correct() {
+    let graph = grid_map(&GridConfig { rows: 12, cols: 12, seed: 7, ..Default::default() });
+    let labeling = HubLabeling::build(&graph);
+    for (density, seed) in [(0.05, 8), (0.15, 9)] {
+        let points = place_points_on_nodes(&graph, density, seed);
+        let index = HubLabelIndex::from_labeling(labeling.clone(), &points);
+        assert_eq!(index.num_points(), points.num_points());
+        for q in sample_node_queries(&points, 6, seed + 1) {
+            let via_labels = index.rknn(q, 1);
+            let via_eager = eager::eager_rknn(&graph, &points, q, 1);
+            assert_eq!(via_labels.points, via_eager.points, "density {density} q={q}");
+        }
+    }
+}

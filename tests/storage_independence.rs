@@ -6,7 +6,7 @@ mod common;
 
 use common::restricted_instance;
 use proptest::prelude::*;
-use rnn_core::{naive, run_rknn, Algorithm};
+use rnn_core::{naive, run_rknn, Algorithm, Precomputed};
 use rnn_graph::Topology;
 use rnn_storage::{BufferPool, FileDisk, IoCounters, LayoutStrategy, PageLayout, PagedGraph};
 
@@ -27,7 +27,7 @@ proptest! {
         let paged = PagedGraph::build_with(&inst.graph, layout, buffer, IoCounters::new())
             .expect("paged graph");
         for algo in [Algorithm::Eager, Algorithm::Lazy, Algorithm::LazyExtendedPruning, Algorithm::Naive] {
-            let out = run_rknn(algo, &paged, &inst.points, None, inst.query, inst.k);
+            let out = run_rknn(algo, &paged, &inst.points, Precomputed::none(), inst.query, inst.k);
             prop_assert_eq!(&out.points, &reference.points, "{} on {:?}/{} pages", algo, layout, buffer);
         }
         // I/O sanity: every access either hits or faults, and faults never
@@ -62,7 +62,7 @@ proptest! {
                 IoCounters::new(),
             )
             .expect("paged graph");
-            let _ = run_rknn(Algorithm::Lazy, &paged, &inst.points, None, inst.query, inst.k);
+            let _ = run_rknn(Algorithm::Lazy, &paged, &inst.points, Precomputed::none(), inst.query, inst.k);
             paged.io_stats()
         };
         let tiny = run_with_buffer(1);
