@@ -9,6 +9,7 @@ use rnn_core::Algorithm;
 use rnn_datagen::{
     place_points_on_nodes, sample_node_queries, spatial_road_network, SpatialConfig,
 };
+use rnn_storage::BufferPoolConfig;
 
 fn bench(c: &mut Criterion) {
     let net = spatial_road_network(&SpatialConfig { num_nodes: 5_000, ..Default::default() });
@@ -23,6 +24,21 @@ fn bench(c: &mut Criterion) {
                 b.iter(|| measure_restricted(algo, &workload, None, 1))
             });
         }
+    }
+    // The striped serving configuration: same 256-page capacity over 8
+    // independently locked shards (single-threaded here, this measures the
+    // sharding overhead on the sequential path — the concurrency win is
+    // measured by `repro paged-scaling`).
+    let striped = Workload::with_buffer_config(
+        net.graph.clone(),
+        points.clone(),
+        queries.clone(),
+        BufferPoolConfig::new(256).with_shards(8),
+    );
+    for algo in [Algorithm::Eager, Algorithm::Lazy] {
+        group.bench_function(format!("{algo}/buffer=256x8shards"), |b| {
+            b.iter(|| measure_restricted(algo, &striped, None, 1))
+        });
     }
     group.finish();
 }

@@ -20,6 +20,8 @@ use rnn_datagen::{
 };
 use rnn_graph::{NodeId, PointsOnNodes};
 use rnn_index::HubLabelIndex;
+use rnn_storage::buffer::DEFAULT_BUFFER_PAGES;
+use rnn_storage::{BufferPoolConfig, IoCounters, IoStats, LayoutStrategy, PagedGraph};
 
 const SEED: u64 = 42;
 
@@ -488,6 +490,88 @@ pub fn throughput(scale: Scale) -> Report {
     report
 }
 
+/// Batch query throughput versus worker thread count on the **paged**
+/// backend: all workers share one sharded buffer pool (grid map, D = 0.01,
+/// k = 1, 256-page pool striped over 8 shards).
+///
+/// This is the disk-resident serving scenario the striped storage path
+/// exists for: before sharding, every page access of every worker funneled
+/// through one buffer-pool mutex and one I/O-counter mutex. Results are
+/// asserted identical across thread counts *and* identical to the in-memory
+/// backend before any number is reported (storage affects cost, never
+/// answers); speedups depend on the machine's core count.
+pub fn paged_scaling(scale: Scale) -> Report {
+    let nodes = scale.pick(10_000, 40_000);
+    let graph = grid_map(&GridConfig::with_nodes(nodes, 4.0, SEED));
+    let points = place_points_on_nodes(&graph, 0.01, SEED + 1);
+    let query_nodes = sample_node_queries(&points, scale.pick(64, 200), SEED + 2);
+    let algos = [Algorithm::Eager, Algorithm::Lazy];
+    let shards = 8;
+
+    let counters = IoCounters::new();
+    let paged = PagedGraph::build_with_config(
+        &graph,
+        LayoutStrategy::BfsLocality,
+        BufferPoolConfig::new(DEFAULT_BUFFER_PAGES).with_shards(shards),
+        counters.clone(),
+    )
+    .expect("paged graph");
+
+    let mut columns: Vec<String> = algos
+        .iter()
+        .flat_map(|a| [format!("{} q/s", a.short_name()), format!("{} speedup", a.short_name())])
+        .collect();
+    columns.push("hit ratio".into());
+    let mut report = Report::new(
+        "Paged scaling",
+        format!(
+            "batch throughput vs worker threads on the paged backend (grid map, |V|={nodes}, \
+             D=0.01, k=1, shared {DEFAULT_BUFFER_PAGES}-page pool, {} shards, {} queries)",
+            paged.buffer().num_shards(),
+            query_nodes.len()
+        ),
+        "threads",
+        columns,
+    );
+
+    // The in-memory reference the paged results must reproduce exactly.
+    let mut reference = Vec::new();
+    for &algorithm in &algos {
+        let workload = QueryWorkload::uniform(algorithm, 1, query_nodes.iter().copied());
+        reference.push(QueryEngine::new(&graph, &points).run_batch(&workload).results);
+    }
+
+    let mut baseline_qps = vec![0.0f64; algos.len()];
+    for threads in [1usize, 2, 4, 8] {
+        let mut values = Vec::new();
+        let mut io = IoStats::default();
+        for (i, &algorithm) in algos.iter().enumerate() {
+            paged.cold_start();
+            let engine =
+                QueryEngine::new(&paged, &points).with_io_counters(&counters).with_threads(threads);
+            let workload = QueryWorkload::uniform(algorithm, 1, query_nodes.iter().copied());
+            let start = std::time::Instant::now();
+            let batch = engine.run_batch(&workload);
+            let seconds = start.elapsed().as_secs_f64().max(1e-9);
+            assert_eq!(
+                batch.results, reference[i],
+                "{algorithm} at {threads} threads on the paged backend must reproduce the \
+                 in-memory results"
+            );
+            io += batch.aggregate_io;
+            let qps = workload.len() as f64 / seconds;
+            if threads == 1 {
+                baseline_qps[i] = qps;
+            }
+            values.push(qps);
+            values.push(qps / baseline_qps[i]);
+        }
+        values.push(io.hit_ratio());
+        report.push_row(format!("{threads}"), values);
+    }
+    report
+}
+
 /// Hub-label index: construction cost, label size and label-vs-expansion
 /// query latency on grid and BRITE graphs (in-memory backend).
 ///
@@ -582,7 +666,7 @@ pub fn index(scale: Scale) -> Report {
 
 /// All experiment ids: the paper's tables and figures, then the serving
 /// experiments added on top.
-pub const ALL_EXPERIMENTS: [&str; 14] = [
+pub const ALL_EXPERIMENTS: [&str; 15] = [
     "table1",
     "table2",
     "fig15",
@@ -596,6 +680,7 @@ pub const ALL_EXPERIMENTS: [&str; 14] = [
     "fig22a",
     "fig22b",
     "throughput",
+    "paged-scaling",
     "index",
 ];
 
@@ -615,6 +700,7 @@ pub fn run_by_name(name: &str, scale: Scale) -> Option<Report> {
         "fig22a" => fig22a_update_density(scale),
         "fig22b" => fig22b_update_k(scale),
         "throughput" => throughput(scale),
+        "paged-scaling" => paged_scaling(scale),
         "index" => index(scale),
         _ => return None,
     };
@@ -644,6 +730,7 @@ mod tests {
                 "fig22a",
                 "fig22b",
                 "throughput",
+                "paged-scaling",
                 "index"
             ]
             .contains(&name));

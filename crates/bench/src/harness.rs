@@ -9,7 +9,7 @@ use rnn_core::unrestricted::{
 use rnn_core::{run_rknn, Algorithm, Precomputed};
 use rnn_graph::{EdgePointSet, Graph, NodeId, NodePointSet, PointId, Route};
 use rnn_index::HubLabelIndex;
-use rnn_storage::{IoCounters, IoStats, LayoutStrategy, PagedGraph};
+use rnn_storage::{BufferPoolConfig, IoCounters, IoStats, LayoutStrategy, PagedGraph};
 use std::time::{Duration, Instant};
 
 /// Experiment scale: laptop-friendly or the paper's cardinalities.
@@ -56,17 +56,29 @@ impl Workload {
         Self::with_buffer(graph, points, queries, 256)
     }
 
-    /// Builds a workload with an explicit buffer capacity (in pages).
+    /// Builds a workload with an explicit buffer capacity (in pages) and a
+    /// single-shard pool (the paper's exact victim order).
     pub fn with_buffer(
         graph: Graph,
         points: NodePointSet,
         queries: Vec<NodeId>,
         buffer_pages: usize,
     ) -> Self {
-        let paged = PagedGraph::build_with(
+        Self::with_buffer_config(graph, points, queries, BufferPoolConfig::new(buffer_pages))
+    }
+
+    /// Builds a workload with full buffer control (capacity and shard
+    /// count), for measuring the striped serving configurations.
+    pub fn with_buffer_config(
+        graph: Graph,
+        points: NodePointSet,
+        queries: Vec<NodeId>,
+        config: BufferPoolConfig,
+    ) -> Self {
+        let paged = PagedGraph::build_with_config(
             &graph,
             LayoutStrategy::BfsLocality,
-            buffer_pages,
+            config,
             IoCounters::new(),
         )
         .expect("paged graph construction");

@@ -3,10 +3,16 @@
 //! ReHub-style serving workloads repeat queries: the same hot nodes are asked
 //! for their reverse neighbors over and over (popular locations, periodic
 //! monitoring). [`ResultCache`] memoizes whole [`RknnOutcome`]s keyed by
-//! `(algorithm, query node, k)` in a classic doubly-linked LRU bounded by a
-//! fixed capacity; [`crate::engine::QueryEngine::with_result_cache`] turns it
-//! on (it is **off by default** — caching never changes results, but batch
-//! workloads that measure per-query work want every query executed).
+//! `(algorithm, query node, k)` in an LRU bounded by a fixed capacity;
+//! [`crate::engine::QueryEngine::with_result_cache`] turns it on (it is
+//! **off by default** — caching never changes results, but batch workloads
+//! that measure per-query work want every query executed).
+//!
+//! The recency structure is the workspace's shared [`rnn_storage::Lru`] —
+//! the same slot-vector implementation the buffer pool stripes — with the
+//! crate's [`FastHasher`] for the small tuple keys. The engine stripes the
+//! cache across independently locked shards the same way the buffer pool
+//! does (see `QueryEngine::with_result_cache_sharded`).
 //!
 //! Because every algorithm is deterministic for a fixed topology and point
 //! set, a cached outcome is byte-identical to a recomputed one (result set
@@ -14,9 +20,11 @@
 //! counters ([`CacheStats`]) and latency — never answers.
 
 use crate::dispatch::Algorithm;
-use crate::fast_hash::FastMap;
+use crate::fast_hash::FastHasher;
 use crate::query::RknnOutcome;
 use rnn_graph::NodeId;
+use rnn_storage::Lru;
+use std::hash::BuildHasherDefault;
 use std::ops::AddAssign;
 use std::sync::Arc;
 
@@ -52,37 +60,29 @@ impl CacheStats {
     }
 }
 
-impl AddAssign for CacheStats {
-    fn add_assign(&mut self, other: CacheStats) {
+impl AddAssign<&CacheStats> for CacheStats {
+    fn add_assign(&mut self, other: &CacheStats) {
         self.hits += other.hits;
         self.misses += other.misses;
+    }
+}
+
+impl AddAssign for CacheStats {
+    fn add_assign(&mut self, other: CacheStats) {
+        *self += &other;
     }
 }
 
 /// The cache key: one entry per distinct query the engine can serve.
 pub(crate) type CacheKey = (Algorithm, NodeId, usize);
 
-const NIL: usize = usize::MAX;
-
-struct Slot {
-    key: CacheKey,
-    value: Arc<RknnOutcome>,
-    prev: usize,
-    next: usize,
-}
-
 /// A bounded least-recently-used map from [`CacheKey`] to [`RknnOutcome`].
 ///
-/// Slots live in a `Vec` linked into a recency list by index; the map points
-/// keys at slots. All operations are O(1) expected. Values are `Arc`-shared
-/// so lookups under the engine's cache mutex hand out a reference count, not
-/// a copy of the result vector — workers clone the data outside the lock.
+/// A thin wrapper over the shared [`Lru`]: values are `Arc`-shared so
+/// lookups under the engine's shard mutex hand out a reference count, not a
+/// copy of the result vector — workers clone the data outside the lock.
 pub(crate) struct ResultCache {
-    capacity: usize,
-    map: FastMap<CacheKey, usize>,
-    slots: Vec<Slot>,
-    head: usize,
-    tail: usize,
+    lru: Lru<CacheKey, Arc<RknnOutcome>, BuildHasherDefault<FastHasher>>,
 }
 
 impl ResultCache {
@@ -93,76 +93,24 @@ impl ResultCache {
     /// never constructs the cache).
     pub(crate) fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "a result cache needs capacity >= 1");
-        ResultCache {
-            capacity,
-            map: FastMap::default(),
-            slots: Vec::with_capacity(capacity.min(1024)),
-            head: NIL,
-            tail: NIL,
-        }
+        ResultCache { lru: Lru::new(capacity) }
     }
 
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
-        self.slots.len()
-    }
-
-    fn detach(&mut self, i: usize) {
-        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
-        if prev != NIL {
-            self.slots[prev].next = next;
-        } else {
-            self.head = next;
-        }
-        if next != NIL {
-            self.slots[next].prev = prev;
-        } else {
-            self.tail = prev;
-        }
-    }
-
-    fn push_front(&mut self, i: usize) {
-        self.slots[i].prev = NIL;
-        self.slots[i].next = self.head;
-        if self.head != NIL {
-            self.slots[self.head].prev = i;
-        } else {
-            self.tail = i;
-        }
-        self.head = i;
+        self.lru.len()
     }
 
     /// Returns a handle to the cached outcome (an O(1) `Arc` clone) and
     /// marks the entry most recently used.
     pub(crate) fn get(&mut self, key: &CacheKey) -> Option<Arc<RknnOutcome>> {
-        let &i = self.map.get(key)?;
-        self.detach(i);
-        self.push_front(i);
-        Some(Arc::clone(&self.slots[i].value))
+        self.lru.get(key).map(Arc::clone)
     }
 
     /// Inserts (or refreshes) an entry, evicting the least recently used one
     /// when at capacity.
     pub(crate) fn insert(&mut self, key: CacheKey, value: Arc<RknnOutcome>) {
-        if let Some(&i) = self.map.get(&key) {
-            self.slots[i].value = value;
-            self.detach(i);
-            self.push_front(i);
-            return;
-        }
-        let i = if self.slots.len() < self.capacity {
-            self.slots.push(Slot { key, value, prev: NIL, next: NIL });
-            self.slots.len() - 1
-        } else {
-            let victim = self.tail;
-            self.detach(victim);
-            self.map.remove(&self.slots[victim].key);
-            self.slots[victim].key = key;
-            self.slots[victim].value = value;
-            victim
-        };
-        self.map.insert(key, i);
-        self.push_front(i);
+        self.lru.insert(key, value);
     }
 }
 
@@ -238,6 +186,9 @@ mod tests {
         assert_eq!(s.since(&earlier), CacheStats { hits: 2, misses: 0 });
         s += CacheStats { hits: 1, misses: 2 };
         assert_eq!(s, CacheStats { hits: 4, misses: 3 });
+        let mut by_ref = CacheStats::default();
+        by_ref += &s;
+        assert_eq!(by_ref, s, "AddAssign by reference matches by value");
     }
 
     #[test]

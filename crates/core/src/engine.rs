@@ -18,7 +18,11 @@
 //! * an optional bounded LRU ([`QueryEngine::with_result_cache`], off by
 //!   default) memoizes whole outcomes keyed by `(algorithm, query, k)` for
 //!   repeated-query workloads, with hit/miss counters in
-//!   [`BatchOutcome::cache`];
+//!   [`BatchOutcome::cache`]; the capacity can be striped over
+//!   independently locked shards
+//!   ([`QueryEngine::with_result_cache_sharded`]) so concurrent workers
+//!   looking up distinct keys never contend, mirroring the striped buffer
+//!   pool one layer down — both sit on the one shared [`rnn_storage::Lru`];
 //! * [`QueryEngine::run_batch`] executes a [`Workload`] across a configurable
 //!   number of threads with **deterministic, input-order results**: queries
 //!   are independent, so the result and [`QueryStats`] of each query are
@@ -29,15 +33,18 @@
 //! is why [`Topology`] and [`rnn_graph::PointsOnNodes`] require `Sync` and
 //! why `rnn-storage`'s buffer pool and I/O counters are thread-safe.
 
-use crate::cache::{CacheStats, ResultCache};
+use crate::cache::{CacheKey, CacheStats, ResultCache};
 use crate::dispatch::Algorithm;
+use crate::fast_hash::FastHasher;
 use crate::materialize::MaterializedKnn;
 use crate::precomputed::{HubLabelRknn, Precomputed};
 use crate::query::{QueryStats, RknnOutcome};
 use crate::scratch::Scratch;
 use crate::{eager, lazy, lazy_ep, materialize, naive};
 use rnn_graph::{NodeId, PointsOnNodes, Topology};
+use rnn_storage::lru::mix64;
 use rnn_storage::{IoCounters, IoStats};
+use std::hash::{BuildHasher, BuildHasherDefault};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -215,14 +222,39 @@ pub struct BatchOutcome {
     pub cache: CacheStats,
 }
 
-/// The memoization state attached by [`QueryEngine::with_result_cache`].
+/// The memoization state attached by [`QueryEngine::with_result_cache`]:
+/// the capacity split across independently locked LRU shards (the same
+/// striping scheme as `rnn-storage`'s buffer pool — `mix64(hash(key))`
+/// masked by the power-of-two shard count), plus global hit/miss counters.
 struct CacheState {
-    lru: Mutex<ResultCache>,
+    shards: Vec<Mutex<ResultCache>>,
+    mask: usize,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl CacheState {
+    /// Builds the shard vector, normalizing and splitting with the same
+    /// `rnn_storage::lru` rules the buffer pool stripes by. Callers
+    /// guarantee `capacity > 0`, so every shard capacity is at least 1.
+    fn new(capacity: usize, shards: usize) -> Self {
+        let shards: Vec<Mutex<ResultCache>> = rnn_storage::lru::split_capacity(capacity, shards)
+            .into_iter()
+            .map(|c| Mutex::new(ResultCache::new(c)))
+            .collect();
+        CacheState {
+            mask: shards.len() - 1,
+            shards,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<ResultCache> {
+        let hash = BuildHasherDefault::<FastHasher>::default().hash_one(key);
+        &self.shards[(mix64(hash) as usize) & self.mask]
+    }
+
     fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -301,20 +333,35 @@ impl<'a> QueryEngine<'a> {
         self
     }
 
-    /// Enables memoization of whole query outcomes in an LRU bounded at
-    /// `capacity` entries, keyed by `(algorithm, query node, k)`. A capacity
-    /// of zero leaves caching disabled.
+    /// Enables memoization of whole query outcomes in a single-shard LRU
+    /// bounded at `capacity` entries, keyed by `(algorithm, query node, k)`.
+    /// A capacity of zero leaves caching disabled.
     ///
     /// Off by default: caching never changes results (every algorithm is
     /// deterministic, so a hit returns exactly what recomputation would),
     /// but workloads that measure per-query work want every query executed.
-    pub fn with_result_cache(mut self, capacity: usize) -> Self {
-        self.cache = (capacity > 0).then(|| CacheState {
-            lru: Mutex::new(ResultCache::new(capacity)),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-        });
+    pub fn with_result_cache(self, capacity: usize) -> Self {
+        self.with_result_cache_sharded(capacity, 1)
+    }
+
+    /// Like [`QueryEngine::with_result_cache`], with the capacity striped
+    /// over `shards` independently locked LRU shards (rounded up to a power
+    /// of two and capped so every shard holds at least one entry), so
+    /// concurrent workers looking up distinct keys never contend on one
+    /// cache lock. Rule of thumb: one shard per worker thread.
+    ///
+    /// Sharding only changes lock granularity — hits, misses and eviction
+    /// order within a key's shard are unaffected for a fixed capacity split,
+    /// and results never change either way.
+    pub fn with_result_cache_sharded(mut self, capacity: usize, shards: usize) -> Self {
+        self.cache = (capacity > 0).then(|| CacheState::new(capacity, shards));
         self
+    }
+
+    /// The number of independently locked result-cache shards (0 when no
+    /// cache is attached).
+    pub fn cache_shards(&self) -> usize {
+        self.cache.as_ref().map(|c| c.shards.len()).unwrap_or(0)
     }
 
     /// Sets the worker thread count for [`QueryEngine::run_batch`]. Values
@@ -350,9 +397,11 @@ impl<'a> QueryEngine<'a> {
             return self.run_uncached(spec, scratch);
         };
         let key = (spec.algorithm, spec.query, spec.k);
-        // A hit hands out an Arc under the lock (O(1)); the result data is
-        // cloned only after the lock is released.
-        let hit = cache.lru.lock().expect("result cache lock").get(&key);
+        // Only the key's shard is locked. A hit hands out an Arc under the
+        // shard lock (O(1)); the result data is cloned only after the lock
+        // is released.
+        let shard = cache.shard(&key);
+        let hit = shard.lock().expect("result cache lock").get(&key);
         if let Some(hit) = hit {
             cache.hits.fetch_add(1, Ordering::Relaxed);
             return (*hit).clone();
@@ -361,11 +410,7 @@ impl<'a> QueryEngine<'a> {
         // computes the identical outcome twice and inserts it twice.
         let outcome = self.run_uncached(spec, scratch);
         cache.misses.fetch_add(1, Ordering::Relaxed);
-        cache
-            .lru
-            .lock()
-            .expect("result cache lock")
-            .insert(key, std::sync::Arc::new(outcome.clone()));
+        shard.lock().expect("result cache lock").insert(key, std::sync::Arc::new(outcome.clone()));
         outcome
     }
 
@@ -658,6 +703,58 @@ mod tests {
         let out = disabled.run_batch(&workload);
         assert_eq!(out.results, plain.results);
         assert_eq!(disabled.cache_stats(), CacheStats::default());
+        assert_eq!(disabled.cache_shards(), 0, "no cache, no shards");
+    }
+
+    #[test]
+    fn sharded_result_cache_stays_exact_and_normalizes_shard_counts() {
+        let (g, pts, table) = setup();
+        let reference = QueryEngine::new(&g, &pts).with_materialized(&table);
+        let mut specs = Vec::new();
+        for _ in 0..3 {
+            for &node in pts.nodes() {
+                specs.push(QuerySpec { algorithm: Algorithm::Eager, query: node, k: 2 });
+            }
+        }
+        let workload = Workload { queries: specs };
+        let plain = reference.run_batch(&workload);
+
+        // Shard counts are rounded to a power of two and capped by capacity;
+        // results are always shard-invariant, and the (single-threaded)
+        // hit/miss totals too while every shard's slice of the capacity
+        // still holds its share of the working set (12 keys over <= 8
+        // shards of a 64-entry cache).
+        for (requested, effective) in [(1usize, 1usize), (3, 4), (8, 8)] {
+            let cached = QueryEngine::new(&g, &pts)
+                .with_materialized(&table)
+                .with_result_cache_sharded(64, requested);
+            assert_eq!(cached.cache_shards(), effective, "requested {requested}");
+            let memoized = cached.run_batch(&workload);
+            assert_eq!(memoized.results, plain.results, "{requested} shards");
+            assert_eq!(memoized.cache.misses, pts.nodes().len() as u64);
+            assert_eq!(memoized.cache.hits, 2 * pts.nodes().len() as u64);
+        }
+        // Saturated striping (64 shards of one entry each) keeps results
+        // exact even when same-shard keys evict each other.
+        let saturated =
+            QueryEngine::new(&g, &pts).with_materialized(&table).with_result_cache_sharded(64, 64);
+        assert_eq!(saturated.cache_shards(), 64);
+        let out = saturated.run_batch(&workload);
+        assert_eq!(out.results, plain.results);
+        assert_eq!(out.cache.lookups(), workload.len() as u64);
+        // More shards than capacity collapses to the capacity.
+        let tiny =
+            QueryEngine::new(&g, &pts).with_materialized(&table).with_result_cache_sharded(2, 16);
+        assert_eq!(tiny.cache_shards(), 2);
+        // An 8-thread pool over the sharded cache still never changes
+        // results.
+        let racing = QueryEngine::new(&g, &pts)
+            .with_materialized(&table)
+            .with_result_cache_sharded(16, 8)
+            .with_threads(8);
+        let out = racing.run_batch(&workload);
+        assert_eq!(out.results, plain.results);
+        assert_eq!(out.cache.lookups(), workload.len() as u64);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! LRU buffer manager.
+//! Striped LRU buffer manager.
 //!
 //! The experiments in the paper use an LRU buffer of 1 MB (256 pages of
 //! 4 KB); Fig. 21 varies the buffer between 0 and 1024 pages. [`BufferPool`]
@@ -6,95 +6,185 @@
 //! recently used page when full, and records every access in the shared
 //! [`IoCounters`].
 //!
-//! The LRU list is an intrusive doubly-linked list over a slot vector, so
-//! both hits and evictions are `O(1)`.
+//! The pool is **sharded**: the capacity is split across a power-of-two
+//! number of independently locked [`Lru`] shards and every page id maps to
+//! exactly one shard (`mix64(page_id) & mask`), so concurrent fetches of
+//! pages in distinct shards never contend on a lock. With one shard
+//! (the default, and the only configuration before sharding existed) the
+//! pool is a single LRU whose victim order is bit-compatible with the
+//! paper's buffer; with N shards each shard runs the same exact LRU policy
+//! over its slice of the pages. Shard counts come from [`BufferPoolConfig`].
+//!
+//! Each shard keeps its own hit/fault/eviction counters ([`ShardStats`],
+//! reported by [`BufferPool::io_stats`] as a [`BufferPoolStats`] breakdown
+//! alongside the merged total); the shared [`IoCounters`] additionally
+//! attribute every access to the *recording thread* for per-query I/O
+//! accounting.
 
 use crate::disk::PageStore;
 use crate::error::StorageError;
 use crate::io_stats::{IoCounters, IoStats};
+use crate::lru::{mix64, Lru};
 use crate::page::{Page, PageId};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::ops::AddAssign;
 
 /// Number of pages in the paper's default 1 MB buffer.
 pub const DEFAULT_BUFFER_PAGES: usize = 256;
 
-const NIL: usize = usize::MAX;
-
-#[derive(Debug)]
-struct Slot {
-    page_id: PageId,
-    page: Page,
-    prev: usize,
-    next: usize,
+/// Configuration of a [`BufferPool`]: total capacity and shard count.
+///
+/// The shard count is normalized when the pool is built: it is rounded up to
+/// a power of two (so the shard of a page is one mask of its mixed id) and
+/// capped so that every shard holds at least one page — a 6-page pool asked
+/// for 8 shards gets 4, and any pool with capacity 0 gets a single (empty)
+/// shard. [`BufferPoolConfig::effective_shards`] exposes the normalized
+/// count.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BufferPoolConfig {
+    /// Total buffer capacity in pages, split across the shards.
+    pub capacity: usize,
+    /// Requested shard count (normalized to a power of two when building).
+    pub shards: usize,
 }
 
-#[derive(Debug, Default)]
-struct LruState {
-    slots: Vec<Slot>,
-    map: HashMap<PageId, usize>,
-    head: usize, // most recently used
-    tail: usize, // least recently used
-}
-
-impl LruState {
-    fn new() -> Self {
-        LruState { slots: Vec::new(), map: HashMap::new(), head: NIL, tail: NIL }
+impl BufferPoolConfig {
+    /// A single-shard pool of `capacity` pages — the classic configuration,
+    /// bit-compatible with the paper's single LRU list.
+    pub fn new(capacity: usize) -> Self {
+        BufferPoolConfig { capacity, shards: 1 }
     }
 
-    fn unlink(&mut self, idx: usize) {
-        let (prev, next) = (self.slots[idx].prev, self.slots[idx].next);
-        if prev != NIL {
-            self.slots[prev].next = next;
-        } else {
-            self.head = next;
-        }
-        if next != NIL {
-            self.slots[next].prev = prev;
-        } else {
-            self.tail = prev;
-        }
-        self.slots[idx].prev = NIL;
-        self.slots[idx].next = NIL;
+    /// Sets the requested shard count (see the type docs for normalization).
+    ///
+    /// Rule of thumb: one shard per concurrent worker thread rounded up to a
+    /// power of two; more shards than workers only costs a little capacity
+    /// granularity, while fewer serializes distinct-page fetches.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
     }
 
-    fn push_front(&mut self, idx: usize) {
-        self.slots[idx].prev = NIL;
-        self.slots[idx].next = self.head;
-        if self.head != NIL {
-            self.slots[self.head].prev = idx;
-        }
-        self.head = idx;
-        if self.tail == NIL {
-            self.tail = idx;
-        }
+    /// The paper's default: 256 pages, one shard.
+    pub fn paper_default() -> Self {
+        Self::new(DEFAULT_BUFFER_PAGES)
     }
 
-    fn touch(&mut self, idx: usize) {
-        if self.head == idx {
-            return;
-        }
-        self.unlink(idx);
-        self.push_front(idx);
+    /// The shard count the pool will actually use: `shards` rounded up to a
+    /// power of two, then halved until every shard gets at least one page of
+    /// `capacity` (always at least 1).
+    pub fn effective_shards(&self) -> usize {
+        crate::lru::normalized_shards(self.capacity, self.shards)
+    }
+
+    /// Per-shard capacities: `capacity` split as evenly as the shard count
+    /// allows (the first `capacity % shards` shards get one extra page).
+    fn shard_capacities(&self) -> Vec<usize> {
+        crate::lru::split_capacity(self.capacity, self.shards)
     }
 }
 
-/// An LRU page buffer on top of a [`PageStore`].
+impl Default for BufferPoolConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Hit/fault/eviction counters of one buffer shard (or their sum).
+///
+/// `hits + faults` is the shard's access count. Like [`IoStats`] and the
+/// engine's `QueryStats`, snapshots add with `+=` so per-shard breakdowns
+/// fold into totals without ad-hoc summation code.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Accesses served from the shard's LRU.
+    pub hits: u64,
+    /// Accesses that missed and read from the store.
+    pub faults: u64,
+    /// Pages evicted to make room for a faulted page.
+    pub evictions: u64,
+}
+
+impl ShardStats {
+    /// Total accesses routed to this shard.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.faults
+    }
+
+    /// The same counts as an [`IoStats`] snapshot (for comparison with the
+    /// thread-attributed [`IoCounters`] totals).
+    pub fn as_io_stats(&self) -> IoStats {
+        IoStats { accesses: self.accesses(), faults: self.faults, evictions: self.evictions }
+    }
+}
+
+impl AddAssign<&ShardStats> for ShardStats {
+    fn add_assign(&mut self, other: &ShardStats) {
+        self.hits += other.hits;
+        self.faults += other.faults;
+        self.evictions += other.evictions;
+    }
+}
+
+impl AddAssign for ShardStats {
+    fn add_assign(&mut self, other: ShardStats) {
+        *self += &other;
+    }
+}
+
+/// A consistent snapshot of a pool's counters: the per-shard breakdown and
+/// the merged total. Taken with every shard lock held, so it never shows a
+/// half-cleared pool.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BufferPoolStats {
+    /// One entry per shard, in shard order.
+    pub per_shard: Vec<ShardStats>,
+    /// The sum of `per_shard`.
+    pub total: ShardStats,
+}
+
+/// One independently locked slice of the pool: an LRU over the pages whose
+/// mixed id maps here, plus this shard's counters. Counters live *inside*
+/// the lock — every read and write happens under the shard's guard — which
+/// is what makes [`BufferPool::clear`] (all guards held) atomic with the
+/// pages by construction.
+struct ShardState {
+    lru: Lru<PageId, Page>,
+    stats: ShardStats,
+}
+
+type Shard = Mutex<ShardState>;
+
+fn new_shard(capacity: usize) -> Shard {
+    Mutex::new(ShardState { lru: Lru::new(capacity), stats: ShardStats::default() })
+}
+
+/// A striped LRU page buffer on top of a [`PageStore`].
 pub struct BufferPool<S> {
     store: S,
     capacity: usize,
-    state: Mutex<LruState>,
+    mask: usize, // shards.len() - 1; shards.len() is a power of two
+    shards: Vec<Shard>,
     counters: IoCounters,
 }
 
 impl<S: PageStore> BufferPool<S> {
-    /// Creates a buffer of `capacity` pages over `store`, reporting I/O into
-    /// `counters`.
+    /// Creates a **single-shard** buffer of `capacity` pages over `store`,
+    /// reporting I/O into `counters` — the exact buffer of the paper's
+    /// experiments (one LRU list, one victim order).
     ///
     /// A capacity of 0 disables caching entirely: every access is a fault
     /// (this is the leftmost point of Fig. 21).
     pub fn new(store: S, capacity: usize, counters: IoCounters) -> Self {
-        BufferPool { store, capacity, state: Mutex::new(LruState::new()), counters }
+        Self::with_config(store, BufferPoolConfig::new(capacity), counters)
+    }
+
+    /// Creates a buffer from a [`BufferPoolConfig`] (capacity split across
+    /// the normalized shard count).
+    pub fn with_config(store: S, config: BufferPoolConfig, counters: IoCounters) -> Self {
+        let shards: Vec<Shard> = config.shard_capacities().into_iter().map(new_shard).collect();
+        debug_assert!(shards.len().is_power_of_two());
+        BufferPool { store, capacity: config.capacity, mask: shards.len() - 1, shards, counters }
     }
 
     /// Creates a buffer with the paper's default capacity of 256 pages.
@@ -102,14 +192,27 @@ impl<S: PageStore> BufferPool<S> {
         Self::new(store, DEFAULT_BUFFER_PAGES, counters)
     }
 
-    /// The buffer capacity in pages.
+    /// The total buffer capacity in pages.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
-    /// Number of pages currently resident.
+    /// The number of independently locked shards (a power of two).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `page_id` maps to.
+    pub fn shard_of(&self, page_id: PageId) -> usize {
+        (mix64(page_id.0 as u64) as usize) & self.mask
+    }
+
+    /// Number of pages currently resident, summed over all shards with every
+    /// shard lock held — so a concurrent [`BufferPool::clear`] is seen either
+    /// entirely or not at all, never half-applied.
     pub fn resident_pages(&self) -> usize {
-        self.state.lock().slots.len()
+        let guards = self.lock_all();
+        guards.iter().map(|g| g.lru.len()).sum()
     }
 
     /// The shared I/O counters this pool reports into.
@@ -117,15 +220,63 @@ impl<S: PageStore> BufferPool<S> {
         &self.counters
     }
 
-    /// Convenience accessor for the current I/O snapshot.
-    pub fn io_stats(&self) -> IoStats {
-        self.counters.snapshot()
+    /// A consistent snapshot of the pool's own counters: per-shard
+    /// hit/fault/eviction breakdowns plus the merged total. When the
+    /// [`IoCounters`] are exclusive to this pool, `total.as_io_stats()`
+    /// equals their snapshot.
+    pub fn io_stats(&self) -> BufferPoolStats {
+        let guards = self.lock_all();
+        let per_shard: Vec<ShardStats> = guards.iter().map(|g| g.stats).collect();
+        drop(guards);
+        let mut total = ShardStats::default();
+        for s in &per_shard {
+            total += s;
+        }
+        BufferPoolStats { per_shard, total }
     }
 
-    /// Drops all resident pages (without touching the counters).
+    /// Drops all resident pages and zeroes the per-shard counters, holding
+    /// every shard lock for the duration: concurrent readers observe either
+    /// the pre-clear pool or the empty one, never a torn mix.
+    ///
+    /// The shared [`IoCounters`] are *not* touched (they may be shared with
+    /// other pools and carry per-thread attribution); use
+    /// [`BufferPool::clear_and_reset`] to reset both systems atomically.
     pub fn clear(&self) {
-        let mut st = self.state.lock();
-        *st = LruState::new();
+        let guards = self.lock_all();
+        self.clear_locked(guards);
+    }
+
+    /// [`BufferPool::clear`] plus an [`IoCounters::reset`], with every shard
+    /// lock held across both: since `fetch` updates the two accounting
+    /// systems under its shard lock, an in-flight access lands either
+    /// entirely before or entirely after the combined reset — the pool-side
+    /// and thread-side totals can never be desynchronized by the race. This
+    /// is what `PagedGraph::cold_start` calls.
+    pub fn clear_and_reset(&self) {
+        let guards = self.lock_all();
+        self.counters.reset();
+        self.clear_locked(guards);
+    }
+
+    /// Zeroes both accounting systems — the per-shard counters and the
+    /// shared [`IoCounters`] — under every shard lock, leaving the resident
+    /// pages untouched. Keeps the two views in agreement the same way
+    /// [`BufferPool::clear_and_reset`] does; this is what
+    /// `PagedGraph::reset_io` calls.
+    pub fn reset_stats(&self) {
+        let mut guards = self.lock_all();
+        self.counters.reset();
+        for guard in guards.iter_mut() {
+            guard.stats = ShardStats::default();
+        }
+    }
+
+    fn clear_locked(&self, mut guards: Vec<std::sync::MutexGuard<'_, ShardState>>) {
+        for guard in guards.iter_mut() {
+            guard.lru.clear();
+            guard.stats = ShardStats::default();
+        }
     }
 
     /// The underlying page store.
@@ -133,21 +284,42 @@ impl<S: PageStore> BufferPool<S> {
         &self.store
     }
 
+    /// Locks every shard in index order (the one lock order in this module,
+    /// so multi-shard operations cannot deadlock against each other).
+    fn lock_all(&self) -> Vec<std::sync::MutexGuard<'_, ShardState>> {
+        self.shards.iter().map(|s| s.lock()).collect()
+    }
+
     /// Fetches a page through the buffer, recording the access.
+    ///
+    /// Only the one shard owning `page_id` is locked (never across the
+    /// store read): fetches of pages in distinct shards run concurrently.
     pub fn fetch(&self, page_id: PageId) -> Result<Page, StorageError> {
+        // Both accounting systems (the shard's own counters and the shared
+        // per-thread counters) are updated while the shard lock is held, so
+        // an access lands in both or — relative to a concurrent
+        // [`BufferPool::clear_and_reset`], which resets both under every
+        // shard lock — in neither. `record_access` itself is lock-free, so
+        // this adds no lock traffic.
         if self.capacity == 0 {
-            // No buffer at all: every access is a fault and nothing is cached.
+            // No buffer at all: every access is a fault and nothing is
+            // cached. Counted against the page's nominal shard.
             let page = self.store.read_page(page_id)?;
-            self.counters.record_access(true, false);
+            let shard = &self.shards[self.shard_of(page_id)];
+            {
+                let mut state = shard.lock();
+                state.stats.faults += 1;
+                self.counters.record_access(true, false);
+            }
             return Ok(page);
         }
 
+        let shard = &self.shards[self.shard_of(page_id)];
         {
-            let mut st = self.state.lock();
-            if let Some(&idx) = st.map.get(&page_id) {
-                st.touch(idx);
-                let page = st.slots[idx].page.clone();
-                drop(st);
+            let mut state = shard.lock();
+            if let Some(page) = state.lru.get(&page_id) {
+                let page = page.clone();
+                state.stats.hits += 1;
                 self.counters.record_access(false, false);
                 return Ok(page);
             }
@@ -155,32 +327,17 @@ impl<S: PageStore> BufferPool<S> {
 
         // Miss: read from the store outside the lock, then insert.
         let page = self.store.read_page(page_id)?;
-        let mut evicted = false;
         {
-            let mut st = self.state.lock();
-            // Re-check: another thread may have inserted the page meanwhile.
-            if let Some(&idx) = st.map.get(&page_id) {
-                st.touch(idx);
-            } else if st.slots.len() < self.capacity {
-                let idx = st.slots.len();
-                st.slots.push(Slot { page_id, page: page.clone(), prev: NIL, next: NIL });
-                st.map.insert(page_id, idx);
-                st.push_front(idx);
-            } else {
-                // Evict the least recently used slot and reuse it.
-                evicted = true;
-                let victim = st.tail;
-                debug_assert_ne!(victim, NIL, "non-zero capacity buffer has a tail");
-                st.unlink(victim);
-                let old_id = st.slots[victim].page_id;
-                st.map.remove(&old_id);
-                st.slots[victim].page_id = page_id;
-                st.slots[victim].page = page.clone();
-                st.map.insert(page_id, victim);
-                st.push_front(victim);
+            let mut state = shard.lock();
+            // Re-check: another thread may have inserted the page meanwhile
+            // (then this insert refreshes it and evicts nothing).
+            let evicted = state.lru.insert(page_id, page.clone()).is_some();
+            state.stats.faults += 1;
+            if evicted {
+                state.stats.evictions += 1;
             }
+            self.counters.record_access(true, evicted);
         }
-        self.counters.record_access(true, evicted);
         Ok(page)
     }
 }
@@ -189,8 +346,9 @@ impl<S: PageStore> std::fmt::Debug for BufferPool<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BufferPool")
             .field("capacity", &self.capacity)
+            .field("shards", &self.num_shards())
             .field("resident", &self.resident_pages())
-            .field("stats", &self.io_stats())
+            .field("stats", &self.io_stats().total)
             .finish()
     }
 }
@@ -217,6 +375,12 @@ mod tests {
         MemoryDisk::new(pages)
     }
 
+    /// The merged pool-side total as an [`IoStats`] (the shape the seed
+    /// tests asserted on).
+    fn totals<S: PageStore>(pool: &BufferPool<S>) -> IoStats {
+        pool.io_stats().total.as_io_stats()
+    }
+
     #[test]
     fn hits_and_faults_are_counted() {
         let pool = BufferPool::new(disk_with_pages(3), 2, IoCounters::new());
@@ -224,11 +388,13 @@ mod tests {
         pool.fetch(PageId(0)).unwrap(); // hit
         pool.fetch(PageId(1)).unwrap(); // fault
         pool.fetch(PageId(0)).unwrap(); // hit
-        let s = pool.io_stats();
+        let s = totals(&pool);
         assert_eq!(s.accesses, 4);
         assert_eq!(s.faults, 2);
         assert_eq!(s.evictions, 0);
         assert_eq!(pool.resident_pages(), 2);
+        // The pool-side counters agree with the thread-attributed ones.
+        assert_eq!(s, pool.counters().snapshot());
     }
 
     #[test]
@@ -238,13 +404,13 @@ mod tests {
         pool.fetch(PageId(1)).unwrap(); // fault, cache: [1, 0]
         pool.fetch(PageId(0)).unwrap(); // hit,   cache: [0, 1]
         pool.fetch(PageId(2)).unwrap(); // fault, evicts 1
-        let s = pool.io_stats();
+        let s = totals(&pool);
         assert_eq!(s.faults, 3);
         assert_eq!(s.evictions, 1);
         // 1 was evicted, 0 was kept
         pool.fetch(PageId(0)).unwrap(); // hit
         pool.fetch(PageId(1)).unwrap(); // fault again
-        let s = pool.io_stats();
+        let s = totals(&pool);
         assert_eq!(s.accesses, 6);
         assert_eq!(s.faults, 4);
     }
@@ -255,10 +421,11 @@ mod tests {
         for _ in 0..5 {
             pool.fetch(PageId(1)).unwrap();
         }
-        let s = pool.io_stats();
+        let s = totals(&pool);
         assert_eq!(s.accesses, 5);
         assert_eq!(s.faults, 5);
         assert_eq!(pool.resident_pages(), 0);
+        assert_eq!(pool.num_shards(), 1, "capacity 0 collapses to one empty shard");
     }
 
     #[test]
@@ -269,20 +436,26 @@ mod tests {
             for i in 0..10 {
                 pool.fetch(PageId(i)).unwrap();
             }
-            let s = pool.io_stats();
+            let s = totals(&pool);
             assert_eq!(s.faults, 10, "after round {round}");
         }
-        assert_eq!(pool.io_stats().accesses, 30);
+        assert_eq!(totals(&pool).accesses, 30);
     }
 
     #[test]
-    fn clear_drops_pages_but_keeps_counters() {
+    fn clear_drops_pages_and_shard_counters_but_keeps_shared_counters() {
         let pool = BufferPool::new(disk_with_pages(2), 2, IoCounters::new());
         pool.fetch(PageId(0)).unwrap();
         pool.clear();
         assert_eq!(pool.resident_pages(), 0);
+        assert_eq!(totals(&pool), IoStats::default(), "clear zeroes the pool-side counters");
         pool.fetch(PageId(0)).unwrap(); // faults again
-        assert_eq!(pool.io_stats().faults, 2);
+        assert_eq!(totals(&pool).faults, 1);
+        assert_eq!(
+            pool.counters().snapshot().faults,
+            2,
+            "the shared per-thread counters keep the cumulative history"
+        );
         assert!(format!("{pool:?}").contains("BufferPool"));
         assert_eq!(pool.store().num_pages(), 2);
     }
@@ -291,7 +464,8 @@ mod tests {
     fn out_of_bounds_pages_error_without_counting() {
         let pool = BufferPool::new(disk_with_pages(1), 2, IoCounters::new());
         assert!(pool.fetch(PageId(5)).is_err());
-        assert_eq!(pool.io_stats().accesses, 0);
+        assert_eq!(totals(&pool).accesses, 0);
+        assert_eq!(pool.counters().snapshot().accesses, 0);
     }
 
     #[test]
@@ -304,7 +478,7 @@ mod tests {
                 pool.fetch(PageId(i)).unwrap();
             }
         }
-        let s = pool.io_stats();
+        let s = totals(&pool);
         assert_eq!(s.accesses, 10);
         assert_eq!(s.faults, 10);
         assert_eq!(s.evictions, 7);
@@ -318,7 +492,7 @@ mod tests {
         pool.fetch(PageId(1)).unwrap(); // fault + eviction, resident: {1}
         pool.fetch(PageId(1)).unwrap(); // hit
         pool.fetch(PageId(0)).unwrap(); // fault + eviction again
-        let s = pool.io_stats();
+        let s = totals(&pool);
         assert_eq!(s.accesses, 5);
         assert_eq!(s.faults, 3);
         assert_eq!(s.evictions, 2);
@@ -347,8 +521,11 @@ mod tests {
     #[test]
     fn exact_lru_victim_sequence() {
         // Track the precise eviction order through a mixed hit/fault pattern.
+        // One shard: the pool must reproduce the seed's single-LRU victim
+        // order exactly.
         let pool = BufferPool::new(disk_with_pages(5), 3, IoCounters::new());
-        let faults = |pool: &BufferPool<MemoryDisk>| pool.io_stats().faults;
+        assert_eq!(pool.num_shards(), 1);
+        let faults = |pool: &BufferPool<MemoryDisk>| totals(pool).faults;
 
         pool.fetch(PageId(0)).unwrap(); // LRU order (MRU first): [0]
         pool.fetch(PageId(1)).unwrap(); // [1, 0]
@@ -362,35 +539,205 @@ mod tests {
         assert_eq!(faults(&pool), 5);
         pool.fetch(PageId(0)).unwrap(); // fault again: 0 was the LRU victim
         assert_eq!(faults(&pool), 6);
-        assert_eq!(pool.io_stats().evictions, 3);
+        assert_eq!(totals(&pool).evictions, 3);
     }
 
     #[test]
     fn concurrent_fetches_count_every_access_exactly_once() {
         use std::sync::Arc;
-        let pool = Arc::new(BufferPool::new(disk_with_pages(8), 4, IoCounters::new()));
-        let threads = 4;
-        let per_thread = 200;
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let pool = Arc::clone(&pool);
-                std::thread::spawn(move || {
-                    for i in 0..per_thread {
-                        let id = PageId(((t * 3 + i) % 8) as u32);
-                        let page = pool.fetch(id).unwrap();
-                        let records = page.records(id).unwrap();
-                        assert_eq!(records[0].node, NodeId(id.0));
-                    }
+        for shards in [1usize, 4] {
+            let config = BufferPoolConfig::new(4).with_shards(shards);
+            let pool =
+                Arc::new(BufferPool::with_config(disk_with_pages(8), config, IoCounters::new()));
+            assert_eq!(pool.num_shards(), shards);
+            let threads = 4;
+            let per_thread = 200;
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let pool = Arc::clone(&pool);
+                    std::thread::spawn(move || {
+                        for i in 0..per_thread {
+                            let id = PageId(((t * 3 + i) % 8) as u32);
+                            let page = pool.fetch(id).unwrap();
+                            let records = page.records(id).unwrap();
+                            assert_eq!(records[0].node, NodeId(id.0));
+                        }
+                    })
                 })
-            })
-            .collect();
-        for h in handles {
-            h.join().unwrap();
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let s = totals(&pool);
+            assert_eq!(s.accesses, (threads * per_thread) as u64);
+            assert!(s.faults >= 8, "each of the 8 pages faults at least once");
+            assert!(s.faults <= s.accesses);
+            assert!(pool.resident_pages() <= 4);
+            assert_eq!(
+                s,
+                pool.counters().snapshot(),
+                "pool-side and thread-attributed totals agree ({shards} shards)"
+            );
         }
-        let s = pool.io_stats();
-        assert_eq!(s.accesses, (threads * per_thread) as u64);
-        assert!(s.faults >= 8, "each of the 8 pages faults at least once");
-        assert!(s.faults <= s.accesses);
-        assert!(pool.resident_pages() <= 4);
+    }
+
+    #[test]
+    fn shard_count_is_normalized_to_a_power_of_two_within_capacity() {
+        assert_eq!(BufferPoolConfig::new(256).with_shards(8).effective_shards(), 8);
+        assert_eq!(BufferPoolConfig::new(256).with_shards(5).effective_shards(), 8);
+        assert_eq!(BufferPoolConfig::new(6).with_shards(8).effective_shards(), 4);
+        assert_eq!(BufferPoolConfig::new(1).with_shards(64).effective_shards(), 1);
+        assert_eq!(BufferPoolConfig::new(0).with_shards(16).effective_shards(), 1);
+        assert_eq!(BufferPoolConfig::new(256).with_shards(0).effective_shards(), 1);
+        assert_eq!(BufferPoolConfig::default(), BufferPoolConfig::paper_default());
+
+        // Capacity splits evenly with a remainder spread over the first
+        // shards: 10 pages over 4 shards -> 3, 3, 2, 2.
+        assert_eq!(BufferPoolConfig::new(10).with_shards(4).shard_capacities(), vec![3, 3, 2, 2]);
+        let pool = BufferPool::with_config(
+            disk_with_pages(4),
+            BufferPoolConfig::new(10).with_shards(4),
+            IoCounters::new(),
+        );
+        assert_eq!(pool.num_shards(), 4);
+        assert_eq!(pool.capacity(), 10);
+    }
+
+    #[test]
+    fn sharded_pool_keeps_every_page_fetchable_and_bounded() {
+        // Across shard counts, the pool serves correct pages and the
+        // resident count never exceeds the total capacity.
+        let n = 32;
+        for shards in [1usize, 2, 4, 8] {
+            let pool = BufferPool::with_config(
+                disk_with_pages(n),
+                BufferPoolConfig::new(8).with_shards(shards),
+                IoCounters::new(),
+            );
+            let direct: Vec<Page> =
+                (0..n as u32).map(|i| pool.store().read_page(PageId(i)).unwrap()).collect();
+            for round in 0..3 {
+                for i in 0..n as u32 {
+                    assert_eq!(
+                        pool.fetch(PageId(i)).unwrap(),
+                        direct[i as usize],
+                        "shards={shards} round={round} page={i}"
+                    );
+                }
+                assert!(pool.resident_pages() <= 8, "shards={shards}");
+            }
+            let stats = pool.io_stats();
+            assert_eq!(stats.per_shard.len(), shards);
+            assert_eq!(stats.total.accesses(), 3 * n as u64);
+            // Every page maps to exactly one shard, so per-shard accesses
+            // partition the total.
+            let mut rebuilt = ShardStats::default();
+            for s in &stats.per_shard {
+                rebuilt += s;
+            }
+            assert_eq!(rebuilt, stats.total);
+            assert_eq!(stats.total.as_io_stats(), pool.counters().snapshot());
+        }
+    }
+
+    #[test]
+    fn shard_mapping_is_stable_and_within_bounds() {
+        let pool = BufferPool::with_config(
+            disk_with_pages(4),
+            BufferPoolConfig::new(16).with_shards(4),
+            IoCounters::new(),
+        );
+        for i in 0..1000u32 {
+            let s = pool.shard_of(PageId(i));
+            assert!(s < 4);
+            assert_eq!(s, pool.shard_of(PageId(i)), "stable mapping");
+        }
+    }
+
+    #[test]
+    fn clear_and_reset_keeps_both_accounting_systems_in_agreement_under_races() {
+        // Regression for the fetch-vs-reset race: fetch updates the shard
+        // counter and the shared IoCounters under the shard lock, and
+        // clear_and_reset resets both under *all* shard locks, so no
+        // interleaving may leave one system with an access the other lost.
+        let pool = BufferPool::with_config(
+            disk_with_pages(32),
+            BufferPoolConfig::new(8).with_shards(4),
+            IoCounters::new(),
+        );
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let pool = &pool;
+                scope.spawn(move || {
+                    for i in 0..2000u32 {
+                        pool.fetch(PageId((t * 5 + i) % 32)).unwrap();
+                    }
+                    pool.counters().retire_current_thread();
+                });
+            }
+            scope.spawn(|| {
+                for _ in 0..50 {
+                    pool.clear_and_reset();
+                    std::thread::yield_now();
+                }
+            });
+        });
+        // Quiesced: whatever interleaving happened, the two systems agree.
+        assert_eq!(totals(&pool), pool.counters().snapshot());
+        pool.clear_and_reset();
+        assert_eq!(totals(&pool), IoStats::default());
+        assert_eq!(pool.counters().snapshot(), IoStats::default());
+    }
+
+    #[test]
+    fn clear_is_atomic_under_concurrent_readers() {
+        // Regression for the all-shard-locked clear(): fill the pool to
+        // capacity, then race one clear() against readers. Within a round the
+        // only mutation is the clear, so every observed resident count must
+        // be 0 (post-clear) or full (pre-clear) — a torn, partially drained
+        // pool is a bug. Counter snapshots must flip atomically too.
+        let capacity = 8;
+        let num_pages = 256u32;
+        let config = BufferPoolConfig::new(capacity).with_shards(4);
+        let pool =
+            BufferPool::with_config(disk_with_pages(num_pages as usize), config, IoCounters::new());
+
+        for round in 0..25 {
+            for i in 0..num_pages {
+                pool.fetch(PageId(i)).unwrap();
+            }
+            assert_eq!(pool.resident_pages(), capacity, "round {round}: pool is full");
+            // The refill starts from an empty, zero-counter pool every round,
+            // so the pre-clear counter state is deterministic: every distinct
+            // page faults once, and all but the resident ones were evicted.
+            let full_stats = ShardStats {
+                hits: 0,
+                faults: num_pages as u64,
+                evictions: (num_pages as u64) - capacity as u64,
+            };
+            assert_eq!(pool.io_stats().total, full_stats, "round {round}");
+
+            std::thread::scope(|scope| {
+                for _ in 0..3 {
+                    scope.spawn(|| {
+                        for _ in 0..100 {
+                            let resident = pool.resident_pages();
+                            assert!(
+                                resident == 0 || resident == capacity,
+                                "torn clear observed: {resident} of {capacity} pages resident"
+                            );
+                            let total = pool.io_stats().total;
+                            assert!(
+                                total == ShardStats::default() || total == full_stats,
+                                "torn counter reset observed: {total:?}"
+                            );
+                        }
+                    });
+                }
+                scope.spawn(|| pool.clear());
+            });
+            assert_eq!(pool.resident_pages(), 0, "round {round}: cleared");
+            assert_eq!(totals(&pool), IoStats::default(), "round {round}: counters zeroed");
+        }
     }
 }

@@ -11,10 +11,29 @@
 //! batched query engine attribute I/O to an individual query even while other
 //! worker threads hammer the same shared buffer pool — each worker diffs its
 //! *own* thread's counters around the query it is running.
+//!
+//! # Lock-freedom
+//!
+//! [`IoCounters::record_access`] runs on **every page access** of every
+//! worker, so it must not serialize the pool. Each recording thread owns a
+//! shard of relaxed atomic counters; the thread finds its shard through a
+//! thread-local cache keyed by the counter handle's unique id, so the
+//! steady-state record path is: one thread-local read, one id compare, three
+//! relaxed `fetch_add`s — no lock, no shared cache line with other writers.
+//! A mutex-protected registry of shards exists only for the cold paths:
+//! registering a thread's shard on its first access, and merging shards on
+//! [`IoCounters::snapshot`] / [`IoCounters::reset`] /
+//! [`IoCounters::retire_current_thread`]. Only the owning thread ever
+//! *writes* a shard; readers merge the shards' atomics directly. Exact
+//! totals require quiescence (e.g. after a batch's workers were joined),
+//! but a mid-run snapshot is still *internally consistent* — the
+//! release/acquire ordering on the shard fields guarantees
+//! `evictions <= faults <= accesses` at any moment.
 
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::cell::RefCell;
 use std::ops::AddAssign;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::ThreadId;
 
@@ -73,24 +92,95 @@ impl AddAssign for IoStats {
     }
 }
 
-/// The counters proper: one [`IoStats`] per live recording thread, plus the
+/// One recording thread's counter shard. Only the owning thread increments;
+/// everyone else reads when merging.
+///
+/// Writes and reads are ordered so that a snapshot taken *during* recording
+/// still satisfies `evictions <= faults <= accesses`: the writer bumps
+/// `accesses` first and publishes `faults` / `evictions` with `Release`,
+/// the reader loads in the opposite order with `Acquire`. Seeing the n-th
+/// fault therefore guarantees seeing its preceding access (single writer,
+/// release/acquire prefix) — a mid-run `hit_ratio()` can never go negative.
+#[derive(Debug, Default)]
+struct ThreadShard {
+    accesses: AtomicU64,
+    faults: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ThreadShard {
+    fn record(&self, fault: bool, evicted: bool) {
+        self.accesses.fetch_add(1, Ordering::Relaxed);
+        if fault {
+            self.faults.fetch_add(1, Ordering::Release);
+        }
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Release);
+        }
+    }
+
+    fn snapshot(&self) -> IoStats {
+        let evictions = self.evictions.load(Ordering::Acquire);
+        let faults = self.faults.load(Ordering::Acquire);
+        let accesses = self.accesses.load(Ordering::Relaxed);
+        IoStats { accesses, faults, evictions }
+    }
+
+    /// A reset that races concurrent readers or the owning recorder is
+    /// inherently approximate — a reader interleaving with the three stores
+    /// can see a torn mix of old and new counts, and no store ordering can
+    /// prevent that (it is a temporal race, not a visibility one). Like the
+    /// seed's mutex version, `reset` is a quiescent-point operation: callers
+    /// reset between measurements, and the buffer pool's `clear_and_reset`
+    /// / `reset_stats` exclude its recorders via the shard locks.
+    fn zero(&self) {
+        self.evictions.store(0, Ordering::Relaxed);
+        self.faults.store(0, Ordering::Relaxed);
+        self.accesses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The cold-path registry: one shard per live recording thread, plus the
 /// folded totals of retired threads. The global view is the merge of all of
 /// them.
 ///
 /// Worker threads are expected to call [`IoCounters::retire_current_thread`]
 /// before exiting (the query engine's batch workers do); that folds their
-/// entry into `retired` so the map tracks only live threads and does not
+/// shard into `retired` so the registry tracks only live threads and does not
 /// grow with the number of batches a long-lived process has served.
 #[derive(Debug, Default)]
-struct PerThreadStats {
+struct Registry {
     retired: IoStats,
-    threads: HashMap<ThreadId, IoStats>,
+    threads: Vec<(ThreadId, Arc<ThreadShard>)>,
 }
 
+impl Registry {
+    fn position(&self, id: ThreadId) -> Option<usize> {
+        self.threads.iter().position(|(t, _)| *t == id)
+    }
+}
+
+#[derive(Debug)]
+struct CountersInner {
+    /// Unique per counter bundle (never reused), so the thread-local shard
+    /// cache can key on it without any stale-pointer hazard.
+    id: u64,
+    registry: Mutex<Registry>,
+}
+
+/// Source of the unique [`CountersInner::id`]s.
+static NEXT_COUNTERS_ID: AtomicU64 = AtomicU64::new(0);
+
 thread_local! {
-    /// The calling thread's id, cached to keep `record_access` off the
+    /// The calling thread's id, cached to keep the cold paths off the
     /// `thread::current()` handle-clone path.
     static CURRENT_THREAD_ID: ThreadId = std::thread::current().id();
+
+    /// This thread's shard for each counter bundle it has recorded into:
+    /// `(bundle id, shard)` pairs, scanned linearly (a thread uses one or two
+    /// bundles at a time). Entries whose bundle was dropped are pruned
+    /// whenever a new bundle registers.
+    static SHARD_CACHE: RefCell<Vec<(u64, Arc<ThreadShard>)>> = const { RefCell::new(Vec::new()) };
 }
 
 fn current_thread_id() -> ThreadId {
@@ -101,38 +191,93 @@ fn current_thread_id() -> ThreadId {
 ///
 /// Cloning an `IoCounters` yields a handle to the *same* counters, so a
 /// benchmark can keep one handle while the buffer pool updates another.
-#[derive(Clone, Default, Debug)]
+#[derive(Clone, Debug)]
 pub struct IoCounters {
-    inner: Arc<Mutex<PerThreadStats>>,
+    inner: Arc<CountersInner>,
+}
+
+impl Default for IoCounters {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl IoCounters {
     /// Creates zeroed counters.
     pub fn new() -> Self {
-        Self::default()
+        IoCounters {
+            inner: Arc::new(CountersInner {
+                id: NEXT_COUNTERS_ID.fetch_add(1, Ordering::Relaxed),
+                registry: Mutex::new(Registry::default()),
+            }),
+        }
     }
 
     /// Records one logical access; `fault` tells whether it missed the
     /// buffer, `evicted` whether a page was evicted to serve it.
+    ///
+    /// Lock-free on the steady state: after a thread's first access the
+    /// record path is a thread-local lookup plus relaxed `fetch_add`s on
+    /// counters no other thread writes.
     pub fn record_access(&self, fault: bool, evicted: bool) {
-        let id = current_thread_id(); // resolved outside the lock
-        let mut inner = self.inner.lock();
-        let s = inner.threads.entry(id).or_default();
-        s.accesses += 1;
-        if fault {
-            s.faults += 1;
-        }
-        if evicted {
-            s.evictions += 1;
-        }
+        self.with_shard(|shard| shard.record(fault, evicted));
+    }
+
+    /// Runs `f` on the calling thread's shard, registering one on the first
+    /// access (the only path that ever takes the registry lock).
+    ///
+    /// On the steady-state path `f` runs under the cache's shared borrow —
+    /// no `Arc` clone, no lock; `f` must not (and does not) re-enter the
+    /// cache.
+    fn with_shard<R>(&self, f: impl FnOnce(&ThreadShard) -> R) -> R {
+        SHARD_CACHE.with(|cache| {
+            {
+                let cache = cache.borrow();
+                if let Some((_, shard)) = cache.iter().find(|(id, _)| *id == self.inner.id) {
+                    return f(shard);
+                }
+            }
+            let shard = self.register_current_thread(cache);
+            f(&shard)
+        })
+    }
+
+    /// Cold path: get-or-create the calling thread's shard in the registry
+    /// and remember it in the thread-local cache.
+    fn register_current_thread(
+        &self,
+        cache: &RefCell<Vec<(u64, Arc<ThreadShard>)>>,
+    ) -> Arc<ThreadShard> {
+        let id = current_thread_id();
+        let shard = {
+            let mut reg = self.inner.registry.lock();
+            match reg.position(id) {
+                Some(i) => Arc::clone(&reg.threads[i].1),
+                None => {
+                    let shard = Arc::new(ThreadShard::default());
+                    reg.threads.push((id, Arc::clone(&shard)));
+                    shard
+                }
+            }
+        };
+        let mut cache = cache.borrow_mut();
+        // A shard whose counter bundle is gone is held only by this cache
+        // (the registry's strong reference died with the bundle): drop it so
+        // long-lived threads recording into many short-lived bundles (tests,
+        // benchmarks) do not grow the cache without bound.
+        cache.retain(|(_, s)| Arc::strong_count(s) > 1);
+        cache.push((self.inner.id, Arc::clone(&shard)));
+        shard
     }
 
     /// Returns the merged snapshot over every thread that recorded accesses,
     /// retired or live.
     pub fn snapshot(&self) -> IoStats {
-        let inner = self.inner.lock();
-        let mut total = IoStats::merged(inner.threads.values());
-        total += &inner.retired;
+        let reg = self.inner.registry.lock();
+        let mut total = reg.retired;
+        for (_, shard) in &reg.threads {
+            total += shard.snapshot();
+        }
         total
     }
 
@@ -140,38 +285,69 @@ impl IoCounters {
     /// (since it last retired, if ever).
     ///
     /// Diffing this around a query (with [`IoStats::since`]) attributes I/O
-    /// to that query even while other threads use the same buffer pool.
+    /// to that query even while other threads use the same buffer pool. Like
+    /// the record path, this reads the thread's own shard without locking.
     pub fn snapshot_current_thread(&self) -> IoStats {
-        self.inner.lock().threads.get(&current_thread_id()).copied().unwrap_or_default()
+        let cached = SHARD_CACHE.with(|cache| {
+            cache
+                .borrow()
+                .iter()
+                .find(|(id, _)| *id == self.inner.id)
+                .map(|(_, shard)| shard.snapshot())
+        });
+        if let Some(snapshot) = cached {
+            return snapshot;
+        }
+        // Not cached on this thread: the thread never recorded (or retired),
+        // so its view is empty — unless another handle on this same thread
+        // registered it, which the cache covers (ids are per bundle, shared
+        // by clones).
+        let reg = self.inner.registry.lock();
+        reg.position(current_thread_id()).map(|i| reg.threads[i].1.snapshot()).unwrap_or_default()
     }
 
-    /// Folds the calling thread's entry into the retired total and removes
-    /// it from the live map.
+    /// Folds the calling thread's shard into the retired total and removes
+    /// it from the live registry.
     ///
     /// Exiting worker threads (e.g. the query engine's batch workers) call
-    /// this so the per-thread map only ever tracks live threads — `ThreadId`s
-    /// are never reused, so without retirement a long-lived process would
-    /// accumulate one dead entry per worker per batch. No counts are lost:
+    /// this so the registry only ever tracks live threads — `ThreadId`s are
+    /// never reused, so without retirement a long-lived process would
+    /// accumulate one dead shard per worker per batch. No counts are lost:
     /// [`IoCounters::snapshot`] includes the retired total.
     pub fn retire_current_thread(&self) {
         let id = current_thread_id();
-        let mut inner = self.inner.lock();
-        if let Some(s) = inner.threads.remove(&id) {
-            inner.retired += s;
+        {
+            let mut reg = self.inner.registry.lock();
+            if let Some(i) = reg.position(id) {
+                let (_, shard) = reg.threads.swap_remove(i);
+                let folded = shard.snapshot();
+                reg.retired += folded;
+            }
         }
+        // Drop the cache entry so a later access on this thread registers a
+        // fresh shard ("the thread's live view starts over").
+        SHARD_CACHE.with(|cache| {
+            cache.borrow_mut().retain(|(cid, _)| *cid != self.inner.id);
+        });
     }
 
     /// Live per-thread snapshots, in unspecified order. Their merge plus the
     /// retired total equals [`IoCounters::snapshot`].
     pub fn per_thread_snapshots(&self) -> Vec<IoStats> {
-        self.inner.lock().threads.values().copied().collect()
+        self.inner.registry.lock().threads.iter().map(|(_, s)| s.snapshot()).collect()
     }
 
     /// Resets all counters (every thread's, and the retired total) to zero.
+    ///
+    /// Registered threads stay registered with zeroed counts — their
+    /// thread-local shard handles remain valid, so concurrent recorders keep
+    /// counting into the same (now zeroed) shards.
     pub fn reset(&self) {
-        let mut inner = self.inner.lock();
-        inner.retired = IoStats::default();
-        inner.threads.clear();
+        let mut reg = self.inner.registry.lock();
+        reg.retired = IoStats::default();
+        for (_, shard) in &reg.threads {
+            shard.zero();
+        }
     }
 }
 
@@ -202,6 +378,9 @@ mod tests {
         assert_eq!(c2.snapshot(), IoStats::default());
         assert_eq!(c2.snapshot().hit_ratio(), 1.0);
         assert_eq!(c2.snapshot_current_thread(), IoStats::default());
+        // Recording keeps working after a reset (the zeroed shard is reused).
+        c.record_access(false, false);
+        assert_eq!(c2.snapshot(), IoStats { accesses: 1, faults: 0, evictions: 0 });
     }
 
     #[test]
@@ -275,7 +454,7 @@ mod tests {
     fn retiring_folds_counts_without_losing_them() {
         let c = IoCounters::new();
         c.record_access(true, false);
-        // Worker threads record, retire, and exit; the live map must not
+        // Worker threads record, retire, and exit; the live registry must not
         // accumulate their (never reused) ThreadIds.
         for round in 0..3 {
             let worker = {
@@ -292,7 +471,7 @@ mod tests {
             assert_eq!(
                 c.per_thread_snapshots().len(),
                 1,
-                "round {round}: only the main thread stays in the live map"
+                "round {round}: only the main thread stays in the live registry"
             );
         }
         let s = c.snapshot();
@@ -306,6 +485,22 @@ mod tests {
         // reset clears the retired total too.
         c.reset();
         assert_eq!(c.snapshot(), IoStats::default());
+    }
+
+    #[test]
+    fn recording_after_retiring_registers_a_fresh_shard() {
+        let c = IoCounters::new();
+        c.record_access(true, false);
+        c.retire_current_thread();
+        assert!(c.per_thread_snapshots().is_empty());
+        c.record_access(false, false);
+        assert_eq!(
+            c.snapshot_current_thread(),
+            IoStats { accesses: 1, faults: 0, evictions: 0 },
+            "the view after retirement starts over"
+        );
+        assert_eq!(c.per_thread_snapshots().len(), 1);
+        assert_eq!(c.snapshot().accesses, 2, "the retired access is still in the total");
     }
 
     #[test]
@@ -327,5 +522,37 @@ mod tests {
         let local = worker.join().unwrap();
         assert_eq!(local, IoStats { accesses: 2, faults: 1, evictions: 0 });
         assert_eq!(c.snapshot().accesses, 3);
+    }
+
+    #[test]
+    fn distinct_counter_bundles_do_not_mix_even_on_one_thread() {
+        // The thread-local shard cache is keyed by bundle id: two bundles
+        // recorded into by the same thread must stay independent.
+        let a = IoCounters::new();
+        let b = IoCounters::new();
+        a.record_access(true, false);
+        b.record_access(false, false);
+        b.record_access(false, false);
+        assert_eq!(a.snapshot(), IoStats { accesses: 1, faults: 1, evictions: 0 });
+        assert_eq!(b.snapshot(), IoStats { accesses: 2, faults: 0, evictions: 0 });
+        assert_eq!(a.snapshot_current_thread().accesses, 1);
+        assert_eq!(b.snapshot_current_thread().accesses, 2);
+    }
+
+    #[test]
+    fn dropped_bundles_are_pruned_from_the_thread_local_cache() {
+        // Record into many short-lived bundles on one thread; each new
+        // registration prunes entries whose bundle is gone, so the cache
+        // stays bounded by the number of *live* bundles.
+        let keep = IoCounters::new();
+        keep.record_access(false, false);
+        for _ in 0..100 {
+            let c = IoCounters::new();
+            c.record_access(true, false);
+            drop(c);
+        }
+        let cached = SHARD_CACHE.with(|cache| cache.borrow().len());
+        assert!(cached <= 2, "cache holds live bundles only, found {cached} entries");
+        assert_eq!(keep.snapshot().accesses, 1, "the surviving bundle is unaffected");
     }
 }

@@ -18,8 +18,12 @@
 //!   and id-order / random layouts for ablations.
 //! * [`disk`] — the page store ([`PageStore`]) with an in-memory simulated
 //!   disk and a real file-backed implementation.
-//! * [`buffer`] — the LRU buffer manager ([`BufferPool`]) with exact
-//!   access/fault/eviction accounting.
+//! * [`lru`] — the workspace's one generic LRU ([`Lru`]): slot vector plus
+//!   intrusive recency list, shared by the buffer pool and `rnn-core`'s
+//!   result cache.
+//! * [`buffer`] — the striped LRU buffer manager ([`BufferPool`]): capacity
+//!   split over independently locked shards ([`BufferPoolConfig`]) with
+//!   exact per-shard access/fault/eviction accounting ([`ShardStats`]).
 //! * [`node_index`] — the node-id index ([`NodeIndex`]).
 //! * [`paged_graph`] — [`PagedGraph`], which ties everything together and
 //!   implements [`rnn_graph::Topology`], so every query algorithm of
@@ -37,15 +41,17 @@ pub mod disk;
 pub mod error;
 pub mod io_stats;
 pub mod layout;
+pub mod lru;
 pub mod node_index;
 pub mod page;
 pub mod paged_graph;
 
-pub use buffer::BufferPool;
+pub use buffer::{BufferPool, BufferPoolConfig, BufferPoolStats, ShardStats};
 pub use disk::{FileDisk, MemoryDisk, PageStore};
 pub use error::StorageError;
 pub use io_stats::{IoCounters, IoStats};
 pub use layout::{LayoutStrategy, PageLayout};
+pub use lru::Lru;
 pub use node_index::{NodeIndex, NodeIndexEntry};
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use paged_graph::PagedGraph;

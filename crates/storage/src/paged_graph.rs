@@ -7,56 +7,70 @@
 //! through the buffer and is accounted for in [`IoStats`]. This is the
 //! component the paper's experiments measure.
 
-use crate::buffer::{BufferPool, DEFAULT_BUFFER_PAGES};
+use crate::buffer::{BufferPool, BufferPoolConfig, BufferPoolStats};
 use crate::disk::{MemoryDisk, PageStore};
 use crate::error::StorageError;
 use crate::io_stats::{IoCounters, IoStats};
 use crate::layout::{LayoutStrategy, PageLayout};
 use crate::node_index::NodeIndex;
 use crate::page::PageEntry;
-use parking_lot::Mutex;
 use rnn_graph::{Graph, Neighbor, NodeId, Topology};
+use std::cell::RefCell;
 
-/// A graph stored on simulated disk pages and read through an LRU buffer.
+thread_local! {
+    /// Scratch buffer reused across adjacency fetches to avoid per-call
+    /// allocation (the decoded entries are copied into `Neighbor` values
+    /// before the closure is invoked). Thread-local so the serving path
+    /// shares no mutable state between worker threads — the old shared
+    /// `Mutex<Vec<_>>` was a lock on every fetch of every worker.
+    static FETCH_SCRATCH: RefCell<Vec<PageEntry>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A graph stored on simulated disk pages and read through a striped LRU
+/// buffer.
 pub struct PagedGraph<S: PageStore = MemoryDisk> {
     buffer: BufferPool<S>,
     index: NodeIndex,
     num_nodes: usize,
-    /// Scratch buffer reused across adjacency fetches to avoid per-call
-    /// allocation (the decoded entries are copied into `Neighbor` values
-    /// before the closure is invoked).
-    scratch: Mutex<Vec<PageEntry>>,
 }
 
 impl PagedGraph<MemoryDisk> {
     /// Builds a paged graph from an in-memory graph using the default
-    /// BFS-locality layout and the paper's 256-page buffer.
+    /// BFS-locality layout and the paper's 256-page single-shard buffer.
     pub fn build(graph: &Graph) -> Result<Self, StorageError> {
-        Self::build_with(
+        Self::build_with_config(
             graph,
             LayoutStrategy::BfsLocality,
-            DEFAULT_BUFFER_PAGES,
+            BufferPoolConfig::paper_default(),
             IoCounters::new(),
         )
     }
 
-    /// Builds a paged graph with full control over layout strategy, buffer
-    /// capacity (in pages) and the I/O counters to report into.
+    /// Builds a paged graph with a single-shard buffer of `buffer_pages`
+    /// pages — the paper's configuration, with the exact single-LRU victim
+    /// order. Use [`PagedGraph::build_with_config`] to shard the buffer for
+    /// concurrent serving.
     pub fn build_with(
         graph: &Graph,
         strategy: LayoutStrategy,
         buffer_pages: usize,
         counters: IoCounters,
     ) -> Result<Self, StorageError> {
+        Self::build_with_config(graph, strategy, BufferPoolConfig::new(buffer_pages), counters)
+    }
+
+    /// Builds a paged graph with full control over layout strategy, buffer
+    /// capacity/sharding and the I/O counters to report into.
+    pub fn build_with_config(
+        graph: &Graph,
+        strategy: LayoutStrategy,
+        config: BufferPoolConfig,
+        counters: IoCounters,
+    ) -> Result<Self, StorageError> {
         let layout = PageLayout::build(graph, strategy)?;
         let disk = MemoryDisk::new(layout.pages);
-        let buffer = BufferPool::new(disk, buffer_pages, counters);
-        Ok(PagedGraph {
-            buffer,
-            index: layout.index,
-            num_nodes: graph.num_nodes(),
-            scratch: Mutex::new(Vec::new()),
-        })
+        let buffer = BufferPool::with_config(disk, config, counters);
+        Ok(PagedGraph { buffer, index: layout.index, num_nodes: graph.num_nodes() })
     }
 }
 
@@ -64,7 +78,12 @@ impl<S: PageStore> PagedGraph<S> {
     /// Assembles a paged graph from pre-built parts (e.g. a [`crate::FileDisk`]
     /// store opened from an existing page file).
     pub fn from_parts(buffer: BufferPool<S>, index: NodeIndex, num_nodes: usize) -> Self {
-        PagedGraph { buffer, index, num_nodes, scratch: Mutex::new(Vec::new()) }
+        PagedGraph { buffer, index, num_nodes }
+    }
+
+    /// The underlying buffer pool.
+    pub fn buffer(&self) -> &BufferPool<S> {
+        &self.buffer
     }
 
     /// The shared I/O counters of the underlying buffer.
@@ -72,21 +91,30 @@ impl<S: PageStore> PagedGraph<S> {
         self.buffer.counters()
     }
 
-    /// A snapshot of the I/O activity so far.
+    /// A snapshot of the I/O activity so far (merged over all accessing
+    /// threads).
     pub fn io_stats(&self) -> IoStats {
+        self.buffer.counters().snapshot()
+    }
+
+    /// The buffer pool's own per-shard counter breakdown plus merged total.
+    pub fn pool_stats(&self) -> BufferPoolStats {
         self.buffer.io_stats()
     }
 
-    /// Resets the I/O counters (the buffer content is left untouched).
+    /// Resets the I/O accounting — both the shared per-thread counters and
+    /// the pool's per-shard breakdown, so the two views stay in agreement —
+    /// while the buffer content is left untouched.
     pub fn reset_io(&self) {
-        self.buffer.counters().reset();
+        self.buffer.reset_stats();
     }
 
-    /// Drops all buffered pages and resets the counters, simulating a cold
-    /// start. Used between workload repetitions in the experiments.
+    /// Drops all buffered pages and resets both the pool's per-shard
+    /// counters and the shared per-thread [`IoCounters`] in one atomic step
+    /// ([`BufferPool::clear_and_reset`]), simulating a cold start. Used
+    /// between workload repetitions in the experiments.
     pub fn cold_start(&self) {
-        self.buffer.clear();
-        self.buffer.counters().reset();
+        self.buffer.clear_and_reset();
     }
 
     /// Number of pages of the underlying store.
@@ -111,13 +139,11 @@ impl<S: PageStore> PagedGraph<S> {
         visit: &mut dyn FnMut(Neighbor),
     ) -> Result<(), StorageError> {
         let entry = self.index.entry(node);
-        // Take the scratch buffer out of the mutex so the lock is *not* held
-        // while the visitor runs: visitors may recursively fetch other
-        // adjacency lists (e.g. nested verification expansions).
-        let mut scratch = {
-            let mut guard = self.scratch.lock();
-            std::mem::take(&mut *guard)
-        };
+        // Take the thread-local scratch buffer so it is *not* borrowed while
+        // the visitor runs: visitors may recursively fetch other adjacency
+        // lists (e.g. nested verification expansions), which then just use a
+        // fresh buffer.
+        let mut scratch = FETCH_SCRATCH.with(|cell| std::mem::take(&mut *cell.borrow_mut()));
         scratch.clear();
         let mut result = Ok(());
         for page_id in entry.pages() {
@@ -139,11 +165,14 @@ impl<S: PageStore> PagedGraph<S> {
                 visit(Neighbor { node: e.neighbor, weight: e.weight, edge: e.edge });
             }
         }
-        // Return the (possibly grown) scratch buffer for reuse.
-        let mut guard = self.scratch.lock();
-        if guard.capacity() < scratch.capacity() {
-            *guard = scratch;
-        }
+        // Return the (possibly grown) scratch buffer for reuse on this
+        // thread.
+        FETCH_SCRATCH.with(|cell| {
+            let mut slot = cell.borrow_mut();
+            if slot.capacity() < scratch.capacity() {
+                *slot = scratch;
+            }
+        });
         result
     }
 }
@@ -217,9 +246,14 @@ mod tests {
         assert!(s.faults >= pg.num_pages() as u64);
         pg.reset_io();
         assert_eq!(pg.io_stats(), IoStats::default());
+        // reset_io keeps the two accounting views in agreement: the pool's
+        // per-shard breakdown is zeroed too (pages stay resident).
+        assert_eq!(pg.pool_stats().total, crate::ShardStats::default());
+        assert!(pg.buffer().resident_pages() > 0, "reset_io leaves pages resident");
         pg.cold_start();
         pg.neighbors_vec(NodeId::new(0));
         assert_eq!(pg.io_stats().faults, 1);
+        assert_eq!(pg.pool_stats().total.faults, 1);
     }
 
     #[test]
@@ -276,6 +310,32 @@ mod tests {
         assert_eq!(warm.accesses, 2 * cold.accesses);
         assert_eq!(warm.faults, cold.faults, "warm pass must not fault");
         assert_eq!(warm.evictions, 0);
+    }
+
+    #[test]
+    fn sharded_buffers_serve_identical_adjacency_with_per_shard_accounting() {
+        let g = grid_graph(12);
+        let pg = PagedGraph::build_with_config(
+            &g,
+            LayoutStrategy::BfsLocality,
+            crate::BufferPoolConfig::new(8).with_shards(4),
+            IoCounters::new(),
+        )
+        .unwrap();
+        assert_eq!(pg.buffer().num_shards(), 4);
+        for v in g.node_ids() {
+            assert_eq!(pg.neighbors_vec(v), g.neighbors_vec(v), "node {v}");
+        }
+        let pool = pg.pool_stats();
+        assert_eq!(pool.per_shard.len(), 4);
+        assert_eq!(
+            pool.total.as_io_stats(),
+            pg.io_stats(),
+            "pool-side totals match the thread-attributed counters"
+        );
+        pg.cold_start();
+        assert_eq!(pg.io_stats(), IoStats::default());
+        assert_eq!(pg.pool_stats().total, crate::ShardStats::default());
     }
 
     #[test]

@@ -49,10 +49,17 @@ fn main() {
         serving_nodes.extend(hot_nodes.iter().copied());
     }
 
+    // The cache is striped over one shard per worker thread (same scheme as
+    // the storage layer's buffer pool), so workers serving distinct hot
+    // queries never contend on a cache lock. Capacity is sized per shard:
+    // each shard must hold the whole hot set so the all-hits guarantee
+    // below cannot depend on how the keys happen to hash across shards.
+    let cache_shards = threads.next_power_of_two().min(8);
     let label_engine = QueryEngine::new(&graph, &points)
         .with_hub_labels(&index)
-        .with_result_cache(128)
+        .with_result_cache_sharded(hot_nodes.len() * cache_shards, cache_shards)
         .with_threads(threads);
+    assert_eq!(label_engine.cache_shards(), cache_shards);
     // Warm the cache with one batch over the distinct hot nodes. A batch is
     // a synchronization point, so the measured serving run below is all
     // cache hits no matter how many workers race (within one batch, workers

@@ -8,7 +8,7 @@ use rnn::core::materialize::MaterializedKnn;
 use rnn::core::{run_rknn, Algorithm, Precomputed};
 use rnn::graph::{GraphBuilder, NodeId, NodePointSet};
 use rnn::index::HubLabelIndex;
-use rnn::storage::{IoCounters, LayoutStrategy, PagedGraph};
+use rnn::storage::{BufferPoolConfig, IoCounters, LayoutStrategy, PagedGraph};
 
 /// The quickstart network: an 8-junction ring with two chords.
 fn quickstart_network() -> rnn::graph::Graph {
@@ -103,6 +103,46 @@ fn quickstart_flow_works_identically_on_the_paged_backend() {
         assert_eq!(in_memory.points, on_disk.points, "k={k}");
     }
     assert!(paged.io_stats().accesses > 0, "the paged run must be accounted");
+}
+
+/// Mirrors `examples/paged_serving.rs` on the quickstart network: the
+/// engine's thread pool over a `PagedGraph` with a *sharded* buffer pool
+/// reproduces the in-memory sequential answers, and the pool's per-shard
+/// accounting agrees with the thread-attributed counters.
+#[test]
+fn paged_serving_flow_matches_in_memory_results_on_a_sharded_pool() {
+    let graph = quickstart_network();
+    let cafes = NodePointSet::from_nodes(8, [0, 3, 6].map(NodeId::new));
+    let counters = IoCounters::new();
+    let paged = PagedGraph::build_with_config(
+        &graph,
+        LayoutStrategy::BfsLocality,
+        BufferPoolConfig::new(4).with_shards(2),
+        counters.clone(),
+    )
+    .unwrap();
+
+    for algorithm in [Algorithm::Eager, Algorithm::Lazy] {
+        let workload = Workload::uniform(algorithm, 1, graph.node_ids());
+        let sequential: Vec<_> = graph
+            .node_ids()
+            .map(|q| run_rknn(algorithm, &graph, &cafes, Precomputed::none(), q, 1))
+            .collect();
+        for threads in [1usize, 2, 4] {
+            paged.cold_start();
+            let engine =
+                QueryEngine::new(&paged, &cafes).with_io_counters(&counters).with_threads(threads);
+            let batch = engine.run_batch(&workload);
+            assert_eq!(batch.results, sequential, "{algorithm} at {threads} threads");
+            let pool = paged.pool_stats();
+            assert_eq!(pool.per_shard.len(), 2);
+            assert_eq!(
+                pool.total.as_io_stats(),
+                paged.io_stats(),
+                "{algorithm} at {threads} threads: shard totals match thread totals"
+            );
+        }
+    }
 }
 
 /// Mirrors `examples/hub_label_serving.rs` on the quickstart network: the

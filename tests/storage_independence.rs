@@ -8,15 +8,18 @@ use common::restricted_instance;
 use proptest::prelude::*;
 use rnn_core::{naive, run_rknn, Algorithm, Precomputed};
 use rnn_graph::Topology;
-use rnn_storage::{BufferPool, FileDisk, IoCounters, LayoutStrategy, PageLayout, PagedGraph};
+use rnn_storage::{
+    BufferPool, BufferPoolConfig, FileDisk, IoCounters, LayoutStrategy, PageLayout, PagedGraph,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
 
     #[test]
-    fn results_are_identical_on_paged_graphs_for_any_layout_and_buffer(
+    fn results_are_identical_on_paged_graphs_for_any_layout_buffer_and_sharding(
         inst in restricted_instance(),
         buffer in prop_oneof![Just(0usize), Just(2), Just(8), Just(256)],
+        shards in prop_oneof![Just(1usize), Just(2), Just(8)],
         layout in prop_oneof![
             Just(LayoutStrategy::BfsLocality),
             Just(LayoutStrategy::NodeOrder),
@@ -24,19 +27,27 @@ proptest! {
         ],
     ) {
         let reference = naive::naive_rknn(&inst.graph, &inst.points, inst.query, inst.k);
-        let paged = PagedGraph::build_with(&inst.graph, layout, buffer, IoCounters::new())
+        let config = BufferPoolConfig::new(buffer).with_shards(shards);
+        let paged = PagedGraph::build_with_config(&inst.graph, layout, config, IoCounters::new())
             .expect("paged graph");
         for algo in [Algorithm::Eager, Algorithm::Lazy, Algorithm::LazyExtendedPruning, Algorithm::Naive] {
             let out = run_rknn(algo, &paged, &inst.points, Precomputed::none(), inst.query, inst.k);
-            prop_assert_eq!(&out.points, &reference.points, "{} on {:?}/{} pages", algo, layout, buffer);
+            prop_assert_eq!(
+                &out.points, &reference.points,
+                "{} on {:?}/{} pages/{} shards", algo, layout, buffer, shards
+            );
         }
-        // I/O sanity: every access either hits or faults, and faults never
-        // exceed accesses.
+        // I/O sanity: every access either hits or faults, faults never
+        // exceed accesses, and the pool's per-shard accounting partitions
+        // the same totals the per-thread counters see.
         let io = paged.io_stats();
         prop_assert!(io.faults <= io.accesses);
         if buffer == 0 {
             prop_assert_eq!(io.faults, io.accesses, "no buffer means every access faults");
         }
+        let pool = paged.pool_stats();
+        prop_assert_eq!(pool.per_shard.len(), config.effective_shards());
+        prop_assert_eq!(pool.total.as_io_stats(), io);
     }
 
     #[test]
