@@ -664,9 +664,122 @@ pub fn index(scale: Scale) -> Report {
     report
 }
 
+/// Online serving under open-loop load: a mixed-algorithm request stream
+/// submitted to `rnn-server` at several offered arrival rates, reporting
+/// achieved throughput and the queue-wait / service-time latency split
+/// (p50/p99 from the server's log-scale histograms).
+///
+/// Open loop means arrivals are paced by a clock, not by completions — the
+/// regime where queueing happens: below the capacity of the 2-worker pool
+/// the queue-wait percentiles stay near zero, at and above capacity they
+/// grow while service time stays flat, which is exactly the split the
+/// histograms exist to show. Offered rates are calibrated against the
+/// sequential execution of the same stream, so the rows land in the same
+/// load regimes on any machine. Every served result is asserted
+/// byte-identical to the sequential oracle before any number is reported —
+/// admission, queueing and worker scheduling must never change answers.
+pub fn serving(scale: Scale) -> Report {
+    use rnn_server::{BackpressurePolicy, Request, Server, ServerConfig, World};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let nodes = scale.pick(10_000, 40_000);
+    let graph = Arc::new(grid_map(&GridConfig::with_nodes(nodes, 4.0, SEED)));
+    let points = Arc::new(place_points_on_nodes(&graph, 0.01, SEED + 1));
+    let query_nodes = sample_node_queries(&points, scale.pick(64, 200), SEED + 2);
+    let algos = [Algorithm::Eager, Algorithm::Lazy, Algorithm::LazyExtendedPruning];
+    let workers = 2;
+
+    // The mixed stream: algorithms round-robin over the query nodes.
+    let stream: Vec<(Algorithm, rnn_graph::NodeId)> =
+        query_nodes.iter().enumerate().map(|(i, &q)| (algos[i % algos.len()], q)).collect();
+
+    // Sequential oracle + capacity calibration (one thread, one scratch).
+    let mut scratch = Scratch::new();
+    let started = Instant::now();
+    let oracle: Vec<_> = stream
+        .iter()
+        .map(|&(a, q)| run_rknn_with(a, &*graph, &*points, Precomputed::none(), q, 1, &mut scratch))
+        .collect();
+    let sequential_seconds = started.elapsed().as_secs_f64().max(1e-9);
+    let capacity_qps = stream.len() as f64 / sequential_seconds;
+
+    let mut report = Report::new(
+        "Serving",
+        format!(
+            "online serving under open-loop load (grid map, |V|={nodes}, D=0.01, k=1, \
+             {workers} workers, mixed E/L/LP stream of {} requests; offered rates relative \
+             to the {capacity_qps:.0} q/s sequential capacity)",
+            stream.len()
+        ),
+        "offered load",
+        vec![
+            "offered q/s".into(),
+            "served q/s".into(),
+            "qwait p50(ms)".into(),
+            "qwait p99(ms)".into(),
+            "service p50(ms)".into(),
+            "service p99(ms)".into(),
+        ],
+    );
+
+    for (label, factor) in [("0.5x", 0.5), ("1x", 1.0), ("2x", 2.0)] {
+        let offered_qps = capacity_qps * factor;
+        let interarrival = Duration::from_secs_f64(1.0 / offered_qps);
+        let world = World::new(graph.clone(), points.clone());
+        let server = Server::start(
+            world,
+            ServerConfig::default()
+                .with_workers(workers)
+                .with_queue_capacity(stream.len().max(1))
+                .with_policy(BackpressurePolicy::Block),
+        );
+
+        // Open-loop arrivals: request i is submitted at start + i * 1/rate,
+        // regardless of how far the workers have gotten.
+        let started = Instant::now();
+        let tickets: Vec<_> = stream
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, q))| {
+                let due = started + interarrival * (i as u32);
+                if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(wait);
+                }
+                server.submit(Request::new(a, q, 1)).expect("admitted under Block")
+            })
+            .collect();
+        for (i, (ticket, expected)) in tickets.into_iter().zip(&oracle).enumerate() {
+            let served = ticket.wait().expect("served");
+            assert_eq!(
+                served.outcome, *expected,
+                "request {i} ({label} load) must equal the sequential oracle"
+            );
+        }
+        let wall_seconds = started.elapsed().as_secs_f64().max(1e-9);
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, stream.len() as u64, "{label}: everything served");
+        assert_eq!(stats.accounted(), stats.submitted, "{label}: nothing lost");
+
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        report.push_row(
+            label.to_string(),
+            vec![
+                offered_qps,
+                stats.completed as f64 / wall_seconds,
+                ms(stats.queue_wait.p50()),
+                ms(stats.queue_wait.p99()),
+                ms(stats.service.p50()),
+                ms(stats.service.p99()),
+            ],
+        );
+    }
+    report
+}
+
 /// All experiment ids: the paper's tables and figures, then the serving
 /// experiments added on top.
-pub const ALL_EXPERIMENTS: [&str; 15] = [
+pub const ALL_EXPERIMENTS: [&str; 16] = [
     "table1",
     "table2",
     "fig15",
@@ -682,6 +795,7 @@ pub const ALL_EXPERIMENTS: [&str; 15] = [
     "throughput",
     "paged-scaling",
     "index",
+    "serving",
 ];
 
 /// Runs one experiment by id. Returns `None` for an unknown id.
@@ -702,6 +816,7 @@ pub fn run_by_name(name: &str, scale: Scale) -> Option<Report> {
         "throughput" => throughput(scale),
         "paged-scaling" => paged_scaling(scale),
         "index" => index(scale),
+        "serving" => serving(scale),
         _ => return None,
     };
     Some(report)
@@ -731,7 +846,8 @@ mod tests {
                 "fig22b",
                 "throughput",
                 "paged-scaling",
-                "index"
+                "index",
+                "serving"
             ]
             .contains(&name));
         }

@@ -96,9 +96,15 @@ impl ResultCache {
         ResultCache { lru: Lru::new(capacity) }
     }
 
-    #[cfg(test)]
+    /// Number of memoized outcomes resident in this shard.
     pub(crate) fn len(&self) -> usize {
         self.lru.len()
+    }
+
+    /// Drops every entry (capacity unchanged) — the per-shard step of
+    /// `SharedResultCache::invalidate_all`.
+    pub(crate) fn clear(&mut self) {
+        self.lru.clear();
     }
 
     /// Returns a handle to the cached outcome (an O(1) `Arc` clone) and

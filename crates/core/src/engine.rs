@@ -233,6 +233,83 @@ struct CacheState {
     misses: AtomicU64,
 }
 
+/// A result cache that outlives any one [`QueryEngine`] view, shared by
+/// handle (cheap `Clone`, `Arc` inside).
+///
+/// An engine borrows its topology and point set, so a long-running service
+/// that swaps worlds (or builds a short-lived engine view per batch, like
+/// `rnn-server`'s workers do) cannot keep its memoized results *inside* the
+/// engine. `SharedResultCache` is the same striped LRU state
+/// [`QueryEngine::with_result_cache_sharded`] builds, owned externally:
+/// attach it to any number of engine views with
+/// [`QueryEngine::with_shared_result_cache`] and they all hit one cache.
+///
+/// Whoever owns the handle is responsible for [`invalidate_all`] when the
+/// world changes (new point set, new graph): entries are keyed by
+/// `(algorithm, query node, k)` only, so stale entries from a previous world
+/// would otherwise be served as current answers.
+///
+/// [`invalidate_all`]: SharedResultCache::invalidate_all
+#[derive(Clone)]
+pub struct SharedResultCache {
+    state: std::sync::Arc<CacheState>,
+}
+
+impl SharedResultCache {
+    /// Creates a cache of `capacity` entries striped over `shards`
+    /// independently locked LRU shards (normalized exactly like
+    /// [`QueryEngine::with_result_cache_sharded`]).
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` — a disabled cache is expressed by not
+    /// attaching one, not by an empty one.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        assert!(capacity > 0, "a shared result cache needs capacity >= 1");
+        SharedResultCache { state: std::sync::Arc::new(CacheState::new(capacity, shards)) }
+    }
+
+    /// The number of independently locked shards.
+    pub fn shards(&self) -> usize {
+        self.state.shards.len()
+    }
+
+    /// Number of memoized outcomes currently resident (locks each shard in
+    /// turn; counts from different shards may interleave with concurrent
+    /// inserts).
+    pub fn entries(&self) -> usize {
+        self.state.shards.iter().map(|s| s.lock().expect("result cache lock").len()).sum()
+    }
+
+    /// Cumulative hit/miss counters since the cache was created.
+    pub fn stats(&self) -> CacheStats {
+        self.state.stats()
+    }
+
+    /// Drops every memoized outcome, shard by shard, leaving capacity and
+    /// the cumulative hit/miss counters untouched. Call this whenever the
+    /// world the cached answers were computed against changes — e.g.
+    /// `rnn-server` invalidates on every point-set swap so a long-lived
+    /// service never serves RkNN sets of a retired point set.
+    ///
+    /// Lookups racing the invalidation see either the old entry or a miss;
+    /// a concurrent insert of a *new* answer can land before or after the
+    /// sweep, so swap protocols must invalidate **after** the new world is
+    /// visible to workers (as the server does, under its world write-lock).
+    pub fn invalidate_all(&self) {
+        self.state.clear_all();
+    }
+}
+
+impl std::fmt::Debug for SharedResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedResultCache")
+            .field("shards", &self.shards())
+            .field("entries", &self.entries())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
 impl CacheState {
     /// Builds the shard vector, normalizing and splitting with the same
     /// `rnn_storage::lru` rules the buffer pool stripes by. Callers
@@ -259,6 +336,16 @@ impl CacheState {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every entry, shard by shard (capacity and the cumulative
+    /// hit/miss counters are kept) — the one sweep behind both
+    /// [`SharedResultCache::invalidate_all`] and
+    /// [`QueryEngine::invalidate_all`].
+    fn clear_all(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("result cache lock").clear();
         }
     }
 }
@@ -288,7 +375,7 @@ pub struct QueryEngine<'a> {
     materialized: Option<&'a MaterializedKnn>,
     hub_labels: Option<&'a dyn HubLabelRknn>,
     io: Option<&'a IoCounters>,
-    cache: Option<CacheState>,
+    cache: Option<std::sync::Arc<CacheState>>,
     threads: usize,
 }
 
@@ -301,6 +388,14 @@ impl<'a> QueryEngine<'a> {
         T: Topology,
         P: PointsOnNodes,
     {
+        Self::from_dyn(topo, points)
+    }
+
+    /// [`QueryEngine::new`] over already-erased trait objects — the entry
+    /// point for callers that hold their world behind `Arc<dyn Topology>` /
+    /// `Arc<dyn PointsOnNodes>` (as `rnn-server`'s swappable worlds do) and
+    /// therefore cannot name a sized `T`/`P`.
+    pub fn from_dyn(topo: &'a dyn Topology, points: &'a dyn PointsOnNodes) -> Self {
         QueryEngine {
             topo,
             points,
@@ -354,8 +449,30 @@ impl<'a> QueryEngine<'a> {
     /// order within a key's shard are unaffected for a fixed capacity split,
     /// and results never change either way.
     pub fn with_result_cache_sharded(mut self, capacity: usize, shards: usize) -> Self {
-        self.cache = (capacity > 0).then(|| CacheState::new(capacity, shards));
+        self.cache = (capacity > 0).then(|| std::sync::Arc::new(CacheState::new(capacity, shards)));
         self
+    }
+
+    /// Attaches an externally owned [`SharedResultCache`] by handle, so many
+    /// engine views (e.g. one per serving worker or per world snapshot) hit
+    /// one memoization state. The caller keeps the handle and is responsible
+    /// for [`SharedResultCache::invalidate_all`] when the topology or point
+    /// set the engine views serve changes.
+    pub fn with_shared_result_cache(mut self, cache: &SharedResultCache) -> Self {
+        self.cache = Some(std::sync::Arc::clone(&cache.state));
+        self
+    }
+
+    /// Drops every memoized outcome of the attached result cache (a no-op
+    /// without one). Capacity and cumulative hit/miss counters are kept.
+    /// Long-lived engines call this when their world changes under them —
+    /// e.g. after the point set is swapped — so no stale RkNN set survives;
+    /// see [`SharedResultCache::invalidate_all`] for the racing-lookup
+    /// semantics.
+    pub fn invalidate_all(&self) {
+        if let Some(cache) = &self.cache {
+            cache.clear_all();
+        }
     }
 
     /// The number of independently locked result-cache shards (0 when no
@@ -755,6 +872,78 @@ mod tests {
         let out = racing.run_batch(&workload);
         assert_eq!(out.results, plain.results);
         assert_eq!(out.cache.lookups(), workload.len() as u64);
+    }
+
+    #[test]
+    fn shared_cache_is_hit_across_engine_views_and_survives_their_drop() {
+        let (g, pts, table) = setup();
+        let cache = SharedResultCache::new(32, 4);
+        assert_eq!(cache.shards(), 4);
+        let workload = Workload::uniform(Algorithm::Eager, 2, pts.nodes().iter().copied());
+
+        // First view fills the cache...
+        let first = {
+            let engine = QueryEngine::new(&g, &pts)
+                .with_materialized(&table)
+                .with_shared_result_cache(&cache);
+            engine.run_batch(&workload)
+        };
+        assert_eq!(cache.stats().misses, workload.len() as u64);
+        assert_eq!(cache.entries(), workload.len());
+
+        // ...and a *different* engine view over the same world is served
+        // entirely from it: the handle owns the state, not the engine.
+        let engine =
+            QueryEngine::new(&g, &pts).with_materialized(&table).with_shared_result_cache(&cache);
+        let again = engine.run_batch(&workload);
+        assert_eq!(again.results, first.results);
+        assert_eq!(cache.stats().hits, workload.len() as u64);
+        assert_eq!(again.cache, CacheStats { hits: workload.len() as u64, misses: 0 });
+        assert!(format!("{cache:?}").contains("SharedResultCache"));
+    }
+
+    #[test]
+    fn invalidate_all_prevents_stale_answers_after_a_point_set_swap() {
+        let g = grid(9);
+        let old_points = NodePointSet::from_nodes(81, (0..81).step_by(7).map(NodeId::new));
+        let new_points = NodePointSet::from_nodes(81, (0..81).step_by(13).map(NodeId::new));
+        let cache = SharedResultCache::new(64, 1);
+        let spec = QuerySpec { algorithm: Algorithm::Eager, query: NodeId::new(40), k: 2 };
+        let mut scratch = Scratch::new();
+
+        let old_engine = QueryEngine::new(&g, &old_points).with_shared_result_cache(&cache);
+        let old_answer = old_engine.run(&spec, &mut scratch);
+
+        // The swapped world computes a different answer...
+        let new_engine = QueryEngine::new(&g, &new_points).with_shared_result_cache(&cache);
+        let fresh = QueryEngine::new(&g, &new_points).run(&spec, &mut scratch);
+        assert_ne!(fresh, old_answer, "the two point sets must disagree for this test to bite");
+
+        // ...but without invalidation the shared cache still serves the old
+        // world's RkNN set — exactly the staleness the hook exists to kill.
+        assert_eq!(new_engine.run(&spec, &mut scratch), old_answer, "stale before invalidate");
+        new_engine.invalidate_all();
+        assert_eq!(cache.entries(), 0, "every shard was swept");
+        assert_eq!(new_engine.run(&spec, &mut scratch), fresh, "re-query returns the new answer");
+        assert_eq!(new_engine.run(&spec, &mut scratch), fresh, "and is cached again");
+        assert_eq!(cache.stats().hits, 2, "old-world hit + re-cached new answer");
+
+        // invalidate_all without a cache attached is a quiet no-op.
+        QueryEngine::new(&g, &new_points).invalidate_all();
+    }
+
+    #[test]
+    fn engine_views_work_over_unsized_trait_objects() {
+        // The server holds its world as Arc<dyn Topology> / Arc<dyn
+        // PointsOnNodes>; the engine constructor must accept the unsized
+        // targets directly.
+        let (g, pts, _) = setup();
+        let topo: std::sync::Arc<dyn Topology + Send + Sync> = std::sync::Arc::new(g);
+        let points: std::sync::Arc<dyn PointsOnNodes + Send + Sync> = std::sync::Arc::new(pts);
+        let engine = QueryEngine::from_dyn(&*topo, &*points);
+        let spec = QuerySpec { algorithm: Algorithm::Lazy, query: NodeId::new(40), k: 1 };
+        let via_dyn = engine.run(&spec, &mut Scratch::new());
+        assert!(!via_dyn.points.is_empty());
     }
 
     #[test]

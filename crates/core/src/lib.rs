@@ -97,7 +97,9 @@ pub mod verify;
 pub use cache::CacheStats;
 pub use cost::{CostModel, QueryCost};
 pub use dispatch::{run_rknn, run_rknn_with, Algorithm};
-pub use engine::{BatchOutcome, QueryEngine, QuerySpec, RknnAlgorithm, Workload};
+pub use engine::{
+    BatchOutcome, QueryEngine, QuerySpec, RknnAlgorithm, SharedResultCache, Workload,
+};
 pub use materialize::MaterializedKnn;
 pub use precomputed::{HubLabelRknn, Precomputed};
 pub use query::{QueryStats, RknnOutcome};

@@ -1,0 +1,50 @@
+//! Online RkNN serving: the subsystem that turns the offline batch engine
+//! into a long-running service.
+//!
+//! The layers below this crate answer queries; none of them *accepts* them.
+//! [`rnn_core::QueryEngine::run_batch`] executes a workload that is fully
+//! known up front and returns when the last query finishes — the shape of an
+//! experiment, not of a service. ReHub (Efentakis & Pfoser) frames RkNN as
+//! an **online** problem: requests arrive continuously, with different
+//! algorithms, deadlines and arrival bursts, and the system must decide what
+//! to admit, when to run it, and how long everything waited. This crate is
+//! that missing layer:
+//!
+//! * [`RequestQueue`](queue) — a hand-rolled bounded MPMC queue (mutex +
+//!   two condvars around a ring buffer) with three admission policies at
+//!   the full-queue edge: [`Block`](BackpressurePolicy::Block),
+//!   [`Reject`](BackpressurePolicy::Reject), and
+//!   [`Shed`](BackpressurePolicy::Shed) (drop the oldest request already
+//!   past its deadline).
+//! * [`Ticket`] — a oneshot completion handle per request: callers submit,
+//!   then await their own result while other traffic interleaves. Every
+//!   accepted request resolves its ticket exactly once.
+//! * [`Server`] — N long-lived workers, each with its own [`Scratch`]
+//!   arena, draining the queue in micro-batches, sharing one result cache
+//!   (and, on paged worlds, one striped buffer pool and one set of
+//!   lock-free I/O counters); graceful drain-then-join shutdown; runtime
+//!   [`ServerStats`] snapshots; atomic point-set swaps that sweep the
+//!   cache.
+//! * [`LatencyHistogram`] — fixed-bucket log-scale latency accounting with
+//!   the queue-wait / service-time split, mergeable across workers.
+//!
+//! Serving never changes answers: for any admitted request the outcome is
+//! byte-identical to the sequential [`rnn_core::run_rknn`] call against the
+//! same world, regardless of worker count, micro-batch size or policy — the
+//! `server_determinism` integration suite pins this down for all six
+//! algorithms.
+//!
+//! [`Scratch`]: rnn_core::Scratch
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod queue;
+pub mod request;
+pub mod server;
+
+pub use histogram::LatencyHistogram;
+pub use queue::BackpressurePolicy;
+pub use request::{Request, ServeError, ServeResult, ServedQuery, Ticket};
+pub use server::{Server, ServerConfig, ServerStats, World};

@@ -1,0 +1,300 @@
+//! Requests, completion handles and serve errors.
+//!
+//! The batch engine's callers hand over a whole [`Workload`] and block until
+//! every query finishes; an online server inverts that: each caller submits
+//! **one** request and gets back a [`Ticket`] — a oneshot completion handle —
+//! to await its own result while other callers' requests interleave freely.
+//! The ticket is a `Mutex<Option<_>>` slot plus a `Condvar`: the worker that
+//! serves the request fills the slot exactly once and wakes the waiter.
+//!
+//! Every accepted request resolves its ticket exactly once, no matter what:
+//! served requests resolve to a [`ServedQuery`], load-shed requests to
+//! [`ServeError::Shed`], and if a request is ever dropped unserved (only
+//! possible if a worker thread dies mid-batch) the drop itself resolves the
+//! ticket to [`ServeError::Lost`] — a waiter can never hang on a request the
+//! server no longer knows about.
+//!
+//! [`Workload`]: rnn_core::engine::Workload
+
+use rnn_core::engine::QuerySpec;
+use rnn_core::{Algorithm, RknnOutcome};
+use rnn_graph::NodeId;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One RkNN query submitted to the server.
+#[derive(Copy, Clone, Debug)]
+pub struct Request {
+    /// The algorithm to answer with.
+    pub algorithm: Algorithm,
+    /// The query node.
+    pub query: NodeId,
+    /// The `k` of the RkNN query (must be at least 1 to pass admission).
+    pub k: usize,
+    /// The instant after which the request is no longer worth serving.
+    /// Only the `Shed` backpressure policy acts on it (expired requests are
+    /// dropped at admission or dequeue); `Block` and `Reject` never drop
+    /// accepted work.
+    pub deadline: Option<Instant>,
+    /// When the request entered the system (stamped by [`Request::new`]).
+    /// Queue wait is measured from here, so time spent blocked in a full
+    /// `Block`-policy queue counts as waiting — which is what an end-to-end
+    /// latency account must show.
+    pub submit_instant: Instant,
+}
+
+impl Request {
+    /// A request with no deadline, stamped `submit_instant = now`.
+    pub fn new(algorithm: Algorithm, query: NodeId, k: usize) -> Self {
+        Request { algorithm, query, k, deadline: None, submit_instant: Instant::now() }
+    }
+
+    /// Sets an absolute deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the deadline `budget` after the submit instant.
+    pub fn with_deadline_in(mut self, budget: Duration) -> Self {
+        self.deadline = Some(self.submit_instant + budget);
+        self
+    }
+
+    /// The engine-level spec of this request.
+    pub fn spec(&self) -> QuerySpec {
+        QuerySpec { algorithm: self.algorithm, query: self.query, k: self.k }
+    }
+}
+
+/// Why a request was not served. See [`crate::Server::submit`] for which
+/// variants surface where (synchronously vs. through the ticket).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control turned the request away: the queue was full and the
+    /// policy was `Reject`, or `Shed` found no expired request to drop.
+    QueueFull,
+    /// The server is shutting down and accepts no new requests.
+    ShuttingDown,
+    /// The request was accepted, then dropped past its deadline by the
+    /// `Shed` policy (at admission, to make room, or at dequeue).
+    Shed,
+    /// The request cannot be served: `k == 0`, or the algorithm needs a
+    /// precomputed structure (materialized table, hub labels) the world
+    /// does not carry. Surfaces synchronously from admission, or through
+    /// the ticket when a point-set swap removed the structure after the
+    /// request was queued.
+    Unservable,
+    /// The request was dropped without being served. A healthy server never
+    /// produces this: it is the drop-time backstop that keeps a ticket from
+    /// hanging forever if a worker thread dies mid-batch.
+    Lost,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ServeError::QueueFull => "request queue is full",
+            ServeError::ShuttingDown => "server is shutting down",
+            ServeError::Shed => "request shed past its deadline",
+            ServeError::Unservable => "request cannot be served by the current world",
+            ServeError::Lost => "request was dropped without being served",
+        })
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A served request: the RkNN outcome plus where its latency went.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServedQuery {
+    /// The query result, byte-identical to what the sequential
+    /// [`rnn_core::run_rknn`] loop computes for the same world.
+    pub outcome: RknnOutcome,
+    /// Submit instant to dequeue: time spent in (or blocked on) the queue.
+    pub queue_wait: Duration,
+    /// Dequeue to completion: time spent executing the algorithm.
+    pub service_time: Duration,
+    /// Index of the worker thread that served the request.
+    pub worker: usize,
+}
+
+/// What a ticket resolves to.
+pub type ServeResult = Result<ServedQuery, ServeError>;
+
+/// The oneshot slot a worker fills and a [`Ticket`] waits on.
+pub(crate) struct Completion {
+    slot: Mutex<Option<ServeResult>>,
+    filled: Condvar,
+}
+
+impl Completion {
+    pub(crate) fn new() -> Self {
+        Completion { slot: Mutex::new(None), filled: Condvar::new() }
+    }
+
+    /// Fills the slot if it is still empty (first write wins — the drop-time
+    /// `Lost` backstop must never overwrite a real result) and wakes waiters.
+    pub(crate) fn fulfill(&self, result: ServeResult) {
+        let mut slot = lock(&self.slot);
+        if slot.is_none() {
+            *slot = Some(result);
+            self.filled.notify_all();
+        }
+    }
+
+    fn wait(&self) -> ServeResult {
+        let mut slot = lock(&self.slot);
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.filled.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        lock(&self.slot).is_some()
+    }
+}
+
+/// Locks ignoring poison: a panicking worker must not cascade into every
+/// caller that touches the same slot (parking_lot semantics, on std types).
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The completion handle returned by [`crate::Server::submit`]: await the
+/// result of one request with [`Ticket::wait`].
+pub struct Ticket {
+    pub(crate) completion: Arc<Completion>,
+}
+
+impl Ticket {
+    /// Blocks until the request resolves and returns its result. Every
+    /// accepted request resolves exactly once (served, shed, or — worker
+    /// death only — lost), so this never hangs on a drained server.
+    pub fn wait(self) -> ServeResult {
+        self.completion.wait()
+    }
+
+    /// Returns `true` once the result is available ([`Ticket::wait`] will
+    /// not block).
+    pub fn is_done(&self) -> bool {
+        self.completion.is_done()
+    }
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket").field("done", &self.is_done()).finish()
+    }
+}
+
+/// A request riding the queue together with its completion handle.
+pub(crate) struct Queued {
+    pub(crate) request: Request,
+    pub(crate) completion: Arc<Completion>,
+}
+
+impl Queued {
+    pub(crate) fn new(request: Request) -> (Self, Ticket) {
+        let completion = Arc::new(Completion::new());
+        let ticket = Ticket { completion: Arc::clone(&completion) };
+        (Queued { request, completion }, ticket)
+    }
+
+    /// Resolves the ticket with a served result.
+    pub(crate) fn complete(&self, served: ServedQuery) {
+        self.completion.fulfill(Ok(served));
+    }
+
+    /// Resolves the ticket with an error.
+    pub(crate) fn fail(&self, error: ServeError) {
+        self.completion.fulfill(Err(error));
+    }
+}
+
+impl Drop for Queued {
+    fn drop(&mut self) {
+        // Backstop: a queued request that dies unserved still resolves its
+        // ticket (no-op when the worker already fulfilled it).
+        self.completion.fulfill(Err(ServeError::Lost));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnn_core::QueryStats;
+
+    fn request() -> Request {
+        Request::new(Algorithm::Eager, NodeId::new(3), 2)
+    }
+
+    fn served() -> ServedQuery {
+        ServedQuery {
+            outcome: RknnOutcome::from_points(vec![], QueryStats::default()),
+            queue_wait: Duration::from_micros(5),
+            service_time: Duration::from_micros(7),
+            worker: 0,
+        }
+    }
+
+    #[test]
+    fn request_builders_and_spec() {
+        let r = request();
+        assert_eq!(
+            r.spec(),
+            QuerySpec { algorithm: Algorithm::Eager, query: NodeId::new(3), k: 2 }
+        );
+        assert!(r.deadline.is_none());
+        let d = r.with_deadline_in(Duration::from_millis(10));
+        assert_eq!(d.deadline, Some(d.submit_instant + Duration::from_millis(10)));
+        let at = Instant::now();
+        assert_eq!(request().with_deadline(at).deadline, Some(at));
+    }
+
+    #[test]
+    fn ticket_resolves_once_and_first_write_wins() {
+        let (queued, ticket) = Queued::new(request());
+        assert!(!ticket.is_done());
+        queued.complete(served());
+        queued.fail(ServeError::Shed); // ignored: already fulfilled
+        assert!(ticket.is_done());
+        assert!(format!("{ticket:?}").contains("done: true"));
+        let result = ticket.wait().expect("completed");
+        assert_eq!(result.worker, 0);
+        assert_eq!(result.service_time, Duration::from_micros(7));
+    }
+
+    #[test]
+    fn ticket_wait_blocks_until_a_worker_fulfills() {
+        let (queued, ticket) = Queued::new(request());
+        let waiter = std::thread::spawn(move || ticket.wait());
+        std::thread::sleep(Duration::from_millis(10));
+        queued.fail(ServeError::Shed);
+        assert_eq!(waiter.join().unwrap(), Err(ServeError::Shed));
+    }
+
+    #[test]
+    fn dropping_an_unserved_request_resolves_the_ticket_as_lost() {
+        let (queued, ticket) = Queued::new(request());
+        drop(queued);
+        assert!(ticket.is_done());
+        assert_eq!(ticket.wait(), Err(ServeError::Lost));
+    }
+
+    #[test]
+    fn error_display_is_human_readable() {
+        for (e, needle) in [
+            (ServeError::QueueFull, "full"),
+            (ServeError::ShuttingDown, "shutting down"),
+            (ServeError::Shed, "shed"),
+            (ServeError::Unservable, "cannot be served"),
+            (ServeError::Lost, "dropped"),
+        ] {
+            assert!(e.to_string().contains(needle), "{e:?}");
+        }
+    }
+}

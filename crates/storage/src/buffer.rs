@@ -28,6 +28,7 @@ use crate::lru::{mix64, Lru};
 use crate::page::{Page, PageId};
 use parking_lot::Mutex;
 use std::ops::AddAssign;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Number of pages in the paper's default 1 MB buffer.
 pub const DEFAULT_BUFFER_PAGES: usize = 256;
@@ -162,7 +163,9 @@ fn new_shard(capacity: usize) -> Shard {
 /// A striped LRU page buffer on top of a [`PageStore`].
 pub struct BufferPool<S> {
     store: S,
-    capacity: usize,
+    // Atomic only because [`BufferPool::resize`] rebalances through `&self`;
+    // resize writes it under all shard locks, everything else reads it.
+    capacity: AtomicUsize,
     mask: usize, // shards.len() - 1; shards.len() is a power of two
     shards: Vec<Shard>,
     counters: IoCounters,
@@ -184,7 +187,13 @@ impl<S: PageStore> BufferPool<S> {
     pub fn with_config(store: S, config: BufferPoolConfig, counters: IoCounters) -> Self {
         let shards: Vec<Shard> = config.shard_capacities().into_iter().map(new_shard).collect();
         debug_assert!(shards.len().is_power_of_two());
-        BufferPool { store, capacity: config.capacity, mask: shards.len() - 1, shards, counters }
+        BufferPool {
+            store,
+            capacity: AtomicUsize::new(config.capacity),
+            mask: shards.len() - 1,
+            shards,
+            counters,
+        }
     }
 
     /// Creates a buffer with the paper's default capacity of 256 pages.
@@ -194,7 +203,7 @@ impl<S: PageStore> BufferPool<S> {
 
     /// The total buffer capacity in pages.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.capacity.load(Ordering::Relaxed)
     }
 
     /// The number of independently locked shards (a power of two).
@@ -272,6 +281,38 @@ impl<S: PageStore> BufferPool<S> {
         }
     }
 
+    /// Rebalances the pool to `new_capacity` pages at runtime, holding every
+    /// shard lock for the duration (serving systems resize buffer memory
+    /// without rebuilding the pool or invalidating the page→shard mapping —
+    /// the shard *count* never changes).
+    ///
+    /// The new capacity is re-split over the existing shards with the same
+    /// remainder-first rule the constructor uses. A shrink drains each
+    /// over-full shard in exact LRU order via `pop_lru`, so the surviving
+    /// pages are precisely the most recently used of each shard; a grow only
+    /// adds headroom. With fewer pages than shards, the trailing shards get
+    /// capacity 0 and cache nothing (every access to them faults).
+    ///
+    /// Pages dropped by a shrink are *not* counted as evictions in either
+    /// accounting system: eviction counters mean "evicted to make room for a
+    /// faulted page", and keeping resize out of them preserves the
+    /// pool-vs-[`IoCounters`] agreement (`evictions <= faults`) that the
+    /// concurrency tests pin down.
+    pub fn resize(&self, new_capacity: usize) {
+        let mut guards = self.lock_all();
+        let shards = guards.len();
+        let base = new_capacity / shards;
+        let extra = new_capacity % shards;
+        for (i, guard) in guards.iter_mut().enumerate() {
+            let cap = base + usize::from(i < extra);
+            guard.lru.set_capacity(cap);
+            while guard.lru.len() > cap {
+                guard.lru.pop_lru();
+            }
+        }
+        self.capacity.store(new_capacity, Ordering::Relaxed);
+    }
+
     fn clear_locked(&self, mut guards: Vec<std::sync::MutexGuard<'_, ShardState>>) {
         for guard in guards.iter_mut() {
             guard.lru.clear();
@@ -301,7 +342,7 @@ impl<S: PageStore> BufferPool<S> {
         // [`BufferPool::clear_and_reset`], which resets both under every
         // shard lock — in neither. `record_access` itself is lock-free, so
         // this adds no lock traffic.
-        if self.capacity == 0 {
+        if self.capacity() == 0 {
             // No buffer at all: every access is a fault and nothing is
             // cached. Counted against the page's nominal shard.
             let page = self.store.read_page(page_id)?;
@@ -345,7 +386,7 @@ impl<S: PageStore> BufferPool<S> {
 impl<S: PageStore> std::fmt::Debug for BufferPool<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BufferPool")
-            .field("capacity", &self.capacity)
+            .field("capacity", &self.capacity())
             .field("shards", &self.num_shards())
             .field("resident", &self.resident_pages())
             .field("stats", &self.io_stats().total)
@@ -652,6 +693,122 @@ mod tests {
             assert!(s < 4);
             assert_eq!(s, pool.shard_of(PageId(i)), "stable mapping");
         }
+    }
+
+    #[test]
+    fn resize_shrink_keeps_the_most_recent_pages_in_exact_victim_order() {
+        // One shard, capacity 4, recency order pinned by hits: resident MRU
+        // first is [2, 0, 3, 1] after the accesses below.
+        let pool = BufferPool::new(disk_with_pages(6), 4, IoCounters::new());
+        for i in [0u32, 1, 2, 3] {
+            pool.fetch(PageId(i)).unwrap();
+        }
+        pool.fetch(PageId(0)).unwrap(); // hit -> [0, 3, 2, 1]
+        pool.fetch(PageId(2)).unwrap(); // hit -> [2, 0, 3, 1]
+        let before = totals(&pool);
+
+        // Shrink to 2: the LRU half (pages 1 then 3) is drained, the MRU half
+        // survives — and the drain counts in neither accounting system.
+        pool.resize(2);
+        assert_eq!(pool.capacity(), 2);
+        assert_eq!(pool.resident_pages(), 2);
+        assert_eq!(totals(&pool), before, "resize drains are not evictions");
+        pool.fetch(PageId(2)).unwrap(); // hit: survived
+        pool.fetch(PageId(0)).unwrap(); // hit: survived
+        assert_eq!(totals(&pool).faults, before.faults, "the MRU pages survived the shrink");
+        pool.fetch(PageId(1)).unwrap(); // fault: was drained
+        pool.fetch(PageId(3)).unwrap(); // fault: was drained
+        assert_eq!(totals(&pool).faults, before.faults + 2);
+
+        // The shrunken pool now runs the exact capacity-2 LRU policy: the
+        // faults above went 1 (evicting 2) then 3 (evicting 0), so 1 and 3
+        // are resident and 0 faults again.
+        pool.fetch(PageId(1)).unwrap(); // hit -> [1, 3]
+        pool.fetch(PageId(3)).unwrap(); // hit -> [3, 1]
+        assert_eq!(totals(&pool).faults, before.faults + 2, "1 and 3 are the resident pair");
+        pool.fetch(PageId(0)).unwrap(); // fault: evicts the then-LRU page 1
+        assert_eq!(totals(&pool).faults, before.faults + 3);
+    }
+
+    #[test]
+    fn resize_matches_a_fresh_pool_after_warmup() {
+        // After shrinking a warmed single-shard pool, its fault behavior must
+        // equal a fresh pool of the target capacity warmed with the same
+        // resident set in the same recency order.
+        let trace: Vec<u32> = vec![0, 1, 2, 3, 4, 2, 0, 5, 1, 0, 3, 2, 5, 0, 1];
+        let shrunk = BufferPool::new(disk_with_pages(6), 4, IoCounters::new());
+        for &i in &[0u32, 1, 2, 3] {
+            shrunk.fetch(PageId(i)).unwrap();
+        }
+        shrunk.fetch(PageId(1)).unwrap(); // MRU first: [1, 3, 2, 0]
+        shrunk.resize(2); // survivors in recency order: [1, 3]
+        let fresh = BufferPool::new(disk_with_pages(6), 2, IoCounters::new());
+        fresh.fetch(PageId(3)).unwrap();
+        fresh.fetch(PageId(1)).unwrap(); // same state: [1, 3]
+
+        let (shrunk_base, fresh_base) = (totals(&shrunk), totals(&fresh));
+        for (step, &i) in trace.iter().enumerate() {
+            assert_eq!(
+                shrunk.fetch(PageId(i)).unwrap(),
+                fresh.fetch(PageId(i)).unwrap(),
+                "step {step}"
+            );
+            assert_eq!(
+                totals(&shrunk).since(&shrunk_base),
+                totals(&fresh).since(&fresh_base),
+                "step {step}: fault-for-fault identical after page {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn resize_grow_resplits_capacity_and_adds_headroom() {
+        // 4 pages over 4 shards, grown to 40 (10 per shard): every page fits
+        // its shard no matter how mix64 distributes the ids, so the
+        // previously-thrashing working set becomes fully resident.
+        let config = BufferPoolConfig::new(4).with_shards(4);
+        let pool = BufferPool::with_config(disk_with_pages(10), config, IoCounters::new());
+        for round in 0..2 {
+            for i in 0..10u32 {
+                pool.fetch(PageId(i)).unwrap();
+            }
+            assert!(pool.resident_pages() <= 4, "round {round}");
+        }
+        let thrashing = totals(&pool);
+        assert!(thrashing.evictions > 0, "10 pages through 4 slots must evict");
+
+        pool.resize(40);
+        assert_eq!(pool.capacity(), 40);
+        assert_eq!(pool.num_shards(), 4, "the shard count never changes");
+        for i in 0..10u32 {
+            pool.fetch(PageId(i)).unwrap(); // faults refill the grown pool
+        }
+        assert_eq!(pool.resident_pages(), 10);
+        let warm = totals(&pool);
+        for round in 0..3 {
+            for i in 0..10u32 {
+                pool.fetch(PageId(i)).unwrap();
+            }
+            assert_eq!(totals(&pool).faults, warm.faults, "round {round}: all hits when grown");
+        }
+
+        // Shrinking below the shard count leaves the trailing shards with
+        // capacity 0; the pool still serves every page correctly.
+        pool.resize(2);
+        assert_eq!(pool.resident_pages(), 2);
+        for i in 0..10u32 {
+            let page = pool.fetch(PageId(i)).unwrap();
+            assert_eq!(page.records(PageId(i)).unwrap()[0].node, NodeId(i));
+        }
+        assert!(pool.resident_pages() <= 2);
+        // Resize to zero disables caching outright.
+        pool.resize(0);
+        assert_eq!(pool.resident_pages(), 0);
+        let before = totals(&pool);
+        pool.fetch(PageId(0)).unwrap();
+        let after = totals(&pool);
+        assert_eq!(after.faults, before.faults + 1, "capacity 0 always faults");
+        assert_eq!(pool.resident_pages(), 0);
     }
 
     #[test]

@@ -193,6 +193,16 @@ impl<K: Eq + Hash + Clone, V, S: BuildHasher> Lru<K, V, S> {
         Some((removed.key, removed.value))
     }
 
+    /// Changes the bound this LRU evicts at, without touching the resident
+    /// entries: after a shrink the cache may be over-full until the caller
+    /// drains it with [`Lru::pop_lru`] (the buffer pool's `resize` does
+    /// exactly that — and deliberately keeps the drained entries out of its
+    /// eviction counters; see `BufferPool::resize`). A grow simply leaves
+    /// headroom for future inserts.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+    }
+
     /// Drops every entry (the capacity is unchanged).
     pub fn clear(&mut self) {
         self.map.clear();
@@ -361,6 +371,28 @@ mod tests {
         assert_eq!(c.len(), 0);
         assert_eq!(c.pop_lru(), None);
         assert!(!c.contains(&1));
+    }
+
+    #[test]
+    fn set_capacity_shrinks_and_grows_the_bound() {
+        let mut c = lru(4);
+        for i in 0..4 {
+            c.insert(i, val(i));
+        }
+        // Shrink: entries stay resident until the caller drains; the next
+        // pops still come out in exact LRU order.
+        c.set_capacity(2);
+        assert_eq!(c.capacity(), 2);
+        assert_eq!(c.len(), 4, "shrinking does not drop entries by itself");
+        while c.len() > c.capacity() {
+            c.pop_lru();
+        }
+        assert_eq!(c.keys_mru_to_lru(), vec![3, 2], "the LRU entries were drained first");
+        // Grow: new headroom fills with fresh slots before evicting again.
+        c.set_capacity(3);
+        assert!(c.insert(7, val(7)).is_none(), "grown capacity absorbs the insert");
+        assert_eq!(c.insert(8, val(8)), Some((2, val(2))), "then LRU eviction resumes");
+        assert_eq!(c.keys_mru_to_lru(), vec![8, 7, 3]);
     }
 
     #[test]

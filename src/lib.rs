@@ -11,10 +11,13 @@
 //!   lazy-EP, eager-M, bichromatic, continuous, unrestricted).
 //! * [`rnn_index`] — the hub-label index subsystem (pruned landmark
 //!   labeling, inverted point table, label-served RkNN).
+//! * [`rnn_server`] — the online serving subsystem (bounded request queue,
+//!   admission control, worker pool, latency accounting).
 //! * [`rnn_datagen`] — synthetic dataset and workload generators.
 
 pub use rnn_core as core;
 pub use rnn_datagen as datagen;
 pub use rnn_graph as graph;
 pub use rnn_index as index;
+pub use rnn_server as server;
 pub use rnn_storage as storage;

@@ -8,7 +8,9 @@ use rnn::core::materialize::MaterializedKnn;
 use rnn::core::{run_rknn, Algorithm, Precomputed};
 use rnn::graph::{GraphBuilder, NodeId, NodePointSet};
 use rnn::index::HubLabelIndex;
+use rnn::server::{Request, Server, ServerConfig, World};
 use rnn::storage::{BufferPoolConfig, IoCounters, LayoutStrategy, PagedGraph};
+use std::sync::Arc;
 
 /// The quickstart network: an 8-junction ring with two chords.
 fn quickstart_network() -> rnn::graph::Graph {
@@ -143,6 +145,51 @@ fn paged_serving_flow_matches_in_memory_results_on_a_sharded_pool() {
             );
         }
     }
+}
+
+/// Mirrors `examples/online_serving.rs` on the quickstart network: a mixed
+/// all-algorithm stream through the server equals the sequential loop, a
+/// point-set swap serves the new answers with the cache enabled, and the
+/// shutdown accounting conserves every request.
+#[test]
+fn online_serving_flow_matches_sequential_queries_and_conserves_requests() {
+    let graph = Arc::new(quickstart_network());
+    let cafes = Arc::new(NodePointSet::from_nodes(8, [0, 3, 6].map(NodeId::new)));
+    let table = Arc::new(MaterializedKnn::build(&*graph, &*cafes, 2));
+    let hub_index = Arc::new(HubLabelIndex::build(&*graph, &*cafes));
+
+    let pre = Precomputed::materialized(&table).with_hub_labels(&*hub_index);
+    let world = World::new(graph.clone(), cafes.clone())
+        .with_materialized(Arc::clone(&table))
+        .with_hub_labels(hub_index.clone());
+    let server =
+        Server::start(world, ServerConfig::default().with_workers(2).with_result_cache(16, 0));
+
+    let tickets: Vec<_> = Algorithm::ALL
+        .iter()
+        .flat_map(|&algorithm| graph.node_ids().map(move |q| (algorithm, q)).collect::<Vec<_>>())
+        .map(|(algorithm, q)| {
+            (algorithm, q, server.submit(Request::new(algorithm, q, 1)).expect("admitted"))
+        })
+        .collect();
+    for (algorithm, q, ticket) in tickets {
+        let served = ticket.wait().expect("served");
+        let direct = run_rknn(algorithm, &*graph, &*cafes, pre, q, 1);
+        assert_eq!(served.outcome, direct, "{algorithm} at {q}");
+    }
+
+    // Swap to a different cafe set: the cached answers must not survive.
+    let new_cafes = Arc::new(NodePointSet::from_nodes(8, [1, 4].map(NodeId::new)));
+    server.swap_points(new_cafes.clone(), None, None);
+    let q = NodeId::new(5);
+    let served = server.submit(Request::new(Algorithm::Eager, q, 1)).unwrap().wait().unwrap();
+    let direct = run_rknn(Algorithm::Eager, &*graph, &*new_cafes, Precomputed::none(), q, 1);
+    assert_eq!(served.outcome, direct, "post-swap answers come from the new point set");
+
+    let stats = server.shutdown();
+    assert_eq!(stats.completed + stats.rejected + stats.shed, stats.submitted);
+    assert_eq!(stats.completed, 6 * 8 + 1);
+    assert!(stats.cache.lookups() > 0);
 }
 
 /// Mirrors `examples/hub_label_serving.rs` on the quickstart network: the

@@ -1,0 +1,393 @@
+//! The serving layer never changes answers, and never loses requests.
+//!
+//! Three pinned properties of `rnn-server`:
+//!
+//! 1. **Determinism** — for all six algorithms, a workload submitted through
+//!    the server at 1, 2 and 8 workers (Block policy, no deadlines) yields
+//!    results byte-identical to the sequential `run_rknn` loop: worker
+//!    count, micro-batching and queue interleaving affect latency, never
+//!    answers.
+//! 2. **Conservation** — shutting down under load loses nothing:
+//!    `completed + rejected + shed == submitted`, and every accepted ticket
+//!    resolves.
+//! 3. **Admission policies** — a tiny queue under `Reject` fails fast while
+//!    completing everything it accepted; under `Shed` expired requests are
+//!    dropped and accounted; and a point-set swap with the result cache
+//!    enabled serves the new world's answers immediately.
+
+use rnn::core::{run_rknn_with, Algorithm, MaterializedKnn, Precomputed, Scratch};
+use rnn::datagen::{grid_map, GridConfig};
+use rnn::graph::{Graph, NodeId, NodePointSet};
+use rnn::index::HubLabelIndex;
+use rnn::server::{BackpressurePolicy, Request, ServeError, Server, ServerConfig, Ticket, World};
+use rnn::storage::{BufferPoolConfig, IoCounters, LayoutStrategy, PagedGraph};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn grid_world() -> (Arc<Graph>, Arc<NodePointSet>) {
+    let graph =
+        Arc::new(grid_map(&GridConfig { rows: 12, cols: 12, seed: 42, ..Default::default() }));
+    let n = graph.num_nodes();
+    let points = Arc::new(NodePointSet::from_nodes(n, (0..n).step_by(7).map(NodeId::new)));
+    (graph, points)
+}
+
+/// Requests covering all six algorithms over every data-point node.
+fn mixed_requests(points: &NodePointSet, k: usize) -> Vec<(Algorithm, NodeId, usize)> {
+    let mut requests = Vec::new();
+    for algorithm in Algorithm::ALL {
+        for &node in points.nodes() {
+            requests.push((algorithm, node, k));
+        }
+    }
+    requests
+}
+
+#[test]
+fn all_six_algorithms_match_the_sequential_oracle_at_every_worker_count() {
+    let (graph, points) = grid_world();
+    let table = Arc::new(MaterializedKnn::build(&*graph, &*points, 2));
+    let hub_index = Arc::new(HubLabelIndex::build(&*graph, &*points));
+    let requests = mixed_requests(&points, 2);
+
+    // The sequential oracle: one scratch, one thread, direct calls.
+    let mut scratch = Scratch::new();
+    let pre = Precomputed::materialized(&table).with_hub_labels(&*hub_index);
+    let oracle: Vec<_> = requests
+        .iter()
+        .map(|&(algorithm, query, k)| {
+            run_rknn_with(algorithm, &*graph, &*points, pre, query, k, &mut scratch)
+        })
+        .collect();
+
+    for workers in [1usize, 2, 8] {
+        let world = World::new(graph.clone(), points.clone())
+            .with_materialized(Arc::clone(&table))
+            .with_hub_labels(hub_index.clone());
+        let server = Server::start(
+            world,
+            ServerConfig::default()
+                .with_workers(workers)
+                .with_policy(BackpressurePolicy::Block)
+                .with_micro_batch(4),
+        );
+        let tickets: Vec<Ticket> = requests
+            .iter()
+            .map(|&(algorithm, query, k)| {
+                server.submit(Request::new(algorithm, query, k)).expect("admitted")
+            })
+            .collect();
+        for ((ticket, expected), &(algorithm, query, _)) in
+            tickets.into_iter().zip(&oracle).zip(&requests)
+        {
+            let served = ticket.wait().expect("served");
+            assert_eq!(
+                served.outcome, *expected,
+                "{workers} workers: {algorithm} at {query} must equal the sequential loop"
+            );
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, requests.len() as u64, "{workers} workers");
+        assert_eq!(stats.accounted(), stats.submitted, "{workers} workers");
+        for algorithm in Algorithm::ALL {
+            assert_eq!(
+                stats.algorithm_count(algorithm),
+                points.nodes().len() as u64,
+                "{workers} workers: per-algorithm accounting"
+            );
+        }
+        assert_eq!(stats.queue_wait.count(), stats.completed);
+        assert_eq!(stats.service.count(), stats.completed);
+    }
+}
+
+#[test]
+fn paged_world_with_shared_cache_matches_the_in_memory_oracle() {
+    // The full serving stack: paged topology behind a striped buffer pool,
+    // lock-free I/O counters, shared result cache, 4 workers.
+    let (graph, points) = grid_world();
+    let counters = IoCounters::new();
+    let paged = Arc::new(
+        PagedGraph::build_with_config(
+            &graph,
+            LayoutStrategy::BfsLocality,
+            BufferPoolConfig::new(64).with_shards(4),
+            counters.clone(),
+        )
+        .expect("paged graph"),
+    );
+    let mut scratch = Scratch::new();
+    let queries: Vec<NodeId> = points.nodes().to_vec();
+    let oracle: Vec<_> = queries
+        .iter()
+        .map(|&q| {
+            run_rknn_with(
+                Algorithm::Lazy,
+                &*graph,
+                &*points,
+                Precomputed::none(),
+                q,
+                1,
+                &mut scratch,
+            )
+        })
+        .collect();
+
+    let world = World::new(paged, points.clone());
+    let server = Server::start_with_io(
+        world,
+        ServerConfig::default().with_workers(4).with_result_cache(32, 0),
+        counters,
+    );
+    // Two rounds: the second is served from the shared cache — same bytes.
+    for round in 0..2 {
+        let tickets: Vec<Ticket> = queries
+            .iter()
+            .map(|&q| server.submit(Request::new(Algorithm::Lazy, q, 1)).expect("admitted"))
+            .collect();
+        for (ticket, expected) in tickets.into_iter().zip(&oracle) {
+            assert_eq!(ticket.wait().expect("served").outcome, *expected, "round {round}");
+        }
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 2 * queries.len() as u64);
+    assert!(stats.io.accesses > 0, "the paged world's I/O rolled up into the stats");
+    assert!(stats.cache.hits > 0, "the repeat round hit the shared cache");
+    assert_eq!(stats.cache.lookups(), stats.completed);
+}
+
+#[test]
+fn shutdown_under_load_loses_no_request() {
+    let (graph, points) = grid_world();
+    let queries: Vec<NodeId> = points.nodes().to_vec();
+    let server = Arc::new(Server::start(
+        World::new(graph, points.clone()),
+        ServerConfig::default()
+            .with_workers(2)
+            .with_queue_capacity(4)
+            .with_policy(BackpressurePolicy::Block),
+    ));
+
+    let submitted = Arc::new(AtomicU64::new(0));
+    let completed = Arc::new(AtomicU64::new(0));
+    let rejected = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for t in 0..4usize {
+            let server = Arc::clone(&server);
+            let queries = queries.clone();
+            let submitted = Arc::clone(&submitted);
+            let completed = Arc::clone(&completed);
+            let rejected = Arc::clone(&rejected);
+            scope.spawn(move || {
+                for i in 0..60 {
+                    let q = queries[(t * 60 + i) % queries.len()];
+                    submitted.fetch_add(1, Ordering::Relaxed);
+                    match server.submit(Request::new(Algorithm::Eager, q, 1)) {
+                        Ok(ticket) => {
+                            // Block policy, no deadlines: every accepted
+                            // request must resolve Ok even across shutdown.
+                            assert!(ticket.wait().is_ok(), "accepted requests are drained");
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ServeError::ShuttingDown) => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(other) => panic!("unexpected admission error {other:?}"),
+                    }
+                }
+            });
+        }
+        // Cut admission while the submitters are mid-stream: blocked and
+        // later submissions fail with ShuttingDown, accepted ones drain.
+        let server = Arc::clone(&server);
+        scope.spawn(move || {
+            std::thread::sleep(Duration::from_millis(25));
+            server.close();
+        });
+    });
+    let server = Arc::into_inner(server).expect("all clones dropped");
+    let stats = server.shutdown();
+    assert_eq!(stats.submitted, submitted.load(Ordering::Relaxed));
+    assert_eq!(stats.completed, completed.load(Ordering::Relaxed));
+    assert_eq!(stats.rejected, rejected.load(Ordering::Relaxed));
+    assert_eq!(
+        stats.completed + stats.rejected + stats.shed,
+        stats.submitted,
+        "no request lost: completed + rejected + shed == submitted"
+    );
+}
+
+#[test]
+fn tiny_queue_reject_and_shed_policies_account_every_request() {
+    let (graph, points) = grid_world();
+
+    // Reject: a 2-slot queue with one worker; over-submission fails fast,
+    // accepted requests all complete.
+    let server = Server::start(
+        World::new(graph.clone(), points.clone()),
+        ServerConfig::default()
+            .with_workers(1)
+            .with_queue_capacity(2)
+            .with_policy(BackpressurePolicy::Reject),
+    );
+    let mut tickets = Vec::new();
+    let mut queue_full = 0u64;
+    for i in 0..300usize {
+        let q = points.nodes()[i % points.nodes().len()];
+        match server.submit(Request::new(Algorithm::Eager, q, 1)) {
+            Ok(t) => tickets.push(t),
+            Err(ServeError::QueueFull) => queue_full += 1,
+            Err(other) => panic!("unexpected {other:?}"),
+        }
+    }
+    let accepted = tickets.len() as u64;
+    for t in tickets {
+        assert!(t.wait().is_ok(), "Reject never drops accepted work");
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.submitted, 300);
+    assert_eq!(stats.rejected, queue_full);
+    assert_eq!(stats.completed, accepted);
+    assert_eq!(stats.shed, 0);
+    assert_eq!(stats.accounted(), stats.submitted);
+
+    // Shed: the same tiny queue with instantly-expired deadlines; victims
+    // resolve their tickets as Shed and are counted.
+    let server = Server::start(
+        World::new(graph, points.clone()),
+        ServerConfig::default()
+            .with_workers(1)
+            .with_queue_capacity(2)
+            .with_micro_batch(1)
+            .with_policy(BackpressurePolicy::Shed),
+    );
+    let mut tickets = Vec::new();
+    let mut rejected = 0u64;
+    for i in 0..300usize {
+        let q = points.nodes()[i % points.nodes().len()];
+        let request = Request::new(Algorithm::Eager, q, 1).with_deadline_in(Duration::ZERO);
+        match server.submit(request) {
+            Ok(t) => tickets.push(t),
+            Err(ServeError::QueueFull) => rejected += 1,
+            Err(other) => panic!("unexpected {other:?}"),
+        }
+    }
+    let (mut completed, mut shed) = (0u64, 0u64);
+    for t in tickets {
+        match t.wait() {
+            Ok(_) => completed += 1,
+            Err(ServeError::Shed) => shed += 1,
+            Err(other) => panic!("unexpected ticket resolution {other:?}"),
+        }
+    }
+    let stats = server.shutdown();
+    assert!(stats.shed > 0, "expired requests must actually be shed");
+    assert_eq!(stats.shed, shed);
+    assert_eq!(stats.completed, completed);
+    assert_eq!(stats.rejected, rejected);
+    assert_eq!(stats.accounted(), stats.submitted);
+}
+
+#[test]
+fn swap_that_drops_precomputed_structures_fails_queued_requests_without_killing_workers() {
+    // Regression: an eager-M request admitted while the world carried the
+    // table, still queued when swap_points() removed it, must resolve its
+    // ticket as Unservable — not panic the worker (which would leave the
+    // queue undrained forever).
+    let (graph, points) = grid_world();
+    let table = Arc::new(MaterializedKnn::build(&*graph, &*points, 2));
+    let world = World::new(graph.clone(), points.clone()).with_materialized(Arc::clone(&table));
+    let server = Server::start(
+        world,
+        ServerConfig::default().with_workers(1).with_micro_batch(1).with_result_cache(16, 1),
+    );
+    let mut scratch = Scratch::new();
+    let pre = Precomputed::materialized(&table);
+
+    let tickets: Vec<_> = (0..40)
+        .map(|i| {
+            let q = points.nodes()[i % points.nodes().len()];
+            server.submit(Request::new(Algorithm::EagerMaterialized, q, 2)).expect("admitted")
+        })
+        .collect();
+    // Swap away the table while (most of) the stream is still queued.
+    server.swap_points(points.clone(), None, None);
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let q = points.nodes()[i % points.nodes().len()];
+        match ticket.wait() {
+            // Served before the swap: must match the old world's oracle.
+            Ok(served) => {
+                let expected = run_rknn_with(
+                    Algorithm::EagerMaterialized,
+                    &*graph,
+                    &*points,
+                    pre,
+                    q,
+                    2,
+                    &mut scratch,
+                );
+                assert_eq!(served.outcome, expected, "request {i}");
+            }
+            // Reached after the swap: failed cleanly, worker survived.
+            Err(ServeError::Unservable) => {}
+            Err(other) => panic!("request {i}: unexpected {other:?}"),
+        }
+    }
+    // The worker is still alive and serving.
+    let q = points.nodes()[0];
+    let served = server.submit(Request::new(Algorithm::Eager, q, 2)).unwrap().wait();
+    assert!(served.is_ok(), "the worker pool survived the mid-stream swap");
+    let stats = server.shutdown();
+    assert_eq!(stats.accounted(), stats.submitted, "dequeue-time rejections are accounted");
+}
+
+#[test]
+fn point_set_swap_with_cache_enabled_serves_the_new_answers() {
+    let (graph, points) = grid_world();
+    let n = graph.num_nodes();
+    let new_points = Arc::new(NodePointSet::from_nodes(n, (0..n).step_by(11).map(NodeId::new)));
+    let query = points.nodes()[points.nodes().len() / 2];
+
+    let mut scratch = Scratch::new();
+    let old_expected = run_rknn_with(
+        Algorithm::Eager,
+        &*graph,
+        &*points,
+        Precomputed::none(),
+        query,
+        2,
+        &mut scratch,
+    );
+    let new_expected = run_rknn_with(
+        Algorithm::Eager,
+        &*graph,
+        &*new_points,
+        Precomputed::none(),
+        query,
+        2,
+        &mut scratch,
+    );
+    assert_ne!(old_expected, new_expected, "the swap must change this query's answer");
+
+    let server = Server::start(
+        World::new(graph, points.clone()),
+        ServerConfig::default().with_workers(2).with_result_cache(128, 2),
+    );
+    let request = || Request::new(Algorithm::Eager, query, 2);
+    for _ in 0..5 {
+        let served = server.submit(request()).unwrap().wait().unwrap();
+        assert_eq!(served.outcome, old_expected);
+    }
+    assert!(server.stats().cache.hits >= 4, "repeats were memoized before the swap");
+
+    server.swap_points(new_points, None, None);
+    for round in 0..3 {
+        let served = server.submit(request()).unwrap().wait().unwrap();
+        assert_eq!(
+            served.outcome, new_expected,
+            "round {round}: a swapped server must never serve the old point set's RkNN"
+        );
+    }
+    server.shutdown();
+}
