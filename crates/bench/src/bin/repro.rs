@@ -4,7 +4,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro [EXPERIMENT ...] [--full] [--markdown]
+//! repro [EXPERIMENT ...] [--full] [--markdown] [--json DIR]
 //!
 //! EXPERIMENT   one or more of: table1 table2 fig15 fig16 fig17 fig18 fig19
 //!              fig20a fig20b fig21 fig22a fig22b throughput paged-scaling
@@ -12,6 +12,9 @@
 //! --full       use the paper's graph cardinalities instead of the quick,
 //!              laptop-friendly sizes
 //! --markdown   emit Markdown tables (for EXPERIMENTS.md) instead of plain text
+//! --json DIR   additionally write each report as DIR/BENCH_<experiment>.json
+//!              (machine-readable `rnn-bench-report/v1`, committed per PR so
+//!              the perf trajectory is diffable)
 //! ```
 
 use rnn_bench::experiments::{run_by_name, ALL_EXPERIMENTS};
@@ -23,9 +26,22 @@ fn main() {
     let full = args.iter().any(|a| a == "--full");
     let markdown = args.iter().any(|a| a == "--markdown");
     let scale = if full { Scale::Full } else { Scale::Quick };
+    let json_flag = args.iter().position(|a| a == "--json");
+    let json_dir: Option<std::path::PathBuf> = json_flag.map(|i| match args.get(i + 1) {
+        Some(dir) if !dir.starts_with("--") => std::path::PathBuf::from(dir),
+        _ => {
+            eprintln!("--json requires a directory argument");
+            std::process::exit(2);
+        }
+    });
+    let json_dir_arg = json_flag.map(|i| i + 1);
 
-    let mut requested: Vec<String> =
-        args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
+    let mut requested: Vec<String> = args
+        .iter()
+        .enumerate()
+        .filter(|&(i, a)| !a.starts_with("--") && Some(i) != json_dir_arg)
+        .map(|(_, a)| a.clone())
+        .collect();
     if requested.is_empty() || requested.iter().any(|r| r == "all") {
         requested = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
@@ -41,6 +57,15 @@ fn main() {
                     println!("{}", report.to_markdown());
                 } else {
                     println!("{report}");
+                }
+                if let Some(dir) = &json_dir {
+                    let path = dir.join(format!("BENCH_{name}.json"));
+                    if let Err(e) = std::fs::write(&path, report.to_json()) {
+                        eprintln!("failed to write {}: {e}", path.display());
+                        failures += 1;
+                    } else {
+                        eprintln!("# wrote {}", path.display());
+                    }
                 }
                 eprintln!("# {name} finished in {:.1?}", started.elapsed());
             }

@@ -664,22 +664,28 @@ pub fn index(scale: Scale) -> Report {
     report
 }
 
-/// Online serving under open-loop load: a mixed-algorithm request stream
-/// submitted to `rnn-server` at several offered arrival rates, reporting
-/// achieved throughput and the queue-wait / service-time latency split
-/// (p50/p99 from the server's log-scale histograms).
+/// Online serving under open-loop load: a mixed-algorithm, mixed-priority
+/// request stream submitted to `rnn-server` in bursts at several offered
+/// arrival rates, reporting achieved throughput and the **per-class**
+/// queue-wait / service-time latency split (p50/p99 from the server's
+/// log-scale histograms).
 ///
 /// Open loop means arrivals are paced by a clock, not by completions — the
 /// regime where queueing happens: below the capacity of the 2-worker pool
 /// the queue-wait percentiles stay near zero, at and above capacity they
 /// grow while service time stays flat, which is exactly the split the
-/// histograms exist to show. Offered rates are calibrated against the
-/// sequential execution of the same stream, so the rows land in the same
-/// load regimes on any machine. Every served result is asserted
-/// byte-identical to the sequential oracle before any number is reported —
-/// admission, queueing and worker scheduling must never change answers.
+/// histograms exist to show. Every fourth request rides the batch class, so
+/// under overload the per-class columns show the QoS separation: interactive
+/// queue wait stays lower than batch queue wait while service times match.
+/// Arrivals come in bursts of 4 through `Server::submit_all` — one queue
+/// lock round-trip per burst, the intended pattern for bursty open-loop
+/// traffic. Offered rates are calibrated against the sequential execution
+/// of the same stream, so the rows land in the same load regimes on any
+/// machine. Every served result is asserted byte-identical to the
+/// sequential oracle before any number is reported — admission, queueing,
+/// priorities and worker scheduling must never change answers.
 pub fn serving(scale: Scale) -> Report {
-    use rnn_server::{BackpressurePolicy, Request, Server, ServerConfig, World};
+    use rnn_server::{BackpressurePolicy, Priority, Request, Server, ServerConfig, World};
     use std::sync::Arc;
     use std::time::{Duration, Instant};
 
@@ -689,10 +695,14 @@ pub fn serving(scale: Scale) -> Report {
     let query_nodes = sample_node_queries(&points, scale.pick(64, 200), SEED + 2);
     let algos = [Algorithm::Eager, Algorithm::Lazy, Algorithm::LazyExtendedPruning];
     let workers = 2;
+    const BURST: usize = 4;
 
-    // The mixed stream: algorithms round-robin over the query nodes.
+    // The mixed stream: algorithms round-robin over the query nodes; every
+    // fourth request is batch-class.
+    let priority_of = |i: usize| if i % 4 == 3 { Priority::Batch } else { Priority::Interactive };
     let stream: Vec<(Algorithm, rnn_graph::NodeId)> =
         query_nodes.iter().enumerate().map(|(i, &q)| (algos[i % algos.len()], q)).collect();
+    let batch_requests = (0..stream.len()).filter(|&i| priority_of(i) == Priority::Batch).count();
 
     // Sequential oracle + capacity calibration (one thread, one scratch).
     let mut scratch = Scratch::new();
@@ -708,18 +718,21 @@ pub fn serving(scale: Scale) -> Report {
         "Serving",
         format!(
             "online serving under open-loop load (grid map, |V|={nodes}, D=0.01, k=1, \
-             {workers} workers, mixed E/L/LP stream of {} requests; offered rates relative \
-             to the {capacity_qps:.0} q/s sequential capacity)",
+             {workers} workers, mixed E/L/LP stream of {} requests, {batch_requests} of them \
+             batch-class, submit_all bursts of {BURST}; offered rates relative to the \
+             {capacity_qps:.0} q/s sequential capacity)",
             stream.len()
         ),
         "offered load",
         vec![
             "offered q/s".into(),
             "served q/s".into(),
-            "qwait p50(ms)".into(),
-            "qwait p99(ms)".into(),
-            "service p50(ms)".into(),
-            "service p99(ms)".into(),
+            "int qwait p50(ms)".into(),
+            "int qwait p99(ms)".into(),
+            "int service p99(ms)".into(),
+            "bat qwait p50(ms)".into(),
+            "bat qwait p99(ms)".into(),
+            "bat service p99(ms)".into(),
         ],
     );
 
@@ -735,20 +748,25 @@ pub fn serving(scale: Scale) -> Report {
                 .with_policy(BackpressurePolicy::Block),
         );
 
-        // Open-loop arrivals: request i is submitted at start + i * 1/rate,
-        // regardless of how far the workers have gotten.
+        // Open-loop arrivals in bursts: burst b (requests b*BURST..) is
+        // submitted at start + b*BURST * 1/rate through one submit_all
+        // call, regardless of how far the workers have gotten.
         let started = Instant::now();
-        let tickets: Vec<_> = stream
-            .iter()
-            .enumerate()
-            .map(|(i, &(a, q))| {
-                let due = started + interarrival * (i as u32);
-                if let Some(wait) = due.checked_duration_since(Instant::now()) {
-                    std::thread::sleep(wait);
-                }
-                server.submit(Request::new(a, q, 1)).expect("admitted under Block")
-            })
-            .collect();
+        let mut tickets = Vec::with_capacity(stream.len());
+        for (b, chunk) in stream.chunks(BURST).enumerate() {
+            let due = started + interarrival * (b * BURST) as u32;
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            let burst: Vec<Request> = chunk
+                .iter()
+                .enumerate()
+                .map(|(j, &(a, q))| Request::new(a, q, 1).with_priority(priority_of(b * BURST + j)))
+                .collect();
+            for result in server.submit_all(&burst) {
+                tickets.push(result.expect("admitted under Block"));
+            }
+        }
         for (i, (ticket, expected)) in tickets.into_iter().zip(&oracle).enumerate() {
             let served = ticket.wait().expect("served");
             assert_eq!(
@@ -760,6 +778,22 @@ pub fn serving(scale: Scale) -> Report {
         let stats = server.shutdown();
         assert_eq!(stats.completed, stream.len() as u64, "{label}: everything served");
         assert_eq!(stats.accounted(), stats.submitted, "{label}: nothing lost");
+        let interactive = stats.class(Priority::Interactive);
+        let batch = stats.class(Priority::Batch);
+        assert_eq!(batch.completed, batch_requests as u64, "{label}: batch class served");
+        assert_eq!(
+            interactive.completed,
+            (stream.len() - batch_requests) as u64,
+            "{label}: interactive class served"
+        );
+        for (class, s) in [("interactive", interactive), ("batch", batch)] {
+            assert_eq!(s.accounted(), s.submitted, "{label}/{class}: per-class conservation");
+            assert_eq!(
+                s.queue_wait.count(),
+                s.completed + s.shed_at_dequeue,
+                "{label}/{class}: queue-wait histogram covers completions + dequeue sheds"
+            );
+        }
 
         let ms = |d: Duration| d.as_secs_f64() * 1e3;
         report.push_row(
@@ -767,10 +801,12 @@ pub fn serving(scale: Scale) -> Report {
             vec![
                 offered_qps,
                 stats.completed as f64 / wall_seconds,
-                ms(stats.queue_wait.p50()),
-                ms(stats.queue_wait.p99()),
-                ms(stats.service.p50()),
-                ms(stats.service.p99()),
+                ms(interactive.queue_wait.p50()),
+                ms(interactive.queue_wait.p99()),
+                ms(interactive.service.p99()),
+                ms(batch.queue_wait.p50()),
+                ms(batch.queue_wait.p99()),
+                ms(batch.service.p99()),
             ],
         );
     }

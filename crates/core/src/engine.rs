@@ -197,6 +197,30 @@ impl Workload {
     pub fn is_empty(&self) -> bool {
         self.queries.is_empty()
     }
+
+    /// Iterates the queries in report order — the bridge an online server
+    /// uses to turn a workload into per-request submissions without
+    /// consuming it.
+    pub fn iter(&self) -> std::slice::Iter<'_, QuerySpec> {
+        self.queries.iter()
+    }
+}
+
+impl FromIterator<QuerySpec> for Workload {
+    /// Collects heterogeneous specs (mixed algorithms and `k`s) into a
+    /// workload, preserving order.
+    fn from_iter<I: IntoIterator<Item = QuerySpec>>(iter: I) -> Self {
+        Workload { queries: iter.into_iter().collect() }
+    }
+}
+
+impl<'a> IntoIterator for &'a Workload {
+    type Item = &'a QuerySpec;
+    type IntoIter = std::slice::Iter<'a, QuerySpec>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
 }
 
 /// The outcome of a batch: per-query results in input order plus aggregates.
@@ -1046,5 +1070,21 @@ mod tests {
             &QuerySpec { algorithm: Algorithm::EagerMaterialized, query: NodeId::new(0), k: 1 },
             &mut Scratch::new(),
         );
+    }
+
+    #[test]
+    fn workload_collects_from_specs_and_iterates_in_order() {
+        let specs = vec![
+            QuerySpec { algorithm: Algorithm::Eager, query: NodeId::new(0), k: 1 },
+            QuerySpec { algorithm: Algorithm::Lazy, query: NodeId::new(3), k: 2 },
+            QuerySpec { algorithm: Algorithm::Naive, query: NodeId::new(1), k: 1 },
+        ];
+        let workload: Workload = specs.iter().copied().collect();
+        assert_eq!(workload.len(), 3);
+        assert_eq!(workload.iter().copied().collect::<Vec<_>>(), specs);
+        // &Workload iterates without consuming.
+        let seen: Vec<_> = (&workload).into_iter().copied().collect();
+        assert_eq!(seen, specs);
+        assert_eq!(workload.queries, specs, "still intact");
     }
 }

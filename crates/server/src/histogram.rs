@@ -24,7 +24,7 @@ use std::time::Duration;
 /// One bucket per power of two of nanoseconds. Bucket 0 holds zero-duration
 /// samples; bucket `i >= 1` holds `[2^(i-1), 2^i - 1]` ns, with the last
 /// bucket absorbing everything from `2^62` ns (~146 years) up.
-const BUCKETS: usize = 64;
+pub(crate) const BUCKETS: usize = 64;
 
 /// A bounded-memory latency distribution: counts in log-scale buckets plus
 /// an exact count, sum and maximum.
@@ -87,6 +87,22 @@ impl LatencyHistogram {
         self.count += other.count;
         self.sum_nanos += other.sum_nanos;
         self.max_nanos = self.max_nanos.max(other.max_nanos);
+    }
+
+    /// The raw state `(buckets, count, sum_nanos, max_nanos)` — what the
+    /// server's seqlock snapshot cells publish word by word.
+    pub(crate) fn raw(&self) -> (&[u64; BUCKETS], u64, u128, u64) {
+        (&self.buckets, self.count, self.sum_nanos, self.max_nanos)
+    }
+
+    /// Rebuilds a histogram from raw state read back out of a snapshot cell.
+    pub(crate) fn from_raw(
+        buckets: [u64; BUCKETS],
+        count: u64,
+        sum_nanos: u128,
+        max_nanos: u64,
+    ) -> Self {
+        LatencyHistogram { buckets, count, sum_nanos, max_nanos }
     }
 
     /// Number of recorded samples.

@@ -6,33 +6,43 @@
 //! known up front and returns when the last query finishes — the shape of an
 //! experiment, not of a service. ReHub (Efentakis & Pfoser) frames RkNN as
 //! an **online** problem: requests arrive continuously, with different
-//! algorithms, deadlines and arrival bursts, and the system must decide what
-//! to admit, when to run it, and how long everything waited. This crate is
-//! that missing layer:
+//! algorithms, priorities, deadlines and arrival bursts, and the system must
+//! decide what to admit, when to run it, and how long everything waited.
+//! This crate is that missing layer:
 //!
 //! * [`RequestQueue`](queue) — a hand-rolled bounded MPMC queue (mutex +
-//!   two condvars around a ring buffer) with three admission policies at
-//!   the full-queue edge: [`Block`](BackpressurePolicy::Block),
+//!   two condvars) with one sub-queue per [`Priority`] class and three
+//!   admission policies at the full-queue edge:
+//!   [`Block`](BackpressurePolicy::Block),
 //!   [`Reject`](BackpressurePolicy::Reject), and
-//!   [`Shed`](BackpressurePolicy::Shed) (drop the oldest request already
-//!   past its deadline).
-//! * [`Ticket`] — a oneshot completion handle per request: callers submit,
-//!   then await their own result while other traffic interleaves. Every
-//!   accepted request resolves its ticket exactly once.
+//!   [`Shed`](BackpressurePolicy::Shed) (shed an expired newcomer
+//!   directly, else drop the earliest-deadline expired resident). Under
+//!   `Shed`, deadline-bearing requests are served
+//!   **earliest-deadline-first** from a binary heap; workers drain
+//!   interactive before batch traffic, with a starvation-ratio bound.
+//! * [`Ticket`] — a oneshot completion handle per request: callers submit
+//!   (singly, or batched via [`Server::submit_all`] for one lock round-trip
+//!   per burst), then await their own result while other traffic
+//!   interleaves. Every accepted request resolves its ticket exactly once.
 //! * [`Server`] — N long-lived workers, each with its own [`Scratch`]
 //!   arena, draining the queue in micro-batches, sharing one result cache
 //!   (and, on paged worlds, one striped buffer pool and one set of
-//!   lock-free I/O counters); graceful drain-then-join shutdown; runtime
-//!   [`ServerStats`] snapshots; atomic point-set swaps that sweep the
-//!   cache.
+//!   lock-free I/O counters); graceful drain-then-join shutdown; atomic
+//!   point-set swaps that sweep the cache.
+//! * [`ServerStats`] — **wait-free** runtime snapshots: global and
+//!   per-class ([`ClassStats`]) admission counters and latency histograms,
+//!   published by workers through seqlock-style double-buffered cells
+//!   ([`stats`]) so a poll never contends with an in-flight micro-batch.
 //! * [`LatencyHistogram`] — fixed-bucket log-scale latency accounting with
-//!   the queue-wait / service-time split, mergeable across workers.
+//!   the queue-wait / service-time split, mergeable across workers. Queue
+//!   waits include requests shed at dequeue, so overload telemetry is not
+//!   survivorship-biased.
 //!
 //! Serving never changes answers: for any admitted request the outcome is
 //! byte-identical to the sequential [`rnn_core::run_rknn`] call against the
-//! same world, regardless of worker count, micro-batch size or policy — the
-//! `server_determinism` integration suite pins this down for all six
-//! algorithms.
+//! same world, regardless of worker count, micro-batch size, policy or
+//! priority class — the `server_determinism` integration suite pins this
+//! down for all six algorithms.
 //!
 //! [`Scratch`]: rnn_core::Scratch
 
@@ -43,8 +53,10 @@ pub mod histogram;
 pub mod queue;
 pub mod request;
 pub mod server;
+pub mod stats;
 
 pub use histogram::LatencyHistogram;
 pub use queue::BackpressurePolicy;
-pub use request::{Request, ServeError, ServeResult, ServedQuery, Ticket};
-pub use server::{Server, ServerConfig, ServerStats, World};
+pub use request::{Priority, Request, ServeError, ServeResult, ServedQuery, Ticket};
+pub use server::{Server, ServerConfig, World};
+pub use stats::{ClassStats, ServerStats};

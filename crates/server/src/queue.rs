@@ -1,12 +1,26 @@
-//! The bounded MPMC request queue and its admission policies.
+//! The bounded MPMC request queue: admission policies, priority classes and
+//! EDF shedding.
 //!
-//! This is the hand-rolled heart of the server: a fixed-capacity ring buffer
+//! This is the hand-rolled heart of the server: a fixed total capacity
 //! guarded by one mutex and two condvars (`not_empty` for consumers,
-//! `not_full` for blocked producers). Many submitter threads push, many
-//! worker threads pop — workers in *micro-batches* ([`RequestQueue::
-//! pop_batch`] hands out up to B requests per wakeup, so a worker pays one
-//! lock acquisition and one condvar wakeup for B requests when the queue
-//! runs deep).
+//! `not_full` for blocked producers), holding **one sub-queue per
+//! [`Priority`] class**. Many submitter threads push — singly or in batches
+//! ([`RequestQueue::submit_batch`] pays one lock acquisition and one
+//! `not_empty` notification for N requests) — and many worker threads pop in
+//! *micro-batches* ([`RequestQueue::pop_batch`] hands out up to B requests
+//! per wakeup).
+//!
+//! **Pop order.** Workers drain [`Priority::Interactive`] before
+//! [`Priority::Batch`], except that after `starvation_ratio` consecutive
+//! interactive pops while batch work waits, the next pop is forced from the
+//! batch class — a saturating interactive stream delays batch work by a
+//! bounded factor instead of forever. Within a class the order depends on
+//! the policy: under [`Shed`](BackpressurePolicy::Shed), deadline-bearing
+//! requests live in a binary heap and pop **earliest-deadline-first** (ties
+//! broken by submission order, so equal deadlines stay FIFO and results stay
+//! deterministic), ahead of the FIFO ring holding deadline-free requests;
+//! under `Block` / `Reject` — which never act on deadlines — everything
+//! rides the ring in pure FIFO order, exactly the pre-QoS behavior.
 //!
 //! Admission control happens at the full-queue edge and is the
 //! [`BackpressurePolicy`]'s choice:
@@ -17,9 +31,12 @@
 //! * [`Reject`](BackpressurePolicy::Reject) — the submitter gets
 //!   `QueueFull` immediately. Overload turns into fast failures the client
 //!   can retry elsewhere; queue wait stays bounded.
-//! * [`Shed`](BackpressurePolicy::Shed) — the **oldest request already past
-//!   its deadline** is dropped to make room (its ticket resolves to `Shed`);
-//!   with nothing expired, the incoming request is rejected. Overload
+//! * [`Shed`](BackpressurePolicy::Shed) — an already-expired *newcomer* is
+//!   resolved as shed on the spot (it could never be served in time;
+//!   evicting a resident for it would spend a slot on dead work); otherwise
+//!   the **earliest-deadline expired resident** is dropped to make room
+//!   (batch class searched before interactive, heap peek + pop: O(log n)
+//!   per shed), and with nothing expired the newcomer is rejected. Overload
 //!   spends the queue's capacity on requests that can still make their
 //!   deadlines, which maximizes useful goodput for deadline-bearing
 //!   traffic.
@@ -27,8 +44,12 @@
 //! The queue never drops silently: every admission decision either hands the
 //! request to a worker, hands it back to the caller, or names a victim whose
 //! ticket the caller must resolve.
+//!
+//! [`Priority`]: crate::Priority
 
-use crate::request::{lock, Queued};
+use crate::request::{lock, Priority, Queued};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
@@ -41,9 +62,11 @@ pub enum BackpressurePolicy {
     Block,
     /// Turn the request away immediately with `QueueFull`.
     Reject,
-    /// Drop the oldest already-expired request to make room; reject the
-    /// newcomer if nothing in the queue is past its deadline. Workers also
-    /// drop expired requests at dequeue under this policy.
+    /// Shed an expired newcomer directly; otherwise drop the earliest-
+    /// deadline already-expired resident to make room, and reject the
+    /// newcomer if nothing queued is past its deadline. Workers also drop
+    /// expired requests at dequeue under this policy, and deadline-bearing
+    /// requests are served earliest-deadline-first.
     Shed,
 }
 
@@ -54,17 +77,20 @@ pub(crate) enum Admission {
     /// The request is in the queue; the named victim was shed to make room
     /// and the caller must resolve its ticket.
     EnqueuedAfterShed(Queued),
+    /// The request itself arrived already past its deadline at the
+    /// full-queue edge: it was not admitted and the caller must resolve its
+    /// ticket as shed. Residents are untouched.
+    ShedNewcomer(Queued),
     /// The queue is full and the policy chose not to admit.
     Rejected(Queued),
     /// The queue is closed (server shutting down).
     Closed(Queued),
 }
 
-/// The hand-rolled ring: a slot vector with a head index and length. FIFO
-/// push/pop are O(1); the shed scan walks from the oldest entry and the
-/// removal shift is O(len) — admissible because it only runs on the
-/// full-queue edge of an already-overloaded server, on queues sized in the
-/// hundreds.
+/// The hand-rolled FIFO ring: a slot vector with a head index and length.
+/// Push/pop are O(1); nothing is ever removed from the middle (expired-
+/// victim removal lives in the EDF heap, where it is O(log n) instead of
+/// the O(len) shift a ring would need).
 struct Ring {
     slots: Vec<Option<Queued>>,
     head: usize,
@@ -82,12 +108,8 @@ impl Ring {
         self.slots.len()
     }
 
-    fn is_full(&self) -> bool {
-        self.len == self.capacity()
-    }
-
     fn push_back(&mut self, item: Queued) {
-        debug_assert!(!self.is_full());
+        debug_assert!(self.len < self.capacity());
         let tail = (self.head + self.len) % self.capacity();
         debug_assert!(self.slots[tail].is_none());
         self.slots[tail] = Some(item);
@@ -104,86 +126,269 @@ impl Ring {
         self.len -= 1;
         item
     }
+}
 
-    /// Removes and returns the oldest entry whose deadline is at or before
-    /// `now`, shifting the younger entries up to keep FIFO order intact.
-    fn remove_oldest_expired(&mut self, now: Instant) -> Option<Queued> {
-        let capacity = self.capacity();
-        let offset = (0..self.len).find(|&o| {
-            let slot = &self.slots[(self.head + o) % capacity];
-            slot.as_ref()
-                .expect("every slot within len is occupied")
-                .request
-                .deadline
-                .is_some_and(|d| d <= now)
-        })?;
-        let victim = self.slots[(self.head + offset) % capacity].take();
-        for o in offset..self.len - 1 {
-            let from = (self.head + o + 1) % capacity;
-            let to = (self.head + o) % capacity;
-            self.slots[to] = self.slots[from].take();
+/// One deadline-bearing entry in a class's EDF heap, ordered by
+/// `(deadline, seq)` — the `seq` tie-break makes equal deadlines pop in
+/// submission order, so EDF stays deterministic.
+struct EdfEntry {
+    deadline: Instant,
+    seq: u64,
+    queued: Queued,
+}
+
+impl PartialEq for EdfEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+
+impl Eq for EdfEntry {}
+
+impl PartialOrd for EdfEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EdfEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+/// One priority class's storage: the EDF heap for deadline-bearing requests
+/// (only populated under `Shed`) and the FIFO ring for the rest.
+struct ClassQueue {
+    edf: BinaryHeap<Reverse<EdfEntry>>,
+    ring: Ring,
+}
+
+impl ClassQueue {
+    fn with_capacity(capacity: usize) -> Self {
+        ClassQueue { edf: BinaryHeap::new(), ring: Ring::with_capacity(capacity) }
+    }
+
+    fn len(&self) -> usize {
+        self.edf.len() + self.ring.len
+    }
+
+    /// The next request of this class: earliest deadline first, then the
+    /// deadline-free FIFO ring. (Under `Block`/`Reject` the heap is always
+    /// empty, so this is plain FIFO.)
+    fn pop_next(&mut self) -> Option<Queued> {
+        if let Some(Reverse(entry)) = self.edf.pop() {
+            return Some(entry.queued);
         }
-        self.len -= 1;
-        victim
+        self.ring.pop_front()
+    }
+
+    /// Removes the earliest-deadline entry if it is expired. The heap
+    /// minimum is the earliest deadline in the class, so a single peek
+    /// decides whether *anything* here is expired — O(1) to check,
+    /// O(log n) to remove.
+    fn pop_expired(&mut self, now: Instant) -> Option<Queued> {
+        if self.edf.peek().is_some_and(|Reverse(entry)| entry.deadline <= now) {
+            return self.edf.pop().map(|Reverse(entry)| entry.queued);
+        }
+        None
     }
 }
 
 struct QueueState {
-    ring: Ring,
+    classes: [ClassQueue; Priority::ALL.len()],
+    /// Total queued across classes — bounded by the queue capacity.
+    len: usize,
+    /// Monotone enqueue counter, the EDF tie-break.
+    next_seq: u64,
+    /// Consecutive interactive pops while batch work waited.
+    interactive_streak: u64,
     closed: bool,
 }
 
-/// The bounded MPMC queue between submitters and workers.
+/// The bounded MPMC queue between submitters and workers. Policy and
+/// starvation ratio are fixed at construction — they shape the queue's
+/// internal routing (which requests ride the EDF heap) and must not change
+/// per submission.
 pub(crate) struct RequestQueue {
     state: Mutex<QueueState>,
+    capacity: usize,
+    policy: BackpressurePolicy,
+    starvation_ratio: u64,
     not_empty: Condvar,
     not_full: Condvar,
 }
 
+/// What one locked admission attempt decided; `Wait` is the `Block` policy
+/// asking the caller to park on `not_full` and retry.
+enum AdmitStep {
+    Done(Admission),
+    Wait(Queued),
+}
+
 impl RequestQueue {
-    /// A queue holding at most `capacity` requests.
+    /// A queue holding at most `capacity` requests across both classes,
+    /// applying `policy` at the full edge; after `starvation_ratio`
+    /// consecutive interactive pops with batch work waiting, one batch pop
+    /// is forced (`0` disables the bound: strict priority).
     ///
     /// # Panics
     /// Panics if `capacity == 0` — a server with nowhere to put a request
     /// is a configuration error, not a policy.
-    pub(crate) fn new(capacity: usize) -> Self {
+    pub(crate) fn new(capacity: usize, policy: BackpressurePolicy, starvation_ratio: u64) -> Self {
         assert!(capacity > 0, "the request queue needs capacity >= 1");
         RequestQueue {
-            state: Mutex::new(QueueState { ring: Ring::with_capacity(capacity), closed: false }),
+            state: Mutex::new(QueueState {
+                classes: std::array::from_fn(|_| ClassQueue::with_capacity(capacity)),
+                len: 0,
+                next_seq: 0,
+                interactive_streak: 0,
+                closed: false,
+            }),
+            capacity,
+            policy,
+            starvation_ratio,
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
         }
     }
 
-    /// Admits `queued` under `policy` (see the module docs for the
-    /// per-policy behavior at the full-queue edge).
-    pub(crate) fn submit(&self, queued: Queued, policy: BackpressurePolicy) -> Admission {
+    /// The policy fixed at construction.
+    pub(crate) fn policy(&self) -> BackpressurePolicy {
+        self.policy
+    }
+
+    /// Routes an admitted request into its class's heap or ring.
+    fn enqueue(&self, state: &mut QueueState, queued: Queued) {
+        let class = queued.request.priority.index();
+        match queued.request.deadline {
+            // Only Shed acts on deadlines; under Block/Reject a deadline is
+            // inert metadata and the request keeps pure FIFO order.
+            Some(deadline) if self.policy == BackpressurePolicy::Shed => {
+                let seq = state.next_seq;
+                state.next_seq += 1;
+                state.classes[class].edf.push(Reverse(EdfEntry { deadline, seq, queued }));
+            }
+            _ => state.classes[class].ring.push_back(queued),
+        }
+        state.len += 1;
+    }
+
+    /// One admission attempt under the lock. Never waits — `Block` at the
+    /// full edge comes back as [`AdmitStep::Wait`] for the caller's loop.
+    fn try_admit(&self, state: &mut QueueState, queued: Queued) -> AdmitStep {
+        if state.closed {
+            return AdmitStep::Done(Admission::Closed(queued));
+        }
+        if state.len < self.capacity {
+            self.enqueue(state, queued);
+            return AdmitStep::Done(Admission::Enqueued);
+        }
+        match self.policy {
+            BackpressurePolicy::Block => AdmitStep::Wait(queued),
+            BackpressurePolicy::Reject => AdmitStep::Done(Admission::Rejected(queued)),
+            BackpressurePolicy::Shed => {
+                let now = Instant::now();
+                // An expired newcomer is dead on arrival: admitting it would
+                // evict a resident only for the dequeue check to drop the
+                // newcomer anyway — a wasted slot and a wasted shed.
+                if queued.request.deadline.is_some_and(|d| d <= now) {
+                    return AdmitStep::Done(Admission::ShedNewcomer(queued));
+                }
+                // Shed the lowest class first: an expired batch request dies
+                // before an expired interactive one.
+                for class in Priority::ALL.iter().rev() {
+                    if let Some(victim) = state.classes[class.index()].pop_expired(now) {
+                        state.len -= 1;
+                        self.enqueue(state, queued);
+                        return AdmitStep::Done(Admission::EnqueuedAfterShed(victim));
+                    }
+                }
+                AdmitStep::Done(Admission::Rejected(queued))
+            }
+        }
+    }
+
+    /// Admits `queued` under the queue's policy (see the module docs for
+    /// the per-policy behavior at the full-queue edge).
+    pub(crate) fn submit(&self, mut queued: Queued) -> Admission {
         let mut state = lock(&self.state);
         loop {
-            if state.closed {
-                return Admission::Closed(queued);
-            }
-            if !state.ring.is_full() {
-                state.ring.push_back(queued);
-                self.not_empty.notify_one();
-                return Admission::Enqueued;
-            }
-            match policy {
-                BackpressurePolicy::Block => {
-                    state = self.not_full.wait(state).unwrap_or_else(|e| e.into_inner());
+            match self.try_admit(&mut state, queued) {
+                AdmitStep::Done(admission) => {
+                    if matches!(admission, Admission::Enqueued | Admission::EnqueuedAfterShed(_)) {
+                        self.not_empty.notify_one();
+                    }
+                    return admission;
                 }
-                BackpressurePolicy::Reject => return Admission::Rejected(queued),
-                BackpressurePolicy::Shed => {
-                    return match state.ring.remove_oldest_expired(Instant::now()) {
-                        Some(victim) => {
-                            state.ring.push_back(queued);
-                            Admission::EnqueuedAfterShed(victim)
-                        }
-                        None => Admission::Rejected(queued),
-                    };
+                AdmitStep::Wait(q) => {
+                    queued = q;
+                    state = self.not_full.wait(state).unwrap_or_else(|e| e.into_inner());
                 }
             }
         }
+    }
+
+    /// Admits a batch under one lock acquisition, with one `not_empty`
+    /// notification for the whole batch. Each item gets exactly the
+    /// admission decision N single [`RequestQueue::submit`] calls would
+    /// have produced, in order; under `Block`, a full queue parks the
+    /// submitter mid-batch (after waking workers for what is already in —
+    /// otherwise a batch larger than the capacity would deadlock against
+    /// sleeping workers).
+    pub(crate) fn submit_batch(&self, items: Vec<Queued>) -> Vec<Admission> {
+        let mut admissions = Vec::with_capacity(items.len());
+        let mut pending_notify = false;
+        let mut state = lock(&self.state);
+        for mut queued in items {
+            let admission = loop {
+                match self.try_admit(&mut state, queued) {
+                    AdmitStep::Done(admission) => break admission,
+                    AdmitStep::Wait(q) => {
+                        queued = q;
+                        if pending_notify {
+                            self.not_empty.notify_all();
+                            pending_notify = false;
+                        }
+                        state = self.not_full.wait(state).unwrap_or_else(|e| e.into_inner());
+                    }
+                }
+            };
+            if matches!(admission, Admission::Enqueued | Admission::EnqueuedAfterShed(_)) {
+                pending_notify = true;
+            }
+            admissions.push(admission);
+        }
+        if pending_notify {
+            self.not_empty.notify_all();
+        }
+        admissions
+    }
+
+    /// The next request in service order: interactive before batch, bounded
+    /// by the starvation ratio; EDF before FIFO within a class.
+    fn pop_one(&self, state: &mut QueueState) -> Option<Queued> {
+        let interactive = state.classes[Priority::Interactive.index()].len();
+        let batch = state.classes[Priority::Batch.index()].len();
+        let force_batch = batch > 0
+            && (interactive == 0
+                || (self.starvation_ratio > 0
+                    && state.interactive_streak >= self.starvation_ratio));
+        let item = if force_batch {
+            state.interactive_streak = 0;
+            state.classes[Priority::Batch.index()].pop_next()
+        } else if interactive > 0 {
+            // The streak only counts pops that made batch work wait; once
+            // the batch class drains, interactive starves nobody.
+            state.interactive_streak = if batch > 0 { state.interactive_streak + 1 } else { 0 };
+            state.classes[Priority::Interactive.index()].pop_next()
+        } else {
+            None
+        };
+        if item.is_some() {
+            state.len -= 1;
+        }
+        item
     }
 
     /// Pops up to `max` requests into `out`, blocking while the queue is
@@ -194,12 +399,12 @@ impl RequestQueue {
     pub(crate) fn pop_batch(&self, out: &mut Vec<Queued>, max: usize) {
         debug_assert!(max > 0);
         let mut state = lock(&self.state);
-        while !state.closed && state.ring.len == 0 {
+        while !state.closed && state.len == 0 {
             state = self.not_empty.wait(state).unwrap_or_else(|e| e.into_inner());
         }
-        let take = max.min(state.ring.len);
+        let take = max.min(state.len);
         for _ in 0..take {
-            out.push(state.ring.pop_front().expect("len was checked"));
+            out.push(self.pop_one(&mut state).expect("len was checked"));
         }
         if take > 0 {
             // A batch frees several slots at once: wake every blocked
@@ -219,9 +424,9 @@ impl RequestQueue {
         self.not_full.notify_all();
     }
 
-    /// Number of requests currently queued.
+    /// Number of requests currently queued (all classes).
     pub(crate) fn len(&self) -> usize {
-        lock(&self.state).ring.len
+        lock(&self.state).len
     }
 }
 
@@ -233,33 +438,51 @@ mod tests {
     use rnn_graph::NodeId;
     use std::time::Duration;
 
+    fn queue(capacity: usize, policy: BackpressurePolicy) -> RequestQueue {
+        RequestQueue::new(capacity, policy, 0)
+    }
+
     fn queued(q: usize) -> (Queued, Ticket) {
         Queued::new(Request::new(Algorithm::Eager, NodeId::new(q), 1))
     }
 
-    fn queued_expired(q: usize) -> (Queued, Ticket) {
-        let request = Request::new(Algorithm::Eager, NodeId::new(q), 1)
-            .with_deadline(Instant::now() - Duration::from_millis(1));
+    fn queued_batch(q: usize) -> (Queued, Ticket) {
+        let request =
+            Request::new(Algorithm::Eager, NodeId::new(q), 1).with_priority(Priority::Batch);
         Queued::new(request)
+    }
+
+    fn queued_deadline(q: usize, deadline: Instant) -> (Queued, Ticket) {
+        let request = Request::new(Algorithm::Eager, NodeId::new(q), 1).with_deadline(deadline);
+        Queued::new(request)
+    }
+
+    fn queued_expired(q: usize) -> (Queued, Ticket) {
+        queued_deadline(q, Instant::now() - Duration::from_millis(1))
     }
 
     fn node_of(item: &Queued) -> usize {
         item.request.query.index()
     }
 
+    fn pop_all(queue: &RequestQueue) -> Vec<usize> {
+        let mut out = Vec::new();
+        while queue.len() > 0 {
+            queue.pop_batch(&mut out, 64);
+        }
+        out.iter().map(node_of).collect()
+    }
+
     #[test]
     fn fifo_order_through_wraparound() {
-        let queue = RequestQueue::new(3);
+        let queue = queue(3, BackpressurePolicy::Block);
         let mut out = Vec::new();
         let mut tickets = Vec::new();
         for round in 0..4 {
             for i in 0..3 {
                 let (item, t) = queued(round * 3 + i);
                 tickets.push(t);
-                assert!(matches!(
-                    queue.submit(item, BackpressurePolicy::Block),
-                    Admission::Enqueued
-                ));
+                assert!(matches!(queue.submit(item), Admission::Enqueued));
             }
             assert_eq!(queue.len(), 3);
             queue.pop_batch(&mut out, 2);
@@ -273,14 +496,30 @@ mod tests {
     }
 
     #[test]
+    fn deadlines_are_inert_under_block_and_reject() {
+        // Only Shed reorders by deadline: under Reject, deadline-bearing
+        // requests keep FIFO order and are never dropped.
+        let queue = queue(4, BackpressurePolicy::Reject);
+        let now = Instant::now();
+        let past = now.checked_sub(Duration::from_secs(40)).unwrap_or(now);
+        for (i, deadline) in [now + Duration::from_secs(40), past].into_iter().enumerate() {
+            let (item, _t) = queued_deadline(i, deadline);
+            assert!(matches!(queue.submit(item), Admission::Enqueued));
+        }
+        let (plain, _t) = queued(2);
+        queue.submit(plain);
+        assert_eq!(pop_all(&queue), vec![0, 1, 2], "pure FIFO, expired entry included");
+    }
+
+    #[test]
     fn reject_policy_turns_away_at_the_full_edge() {
-        let queue = RequestQueue::new(2);
+        let queue = queue(2, BackpressurePolicy::Reject);
         let (a, _ta) = queued(0);
         let (b, _tb) = queued(1);
         let (c, tc) = queued(2);
-        assert!(matches!(queue.submit(a, BackpressurePolicy::Reject), Admission::Enqueued));
-        assert!(matches!(queue.submit(b, BackpressurePolicy::Reject), Admission::Enqueued));
-        match queue.submit(c, BackpressurePolicy::Reject) {
+        assert!(matches!(queue.submit(a), Admission::Enqueued));
+        assert!(matches!(queue.submit(b), Admission::Enqueued));
+        match queue.submit(c) {
             Admission::Rejected(rejected) => assert_eq!(node_of(&rejected), 2),
             _ => panic!("a full queue must reject"),
         }
@@ -291,19 +530,19 @@ mod tests {
     }
 
     #[test]
-    fn shed_policy_drops_the_oldest_expired_and_keeps_fifo_for_the_rest() {
-        let queue = RequestQueue::new(3);
+    fn shed_policy_evicts_the_earliest_deadline_expired_resident() {
+        let queue = queue(3, BackpressurePolicy::Shed);
         let (fresh, _t0) = queued(0);
         let (expired_old, t_old) = queued_expired(1);
         let (expired_young, t_young) = queued_expired(2);
-        queue.submit(fresh, BackpressurePolicy::Shed);
-        queue.submit(expired_old, BackpressurePolicy::Shed);
-        queue.submit(expired_young, BackpressurePolicy::Shed);
+        queue.submit(fresh);
+        queue.submit(expired_old);
+        queue.submit(expired_young);
 
         let (newcomer, _t3) = queued(3);
-        match queue.submit(newcomer, BackpressurePolicy::Shed) {
+        match queue.submit(newcomer) {
             Admission::EnqueuedAfterShed(victim) => {
-                assert_eq!(node_of(&victim), 1, "the *oldest* expired entry is the victim");
+                assert_eq!(node_of(&victim), 1, "the *earliest-deadline* expired entry dies");
                 victim.fail(ServeError::Shed);
             }
             _ => panic!("an expired entry was available to shed"),
@@ -311,33 +550,210 @@ mod tests {
         assert_eq!(t_old.wait(), Err(ServeError::Shed));
         assert!(!t_young.is_done(), "the younger expired entry stays queued");
 
-        // Queue: [0, 2, 3] — FIFO preserved around the removed slot.
-        let mut out = Vec::new();
-        queue.pop_batch(&mut out, 8);
-        assert_eq!(out.iter().map(node_of).collect::<Vec<_>>(), vec![0, 2, 3]);
+        // EDF first (the surviving deadline-bearing entry), then the
+        // deadline-free ring in FIFO order.
+        assert_eq!(pop_all(&queue), vec![2, 0, 3]);
 
-        // With nothing expired, shed degrades to reject.
-        drop(out);
+        // With nothing expired, shed degrades to reject for a fresh
+        // newcomer.
         let (a, _ta) = queued(10);
         let (b, _tb) = queued(11);
         let (c, _tc) = queued(12);
         let (d, _td) = queued(13);
-        queue.submit(a, BackpressurePolicy::Shed);
-        queue.submit(b, BackpressurePolicy::Shed);
-        queue.submit(c, BackpressurePolicy::Shed);
-        assert!(matches!(queue.submit(d, BackpressurePolicy::Shed), Admission::Rejected(_)));
+        queue.submit(a);
+        queue.submit(b);
+        queue.submit(c);
+        assert!(matches!(queue.submit(d), Admission::Rejected(_)));
+    }
+
+    #[test]
+    fn expired_newcomer_is_shed_directly_at_the_full_edge() {
+        // Regression (pre-QoS bug): a full queue + an expired newcomer used
+        // to evict an expired *resident* and admit the newcomer — which the
+        // dequeue check would then drop anyway, wasting a slot and shedding
+        // the wrong request. The newcomer must die; residents stay.
+        let queue = queue(2, BackpressurePolicy::Shed);
+        let fresh_deadline = Instant::now() + Duration::from_secs(60);
+        let (a, ta) = queued_deadline(0, fresh_deadline);
+        let (b, tb) = queued_deadline(1, fresh_deadline);
+        queue.submit(a);
+        queue.submit(b);
+
+        let (dead, t_dead) = queued_expired(2);
+        match queue.submit(dead) {
+            Admission::ShedNewcomer(newcomer) => {
+                assert_eq!(node_of(&newcomer), 2, "the newcomer itself is the shed request");
+                newcomer.fail(ServeError::Shed);
+            }
+            Admission::EnqueuedAfterShed(_) => panic!("a resident was evicted for dead work"),
+            _ => panic!("an expired newcomer at the full edge must resolve as shed"),
+        }
+        assert_eq!(t_dead.wait(), Err(ServeError::Shed));
+        assert_eq!(queue.len(), 2, "residents untouched");
+        assert!(!ta.is_done() && !tb.is_done(), "no resident ticket was resolved");
+        assert_eq!(pop_all(&queue), vec![0, 1]);
+    }
+
+    #[test]
+    fn edf_orders_pops_by_deadline_with_fifo_tie_break() {
+        let queue = queue(8, BackpressurePolicy::Shed);
+        let base = Instant::now() + Duration::from_secs(100);
+        let step = Duration::from_secs(1);
+        // Submission order 0..5; deadlines deliberately out of order, with
+        // 3 and 4 sharing one deadline (the tie).
+        let deadlines =
+            [base + 3 * step, base + step, base + 4 * step, base, base, base + 2 * step];
+        let mut tickets = Vec::new();
+        for (i, &d) in deadlines.iter().enumerate() {
+            let (item, t) = queued_deadline(i, d);
+            tickets.push(t);
+            assert!(matches!(queue.submit(item), Admission::Enqueued));
+        }
+        // EDF: ascending deadline; the tied pair (3, 4) pops in submission
+        // order, so the full order is deterministic.
+        assert_eq!(pop_all(&queue), vec![3, 4, 1, 5, 0, 2]);
+    }
+
+    #[test]
+    fn deadline_exactly_now_and_zero_budget_count_as_expired() {
+        let queue = queue(2, BackpressurePolicy::Shed);
+        // `deadline <= now` is the expiry test, so a deadline stamped "now"
+        // and a zero-duration budget are both already dead at the edge.
+        let at_now =
+            Request::new(Algorithm::Eager, NodeId::new(0), 1).with_deadline(Instant::now());
+        let zero_budget =
+            Request::new(Algorithm::Eager, NodeId::new(1), 1).with_deadline_in(Duration::ZERO);
+        assert_eq!(zero_budget.deadline, Some(zero_budget.submit_instant));
+        let (a, ta) = Queued::new(at_now);
+        let (b, tb) = Queued::new(zero_budget);
+        queue.submit(a);
+        queue.submit(b);
+        assert_eq!(queue.len(), 2, "below capacity, even expired requests are admitted");
+
+        // At the full edge both residents are expired; the earlier deadline
+        // (node 0) is the victim for a fresh newcomer.
+        let (fresh, _tf) = queued_deadline(2, Instant::now() + Duration::from_secs(60));
+        match queue.submit(fresh) {
+            Admission::EnqueuedAfterShed(victim) => {
+                assert_eq!(node_of(&victim), 0);
+                victim.fail(ServeError::Shed);
+            }
+            _ => panic!("an expired resident was available"),
+        }
+        assert_eq!(ta.wait(), Err(ServeError::Shed));
+        assert!(!tb.is_done());
+    }
+
+    #[test]
+    fn interactive_pops_first_with_a_bounded_starvation_streak() {
+        // Ratio 2: after two consecutive interactive pops with batch work
+        // waiting, the third pop is forced from the batch class.
+        let queue = RequestQueue::new(8, BackpressurePolicy::Block, 2);
+        let mut tickets = Vec::new();
+        for i in 0..5 {
+            let (item, t) = queued(i);
+            tickets.push(t);
+            queue.submit(item);
+        }
+        for i in 0..3 {
+            let (item, t) = queued_batch(100 + i);
+            tickets.push(t);
+            queue.submit(item);
+        }
+        let mut order = Vec::new();
+        let mut out = Vec::new();
+        while queue.len() > 0 {
+            out.clear();
+            queue.pop_batch(&mut out, 1);
+            order.push(node_of(&out[0]));
+        }
+        assert_eq!(
+            order,
+            vec![0, 1, 100, 2, 3, 101, 4, 102],
+            "two interactive, one forced batch, repeat; tail drains batch"
+        );
+
+        // Ratio 0 disables the bound: strict priority.
+        let strict = RequestQueue::new(8, BackpressurePolicy::Block, 0);
+        let mut tickets = Vec::new();
+        for i in 0..3 {
+            let (b, t) = queued_batch(200 + i);
+            tickets.push(t);
+            strict.submit(b);
+            let (a, t) = queued(i);
+            tickets.push(t);
+            strict.submit(a);
+        }
+        assert_eq!(pop_all(&strict), vec![0, 1, 2, 200, 201, 202]);
+    }
+
+    #[test]
+    fn submit_batch_matches_single_submits_and_wakes_consumers_once() {
+        let queue = queue(4, BackpressurePolicy::Reject);
+        let mut items = Vec::new();
+        let mut tickets = Vec::new();
+        for i in 0..6 {
+            let (item, t) = queued(i);
+            items.push(item);
+            tickets.push(t);
+        }
+        let admissions = queue.submit_batch(items);
+        assert_eq!(admissions.len(), 6);
+        for (i, admission) in admissions.iter().enumerate() {
+            if i < 4 {
+                assert!(matches!(admission, Admission::Enqueued), "item {i} fits");
+            } else {
+                assert!(matches!(admission, Admission::Rejected(_)), "item {i} overflows");
+            }
+        }
+        assert_eq!(queue.len(), 4);
+        assert_eq!(pop_all(&queue), vec![0, 1, 2, 3], "batch order is submission order");
+
+        // An empty batch is a no-op.
+        assert!(queue.submit_batch(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn submit_batch_larger_than_capacity_blocks_and_completes() {
+        // Under Block, a batch bigger than the whole queue must wake the
+        // consumer for its enqueued prefix before parking — otherwise both
+        // sides sleep forever.
+        let queue = std::sync::Arc::new(RequestQueue::new(2, BackpressurePolicy::Block, 0));
+        let consumer = {
+            let queue = std::sync::Arc::clone(&queue);
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                let mut out = Vec::new();
+                while seen.len() < 7 {
+                    out.clear();
+                    queue.pop_batch(&mut out, 3);
+                    seen.extend(out.iter().map(node_of));
+                }
+                seen
+            })
+        };
+        let mut items = Vec::new();
+        let mut tickets = Vec::new();
+        for i in 0..7 {
+            let (item, t) = queued(i);
+            items.push(item);
+            tickets.push(t);
+        }
+        let admissions = queue.submit_batch(items);
+        assert!(admissions.iter().all(|a| matches!(a, Admission::Enqueued)));
+        assert_eq!(consumer.join().unwrap(), vec![0, 1, 2, 3, 4, 5, 6]);
     }
 
     #[test]
     fn block_policy_waits_for_space_and_wakes_on_pop() {
-        let queue = std::sync::Arc::new(RequestQueue::new(1));
+        let queue = std::sync::Arc::new(queue(1, BackpressurePolicy::Block));
         let (first, _t1) = queued(0);
-        queue.submit(first, BackpressurePolicy::Block);
+        queue.submit(first);
 
         let q2 = std::sync::Arc::clone(&queue);
         let blocked = std::thread::spawn(move || {
             let (second, t2) = queued(1);
-            let admission = q2.submit(second, BackpressurePolicy::Block);
+            let admission = q2.submit(second);
             (matches!(admission, Admission::Enqueued), t2)
         });
         // Give the submitter time to block, then free a slot.
@@ -353,14 +769,14 @@ mod tests {
 
     #[test]
     fn close_wakes_blocked_submitters_and_lets_workers_drain() {
-        let queue = std::sync::Arc::new(RequestQueue::new(1));
+        let queue = std::sync::Arc::new(queue(1, BackpressurePolicy::Block));
         let (resident, _tr) = queued(0);
-        queue.submit(resident, BackpressurePolicy::Block);
+        queue.submit(resident);
 
         let q2 = std::sync::Arc::clone(&queue);
         let blocked = std::thread::spawn(move || {
             let (item, _t) = queued(1);
-            matches!(q2.submit(item, BackpressurePolicy::Block), Admission::Closed(_))
+            matches!(q2.submit(item), Admission::Closed(_))
         });
         std::thread::sleep(Duration::from_millis(20));
         queue.close();
@@ -375,27 +791,40 @@ mod tests {
         queue.pop_batch(&mut out, 4);
         assert!(out.is_empty(), "closed + drained returns an empty batch");
 
-        // Submissions after close fail regardless of policy.
+        // Submissions after close fail regardless of policy, singly or in a
+        // batch.
         let (late, _tl) = queued(2);
-        assert!(matches!(queue.submit(late, BackpressurePolicy::Reject), Admission::Closed(_)));
+        assert!(matches!(queue.submit(late), Admission::Closed(_)));
+        let (late2, _tl2) = queued(3);
+        let batch_admissions = queue.submit_batch(vec![late2]);
+        assert!(matches!(batch_admissions[0], Admission::Closed(_)));
         queue.close(); // idempotent
     }
 
     #[test]
     fn concurrent_producers_and_consumers_lose_nothing() {
-        let queue = std::sync::Arc::new(RequestQueue::new(8));
+        let queue = std::sync::Arc::new(queue(8, BackpressurePolicy::Block));
         let produced = 4 * 100;
         let consumed = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
         std::thread::scope(|scope| {
             for t in 0..4 {
                 let queue = std::sync::Arc::clone(&queue);
                 scope.spawn(move || {
-                    for i in 0..100 {
-                        let (item, _ticket) = queued(t * 100 + i);
-                        assert!(matches!(
-                            queue.submit(item, BackpressurePolicy::Block),
-                            Admission::Enqueued
-                        ));
+                    // Odd producers batch their submissions, even producers
+                    // submit singly — the accounting must not care.
+                    if t % 2 == 1 {
+                        for chunk in 0..20 {
+                            let items = (0..5)
+                                .map(|i| queued(t * 100 + chunk * 5 + i).0)
+                                .collect::<Vec<_>>();
+                            let admissions = queue.submit_batch(items);
+                            assert!(admissions.iter().all(|a| matches!(a, Admission::Enqueued)));
+                        }
+                    } else {
+                        for i in 0..100 {
+                            let (item, _ticket) = queued(t * 100 + i);
+                            assert!(matches!(queue.submit(item), Admission::Enqueued));
+                        }
                     }
                 });
             }
@@ -430,9 +859,139 @@ mod tests {
         assert_eq!(queue.len(), 0);
     }
 
+    /// The seed's Shed semantics as an executable reference: a FIFO list
+    /// scanned from the oldest entry, evicting the first expired one —
+    /// plus the expired-newcomer fix. Deadlines in the trace are arranged
+    /// so the seed's oldest-expired victim is always the EDF heap's
+    /// earliest-deadline victim (at every full edge exactly one resident is
+    /// expired) and fresh deadlines increase with submission order (so
+    /// seed FIFO pop == EDF pop): any divergence is a queue bug, not a
+    /// modelling artifact.
+    struct SeedModel {
+        fifo: std::collections::VecDeque<(usize, Option<u64>)>,
+        capacity: usize,
+    }
+
+    enum ModelOutcome {
+        Enqueued,
+        EnqueuedAfterShed(usize),
+        ShedNewcomer,
+    }
+
+    impl SeedModel {
+        fn submit(&mut self, id: usize, deadline_key: Option<u64>, expired: bool) -> ModelOutcome {
+            if self.fifo.len() < self.capacity {
+                self.fifo.push_back((id, deadline_key));
+                return ModelOutcome::Enqueued;
+            }
+            if expired {
+                return ModelOutcome::ShedNewcomer;
+            }
+            let victim_pos = self
+                .fifo
+                .iter()
+                .position(|&(_, key)| key.is_some_and(|k| k < FRESH_BASE))
+                .expect("the trace keeps one expired resident at every full edge");
+            let (victim, _) = self.fifo.remove(victim_pos).unwrap();
+            self.fifo.push_back((id, deadline_key));
+            ModelOutcome::EnqueuedAfterShed(victim)
+        }
+
+        fn pop(&mut self) -> Option<usize> {
+            self.fifo.pop_front().map(|(id, _)| id)
+        }
+    }
+
+    /// Deadline keys at or above this encode "fresh" (far future);
+    /// below it, "expired" (already past).
+    const FRESH_BASE: u64 = 1 << 32;
+
+    #[test]
+    fn overload_trace_with_10k_sheds_replays_identically_to_the_seed_model() {
+        // 10 000 full-edge evictions: each round tops the queue up with one
+        // expired resident, forces an eviction with a fresh newcomer, and
+        // drains one slot. The real queue must name the same victim and pop
+        // the same request as the seed reference model every single time —
+        // and spend O(log n), not O(n), per eviction doing it.
+        const CAPACITY: usize = 8;
+        const ROUNDS: usize = 10_000;
+        let queue = queue(CAPACITY, BackpressurePolicy::Shed);
+        let mut model = SeedModel { fifo: std::collections::VecDeque::new(), capacity: CAPACITY };
+
+        let now = Instant::now();
+        let past = now.checked_sub(Duration::from_secs(3600)).unwrap_or(now);
+        let future = now + Duration::from_secs(3600);
+        // Key -> Instant: expired keys step by 10ns from one hour ago,
+        // fresh keys step by 1us from one hour ahead — both monotone in
+        // submission order, which is what aligns FIFO with EDF.
+        let expired_at = |r: usize| past + Duration::from_nanos(10 * r as u64);
+        let fresh_at = |r: usize| future + Duration::from_micros(r as u64);
+
+        let mut tickets: Vec<Ticket> = Vec::new();
+
+        // Prefill to capacity - 1 with fresh residents (ids disjoint from
+        // the per-round ids 0..2*ROUNDS).
+        for r in 0..CAPACITY - 1 {
+            let id = 2 * ROUNDS + 1 + r;
+            let (item, t) = queued_deadline(id, fresh_at(0));
+            tickets.push(t);
+            assert!(matches!(queue.submit(item), Admission::Enqueued));
+            assert!(matches!(model.submit(id, Some(FRESH_BASE), false), ModelOutcome::Enqueued));
+        }
+
+        let mut sheds = 0usize;
+        let mut out = Vec::new();
+        for r in 0..ROUNDS {
+            // One expired resident in (queue has a free slot).
+            let expired_id = 2 * r;
+            let (item, t) = queued_deadline(expired_id, expired_at(r));
+            tickets.push(t);
+            assert!(matches!(queue.submit(item), Admission::Enqueued));
+            assert!(matches!(
+                model.submit(expired_id, Some(r as u64), true),
+                ModelOutcome::Enqueued
+            ));
+
+            // One fresh newcomer at the full edge: eviction.
+            let fresh_id = 2 * r + 1;
+            let (item, t) = queued_deadline(fresh_id, fresh_at(r + 1));
+            tickets.push(t);
+            let expected = match model.submit(fresh_id, Some(FRESH_BASE + r as u64), false) {
+                ModelOutcome::EnqueuedAfterShed(victim) => victim,
+                _ => panic!("round {r}: the model must evict"),
+            };
+            match queue.submit(item) {
+                Admission::EnqueuedAfterShed(victim) => {
+                    assert_eq!(node_of(&victim), expected, "round {r}: victim diverged");
+                    sheds += 1;
+                    victim.fail(ServeError::Shed);
+                }
+                _ => panic!("round {r}: the queue must evict"),
+            }
+
+            // Drain one slot; pop order must match the seed model too.
+            out.clear();
+            queue.pop_batch(&mut out, 1);
+            assert_eq!(node_of(&out[0]), model.pop().unwrap(), "round {r}: pop diverged");
+            out.clear();
+        }
+        assert_eq!(sheds, ROUNDS);
+
+        // Drain the tail: still in lockstep.
+        let mut real_tail = pop_all(&queue);
+        let mut model_tail = Vec::new();
+        while let Some(id) = model.pop() {
+            model_tail.push(id);
+        }
+        real_tail.sort_unstable();
+        model_tail.sort_unstable();
+        assert_eq!(real_tail, model_tail);
+        assert_eq!(queue.len(), 0);
+    }
+
     #[test]
     #[should_panic]
     fn zero_capacity_queue_panics() {
-        let _ = RequestQueue::new(0);
+        let _ = queue(0, BackpressurePolicy::Block);
     }
 }

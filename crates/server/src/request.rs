@@ -22,6 +22,57 @@ use rnn_graph::NodeId;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+/// The admission class of a request: which per-class queue it rides and how
+/// workers order it against other traffic.
+///
+/// Workers drain [`Interactive`](Priority::Interactive) requests first;
+/// [`Batch`](Priority::Batch) requests are served from a separate queue
+/// whenever no interactive work waits, plus a guaranteed slot every
+/// `starvation_ratio` interactive pops (see
+/// [`crate::ServerConfig::with_starvation_ratio`]) so a saturating
+/// interactive stream can never starve batch work forever. Priority affects
+/// *ordering and admission accounting only* — never answers: a request
+/// returns byte-identical results in either class.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Priority {
+    /// Latency-sensitive traffic (the default): a user is waiting on the
+    /// answer. Served first.
+    #[default]
+    Interactive,
+    /// Best-effort background traffic (precomputation, analytics, warmup):
+    /// served when no interactive work waits, plus the anti-starvation slot.
+    Batch,
+}
+
+impl Priority {
+    /// Both classes, from highest to lowest service priority. The order is
+    /// load-bearing: [`Priority::index`] indexes per-class arrays with it.
+    pub const ALL: [Priority; 2] = [Priority::Interactive, Priority::Batch];
+
+    /// The position of this class in [`Priority::ALL`] (and in every
+    /// per-class array of the crate).
+    pub fn index(self) -> usize {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Batch => 1,
+        }
+    }
+
+    /// Lower-case human-readable name (`"interactive"` / `"batch"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+        }
+    }
+}
+
+impl std::fmt::Display for Priority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// One RkNN query submitted to the server.
 #[derive(Copy, Clone, Debug)]
 pub struct Request {
@@ -31,10 +82,14 @@ pub struct Request {
     pub query: NodeId,
     /// The `k` of the RkNN query (must be at least 1 to pass admission).
     pub k: usize,
+    /// The admission class (default [`Priority::Interactive`]). Determines
+    /// queue order and per-class accounting, never the answer.
+    pub priority: Priority,
     /// The instant after which the request is no longer worth serving.
     /// Only the `Shed` backpressure policy acts on it (expired requests are
-    /// dropped at admission or dequeue); `Block` and `Reject` never drop
-    /// accepted work.
+    /// dropped at admission or dequeue, and deadline-bearing requests are
+    /// served earliest-deadline-first); `Block` and `Reject` never drop
+    /// accepted work and keep pure FIFO order per class.
     pub deadline: Option<Instant>,
     /// When the request entered the system (stamped by [`Request::new`]).
     /// Queue wait is measured from here, so time spent blocked in a full
@@ -44,9 +99,30 @@ pub struct Request {
 }
 
 impl Request {
-    /// A request with no deadline, stamped `submit_instant = now`.
+    /// An interactive request with no deadline, stamped
+    /// `submit_instant = now`.
     pub fn new(algorithm: Algorithm, query: NodeId, k: usize) -> Self {
-        Request { algorithm, query, k, deadline: None, submit_instant: Instant::now() }
+        Request {
+            algorithm,
+            query,
+            k,
+            priority: Priority::Interactive,
+            deadline: None,
+            submit_instant: Instant::now(),
+        }
+    }
+
+    /// A request for one engine-level [`QuerySpec`] (interactive, no
+    /// deadline) — the bridge from a [`Workload`] to the server's
+    /// [`crate::Server::submit_all`].
+    pub fn from_spec(spec: QuerySpec) -> Self {
+        Request::new(spec.algorithm, spec.query, spec.k)
+    }
+
+    /// Sets the admission class.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
     }
 
     /// Sets an absolute deadline.
@@ -64,6 +140,12 @@ impl Request {
     /// The engine-level spec of this request.
     pub fn spec(&self) -> QuerySpec {
         QuerySpec { algorithm: self.algorithm, query: self.query, k: self.k }
+    }
+}
+
+impl From<QuerySpec> for Request {
+    fn from(spec: QuerySpec) -> Self {
+        Request::from_spec(spec)
     }
 }
 
@@ -249,10 +331,32 @@ mod tests {
             QuerySpec { algorithm: Algorithm::Eager, query: NodeId::new(3), k: 2 }
         );
         assert!(r.deadline.is_none());
+        assert_eq!(r.priority, Priority::Interactive, "interactive is the default class");
         let d = r.with_deadline_in(Duration::from_millis(10));
         assert_eq!(d.deadline, Some(d.submit_instant + Duration::from_millis(10)));
         let at = Instant::now();
         assert_eq!(request().with_deadline(at).deadline, Some(at));
+        assert_eq!(request().with_priority(Priority::Batch).priority, Priority::Batch);
+    }
+
+    #[test]
+    fn priority_class_order_and_names() {
+        assert_eq!(Priority::ALL, [Priority::Interactive, Priority::Batch]);
+        for (i, p) in Priority::ALL.into_iter().enumerate() {
+            assert_eq!(p.index(), i, "ALL order and index agree");
+        }
+        assert_eq!(Priority::Interactive.name(), "interactive");
+        assert_eq!(Priority::Batch.to_string(), "batch");
+        assert_eq!(Priority::default(), Priority::Interactive);
+    }
+
+    #[test]
+    fn request_from_spec_round_trips() {
+        let spec = QuerySpec { algorithm: Algorithm::Lazy, query: NodeId::new(7), k: 3 };
+        let r = Request::from(spec);
+        assert_eq!(r.spec(), spec);
+        assert_eq!(r.priority, Priority::Interactive);
+        assert!(r.deadline.is_none());
     }
 
     #[test]

@@ -9,15 +9,16 @@
 //!
 //! ```text
 //! submit() ──admission──▶ RequestQueue ──micro-batch──▶ worker ──▶ Ticket
-//!    │                                                    │
-//!    └── Err(QueueFull / ShuttingDown / Unservable)       └── QueryEngine
-//!        (synchronous rejection)                              view over the
-//!                                                             current World
+//!    │                    (per-class,                     │
+//!    │                     EDF under Shed)                └── QueryEngine
+//!    └── Err(QueueFull / ShuttingDown / Unservable)           view over the
+//!        (synchronous rejection)                              current World
 //! ```
 //!
 //! Each worker owns a [`Scratch`] arena (steady-state queries are
 //! allocation-free, exactly as in the batch engine) and drains the queue in
-//! micro-batches of up to B requests per wakeup. All workers share one
+//! micro-batches of up to B requests per wakeup — interactive before batch
+//! class, earliest-deadline-first under `Shed`. All workers share one
 //! [`SharedResultCache`] and — when the world is a `PagedGraph` — one striped
 //! buffer pool and one set of lock-free I/O counters, so the serving path
 //! reuses every concurrency layer built underneath it.
@@ -33,17 +34,25 @@
 //!
 //! **Accounting.** Every submitted request lands in exactly one of
 //! `rejected` (synchronous), `completed`, or `shed` (asynchronous, via its
-//! ticket): `completed + rejected + shed == submitted` holds at quiescence —
-//! the shutdown-under-load test pins it down.
+//! ticket): `completed + rejected + shed == submitted` holds at quiescence,
+//! per priority class — the shutdown-under-load test pins it down. Requests
+//! shed at *dequeue* still record their queue wait (a histogram that only
+//! counted survivors would look healthiest exactly when the server drowns),
+//! and `queue_wait.count() == completed + shed_at_dequeue` per class.
+//!
+//! **Stats are wait-free.** Workers publish their latency histograms
+//! through a per-worker seqlock snapshot ([`crate::stats`]); a
+//! [`Server::stats`] poll never takes a lock a worker might hold.
 
 use crate::histogram::LatencyHistogram;
 use crate::queue::{Admission, BackpressurePolicy, RequestQueue};
-use crate::request::{Queued, Request, ServeError, ServedQuery, Ticket};
-use parking_lot::{Mutex, RwLock};
+use crate::request::{Priority, Queued, Request, ServeError, ServedQuery, Ticket};
+use crate::stats::{algorithm_index, ClassStats, PublishedMetrics, ServerStats, WorkerMetrics};
+use parking_lot::RwLock;
 use rnn_core::engine::QueryEngine;
-use rnn_core::{Algorithm, CacheStats, HubLabelRknn, MaterializedKnn, Scratch, SharedResultCache};
+use rnn_core::{Algorithm, HubLabelRknn, MaterializedKnn, Scratch, SharedResultCache};
 use rnn_graph::{PointsOnNodes, Topology};
-use rnn_storage::{IoCounters, IoStats};
+use rnn_storage::IoCounters;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -118,7 +127,7 @@ impl std::fmt::Debug for World {
 pub struct ServerConfig {
     /// Number of worker threads (at least 1).
     pub workers: usize,
-    /// Request-queue capacity (at least 1).
+    /// Request-queue capacity (at least 1), shared across priority classes.
     pub queue_capacity: usize,
     /// Maximum requests a worker takes per wakeup (at least 1). Micro-
     /// batching amortizes lock acquisitions and condvar wakeups when the
@@ -127,6 +136,11 @@ pub struct ServerConfig {
     pub micro_batch: usize,
     /// What to do with a new request when the queue is full.
     pub policy: BackpressurePolicy,
+    /// After this many consecutive interactive pops with batch work
+    /// waiting, one batch pop is forced — the bound that keeps a saturating
+    /// interactive stream from starving the batch class forever. `0`
+    /// disables the bound (strict priority).
+    pub starvation_ratio: u64,
     /// Result-cache entries shared by all workers (0 disables caching).
     pub cache_capacity: usize,
     /// Result-cache shards (0 means one per worker, the rule of thumb).
@@ -135,13 +149,14 @@ pub struct ServerConfig {
 
 impl Default for ServerConfig {
     /// Two workers, a 1024-deep queue, micro-batches of 8, blocking
-    /// admission, no result cache.
+    /// admission, a starvation ratio of 4, no result cache.
     fn default() -> Self {
         ServerConfig {
             workers: 2,
             queue_capacity: 1024,
             micro_batch: 8,
             policy: BackpressurePolicy::Block,
+            starvation_ratio: 4,
             cache_capacity: 0,
             cache_shards: 0,
         }
@@ -173,6 +188,13 @@ impl ServerConfig {
         self
     }
 
+    /// Sets the batch-starvation bound (see
+    /// [`ServerConfig::starvation_ratio`]; `0` = strict priority).
+    pub fn with_starvation_ratio(mut self, ratio: u64) -> Self {
+        self.starvation_ratio = ratio;
+        self
+    }
+
     /// Enables the shared result cache: `capacity` entries over `shards`
     /// independently locked shards (0 shards = one per worker).
     pub fn with_result_cache(mut self, capacity: usize, shards: usize) -> Self {
@@ -182,110 +204,107 @@ impl ServerConfig {
     }
 }
 
-/// Cumulative admission / completion counters plus per-algorithm serve
-/// counts (indexed in [`Algorithm::ALL`] order).
-struct Counts {
+/// One priority class's admission / completion counters.
+struct ClassCounts {
     submitted: AtomicU64,
     accepted: AtomicU64,
     rejected: AtomicU64,
     shed: AtomicU64,
+    shed_at_dequeue: AtomicU64,
     completed: AtomicU64,
+}
+
+impl ClassCounts {
+    fn new() -> Self {
+        ClassCounts {
+            submitted: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            shed_at_dequeue: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Cumulative per-class counters plus per-algorithm serve counts (indexed
+/// in [`Algorithm::ALL`] order). Global totals are derived by summing the
+/// classes, so the two levels can never disagree.
+struct Counts {
+    classes: [ClassCounts; Priority::ALL.len()],
     per_algorithm: [AtomicU64; Algorithm::ALL.len()],
 }
 
 impl Counts {
     fn new() -> Self {
         Counts {
-            submitted: AtomicU64::new(0),
-            accepted: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
+            classes: std::array::from_fn(|_| ClassCounts::new()),
             per_algorithm: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
-}
 
-/// The position of `algorithm` in [`Algorithm::ALL`] — kept as a
-/// wildcard-free match (the workspace contract: adding a variant must break
-/// this build, not silently share a counter).
-fn algorithm_index(algorithm: Algorithm) -> usize {
-    match algorithm {
-        Algorithm::Eager => 0,
-        Algorithm::EagerMaterialized => 1,
-        Algorithm::Lazy => 2,
-        Algorithm::LazyExtendedPruning => 3,
-        Algorithm::Naive => 4,
-        Algorithm::HubLabel => 5,
+    fn class(&self, priority: Priority) -> &ClassCounts {
+        &self.classes[priority.index()]
     }
-}
-
-/// One worker's latency accounting, merged across workers by
-/// [`Server::stats`].
-#[derive(Default)]
-struct WorkerMetrics {
-    queue_wait: LatencyHistogram,
-    service: LatencyHistogram,
-    micro_batches: u64,
 }
 
 /// Everything the workers and the handle share.
 struct Shared {
     queue: RequestQueue,
-    policy: BackpressurePolicy,
     micro_batch: usize,
     world: RwLock<World>,
     cache: Option<SharedResultCache>,
     io: Option<IoCounters>,
     counts: Counts,
-    metrics: Vec<Mutex<WorkerMetrics>>,
+    metrics: Vec<PublishedMetrics>,
 }
 
-/// A point-in-time snapshot of a server's counters and latency split.
-#[derive(Clone, Debug)]
-pub struct ServerStats {
-    /// Requests handed to [`Server::submit`].
-    pub submitted: u64,
-    /// Requests admitted to the queue.
-    pub accepted: u64,
-    /// Requests turned away without being served: synchronously at
-    /// admission (queue full, unservable, shutting down), or at dequeue
-    /// when a point-set swap removed the precomputed structure an
-    /// already-queued request needs (its ticket resolves to
-    /// [`ServeError::Unservable`]).
-    pub rejected: u64,
-    /// Accepted requests dropped past their deadline by the `Shed` policy.
-    pub shed: u64,
-    /// Requests served to completion.
-    pub completed: u64,
-    /// Served-request counts per algorithm, in [`Algorithm::ALL`] order.
-    pub per_algorithm: Vec<(Algorithm, u64)>,
-    /// Requests sitting in the queue at snapshot time.
-    pub queue_depth: usize,
-    /// Worker wakeups that processed at least one request (micro-batching
-    /// makes this less than `completed` under load).
-    pub micro_batches: u64,
-    /// Submit-to-dequeue latency, merged across workers.
-    pub queue_wait: LatencyHistogram,
-    /// Dequeue-to-completion latency, merged across workers.
-    pub service: LatencyHistogram,
-    /// Result-cache hits/misses (zeros when caching is disabled).
-    pub cache: CacheStats,
-    /// I/O counters rollup (zeros unless the server was given the paged
-    /// world's counters).
-    pub io: IoStats,
-}
-
-impl ServerStats {
-    /// Served-request count for one algorithm.
-    pub fn algorithm_count(&self, algorithm: Algorithm) -> u64 {
-        self.per_algorithm[algorithm_index(algorithm)].1
-    }
-
-    /// `completed + rejected + shed` — equals `submitted` at quiescence
-    /// (nothing in flight), which is the no-request-lost invariant.
-    pub fn accounted(&self) -> u64 {
-        self.completed + self.rejected + self.shed
+impl Shared {
+    /// Resolves one admission decision into the caller-visible result,
+    /// updating the submitter's (and, for an evicted victim, the victim's)
+    /// class counters. Shared by [`Server::submit`] and
+    /// [`Server::submit_all`] so batched accounting is identical to N
+    /// single submits by construction.
+    fn resolve_admission(
+        &self,
+        priority: Priority,
+        admission: Admission,
+        ticket: Ticket,
+    ) -> Result<Ticket, ServeError> {
+        let class = self.counts.class(priority);
+        match admission {
+            Admission::Enqueued => {
+                class.accepted.fetch_add(1, Ordering::Relaxed);
+                Ok(ticket)
+            }
+            Admission::EnqueuedAfterShed(victim) => {
+                class.accepted.fetch_add(1, Ordering::Relaxed);
+                // The victim is shed against *its* class, not the
+                // submitter's.
+                self.counts.class(victim.request.priority).shed.fetch_add(1, Ordering::Relaxed);
+                victim.fail(ServeError::Shed);
+                Ok(ticket)
+            }
+            Admission::ShedNewcomer(newcomer) => {
+                // The request arrived already expired at the full edge: it
+                // was never enqueued, and resolves through its ticket like
+                // every other shed.
+                class.shed.fetch_add(1, Ordering::Relaxed);
+                newcomer.fail(ServeError::Shed);
+                Ok(ticket)
+            }
+            Admission::Rejected(unadmitted) => {
+                class.rejected.fetch_add(1, Ordering::Relaxed);
+                // The drop resolves the never-handed-out ticket (Lost).
+                drop(unadmitted);
+                Err(ServeError::QueueFull)
+            }
+            Admission::Closed(unadmitted) => {
+                class.rejected.fetch_add(1, Ordering::Relaxed);
+                drop(unadmitted);
+                Err(ServeError::ShuttingDown)
+            }
+        }
     }
 }
 
@@ -321,14 +340,17 @@ impl Server {
             SharedResultCache::new(config.cache_capacity, shards)
         });
         let shared = Arc::new(Shared {
-            queue: RequestQueue::new(config.queue_capacity.max(1)),
-            policy: config.policy,
+            queue: RequestQueue::new(
+                config.queue_capacity.max(1),
+                config.policy,
+                config.starvation_ratio,
+            ),
             micro_batch: config.micro_batch.max(1),
             world: RwLock::new(world),
             cache,
             io,
             counts: Counts::new(),
-            metrics: (0..workers).map(|_| Mutex::new(WorkerMetrics::default())).collect(),
+            metrics: (0..workers).map(|_| PublishedMetrics::new()).collect(),
         });
         let handles = (0..workers)
             .map(|worker_id| {
@@ -346,45 +368,68 @@ impl Server {
     ///
     /// Returns a [`Ticket`] when the request was admitted — the ticket
     /// resolves to the served result, to [`ServeError::Shed`] if the `Shed`
-    /// policy drops it past its deadline, or to [`ServeError::Unservable`]
-    /// if a [`Server::swap_points`] removed the precomputed structure it
-    /// needs before a worker reached it. Synchronous errors mean the
-    /// request never entered the queue: [`ServeError::Unservable`] (failed
+    /// policy drops it past its deadline (at the full-queue edge, or at
+    /// dequeue), or to [`ServeError::Unservable`] if a
+    /// [`Server::swap_points`] removed the precomputed structure it needs
+    /// before a worker reached it. Synchronous errors mean the request
+    /// never entered the queue: [`ServeError::Unservable`] (failed
     /// admission validation), [`ServeError::QueueFull`], or
     /// [`ServeError::ShuttingDown`].
     pub fn submit(&self, request: Request) -> Result<Ticket, ServeError> {
-        let counts = &self.shared.counts;
-        counts.submitted.fetch_add(1, Ordering::Relaxed);
+        let class = self.shared.counts.class(request.priority);
+        class.submitted.fetch_add(1, Ordering::Relaxed);
         // Admission validation: refuse now what no worker could ever serve
         // (panicking a worker thread instead would poison the whole pool).
         if request.k == 0 || !self.shared.world.read().can_serve(request.algorithm) {
-            counts.rejected.fetch_add(1, Ordering::Relaxed);
+            class.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::Unservable);
         }
         let (queued, ticket) = Queued::new(request);
-        match self.shared.queue.submit(queued, self.shared.policy) {
-            Admission::Enqueued => {
-                counts.accepted.fetch_add(1, Ordering::Relaxed);
-                Ok(ticket)
-            }
-            Admission::EnqueuedAfterShed(victim) => {
-                counts.accepted.fetch_add(1, Ordering::Relaxed);
-                counts.shed.fetch_add(1, Ordering::Relaxed);
-                victim.fail(ServeError::Shed);
-                Ok(ticket)
-            }
-            Admission::Rejected(unadmitted) => {
-                counts.rejected.fetch_add(1, Ordering::Relaxed);
-                // The drop resolves the never-handed-out ticket (Lost).
-                drop(unadmitted);
-                Err(ServeError::QueueFull)
-            }
-            Admission::Closed(unadmitted) => {
-                counts.rejected.fetch_add(1, Ordering::Relaxed);
-                drop(unadmitted);
-                Err(ServeError::ShuttingDown)
+        let admission = self.shared.queue.submit(queued);
+        self.shared.resolve_admission(request.priority, admission, ticket)
+    }
+
+    /// Submits a batch of requests under **one** queue-lock acquisition and
+    /// one worker wakeup, returning one result per request in order — each
+    /// exactly what [`Server::submit`] would have returned, with identical
+    /// accounting. This is the cheap way to feed a workload's worth of
+    /// requests (e.g. via [`Request::from_spec`]) into the server: N
+    /// requests cost one lock round-trip instead of N.
+    ///
+    /// Under [`BackpressurePolicy::Block`], a batch larger than the free
+    /// queue space parks the submitter mid-batch until workers drain room
+    /// (workers are woken for the already-enqueued prefix first, so this
+    /// cannot deadlock).
+    pub fn submit_all(&self, requests: &[Request]) -> Vec<Result<Ticket, ServeError>> {
+        let counts = &self.shared.counts;
+        let mut results: Vec<Option<Result<Ticket, ServeError>>> =
+            Vec::with_capacity(requests.len());
+        let mut batch: Vec<Queued> = Vec::with_capacity(requests.len());
+        let mut admitted_slots: Vec<(usize, Ticket)> = Vec::with_capacity(requests.len());
+        {
+            // One world read lock validates the whole batch.
+            let world = self.shared.world.read();
+            for (slot, &request) in requests.iter().enumerate() {
+                let class = counts.class(request.priority);
+                class.submitted.fetch_add(1, Ordering::Relaxed);
+                if request.k == 0 || !world.can_serve(request.algorithm) {
+                    class.rejected.fetch_add(1, Ordering::Relaxed);
+                    results.push(Some(Err(ServeError::Unservable)));
+                } else {
+                    let (queued, ticket) = Queued::new(request);
+                    batch.push(queued);
+                    admitted_slots.push((slot, ticket));
+                    results.push(None);
+                }
             }
         }
+        let admissions = self.shared.queue.submit_batch(batch);
+        debug_assert_eq!(admissions.len(), admitted_slots.len());
+        for ((slot, ticket), admission) in admitted_slots.into_iter().zip(admissions) {
+            let outcome = self.shared.resolve_admission(requests[slot].priority, admission, ticket);
+            results[slot] = Some(outcome);
+        }
+        results.into_iter().map(|r| r.expect("every slot resolved exactly once")).collect()
     }
 
     /// Replaces the point set (and the point-set-derived precomputed
@@ -412,36 +457,85 @@ impl Server {
         self.shared.metrics.len()
     }
 
-    /// Requests currently waiting in the queue.
+    /// Requests currently waiting in the queue (all classes).
     pub fn queue_depth(&self) -> usize {
         self.shared.queue.len()
     }
 
     /// A point-in-time snapshot of counters, latency histograms and the
-    /// cache / I/O rollups. Cheap enough to poll: five atomic loads plus one
-    /// short mutex hold per worker.
+    /// cache / I/O rollups. **Wait-free**: atomic loads plus one seqlock
+    /// snapshot read per worker — a poll never contends with an in-flight
+    /// micro-batch, so dashboards and autoscalers can hammer it.
     pub fn stats(&self) -> ServerStats {
+        // Read order matters for snapshot consistency: histograms FIRST
+        // (Acquire, through each worker's seqlock), admission counters
+        // after. A worker bumps its class counters *before* publishing the
+        // matching histogram entries (Release store on the version), so
+        // every latency sample visible below is already reflected in the
+        // counter values read afterwards — a poll can under-report
+        // latencies relative to the counters, never over-report
+        // (`queue_wait.count() <= completed + shed_at_dequeue` holds in
+        // every snapshot, not just at quiescence).
+        let mut micro_batches = 0;
+        let mut class_latencies: Vec<(LatencyHistogram, LatencyHistogram)> = Priority::ALL
+            .iter()
+            .map(|_| (LatencyHistogram::new(), LatencyHistogram::new()))
+            .collect();
+        for published in &self.shared.metrics {
+            let m = published.read();
+            micro_batches += m.micro_batches;
+            for (slot, latencies) in class_latencies.iter_mut().zip(&m.classes) {
+                slot.0.merge(&latencies.queue_wait);
+                slot.1.merge(&latencies.service);
+            }
+        }
         let counts = &self.shared.counts;
+        let per_class: Vec<(Priority, ClassStats)> = Priority::ALL
+            .iter()
+            .zip(class_latencies)
+            .map(|(&p, (queue_wait, service))| {
+                let c = counts.class(p);
+                (
+                    p,
+                    ClassStats {
+                        submitted: c.submitted.load(Ordering::Relaxed),
+                        accepted: c.accepted.load(Ordering::Relaxed),
+                        rejected: c.rejected.load(Ordering::Relaxed),
+                        shed: c.shed.load(Ordering::Relaxed),
+                        shed_at_dequeue: c.shed_at_dequeue.load(Ordering::Relaxed),
+                        completed: c.completed.load(Ordering::Relaxed),
+                        queue_wait,
+                        service,
+                    },
+                )
+            })
+            .collect();
         let mut queue_wait = LatencyHistogram::new();
         let mut service = LatencyHistogram::new();
-        let mut micro_batches = 0;
-        for metrics in &self.shared.metrics {
-            let m = metrics.lock();
-            queue_wait.merge(&m.queue_wait);
-            service.merge(&m.service);
-            micro_batches += m.micro_batches;
+        let mut totals = ClassStats::default();
+        for (_, class) in &per_class {
+            queue_wait.merge(&class.queue_wait);
+            service.merge(&class.service);
+            totals.submitted += class.submitted;
+            totals.accepted += class.accepted;
+            totals.rejected += class.rejected;
+            totals.shed += class.shed;
+            totals.shed_at_dequeue += class.shed_at_dequeue;
+            totals.completed += class.completed;
         }
         let per_algorithm = Algorithm::ALL
             .iter()
             .map(|&a| (a, counts.per_algorithm[algorithm_index(a)].load(Ordering::Relaxed)))
             .collect();
         ServerStats {
-            submitted: counts.submitted.load(Ordering::Relaxed),
-            accepted: counts.accepted.load(Ordering::Relaxed),
-            rejected: counts.rejected.load(Ordering::Relaxed),
-            shed: counts.shed.load(Ordering::Relaxed),
-            completed: counts.completed.load(Ordering::Relaxed),
+            submitted: totals.submitted,
+            accepted: totals.accepted,
+            rejected: totals.rejected,
+            shed: totals.shed,
+            shed_at_dequeue: totals.shed_at_dequeue,
+            completed: totals.completed,
             per_algorithm,
+            per_class,
             queue_depth: self.shared.queue.len(),
             micro_batches,
             queue_wait,
@@ -493,18 +587,23 @@ impl std::fmt::Debug for Server {
         f.debug_struct("Server")
             .field("workers", &self.workers())
             .field("queue_depth", &self.queue_depth())
-            .field("policy", &self.shared.policy)
+            .field("policy", &self.shared.queue.policy())
             .field("micro_batch", &self.shared.micro_batch)
             .field("result_cache", &self.shared.cache.is_some())
             .finish()
     }
 }
 
-/// One worker: pop a micro-batch, snapshot the world, serve, repeat until
-/// the queue is closed and drained.
+/// One worker: pop a micro-batch, snapshot the world, serve, publish
+/// metrics, repeat until the queue is closed and drained.
 fn worker_loop(shared: &Shared, worker_id: usize) {
     let mut scratch = Scratch::new();
     let mut batch: Vec<Queued> = Vec::with_capacity(shared.micro_batch);
+    // The worker's cumulative metrics live on its own stack; after every
+    // micro-batch they are published wait-free through the seqlock snapshot
+    // (never a lock a stats() poll could contend on).
+    let mut metrics = WorkerMetrics::default();
+    let shedding = shared.queue.policy() == BackpressurePolicy::Shed;
     loop {
         batch.clear();
         shared.queue.pop_batch(&mut batch, shared.micro_batch);
@@ -521,12 +620,10 @@ fn worker_loop(shared: &Shared, worker_id: usize) {
         if let Some(io) = &shared.io {
             engine = engine.with_io_counters(io);
         }
-        // Latencies are recorded into batch-local histograms and folded
-        // into the shared metrics in one short lock hold at the end, so a
-        // `stats()` poll never waits for an in-flight query.
-        let mut queue_wait_hist = LatencyHistogram::new();
-        let mut service_hist = LatencyHistogram::new();
         for queued in batch.drain(..) {
+            let priority = queued.request.priority;
+            let class = shared.counts.class(priority);
+            let latencies = &mut metrics.classes[priority.index()];
             let start = Instant::now();
             let queue_wait = start.duration_since(queued.request.submit_instant);
             // Re-check serveability at dequeue: a swap_points() between
@@ -534,30 +631,31 @@ fn worker_loop(shared: &Shared, worker_id: usize) {
             // this request needs — fail its ticket instead of letting the
             // engine panic (which would kill the worker for good).
             if !world.can_serve(queued.request.algorithm) {
-                shared.counts.rejected.fetch_add(1, Ordering::Relaxed);
+                class.rejected.fetch_add(1, Ordering::Relaxed);
                 queued.fail(ServeError::Unservable);
                 continue;
             }
-            if shared.policy == BackpressurePolicy::Shed
-                && queued.request.deadline.is_some_and(|d| d <= start)
-            {
-                shared.counts.shed.fetch_add(1, Ordering::Relaxed);
+            if shedding && queued.request.deadline.is_some_and(|d| d <= start) {
+                // A shed request waited too: drop it from the histogram and
+                // overload telemetry reads healthy exactly when the queue
+                // drowns (survivorship bias). Count it and record its wait.
+                latencies.queue_wait.record(queue_wait);
+                class.shed.fetch_add(1, Ordering::Relaxed);
+                class.shed_at_dequeue.fetch_add(1, Ordering::Relaxed);
                 queued.fail(ServeError::Shed);
                 continue;
             }
             let outcome = engine.run(&queued.request.spec(), &mut scratch);
             let service_time = start.elapsed();
-            queue_wait_hist.record(queue_wait);
-            service_hist.record(service_time);
-            shared.counts.completed.fetch_add(1, Ordering::Relaxed);
+            latencies.queue_wait.record(queue_wait);
+            latencies.service.record(service_time);
+            class.completed.fetch_add(1, Ordering::Relaxed);
             shared.counts.per_algorithm[algorithm_index(queued.request.algorithm)]
                 .fetch_add(1, Ordering::Relaxed);
             queued.complete(ServedQuery { outcome, queue_wait, service_time, worker: worker_id });
         }
-        let mut metrics = shared.metrics[worker_id].lock();
         metrics.micro_batches += 1;
-        metrics.queue_wait.merge(&queue_wait_hist);
-        metrics.service.merge(&service_hist);
+        shared.metrics[worker_id].publish(&metrics);
     }
     // Fold this worker's per-thread I/O into the retired total, exactly as
     // the batch engine's workers do (ThreadIds are never reused).
@@ -632,6 +730,12 @@ mod tests {
         assert_eq!(stats.service.count(), 81);
         assert!(stats.micro_batches >= 1);
         assert!(stats.service.max() > Duration::ZERO);
+        // Default-class traffic lands in the interactive class; batch stays
+        // zero everywhere.
+        assert_eq!(stats.class(Priority::Interactive).completed, 81);
+        assert_eq!(stats.class(Priority::Interactive).queue_wait.count(), 81);
+        assert_eq!(stats.class(Priority::Batch).submitted, 0);
+        assert_eq!(stats.class(Priority::Batch).service.count(), 0);
     }
 
     #[test]
@@ -798,8 +902,14 @@ mod tests {
                 scope.spawn(move || {
                     for i in 0..100u32 {
                         let q = ((t * 100 + i) % 81) as usize;
+                        // Alternate classes: conservation must hold per
+                        // class under concurrent load and mid-stream close.
+                        let priority =
+                            if i % 2 == 0 { Priority::Interactive } else { Priority::Batch };
                         submitted.fetch_add(1, Ordering::Relaxed);
-                        match server.submit(Request::new(Algorithm::Lazy, NodeId::new(q), 1)) {
+                        let request = Request::new(Algorithm::Lazy, NodeId::new(q), 1)
+                            .with_priority(priority);
+                        match server.submit(request) {
                             Ok(ticket) => {
                                 if ticket.wait().is_ok() {
                                     resolved_ok.fetch_add(1, Ordering::Relaxed);
@@ -828,6 +938,14 @@ mod tests {
         assert_eq!(stats.completed, resolved_ok.load(Ordering::Relaxed));
         assert_eq!(stats.rejected, sync_rejected.load(Ordering::Relaxed));
         assert!(stats.completed > 0, "some requests were served before the close");
+        for p in Priority::ALL {
+            let class = stats.class(p);
+            assert_eq!(
+                class.accounted(),
+                class.submitted,
+                "{p}: per-class conservation through shutdown"
+            );
+        }
     }
 
     #[test]
@@ -835,7 +953,7 @@ mod tests {
         let (_, _, w) = world(9, 7);
         // Single worker, tiny queue: park the worker on a first slow-ish
         // request wave, then overfill with already-expired requests so both
-        // shed paths (admission-time and dequeue-time) trigger.
+        // shed paths (admission-edge and dequeue-time) trigger.
         let server = Server::start(
             w,
             ServerConfig::default()
@@ -870,5 +988,160 @@ mod tests {
         assert_eq!(stats.rejected, rejected);
         assert_eq!(stats.accounted(), stats.submitted);
         assert!(stats.shed > 0, "expired requests under Shed must actually be dropped");
+        // The telemetry bugfix: requests shed at dequeue waited in the
+        // queue, and that wait is *in* the histogram — the count covers
+        // completions plus dequeue sheds, not survivors only.
+        assert_eq!(
+            stats.queue_wait.count(),
+            stats.completed + stats.shed_at_dequeue,
+            "queue-wait histogram must include dequeue-shed requests"
+        );
+        assert!(stats.shed_at_dequeue > 0, "this workload must exercise the dequeue shed path");
+        assert!(stats.shed_at_dequeue <= stats.shed);
+        let class = stats.class(Priority::Interactive);
+        assert_eq!(class.queue_wait.count(), class.completed + class.shed_at_dequeue);
+    }
+
+    #[test]
+    fn expired_newcomer_at_the_full_edge_resolves_as_shed_not_queue_full() {
+        // Regression for the expired-newcomer bug: a full queue of *fresh*
+        // deadline-bearing requests plus an expired submitter. Pre-fix, the
+        // newcomer was either rejected (nothing shed) or worse — admitted
+        // after evicting a resident. Post-fix it is accepted-and-shed on
+        // the spot: Ok(ticket) resolving to Err(Shed), residents untouched.
+        let (_, _, w) = world(9, 7);
+        let server = Server::start(
+            w,
+            ServerConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(2)
+                .with_micro_batch(1)
+                .with_policy(BackpressurePolicy::Shed),
+        );
+        // Keep the queue pressed full with fresh-deadline requests (these
+        // may legitimately bounce with QueueFull — nothing queued is ever
+        // expired when only fresh requests are resident) while interleaving
+        // expired newcomers. An expired newcomer must NEVER surface
+        // QueueFull: at the full edge it is accepted-and-shed on the spot,
+        // below capacity it is admitted and shed at dequeue — either way
+        // the caller sees Ok(ticket) then Err(Shed).
+        let mut fresh_tickets = Vec::new();
+        let mut dead_tickets = Vec::new();
+        for q in 0..200 {
+            let fresh = Request::new(Algorithm::Eager, NodeId::new(q % 81), 1)
+                .with_deadline_in(Duration::from_secs(3600));
+            match server.submit(fresh) {
+                Ok(t) => fresh_tickets.push(t),
+                Err(ServeError::QueueFull) => {}
+                Err(other) => panic!("unexpected {other:?}"),
+            }
+            let dead = Request::new(Algorithm::Eager, NodeId::new(q % 81), 1)
+                .with_deadline_in(Duration::ZERO);
+            match server.submit(dead) {
+                Ok(t) => dead_tickets.push(t),
+                Err(e) => panic!("expired newcomer must never surface {e:?} (pre-fix QueueFull)"),
+            }
+        }
+        assert_eq!(dead_tickets.len(), 200, "every expired newcomer got a ticket");
+        for t in dead_tickets {
+            assert_eq!(t.wait(), Err(ServeError::Shed), "expired requests always resolve Shed");
+        }
+        // Fresh residents were never evicted for dead newcomers: every
+        // admitted request with an hour of budget completes.
+        for t in fresh_tickets {
+            assert!(t.wait().is_ok(), "resident requests survive expired newcomers");
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.accounted(), stats.submitted);
+        assert_eq!(stats.shed, 200, "all and only the expired newcomers were shed");
+    }
+
+    #[test]
+    fn submit_all_matches_single_submits_and_conserves() {
+        let (graph, points, w) = world(9, 7);
+        let server = Server::start(w, ServerConfig::default().with_workers(2));
+        // A batch mixing priorities, an unservable request (k = 0) in the
+        // middle, and repeats. Results arrive in order, one per request.
+        let mut requests = Vec::new();
+        for q in 0..40 {
+            let mut r = Request::new(Algorithm::Eager, NodeId::new(q), 2);
+            if q % 4 == 3 {
+                r = r.with_priority(Priority::Batch);
+            }
+            requests.push(r);
+        }
+        requests.push(Request::new(Algorithm::Eager, NodeId::new(0), 0)); // unservable
+        let results = server.submit_all(&requests);
+        assert_eq!(results.len(), 41);
+        assert_eq!(results[40].as_ref().err(), Some(&ServeError::Unservable));
+        for (q, result) in results.into_iter().take(40).enumerate() {
+            let served = result.expect("admitted").wait().expect("served");
+            let direct = run_rknn(
+                Algorithm::Eager,
+                &*graph,
+                &*points,
+                Precomputed::none(),
+                NodeId::new(q),
+                2,
+            );
+            assert_eq!(served.outcome, direct, "query {q} via submit_all");
+        }
+        let stats = server.shutdown();
+        // Accounting identical to 41 single submits.
+        assert_eq!(stats.submitted, 41);
+        assert_eq!(stats.completed, 40);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.accounted(), stats.submitted);
+        assert_eq!(stats.class(Priority::Batch).submitted, 10);
+        assert_eq!(stats.class(Priority::Batch).completed, 10);
+        assert_eq!(stats.class(Priority::Interactive).submitted, 31);
+        assert_eq!(stats.class(Priority::Interactive).completed, 30);
+        assert_eq!(stats.class(Priority::Interactive).rejected, 1);
+
+        // Empty batch: no-op, no accounting.
+        let (_, _, w2) = world(5, 3);
+        let server2 = Server::start(w2, ServerConfig::default().with_workers(1));
+        assert!(server2.submit_all(&[]).is_empty());
+        assert_eq!(server2.shutdown().submitted, 0);
+    }
+
+    #[test]
+    fn batch_class_is_served_and_cannot_be_starved_forever() {
+        let (graph, points, w) = world(9, 7);
+        let server =
+            Server::start(w, ServerConfig::default().with_workers(1).with_starvation_ratio(2));
+        let expected =
+            run_rknn(Algorithm::Eager, &*graph, &*points, Precomputed::none(), NodeId::new(5), 1);
+        // Interleave: batch requests among a heavier interactive stream.
+        let mut batch_tickets = Vec::new();
+        let mut interactive_tickets = Vec::new();
+        for i in 0..60 {
+            if i % 3 == 0 {
+                batch_tickets.push(
+                    server
+                        .submit(
+                            Request::new(Algorithm::Eager, NodeId::new(5), 1)
+                                .with_priority(Priority::Batch),
+                        )
+                        .unwrap(),
+                );
+            } else {
+                interactive_tickets.push(
+                    server.submit(Request::new(Algorithm::Eager, NodeId::new(i % 81), 2)).unwrap(),
+                );
+            }
+        }
+        for t in batch_tickets {
+            let served = t.wait().expect("batch requests are served, not starved");
+            assert_eq!(served.outcome, expected, "class never changes the answer");
+        }
+        for t in interactive_tickets {
+            assert!(t.wait().is_ok());
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.class(Priority::Batch).completed, 20);
+        assert_eq!(stats.class(Priority::Interactive).completed, 40);
+        assert_eq!(stats.class(Priority::Batch).queue_wait.count(), 20);
+        assert_eq!(stats.completed, 60);
     }
 }

@@ -2,11 +2,14 @@
 //! stream of RkNN requests, with admission control and latency accounting.
 //!
 //! This drives the `rnn-server` subsystem end-to-end: all six algorithms
-//! submitted through the bounded request queue, each caller awaiting its own
-//! [`Ticket`], every served result asserted byte-identical to the sequential
-//! `run_rknn` loop, a point-set swap that sweeps the shared result cache,
-//! and a graceful drain-then-join shutdown whose final accounting must
-//! conserve every request (`completed + rejected + shed == submitted`).
+//! submitted through the bounded request queue in mixed interactive/batch
+//! priority classes — single submits and `submit_all` bursts — each caller
+//! awaiting its own [`Ticket`], every served result asserted byte-identical
+//! to the sequential `run_rknn` loop, per-class latency accounting printed
+//! from a wait-free `stats()` snapshot, a point-set swap that sweeps the
+//! shared result cache, and a graceful drain-then-join shutdown whose final
+//! accounting must conserve every request, per class and in total
+//! (`completed + rejected + shed == submitted`).
 //!
 //! Run with `cargo run --release --example online_serving -- [WORKERS]`
 //! (default: 2 worker threads).
@@ -15,7 +18,7 @@ use rnn::core::{run_rknn_with, Algorithm, MaterializedKnn, Precomputed, Scratch}
 use rnn::datagen::{grid_map, place_points_on_nodes, sample_node_queries, GridConfig};
 use rnn::graph::PointsOnNodes;
 use rnn::index::HubLabelIndex;
-use rnn::server::{BackpressurePolicy, Request, ServeError, Server, ServerConfig, World};
+use rnn::server::{BackpressurePolicy, Priority, Request, ServeError, Server, ServerConfig, World};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -67,11 +70,24 @@ fn main() {
 
     // Submit the whole mixed stream, then await each ticket: submission
     // order and completion order are decoupled — that is the point of the
-    // ticket handle.
-    let tickets: Vec<_> = oracle
+    // ticket handle. Every fourth request rides the batch class (workers
+    // drain interactive first, bounded by the starvation ratio), and the
+    // stream goes in as submit_all bursts of 8 — one queue lock round-trip
+    // per burst instead of eight.
+    let requests: Vec<Request> = oracle
         .iter()
-        .map(|&(algorithm, q, _)| server.submit(Request::new(algorithm, q, 2)).expect("admitted"))
+        .enumerate()
+        .map(|(i, &(algorithm, q, _))| {
+            let priority = if i % 4 == 3 { Priority::Batch } else { Priority::Interactive };
+            Request::new(algorithm, q, 2).with_priority(priority)
+        })
         .collect();
+    let mut tickets = Vec::with_capacity(requests.len());
+    for burst in requests.chunks(8) {
+        for admitted in server.submit_all(burst) {
+            tickets.push(admitted.expect("admitted"));
+        }
+    }
     for (ticket, (algorithm, q, expected)) in tickets.into_iter().zip(&oracle) {
         let served = ticket.wait().expect("served");
         assert_eq!(
@@ -80,10 +96,24 @@ fn main() {
         );
     }
 
+    // A wait-free snapshot: stats() never takes the queue lock or a worker
+    // lock — it reads each worker's seqlock-published histograms.
     let stats = server.stats();
     println!("\nserved {} requests over {} micro-batches:", stats.completed, stats.micro_batches);
     for (algorithm, count) in &stats.per_algorithm {
         println!("  {:<22} {count:>5}", algorithm.name());
+    }
+    for (priority, class) in &stats.per_class {
+        assert_eq!(class.accounted(), class.submitted, "{priority}: per-class conservation");
+        println!(
+            "{:<12} {:>4} served   queue wait p50 {:>9.1?} p99 {:>9.1?}   service p50 {:>9.1?} p99 {:>9.1?}",
+            priority.name(),
+            class.completed,
+            class.queue_wait.p50(),
+            class.queue_wait.p99(),
+            class.service.p50(),
+            class.service.p99(),
+        );
     }
     println!(
         "queue wait: p50 {:>9.1?}  p90 {:>9.1?}  p99 {:>9.1?}  max {:>9.1?}",

@@ -1,25 +1,34 @@
 //! The serving layer never changes answers, and never loses requests.
 //!
-//! Three pinned properties of `rnn-server`:
+//! Four pinned properties of `rnn-server`:
 //!
-//! 1. **Determinism** — for all six algorithms, a workload submitted through
-//!    the server at 1, 2 and 8 workers (Block policy, no deadlines) yields
-//!    results byte-identical to the sequential `run_rknn` loop: worker
-//!    count, micro-batching and queue interleaving affect latency, never
-//!    answers.
+//! 1. **Determinism** — for all six algorithms, a mixed-priority workload
+//!    submitted through the server at 1, 2 and 8 workers (Block policy, no
+//!    deadlines) yields results byte-identical to the sequential `run_rknn`
+//!    loop: worker count, micro-batching, priority classes and queue
+//!    interleaving affect latency, never answers — and the per-class
+//!    counters account for every request.
 //! 2. **Conservation** — shutting down under load loses nothing:
-//!    `completed + rejected + shed == submitted`, and every accepted ticket
-//!    resolves.
+//!    `completed + rejected + shed == submitted`, per class and in total,
+//!    and every accepted ticket resolves. `submit_all` bursts account
+//!    identically to the same requests submitted one at a time.
 //! 3. **Admission policies** — a tiny queue under `Reject` fails fast while
 //!    completing everything it accepted; under `Shed` expired requests are
-//!    dropped and accounted; and a point-set swap with the result cache
-//!    enabled serves the new world's answers immediately.
+//!    dropped and accounted (including boundary deadlines: exactly-now and
+//!    zero-budget), queue waits include dequeue-shed victims, and a
+//!    point-set swap with the result cache enabled serves the new world's
+//!    answers immediately.
+//! 4. **Wait-free telemetry** — `stats()` snapshots taken concurrently with
+//!    serving are internally consistent (histogram counts never exceed the
+//!    work accounted) and monotone, and polling never blocks the workers.
 
 use rnn::core::{run_rknn_with, Algorithm, MaterializedKnn, Precomputed, Scratch};
 use rnn::datagen::{grid_map, GridConfig};
 use rnn::graph::{Graph, NodeId, NodePointSet};
 use rnn::index::HubLabelIndex;
-use rnn::server::{BackpressurePolicy, Request, ServeError, Server, ServerConfig, Ticket, World};
+use rnn::server::{
+    BackpressurePolicy, Priority, Request, ServeError, Server, ServerConfig, Ticket, World,
+};
 use rnn::storage::{BufferPoolConfig, IoCounters, LayoutStrategy, PagedGraph};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -50,6 +59,12 @@ fn all_six_algorithms_match_the_sequential_oracle_at_every_worker_count() {
     let table = Arc::new(MaterializedKnn::build(&*graph, &*points, 2));
     let hub_index = Arc::new(HubLabelIndex::build(&*graph, &*points));
     let requests = mixed_requests(&points, 2);
+    // Every third request rides the batch class; the rest are interactive.
+    // Priorities reorder service, so determinism must hold per ticket, not
+    // per position.
+    let priority_of =
+        |i: usize| if i.is_multiple_of(3) { Priority::Batch } else { Priority::Interactive };
+    let batch_count = (0..requests.len()).filter(|&i| priority_of(i) == Priority::Batch).count();
 
     // The sequential oracle: one scratch, one thread, direct calls.
     let mut scratch = Scratch::new();
@@ -74,8 +89,11 @@ fn all_six_algorithms_match_the_sequential_oracle_at_every_worker_count() {
         );
         let tickets: Vec<Ticket> = requests
             .iter()
-            .map(|&(algorithm, query, k)| {
-                server.submit(Request::new(algorithm, query, k)).expect("admitted")
+            .enumerate()
+            .map(|(i, &(algorithm, query, k))| {
+                server
+                    .submit(Request::new(algorithm, query, k).with_priority(priority_of(i)))
+                    .expect("admitted")
             })
             .collect();
         for ((ticket, expected), &(algorithm, query, _)) in
@@ -99,6 +117,20 @@ fn all_six_algorithms_match_the_sequential_oracle_at_every_worker_count() {
         }
         assert_eq!(stats.queue_wait.count(), stats.completed);
         assert_eq!(stats.service.count(), stats.completed);
+        // Per-class accounting: the class split survives any worker count.
+        let batch = stats.class(Priority::Batch);
+        let interactive = stats.class(Priority::Interactive);
+        assert_eq!(batch.completed, batch_count as u64, "{workers} workers: batch class");
+        assert_eq!(
+            interactive.completed,
+            (requests.len() - batch_count) as u64,
+            "{workers} workers: interactive class"
+        );
+        for (name, class) in [("batch", batch), ("interactive", interactive)] {
+            assert_eq!(class.accounted(), class.submitted, "{workers} workers: {name}");
+            assert_eq!(class.queue_wait.count(), class.completed, "{workers} workers: {name}");
+            assert_eq!(class.service.count(), class.completed, "{workers} workers: {name}");
+        }
     }
 }
 
@@ -390,4 +422,195 @@ fn point_set_swap_with_cache_enabled_serves_the_new_answers() {
         );
     }
     server.shutdown();
+}
+
+#[test]
+fn submit_all_bursts_account_identically_to_single_submits() {
+    // The same mixed-priority stream pushed through one server a request at
+    // a time and through another in submit_all bursts must end with the
+    // same answers and byte-identical accounting: batching amortizes lock
+    // round-trips, never changes admission or counting.
+    let (graph, points) = grid_world();
+    let stream: Vec<Request> = mixed_requests(&points, 1)
+        .into_iter()
+        .filter(|&(a, _, _)| matches!(a, Algorithm::Eager | Algorithm::Lazy))
+        .enumerate()
+        .map(|(i, (a, q, k))| {
+            let priority = if i % 4 == 3 { Priority::Batch } else { Priority::Interactive };
+            Request::new(a, q, k).with_priority(priority)
+        })
+        .collect();
+
+    let run = |batched: bool| {
+        let server = Server::start(
+            World::new(graph.clone(), points.clone()),
+            ServerConfig::default().with_workers(2).with_policy(BackpressurePolicy::Block),
+        );
+        let mut tickets = Vec::with_capacity(stream.len());
+        if batched {
+            for chunk in stream.chunks(5) {
+                for result in server.submit_all(chunk) {
+                    tickets.push(result.expect("admitted under Block"));
+                }
+            }
+        } else {
+            for &request in &stream {
+                tickets.push(server.submit(request).expect("admitted under Block"));
+            }
+        }
+        let outcomes: Vec<_> =
+            tickets.into_iter().map(|t| t.wait().expect("served").outcome).collect();
+        (outcomes, server.shutdown())
+    };
+
+    let (single_outcomes, single) = run(false);
+    let (batched_outcomes, batched) = run(true);
+    assert_eq!(single_outcomes, batched_outcomes, "burst submission never changes answers");
+    assert_eq!(single.submitted, batched.submitted);
+    assert_eq!(single.completed, batched.completed);
+    assert_eq!((single.rejected, single.shed), (batched.rejected, batched.shed));
+    for priority in Priority::ALL {
+        let (s, b) = (single.class(priority), batched.class(priority));
+        assert_eq!(
+            (s.submitted, s.accepted, s.completed, s.rejected, s.shed),
+            (b.submitted, b.accepted, b.completed, b.rejected, b.shed),
+            "{priority}: submit_all accounting equals N single submits"
+        );
+        assert_eq!(s.queue_wait.count(), b.queue_wait.count(), "{priority}: histogram coverage");
+    }
+}
+
+#[test]
+fn stats_polling_is_consistent_and_monotone_while_serving() {
+    // stats() is wait-free: a poller hammering it mid-flight must always
+    // see internally consistent snapshots (histograms never cover more work
+    // than the counters account for; completions never decrease) and the
+    // final snapshot must agree with shutdown().
+    let (graph, points) = grid_world();
+    let server = Arc::new(Server::start(
+        World::new(graph, points.clone()),
+        ServerConfig::default().with_workers(2).with_policy(BackpressurePolicy::Block),
+    ));
+    let queries: Vec<NodeId> = points.nodes().to_vec();
+    let total = 240usize;
+
+    std::thread::scope(|scope| {
+        let submitter = {
+            let server = Arc::clone(&server);
+            let queries = queries.clone();
+            scope.spawn(move || {
+                for i in 0..total {
+                    let priority = if i % 2 == 0 { Priority::Interactive } else { Priority::Batch };
+                    let request = Request::new(Algorithm::Lazy, queries[i % queries.len()], 1)
+                        .with_priority(priority);
+                    server.submit(request).expect("admitted").wait().expect("served");
+                }
+            })
+        };
+        let server = Arc::clone(&server);
+        scope.spawn(move || {
+            let mut last_completed = 0u64;
+            let mut polls = 0u64;
+            while !submitter.is_finished() {
+                let stats = server.stats();
+                polls += 1;
+                assert!(stats.completed >= last_completed, "completions are monotone");
+                last_completed = stats.completed;
+                assert!(stats.accounted() <= stats.submitted, "never over-accounted");
+                assert!(
+                    stats.queue_wait.count() <= stats.completed + stats.shed_at_dequeue,
+                    "queue-wait histogram never covers unaccounted work"
+                );
+                assert!(stats.service.count() <= stats.completed);
+                for priority in Priority::ALL {
+                    let class = stats.class(priority);
+                    assert!(class.accounted() <= class.submitted, "{priority}");
+                    assert!(
+                        class.queue_wait.count() <= class.completed + class.shed_at_dequeue,
+                        "{priority}: per-class histogram coverage"
+                    );
+                }
+            }
+            assert!(polls > 0, "the poller actually observed in-flight snapshots");
+        });
+    });
+
+    let server = Arc::into_inner(server).expect("all clones dropped");
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, total as u64);
+    assert_eq!(stats.queue_wait.count(), stats.completed);
+    for priority in Priority::ALL {
+        let class = stats.class(priority);
+        assert_eq!(class.completed, (total / 2) as u64, "{priority}: even split completed");
+        assert_eq!(class.service.count(), class.completed, "{priority}");
+    }
+}
+
+#[test]
+fn boundary_deadlines_shed_at_dequeue_and_land_in_the_queue_wait_histogram() {
+    // Deadline boundary semantics end to end: "due exactly now" and "zero
+    // time budget" both count as expired — under Shed they are dropped at
+    // dequeue (when admitted below the full edge), the victims' queue waits
+    // still land in the per-class histogram, and fresh traffic is
+    // unaffected. Pins the telemetry invariant
+    // `queue_wait.count() == completed + shed_at_dequeue` exactly.
+    let (graph, points) = grid_world();
+    let server = Server::start(
+        World::new(graph, points.clone()),
+        ServerConfig::default()
+            .with_workers(1)
+            .with_micro_batch(1)
+            .with_queue_capacity(512)
+            .with_policy(BackpressurePolicy::Shed),
+    );
+    let queries: Vec<NodeId> = points.nodes().to_vec();
+
+    let mut doomed = Vec::new();
+    let mut fresh = Vec::new();
+    for i in 0..120usize {
+        let q = queries[i % queries.len()];
+        // The queue is far from full, so admission always succeeds; expiry
+        // is discovered at dequeue.
+        match i % 3 {
+            0 => {
+                let request =
+                    Request::new(Algorithm::Eager, q, 1).with_deadline(std::time::Instant::now());
+                doomed.push(server.submit(request).expect("admitted below the full edge"));
+            }
+            1 => {
+                let request = Request::new(Algorithm::Eager, q, 1).with_deadline_in(Duration::ZERO);
+                doomed.push(server.submit(request).expect("admitted below the full edge"));
+            }
+            _ => {
+                let request = Request::new(Algorithm::Eager, q, 1)
+                    .with_deadline_in(Duration::from_secs(3600))
+                    .with_priority(Priority::Batch);
+                fresh.push(server.submit(request).expect("admitted below the full edge"));
+            }
+        }
+    }
+    let doomed_count = doomed.len() as u64;
+    for ticket in doomed {
+        assert!(
+            matches!(ticket.wait(), Err(ServeError::Shed)),
+            "boundary deadlines are expired deadlines"
+        );
+    }
+    for ticket in fresh {
+        assert!(ticket.wait().is_ok(), "fresh requests are untouched by expiry shedding");
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.shed, doomed_count);
+    assert_eq!(stats.shed_at_dequeue, doomed_count, "all sheds happened at dequeue");
+    assert_eq!(
+        stats.queue_wait.count(),
+        stats.completed + stats.shed_at_dequeue,
+        "shed victims' queue waits are recorded — overload telemetry has no survivorship bias"
+    );
+    let interactive = stats.class(Priority::Interactive);
+    assert_eq!(interactive.shed_at_dequeue, doomed_count, "victims were all interactive");
+    assert_eq!(interactive.queue_wait.count(), interactive.completed + interactive.shed_at_dequeue);
+    let batch = stats.class(Priority::Batch);
+    assert_eq!(batch.shed, 0, "the batch class never expired");
+    assert_eq!(batch.queue_wait.count(), batch.completed);
 }
