@@ -8,7 +8,7 @@
 //!
 //! EXPERIMENT   one or more of: table1 table2 fig15 fig16 fig17 fig18 fig19
 //!              fig20a fig20b fig21 fig22a fig22b throughput paged-scaling
-//!              index serving all (default: all)
+//!              index label-build serving all (default: all)
 //! --full       use the paper's graph cardinalities instead of the quick,
 //!              laptop-friendly sizes
 //! --markdown   emit Markdown tables (for EXPERIMENTS.md) instead of plain text
@@ -20,6 +20,15 @@
 use rnn_bench::experiments::{run_by_name, ALL_EXPERIMENTS};
 use rnn_bench::Scale;
 use std::time::Instant;
+
+/// The JSON artifact name for an experiment: `BENCH_<name>.json`, except
+/// where a historical artifact name is already established.
+fn json_name(experiment: &str) -> &str {
+    match experiment {
+        "label-build" => "labels",
+        other => other,
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -59,7 +68,7 @@ fn main() {
                     println!("{report}");
                 }
                 if let Some(dir) = &json_dir {
-                    let path = dir.join(format!("BENCH_{name}.json"));
+                    let path = dir.join(format!("BENCH_{}.json", json_name(name)));
                     if let Err(e) = std::fs::write(&path, report.to_json()) {
                         eprintln!("failed to write {}: {e}", path.display());
                         failures += 1;

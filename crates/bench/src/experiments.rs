@@ -654,10 +654,132 @@ pub fn index(scale: Scale) -> Report {
             vec![
                 build_seconds,
                 stats.avg_label(),
-                stats.bytes() as f64 / (1024.0 * 1024.0),
+                stats.label_bytes() as f64 / (1024.0 * 1024.0),
                 n / label_seconds,
                 n / eager_seconds,
                 eager_seconds / label_seconds,
+            ],
+        );
+    }
+    report
+}
+
+/// The hub-label construction pipeline: parallel build wall-time at 1, 2, 4
+/// and 8 threads, label size for the full-width and compressed layouts, and
+/// hub-label vs eager query throughput on the BRITE instance.
+///
+/// Not a figure of the paper: this measures the `rnn-index` preprocessing
+/// lever. Before any number is reported, every parallel build is asserted
+/// **identical** to the sequential one (level-synchronous construction makes
+/// the labeling a pure function of the graph, whatever the thread count),
+/// and the compressed tiers (delta-varint ranks with exact or `f32`
+/// distances) are asserted to reproduce the exact tier's and eager's RkNN
+/// result sets query for query. On a single-CPU runner the speedup column
+/// stays ~1.0x by construction — the determinism assertion is the point
+/// there; multi-core machines additionally see the build-time scaling.
+pub fn label_build(scale: Scale) -> Report {
+    use rnn_index::LabelPrecision;
+    const MIB: f64 = 1024.0 * 1024.0;
+
+    let nodes = scale.pick(2_000, 8_000);
+    let graph = brite_topology(&BriteConfig { num_nodes: nodes, seed: SEED, ..Default::default() });
+    let points = place_points_on_nodes(&graph, 0.01, SEED + 1);
+    let queries = sample_node_queries(&points, scale.queries(), SEED + 2);
+
+    let start = std::time::Instant::now();
+    let reference = HubLabelIndex::build(&graph, &points);
+    let sequential_seconds = start.elapsed().as_secs_f64().max(1e-9);
+    let stats = reference.labeling().stats();
+    let full_mib = stats.label_bytes() as f64 / MIB;
+
+    let exact = reference.compressed(LabelPrecision::Exact);
+    let exact_mib = exact.labeling().stats().label_bytes() as f64 / MIB;
+    let compact = reference.compressed(LabelPrecision::F32);
+    let compact_mib = compact.labeling().stats().label_bytes() as f64 / MIB;
+    let cut = 1.0 - compact_mib / full_mib;
+    assert!(
+        cut >= 0.40,
+        "delta-rank + f32 labels must cut label_bytes() by at least 40% on BRITE \
+         (full {full_mib:.2} MiB, compressed {compact_mib:.2} MiB)"
+    );
+
+    // Query every tier against the eager oracle: compression must never
+    // change an answer (the f32 tier re-derives its point table from the
+    // rounded labeling, so both RkNN phases sum identically-rounded values).
+    let mut scratch = Scratch::new();
+    let mut tiers = [(&reference, 0.0f64), (&exact, 0.0), (&compact, 0.0)];
+    for (tier, seconds) in &mut tiers {
+        let pre = Precomputed::hub_labels(*tier);
+        let start = std::time::Instant::now();
+        let results: Vec<_> = queries
+            .iter()
+            .map(|&q| run_rknn_with(Algorithm::HubLabel, &graph, &points, pre, q, 1, &mut scratch))
+            .collect();
+        *seconds = start.elapsed().as_secs_f64().max(1e-9);
+        for (&q, r) in queries.iter().zip(&results) {
+            let e = run_rknn_with(
+                Algorithm::Eager,
+                &graph,
+                &points,
+                Precomputed::none(),
+                q,
+                1,
+                &mut scratch,
+            );
+            assert_eq!(r.points, e.points, "query {q:?}: every label tier must reproduce eager");
+        }
+    }
+    let start = std::time::Instant::now();
+    for &q in &queries {
+        run_rknn_with(Algorithm::Eager, &graph, &points, Precomputed::none(), q, 1, &mut scratch);
+    }
+    let eager_seconds = start.elapsed().as_secs_f64().max(1e-9);
+
+    let n = queries.len() as f64;
+    let hl_qps = n / tiers[0].1;
+    let eager_qps = n / eager_seconds;
+
+    let mut report = Report::new(
+        "Label build",
+        format!(
+            "parallel + compressed hub-label pipeline (BRITE |V|={nodes}, D=0.01, k=1; \
+             every parallel build asserted identical to sequential, every compressed \
+             result set asserted equal to exact and eager; label storage: \
+             {full_mib:.2} MiB full, {exact_mib:.2} MiB delta-rank exact, \
+             {compact_mib:.2} MiB delta-rank f32 = {:.0}% cut)",
+            cut * 100.0
+        ),
+        "threads",
+        vec![
+            "build(s)".into(),
+            "speedup".into(),
+            "hubs/node".into(),
+            "full MiB".into(),
+            "f32 MiB".into(),
+            "cut %".into(),
+            "HL q/s".into(),
+            "E q/s".into(),
+        ],
+    );
+    for threads in [1usize, 2, 4, 8] {
+        let start = std::time::Instant::now();
+        let built = HubLabelIndex::build_with_threads(&graph, &points, threads);
+        let build_seconds = start.elapsed().as_secs_f64().max(1e-9);
+        assert!(
+            built == reference,
+            "{threads}-thread build must be identical to the sequential build"
+        );
+        report.push_row(
+            format!("{threads}"),
+            vec![
+                build_seconds,
+                sequential_seconds / build_seconds,
+                stats.avg_label(),
+                full_mib,
+                compact_mib,
+                cut * 100.0,
+                hl_qps,
+                eager_qps,
             ],
         );
     }
@@ -815,7 +937,7 @@ pub fn serving(scale: Scale) -> Report {
 
 /// All experiment ids: the paper's tables and figures, then the serving
 /// experiments added on top.
-pub const ALL_EXPERIMENTS: [&str; 16] = [
+pub const ALL_EXPERIMENTS: [&str; 17] = [
     "table1",
     "table2",
     "fig15",
@@ -831,6 +953,7 @@ pub const ALL_EXPERIMENTS: [&str; 16] = [
     "throughput",
     "paged-scaling",
     "index",
+    "label-build",
     "serving",
 ];
 
@@ -852,6 +975,7 @@ pub fn run_by_name(name: &str, scale: Scale) -> Option<Report> {
         "throughput" => throughput(scale),
         "paged-scaling" => paged_scaling(scale),
         "index" => index(scale),
+        "label-build" => label_build(scale),
         "serving" => serving(scale),
         _ => return None,
     };
@@ -883,6 +1007,7 @@ mod tests {
                 "throughput",
                 "paged-scaling",
                 "index",
+                "label-build",
                 "serving"
             ]
             .contains(&name));

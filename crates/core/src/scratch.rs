@@ -72,9 +72,11 @@ pub struct Scratch {
     expansions: Vec<ExpansionBuffers>,
     found: Vec<Vec<(PointId, Weight)>>,
     weights: Vec<Vec<Weight>>,
+    indices: Vec<Vec<u32>>,
     node_dists: Vec<Vec<(NodeId, Weight)>>,
     point_sets: Vec<FastSet<PointId>>,
     point_dist_maps: Vec<FastMap<PointId, Weight>>,
+    node_dist_maps: Vec<FastMap<NodeId, Weight>>,
     node_sets: Vec<FastSet<NodeId>>,
     lazy: Vec<crate::lazy::LazyBuffers>,
     lazy_ep: Vec<crate::lazy_ep::LazyEpBuffers>,
@@ -127,9 +129,11 @@ impl Scratch {
         take_expansion, put_expansion, expansions: ExpansionBuffers;
         take_found, put_found, found: Vec<(PointId, Weight)>;
         take_weights, put_weights, weights: Vec<Weight>;
+        take_indices, put_indices, indices: Vec<u32>;
         take_node_dists, put_node_dists, node_dists: Vec<(NodeId, Weight)>;
         take_point_set, put_point_set, point_sets: FastSet<PointId>;
         take_point_dist_map, put_point_dist_map, point_dist_maps: FastMap<PointId, Weight>;
+        take_node_dist_map, put_node_dist_map, node_dist_maps: FastMap<NodeId, Weight>;
         take_node_set, put_node_set, node_sets: FastSet<NodeId>;
     }
 

@@ -13,22 +13,26 @@
 //! ReHub's candidate/verification split:
 //!
 //! 1. **Candidates.** Scan the buckets of the query's hubs once, folding
-//!    `d(q, h) + d(h, p)` to the minimum per point. By the 2-hop cover this
-//!    minimum is the exact `d(q, p)` for every point in the query's
-//!    component (and only those points are touched).
+//!    `d(q, h) + d(h, p)` to the minimum per occupied node. By the 2-hop
+//!    cover this minimum is the exact `d(q, p)` for every point in the
+//!    query's component (and only those points are touched).
 //! 2. **Verification.** For each candidate `p` with `d(q, p) > 0`, count
 //!    distinct other points within distance `< d(q, p)` of `p` by scanning
 //!    the bucket *prefixes* of `p`'s hubs (buckets are distance-sorted, so
 //!    each scan stops at the bound), short-circuiting once `k` are found.
 //!    `p` is a reverse neighbor iff fewer than `k` such points exist —
 //!    exactly the semantics of the expansion algorithms, ties included.
+//!
+//! Labels are read through a pooled [`LabelDecoder`], so both label layouts
+//! (full-width and compressed, see [`HubLabeling::compressed`]) serve
+//! steady-state queries allocation-free.
 
-use crate::labeling::HubLabeling;
+use crate::labeling::{HubLabeling, LabelDecoder, LabelPrecision};
 use crate::point_table::HubPointTable;
 use rnn_core::precomputed::HubLabelRknn;
 use rnn_core::query::{QueryStats, RknnOutcome};
 use rnn_core::scratch::Scratch;
-use rnn_graph::{NodeId, PointId, PointsOnNodes, Topology, Weight};
+use rnn_graph::{NodeId, NodePointSet, PointId, PointsOnNodes, Topology, Weight};
 use std::collections::hash_map::Entry;
 
 /// A hub labeling bundled with the inverted point table of one data set,
@@ -48,7 +52,18 @@ impl HubLabelIndex {
         T: Topology + ?Sized,
         P: PointsOnNodes + ?Sized,
     {
-        let labeling = HubLabeling::build(topo);
+        Self::build_with_threads(topo, points, 1)
+    }
+
+    /// [`HubLabelIndex::build`] with the level-parallel label construction
+    /// of [`HubLabeling::build_with_threads`]. The index is identical at
+    /// every thread count.
+    pub fn build_with_threads<T, P>(topo: &T, points: &P, threads: usize) -> Self
+    where
+        T: Topology + ?Sized,
+        P: PointsOnNodes + ?Sized,
+    {
+        let labeling = HubLabeling::build_with_threads(topo, threads);
         Self::from_labeling(labeling, points)
     }
 
@@ -57,6 +72,22 @@ impl HubLabelIndex {
     /// network shares the expensive half of the preprocessing.
     pub fn from_labeling<P: PointsOnNodes + ?Sized>(labeling: HubLabeling, points: &P) -> Self {
         let table = HubPointTable::build(&labeling, points);
+        HubLabelIndex { labeling, table }
+    }
+
+    /// Re-encodes the index with compressed labels (see
+    /// [`HubLabeling::compressed`]) over the same point set.
+    ///
+    /// The point table is rebuilt from the compressed labeling so bucket
+    /// distances and decoded label distances come from the same tier: under
+    /// [`LabelPrecision::F32`] every phase sums identically rounded values
+    /// in both directions, which preserves the exact tie semantics of the
+    /// verification phase.
+    pub fn compressed(&self, precision: LabelPrecision) -> Self {
+        let labeling = self.labeling.compressed(precision);
+        let points =
+            NodePointSet::from_nodes(labeling.num_nodes(), self.table.nodes().iter().copied());
+        let table = HubPointTable::build(&labeling, &points);
         HubLabelIndex { labeling, table }
     }
 
@@ -80,6 +111,21 @@ impl HubLabelIndex {
         self.table.num_points()
     }
 
+    /// Adds a point on `node` by incremental point-table maintenance —
+    /// `O(label size)` bucket splices instead of a rebuild (see
+    /// [`HubPointTable::insert_point`]). Returns the new point's id.
+    pub fn insert_point(&mut self, node: NodeId) -> PointId {
+        let HubLabelIndex { labeling, table } = self;
+        table.insert_point(labeling, node)
+    }
+
+    /// Removes the point on `node`, if any, by incremental point-table
+    /// maintenance (see [`HubPointTable::remove_point`]).
+    pub fn remove_point(&mut self, node: NodeId) -> Option<PointId> {
+        let HubLabelIndex { labeling, table } = self;
+        table.remove_point(labeling, node)
+    }
+
     /// Label-based shortest path distance (see [`HubLabeling::distance`]).
     pub fn distance(&self, u: NodeId, v: NodeId) -> Option<Weight> {
         self.labeling.distance(u, v)
@@ -95,42 +141,47 @@ impl HubLabelIndex {
     /// k-th best.
     pub fn k_nearest(&self, node: NodeId, k: usize) -> Vec<(PointId, Weight)> {
         assert!(node.index() < self.num_nodes(), "node {node} outside the labeled graph");
-        let mut best: Vec<(Weight, PointId)> = Vec::with_capacity(k + 1);
+        let mut best: Vec<(Weight, NodeId)> = Vec::with_capacity(k + 1);
         if k == 0 {
             return Vec::new();
         }
-        let (hubs, hub_dists) = self.labeling.label(node);
+        let mut dec = LabelDecoder::new();
+        let (hubs, hub_dists) = self.labeling.label(node, &mut dec);
         for (i, &h) in hubs.iter().enumerate() {
             let dh = hub_dists[i];
             if best.len() == k && dh > best[k - 1].0 {
                 continue; // every candidate of this bucket is farther
             }
-            let (dists, points) = self.table.bucket(h);
+            let (dists, nodes) = self.table.bucket(h);
             for (j, &d) in dists.iter().enumerate() {
                 let cand = dh + d;
                 if best.len() == k && cand > best[k - 1].0 {
                     break; // bucket ascends: nothing better follows
                 }
-                Self::offer(&mut best, k, cand, points[j]);
+                Self::offer(&mut best, k, cand, nodes[j]);
             }
         }
-        best.into_iter().map(|(d, p)| (p, d)).collect()
+        // Node order equals point-id order (the dense-id invariant), so the
+        // (distance, node) ranking maps 1:1 onto (distance, point).
+        best.into_iter()
+            .map(|(d, n)| (self.table.point_of(n).expect("bucket nodes are occupied"), d))
+            .collect()
     }
 
     /// Offers a candidate to the running top-k, keeping `best` sorted by
-    /// `(distance, point)` and deduplicated by point (minimum distance wins).
-    fn offer(best: &mut Vec<(Weight, PointId)>, k: usize, cand: Weight, p: PointId) {
-        if let Some(pos) = best.iter().position(|&(_, q)| q == p) {
+    /// `(distance, node)` and deduplicated by node (minimum distance wins).
+    fn offer(best: &mut Vec<(Weight, NodeId)>, k: usize, cand: Weight, n: NodeId) {
+        if let Some(pos) = best.iter().position(|&(_, m)| m == n) {
             if best[pos].0 <= cand {
                 return; // already listed at least as close
             }
             best.remove(pos);
         }
-        let at = best.partition_point(|&e| e < (cand, p));
+        let at = best.partition_point(|&e| e < (cand, n));
         if at == best.len() && best.len() >= k {
             return;
         }
-        best.insert(at, (cand, p));
+        best.insert(at, (cand, n));
         best.truncate(k);
     }
 
@@ -158,62 +209,68 @@ impl HubLabelIndex {
         assert!(query.index() < self.num_nodes(), "query node {query} outside the labeled graph");
         let mut stats = QueryStats::default();
 
-        // Phase 1: exact distance from the query to every point sharing a
-        // hub (= every point of the query's component). Folding goes through
-        // a pooled map (not a dense per-point array) so the per-query cost
-        // stays proportional to the touched label entries, never to the
-        // total point count; `touched` records first-touch order, keeping
-        // the verification sequence deterministic.
-        let mut dmin = scratch.take_point_dist_map();
-        let mut touched = scratch.take_found();
-        let (hubs, hub_dists) = self.labeling.label(query);
-        for (i, &h) in hubs.iter().enumerate() {
-            stats.nodes_settled += 1;
-            let dh = hub_dists[i];
-            let (dists, points) = self.table.bucket(h);
-            stats.heap_pushes += dists.len() as u64;
-            for (j, &d) in dists.iter().enumerate() {
-                let cand = dh + d;
-                match dmin.entry(points[j]) {
-                    Entry::Vacant(slot) => {
-                        slot.insert(cand);
-                        touched.push((points[j], cand));
-                    }
-                    Entry::Occupied(mut slot) => {
-                        if cand < *slot.get() {
+        // Phase 1: exact distance from the query to every occupied node
+        // sharing a hub (= every point of the query's component). Folding
+        // goes through a pooled map (not a dense per-node array) so the
+        // per-query cost stays proportional to the touched label entries,
+        // never to the total point count; `touched` records first-touch
+        // order, keeping the verification sequence deterministic.
+        let mut dmin = scratch.take_node_dist_map();
+        let mut touched = scratch.take_node_dists();
+        {
+            let mut dec = LabelDecoder::from_parts(scratch.take_indices(), scratch.take_weights());
+            let (hubs, hub_dists) = self.labeling.label(query, &mut dec);
+            for (i, &h) in hubs.iter().enumerate() {
+                stats.nodes_settled += 1;
+                let dh = hub_dists[i];
+                let (dists, nodes) = self.table.bucket(h);
+                stats.heap_pushes += dists.len() as u64;
+                for (j, &d) in dists.iter().enumerate() {
+                    let cand = dh + d;
+                    match dmin.entry(nodes[j]) {
+                        Entry::Vacant(slot) => {
                             slot.insert(cand);
+                            touched.push((nodes[j], cand));
+                        }
+                        Entry::Occupied(mut slot) => {
+                            if cand < *slot.get() {
+                                slot.insert(cand);
+                            }
                         }
                     }
                 }
             }
+            let (ranks, weights) = dec.into_parts();
+            scratch.put_indices(ranks);
+            scratch.put_weights(weights);
         }
 
         // Phase 2: verify candidates. A point collocated with the query
         // (distance zero) is trivially a reverse neighbor and not reported,
         // matching the expansion algorithms.
         let mut result: Vec<PointId> = Vec::new();
-        for &(p, _) in touched.iter() {
-            let dq = dmin[&p];
+        for &(n, _) in touched.iter() {
+            let dq = dmin[&n];
             if dq == Weight::ZERO {
                 continue;
             }
             stats.candidates += 1;
             stats.verifications += 1;
             let closer =
-                self.count_strictly_closer(p, dq, k, scratch, &mut stats.auxiliary_settled);
+                self.count_strictly_closer(n, dq, k, scratch, &mut stats.auxiliary_settled);
             if closer < k {
-                result.push(p);
+                result.push(self.table.point_of(n).expect("candidate nodes are occupied"));
             }
         }
-        scratch.put_point_dist_map(dmin);
-        scratch.put_found(touched);
+        scratch.put_node_dist_map(dmin);
+        scratch.put_node_dists(touched);
         RknnOutcome::from_points(result, stats)
     }
 
-    /// Counts distinct data points other than `p` with exact distance
-    /// strictly below `bound` from `p`, stopping at `limit`.
+    /// Counts distinct data points other than the one on `node` with exact
+    /// distance strictly below `bound` from it, stopping at `limit`.
     ///
-    /// A point qualifies iff *some* hub of `p` certifies a sum below the
+    /// A point qualifies iff *some* hub of `node` certifies a sum below the
     /// bound (the minimal sum is the exact distance, every other sum only
     /// overestimates — an overestimate below a bound implies the exact
     /// distance is too), so scanning each bucket prefix and deduplicating
@@ -223,28 +280,29 @@ impl HubLabelIndex {
     /// disqualify, as in the paper.
     fn count_strictly_closer(
         &self,
-        p: PointId,
+        node: NodeId,
         bound: Weight,
         limit: usize,
         scratch: &mut Scratch,
         scanned: &mut u64,
     ) -> usize {
-        let mut seen = scratch.take_point_set();
+        let mut seen = scratch.take_node_set();
         let mut count = 0;
-        let (hubs, hub_dists) = self.labeling.label(self.table.node_of(p));
+        let mut dec = LabelDecoder::from_parts(scratch.take_indices(), scratch.take_weights());
+        let (hubs, hub_dists) = self.labeling.label(node, &mut dec);
         'hubs: for (i, &h) in hubs.iter().enumerate() {
             let dh = hub_dists[i];
             if dh >= bound {
                 continue; // every sum through this hub is >= bound
             }
-            let (dists, points) = self.table.bucket(h);
+            let (dists, nodes) = self.table.bucket(h);
             for (j, &d) in dists.iter().enumerate() {
                 if dh + d >= bound {
                     break; // bucket ascends
                 }
                 *scanned += 1;
-                let other = points[j];
-                if other != p && seen.insert(other) {
+                let other = nodes[j];
+                if other != node && seen.insert(other) {
                     count += 1;
                     if count >= limit {
                         break 'hubs;
@@ -252,7 +310,10 @@ impl HubLabelIndex {
                 }
             }
         }
-        scratch.put_point_set(seen);
+        let (ranks, weights) = dec.into_parts();
+        scratch.put_indices(ranks);
+        scratch.put_weights(weights);
+        scratch.put_node_set(seen);
         count
     }
 }
@@ -383,6 +444,48 @@ mod tests {
         }
         assert_eq!(scratch.created(), created, "steady state allocates no new buffers");
         assert!(scratch.reuses() >= 20);
+    }
+
+    #[test]
+    fn compressed_tiers_answer_queries_identically() {
+        let (g, pts) = cycle();
+        let full = HubLabelIndex::build(&g, &pts);
+        let mut scratch = Scratch::new();
+        for precision in [LabelPrecision::Exact, LabelPrecision::F32] {
+            let compact = full.compressed(precision);
+            assert!(compact.labeling().is_compressed());
+            assert_eq!(compact.num_points(), full.num_points());
+            for q in 0..6 {
+                for k in 1..=3 {
+                    assert_eq!(
+                        compact.rknn_in(NodeId::new(q), k, &mut scratch).points,
+                        full.rknn(NodeId::new(q), k).points,
+                        "{precision:?} q={q} k={k}"
+                    );
+                }
+                assert_eq!(compact.k_nearest(NodeId::new(q), 2), full.k_nearest(NodeId::new(q), 2));
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_point_ops_match_fresh_index() {
+        let (g, pts) = cycle();
+        let mut index = HubLabelIndex::build(&g, &pts);
+        let grown = pts.with_point_on(NodeId::new(0));
+        let id = index.insert_point(NodeId::new(0));
+        assert_eq!(id, PointId::new(0), "node 0 becomes the first dense id");
+        assert_eq!(index, HubLabelIndex::build(&g, &grown));
+        for q in 0..6 {
+            assert_eq!(
+                index.rknn(NodeId::new(q), 2).points,
+                naive::naive_rknn(&g, &grown, NodeId::new(q), 2).points,
+                "q={q}"
+            );
+        }
+        assert_eq!(index.remove_point(NodeId::new(0)), Some(PointId::new(0)));
+        assert_eq!(index, HubLabelIndex::build(&g, &pts));
+        assert_eq!(index.remove_point(NodeId::new(0)), None);
     }
 
     #[test]

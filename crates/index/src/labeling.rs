@@ -12,37 +12,169 @@
 //! Construction processes nodes in descending-degree order (high-degree
 //! nodes cover the most shortest paths) and runs one *pruned* Dijkstra per
 //! node: when settling `u` at distance `d` from the current root, the
-//! expansion is cut off if the already-built labels certify a distance
+//! expansion is cut off if already-committed labels certify a distance
 //! `<= d` — those paths are covered by higher-ranked hubs, so neither a
 //! label nor further expansion through `u` is needed. Pruning is what keeps
 //! labels small: on road-like graphs the average label is polylogarithmic in
 //! practice.
 //!
+//! # Level-synchronous construction
+//!
+//! Roots are batched into *levels* of geometrically growing width (1, 2, 4,
+//! …, capped at [`MAX_LEVEL_WIDTH`]), a fixed function of the node count.
+//! Within a level every root's pruned Dijkstra sees only the labels
+//! committed by strictly earlier levels, which makes the per-root searches
+//! independent pure functions of the committed state: they can run on any
+//! number of scoped worker threads and still produce the exact same entries.
+//! A sequential commit pass then appends each root's entries in rank order,
+//! so the resulting CSR is **byte-identical at every thread count** —
+//! [`HubLabeling::build_with_threads`] with 1, 2 or 8 threads returns `==`
+//! labelings. The small width cap keeps the early (high-impact) hubs nearly
+//! sequential, so the loss of within-level pruning costs only a few percent
+//! extra entries versus fully sequential PLL.
+//!
+//! # Label storage
+//!
 //! Hubs are stored as *ranks* (position in the construction order), so label
 //! lists are naturally sorted by rank as they are appended and intersect by
-//! a linear merge.
+//! a linear merge. Two physical layouts sit behind the same API:
+//!
+//! - **Full** (the default built by [`HubLabeling::build`]): plain `u32`
+//!   ranks and `f64` [`Weight`] distances in CSR arrays; `label()` returns
+//!   zero-copy borrowed slices.
+//! - **Compact** ([`HubLabeling::compressed`]): delta-encoded LEB128 varint
+//!   ranks, with distances either exact `f64` ([`LabelPrecision::Exact`]) or
+//!   rounded `f32` ([`LabelPrecision::F32`]). `label()` decodes into a
+//!   caller-provided [`LabelDecoder`], which query paths recycle from their
+//!   [`rnn_core::scratch::Scratch`] arena so steady-state decoding is
+//!   allocation-free.
 
 use rnn_core::expansion::{ExpansionBuffers, NetworkExpansion};
 use rnn_graph::{NodeId, Topology, Weight};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Upper bound on the number of roots per construction level.
+///
+/// Width grows geometrically from 1 so the highest-ranked hubs (whose labels
+/// prune everything downstream) are committed almost one at a time, then
+/// saturates here to expose enough parallelism on large graphs.
+pub const MAX_LEVEL_WIDTH: usize = 512;
+
+/// Distance storage tier for [`HubLabeling::compressed`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum LabelPrecision {
+    /// Keep full `f64` distances: compressed ranks, bit-exact distances.
+    Exact,
+    /// Round distances to `f32`: halves the distance array at the cost of
+    /// ~1e-7 relative error per label entry.
+    F32,
+}
+
+/// Physical layout of the per-node hub lists.
+#[derive(Clone, Debug, PartialEq)]
+enum LabelStore {
+    /// Plain CSR arrays; `label()` borrows directly.
+    Full {
+        /// Hub lists, as ranks in the construction order, ascending per node.
+        hub_ranks: Vec<u32>,
+        /// Distance to the corresponding hub.
+        hub_dists: Vec<Weight>,
+    },
+    /// Delta-encoded varint ranks with exact or `f32` distances.
+    Compact {
+        /// Byte ranges into `rank_bytes`, one per node; length `n + 1`.
+        byte_offsets: Vec<usize>,
+        /// LEB128 stream: first rank raw, then successive deltas (`>= 1`).
+        rank_bytes: Vec<u8>,
+        /// Distances, indexed by the entry offsets.
+        dists: CompactDists,
+    },
+}
+
+/// Distance array of a compact store.
+#[derive(Clone, Debug, PartialEq)]
+enum CompactDists {
+    Exact(Vec<Weight>),
+    F32(Vec<f32>),
+}
+
+/// Reusable decode buffer for [`HubLabeling::label`].
+///
+/// On the full layout it is untouched (the call returns borrowed slices);
+/// on the compact layout the ranks — and, for the `f32` tier, the widened
+/// distances — are decoded into it. Query paths keep one per worker and
+/// rebuild it from pooled scratch vectors via [`LabelDecoder::from_parts`] /
+/// [`LabelDecoder::into_parts`] so decoding allocates nothing in steady
+/// state.
+#[derive(Debug, Default)]
+pub struct LabelDecoder {
+    ranks: Vec<u32>,
+    dists: Vec<Weight>,
+}
+
+impl LabelDecoder {
+    /// An empty decoder. Decoding grows it; the full layout never does.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a decoder around existing (e.g. pooled) buffers. Contents are
+    /// cleared on the next decode, capacity is kept.
+    pub fn from_parts(ranks: Vec<u32>, dists: Vec<Weight>) -> Self {
+        LabelDecoder { ranks, dists }
+    }
+
+    /// Takes the backing buffers apart, e.g. to return them to a scratch
+    /// pool.
+    pub fn into_parts(self) -> (Vec<u32>, Vec<Weight>) {
+        (self.ranks, self.dists)
+    }
+}
+
+/// Appends `v` to `buf` as a LEB128 varint (7 payload bits per byte).
+fn write_varint(buf: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Reads one LEB128 varint starting at `*pos`, advancing `*pos` past it.
+fn read_varint(bytes: &[u8], pos: &mut usize) -> u32 {
+    let mut v = 0u32;
+    let mut shift = 0;
+    loop {
+        let byte = bytes[*pos];
+        *pos += 1;
+        v |= u32::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+}
 
 /// A pruned landmark labeling: per-node sorted hub lists with distances.
 ///
 /// Immutable once built; shared by reference across query threads.
 #[derive(Clone, Debug, PartialEq)]
 pub struct HubLabeling {
-    /// CSR offsets into `hub_ranks` / `hub_dists`; length `num_nodes + 1`.
+    /// CSR entry offsets, length `num_nodes + 1`; shared by both layouts.
     offsets: Vec<usize>,
-    /// Hub lists, as ranks in the construction order, ascending per node.
-    hub_ranks: Vec<u32>,
-    /// Distance to the corresponding hub.
-    hub_dists: Vec<Weight>,
+    /// The physical hub-list storage.
+    store: LabelStore,
     /// The construction order: `node_of_rank[r]` is the node with rank `r`.
     node_of_rank: Vec<NodeId>,
     /// Inverse of `node_of_rank`.
     rank_of_node: Vec<u32>,
 }
 
-/// Size statistics of a labeling, reported by the `repro index` experiment.
+/// Size statistics of a labeling, reported by the `repro` experiments.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct LabelStats {
     /// Number of labeled nodes.
@@ -51,6 +183,9 @@ pub struct LabelStats {
     pub entries: usize,
     /// Largest single label.
     pub max_label: usize,
+    /// Actual bytes held by the label arrays of the current layout
+    /// (ranks + distances + CSR offsets).
+    pub label_bytes: usize,
 }
 
 impl LabelStats {
@@ -62,23 +197,134 @@ impl LabelStats {
         self.entries as f64 / self.nodes as f64
     }
 
-    /// Approximate in-memory size of the label arrays (rank + distance per
-    /// entry, one offset per node).
-    pub fn bytes(&self) -> usize {
-        self.entries * (std::mem::size_of::<u32>() + std::mem::size_of::<Weight>())
-            + (self.nodes + 1) * std::mem::size_of::<usize>()
+    /// Bytes held by the label arrays under the labeling's actual layout:
+    /// full-width CSR arrays, or the varint rank stream plus the exact/`f32`
+    /// distance array plus both offset tables.
+    pub fn label_bytes(&self) -> usize {
+        self.label_bytes
     }
 }
 
+/// Per-worker state for the pruned per-root Dijkstras: the rank-indexed
+/// root-distance table and the reusable expansion buffers.
+struct RootScratch {
+    /// Distances from the current root to its hubs, indexed by rank; only
+    /// the entries of the root's committed label are populated at any time.
+    root_dist: Vec<Weight>,
+    bufs: ExpansionBuffers,
+}
+
+impl RootScratch {
+    fn new(n: usize) -> Self {
+        RootScratch { root_dist: vec![Weight::INFINITY; n], bufs: ExpansionBuffers::new() }
+    }
+
+    /// One pruned Dijkstra from `root` against the committed `labels`,
+    /// returning the `(node, distance)` entries this root contributes, in
+    /// settle order. A pure function of `(topo, labels, root)` — this is
+    /// what makes the level-parallel build thread-count-deterministic.
+    fn search<T: Topology + ?Sized>(
+        &mut self,
+        topo: &T,
+        labels: &[Vec<(u32, Weight)>],
+        root: NodeId,
+    ) -> Vec<(NodeId, Weight)> {
+        for &(h, d) in &labels[root.index()] {
+            self.root_dist[h as usize] = d;
+        }
+        let mut out = Vec::new();
+        let bufs = std::mem::replace(&mut self.bufs, ExpansionBuffers::new());
+        let mut exp = NetworkExpansion::reusing(topo, bufs, std::iter::once((root, Weight::ZERO)));
+        while let Some((u, d)) = exp.next_settled_unexpanded() {
+            // Prune: if committed higher-ranked hubs already certify
+            // d(root, u) <= d, this shortest path is covered — no label, and
+            // no expansion through u (everything beyond is covered too).
+            let covered =
+                labels[u.index()].iter().any(|&(h, d2)| self.root_dist[h as usize] + d2 <= d);
+            if covered {
+                continue;
+            }
+            out.push((u, d));
+            exp.expand_from(u, d);
+        }
+        self.bufs = exp.into_buffers();
+        for &(h, _) in &labels[root.index()] {
+            self.root_dist[h as usize] = Weight::INFINITY;
+        }
+        out
+    }
+}
+
+/// Runs the pruned Dijkstras of one level's `roots`, each against the same
+/// committed `labels`, on up to `threads` scoped workers. Results come back
+/// in root order regardless of scheduling.
+fn run_level<T: Topology + ?Sized>(
+    topo: &T,
+    labels: &[Vec<(u32, Weight)>],
+    roots: &[NodeId],
+    threads: usize,
+) -> Vec<Vec<(NodeId, Weight)>> {
+    let workers = threads.min(roots.len());
+    if workers <= 1 {
+        let mut scratch = RootScratch::new(labels.len());
+        return roots.iter().map(|&root| scratch.search(topo, labels, root)).collect();
+    }
+    // The engine's worker pattern: scoped threads pull root indices off a
+    // shared cursor and return (index, result) pairs merged into root order.
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<Vec<(NodeId, Weight)>>> = (0..roots.len()).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                s.spawn(move || {
+                    let mut scratch = RootScratch::new(labels.len());
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= roots.len() {
+                            break;
+                        }
+                        out.push((i, scratch.search(topo, labels, roots[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, result) in handle.join().expect("label construction worker panicked") {
+                slots[i] = Some(result);
+            }
+        }
+    });
+    slots.into_iter().map(|slot| slot.expect("every root is searched exactly once")).collect()
+}
+
 impl HubLabeling {
-    /// Builds the labeling with one pruned Dijkstra per node, in
-    /// descending-degree order (ties by ascending node id, so construction
-    /// is fully deterministic).
+    /// Builds the labeling sequentially (one worker). Identical output to
+    /// [`HubLabeling::build_with_threads`] at any thread count.
+    pub fn build<T: Topology + ?Sized>(topo: &T) -> Self {
+        Self::build_with_threads(topo, 1)
+    }
+
+    /// Builds the labeling with the level-synchronous parallel algorithm
+    /// described in the module docs, using up to `threads` worker threads
+    /// per level.
+    ///
+    /// The construction order is descending degree, ties by ascending node
+    /// id; levels are a fixed function of the node count. The result —
+    /// including entry order inside every label — does not depend on
+    /// `threads`.
     ///
     /// The cost model is the same as the algorithms': adjacency fetches go
     /// through [`Topology::visit_neighbors`], so building over a paged
     /// backend is accounted I/O like any traversal.
-    pub fn build<T: Topology + ?Sized>(topo: &T) -> Self {
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn build_with_threads<T: Topology + ?Sized>(topo: &T, threads: usize) -> Self {
+        assert!(threads >= 1, "label construction needs at least one thread");
         let n = topo.num_nodes();
 
         // Construction order: descending degree, then ascending node id.
@@ -96,41 +342,27 @@ impl HubLabeling {
             rank_of_node[v as usize] = rank as u32;
         }
 
-        // Temporary per-node labels; entries are appended in ascending rank
-        // because roots run in rank order.
+        // Per-node labels, grown level by level; entries end up in ascending
+        // rank order because levels commit in rank order.
         let mut labels: Vec<Vec<(u32, Weight)>> = vec![Vec::new(); n];
-        // Distances from the current root to its hubs, indexed by rank; only
-        // the entries of `labels[root]` are populated at any time.
-        let mut root_dist = vec![Weight::INFINITY; n];
-        let mut bufs = ExpansionBuffers::new();
-
-        for (rank, &root) in node_of_rank.iter().enumerate() {
-            for &(h, d) in &labels[root.index()] {
-                root_dist[h as usize] = d;
-            }
-            let mut exp =
-                NetworkExpansion::reusing(topo, bufs, std::iter::once((root, Weight::ZERO)));
-            while let Some((u, d)) = exp.next_settled_unexpanded() {
-                // Prune: if higher-ranked hubs already certify d(root, u)
-                // <= d, this shortest path is covered — no label, and no
-                // expansion through u (everything beyond is covered too).
-                let covered =
-                    labels[u.index()].iter().any(|&(h, d2)| root_dist[h as usize] + d2 <= d);
-                if covered {
-                    continue;
+        let mut level_start = 0usize;
+        let mut width_cap = 1usize;
+        while level_start < n {
+            let width = width_cap.min(MAX_LEVEL_WIDTH).min(n - level_start);
+            let roots = &node_of_rank[level_start..level_start + width];
+            let results = run_level(topo, &labels, roots, threads);
+            // Sequential commit pass, in rank order within the level.
+            for (i, entries) in results.into_iter().enumerate() {
+                let rank = (level_start + i) as u32;
+                for (node, d) in entries {
+                    labels[node.index()].push((rank, d));
                 }
-                labels[u.index()].push((rank as u32, d));
-                exp.expand_from(u, d);
             }
-            bufs = exp.into_buffers();
-            // `labels[root]` now also holds (rank, 0) — the root always
-            // labels itself — so this reset clears exactly what was set.
-            for &(h, _) in &labels[root.index()] {
-                root_dist[h as usize] = Weight::INFINITY;
-            }
+            level_start += width;
+            width_cap = width_cap.saturating_mul(2);
         }
 
-        // Freeze into CSR.
+        // Freeze into the full-width CSR.
         let mut offsets = Vec::with_capacity(n + 1);
         let entries: usize = labels.iter().map(Vec::len).sum();
         let mut hub_ranks = Vec::with_capacity(entries);
@@ -144,7 +376,58 @@ impl HubLabeling {
             }
             offsets.push(hub_ranks.len());
         }
-        HubLabeling { offsets, hub_ranks, hub_dists, node_of_rank, rank_of_node }
+        HubLabeling {
+            offsets,
+            store: LabelStore::Full { hub_ranks, hub_dists },
+            node_of_rank,
+            rank_of_node,
+        }
+    }
+
+    /// Re-encodes this labeling into the compact layout: delta-encoded
+    /// varint ranks, distances per `precision`. Semantically the same
+    /// labeling — same nodes, hubs and entry order — behind the same API.
+    pub fn compressed(&self, precision: LabelPrecision) -> HubLabeling {
+        let n = self.num_nodes();
+        let entries = self.offsets[n];
+        let mut byte_offsets = Vec::with_capacity(n + 1);
+        let mut rank_bytes = Vec::new();
+        let mut exact = Vec::new();
+        let mut narrow = Vec::new();
+        match precision {
+            LabelPrecision::Exact => exact.reserve(entries),
+            LabelPrecision::F32 => narrow.reserve(entries),
+        }
+        let mut dec = LabelDecoder::new();
+        byte_offsets.push(0);
+        for v in 0..n {
+            let (ranks, dists) = self.label(NodeId::new(v), &mut dec);
+            let mut prev = 0u32;
+            for (i, &r) in ranks.iter().enumerate() {
+                write_varint(&mut rank_bytes, if i == 0 { r } else { r - prev });
+                prev = r;
+            }
+            byte_offsets.push(rank_bytes.len());
+            match precision {
+                LabelPrecision::Exact => exact.extend_from_slice(dists),
+                LabelPrecision::F32 => narrow.extend(dists.iter().map(|d| d.value() as f32)),
+            }
+        }
+        let dists = match precision {
+            LabelPrecision::Exact => CompactDists::Exact(exact),
+            LabelPrecision::F32 => CompactDists::F32(narrow),
+        };
+        HubLabeling {
+            offsets: self.offsets.clone(),
+            store: LabelStore::Compact { byte_offsets, rank_bytes, dists },
+            node_of_rank: self.node_of_rank.clone(),
+            rank_of_node: self.rank_of_node.clone(),
+        }
+    }
+
+    /// Whether this labeling uses the compact (varint-rank) layout.
+    pub fn is_compressed(&self) -> bool {
+        matches!(self.store, LabelStore::Compact { .. })
     }
 
     /// Number of labeled nodes.
@@ -152,11 +435,47 @@ impl HubLabeling {
         self.node_of_rank.len()
     }
 
+    /// Number of entries in the label of `node`.
+    pub fn label_len(&self, node: NodeId) -> usize {
+        self.offsets[node.index() + 1] - self.offsets[node.index()]
+    }
+
     /// The label of `node`: parallel slices of hub ranks (ascending) and
     /// distances to them.
-    pub fn label(&self, node: NodeId) -> (&[u32], &[Weight]) {
+    ///
+    /// On the full layout the slices borrow the CSR directly and `dec` is
+    /// untouched; on the compact layout they are decoded into `dec`. Either
+    /// way they are valid until the next `label()` call with the same
+    /// decoder.
+    pub fn label<'a>(
+        &'a self,
+        node: NodeId,
+        dec: &'a mut LabelDecoder,
+    ) -> (&'a [u32], &'a [Weight]) {
         let (lo, hi) = (self.offsets[node.index()], self.offsets[node.index() + 1]);
-        (&self.hub_ranks[lo..hi], &self.hub_dists[lo..hi])
+        match &self.store {
+            LabelStore::Full { hub_ranks, hub_dists } => (&hub_ranks[lo..hi], &hub_dists[lo..hi]),
+            LabelStore::Compact { byte_offsets, rank_bytes, dists } => {
+                dec.ranks.clear();
+                let mut pos = byte_offsets[node.index()];
+                let end = byte_offsets[node.index() + 1];
+                let mut prev = 0u32;
+                while pos < end {
+                    let delta = read_varint(rank_bytes, &mut pos);
+                    prev = if dec.ranks.is_empty() { delta } else { prev + delta };
+                    dec.ranks.push(prev);
+                }
+                debug_assert_eq!(dec.ranks.len(), hi - lo, "rank stream length matches CSR");
+                match dists {
+                    CompactDists::Exact(d) => (&dec.ranks, &d[lo..hi]),
+                    CompactDists::F32(d) => {
+                        dec.dists.clear();
+                        dec.dists.extend(d[lo..hi].iter().map(|&x| Weight::new(f64::from(x))));
+                        (&dec.ranks, &dec.dists)
+                    }
+                }
+            }
+        }
     }
 
     /// The node acting as the hub with construction rank `rank`.
@@ -175,8 +494,10 @@ impl HubLabeling {
     /// Symmetric by construction: the same hub set and the same commutative
     /// sums are considered for `(u, v)` and `(v, u)`.
     pub fn distance(&self, u: NodeId, v: NodeId) -> Option<Weight> {
-        let (hu, du) = self.label(u);
-        let (hv, dv) = self.label(v);
+        let mut dec_u = LabelDecoder::new();
+        let mut dec_v = LabelDecoder::new();
+        let (hu, du) = self.label(u, &mut dec_u);
+        let (hv, dv) = self.label(v, &mut dec_v);
         let mut best: Option<Weight> = None;
         let (mut i, mut j) = (0, 0);
         while i < hu.len() && j < hv.len() {
@@ -194,12 +515,31 @@ impl HubLabeling {
         best
     }
 
-    /// Size statistics of the labeling.
+    /// Size statistics of the labeling under its current layout.
     pub fn stats(&self) -> LabelStats {
         let nodes = self.num_nodes();
+        let entries = self.offsets[nodes];
         let max_label =
             (0..nodes).map(|v| self.offsets[v + 1] - self.offsets[v]).max().unwrap_or(0);
-        LabelStats { nodes, entries: self.hub_ranks.len(), max_label }
+        let offset_bytes = self.offsets.len() * std::mem::size_of::<usize>();
+        let label_bytes = match &self.store {
+            LabelStore::Full { hub_ranks, hub_dists } => {
+                offset_bytes
+                    + hub_ranks.len() * std::mem::size_of::<u32>()
+                    + hub_dists.len() * std::mem::size_of::<Weight>()
+            }
+            LabelStore::Compact { byte_offsets, rank_bytes, dists } => {
+                let dist_bytes = match dists {
+                    CompactDists::Exact(d) => d.len() * std::mem::size_of::<Weight>(),
+                    CompactDists::F32(d) => d.len() * std::mem::size_of::<f32>(),
+                };
+                offset_bytes
+                    + byte_offsets.len() * std::mem::size_of::<usize>()
+                    + rank_bytes.len()
+                    + dist_bytes
+            }
+        };
+        LabelStats { nodes, entries, max_label, label_bytes }
     }
 }
 
@@ -233,6 +573,12 @@ mod tests {
             }
         }
         b.build().unwrap()
+    }
+
+    fn label_of(labeling: &HubLabeling, v: usize) -> (Vec<u32>, Vec<Weight>) {
+        let mut dec = LabelDecoder::new();
+        let (r, d) = labeling.label(NodeId::new(v), &mut dec);
+        (r.to_vec(), d.to_vec())
     }
 
     #[test]
@@ -291,16 +637,17 @@ mod tests {
         assert!(stats.entries < 16 * 16 / 2, "pruning keeps labels small, got {stats:?}");
         assert!(stats.max_label >= 1 && stats.max_label <= 16);
         assert!(stats.avg_label() >= 1.0);
-        assert!(stats.bytes() > 0);
+        assert!(stats.label_bytes() > 0);
         for v in 0..16 {
             let node = NodeId::new(v);
-            let (ranks, dists) = labeling.label(node);
+            let (ranks, dists) = label_of(&labeling, v);
             assert!(!ranks.is_empty());
             assert!(ranks.windows(2).all(|w| w[0] < w[1]), "ranks strictly ascend");
             // Every node's label contains itself at distance zero.
             let own = ranks.iter().position(|&r| r == labeling.rank_of(node)).unwrap();
             assert_eq!(dists[own], Weight::ZERO);
             assert_eq!(labeling.hub_node(labeling.rank_of(node)), node);
+            assert_eq!(ranks.len(), labeling.label_len(node));
         }
     }
 
@@ -308,6 +655,17 @@ mod tests {
     fn construction_is_deterministic() {
         let g = grid4();
         assert_eq!(HubLabeling::build(&g), HubLabeling::build(&g));
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_to_sequential() {
+        for g in [diamond(), grid4()] {
+            let sequential = HubLabeling::build_with_threads(&g, 1);
+            for threads in [2, 8] {
+                let parallel = HubLabeling::build_with_threads(&g, threads);
+                assert_eq!(sequential, parallel, "threads = {threads}");
+            }
+        }
     }
 
     #[test]
@@ -322,10 +680,75 @@ mod tests {
         let labeling = HubLabeling::build(&g);
         assert_eq!(labeling.rank_of(NodeId::new(0)), 0);
         for v in 0..5 {
-            let (ranks, _) = labeling.label(NodeId::new(v));
+            let (ranks, _) = label_of(&labeling, v);
             assert_eq!(ranks[0], 0, "node {v} is covered by the center hub");
         }
         // Leaves are fully covered by the center: label = {center, self}.
         assert_eq!(labeling.stats().entries, 1 + 4 * 2);
+    }
+
+    #[test]
+    fn compressed_exact_decodes_identically() {
+        let g = grid4();
+        let full = HubLabeling::build(&g);
+        let compact = full.compressed(LabelPrecision::Exact);
+        assert!(compact.is_compressed() && !full.is_compressed());
+        for v in 0..16 {
+            assert_eq!(label_of(&full, v), label_of(&compact, v), "node {v}");
+        }
+        // Same ranks, same distances — every distance query agrees bit for
+        // bit with the full layout.
+        for u in 0..16 {
+            for v in 0..16 {
+                assert_eq!(
+                    full.distance(NodeId::new(u), NodeId::new(v)),
+                    compact.distance(NodeId::new(u), NodeId::new(v)),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_f32_is_approximately_exact() {
+        let g = grid4();
+        let full = HubLabeling::build(&g);
+        let compact = full.compressed(LabelPrecision::F32);
+        for v in 0..16 {
+            let (ranks, dists) = label_of(&full, v);
+            let (cranks, cdists) = label_of(&compact, v);
+            assert_eq!(ranks, cranks, "ranks are lossless");
+            for (d, c) in dists.iter().zip(&cdists) {
+                assert!(d.approx_eq(*c, 1e-6), "node {v}: {d:?} vs {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_layouts_shrink_label_bytes() {
+        let g = grid4();
+        let full = HubLabeling::build(&g);
+        let exact = full.compressed(LabelPrecision::Exact);
+        let narrow = full.compressed(LabelPrecision::F32);
+        let (fb, eb, nb) =
+            (full.stats().label_bytes(), exact.stats().label_bytes(), narrow.stats().label_bytes());
+        // Entry payload shrinks: 12 bytes/entry -> ~9 (exact) -> ~5 (f32).
+        // The per-node byte-offset table partially offsets that on this tiny
+        // graph; the f32 tier must win outright even here.
+        assert!(nb < eb && nb < fb, "f32 tier is the smallest: {fb} / {eb} / {nb}");
+        assert_eq!(full.stats().entries, narrow.stats().entries);
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        let values = [0u32, 1, 127, 128, 300, 16_383, 16_384, u32::MAX];
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_varint(&buf, &mut pos), v);
+        }
+        assert_eq!(pos, buf.len());
     }
 }

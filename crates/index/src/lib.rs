@@ -16,12 +16,20 @@
 //!   Akiba/Iwata/Yoshida) built over any [`rnn_graph::Topology`]: one pruned
 //!   Dijkstra per node, in descending-degree order, each settling only nodes
 //!   whose distance is not already covered by earlier (higher-ranked) hubs.
-//!   The result is a compact per-node sorted hub list with exact distances:
-//!   `d(u, v) = min over common hubs h of d(u, h) + d(h, v)`.
+//!   Construction batches roots into rank levels whose searches run on
+//!   scoped worker threads ([`HubLabeling::build_with_threads`]) with
+//!   thread-count-independent, byte-identical output. The result is a
+//!   compact per-node sorted hub list with exact distances:
+//!   `d(u, v) = min over common hubs h of d(u, h) + d(h, v)` — storable
+//!   full-width or compressed (delta-varint ranks, exact or `f32`
+//!   distances; [`HubLabeling::compressed`], [`LabelPrecision`]) behind one
+//!   decoder-based API ([`LabelDecoder`]).
 //! * [`HubPointTable`] — the inverted view of a labeling restricted to a
-//!   data point set: for every hub, the points it covers sorted by distance.
-//!   This is what makes point queries *output-sensitive*: a k-NN or
-//!   verification scan touches label entries, never adjacency lists.
+//!   data point set: for every hub, the occupied nodes it covers sorted by
+//!   distance. This is what makes point queries *output-sensitive*: a k-NN
+//!   or verification scan touches label entries, never adjacency lists.
+//!   Point insert/delete is incremental — sorted splices into the affected
+//!   node's hub buckets instead of a rebuild.
 //! * [`HubLabelIndex`] — labeling + point table, answering label-based
 //!   distance, k-NN over [`rnn_graph::PointsOnNodes`], and the ReHub-style
 //!   monochromatic RkNN query. It implements
@@ -44,5 +52,5 @@ pub mod labeling;
 pub mod point_table;
 
 pub use index::HubLabelIndex;
-pub use labeling::{HubLabeling, LabelStats};
+pub use labeling::{HubLabeling, LabelDecoder, LabelPrecision, LabelStats, MAX_LEVEL_WIDTH};
 pub use point_table::HubPointTable;

@@ -58,5 +58,5 @@ pub mod stats;
 pub use histogram::LatencyHistogram;
 pub use queue::BackpressurePolicy;
 pub use request::{Priority, Request, ServeError, ServeResult, ServedQuery, Ticket};
-pub use server::{Server, ServerConfig, World};
+pub use server::{PointUpdate, Server, ServerConfig, World};
 pub use stats::{ClassStats, ServerStats};

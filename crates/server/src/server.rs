@@ -51,12 +51,23 @@ use crate::stats::{algorithm_index, ClassStats, PublishedMetrics, ServerStats, W
 use parking_lot::RwLock;
 use rnn_core::engine::QueryEngine;
 use rnn_core::{Algorithm, HubLabelRknn, MaterializedKnn, Scratch, SharedResultCache};
-use rnn_graph::{PointsOnNodes, Topology};
+use rnn_graph::{NodeId, PointsOnNodes, Topology};
+use rnn_index::HubLabelIndex;
 use rnn_storage::IoCounters;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// One point mutation of a delta-shaped swap (see
+/// [`Server::swap_points_delta`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum PointUpdate {
+    /// Place a point on this (currently unoccupied) node.
+    Insert(NodeId),
+    /// Remove the point on this node, if any.
+    Remove(NodeId),
+}
 
 /// The graph, point set and precomputed structures a server answers from —
 /// everything a [`QueryEngine`] view borrows, owned behind `Arc`s so worker
@@ -66,6 +77,11 @@ pub struct World {
     points: Arc<dyn PointsOnNodes + Send + Sync>,
     materialized: Option<Arc<MaterializedKnn>>,
     hub_labels: Option<Arc<dyn HubLabelRknn + Send + Sync>>,
+    /// The concrete hub-label index, when the world was built with
+    /// [`World::with_hub_label_index`] — what [`Server::swap_points_delta`]
+    /// maintains incrementally (the type-erased `hub_labels` handle cannot
+    /// be mutated through the trait).
+    hub_index: Option<Arc<HubLabelIndex>>,
 }
 
 impl World {
@@ -76,7 +92,7 @@ impl World {
         topo: Arc<dyn Topology + Send + Sync>,
         points: Arc<dyn PointsOnNodes + Send + Sync>,
     ) -> Self {
-        World { topo, points, materialized: None, hub_labels: None }
+        World { topo, points, materialized: None, hub_labels: None, hub_index: None }
     }
 
     /// Attaches a materialized k-NN table (admits
@@ -87,8 +103,22 @@ impl World {
     }
 
     /// Attaches a hub-label index (admits [`Algorithm::HubLabel`] requests).
+    ///
+    /// For an index the server can also maintain *incrementally* under
+    /// point churn, attach the concrete type via
+    /// [`World::with_hub_label_index`] instead.
     pub fn with_hub_labels(mut self, index: Arc<dyn HubLabelRknn + Send + Sync>) -> Self {
         self.hub_labels = Some(index);
+        self
+    }
+
+    /// Attaches a concrete [`HubLabelIndex`] (admits
+    /// [`Algorithm::HubLabel`] requests) and keeps hold of the concrete
+    /// handle so [`Server::swap_points_delta`] can update its point table
+    /// in place instead of requiring a full rebuild per swap.
+    pub fn with_hub_label_index(mut self, index: Arc<HubLabelIndex>) -> Self {
+        self.hub_labels = Some(Arc::clone(&index) as Arc<dyn HubLabelRknn + Send + Sync>);
+        self.hub_index = Some(index);
         self
     }
 
@@ -118,6 +148,7 @@ impl std::fmt::Debug for World {
             .field("num_points", &self.points.num_points())
             .field("materialized", &self.materialized.is_some())
             .field("hub_labels", &self.hub_labels.is_some())
+            .field("hub_index", &self.hub_index.is_some())
             .finish()
     }
 }
@@ -447,9 +478,74 @@ impl Server {
         world.points = points;
         world.materialized = materialized;
         world.hub_labels = hub_labels;
+        // A wholesale swap invalidates the incrementally maintained handle:
+        // the caller-provided labels are the only truth from here on. Delta
+        // maintenance resumes only from a world rebuilt with
+        // `with_hub_label_index`.
+        world.hub_index = None;
         if let Some(cache) = &self.shared.cache {
             cache.invalidate_all();
         }
+    }
+
+    /// The delta-shaped [`Server::swap_points`]: installs the new point set
+    /// and applies the point `updates` to the concrete hub-label index *in
+    /// place* under the world write lock — `O(label size)` bucket splices
+    /// per update (see [`HubLabelIndex::insert_point`]) instead of the
+    /// `O(total label entries)` table rebuild a full swap pays. The eager
+    /// k-NN materialization, when present, is still replaced wholesale.
+    ///
+    /// Returns `false` without touching the world when it holds no concrete
+    /// index (built without [`World::with_hub_label_index`], or invalidated
+    /// by a wholesale [`Server::swap_points`]) — the caller falls back to a
+    /// full swap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the updates do not reconcile the index with `points`
+    /// (inserting on an occupied node, or ending at a different point
+    /// count) — the same contract violation a stale full swap would hide
+    /// until query time.
+    pub fn swap_points_delta(
+        &self,
+        points: Arc<dyn PointsOnNodes + Send + Sync>,
+        materialized: Option<Arc<MaterializedKnn>>,
+        updates: &[PointUpdate],
+    ) -> bool {
+        let mut guard = self.shared.world.write();
+        let world = &mut *guard;
+        if world.hub_index.is_none() {
+            return false;
+        }
+        // Drop the type-erased alias first so the Arc is uniquely held and
+        // `make_mut` mutates in place rather than deep-cloning the index.
+        world.hub_labels = None;
+        let shared_index = world.hub_index.as_mut().expect("checked above");
+        let index = Arc::make_mut(shared_index);
+        for &update in updates {
+            match update {
+                PointUpdate::Insert(node) => {
+                    index.insert_point(node);
+                }
+                PointUpdate::Remove(node) => {
+                    index.remove_point(node);
+                }
+            }
+        }
+        assert_eq!(
+            index.num_points(),
+            points.num_points(),
+            "updates must reconcile the index with the new point set"
+        );
+        world.hub_labels = Some(Arc::clone(shared_index) as Arc<dyn HubLabelRknn + Send + Sync>);
+        world.points = points;
+        world.materialized = materialized;
+        // Sweep under the write lock, like the full swap: no in-flight
+        // micro-batch can insert a stale answer after this.
+        if let Some(cache) = &self.shared.cache {
+            cache.invalidate_all();
+        }
+        true
     }
 
     /// Number of worker threads.
@@ -846,6 +942,58 @@ mod tests {
         assert_eq!(served.outcome, new_expected, "no stale RkNN set after the swap");
         let served = server.submit(request()).unwrap().wait().unwrap();
         assert_eq!(served.outcome, new_expected);
+        server.shutdown();
+    }
+
+    #[test]
+    fn swap_points_delta_maintains_the_hub_index_in_place() {
+        let graph = Arc::new(grid(9));
+        let n = 81;
+        let old_points = Arc::new(NodePointSet::from_nodes(n, (0..n).step_by(7).map(NodeId::new)));
+        // Delta shape: drop the point on node 7, add points on nodes 11, 40.
+        let new_points = Arc::new(NodePointSet::from_nodes(
+            n,
+            old_points
+                .nodes()
+                .iter()
+                .copied()
+                .filter(|&v| v != NodeId::new(7))
+                .chain([NodeId::new(11), NodeId::new(40)]),
+        ));
+        let updates = [
+            PointUpdate::Remove(NodeId::new(7)),
+            PointUpdate::Insert(NodeId::new(11)),
+            PointUpdate::Insert(NodeId::new(40)),
+        ];
+        let index = Arc::new(rnn_index::HubLabelIndex::build(&*graph, &*old_points));
+        let w = World::new(graph.clone(), old_points.clone()).with_hub_label_index(index);
+        let server =
+            Server::start(w, ServerConfig::default().with_workers(2).with_result_cache(64, 0));
+        let request = |q: usize| Request::new(Algorithm::HubLabel, NodeId::new(q), 2);
+
+        let old_index = rnn_index::HubLabelIndex::build(&*graph, &*old_points);
+        for q in 0..n {
+            let served = server.submit(request(q)).unwrap().wait().unwrap();
+            assert_eq!(served.outcome.points, old_index.rknn(NodeId::new(q), 2).points);
+        }
+
+        assert!(server.swap_points_delta(new_points.clone(), None, &updates));
+        let new_index = rnn_index::HubLabelIndex::build(&*graph, &*new_points);
+        for q in 0..n {
+            let served = server.submit(request(q)).unwrap().wait().unwrap();
+            assert_eq!(
+                served.outcome.points,
+                new_index.rknn(NodeId::new(q), 2).points,
+                "post-delta-swap query {q} must see the updated index"
+            );
+        }
+
+        // A wholesale swap drops the concrete handle; delta swaps then
+        // report unsupported without touching the world.
+        server.swap_points(old_points.clone(), None, None);
+        assert!(!server.swap_points_delta(new_points.clone(), None, &updates));
+        let served = server.submit(Request::new(Algorithm::Naive, NodeId::new(3), 1)).unwrap();
+        assert!(served.wait().is_ok(), "world stays intact after a refused delta swap");
         server.shutdown();
     }
 

@@ -20,21 +20,33 @@
 //! thread-local cache keyed by the counter handle's unique id, so the
 //! steady-state record path is: one thread-local read, one id compare, three
 //! relaxed `fetch_add`s — no lock, no shared cache line with other writers.
-//! A mutex-protected registry of shards exists only for the cold paths:
-//! registering a thread's shard on its first access, and merging shards on
-//! [`IoCounters::snapshot`] / [`IoCounters::reset`] /
-//! [`IoCounters::retire_current_thread`]. Only the owning thread ever
-//! *writes* a shard; readers merge the shards' atomics directly. Exact
-//! totals require quiescence (e.g. after a batch's workers were joined),
-//! but a mid-run snapshot is still *internally consistent* — the
-//! release/acquire ordering on the shard fields guarantees
+//!
+//! [`IoCounters::snapshot`] is the poll path — the serving layer reads it on
+//! every stats poll — and it never takes a lock either. Shards live in a
+//! grow-only chunked slab ([`ShardSlab`]) whose published length a reader
+//! walks directly, and the folded totals of retired threads sit in a cell of
+//! plain atomics. The rare *structural* transitions — folding a retiring
+//! thread's shard into the retired cell, or [`IoCounters::reset`] zeroing
+//! everything — are sandwiched in a seqlock version window (the same
+//! version/fence discipline as the server's published-metrics cells): a
+//! reader that overlaps one simply rereads, so a snapshot can never see a
+//! retiring thread's counts both in its shard and in the retired total (or in
+//! neither).
+//!
+//! A mutex-protected registry still exists, but only for cold-path
+//! bookkeeping: assigning a slab slot on a thread's first access, recycling
+//! slots on [`IoCounters::retire_current_thread`], and
+//! [`IoCounters::per_thread_snapshots`]. Only the owning thread ever *writes*
+//! a live shard. Exact totals require quiescence (e.g. after a batch's
+//! workers were joined), but a mid-run snapshot is still *internally
+//! consistent* — the release/acquire ordering on the shard fields guarantees
 //! `evictions <= faults <= accesses` at any moment.
 
 use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::ops::AddAssign;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
 use std::thread::ThreadId;
 
 /// An immutable snapshot of I/O activity.
@@ -126,13 +138,13 @@ impl ThreadShard {
         IoStats { accesses, faults, evictions }
     }
 
-    /// A reset that races concurrent readers or the owning recorder is
-    /// inherently approximate — a reader interleaving with the three stores
-    /// can see a torn mix of old and new counts, and no store ordering can
-    /// prevent that (it is a temporal race, not a visibility one). Like the
-    /// seed's mutex version, `reset` is a quiescent-point operation: callers
-    /// reset between measurements, and the buffer pool's `clear_and_reset`
-    /// / `reset_stats` exclude its recorders via the shard locks.
+    /// Zeroing never races a [`IoCounters::snapshot`]: every `zero` call
+    /// sits inside a seqlock update window (retirement, reset), so a
+    /// concurrent snapshot rereads instead of observing a torn mix of old
+    /// and new counts. A concurrent *recorder* racing `reset` is still
+    /// inherently approximate — like the seed's mutex version, `reset` is a
+    /// quiescent-point operation, and the buffer pool's `clear_and_reset` /
+    /// `reset_stats` exclude its recorders via the shard locks.
     fn zero(&self) {
         self.evictions.store(0, Ordering::Relaxed);
         self.faults.store(0, Ordering::Relaxed);
@@ -140,18 +152,94 @@ impl ThreadShard {
     }
 }
 
-/// The cold-path registry: one shard per live recording thread, plus the
-/// folded totals of retired threads. The global view is the merge of all of
-/// them.
+/// Number of chunks in a [`ShardSlab`]: chunk `c` holds `8 << c` shards, so
+/// 24 chunks cover ~134 million recording threads — growth is by chunk, and
+/// no chunk is allocated before a slot in it is needed.
+const SLAB_CHUNKS: usize = 24;
+
+/// A grow-only slab of [`ThreadShard`]s that readers walk without locking.
+///
+/// Shards must stay at stable addresses while readers traverse them, so the
+/// slab never reallocates: it appends geometrically sized chunks, each
+/// materialized at most once through its [`OnceLock`]. `len` is the number
+/// of slots ever handed out; it is bumped with a `Release` store *after* the
+/// backing chunk is initialized, so a reader that `Acquire`-loads `len` can
+/// dereference every slot below it. Slots of retired threads are zeroed and
+/// recycled through the registry's free list — a freed slot contributes
+/// nothing to a walk until a new thread claims it.
+#[derive(Debug)]
+struct ShardSlab {
+    len: AtomicUsize,
+    chunks: [OnceLock<Box<[ThreadShard]>>; SLAB_CHUNKS],
+}
+
+impl ShardSlab {
+    fn new() -> Self {
+        ShardSlab { len: AtomicUsize::new(0), chunks: std::array::from_fn(|_| OnceLock::new()) }
+    }
+
+    /// Maps a slot index to its (chunk, offset) pair: chunk `c` covers slots
+    /// `[8 * (2^c - 1), 8 * (2^(c+1) - 1))`.
+    fn chunk_of(slot: usize) -> (usize, usize) {
+        let chunk = (slot / 8 + 1).ilog2() as usize;
+        (chunk, slot - ((8 << chunk) - 8))
+    }
+
+    fn shard(&self, slot: usize) -> &ThreadShard {
+        let (chunk, offset) = Self::chunk_of(slot);
+        &self.chunks[chunk].get().expect("published slots live in initialized chunks")[offset]
+    }
+
+    /// Cold path (registry lock held): materialize the chunk holding `slot`
+    /// (the next unused slot) and publish the grown length.
+    fn grow_to(&self, slot: usize) {
+        let (chunk, _) = Self::chunk_of(slot);
+        self.chunks[chunk]
+            .get_or_init(|| (0..8usize << chunk).map(|_| ThreadShard::default()).collect());
+        self.len.store(slot + 1, Ordering::Release);
+    }
+}
+
+/// The folded totals of retired threads, readable without a lock. Stores are
+/// relaxed: every write happens inside the bundle's seqlock update window,
+/// which is what keeps a concurrent reader from accepting a torn triple.
+#[derive(Debug, Default)]
+struct RetiredCell {
+    accesses: AtomicU64,
+    faults: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl RetiredCell {
+    fn load(&self) -> IoStats {
+        IoStats {
+            accesses: self.accesses.load(Ordering::Relaxed),
+            faults: self.faults.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    fn store(&self, stats: IoStats) {
+        self.accesses.store(stats.accesses, Ordering::Relaxed);
+        self.faults.store(stats.faults, Ordering::Relaxed);
+        self.evictions.store(stats.evictions, Ordering::Relaxed);
+    }
+}
+
+/// The cold-path registry: which slab slot each live recording thread owns,
+/// plus the free list of recycled slots. The counters themselves live
+/// outside the mutex (in the slab and the retired cell) so that reads never
+/// take it.
 ///
 /// Worker threads are expected to call [`IoCounters::retire_current_thread`]
 /// before exiting (the query engine's batch workers do); that folds their
-/// shard into `retired` so the registry tracks only live threads and does not
-/// grow with the number of batches a long-lived process has served.
+/// shard into the retired cell and recycles the slot, so neither the
+/// registry nor the slab grows with the number of batches a long-lived
+/// process has served.
 #[derive(Debug, Default)]
 struct Registry {
-    retired: IoStats,
-    threads: Vec<(ThreadId, Arc<ThreadShard>)>,
+    free: Vec<usize>,
+    threads: Vec<(ThreadId, usize)>,
 }
 
 impl Registry {
@@ -165,7 +253,31 @@ struct CountersInner {
     /// Unique per counter bundle (never reused), so the thread-local shard
     /// cache can key on it without any stale-pointer hazard.
     id: u64,
+    /// Seqlock version for structural transitions (retire, reset). Even =
+    /// stable; a writer makes it odd, moves counts, makes it even again.
+    /// Writers are serialized by the registry mutex; readers never block,
+    /// they reread on overlap.
+    version: AtomicU64,
+    retired: RetiredCell,
+    slab: ShardSlab,
     registry: Mutex<Registry>,
+}
+
+impl CountersInner {
+    /// Opens a structural update window (caller holds the registry mutex).
+    /// The release fence pairs with the reader's acquire fence: any reader
+    /// that observes a store made inside the window is guaranteed to observe
+    /// the odd version on its re-check and reread.
+    fn begin_update(&self) -> u64 {
+        let version = self.version.load(Ordering::Relaxed);
+        self.version.store(version + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        version + 2
+    }
+
+    fn end_update(&self, version: u64) {
+        self.version.store(version, Ordering::Release);
+    }
 }
 
 /// Source of the unique [`CountersInner::id`]s.
@@ -176,11 +288,13 @@ thread_local! {
     /// `thread::current()` handle-clone path.
     static CURRENT_THREAD_ID: ThreadId = std::thread::current().id();
 
-    /// This thread's shard for each counter bundle it has recorded into:
-    /// `(bundle id, shard)` pairs, scanned linearly (a thread uses one or two
-    /// bundles at a time). Entries whose bundle was dropped are pruned
-    /// whenever a new bundle registers.
-    static SHARD_CACHE: RefCell<Vec<(u64, Arc<ThreadShard>)>> = const { RefCell::new(Vec::new()) };
+    /// This thread's slab slot for each counter bundle it has recorded into:
+    /// `(bundle id, bundle handle, slot)` triples, scanned linearly (a
+    /// thread uses one or two bundles at a time). The weak handle exists
+    /// only to detect dead bundles: entries whose bundle was dropped are
+    /// pruned whenever a new bundle registers.
+    static SHARD_CACHE: RefCell<Vec<(u64, Weak<CountersInner>, usize)>> =
+        const { RefCell::new(Vec::new()) };
 }
 
 fn current_thread_id() -> ThreadId {
@@ -208,6 +322,9 @@ impl IoCounters {
         IoCounters {
             inner: Arc::new(CountersInner {
                 id: NEXT_COUNTERS_ID.fetch_add(1, Ordering::Relaxed),
+                version: AtomicU64::new(0),
+                retired: RetiredCell::default(),
+                slab: ShardSlab::new(),
                 registry: Mutex::new(Registry::default()),
             }),
         }
@@ -223,62 +340,80 @@ impl IoCounters {
         self.with_shard(|shard| shard.record(fault, evicted));
     }
 
-    /// Runs `f` on the calling thread's shard, registering one on the first
-    /// access (the only path that ever takes the registry lock).
-    ///
-    /// On the steady-state path `f` runs under the cache's shared borrow —
-    /// no `Arc` clone, no lock; `f` must not (and does not) re-enter the
-    /// cache.
+    /// Runs `f` on the calling thread's shard, registering a slab slot on
+    /// the first access (the only record path that ever takes the registry
+    /// lock).
     fn with_shard<R>(&self, f: impl FnOnce(&ThreadShard) -> R) -> R {
+        let slot = self.cached_slot().unwrap_or_else(|| self.register_current_thread());
+        f(self.inner.slab.shard(slot))
+    }
+
+    /// The calling thread's slab slot for this bundle, if it has one.
+    fn cached_slot(&self) -> Option<usize> {
         SHARD_CACHE.with(|cache| {
-            {
-                let cache = cache.borrow();
-                if let Some((_, shard)) = cache.iter().find(|(id, _)| *id == self.inner.id) {
-                    return f(shard);
-                }
-            }
-            let shard = self.register_current_thread(cache);
-            f(&shard)
+            cache.borrow().iter().find(|(id, _, _)| *id == self.inner.id).map(|&(_, _, slot)| slot)
         })
     }
 
-    /// Cold path: get-or-create the calling thread's shard in the registry
-    /// and remember it in the thread-local cache.
-    fn register_current_thread(
-        &self,
-        cache: &RefCell<Vec<(u64, Arc<ThreadShard>)>>,
-    ) -> Arc<ThreadShard> {
+    /// Cold path: assign the calling thread a slab slot (recycling a retired
+    /// one if available) and remember it in the thread-local cache.
+    fn register_current_thread(&self) -> usize {
         let id = current_thread_id();
-        let shard = {
+        let slot = {
             let mut reg = self.inner.registry.lock();
             match reg.position(id) {
-                Some(i) => Arc::clone(&reg.threads[i].1),
+                Some(i) => reg.threads[i].1,
                 None => {
-                    let shard = Arc::new(ThreadShard::default());
-                    reg.threads.push((id, Arc::clone(&shard)));
-                    shard
+                    let slot = reg.free.pop().unwrap_or_else(|| {
+                        let next = self.inner.slab.len.load(Ordering::Relaxed);
+                        self.inner.slab.grow_to(next);
+                        next
+                    });
+                    reg.threads.push((id, slot));
+                    slot
                 }
             }
         };
-        let mut cache = cache.borrow_mut();
-        // A shard whose counter bundle is gone is held only by this cache
-        // (the registry's strong reference died with the bundle): drop it so
-        // long-lived threads recording into many short-lived bundles (tests,
-        // benchmarks) do not grow the cache without bound.
-        cache.retain(|(_, s)| Arc::strong_count(s) > 1);
-        cache.push((self.inner.id, Arc::clone(&shard)));
-        shard
+        SHARD_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            // An entry whose counter bundle is gone can never be looked up
+            // again (bundle ids are not reused): drop it so long-lived
+            // threads recording into many short-lived bundles (tests,
+            // benchmarks) do not grow the cache without bound.
+            cache.retain(|(_, bundle, _)| bundle.strong_count() > 0);
+            cache.push((self.inner.id, Arc::downgrade(&self.inner), slot));
+        });
+        slot
     }
 
     /// Returns the merged snapshot over every thread that recorded accesses,
     /// retired or live.
+    ///
+    /// Never takes a lock: the retired cell and the shard slab are read
+    /// directly, and the seqlock version only forces a reread when the
+    /// snapshot overlapped a thread retirement or an [`IoCounters::reset`] —
+    /// so a poll never waits on recorders, and a retiring thread's counts
+    /// are seen exactly once (in its shard before the fold, in the retired
+    /// total after, never both or neither).
     pub fn snapshot(&self) -> IoStats {
-        let reg = self.inner.registry.lock();
-        let mut total = reg.retired;
-        for (_, shard) in &reg.threads {
-            total += shard.snapshot();
+        let inner = &*self.inner;
+        loop {
+            let v1 = inner.version.load(Ordering::Acquire);
+            if v1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let mut total = inner.retired.load();
+            let len = inner.slab.len.load(Ordering::Acquire);
+            for slot in 0..len {
+                total += inner.slab.shard(slot).snapshot();
+            }
+            fence(Ordering::Acquire);
+            if inner.version.load(Ordering::Relaxed) == v1 {
+                return total;
+            }
+            std::hint::spin_loop();
         }
-        total
     }
 
     /// Returns the snapshot of the accesses recorded *by the calling thread*
@@ -288,66 +423,76 @@ impl IoCounters {
     /// to that query even while other threads use the same buffer pool. Like
     /// the record path, this reads the thread's own shard without locking.
     pub fn snapshot_current_thread(&self) -> IoStats {
-        let cached = SHARD_CACHE.with(|cache| {
-            cache
-                .borrow()
-                .iter()
-                .find(|(id, _)| *id == self.inner.id)
-                .map(|(_, shard)| shard.snapshot())
-        });
-        if let Some(snapshot) = cached {
-            return snapshot;
+        if let Some(slot) = self.cached_slot() {
+            return self.inner.slab.shard(slot).snapshot();
         }
         // Not cached on this thread: the thread never recorded (or retired),
         // so its view is empty — unless another handle on this same thread
         // registered it, which the cache covers (ids are per bundle, shared
         // by clones).
         let reg = self.inner.registry.lock();
-        reg.position(current_thread_id()).map(|i| reg.threads[i].1.snapshot()).unwrap_or_default()
+        reg.position(current_thread_id())
+            .map(|i| self.inner.slab.shard(reg.threads[i].1).snapshot())
+            .unwrap_or_default()
     }
 
-    /// Folds the calling thread's shard into the retired total and removes
-    /// it from the live registry.
+    /// Folds the calling thread's shard into the retired total and recycles
+    /// its slab slot.
     ///
     /// Exiting worker threads (e.g. the query engine's batch workers) call
     /// this so the registry only ever tracks live threads — `ThreadId`s are
     /// never reused, so without retirement a long-lived process would
     /// accumulate one dead shard per worker per batch. No counts are lost:
-    /// [`IoCounters::snapshot`] includes the retired total.
+    /// [`IoCounters::snapshot`] includes the retired total, and the fold
+    /// happens inside a seqlock window so no concurrent snapshot can count
+    /// the retiring shard twice (or miss it).
     pub fn retire_current_thread(&self) {
         let id = current_thread_id();
         {
             let mut reg = self.inner.registry.lock();
             if let Some(i) = reg.position(id) {
-                let (_, shard) = reg.threads.swap_remove(i);
-                let folded = shard.snapshot();
-                reg.retired += folded;
+                let (_, slot) = reg.threads.swap_remove(i);
+                let version = self.inner.begin_update();
+                let shard = self.inner.slab.shard(slot);
+                let mut retired = self.inner.retired.load();
+                retired += shard.snapshot();
+                self.inner.retired.store(retired);
+                shard.zero();
+                self.inner.end_update(version);
+                reg.free.push(slot);
             }
         }
         // Drop the cache entry so a later access on this thread registers a
-        // fresh shard ("the thread's live view starts over").
+        // fresh slot ("the thread's live view starts over").
         SHARD_CACHE.with(|cache| {
-            cache.borrow_mut().retain(|(cid, _)| *cid != self.inner.id);
+            cache.borrow_mut().retain(|(cid, _, _)| *cid != self.inner.id);
         });
     }
 
     /// Live per-thread snapshots, in unspecified order. Their merge plus the
     /// retired total equals [`IoCounters::snapshot`].
     pub fn per_thread_snapshots(&self) -> Vec<IoStats> {
-        self.inner.registry.lock().threads.iter().map(|(_, s)| s.snapshot()).collect()
+        let reg = self.inner.registry.lock();
+        reg.threads.iter().map(|&(_, slot)| self.inner.slab.shard(slot).snapshot()).collect()
     }
 
     /// Resets all counters (every thread's, and the retired total) to zero.
     ///
-    /// Registered threads stay registered with zeroed counts — their
-    /// thread-local shard handles remain valid, so concurrent recorders keep
-    /// counting into the same (now zeroed) shards.
+    /// Registered threads stay registered with zeroed counts — their slab
+    /// slots remain valid, so concurrent recorders keep counting into the
+    /// same (now zeroed) shards. Concurrent *snapshots* reread around the
+    /// reset (it runs inside a seqlock window) and therefore see either
+    /// all-old or all-new counts, never a torn mix.
     pub fn reset(&self) {
-        let mut reg = self.inner.registry.lock();
-        reg.retired = IoStats::default();
-        for (_, shard) in &reg.threads {
-            shard.zero();
+        let reg = self.inner.registry.lock();
+        let version = self.inner.begin_update();
+        self.inner.retired.store(IoStats::default());
+        let len = self.inner.slab.len.load(Ordering::Relaxed);
+        for slot in 0..len {
+            self.inner.slab.shard(slot).zero();
         }
+        self.inner.end_update(version);
+        drop(reg);
     }
 }
 
@@ -554,5 +699,106 @@ mod tests {
         let cached = SHARD_CACHE.with(|cache| cache.borrow().len());
         assert!(cached <= 2, "cache holds live bundles only, found {cached} entries");
         assert_eq!(keep.snapshot().accesses, 1, "the surviving bundle is unaffected");
+    }
+
+    #[test]
+    fn slab_slot_math_partitions_the_index_space() {
+        // Chunk c covers [8 * (2^c - 1), 8 * (2^(c+1) - 1)) — contiguous,
+        // gap-free, and sized 8 << c.
+        let mut expected_chunk = 0;
+        let mut expected_offset = 0;
+        for slot in 0..10_000 {
+            let (chunk, offset) = ShardSlab::chunk_of(slot);
+            assert_eq!((chunk, offset), (expected_chunk, expected_offset), "slot {slot}");
+            expected_offset += 1;
+            if expected_offset == 8 << expected_chunk {
+                expected_chunk += 1;
+                expected_offset = 0;
+            }
+        }
+    }
+
+    #[test]
+    fn retired_slab_slots_are_recycled() {
+        // Threads that retire hand their slot back; the slab must not grow
+        // with the number of worker generations, only with the peak number
+        // of concurrently live recording threads.
+        let c = IoCounters::new();
+        c.record_access(false, false); // main thread takes slot 0
+        for _ in 0..50 {
+            let worker = {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    c.record_access(true, false);
+                    c.retire_current_thread();
+                })
+            };
+            worker.join().unwrap();
+        }
+        let slots = c.inner.slab.len.load(Ordering::Relaxed);
+        assert!(slots <= 2, "50 retired generations must reuse one slot, grew to {slots}");
+        let s = c.snapshot();
+        assert_eq!(s.accesses, 51);
+        assert_eq!(s.faults, 50);
+    }
+
+    #[test]
+    fn snapshots_stay_consistent_under_concurrent_retirement() {
+        // Pollers hammer snapshot() while recorder threads register, record,
+        // and retire in a loop. Every snapshot must be internally consistent
+        // (evictions <= faults <= accesses) and never lose or double-count a
+        // retiring thread's folds; the final quiescent total is exact.
+        use std::sync::atomic::AtomicBool;
+        let c = IoCounters::new();
+        let stop = Arc::new(AtomicBool::new(false));
+        const ROUNDS: u64 = 200;
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let c = c.clone();
+                scope.spawn(move || {
+                    for i in 0..ROUNDS {
+                        c.record_access(true, i % 4 == 0);
+                        c.record_access(false, false);
+                        // Retiring re-registers on the next access, cycling
+                        // the slot through the free list every round.
+                        c.retire_current_thread();
+                    }
+                });
+            }
+            let poller = {
+                let c = c.clone();
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut polls = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let s = c.snapshot();
+                        assert!(s.evictions <= s.faults, "torn snapshot: {s:?}");
+                        assert!(s.faults <= s.accesses, "torn snapshot: {s:?}");
+                        assert!(s.accesses <= 4 * ROUNDS, "over-counted snapshot: {s:?}");
+                        polls += 1;
+                    }
+                    polls
+                })
+            };
+            let flagger = {
+                let c = c.clone();
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    // Stop the poller once both recorders' work is fully
+                    // visible: 4 * ROUNDS accesses is the quiescent total.
+                    while c.snapshot().accesses < 4 * ROUNDS {
+                        std::thread::yield_now();
+                    }
+                    stop.store(true, Ordering::Relaxed);
+                })
+            };
+            flagger.join().unwrap();
+            assert!(poller.join().unwrap() > 0, "the poller must observe at least one snapshot");
+        });
+        let s = c.snapshot();
+        assert_eq!(s.accesses, 4 * ROUNDS, "quiescent totals are exact");
+        assert_eq!(s.faults, 2 * ROUNDS);
+        assert_eq!(s.evictions, 2 * (ROUNDS / 4));
+        assert!(c.per_thread_snapshots().is_empty(), "all recorders retired");
     }
 }

@@ -1,6 +1,8 @@
 //! Hub-label serving: answer RkNN queries from a precomputed labeling
 //! through the query engine, with result memoization for repeated queries —
-//! the ReHub-style serving stack end to end.
+//! the ReHub-style serving stack end to end. Construction runs on the
+//! requested number of threads (identical output at any count) and the
+//! queries are served from the compressed (delta-rank, f32) label layout.
 //!
 //! Run with `cargo run --release --example hub_label_serving -- [THREADS]`
 //! (default: 2 worker threads). Self-asserting: every hub-label result is
@@ -10,7 +12,7 @@ use rnn_core::engine::{QueryEngine, Workload};
 use rnn_core::Algorithm;
 use rnn_datagen::{grid_map, place_points_on_nodes, sample_node_queries, GridConfig};
 use rnn_graph::PointsOnNodes;
-use rnn_index::HubLabelIndex;
+use rnn_index::{HubLabelIndex, LabelPrecision};
 use std::time::Instant;
 
 fn main() {
@@ -28,17 +30,25 @@ fn main() {
         hot_nodes.len()
     );
 
-    // One-time preprocessing: the pruned landmark labeling + inverted table.
+    // One-time preprocessing: the pruned landmark labeling + inverted table,
+    // built level-parallel on the worker threads (the labeling is identical
+    // at any thread count), then compressed to delta-varint ranks with f32
+    // distances for serving.
     let start = Instant::now();
-    let index = HubLabelIndex::build(&graph, &points);
+    let full = HubLabelIndex::build_with_threads(&graph, &points, threads);
     let build = start.elapsed();
-    let stats = index.labeling().stats();
+    let stats = full.labeling().stats();
+    let index = full.compressed(LabelPrecision::F32);
+    let compressed_bytes = index.labeling().stats().label_bytes();
+    const MIB: f64 = 1024.0 * 1024.0;
     println!(
-        "labeling built in {build:.2?}: {:.1} hubs/node (max {}), {:.2} MiB labels, \
-         {} inverted point entries",
+        "labeling built in {build:.2?} on {threads} thread(s): {:.1} hubs/node (max {}), \
+         {:.2} MiB full -> {:.2} MiB compressed ({:.0}% cut), {} inverted point entries",
         stats.avg_label(),
         stats.max_label,
-        stats.bytes() as f64 / (1024.0 * 1024.0),
+        stats.label_bytes() as f64 / MIB,
+        compressed_bytes as f64 / MIB,
+        100.0 * (1.0 - compressed_bytes as f64 / stats.label_bytes() as f64),
         index.point_table().entries(),
     );
 
