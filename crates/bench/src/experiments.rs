@@ -935,9 +935,142 @@ pub fn serving(scale: Scale) -> Report {
     report
 }
 
+/// Tracing overhead on the serving path: the same closed-loop mixed stream
+/// of **all six** algorithms is pushed through an untraced server and a
+/// fully observed one (phase tracing + trace recorder + slow-query log +
+/// registry source), interleaved best-of-N so machine noise hits both modes
+/// alike, and the traced throughput is asserted to stay within 5% of the
+/// untraced best.
+///
+/// The traced trials double as an end-to-end check of the observability
+/// layer under benchmark load: every algorithm must report non-trivial
+/// phase counters (calls *and* nanoseconds) in the final registry snapshot,
+/// and both exporters must render that snapshot byte-deterministically.
+/// Results are asserted byte-identical to a sequential oracle in every
+/// trial, so tracing can never change answers either.
+pub fn obs_overhead(scale: Scale) -> Report {
+    use rnn_obs::{prometheus_text, report_json, MetricsRegistry, Phase};
+    use rnn_server::{Request, Server, ServerConfig, World};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let nodes = scale.pick(2_000, 8_000);
+    let graph = Arc::new(grid_map(&GridConfig::with_nodes(nodes, 4.0, SEED)));
+    let points = Arc::new(place_points_on_nodes(&graph, 0.02, SEED + 1));
+    let table = Arc::new(MaterializedKnn::build(&*graph, &*points, 2));
+    let hub_index = Arc::new(HubLabelIndex::build(&*graph, &*points));
+    let query_nodes = sample_node_queries(&points, scale.pick(32, 96), SEED + 2);
+    let workers = 2;
+    const TRIALS: usize = 5;
+
+    // The mixed stream: every algorithm visits every query node at k=2.
+    let stream: Vec<(Algorithm, NodeId)> =
+        Algorithm::ALL.iter().flat_map(|&a| query_nodes.iter().map(move |&q| (a, q))).collect();
+    let precomputed = Precomputed::materialized(&table).with_hub_labels(&*hub_index);
+    let mut scratch = Scratch::new();
+    let oracle: Vec<_> = stream
+        .iter()
+        .map(|&(a, q)| run_rknn_with(a, &*graph, &*points, precomputed, q, 2, &mut scratch))
+        .collect();
+
+    let config = ServerConfig::default().with_workers(workers).with_queue_capacity(stream.len());
+    // One closed-loop trial: submit the whole stream in one burst, wait for
+    // everything, check against the oracle, return achieved q/s.
+    let run_trial = |server: &Server| -> f64 {
+        let requests: Vec<Request> = stream.iter().map(|&(a, q)| Request::new(a, q, 2)).collect();
+        let started = Instant::now();
+        let tickets: Vec<_> = server
+            .submit_all(&requests)
+            .into_iter()
+            .map(|r| r.expect("admitted under Block"))
+            .collect();
+        for (i, (ticket, expected)) in tickets.into_iter().zip(&oracle).enumerate() {
+            let served = ticket.wait().expect("served");
+            assert_eq!(served.outcome, *expected, "request {i} must equal the sequential oracle");
+        }
+        stream.len() as f64 / started.elapsed().as_secs_f64().max(1e-9)
+    };
+
+    let mut untraced = Vec::with_capacity(TRIALS);
+    let mut traced = Vec::with_capacity(TRIALS);
+    let mut last_snapshot = None;
+    for _ in 0..TRIALS {
+        // Interleaved A/B: noise (page cache, frequency scaling, neighbors
+        // on the box) perturbs adjacent trials, not one whole mode.
+        let world = World::new(graph.clone(), points.clone())
+            .with_materialized(table.clone())
+            .with_hub_labels(hub_index.clone());
+        let server = Server::start(world, config);
+        untraced.push(run_trial(&server));
+        server.shutdown();
+
+        let registry = MetricsRegistry::new();
+        let world = World::new(graph.clone(), points.clone())
+            .with_materialized(table.clone())
+            .with_hub_labels(hub_index.clone());
+        let server = Server::start_observed(
+            world,
+            config.with_tracing(true).with_slow_query_log(8, 16, 32, SEED),
+            None,
+            &registry,
+        );
+        traced.push(run_trial(&server));
+        assert!(!server.drain_slow_queries().worst.is_empty(), "slow log must capture traffic");
+        server.shutdown();
+        last_snapshot = Some(registry.snapshot());
+    }
+
+    // The observed mode must actually have observed: every algorithm shows
+    // non-trivial phase activity, and the exporters are byte-deterministic.
+    let snap = last_snapshot.expect("at least one traced trial");
+    for algorithm in Algorithm::ALL {
+        let queries =
+            snap.counter(&format!("rnn_trace_queries_total{{algorithm=\"{}\"}}", algorithm.name()));
+        assert_eq!(queries, Some(query_nodes.len() as u64), "{algorithm:?} traced per query");
+        let (calls, nanos) = Phase::ALL.iter().fold((0, 0), |(c, n), phase| {
+            let read = |kind: &str| {
+                snap.counter(&format!(
+                    "rnn_trace_phase_{kind}_total{{algorithm=\"{}\",phase=\"{phase}\"}}",
+                    algorithm.name()
+                ))
+                .unwrap_or(0)
+            };
+            (c + read("calls"), n + read("nanos"))
+        });
+        assert!(calls > 0 && nanos > 0, "{algorithm:?} must report non-trivial phase counters");
+    }
+    assert_eq!(prometheus_text(&snap), prometheus_text(&snap), "text export deterministic");
+    assert_eq!(report_json(&snap), report_json(&snap), "json export deterministic");
+
+    let best = |qps: &[f64]| qps.iter().copied().fold(f64::MIN, f64::max);
+    let (untraced_best, traced_best) = (best(&untraced), best(&traced));
+    assert!(
+        traced_best >= 0.95 * untraced_best,
+        "tracing overhead above 5%: traced best {traced_best:.0} q/s vs untraced best \
+         {untraced_best:.0} q/s"
+    );
+
+    let mut report = Report::new(
+        "Obs overhead",
+        format!(
+            "serving throughput with full observability on vs. off (grid map, |V|={nodes}, \
+             D=0.02, k=2, {workers} workers, all {} algorithms x {} queries, interleaved \
+             best-of-{TRIALS}; traced best asserted within 5% of untraced best)",
+            Algorithm::ALL.len(),
+            query_nodes.len()
+        ),
+        "mode",
+        vec!["best q/s".into(), "worst q/s".into(), "vs untraced best".into()],
+    );
+    let worst = |qps: &[f64]| qps.iter().copied().fold(f64::MAX, f64::min);
+    report.push_row("untraced", vec![untraced_best, worst(&untraced), 1.0]);
+    report.push_row("traced", vec![traced_best, worst(&traced), traced_best / untraced_best]);
+    report
+}
+
 /// All experiment ids: the paper's tables and figures, then the serving
 /// experiments added on top.
-pub const ALL_EXPERIMENTS: [&str; 17] = [
+pub const ALL_EXPERIMENTS: [&str; 18] = [
     "table1",
     "table2",
     "fig15",
@@ -955,6 +1088,7 @@ pub const ALL_EXPERIMENTS: [&str; 17] = [
     "index",
     "label-build",
     "serving",
+    "obs-overhead",
 ];
 
 /// Runs one experiment by id. Returns `None` for an unknown id.
@@ -977,6 +1111,7 @@ pub fn run_by_name(name: &str, scale: Scale) -> Option<Report> {
         "index" => index(scale),
         "label-build" => label_build(scale),
         "serving" => serving(scale),
+        "obs-overhead" => obs_overhead(scale),
         _ => return None,
     };
     Some(report)
@@ -1008,7 +1143,8 @@ mod tests {
                 "paged-scaling",
                 "index",
                 "label-build",
-                "serving"
+                "serving",
+                "obs-overhead"
             ]
             .contains(&name));
         }

@@ -42,11 +42,15 @@ use crate::query::{QueryStats, RknnOutcome};
 use crate::scratch::Scratch;
 use crate::{eager, lazy, lazy_ep, materialize, naive};
 use rnn_graph::{NodeId, PointsOnNodes, Topology};
+use rnn_obs::{Phase, QueryTrace};
 use rnn_storage::lru::mix64;
 use rnn_storage::{IoCounters, IoStats};
 use std::hash::{BuildHasher, BuildHasherDefault};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// One query's result with its I/O attribution and (when tracing) its trace.
+type AttributedOutcome = (RknnOutcome, IoStats, Option<QueryTrace>);
 
 /// A monochromatic RkNN algorithm, executable against any topology / point
 /// set pair with a reusable [`Scratch`] arena.
@@ -244,6 +248,12 @@ pub struct BatchOutcome {
     /// split between hits and misses depends on scheduling (two workers can
     /// race to miss on the same key) — the *results* never do.
     pub cache: CacheStats,
+    /// One phase trace per query, in the workload's input order — empty
+    /// unless tracing was enabled with [`QueryEngine::with_tracing`]. A
+    /// cache-hit query yields a trace with no phase spans (all its service
+    /// time is the lookup). Timings vary run to run; phase *work* counters
+    /// are as deterministic as [`QueryStats`].
+    pub traces: Vec<QueryTrace>,
 }
 
 /// The memoization state attached by [`QueryEngine::with_result_cache`]:
@@ -321,6 +331,30 @@ impl SharedResultCache {
     /// visible to workers (as the server does, under its world write-lock).
     pub fn invalidate_all(&self) {
         self.state.clear_all();
+    }
+
+    /// Registers this cache as a snapshot source named `result-cache/<name>`
+    /// in `registry`. Every [`rnn_obs::MetricsRegistry::snapshot`] emits,
+    /// from one [`SharedResultCache::stats`] read:
+    ///
+    /// * `rnn_result_cache_hits_total{cache="<name>"}`
+    /// * `rnn_result_cache_misses_total{cache="<name>"}`
+    /// * `rnn_result_cache_entries{cache="<name>"}` (a gauge; may interleave
+    ///   with concurrent inserts, like [`SharedResultCache::entries`])
+    ///
+    /// The registration holds a clone of the handle, so the cache state
+    /// stays alive for as long as the registry polls it.
+    pub fn register_metrics(&self, registry: &rnn_obs::MetricsRegistry, name: &str) {
+        let hits = format!("rnn_result_cache_hits_total{{cache=\"{name}\"}}");
+        let misses = format!("rnn_result_cache_misses_total{{cache=\"{name}\"}}");
+        let entries = format!("rnn_result_cache_entries{{cache=\"{name}\"}}");
+        let cache = self.clone();
+        registry.register_source(&format!("result-cache/{name}"), move |set| {
+            let stats = cache.stats();
+            set.counter(&hits, stats.hits);
+            set.counter(&misses, stats.misses);
+            set.gauge(&entries, cache.entries() as u64);
+        });
     }
 }
 
@@ -401,6 +435,7 @@ pub struct QueryEngine<'a> {
     io: Option<&'a IoCounters>,
     cache: Option<std::sync::Arc<CacheState>>,
     threads: usize,
+    tracing: bool,
 }
 
 impl<'a> QueryEngine<'a> {
@@ -428,7 +463,25 @@ impl<'a> QueryEngine<'a> {
             io: None,
             cache: None,
             threads: 1,
+            tracing: false,
         }
+    }
+
+    /// Enables per-query phase tracing (off by default). With tracing on,
+    /// every [`QueryEngine::run`] leaves a finished [`QueryTrace`] in the
+    /// scratch's tracer (drain it with
+    /// [`rnn_obs::Tracer::take_completed`]) and [`QueryEngine::run_batch`]
+    /// surfaces one trace per query in [`BatchOutcome::traces`]. Tracing
+    /// never changes results; its steady-state cost is one clock read per
+    /// phase span.
+    pub fn with_tracing(mut self, enabled: bool) -> Self {
+        self.tracing = enabled;
+        self
+    }
+
+    /// Whether per-query phase tracing is enabled.
+    pub fn tracing(&self) -> bool {
+        self.tracing
     }
 
     /// Attaches a materialized k-NN table (required for eager-M queries).
@@ -545,6 +598,13 @@ impl<'a> QueryEngine<'a> {
         let hit = shard.lock().expect("result cache lock").get(&key);
         if let Some(hit) = hit {
             cache.hits.fetch_add(1, Ordering::Relaxed);
+            if self.tracing {
+                // A hit still yields a trace (so batches stay one trace per
+                // query): pure service time, no phase spans, no remainder.
+                let tracer = scratch.tracer_mut();
+                tracer.start(spec.algorithm.name(), spec.query.index() as u64, spec.k as u32, None);
+                tracer.finish();
+            }
             return (*hit).clone();
         }
         // Compute outside the lock: a concurrent miss on the same key just
@@ -556,24 +616,52 @@ impl<'a> QueryEngine<'a> {
     }
 
     fn run_uncached(&self, spec: &QuerySpec, scratch: &mut Scratch) -> RknnOutcome {
-        resolve(spec.algorithm).run(
+        // The main expansion absorbs the residual service time for the
+        // traversal family; hub-label covers its whole runtime with explicit
+        // candidate-generation / counting spans instead.
+        let remainder = match spec.algorithm {
+            Algorithm::Eager
+            | Algorithm::EagerMaterialized
+            | Algorithm::Lazy
+            | Algorithm::LazyExtendedPruning
+            | Algorithm::Naive => Some(Phase::Expansion),
+            Algorithm::HubLabel => None,
+        };
+        if self.tracing {
+            scratch.tracer_mut().start(
+                spec.algorithm.name(),
+                spec.query.index() as u64,
+                spec.k as u32,
+                remainder,
+            );
+        }
+        let outcome = resolve(spec.algorithm).run(
             self.topo,
             self.points,
             self.precomputed(),
             spec.query,
             spec.k,
             scratch,
-        )
+        );
+        if self.tracing {
+            let tracer = scratch.tracer_mut();
+            if let Some(phase) = remainder {
+                tracer.add_work(phase, outcome.stats.nodes_settled);
+            }
+            tracer.finish();
+        }
+        outcome
     }
 
-    fn run_attributed(&self, spec: &QuerySpec, scratch: &mut Scratch) -> (RknnOutcome, IoStats) {
+    fn run_attributed(&self, spec: &QuerySpec, scratch: &mut Scratch) -> AttributedOutcome {
         let before = self.io.map(|c| c.snapshot_current_thread());
         let outcome = self.run(spec, scratch);
+        let trace = scratch.tracer_mut().take_completed();
         let io = match (self.io, before) {
             (Some(c), Some(b)) => c.snapshot_current_thread().since(&b),
             _ => IoStats::default(),
         };
-        (outcome, io)
+        (outcome, io, trace)
     }
 
     /// Executes a workload and returns per-query results in input order plus
@@ -587,7 +675,7 @@ impl<'a> QueryEngine<'a> {
         let n = workload.queries.len();
         let io_before = self.io.map(|c| c.snapshot());
         let cache_before = self.cache_stats();
-        let mut slots: Vec<Option<(RknnOutcome, IoStats)>> = Vec::new();
+        let mut slots: Vec<Option<AttributedOutcome>> = Vec::new();
         slots.resize_with(n, || None);
 
         let workers = self.threads.min(n.max(1));
@@ -602,8 +690,7 @@ impl<'a> QueryEngine<'a> {
             // the end. Results land in their input-order slots regardless of
             // which worker ran them.
             let next = AtomicUsize::new(0);
-            let done: Mutex<Vec<(usize, (RknnOutcome, IoStats))>> =
-                Mutex::new(Vec::with_capacity(n));
+            let done: Mutex<Vec<(usize, AttributedOutcome)>> = Mutex::new(Vec::with_capacity(n));
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     scope.spawn(|| {
@@ -635,19 +722,22 @@ impl<'a> QueryEngine<'a> {
 
         let mut results = Vec::with_capacity(n);
         let mut io = Vec::with_capacity(n);
+        let mut traces = Vec::with_capacity(if self.tracing { n } else { 0 });
         let mut aggregate = QueryStats::default();
         for slot in slots {
-            let (outcome, query_io) = slot.expect("every query index was executed exactly once");
+            let (outcome, query_io, trace) =
+                slot.expect("every query index was executed exactly once");
             aggregate += &outcome.stats;
             results.push(outcome);
             io.push(query_io);
+            traces.extend(trace);
         }
         let aggregate_io = match (self.io, io_before) {
             (Some(c), Some(b)) => c.snapshot().since(&b),
             _ => IoStats::default(),
         };
         let cache = self.cache_stats().since(&cache_before);
-        BatchOutcome { results, io, aggregate, aggregate_io, cache }
+        BatchOutcome { results, io, aggregate, aggregate_io, cache, traces }
     }
 }
 
@@ -661,6 +751,7 @@ impl std::fmt::Debug for QueryEngine<'_> {
             .field("io_attribution", &self.io.is_some())
             .field("result_cache", &self.cache.is_some())
             .field("threads", &self.threads)
+            .field("tracing", &self.tracing)
             .finish()
     }
 }
@@ -927,6 +1018,30 @@ mod tests {
     }
 
     #[test]
+    fn shared_cache_registers_as_a_metrics_source() {
+        let (g, pts, table) = setup();
+        let cache = SharedResultCache::new(32, 2);
+        let registry = rnn_obs::MetricsRegistry::new();
+        cache.register_metrics(&registry, "serving");
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("rnn_result_cache_hits_total{cache=\"serving\"}"), Some(0));
+
+        let workload = Workload::uniform(Algorithm::Eager, 2, pts.nodes().iter().copied());
+        let engine =
+            QueryEngine::new(&g, &pts).with_materialized(&table).with_shared_result_cache(&cache);
+        engine.run_batch(&workload);
+        engine.run_batch(&workload);
+
+        // Registration polls the live cache: later snapshots see the counts.
+        let snap = registry.snapshot();
+        let n = workload.len() as u64;
+        assert_eq!(snap.counter("rnn_result_cache_hits_total{cache=\"serving\"}"), Some(n));
+        assert_eq!(snap.counter("rnn_result_cache_misses_total{cache=\"serving\"}"), Some(n));
+        assert_eq!(snap.gauge("rnn_result_cache_entries{cache=\"serving\"}"), Some(n));
+    }
+
+    #[test]
     fn invalidate_all_prevents_stale_answers_after_a_point_set_swap() {
         let g = grid(9);
         let old_points = NodePointSet::from_nodes(81, (0..81).step_by(7).map(NodeId::new));
@@ -1070,6 +1185,70 @@ mod tests {
             &QuerySpec { algorithm: Algorithm::EagerMaterialized, query: NodeId::new(0), k: 1 },
             &mut Scratch::new(),
         );
+    }
+
+    #[test]
+    fn tracing_yields_one_trace_per_query_without_changing_results() {
+        let (g, pts, table) = setup();
+        let oracle = NaiveOracle { topo: &g, points: &pts };
+        let plain = QueryEngine::new(&g, &pts).with_materialized(&table).with_hub_labels(&oracle);
+        let traced = QueryEngine::new(&g, &pts)
+            .with_materialized(&table)
+            .with_hub_labels(&oracle)
+            .with_tracing(true);
+        assert!(traced.tracing() && !plain.tracing());
+
+        let mut queries = Vec::new();
+        for algorithm in Algorithm::ALL {
+            for &node in pts.nodes() {
+                queries.push(QuerySpec { algorithm, query: node, k: 2 });
+            }
+        }
+        let workload = Workload { queries };
+        let reference = plain.run_batch(&workload);
+        let batch = traced.run_batch(&workload);
+        assert_eq!(batch.results, reference.results, "tracing must not change results");
+        assert!(reference.traces.is_empty(), "tracing off, no traces");
+        assert_eq!(batch.traces.len(), workload.len(), "one trace per query, input order");
+        for (spec, trace) in workload.iter().zip(&batch.traces) {
+            assert_eq!(trace.algorithm, spec.algorithm.name());
+            assert_eq!(trace.query, spec.query.index() as u64);
+            assert_eq!(trace.k, spec.k as u32);
+            assert!(trace.service_nanos >= trace.phase_nanos(), "phases fit in service time");
+        }
+        // The traversal family attributes main-expansion work and absorbs
+        // residual time in the expansion phase; every algorithm's traces
+        // carry *some* phase activity.
+        for trace in &batch.traces {
+            let active = trace.phases.iter().any(|p| p.calls > 0 || p.work > 0 || p.nanos > 0);
+            assert!(active, "{}: phase counters must not be empty", trace.algorithm);
+        }
+        // A multi-threaded traced batch still reports input-ordered traces.
+        let threaded = QueryEngine::new(&g, &pts)
+            .with_materialized(&table)
+            .with_hub_labels(&oracle)
+            .with_tracing(true)
+            .with_threads(4)
+            .run_batch(&workload);
+        assert_eq!(threaded.results, reference.results);
+        assert_eq!(threaded.traces.len(), workload.len());
+        for (spec, trace) in workload.iter().zip(&threaded.traces) {
+            assert_eq!(trace.algorithm, spec.algorithm.name(), "traces follow input order");
+        }
+        // Cache hits still yield traces, with no phase spans.
+        let cached = QueryEngine::new(&g, &pts)
+            .with_materialized(&table)
+            .with_result_cache(64)
+            .with_tracing(true);
+        let spec = QuerySpec { algorithm: Algorithm::Eager, query: NodeId::new(40), k: 2 };
+        let mut scratch = Scratch::new();
+        let miss = cached.run(&spec, &mut scratch);
+        let miss_trace = scratch.tracer_mut().take_completed().expect("miss trace");
+        assert!(miss_trace.phases.iter().any(|p| p.calls > 0));
+        let hit = cached.run(&spec, &mut scratch);
+        assert_eq!(hit, miss);
+        let hit_trace = scratch.tracer_mut().take_completed().expect("hit trace");
+        assert!(hit_trace.phases.iter().all(|p| p.calls == 0 && p.work == 0));
     }
 
     #[test]

@@ -20,6 +20,7 @@
 use crate::expansion::NetworkExpansion;
 use crate::scratch::Scratch;
 use rnn_graph::{NodeId, PointId, PointsOnNodes, Topology, Weight};
+use rnn_obs::Phase;
 
 /// Result of a k-NN style probe, together with the number of nodes the
 /// expansion settled (the CPU-work the probe cost).
@@ -126,6 +127,7 @@ where
     if k == 0 || range == Weight::ZERO {
         return 0;
     }
+    let probe = scratch.tracer().begin();
     let mut exp = NetworkExpansion::reusing(
         topo,
         scratch.take_expansion(),
@@ -147,6 +149,7 @@ where
     }
     let settled = exp.settled_count();
     scratch.put_expansion(exp.into_buffers());
+    scratch.tracer_mut().end(Phase::RangeNn, probe, settled);
     settled
 }
 

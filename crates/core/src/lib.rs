@@ -103,4 +103,5 @@ pub use engine::{
 pub use materialize::MaterializedKnn;
 pub use precomputed::{HubLabelRknn, Precomputed};
 pub use query::{QueryStats, RknnOutcome};
+pub use rnn_obs::{Phase, PhaseRecord, QueryTrace, Tracer};
 pub use scratch::Scratch;

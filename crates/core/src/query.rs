@@ -26,6 +26,12 @@ pub struct QueryStats {
     pub auxiliary_settled: u64,
     /// Data points discovered as candidates.
     pub candidates: u64,
+    /// Hub-label only: entries of the query's own label scanned while
+    /// generating candidates (zero for the traversal algorithms).
+    pub label_scans: u64,
+    /// Hub-label only: candidate bucket-prefix entries examined while
+    /// counting strictly closer points (zero for the traversal algorithms).
+    pub bucket_scans: u64,
 }
 
 impl QueryStats {
@@ -45,6 +51,8 @@ impl AddAssign<&QueryStats> for QueryStats {
         self.verifications += other.verifications;
         self.auxiliary_settled += other.auxiliary_settled;
         self.candidates += other.candidates;
+        self.label_scans += other.label_scans;
+        self.bucket_scans += other.bucket_scans;
     }
 }
 
@@ -114,6 +122,8 @@ mod tests {
             verifications: 4,
             auxiliary_settled: 5,
             candidates: 6,
+            label_scans: 7,
+            bucket_scans: 8,
         };
         let b = a;
         a += &b;
@@ -123,6 +133,8 @@ mod tests {
         assert_eq!(a.verifications, 8);
         assert_eq!(a.auxiliary_settled, 10);
         assert_eq!(a.candidates, 12);
+        assert_eq!(a.label_scans, 14);
+        assert_eq!(a.bucket_scans, 16);
         assert_eq!(a.total_settled(), 12);
         a += b; // by value
         assert_eq!(a.nodes_settled, 3);

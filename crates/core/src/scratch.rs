@@ -21,6 +21,7 @@
 use crate::expansion::ExpansionBuffers;
 use crate::fast_hash::{FastMap, FastSet};
 use rnn_graph::{NodeId, PointId, Weight};
+use rnn_obs::Tracer;
 
 /// A buffer that can be emptied for reuse while keeping its allocation.
 pub(crate) trait Reset: Default {
@@ -82,6 +83,7 @@ pub struct Scratch {
     lazy_ep: Vec<crate::lazy_ep::LazyEpBuffers>,
     created: u64,
     reuses: u64,
+    tracer: Tracer,
 }
 
 macro_rules! pool_accessors {
@@ -120,6 +122,20 @@ impl Scratch {
     /// Number of times a pooled buffer was reset and handed out again.
     pub fn reuses(&self) -> u64 {
         self.reuses
+    }
+
+    /// The per-query phase tracer riding along with the arena. Inactive by
+    /// default (every span is a no-op branch); the query engine activates it
+    /// per query when tracing is enabled, and the algorithms mark their
+    /// phases through it.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable access to the tracer — used by the engine to start/finish
+    /// query traces and by instrumentation points to close phase spans.
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
     }
 
     // Public pools: generic buffers that algorithm crates layered on top of

@@ -13,6 +13,7 @@
 use crate::expansion::NetworkExpansion;
 use crate::scratch::Scratch;
 use rnn_graph::{NodeId, PointId, PointsOnNodes, Topology, Weight};
+use rnn_obs::Phase;
 
 /// Outcome of a verification query.
 #[derive(Clone, Debug, PartialEq)]
@@ -94,6 +95,7 @@ where
 {
     let k = params.k;
     debug_assert!(k >= 1, "RkNN queries require k >= 1");
+    let span = scratch.tracer().begin();
     let mut exp = NetworkExpansion::reusing(
         topo,
         scratch.take_expansion(),
@@ -142,6 +144,7 @@ where
     let settled = exp.settled_count();
     scratch.put_expansion(exp.into_buffers());
     scratch.put_weights(other_points);
+    scratch.tracer_mut().end(Phase::Verification, span, settled);
     Verification { accepted, target_distance, settled, visited }
 }
 

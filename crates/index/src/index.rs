@@ -33,6 +33,7 @@ use rnn_core::precomputed::HubLabelRknn;
 use rnn_core::query::{QueryStats, RknnOutcome};
 use rnn_core::scratch::Scratch;
 use rnn_graph::{NodeId, NodePointSet, PointId, PointsOnNodes, Topology, Weight};
+use rnn_obs::{MetricsRegistry, Phase};
 use std::collections::hash_map::Entry;
 
 /// A hub labeling bundled with the inverted point table of one data set,
@@ -109,6 +110,20 @@ impl HubLabelIndex {
     /// Number of indexed data points.
     pub fn num_points(&self) -> usize {
         self.table.num_points()
+    }
+
+    /// Publishes the index's size statistics as gauges in `registry`:
+    /// `rnn_label_nodes`, `rnn_label_points`, `rnn_label_entries`,
+    /// `rnn_label_max_label` and `rnn_label_bytes`. Gauges are stamped at
+    /// call time — call again after a rebuild or point maintenance to
+    /// refresh them.
+    pub fn register_metrics(&self, registry: &MetricsRegistry) {
+        let stats = self.labeling.stats();
+        registry.gauge("rnn_label_nodes").set(stats.nodes as u64);
+        registry.gauge("rnn_label_points").set(self.num_points() as u64);
+        registry.gauge("rnn_label_entries").set(stats.entries as u64);
+        registry.gauge("rnn_label_max_label").set(stats.max_label as u64);
+        registry.gauge("rnn_label_bytes").set(stats.label_bytes() as u64);
     }
 
     /// Adds a point on `node` by incremental point-table maintenance —
@@ -200,7 +215,15 @@ impl HubLabelIndex {
     /// expansion"), `heap_pushes` = bucket entries folded in the candidate
     /// phase, `candidates` / `verifications` as usual, and
     /// `auxiliary_settled` = bucket entries scanned by verifications.
-    /// `range_nn_queries` stays zero — there is no range probe.
+    /// `range_nn_queries` stays zero — there is no range probe. The
+    /// dedicated hub-label counters report the same work in its own terms:
+    /// `label_scans` = label entries read (the query's label plus one per
+    /// candidate-hub examined while counting) and `bucket_scans` = bucket
+    /// entries examined across both phases.
+    ///
+    /// When the scratch's tracer is active (the engine's
+    /// `QueryEngine::with_tracing`), the two phases are reported as
+    /// [`Phase::CandidateGen`] and [`Phase::Counting`] spans.
     ///
     /// # Panics
     /// Panics if `k == 0` or `query` lies outside the labeled graph.
@@ -215,6 +238,7 @@ impl HubLabelIndex {
         // per-query cost stays proportional to the touched label entries,
         // never to the total point count; `touched` records first-touch
         // order, keeping the verification sequence deterministic.
+        let candidate_span = scratch.tracer().begin();
         let mut dmin = scratch.take_node_dist_map();
         let mut touched = scratch.take_node_dists();
         {
@@ -222,9 +246,11 @@ impl HubLabelIndex {
             let (hubs, hub_dists) = self.labeling.label(query, &mut dec);
             for (i, &h) in hubs.iter().enumerate() {
                 stats.nodes_settled += 1;
+                stats.label_scans += 1;
                 let dh = hub_dists[i];
                 let (dists, nodes) = self.table.bucket(h);
                 stats.heap_pushes += dists.len() as u64;
+                stats.bucket_scans += dists.len() as u64;
                 for (j, &d) in dists.iter().enumerate() {
                     let cand = dh + d;
                     match dmin.entry(nodes[j]) {
@@ -244,10 +270,13 @@ impl HubLabelIndex {
             scratch.put_indices(ranks);
             scratch.put_weights(weights);
         }
+        let folded = stats.heap_pushes;
+        scratch.tracer_mut().end(Phase::CandidateGen, candidate_span, folded);
 
         // Phase 2: verify candidates. A point collocated with the query
         // (distance zero) is trivially a reverse neighbor and not reported,
         // matching the expansion algorithms.
+        let counting_span = scratch.tracer().begin();
         let mut result: Vec<PointId> = Vec::new();
         for &(n, _) in touched.iter() {
             let dq = dmin[&n];
@@ -256,14 +285,15 @@ impl HubLabelIndex {
             }
             stats.candidates += 1;
             stats.verifications += 1;
-            let closer =
-                self.count_strictly_closer(n, dq, k, scratch, &mut stats.auxiliary_settled);
+            let closer = self.count_strictly_closer(n, dq, k, scratch, &mut stats);
             if closer < k {
                 result.push(self.table.point_of(n).expect("candidate nodes are occupied"));
             }
         }
         scratch.put_node_dist_map(dmin);
         scratch.put_node_dists(touched);
+        let counted = stats.auxiliary_settled;
+        scratch.tracer_mut().end(Phase::Counting, counting_span, counted);
         RknnOutcome::from_points(result, stats)
     }
 
@@ -284,13 +314,14 @@ impl HubLabelIndex {
         bound: Weight,
         limit: usize,
         scratch: &mut Scratch,
-        scanned: &mut u64,
+        stats: &mut QueryStats,
     ) -> usize {
         let mut seen = scratch.take_node_set();
         let mut count = 0;
         let mut dec = LabelDecoder::from_parts(scratch.take_indices(), scratch.take_weights());
         let (hubs, hub_dists) = self.labeling.label(node, &mut dec);
         'hubs: for (i, &h) in hubs.iter().enumerate() {
+            stats.label_scans += 1;
             let dh = hub_dists[i];
             if dh >= bound {
                 continue; // every sum through this hub is >= bound
@@ -300,7 +331,8 @@ impl HubLabelIndex {
                 if dh + d >= bound {
                     break; // bucket ascends
                 }
-                *scanned += 1;
+                stats.auxiliary_settled += 1;
+                stats.bucket_scans += 1;
                 let other = nodes[j];
                 if other != node && seen.insert(other) {
                     count += 1;
@@ -429,6 +461,50 @@ mod tests {
         assert_eq!(out.stats.candidates, 3);
         assert_eq!(out.stats.verifications, 3);
         assert_eq!(out.stats.range_nn_queries, 0, "no range probes in label space");
+        // The dedicated hub-label counters: the query's own label plus at
+        // least one candidate-label entry were read, and bucket entries were
+        // examined in both phases (so they exceed the candidate-phase folds
+        // alone whenever a verification scanned anything).
+        assert!(out.stats.label_scans >= out.stats.nodes_settled + out.stats.verifications);
+        assert_eq!(
+            out.stats.bucket_scans,
+            out.stats.heap_pushes + out.stats.auxiliary_settled,
+            "bucket scans = candidate folds + counting prefix entries"
+        );
+    }
+
+    #[test]
+    fn tracer_reports_candidate_gen_and_counting_phases() {
+        let (g, pts) = cycle();
+        let index = HubLabelIndex::build(&g, &pts);
+        let mut scratch = Scratch::new();
+        scratch.tracer_mut().start("hub-label", 0, 2, None);
+        let out = index.rknn_in(NodeId::new(0), 2, &mut scratch);
+        scratch.tracer_mut().finish();
+        let trace = scratch.tracer_mut().take_completed().expect("finished trace");
+        let gen = trace.phase(rnn_obs::Phase::CandidateGen);
+        let count = trace.phase(rnn_obs::Phase::Counting);
+        assert_eq!(gen.calls, 1, "one candidate-generation span per query");
+        assert_eq!(gen.work, out.stats.heap_pushes);
+        assert_eq!(count.calls, 1, "one counting span per query");
+        assert_eq!(count.work, out.stats.auxiliary_settled);
+        assert_eq!(trace.phase(rnn_obs::Phase::Expansion).calls, 0, "no traversal phases");
+        // Untraced queries return identical outcomes.
+        assert_eq!(index.rknn(NodeId::new(0), 2), out);
+    }
+
+    #[test]
+    fn register_metrics_publishes_label_gauges() {
+        let (g, pts) = cycle();
+        let index = HubLabelIndex::build(&g, &pts);
+        let registry = MetricsRegistry::new();
+        index.register_metrics(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("rnn_label_nodes"), Some(6));
+        assert_eq!(snap.gauge("rnn_label_points"), Some(3));
+        let stats = index.labeling().stats();
+        assert_eq!(snap.gauge("rnn_label_entries"), Some(stats.entries as u64));
+        assert_eq!(snap.gauge("rnn_label_bytes"), Some(stats.label_bytes() as u64));
     }
 
     #[test]

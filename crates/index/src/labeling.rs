@@ -51,6 +51,7 @@
 
 use rnn_core::expansion::{ExpansionBuffers, NetworkExpansion};
 use rnn_graph::{NodeId, Topology, Weight};
+use rnn_obs::{Counter, MetricsRegistry};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Upper bound on the number of roots per construction level.
@@ -172,6 +173,56 @@ pub struct HubLabeling {
     node_of_rank: Vec<NodeId>,
     /// Inverse of `node_of_rank`.
     rank_of_node: Vec<u32>,
+}
+
+/// Wait-free build-progress counters for the label construction, so a
+/// long-running build over a large graph is observable while it runs.
+///
+/// [`LabelBuildProgress::register`] wires the counters into a
+/// [`MetricsRegistry`] under `rnn_label_build_roots_total` (roots whose
+/// pruned Dijkstra has committed) and `rnn_label_build_entries_total` (label
+/// entries committed); [`LabelBuildProgress::detached`] gives free-standing
+/// counters for callers that only want to poll. Handles are cheap clones of
+/// the same cells — pass the same instance to
+/// [`HubLabeling::build_with_threads_observed`] and poll it from any thread.
+#[derive(Clone)]
+pub struct LabelBuildProgress {
+    roots: Counter,
+    entries: Counter,
+}
+
+impl LabelBuildProgress {
+    /// Progress counters registered in `registry`.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        LabelBuildProgress {
+            roots: registry.counter("rnn_label_build_roots_total"),
+            entries: registry.counter("rnn_label_build_entries_total"),
+        }
+    }
+
+    /// Free-standing progress counters, attached to no registry.
+    pub fn detached() -> Self {
+        LabelBuildProgress { roots: Counter::detached(), entries: Counter::detached() }
+    }
+
+    /// Roots whose pruned Dijkstra has been committed so far.
+    pub fn roots_done(&self) -> u64 {
+        self.roots.value()
+    }
+
+    /// Label entries committed so far.
+    pub fn entries_committed(&self) -> u64 {
+        self.entries.value()
+    }
+}
+
+impl std::fmt::Debug for LabelBuildProgress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LabelBuildProgress")
+            .field("roots_done", &self.roots_done())
+            .field("entries_committed", &self.entries_committed())
+            .finish()
+    }
 }
 
 /// Size statistics of a labeling, reported by the `repro` experiments.
@@ -324,6 +375,18 @@ impl HubLabeling {
     ///
     /// Panics if `threads` is zero.
     pub fn build_with_threads<T: Topology + ?Sized>(topo: &T, threads: usize) -> Self {
+        Self::build_with_threads_observed(topo, threads, &LabelBuildProgress::detached())
+    }
+
+    /// [`HubLabeling::build_with_threads`] reporting commit progress through
+    /// `progress` (one bump per committed root / label entry), so dashboards
+    /// can watch a long build advance. Progress reporting never changes the
+    /// result.
+    pub fn build_with_threads_observed<T: Topology + ?Sized>(
+        topo: &T,
+        threads: usize,
+        progress: &LabelBuildProgress,
+    ) -> Self {
         assert!(threads >= 1, "label construction needs at least one thread");
         let n = topo.num_nodes();
 
@@ -354,10 +417,12 @@ impl HubLabeling {
             // Sequential commit pass, in rank order within the level.
             for (i, entries) in results.into_iter().enumerate() {
                 let rank = (level_start + i) as u32;
+                progress.entries.add(entries.len() as u64);
                 for (node, d) in entries {
                     labels[node.index()].push((rank, d));
                 }
             }
+            progress.roots.add(width as u64);
             level_start += width;
             width_cap = width_cap.saturating_mul(2);
         }
@@ -579,6 +644,29 @@ mod tests {
         let mut dec = LabelDecoder::new();
         let (r, d) = labeling.label(NodeId::new(v), &mut dec);
         (r.to_vec(), d.to_vec())
+    }
+
+    #[test]
+    fn build_progress_counts_roots_and_entries() {
+        let g = grid4();
+        let registry = MetricsRegistry::new();
+        let progress = LabelBuildProgress::register(&registry);
+        assert_eq!((progress.roots_done(), progress.entries_committed()), (0, 0));
+        let observed = HubLabeling::build_with_threads_observed(&g, 2, &progress);
+        assert_eq!(observed, HubLabeling::build(&g), "progress reporting changes nothing");
+        assert_eq!(progress.roots_done(), 16, "every node's root search committed");
+        assert_eq!(
+            progress.entries_committed(),
+            observed.stats().entries as u64,
+            "committed entries equal the final labeling's size"
+        );
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("rnn_label_build_roots_total"), Some(16));
+        assert!(format!("{progress:?}").contains("roots_done"));
+        // Detached progress counters work without a registry.
+        let detached = LabelBuildProgress::detached();
+        let _ = HubLabeling::build_with_threads_observed(&g, 1, &detached);
+        assert_eq!(detached.roots_done(), 16);
     }
 
     #[test]

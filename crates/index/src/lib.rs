@@ -52,5 +52,7 @@ pub mod labeling;
 pub mod point_table;
 
 pub use index::HubLabelIndex;
-pub use labeling::{HubLabeling, LabelDecoder, LabelPrecision, LabelStats, MAX_LEVEL_WIDTH};
+pub use labeling::{
+    HubLabeling, LabelBuildProgress, LabelDecoder, LabelPrecision, LabelStats, MAX_LEVEL_WIDTH,
+};
 pub use point_table::HubPointTable;

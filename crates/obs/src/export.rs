@@ -1,0 +1,312 @@
+//! Snapshot exporters: Prometheus-style text and `rnn-bench-report/v1`
+//! JSON, rendered from the same [`MetricsSnapshot`].
+//!
+//! Both renderings are **byte-deterministic** for a given snapshot: the
+//! snapshot's names are sorted, the formats contain no timestamps, and
+//! floating-point values are formatted with Rust's shortest-round-trip
+//! formatter. Rendering the same snapshot twice yields identical bytes —
+//! the `observability` example asserts exactly that.
+//!
+//! Metric names may carry Prometheus-style labels inline
+//! (`name{key="value"}`); the text exporter splits them so histogram
+//! suffixes (`_bucket`, `_sum`, ...) land on the base name and the `le`
+//! label composes with the existing ones.
+
+use crate::histogram::LatencyHistogram;
+use crate::registry::MetricsSnapshot;
+
+/// Splits `name{labels}` into `(name, Some("labels"))`, or `(name, None)`
+/// when the name carries no label set.
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match (name.find('{'), name.ends_with('}')) {
+        (Some(i), true) => (&name[..i], Some(&name[i + 1..name.len() - 1])),
+        _ => (name, None),
+    }
+}
+
+/// `base<suffix>{labels + extra}` — the Prometheus sample-line name.
+fn sample_name(base: &str, suffix: &str, labels: Option<&str>, extra: Option<&str>) -> String {
+    let mut out = String::with_capacity(base.len() + suffix.len() + 16);
+    out.push_str(base);
+    out.push_str(suffix);
+    match (labels, extra) {
+        (None, None) => {}
+        (Some(l), None) => {
+            out.push('{');
+            out.push_str(l);
+            out.push('}');
+        }
+        (None, Some(e)) => {
+            out.push('{');
+            out.push_str(e);
+            out.push('}');
+        }
+        (Some(l), Some(e)) => {
+            out.push('{');
+            out.push_str(l);
+            out.push(',');
+            out.push_str(e);
+            out.push('}');
+        }
+    }
+    out
+}
+
+fn push_type_line(out: &mut String, seen: &mut Vec<String>, base: &str, kind: &str) {
+    if seen.last().map(String::as_str) != Some(base) {
+        out.push_str("# TYPE ");
+        out.push_str(base);
+        out.push(' ');
+        out.push_str(kind);
+        out.push('\n');
+        seen.push(base.to_string());
+    }
+}
+
+fn push_histogram(out: &mut String, name: &str, h: &LatencyHistogram) {
+    let (base, labels) = split_labels(name);
+    // Cumulative buckets, truncated after the last occupied one (the +Inf
+    // line carries the total either way) to keep 64-bucket histograms from
+    // dominating the exposition.
+    let last_occupied =
+        h.buckets().enumerate().filter(|&(_, (_, n))| n > 0).map(|(i, _)| i).last().unwrap_or(0);
+    let mut cumulative = 0u64;
+    for (i, (upper, count)) in h.buckets().enumerate() {
+        if i > last_occupied {
+            break;
+        }
+        cumulative += count;
+        let le = format!("le=\"{upper}\"");
+        out.push_str(&sample_name(base, "_bucket", labels, Some(&le)));
+        out.push_str(&format!(" {cumulative}\n"));
+    }
+    out.push_str(&sample_name(base, "_bucket", labels, Some("le=\"+Inf\"")));
+    out.push_str(&format!(" {}\n", h.count()));
+    let (_, _, sum, _, _) = h.raw();
+    out.push_str(&sample_name(base, "_sum", labels, None));
+    out.push_str(&format!(" {sum}\n"));
+    out.push_str(&sample_name(base, "_count", labels, None));
+    out.push_str(&format!(" {}\n", h.count()));
+    // Exact extremes — an extension over stock Prometheus histograms, which
+    // lose both to bucket resolution.
+    out.push_str(&sample_name(base, "_min", labels, None));
+    out.push_str(&format!(" {}\n", h.min().as_nanos()));
+    out.push_str(&sample_name(base, "_max", labels, None));
+    out.push_str(&format!(" {}\n", h.max().as_nanos()));
+}
+
+/// Renders the snapshot in the Prometheus text exposition style: a `# TYPE`
+/// line per metric family, one sample line per value, histograms as
+/// cumulative `_bucket{le=...}` series (walked in place — no bucket copies)
+/// plus `_sum`/`_count`/`_min`/`_max`.
+pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut seen: Vec<String> = Vec::new();
+    for (name, value) in &snapshot.counters {
+        let (base, labels) = split_labels(name);
+        push_type_line(&mut out, &mut seen, base, "counter");
+        out.push_str(&sample_name(base, "", labels, None));
+        out.push_str(&format!(" {value}\n"));
+    }
+    for (name, value) in &snapshot.gauges {
+        let (base, labels) = split_labels(name);
+        push_type_line(&mut out, &mut seen, base, "gauge");
+        out.push_str(&sample_name(base, "", labels, None));
+        out.push_str(&format!(" {value}\n"));
+    }
+    for (name, h) in &snapshot.histograms {
+        let (base, _) = split_labels(name);
+        push_type_line(&mut out, &mut seen, base, "histogram");
+        push_histogram(&mut out, name, h);
+    }
+    out
+}
+
+/// Escapes a string into a JSON string literal (same grammar as the bench
+/// crate's report writer).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A finite f64 as a JSON number; NaN and infinities become `null`.
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders the snapshot as `rnn-bench-report/v1` JSON — the exact grammar
+/// `repro --json` emits for experiments, so one toolchain consumes both the
+/// perf-trajectory files and scraped metrics. Counters and gauges become
+/// one row each; a histogram becomes one row with the summary columns
+/// filled (count, sum, mean, p50, p90, p99, p99.9, min, max — all in
+/// nanoseconds) and plain values leave them `null`.
+pub fn report_json(snapshot: &MetricsSnapshot) -> String {
+    let columns = ["value", "count", "sum", "mean", "p50", "p90", "p99", "p999", "min", "max"];
+    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
+    let pad = |v: f64| {
+        let mut row = vec![f64::NAN; columns.len()];
+        row[0] = v;
+        row
+    };
+    for (name, value) in &snapshot.counters {
+        rows.push((name.clone(), pad(*value as f64)));
+    }
+    for (name, value) in &snapshot.gauges {
+        rows.push((name.clone(), pad(*value as f64)));
+    }
+    for (name, h) in &snapshot.histograms {
+        let (_, _, sum, _, _) = h.raw();
+        rows.push((
+            name.clone(),
+            vec![
+                f64::NAN,
+                h.count() as f64,
+                sum as f64,
+                h.mean().as_nanos() as f64,
+                h.p50().as_nanos() as f64,
+                h.p90().as_nanos() as f64,
+                h.p99().as_nanos() as f64,
+                h.p999().as_nanos() as f64,
+                h.min().as_nanos() as f64,
+                h.max().as_nanos() as f64,
+            ],
+        ));
+    }
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"rnn-bench-report/v1\",\n");
+    out.push_str("  \"id\": \"metrics-snapshot\",\n");
+    out.push_str("  \"title\": \"unified metrics registry snapshot\",\n");
+    out.push_str("  \"x_label\": \"metric\",\n");
+    out.push_str("  \"columns\": [");
+    for (i, c) in columns.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&json_string(c));
+    }
+    out.push_str("],\n");
+    out.push_str("  \"rows\": [\n");
+    for (r, (label, values)) in rows.iter().enumerate() {
+        out.push_str(&format!("    {{\"label\": {}, \"values\": [", json_string(label)));
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_number(*v));
+        }
+        out.push_str(if r + 1 < rows.len() { "]},\n" } else { "]}\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+    use std::time::Duration;
+
+    fn sample_registry() -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        reg.counter("rnn_server_submitted_total").add(12);
+        reg.counter("rnn_server_completed_total{class=\"interactive\"}").add(9);
+        reg.gauge("rnn_server_queue_depth").set(3);
+        let h = reg.histogram("rnn_service_nanos");
+        h.record(Duration::from_nanos(700));
+        h.record(Duration::from_nanos(900));
+        h.record(Duration::from_micros(3));
+        reg
+    }
+
+    #[test]
+    fn label_splitting() {
+        assert_eq!(split_labels("plain"), ("plain", None));
+        assert_eq!(split_labels("a{b=\"c\"}"), ("a", Some("b=\"c\"")));
+        assert_eq!(
+            sample_name("n", "_bucket", Some("a=\"b\""), Some("le=\"7\"")),
+            "n_bucket{a=\"b\",le=\"7\"}"
+        );
+        assert_eq!(sample_name("n", "", None, None), "n");
+    }
+
+    #[test]
+    fn prometheus_text_is_deterministic_and_complete() {
+        let reg = sample_registry();
+        let snap = reg.snapshot();
+        let a = prometheus_text(&snap);
+        let b = prometheus_text(&snap);
+        assert_eq!(a, b, "same snapshot, same bytes");
+        assert!(a.contains("# TYPE rnn_server_submitted_total counter"));
+        assert!(a.contains("rnn_server_submitted_total 12"));
+        assert!(a.contains("rnn_server_completed_total{class=\"interactive\"} 9"));
+        assert!(a.contains("# TYPE rnn_server_queue_depth gauge"));
+        assert!(a.contains("rnn_server_queue_depth 3"));
+        assert!(a.contains("# TYPE rnn_service_nanos histogram"));
+        // Cumulative buckets: two samples land in [512,1023], one in
+        // [2048,4095]; the le lines are cumulative.
+        assert!(a.contains("rnn_service_nanos_bucket{le=\"1023\"} 2"));
+        assert!(a.contains("rnn_service_nanos_bucket{le=\"4095\"} 3"));
+        assert!(a.contains("rnn_service_nanos_bucket{le=\"+Inf\"} 3"));
+        assert!(a.contains("rnn_service_nanos_count 3"));
+        assert!(a.contains("rnn_service_nanos_min 700"));
+        assert!(a.contains("rnn_service_nanos_max 3000"));
+        // Empty buckets past the last occupied one are not emitted.
+        assert!(!a.contains("le=\"8191\""));
+    }
+
+    #[test]
+    fn sorted_names_means_sorted_lines() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z_total").add(1);
+        reg.counter("a_total").add(2);
+        let text = prometheus_text(&reg.snapshot());
+        let za = text.find("z_total").unwrap();
+        let aa = text.find("a_total").unwrap();
+        assert!(aa < za);
+    }
+
+    #[test]
+    fn report_json_matches_the_bench_schema() {
+        let reg = sample_registry();
+        let snap = reg.snapshot();
+        let a = report_json(&snap);
+        assert_eq!(a, report_json(&snap), "same snapshot, same bytes");
+        assert!(a.contains("\"schema\": \"rnn-bench-report/v1\""));
+        assert!(a.contains("\"x_label\": \"metric\""));
+        assert!(a.contains("{\"label\": \"rnn_server_submitted_total\", \"values\": [12, null"));
+        // Histogram rows fill the summary columns, value stays null.
+        assert!(a.contains("{\"label\": \"rnn_service_nanos\", \"values\": [null, 3,"));
+        // Balanced structure (cheap well-formedness check).
+        assert_eq!(a.matches('{').count(), a.matches('}').count());
+        assert_eq!(a.matches('[').count(), a.matches(']').count());
+        assert!(a.ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty_but_valid() {
+        let snap = MetricsRegistry::new().snapshot();
+        assert_eq!(prometheus_text(&snap), "");
+        let json = report_json(&snap);
+        assert!(json.contains("\"rows\": [\n  ]"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Observability for the RkNN workspace: one place to record, aggregate and
+//! export what every other layer measures.
+//!
+//! Before this crate the system had four disconnected telemetry islands —
+//! the server's `ServerStats`, the storage layer's I/O counters, the
+//! engine's cache statistics and the per-query `QueryStats` — none of which
+//! could answer "why was *this* query slow?" or be scraped as one snapshot.
+//! This crate unifies them:
+//!
+//! * [`MetricsRegistry`](registry::MetricsRegistry) — named counters, gauges
+//!   and histograms with wait-free record paths (striped relaxed atomics),
+//!   plus pollable *sources* through which the server, buffer pool, result
+//!   cache and hub-label index contribute their own internally consistent
+//!   counter groups. One [`snapshot`](registry::MetricsRegistry::snapshot)
+//!   replaces ad-hoc polling of four APIs.
+//! * [`LatencyHistogram`](histogram::LatencyHistogram) — the fixed-bucket
+//!   log-scale latency distribution (moved here from `rnn-server` so every
+//!   layer can use it), now with an exact minimum, p99.9 and zero-copy
+//!   bucket iteration for exporters.
+//! * [`QueryTrace`](trace::QueryTrace) / [`Tracer`](trace::Tracer) — a
+//!   lightweight per-query span record capturing queue wait, service time
+//!   and per-phase timings + work counters (expansion vs. range-NN vs.
+//!   verification for the traversal algorithms, candidate generation vs.
+//!   counting for hub-label). The tracer lives in the engine's `Scratch`
+//!   arena, so the steady state stays allocation-free and tracing off costs
+//!   one branch per instrumentation point.
+//! * [`SlowQueryLog`](slowlog::SlowQueryLog) — a fixed-capacity record of
+//!   the N worst traces by service time plus 1-in-M uniform samples from a
+//!   seeded deterministic sampler; the common case (fast, unsampled query)
+//!   never takes its lock.
+//! * [`export`] — a Prometheus-style text format and the workspace's
+//!   `rnn-bench-report/v1` JSON, rendered from the same snapshot. Both are
+//!   byte-deterministic for a given snapshot (names are sorted).
+//!
+//! The crate sits at the bottom of the workspace dependency graph (std
+//! only), so `rnn-storage`, `rnn-core`, `rnn-index`, `rnn-server` and
+//! `rnn-bench` can all record into the same registry without cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod histogram;
+pub mod registry;
+pub mod slowlog;
+pub mod trace;
+
+pub use export::{prometheus_text, report_json};
+pub use histogram::LatencyHistogram;
+pub use registry::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, SampleSet};
+pub use slowlog::{SlowQueryLog, SlowQueryReport};
+pub use trace::{Phase, PhaseRecord, PhaseTimer, QueryTrace, TraceRecorder, Tracer};

@@ -33,10 +33,19 @@
 //!   per-class ([`ClassStats`]) admission counters and latency histograms,
 //!   published by workers through seqlock-style double-buffered cells
 //!   ([`stats`]) so a poll never contends with an in-flight micro-batch.
-//! * [`LatencyHistogram`] — fixed-bucket log-scale latency accounting with
-//!   the queue-wait / service-time split, mergeable across workers. Queue
-//!   waits include requests shed at dequeue, so overload telemetry is not
-//!   survivorship-biased.
+//! * [`LatencyHistogram`] (re-exported from [`rnn_obs`]) — fixed-bucket
+//!   log-scale latency accounting with the queue-wait / service-time split,
+//!   mergeable across workers. Queue waits include requests shed at dequeue,
+//!   so overload telemetry is not survivorship-biased.
+//! * **Observability** — [`Server::start_observed`] registers the server as
+//!   a pollable source of an [`rnn_obs::MetricsRegistry`] (admission
+//!   counters, per-class histograms, per-algorithm serve counts, cache /
+//!   I/O rollups, all from one wait-free stats poll);
+//!   [`ServerConfig::with_tracing`] turns on per-query phase tracing
+//!   (folded into `algorithm x phase` registry aggregates), and
+//!   [`ServerConfig::with_slow_query_log`] captures the worst-N traces plus
+//!   a deterministic uniform sample, drained via
+//!   [`Server::drain_slow_queries`].
 //!
 //! Serving never changes answers: for any admitted request the outcome is
 //! byte-identical to the sequential [`rnn_core::run_rknn`] call against the
@@ -49,14 +58,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod histogram;
 pub mod queue;
 pub mod request;
 pub mod server;
 pub mod stats;
 
-pub use histogram::LatencyHistogram;
 pub use queue::BackpressurePolicy;
 pub use request::{Priority, Request, ServeError, ServeResult, ServedQuery, Ticket};
+pub use rnn_obs::{LatencyHistogram, MetricsRegistry, QueryTrace, SlowQueryReport};
 pub use server::{PointUpdate, Server, ServerConfig, World};
 pub use stats::{ClassStats, ServerStats};

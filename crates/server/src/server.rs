@@ -44,7 +44,6 @@
 //! through a per-worker seqlock snapshot ([`crate::stats`]); a
 //! [`Server::stats`] poll never takes a lock a worker might hold.
 
-use crate::histogram::LatencyHistogram;
 use crate::queue::{Admission, BackpressurePolicy, RequestQueue};
 use crate::request::{Priority, Queued, Request, ServeError, ServedQuery, Ticket};
 use crate::stats::{algorithm_index, ClassStats, PublishedMetrics, ServerStats, WorkerMetrics};
@@ -53,6 +52,7 @@ use rnn_core::engine::QueryEngine;
 use rnn_core::{Algorithm, HubLabelRknn, MaterializedKnn, Scratch, SharedResultCache};
 use rnn_graph::{NodeId, PointsOnNodes, Topology};
 use rnn_index::HubLabelIndex;
+use rnn_obs::{LatencyHistogram, MetricsRegistry, SlowQueryLog, SlowQueryReport, TraceRecorder};
 use rnn_storage::IoCounters;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -176,6 +176,20 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Result-cache shards (0 means one per worker, the rule of thumb).
     pub cache_shards: usize,
+    /// Per-query phase tracing on the serving path. Off by default; when
+    /// on, every served query produces a [`rnn_obs::QueryTrace`] that is
+    /// folded into the registry's `algorithm x phase` aggregates (under
+    /// [`Server::start_observed`]) and offered to the slow-query log.
+    pub tracing: bool,
+    /// Worst-N capacity of the slow-query log (0 disables worst capture).
+    pub slow_worst: usize,
+    /// Uniform-sample rate of the slow-query log: one trace per this many
+    /// arrivals on average (0 disables sampling).
+    pub slow_sample_every: u64,
+    /// Sample-ring capacity of the slow-query log.
+    pub slow_samples: usize,
+    /// Seed of the slow-query log's deterministic sampler.
+    pub slow_seed: u64,
 }
 
 impl Default for ServerConfig {
@@ -190,6 +204,11 @@ impl Default for ServerConfig {
             starvation_ratio: 4,
             cache_capacity: 0,
             cache_shards: 0,
+            tracing: false,
+            slow_worst: 0,
+            slow_sample_every: 0,
+            slow_samples: 0,
+            slow_seed: 0,
         }
     }
 }
@@ -231,6 +250,31 @@ impl ServerConfig {
     pub fn with_result_cache(mut self, capacity: usize, shards: usize) -> Self {
         self.cache_capacity = capacity;
         self.cache_shards = shards;
+        self
+    }
+
+    /// Enables or disables per-query phase tracing on the serving path.
+    pub fn with_tracing(mut self, enabled: bool) -> Self {
+        self.tracing = enabled;
+        self
+    }
+
+    /// Enables the slow-query log: keep the `worst` slowest traces plus a
+    /// deterministic 1-in-`sample_every` uniform sample (ring of `samples`
+    /// traces, seeded by `seed`). The log consumes traces, so this also
+    /// turns tracing on.
+    pub fn with_slow_query_log(
+        mut self,
+        worst: usize,
+        sample_every: u64,
+        samples: usize,
+        seed: u64,
+    ) -> Self {
+        self.slow_worst = worst;
+        self.slow_sample_every = sample_every;
+        self.slow_samples = samples;
+        self.slow_seed = seed;
+        self.tracing = true;
         self
     }
 }
@@ -288,6 +332,15 @@ struct Shared {
     io: Option<IoCounters>,
     counts: Counts,
     metrics: Vec<PublishedMetrics>,
+    /// Per-query phase tracing: workers enable the engine's tracer and
+    /// harvest one trace per served query.
+    tracing: bool,
+    /// Pre-resolved `algorithm x phase` registry handles (present only
+    /// under [`Server::start_observed`] with tracing on).
+    recorder: Option<TraceRecorder>,
+    /// Worst-N + uniform-sample trace capture, drained through
+    /// [`Server::drain_slow_queries`].
+    slow_log: Option<SlowQueryLog>,
 }
 
 impl Shared {
@@ -337,6 +390,142 @@ impl Shared {
             }
         }
     }
+
+    /// The stats assembly behind [`Server::stats`], on `Shared` so a
+    /// registered metrics source (which holds an `Arc<Shared>`, not the
+    /// `Server` handle) polls the identical snapshot.
+    fn stats_snapshot(&self) -> ServerStats {
+        // Read order matters for snapshot consistency: histograms FIRST
+        // (Acquire, through each worker's seqlock), admission counters
+        // after. A worker bumps its class counters *before* publishing the
+        // matching histogram entries (Release store on the version), so
+        // every latency sample visible below is already reflected in the
+        // counter values read afterwards — a poll can under-report
+        // latencies relative to the counters, never over-report
+        // (`queue_wait.count() <= completed + shed_at_dequeue` holds in
+        // every snapshot, not just at quiescence).
+        let mut micro_batches = 0;
+        let mut class_latencies: Vec<(LatencyHistogram, LatencyHistogram)> = Priority::ALL
+            .iter()
+            .map(|_| (LatencyHistogram::new(), LatencyHistogram::new()))
+            .collect();
+        for published in &self.metrics {
+            let m = published.read();
+            micro_batches += m.micro_batches;
+            for (slot, latencies) in class_latencies.iter_mut().zip(&m.classes) {
+                slot.0.merge(&latencies.queue_wait);
+                slot.1.merge(&latencies.service);
+            }
+        }
+        let counts = &self.counts;
+        let per_class: Vec<(Priority, ClassStats)> = Priority::ALL
+            .iter()
+            .zip(class_latencies)
+            .map(|(&p, (queue_wait, service))| {
+                let c = counts.class(p);
+                (
+                    p,
+                    ClassStats {
+                        submitted: c.submitted.load(Ordering::Relaxed),
+                        accepted: c.accepted.load(Ordering::Relaxed),
+                        rejected: c.rejected.load(Ordering::Relaxed),
+                        shed: c.shed.load(Ordering::Relaxed),
+                        shed_at_dequeue: c.shed_at_dequeue.load(Ordering::Relaxed),
+                        completed: c.completed.load(Ordering::Relaxed),
+                        queue_wait,
+                        service,
+                    },
+                )
+            })
+            .collect();
+        let mut queue_wait = LatencyHistogram::new();
+        let mut service = LatencyHistogram::new();
+        let mut totals = ClassStats::default();
+        for (_, class) in &per_class {
+            queue_wait.merge(&class.queue_wait);
+            service.merge(&class.service);
+            totals.submitted += class.submitted;
+            totals.accepted += class.accepted;
+            totals.rejected += class.rejected;
+            totals.shed += class.shed;
+            totals.shed_at_dequeue += class.shed_at_dequeue;
+            totals.completed += class.completed;
+        }
+        let per_algorithm = Algorithm::ALL
+            .iter()
+            .map(|&a| (a, counts.per_algorithm[algorithm_index(a)].load(Ordering::Relaxed)))
+            .collect();
+        ServerStats {
+            submitted: totals.submitted,
+            accepted: totals.accepted,
+            rejected: totals.rejected,
+            shed: totals.shed,
+            shed_at_dequeue: totals.shed_at_dequeue,
+            completed: totals.completed,
+            per_algorithm,
+            per_class,
+            queue_depth: self.queue.len(),
+            micro_batches,
+            queue_wait,
+            service,
+            cache: self.cache.as_ref().map(|c| c.stats()).unwrap_or_default(),
+            io: self.io.as_ref().map(|c| c.snapshot()).unwrap_or_default(),
+        }
+    }
+}
+
+/// Registers the server as one metrics source named `server`: every
+/// registry snapshot polls one [`Shared::stats_snapshot`] and emits the
+/// admission counters (totals and per class), per-algorithm serve counts,
+/// queue depth, micro-batch count, the latency histograms, and the cache /
+/// I/O rollups — all from that single wait-free poll, so the exported
+/// numbers keep the snapshot's internal consistency (per-class counts sum
+/// to the totals, `queue_wait.count() <= completed + shed_at_dequeue`).
+fn register_server_source(registry: &MetricsRegistry, shared: &Arc<Shared>) {
+    let shared = Arc::clone(shared);
+    registry.register_source("server", move |set| {
+        let s = shared.stats_snapshot();
+        set.counter("rnn_server_submitted_total", s.submitted);
+        set.counter("rnn_server_accepted_total", s.accepted);
+        set.counter("rnn_server_rejected_total", s.rejected);
+        set.counter("rnn_server_shed_total", s.shed);
+        set.counter("rnn_server_shed_at_dequeue_total", s.shed_at_dequeue);
+        set.counter("rnn_server_completed_total", s.completed);
+        set.counter("rnn_server_micro_batches_total", s.micro_batches);
+        set.gauge("rnn_server_queue_depth", s.queue_depth as u64);
+        set.gauge("rnn_server_workers", shared.metrics.len() as u64);
+        set.histogram("rnn_server_queue_wait_nanos", s.queue_wait.clone());
+        set.histogram("rnn_server_service_nanos", s.service.clone());
+        for (priority, class) in &s.per_class {
+            let p = priority.name();
+            set.counter(&format!("rnn_server_submitted_total{{class=\"{p}\"}}"), class.submitted);
+            set.counter(&format!("rnn_server_accepted_total{{class=\"{p}\"}}"), class.accepted);
+            set.counter(&format!("rnn_server_rejected_total{{class=\"{p}\"}}"), class.rejected);
+            set.counter(&format!("rnn_server_shed_total{{class=\"{p}\"}}"), class.shed);
+            set.counter(
+                &format!("rnn_server_shed_at_dequeue_total{{class=\"{p}\"}}"),
+                class.shed_at_dequeue,
+            );
+            set.counter(&format!("rnn_server_completed_total{{class=\"{p}\"}}"), class.completed);
+            set.histogram(
+                &format!("rnn_server_queue_wait_nanos{{class=\"{p}\"}}"),
+                class.queue_wait.clone(),
+            );
+            set.histogram(
+                &format!("rnn_server_service_nanos{{class=\"{p}\"}}"),
+                class.service.clone(),
+            );
+        }
+        for &(algorithm, served) in &s.per_algorithm {
+            let a = algorithm.name();
+            set.counter(&format!("rnn_server_served_total{{algorithm=\"{a}\"}}"), served);
+        }
+        set.counter("rnn_server_cache_hits_total", s.cache.hits);
+        set.counter("rnn_server_cache_misses_total", s.cache.misses);
+        set.counter("rnn_server_io_accesses_total", s.io.accesses);
+        set.counter("rnn_server_io_faults_total", s.io.faults);
+        set.counter("rnn_server_io_evictions_total", s.io.evictions);
+    });
 }
 
 /// A running RkNN serving instance. See the [module docs](self) for the
@@ -354,22 +543,61 @@ impl Server {
     /// To serve a disk-resident world with I/O accounting, pass the paged
     /// graph's counters via [`Server::start_with_io`].
     pub fn start(world: World, config: ServerConfig) -> Server {
-        Self::start_inner(world, config, None)
+        Self::start_inner(world, config, None, None)
     }
 
     /// [`Server::start`] plus I/O attribution: `counters` (e.g.
     /// `PagedGraph::counters()`) are snapshotted into [`ServerStats::io`]
     /// and retired per worker on shutdown.
     pub fn start_with_io(world: World, config: ServerConfig, counters: IoCounters) -> Server {
-        Self::start_inner(world, config, Some(counters))
+        Self::start_inner(world, config, Some(counters), None)
     }
 
-    fn start_inner(world: World, config: ServerConfig, io: Option<IoCounters>) -> Server {
+    /// [`Server::start_with_io`] (with `io` optional) plus observability:
+    /// registers the server as a pollable source of `registry` — every
+    /// [`MetricsRegistry::snapshot`] then carries the admission counters,
+    /// per-class latency histograms, per-algorithm serve counts and the
+    /// cache / I/O rollups — and, when [`ServerConfig::tracing`] is on,
+    /// folds every served query's phase trace into the registry's
+    /// `algorithm x phase` aggregates.
+    pub fn start_observed(
+        world: World,
+        config: ServerConfig,
+        io: Option<IoCounters>,
+        registry: &MetricsRegistry,
+    ) -> Server {
+        Self::start_inner(world, config, io, Some(registry))
+    }
+
+    fn start_inner(
+        world: World,
+        config: ServerConfig,
+        io: Option<IoCounters>,
+        registry: Option<&MetricsRegistry>,
+    ) -> Server {
         let workers = config.workers.max(1);
         let cache = (config.cache_capacity > 0).then(|| {
             let shards = if config.cache_shards == 0 { workers } else { config.cache_shards };
             SharedResultCache::new(config.cache_capacity, shards)
         });
+        let recorder = match registry {
+            Some(registry) if config.tracing => {
+                let names: Vec<&str> = Algorithm::ALL.iter().map(|a| a.name()).collect();
+                Some(TraceRecorder::new(registry, &names))
+            }
+            _ => None,
+        };
+        let slow_log = (config.tracing
+            && (config.slow_worst > 0
+                || (config.slow_sample_every > 0 && config.slow_samples > 0)))
+            .then(|| {
+                SlowQueryLog::new(
+                    config.slow_worst,
+                    config.slow_sample_every,
+                    config.slow_samples,
+                    config.slow_seed,
+                )
+            });
         let shared = Arc::new(Shared {
             queue: RequestQueue::new(
                 config.queue_capacity.max(1),
@@ -382,7 +610,13 @@ impl Server {
             io,
             counts: Counts::new(),
             metrics: (0..workers).map(|_| PublishedMetrics::new()).collect(),
+            tracing: config.tracing,
+            recorder,
+            slow_log,
         });
+        if let Some(registry) = registry {
+            register_server_source(registry, &shared);
+        }
         let handles = (0..workers)
             .map(|worker_id| {
                 let shared = Arc::clone(&shared);
@@ -558,87 +792,26 @@ impl Server {
         self.shared.queue.len()
     }
 
+    /// `true` when the serving path traces queries (see
+    /// [`ServerConfig::with_tracing`]).
+    pub fn tracing(&self) -> bool {
+        self.shared.tracing
+    }
+
+    /// Takes everything the slow-query log captured since the last drain:
+    /// the worst traces slowest-first plus the deterministic uniform
+    /// samples. Empty when no log is configured
+    /// ([`ServerConfig::with_slow_query_log`]).
+    pub fn drain_slow_queries(&self) -> SlowQueryReport {
+        self.shared.slow_log.as_ref().map(|log| log.drain()).unwrap_or_default()
+    }
+
     /// A point-in-time snapshot of counters, latency histograms and the
     /// cache / I/O rollups. **Wait-free**: atomic loads plus one seqlock
     /// snapshot read per worker — a poll never contends with an in-flight
     /// micro-batch, so dashboards and autoscalers can hammer it.
     pub fn stats(&self) -> ServerStats {
-        // Read order matters for snapshot consistency: histograms FIRST
-        // (Acquire, through each worker's seqlock), admission counters
-        // after. A worker bumps its class counters *before* publishing the
-        // matching histogram entries (Release store on the version), so
-        // every latency sample visible below is already reflected in the
-        // counter values read afterwards — a poll can under-report
-        // latencies relative to the counters, never over-report
-        // (`queue_wait.count() <= completed + shed_at_dequeue` holds in
-        // every snapshot, not just at quiescence).
-        let mut micro_batches = 0;
-        let mut class_latencies: Vec<(LatencyHistogram, LatencyHistogram)> = Priority::ALL
-            .iter()
-            .map(|_| (LatencyHistogram::new(), LatencyHistogram::new()))
-            .collect();
-        for published in &self.shared.metrics {
-            let m = published.read();
-            micro_batches += m.micro_batches;
-            for (slot, latencies) in class_latencies.iter_mut().zip(&m.classes) {
-                slot.0.merge(&latencies.queue_wait);
-                slot.1.merge(&latencies.service);
-            }
-        }
-        let counts = &self.shared.counts;
-        let per_class: Vec<(Priority, ClassStats)> = Priority::ALL
-            .iter()
-            .zip(class_latencies)
-            .map(|(&p, (queue_wait, service))| {
-                let c = counts.class(p);
-                (
-                    p,
-                    ClassStats {
-                        submitted: c.submitted.load(Ordering::Relaxed),
-                        accepted: c.accepted.load(Ordering::Relaxed),
-                        rejected: c.rejected.load(Ordering::Relaxed),
-                        shed: c.shed.load(Ordering::Relaxed),
-                        shed_at_dequeue: c.shed_at_dequeue.load(Ordering::Relaxed),
-                        completed: c.completed.load(Ordering::Relaxed),
-                        queue_wait,
-                        service,
-                    },
-                )
-            })
-            .collect();
-        let mut queue_wait = LatencyHistogram::new();
-        let mut service = LatencyHistogram::new();
-        let mut totals = ClassStats::default();
-        for (_, class) in &per_class {
-            queue_wait.merge(&class.queue_wait);
-            service.merge(&class.service);
-            totals.submitted += class.submitted;
-            totals.accepted += class.accepted;
-            totals.rejected += class.rejected;
-            totals.shed += class.shed;
-            totals.shed_at_dequeue += class.shed_at_dequeue;
-            totals.completed += class.completed;
-        }
-        let per_algorithm = Algorithm::ALL
-            .iter()
-            .map(|&a| (a, counts.per_algorithm[algorithm_index(a)].load(Ordering::Relaxed)))
-            .collect();
-        ServerStats {
-            submitted: totals.submitted,
-            accepted: totals.accepted,
-            rejected: totals.rejected,
-            shed: totals.shed,
-            shed_at_dequeue: totals.shed_at_dequeue,
-            completed: totals.completed,
-            per_algorithm,
-            per_class,
-            queue_depth: self.shared.queue.len(),
-            micro_batches,
-            queue_wait,
-            service,
-            cache: self.shared.cache.as_ref().map(|c| c.stats()).unwrap_or_default(),
-            io: self.shared.io.as_ref().map(|c| c.snapshot()).unwrap_or_default(),
-        }
+        self.shared.stats_snapshot()
     }
 
     /// Stops admission through a shared handle, without waiting: subsequent
@@ -686,6 +859,7 @@ impl std::fmt::Debug for Server {
             .field("policy", &self.shared.queue.policy())
             .field("micro_batch", &self.shared.micro_batch)
             .field("result_cache", &self.shared.cache.is_some())
+            .field("tracing", &self.shared.tracing)
             .finish()
     }
 }
@@ -709,7 +883,7 @@ fn worker_loop(shared: &Shared, worker_id: usize) {
         // The read lock is held for the whole micro-batch: this is what
         // lets swap_points guarantee no stale cache insert after its sweep.
         let world = shared.world.read();
-        let mut engine = world.engine_view();
+        let mut engine = world.engine_view().with_tracing(shared.tracing);
         if let Some(cache) = &shared.cache {
             engine = engine.with_shared_result_cache(cache);
         }
@@ -743,6 +917,20 @@ fn worker_loop(shared: &Shared, worker_id: usize) {
             }
             let outcome = engine.run(&queued.request.spec(), &mut scratch);
             let service_time = start.elapsed();
+            if shared.tracing {
+                if let Some(mut trace) = scratch.tracer_mut().take_completed() {
+                    // The engine stamped the compute-side split; the server
+                    // adds what only it knows — the queue wait.
+                    trace.queue_wait_nanos =
+                        u64::try_from(queue_wait.as_nanos()).unwrap_or(u64::MAX);
+                    if let Some(recorder) = &shared.recorder {
+                        recorder.record(algorithm_index(queued.request.algorithm), &trace);
+                    }
+                    if let Some(log) = &shared.slow_log {
+                        log.observe(&trace);
+                    }
+                }
+            }
             latencies.queue_wait.record(queue_wait);
             latencies.service.record(service_time);
             class.completed.fetch_add(1, Ordering::Relaxed);
@@ -1251,6 +1439,123 @@ mod tests {
         let server2 = Server::start(w2, ServerConfig::default().with_workers(1));
         assert!(server2.submit_all(&[]).is_empty());
         assert_eq!(server2.shutdown().submitted, 0);
+    }
+
+    #[test]
+    fn traced_serving_matches_the_direct_call_and_aggregates_phases() {
+        // Tracing must never change answers, and every served query must
+        // land in the registry's algorithm x phase aggregates with
+        // non-trivial phase counters.
+        let graph = Arc::new(grid(9));
+        let n = 81;
+        let points = Arc::new(NodePointSet::from_nodes(n, (0..n).step_by(7).map(NodeId::new)));
+        let index = Arc::new(rnn_index::HubLabelIndex::build(&*graph, &*points));
+        let w = World::new(graph.clone(), points.clone()).with_hub_label_index(index.clone());
+        let registry = MetricsRegistry::new();
+        let server = Server::start_observed(
+            w,
+            ServerConfig::default().with_workers(2).with_tracing(true),
+            None,
+            &registry,
+        );
+        assert!(server.tracing());
+        for q in 0..40 {
+            let served = server
+                .submit(Request::new(Algorithm::Eager, NodeId::new(q), 2))
+                .unwrap()
+                .wait()
+                .unwrap();
+            let direct = run_rknn(
+                Algorithm::Eager,
+                &*graph,
+                &*points,
+                Precomputed::none(),
+                NodeId::new(q),
+                2,
+            );
+            assert_eq!(served.outcome, direct, "tracing never changes query {q}");
+        }
+        for q in 0..40 {
+            let served = server
+                .submit(Request::new(Algorithm::HubLabel, NodeId::new(q), 2))
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert_eq!(served.outcome.points, index.rknn(NodeId::new(q), 2).points);
+        }
+        // Shut down before snapshotting: workers publish their histograms
+        // after each micro-batch, so only a post-join snapshot is guaranteed
+        // to count every service time (counters lead histograms mid-flight).
+        server.shutdown();
+        let snap = registry.snapshot();
+        // One source poll carries the admission counters...
+        assert_eq!(snap.counter("rnn_server_submitted_total"), Some(80));
+        assert_eq!(snap.counter("rnn_server_completed_total"), Some(80));
+        assert_eq!(snap.counter("rnn_server_completed_total{class=\"interactive\"}"), Some(80));
+        assert_eq!(snap.counter("rnn_server_served_total{algorithm=\"eager\"}"), Some(40));
+        assert_eq!(snap.counter("rnn_server_served_total{algorithm=\"hub-label\"}"), Some(40));
+        assert_eq!(snap.histogram("rnn_server_service_nanos").unwrap().count(), 80);
+        // ...and the trace aggregates: every served query traced, with the
+        // right phases per algorithm family.
+        assert_eq!(snap.counter("rnn_trace_queries_total{algorithm=\"eager\"}"), Some(40));
+        assert_eq!(snap.counter("rnn_trace_queries_total{algorithm=\"hub-label\"}"), Some(40));
+        let expansion =
+            snap.counter("rnn_trace_phase_nanos_total{algorithm=\"eager\",phase=\"expansion\"}");
+        assert!(expansion.unwrap() > 0, "traversal queries spend time expanding");
+        let candidate_gen = snap.counter(
+            "rnn_trace_phase_calls_total{algorithm=\"hub-label\",phase=\"candidate_gen\"}",
+        );
+        assert_eq!(candidate_gen, Some(40), "one candidate-generation span per hub-label query");
+    }
+
+    #[test]
+    fn slow_query_log_captures_worst_and_samples_with_queue_wait_stamped() {
+        let (_, _, w) = world(9, 7);
+        let registry = MetricsRegistry::new();
+        let server = Server::start_observed(
+            w,
+            ServerConfig::default().with_workers(1).with_slow_query_log(5, 2, 16, 42),
+            None,
+            &registry,
+        );
+        assert!(server.tracing(), "a slow-query log implies tracing");
+        let requests: Vec<Request> =
+            (0..60).map(|q| Request::new(Algorithm::Lazy, NodeId::new(q % 81), 2)).collect();
+        for result in server.submit_all(&requests) {
+            result.unwrap().wait().unwrap();
+        }
+        let report = server.drain_slow_queries();
+        assert_eq!(report.worst.len(), 5, "worst ring fills to capacity");
+        assert!(
+            report.worst.windows(2).all(|w| w[0].service_nanos >= w[1].service_nanos),
+            "worst traces come slowest-first"
+        );
+        assert!(!report.samples.is_empty(), "1-in-2 sampling over 60 queries hits");
+        for trace in report.worst.iter().chain(&report.samples) {
+            assert_eq!(trace.algorithm, "lazy");
+            assert!(trace.service_nanos > 0);
+            assert!(trace.queue_wait_nanos > 0, "server stamps the queue wait into the trace");
+        }
+        // Drained: the next window starts empty.
+        assert!(server.drain_slow_queries().worst.is_empty());
+        server.shutdown();
+    }
+
+    #[test]
+    fn untraced_observed_server_still_exports_counters() {
+        // Observability without tracing: the server source polls, but no
+        // trace aggregates are registered at all.
+        let (_, _, w) = world(5, 3);
+        let registry = MetricsRegistry::new();
+        let server =
+            Server::start_observed(w, ServerConfig::default().with_workers(1), None, &registry);
+        assert!(!server.tracing());
+        server.submit(Request::new(Algorithm::Naive, NodeId::new(0), 1)).unwrap().wait().unwrap();
+        assert!(server.drain_slow_queries().worst.is_empty(), "no log configured");
+        server.shutdown();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("rnn_server_completed_total"), Some(1));
+        assert_eq!(snap.counter("rnn_trace_queries_total{algorithm=\"naive\"}"), None);
     }
 
     #[test]

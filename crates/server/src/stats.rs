@@ -33,9 +33,9 @@
 //! therefore never contends with an in-flight micro-batch — pinned by the
 //! `polling_stats_never_blocks_and_never_tears` test.
 
-use crate::histogram::{LatencyHistogram, BUCKETS};
 use crate::request::Priority;
 use rnn_core::{Algorithm, CacheStats};
+use rnn_obs::histogram::{LatencyHistogram, BUCKETS};
 use rnn_storage::IoStats;
 use std::sync::atomic::{fence, AtomicU64, Ordering};
 
@@ -78,6 +78,7 @@ struct HistogramCell {
     sum_lo: AtomicU64,
     sum_hi: AtomicU64,
     max: AtomicU64,
+    min: AtomicU64,
 }
 
 impl HistogramCell {
@@ -88,13 +89,14 @@ impl HistogramCell {
             sum_lo: AtomicU64::new(0),
             sum_hi: AtomicU64::new(0),
             max: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
         }
     }
 
     /// Writer side: copy `h` into this cell, word by word (relaxed — the
     /// version store orders the whole publish).
     fn store(&self, h: &LatencyHistogram) {
-        let (buckets, count, sum, max) = h.raw();
+        let (buckets, count, sum, max, min) = h.raw();
         for (cell, &value) in self.buckets.iter().zip(buckets) {
             cell.store(value, Ordering::Relaxed);
         }
@@ -102,6 +104,7 @@ impl HistogramCell {
         self.sum_lo.store(sum as u64, Ordering::Relaxed);
         self.sum_hi.store((sum >> 64) as u64, Ordering::Relaxed);
         self.max.store(max, Ordering::Relaxed);
+        self.min.store(min, Ordering::Relaxed);
     }
 
     /// Reader side: rebuild the histogram from the cell's words.
@@ -114,6 +117,7 @@ impl HistogramCell {
             self.count.load(Ordering::Relaxed),
             sum,
             self.max.load(Ordering::Relaxed),
+            self.min.load(Ordering::Relaxed),
         )
     }
 }
@@ -298,7 +302,7 @@ mod tests {
     /// A snapshot is internally consistent iff its bucket counts add up to
     /// its total count — any torn mix of two publishes breaks this.
     fn consistent(h: &LatencyHistogram) -> bool {
-        let (buckets, count, _, _) = h.raw();
+        let (buckets, count, _, _, _) = h.raw();
         buckets.iter().sum::<u64>() == count
     }
 

@@ -29,6 +29,10 @@
 //!   implements [`rnn_graph::Topology`], so every query algorithm of
 //!   `rnn-core` runs unchanged on top of it.
 //! * [`io_stats`] — shared I/O counters ([`IoStats`], [`IoCounters`]).
+//! * [`metrics`] — registry glue: publishes the I/O counters and the buffer
+//!   pool's per-shard stats as snapshot sources of an
+//!   [`rnn_obs::MetricsRegistry`], preserving each API's own snapshot
+//!   consistency in the exported numbers.
 //!
 //! Storage only ever affects *cost*, never query *results*; the property
 //! tests of the workspace check exactly that.
@@ -42,6 +46,7 @@ pub mod error;
 pub mod io_stats;
 pub mod layout;
 pub mod lru;
+pub mod metrics;
 pub mod node_index;
 pub mod page;
 pub mod paged_graph;
@@ -52,6 +57,7 @@ pub use error::StorageError;
 pub use io_stats::{IoCounters, IoStats};
 pub use layout::{LayoutStrategy, PageLayout};
 pub use lru::Lru;
+pub use metrics::{register_buffer_pool, register_io_counters};
 pub use node_index::{NodeIndex, NodeIndexEntry};
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use paged_graph::PagedGraph;

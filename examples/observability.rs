@@ -1,0 +1,140 @@
+//! Observability quickstart: one metrics registry watching the whole stack.
+//!
+//! This drives the `rnn-obs` layer end-to-end: a paged world (storage-layer
+//! I/O counters), a hub-label index (size gauges and build-progress
+//! counters), and a traced server with a slow-query log, all registered
+//! into **one** [`MetricsRegistry`]. A single `snapshot()` then answers
+//! what previously took four different polls — admission counters,
+//! per-algorithm phase breakdowns, buffer faults, label sizes — and the
+//! same snapshot renders both as Prometheus text and as the workspace's
+//! `rnn-bench-report/v1` JSON, byte-deterministically (asserted here).
+//!
+//! Run with `cargo run --release --example observability -- [WORKERS]`
+//! (default: 2 worker threads).
+
+use rnn::core::Algorithm;
+use rnn::datagen::{grid_map, place_points_on_nodes, sample_node_queries, GridConfig};
+use rnn::graph::PointsOnNodes;
+use rnn::index::{HubLabelIndex, HubLabeling, LabelBuildProgress};
+use rnn::obs::{prometheus_text, report_json, MetricsRegistry, Phase};
+use rnn::server::{Request, Server, ServerConfig, World};
+use rnn::storage::{
+    register_io_counters, BufferPoolConfig, IoCounters, LayoutStrategy, PagedGraph,
+};
+use std::sync::Arc;
+
+fn main() {
+    let workers: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2).max(1);
+    let registry = MetricsRegistry::new();
+
+    // The world: a paged grid topology with I/O counters, data points on 2%
+    // of the nodes, and a hub-label index whose build streams progress
+    // counters into the registry.
+    let graph = Arc::new(grid_map(&GridConfig::with_nodes(2_500, 4.0, 42)));
+    let points = Arc::new(place_points_on_nodes(&graph, 0.02, 43));
+    let counters = IoCounters::new();
+    let paged = Arc::new(
+        PagedGraph::build_with_config(
+            &graph,
+            LayoutStrategy::BfsLocality,
+            BufferPoolConfig::new(128).with_shards(workers.max(2)),
+            counters.clone(),
+        )
+        .expect("paged graph"),
+    );
+    register_io_counters(&registry, "graph", &counters);
+
+    let progress = LabelBuildProgress::register(&registry);
+    let labeling = HubLabeling::build_with_threads_observed(&*graph, workers, &progress);
+    let hub_index = Arc::new(HubLabelIndex::from_labeling(labeling, &*points));
+    hub_index.register_metrics(&registry);
+    println!(
+        "label build observed: {} roots committed, {} entries",
+        progress.roots_done(),
+        progress.entries_committed(),
+    );
+    assert_eq!(progress.roots_done() as usize, graph.num_nodes());
+
+    // A traced server over the paged world: phase tracing on, worst-8 slow
+    // queries plus a deterministic 1-in-4 uniform sample, registered as a
+    // pollable source of the same registry.
+    let world = World::new(paged, points.clone()).with_hub_labels(hub_index.clone());
+    let server = Server::start_observed(
+        world,
+        ServerConfig::default()
+            .with_workers(workers)
+            .with_result_cache(64, 0)
+            .with_slow_query_log(8, 4, 32, 9),
+        Some(counters),
+        &registry,
+    );
+
+    let query_nodes = sample_node_queries(&points, 48, 44);
+    let mut served = 0u64;
+    for algorithm in [Algorithm::Eager, Algorithm::Lazy, Algorithm::HubLabel] {
+        let requests: Vec<Request> =
+            query_nodes.iter().map(|&q| Request::new(algorithm, q, 2)).collect();
+        for ticket in server.submit_all(&requests) {
+            ticket.expect("admitted").wait().expect("served");
+            served += 1;
+        }
+    }
+
+    // Where did the time go? The slow-query log names the worst offenders
+    // with their per-phase breakdown — drained before shutdown.
+    let report = server.drain_slow_queries();
+    println!("\nslow queries (worst {} of {served}):", report.worst.len());
+    for trace in &report.worst {
+        let phases: Vec<String> = Phase::ALL
+            .iter()
+            .filter(|&&p| trace.phase(p).calls > 0)
+            .map(|&p| format!("{p}={}us", trace.phase(p).nanos / 1_000))
+            .collect();
+        println!(
+            "  {:>9} q={:<5} k={} service={:>6}us  {}",
+            trace.algorithm,
+            trace.query,
+            trace.k,
+            trace.service_nanos / 1_000,
+            phases.join(" "),
+        );
+    }
+    assert!(!report.worst.is_empty(), "traced traffic must surface slow queries");
+    assert!(
+        report.worst.windows(2).all(|w| w[0].service_nanos >= w[1].service_nanos),
+        "worst traces come slowest-first"
+    );
+    server.shutdown();
+
+    // One snapshot, every layer.
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("rnn_server_completed_total"), Some(served));
+    assert!(snap.counter("rnn_io_accesses_total{pool=\"graph\"}").unwrap() > 0);
+    assert_eq!(snap.gauge("rnn_label_points"), Some(points.num_points() as u64));
+    for algorithm in [Algorithm::Eager, Algorithm::Lazy, Algorithm::HubLabel] {
+        let name = format!("rnn_trace_queries_total{{algorithm=\"{}\"}}", algorithm.name());
+        assert_eq!(snap.counter(&name), Some(query_nodes.len() as u64), "{name}");
+    }
+
+    // Both exporters render the same snapshot byte-deterministically.
+    let text = prometheus_text(&snap);
+    assert_eq!(text, prometheus_text(&snap), "prometheus text must be byte-deterministic");
+    let json = report_json(&snap);
+    assert_eq!(json, report_json(&snap), "report json must be byte-deterministic");
+    assert!(json.contains("\"schema\": \"rnn-bench-report/v1\""));
+
+    println!("\nprometheus excerpt:");
+    for line in text.lines().filter(|l| l.starts_with("rnn_server_") && !l.contains("le=")).take(8)
+    {
+        println!("  {line}");
+    }
+    println!(
+        "\nsnapshot: {} counters, {} gauges, {} histograms; text {} bytes, json {} bytes",
+        snap.counters.len(),
+        snap.gauges.len(),
+        snap.histograms.len(),
+        text.len(),
+        json.len(),
+    );
+    println!("observability example: all assertions passed");
+}

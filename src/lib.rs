@@ -14,10 +14,13 @@
 //! * [`rnn_server`] — the online serving subsystem (bounded request queue,
 //!   admission control, worker pool, latency accounting).
 //! * [`rnn_datagen`] — synthetic dataset and workload generators.
+//! * [`rnn_obs`] — the observability layer (metrics registry, per-query
+//!   phase traces, slow-query log, Prometheus/JSON exporters).
 
 pub use rnn_core as core;
 pub use rnn_datagen as datagen;
 pub use rnn_graph as graph;
 pub use rnn_index as index;
+pub use rnn_obs as obs;
 pub use rnn_server as server;
 pub use rnn_storage as storage;

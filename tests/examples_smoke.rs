@@ -220,3 +220,49 @@ fn hub_label_serving_flow_matches_expansion_and_hits_the_cache() {
     assert_eq!(batch.cache.hits, graph.num_nodes() as u64, "the repeat round hits the cache");
     assert_eq!(engine.cache_stats(), batch.cache);
 }
+
+/// Mirrors `examples/observability.rs` on the quickstart network: one
+/// registry snapshot carries server counters, label gauges and per-algorithm
+/// trace aggregates, the slow-query log captures the traffic, and both
+/// exporters render byte-deterministically.
+#[test]
+fn observability_flow_snapshots_every_layer_deterministically() {
+    use rnn::obs::{prometheus_text, report_json, MetricsRegistry};
+
+    let registry = MetricsRegistry::new();
+    let graph = Arc::new(quickstart_network());
+    let cafes = Arc::new(NodePointSet::from_nodes(8, [0, 3, 6].map(NodeId::new)));
+    let hub_index = Arc::new(HubLabelIndex::build(&*graph, &*cafes));
+    hub_index.register_metrics(&registry);
+
+    let world = World::new(graph.clone(), cafes.clone()).with_hub_labels(hub_index.clone());
+    let server = Server::start_observed(
+        world,
+        ServerConfig::default().with_workers(2).with_slow_query_log(4, 2, 8, 7),
+        None,
+        &registry,
+    );
+    for algorithm in [Algorithm::Eager, Algorithm::HubLabel] {
+        for q in graph.node_ids() {
+            let served = server.submit(Request::new(algorithm, q, 1)).unwrap().wait().unwrap();
+            let direct =
+                run_rknn(algorithm, &*graph, &*cafes, Precomputed::hub_labels(&*hub_index), q, 1);
+            assert_eq!(served.outcome.points, direct.points, "{algorithm} at {q}");
+        }
+    }
+    let report = server.drain_slow_queries();
+    assert_eq!(report.worst.len(), 4);
+    server.shutdown();
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("rnn_server_completed_total"), Some(16));
+    assert_eq!(snap.gauge("rnn_label_nodes"), Some(8));
+    assert_eq!(snap.counter("rnn_trace_queries_total{algorithm=\"eager\"}"), Some(8));
+    assert_eq!(snap.counter("rnn_trace_queries_total{algorithm=\"hub-label\"}"), Some(8));
+    let text = prometheus_text(&snap);
+    assert_eq!(text, prometheus_text(&snap));
+    assert!(text.contains("rnn_server_completed_total 16"));
+    let json = report_json(&snap);
+    assert_eq!(json, report_json(&snap));
+    assert!(json.contains("\"schema\": \"rnn-bench-report/v1\""));
+}

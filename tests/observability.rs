@@ -1,0 +1,327 @@
+//! The observability layer, end to end.
+//!
+//! Four pinned properties of `rnn-obs` and its wiring into the stack:
+//!
+//! 1. **Histogram algebra** — [`LatencyHistogram::merge`] is commutative and
+//!    associative, and merging per-shard histograms equals building one
+//!    histogram from the concatenated samples; count/min/max agree exactly
+//!    with a sorted-vector reference, and every quantile lands in the bucket
+//!    the reference value falls into (property-tested).
+//! 2. **Registry consistency** — counters registered coarse-before-fine
+//!    keep `fine <= coarse` in *every* snapshot taken concurrently with
+//!    recorders, and successive snapshots are monotone.
+//! 3. **Slow-query capture** — replaying a trace stream into a
+//!    [`SlowQueryLog`] (from many threads) always recovers the true worst-N
+//!    by service time, and the uniform sample is a deterministic function
+//!    of the seed.
+//! 4. **One snapshot, whole stack** — a traced server over a paged world
+//!    with hub labels exposes server admission counters, storage I/O,
+//!    result-cache and label-index metrics plus non-trivial per-algorithm
+//!    phase aggregates for **all six algorithms** in a single
+//!    [`MetricsRegistry::snapshot`], and both exporters render it
+//!    byte-deterministically.
+
+use proptest::prelude::*;
+use rnn::core::{Algorithm, MaterializedKnn, SharedResultCache};
+use rnn::datagen::{grid_map, GridConfig};
+use rnn::graph::{NodeId, NodePointSet, PointsOnNodes};
+use rnn::index::HubLabelIndex;
+use rnn::obs::{
+    prometheus_text, report_json, LatencyHistogram, MetricsRegistry, Phase, QueryTrace,
+    SlowQueryLog,
+};
+use rnn::server::{Request, Server, ServerConfig, World};
+use rnn::storage::{
+    register_io_counters, BufferPoolConfig, IoCounters, LayoutStrategy, PagedGraph,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// 1. Histogram algebra vs. a sorted-vector reference
+// ---------------------------------------------------------------------------
+
+fn build(samples: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &s in samples {
+        h.record(Duration::from_nanos(s));
+    }
+    h
+}
+
+/// Structural equality via the raw representation (`LatencyHistogram`
+/// deliberately exposes no `PartialEq`; tests compare exact state).
+fn same(a: &LatencyHistogram, b: &LatencyHistogram) -> bool {
+    let (ab, ac, asum, amax, amin) = a.raw();
+    let (bb, bc, bsum, bmax, bmin) = b.raw();
+    ab == bb && ac == bc && asum == bsum && amax == bmax && amin == bmin
+}
+
+fn merged(parts: &[&LatencyHistogram]) -> LatencyHistogram {
+    let mut out = LatencyHistogram::new();
+    for p in parts {
+        out.merge(p);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn histogram_merge_is_commutative_associative_and_matches_concat(
+        a in proptest::collection::vec(0u64..=10_000_000_000, 0..80),
+        b in proptest::collection::vec(0u64..=10_000_000_000, 0..80),
+        c in proptest::collection::vec(0u64..=10_000_000_000, 0..80),
+    ) {
+        let (ha, hb, hc) = (build(&a), build(&b), build(&c));
+
+        // Commutativity and associativity.
+        prop_assert!(same(&merged(&[&ha, &hb]), &merged(&[&hb, &ha])));
+        let left = merged(&[&merged(&[&ha, &hb]), &hc]);
+        let right = merged(&[&ha, &merged(&[&hb, &hc])]);
+        prop_assert!(same(&left, &right));
+
+        // Merging shards == building from the concatenated stream.
+        let mut all: Vec<u64> = Vec::new();
+        all.extend(&a);
+        all.extend(&b);
+        all.extend(&c);
+        let direct = build(&all);
+        prop_assert!(same(&left, &direct));
+
+        // Exact aggregates against the sorted-vector reference.
+        all.sort_unstable();
+        prop_assert_eq!(direct.count(), all.len() as u64);
+        if all.is_empty() {
+            prop_assert!(direct.is_empty());
+            prop_assert_eq!(direct.min(), Duration::ZERO);
+            prop_assert_eq!(direct.max(), Duration::ZERO);
+        } else {
+            prop_assert_eq!(direct.min().as_nanos(), u128::from(all[0]));
+            prop_assert_eq!(direct.max().as_nanos(), u128::from(*all.last().unwrap()));
+            let (_, _, sum, _, _) = direct.raw();
+            prop_assert_eq!(sum, all.iter().map(|&s| u128::from(s)).sum::<u128>());
+            // Every reported quantile is the upper bound of the bucket the
+            // reference order statistic falls into: reference <= reported,
+            // and reported < 2 * max(reference, 1) by the power-of-two
+            // bucket geometry.
+            for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                let rank = ((q * all.len() as f64).ceil() as usize).clamp(1, all.len());
+                let reference = all[rank - 1];
+                let reported = direct.quantile(q).as_nanos() as u64;
+                prop_assert!(reported >= reference, "q={q}: {reported} < ref {reference}");
+                prop_assert!(
+                    u128::from(reported) < 2 * u128::from(reference.max(1)),
+                    "q={q}: {reported} not in ref {reference}'s bucket"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Registry snapshots stay consistent under concurrent recording
+// ---------------------------------------------------------------------------
+
+#[test]
+fn registry_counters_keep_coarse_bounds_fine_under_concurrent_snapshots() {
+    let registry = MetricsRegistry::new();
+    // Coarse registered (and always bumped) before fine: the snapshot's
+    // reverse-registration-order walk then guarantees fine <= coarse in
+    // every snapshot, no matter how recorders interleave.
+    let accesses = registry.counter("accesses_total");
+    let faults = registry.counter("faults_total");
+    let evictions = registry.counter("evictions_total");
+    std::thread::scope(|scope| {
+        for t in 0..3u64 {
+            let (accesses, faults, evictions) =
+                (accesses.clone(), faults.clone(), evictions.clone());
+            scope.spawn(move || {
+                for i in 0..5_000u64 {
+                    accesses.inc();
+                    if (i + t) % 3 == 0 {
+                        faults.inc();
+                        if (i + t) % 9 == 0 {
+                            evictions.inc();
+                        }
+                    }
+                }
+            });
+        }
+        let registry = registry.clone();
+        scope.spawn(move || {
+            let (mut last_a, mut last_f, mut last_e) = (0u64, 0u64, 0u64);
+            for _ in 0..300 {
+                let snap = registry.snapshot();
+                let a = snap.counter("accesses_total").unwrap();
+                let f = snap.counter("faults_total").unwrap();
+                let e = snap.counter("evictions_total").unwrap();
+                assert!(e <= f && f <= a, "torn snapshot: {e} <= {f} <= {a} violated");
+                assert!(
+                    a >= last_a && f >= last_f && e >= last_e,
+                    "counters went backwards across snapshots"
+                );
+                (last_a, last_f, last_e) = (a, f, e);
+            }
+        });
+    });
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("accesses_total"), Some(15_000));
+}
+
+// ---------------------------------------------------------------------------
+// 3. Slow-query worst-N replay vs. reference
+// ---------------------------------------------------------------------------
+
+#[test]
+fn slow_query_log_recovers_the_true_worst_n_from_a_replayed_stream() {
+    // A deterministic pseudo-random service-time stream with duplicates.
+    let services: Vec<u64> =
+        (0..4_000u64).map(|i| (i.wrapping_mul(2_654_435_761) >> 7) % 1_000_000).collect();
+    let trace = |service_nanos: u64| QueryTrace {
+        algorithm: "eager",
+        query: service_nanos,
+        service_nanos,
+        ..Default::default()
+    };
+
+    for workers in [1usize, 4] {
+        let log = SlowQueryLog::new(16, 0, 0, 7);
+        std::thread::scope(|scope| {
+            for chunk in services.chunks(services.len() / workers) {
+                let log = &log;
+                scope.spawn(move || {
+                    for &s in chunk {
+                        log.observe(&trace(s));
+                    }
+                });
+            }
+        });
+        let got: Vec<u64> = log.drain().worst.iter().map(|t| t.service_nanos).collect();
+
+        let mut reference = services.clone();
+        reference.sort_unstable_by_key(|&s| std::cmp::Reverse(s));
+        reference.truncate(16);
+        assert_eq!(got, reference, "worst-16 at {workers} observer threads");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 4. One snapshot covers the whole stack; exporters are deterministic
+// ---------------------------------------------------------------------------
+
+#[test]
+fn one_snapshot_exposes_every_layer_and_exports_deterministically() {
+    let registry = MetricsRegistry::new();
+
+    // The world: a paged grid topology (storage layer), a materialized
+    // k-NN table and a hub-label index (all six algorithms serveable).
+    let graph =
+        Arc::new(grid_map(&GridConfig { rows: 12, cols: 12, seed: 42, ..Default::default() }));
+    let n = graph.num_nodes();
+    let points = Arc::new(NodePointSet::from_nodes(n, (0..n).step_by(7).map(NodeId::new)));
+    let table = Arc::new(MaterializedKnn::build(&*graph, &*points, 2));
+    let hub_index = Arc::new(HubLabelIndex::build(&*graph, &*points));
+    let counters = IoCounters::new();
+    let paged = Arc::new(
+        PagedGraph::build_with_config(
+            &graph,
+            LayoutStrategy::BfsLocality,
+            BufferPoolConfig::new(64).with_shards(2),
+            counters.clone(),
+        )
+        .expect("paged graph"),
+    );
+
+    // Register every layer into the one registry.
+    register_io_counters(&registry, "graph", &counters);
+    hub_index.register_metrics(&registry);
+    let standalone_cache = SharedResultCache::new(32, 2);
+    standalone_cache.register_metrics(&registry, "adhoc");
+
+    let world = World::new(paged, points.clone())
+        .with_materialized(Arc::clone(&table))
+        .with_hub_labels(hub_index.clone());
+    let server = Server::start_observed(
+        world,
+        ServerConfig::default()
+            .with_workers(2)
+            .with_result_cache(64, 0)
+            .with_slow_query_log(8, 4, 32, 9),
+        Some(counters),
+        &registry,
+    );
+
+    let queries: Vec<NodeId> = points.nodes().iter().copied().take(12).collect();
+    let mut expected_per_algorithm = 0u64;
+    for algorithm in Algorithm::ALL {
+        for &q in &queries {
+            server.submit(Request::new(algorithm, q, 2)).unwrap().wait().unwrap();
+        }
+        expected_per_algorithm = queries.len() as u64;
+    }
+
+    // The slow-query log saw the traffic (drained before shutdown consumes
+    // the handle).
+    let report = server.drain_slow_queries();
+    assert_eq!(report.worst.len(), 8);
+    assert!(!report.samples.is_empty());
+    // Shut down first: workers publish their seqlock histograms at
+    // micro-batch ends, so only a post-join snapshot is guaranteed to carry
+    // every service sample (counters lead histograms in a racing snapshot).
+    server.shutdown();
+
+    let snap = registry.snapshot();
+    // Server layer.
+    let total = 6 * expected_per_algorithm;
+    assert_eq!(snap.counter("rnn_server_completed_total"), Some(total));
+    assert_eq!(snap.histogram("rnn_server_service_nanos").unwrap().count(), total);
+    // Storage layer: the paged world faulted pages in through the pool.
+    assert!(snap.counter("rnn_io_accesses_total{pool=\"graph\"}").unwrap() > 0);
+    assert!(
+        snap.counter("rnn_io_faults_total{pool=\"graph\"}").unwrap()
+            <= snap.counter("rnn_io_accesses_total{pool=\"graph\"}").unwrap()
+    );
+    // Index layer.
+    assert_eq!(snap.gauge("rnn_label_nodes"), Some(n as u64));
+    assert_eq!(snap.gauge("rnn_label_points"), Some(points.num_points() as u64));
+    // Cache layer (the ad-hoc cache is registered but untouched: zeros).
+    assert_eq!(snap.counter("rnn_result_cache_hits_total{cache=\"adhoc\"}"), Some(0));
+
+    // Per-algorithm phase aggregates: every algorithm traced every query,
+    // and every algorithm spent time in at least one phase.
+    for algorithm in Algorithm::ALL {
+        let a = algorithm.name();
+        assert_eq!(
+            snap.counter(&format!("rnn_trace_queries_total{{algorithm=\"{a}\"}}")),
+            Some(expected_per_algorithm),
+            "{a}: one trace per served query"
+        );
+        let (mut calls, mut nanos) = (0u64, 0u64);
+        for phase in Phase::ALL {
+            calls += snap
+                .counter(&format!(
+                    "rnn_trace_phase_calls_total{{algorithm=\"{a}\",phase=\"{phase}\"}}"
+                ))
+                .unwrap();
+            nanos += snap
+                .counter(&format!(
+                    "rnn_trace_phase_nanos_total{{algorithm=\"{a}\",phase=\"{phase}\"}}"
+                ))
+                .unwrap();
+        }
+        assert!(calls > 0 && nanos > 0, "{a}: non-trivial phase counters ({calls} calls)");
+    }
+
+    // Exporters: same snapshot, same bytes; key lines present in both.
+    let text = prometheus_text(&snap);
+    assert_eq!(text, prometheus_text(&snap), "prometheus text is byte-deterministic");
+    assert!(text.contains("# TYPE rnn_server_completed_total counter"));
+    assert!(text.contains("rnn_io_accesses_total{pool=\"graph\"}"));
+    assert!(text.contains("rnn_server_service_nanos_bucket{le=\"+Inf\"}"));
+    let json = report_json(&snap);
+    assert_eq!(json, report_json(&snap), "report json is byte-deterministic");
+    assert!(json.contains("\"schema\": \"rnn-bench-report/v1\""));
+    assert!(json.contains("rnn_trace_queries_total{algorithm=\\\"hub-label\\\"}"));
+}
