@@ -1,5 +1,5 @@
-//! Criterion bench for Fig. 21: cost versus LRU buffer size on the SF-like
-//! road network (D = 0.01, k = 1).
+//! Criterion bench for Fig. 21: cost versus buffer size and eviction policy
+//! on the SF-like road network (D = 0.01, k = 1).
 
 mod common;
 
@@ -9,7 +9,7 @@ use rnn_core::Algorithm;
 use rnn_datagen::{
     place_points_on_nodes, sample_node_queries, spatial_road_network, SpatialConfig,
 };
-use rnn_storage::BufferPoolConfig;
+use rnn_storage::{BufferPoolConfig, EvictionPolicy};
 
 fn bench(c: &mut Criterion) {
     let net = spatial_road_network(&SpatialConfig { num_nodes: 5_000, ..Default::default() });
@@ -17,12 +17,23 @@ fn bench(c: &mut Criterion) {
     let queries = sample_node_queries(&points, 5, 5);
     let mut group = c.benchmark_group("fig21_buffer");
     for buffer in [0usize, 64, 256] {
-        let workload =
-            Workload::with_buffer(net.graph.clone(), points.clone(), queries.clone(), buffer);
-        for algo in [Algorithm::Eager, Algorithm::Lazy] {
-            group.bench_function(format!("{algo}/buffer={buffer}"), |b| {
-                b.iter(|| measure_restricted(algo, &workload, None, 1))
-            });
+        for policy in EvictionPolicy::ALL {
+            if buffer == 0 && policy != EvictionPolicy::Lru {
+                // An empty pool never picks a victim; one row covers all
+                // three policies.
+                continue;
+            }
+            let workload = Workload::with_buffer_config(
+                net.graph.clone(),
+                points.clone(),
+                queries.clone(),
+                BufferPoolConfig::new(buffer).with_policy(policy),
+            );
+            for algo in [Algorithm::Eager, Algorithm::Lazy] {
+                group.bench_function(format!("{algo}/buffer={buffer}/{}", policy.name()), |b| {
+                    b.iter(|| measure_restricted(algo, &workload, None, 1))
+                });
+            }
         }
     }
     // The striped serving configuration: same 256-page capacity over 8

@@ -53,7 +53,7 @@ use rnn_core::{Algorithm, HubLabelRknn, MaterializedKnn, Scratch, SharedResultCa
 use rnn_graph::{NodeId, PointsOnNodes, Topology};
 use rnn_index::HubLabelIndex;
 use rnn_obs::{LatencyHistogram, MetricsRegistry, SlowQueryLog, SlowQueryReport, TraceRecorder};
-use rnn_storage::IoCounters;
+use rnn_storage::{EvictionPolicy, IoCounters, StorageControl};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -82,6 +82,12 @@ pub struct World {
     /// maintains incrementally (the type-erased `hub_labels` handle cannot
     /// be mutated through the trait).
     hub_index: Option<Arc<HubLabelIndex>>,
+    /// Runtime-tuning handle of the paged storage behind `topo`, when the
+    /// world is disk-resident ([`World::with_storage_control`]): lets the
+    /// server apply [`ServerConfig`]'s eviction-policy / prefetch knobs and
+    /// export the buffer's policy + prefetch telemetry. Point swaps never
+    /// touch it — the topology (and its storage) outlives point churn.
+    storage: Option<Arc<dyn StorageControl>>,
 }
 
 impl World {
@@ -92,7 +98,17 @@ impl World {
         topo: Arc<dyn Topology + Send + Sync>,
         points: Arc<dyn PointsOnNodes + Send + Sync>,
     ) -> Self {
-        World { topo, points, materialized: None, hub_labels: None, hub_index: None }
+        World { topo, points, materialized: None, hub_labels: None, hub_index: None, storage: None }
+    }
+
+    /// Attaches the storage-control handle of a paged topology (typically
+    /// the same `Arc<PagedGraph<_>>` passed as `topo`, re-cast): the server
+    /// then applies [`ServerConfig::with_eviction_policy`] /
+    /// [`ServerConfig::with_prefetch`] at startup and exports the buffer
+    /// pool's policy and prefetch counters through its metrics source.
+    pub fn with_storage_control(mut self, storage: Arc<dyn StorageControl>) -> Self {
+        self.storage = Some(storage);
+        self
     }
 
     /// Attaches a materialized k-NN table (admits
@@ -149,6 +165,7 @@ impl std::fmt::Debug for World {
             .field("materialized", &self.materialized.is_some())
             .field("hub_labels", &self.hub_labels.is_some())
             .field("hub_index", &self.hub_index.is_some())
+            .field("storage", &self.storage.is_some())
             .finish()
     }
 }
@@ -190,6 +207,16 @@ pub struct ServerConfig {
     pub slow_samples: usize,
     /// Seed of the slow-query log's deterministic sampler.
     pub slow_seed: u64,
+    /// Page-eviction policy to apply to the world's paged storage at
+    /// startup (requires [`World::with_storage_control`]). `None` leaves
+    /// the backend's current policy — the paper-exact LRU by default.
+    pub eviction_policy: Option<EvictionPolicy>,
+    /// Expansion-frontier prefetch on the paged storage: `Some(true)` /
+    /// `Some(false)` set it at startup (requires
+    /// [`World::with_storage_control`]), `None` leaves the backend as
+    /// built. Prefetch is speculation-only — it never changes results or
+    /// demand I/O accounting.
+    pub prefetch: Option<bool>,
 }
 
 impl Default for ServerConfig {
@@ -209,6 +236,8 @@ impl Default for ServerConfig {
             slow_sample_every: 0,
             slow_samples: 0,
             slow_seed: 0,
+            eviction_policy: None,
+            prefetch: None,
         }
     }
 }
@@ -275,6 +304,20 @@ impl ServerConfig {
         self.slow_samples = samples;
         self.slow_seed = seed;
         self.tracing = true;
+        self
+    }
+
+    /// Sets the page-eviction policy to apply to the world's paged storage
+    /// at startup (no-op for in-memory worlds).
+    pub fn with_eviction_policy(mut self, policy: EvictionPolicy) -> Self {
+        self.eviction_policy = Some(policy);
+        self
+    }
+
+    /// Enables or disables expansion-frontier prefetch on the world's paged
+    /// storage at startup (no-op for in-memory worlds).
+    pub fn with_prefetch(mut self, enabled: bool) -> Self {
+        self.prefetch = Some(enabled);
         self
     }
 }
@@ -481,7 +524,16 @@ impl Shared {
 /// I/O rollups — all from that single wait-free poll, so the exported
 /// numbers keep the snapshot's internal consistency (per-class counts sum
 /// to the totals, `queue_wait.count() <= completed + shed_at_dequeue`).
+///
+/// When the world carries a storage-control handle
+/// ([`World::with_storage_control`]), the source additionally emits the
+/// buffer's eviction-policy code, whether prefetch is on, the pool-level
+/// `prefetch_{issued,useful,wasted}` counters and a per-shard demand
+/// hit-rate gauge — all from one [`StorageControl::pool_stats`] call. The
+/// handle is captured at registration (point swaps never replace the
+/// storage), so polling stays lock-free with respect to the world lock.
 fn register_server_source(registry: &MetricsRegistry, shared: &Arc<Shared>) {
+    let storage = shared.world.read().storage.clone();
     let shared = Arc::clone(shared);
     registry.register_source("server", move |set| {
         let s = shared.stats_snapshot();
@@ -525,6 +577,20 @@ fn register_server_source(registry: &MetricsRegistry, shared: &Arc<Shared>) {
         set.counter("rnn_server_io_accesses_total", s.io.accesses);
         set.counter("rnn_server_io_faults_total", s.io.faults);
         set.counter("rnn_server_io_evictions_total", s.io.evictions);
+        if let Some(storage) = &storage {
+            set.gauge("rnn_server_storage_policy", storage.policy().code());
+            set.gauge("rnn_server_storage_prefetch_enabled", u64::from(storage.prefetch_enabled()));
+            let pool = storage.pool_stats();
+            set.counter("rnn_server_storage_prefetch_issued_total", pool.total.prefetch_issued);
+            set.counter("rnn_server_storage_prefetch_useful_total", pool.total.prefetch_useful);
+            set.counter("rnn_server_storage_prefetch_wasted_total", pool.total.prefetch_wasted);
+            for (i, shard) in pool.per_shard.iter().enumerate() {
+                set.gauge(
+                    &format!("rnn_server_storage_shard_hit_rate_permille{{shard=\"{i}\"}}"),
+                    shard.hit_rate_permille(),
+                );
+            }
+        }
     });
 }
 
@@ -575,6 +641,16 @@ impl Server {
         io: Option<IoCounters>,
         registry: Option<&MetricsRegistry>,
     ) -> Server {
+        // Apply the storage knobs before any worker can fetch a page, so the
+        // whole serving lifetime runs under one policy/prefetch setting.
+        if let Some(storage) = &world.storage {
+            if let Some(policy) = config.eviction_policy {
+                storage.set_policy(policy);
+            }
+            if let Some(prefetch) = config.prefetch {
+                storage.set_prefetch(prefetch);
+            }
+        }
         let workers = config.workers.max(1);
         let cache = (config.cache_capacity > 0).then(|| {
             let shards = if config.cache_shards == 0 { workers } else { config.cache_shards };
@@ -796,6 +872,14 @@ impl Server {
     /// [`ServerConfig::with_tracing`]).
     pub fn tracing(&self) -> bool {
         self.shared.tracing
+    }
+
+    /// The world's storage-control handle, when the server fronts a paged
+    /// topology ([`World::with_storage_control`]) — for inspecting the
+    /// buffer's policy, prefetch setting and prefetch usefulness at
+    /// runtime.
+    pub fn storage_control(&self) -> Option<Arc<dyn StorageControl>> {
+        self.shared.world.read().storage.clone()
     }
 
     /// Takes everything the slow-query log captured since the last drain:
@@ -1020,6 +1104,70 @@ mod tests {
         assert_eq!(stats.class(Priority::Interactive).queue_wait.count(), 81);
         assert_eq!(stats.class(Priority::Batch).submitted, 0);
         assert_eq!(stats.class(Priority::Batch).service.count(), 0);
+    }
+
+    #[test]
+    fn storage_control_applies_config_and_exports_prefetch_telemetry() {
+        use rnn_storage::{BufferPoolConfig, LayoutStrategy, PagedGraph};
+        let graph = Arc::new(grid(9));
+        let n = 81;
+        let points = Arc::new(NodePointSet::from_nodes(n, (0..n).step_by(5).map(NodeId::new)));
+        let counters = IoCounters::new();
+        let paged = Arc::new(
+            PagedGraph::build_with_config(
+                &graph,
+                LayoutStrategy::BfsLocality,
+                BufferPoolConfig::new(16).with_shards(2),
+                counters.clone(),
+            )
+            .expect("paged graph"),
+        );
+        let world = World::new(paged.clone(), points.clone())
+            .with_storage_control(paged as Arc<dyn StorageControl>);
+        assert!(format!("{world:?}").contains("storage: true"));
+        let registry = MetricsRegistry::new();
+        let server = Server::start_observed(
+            world,
+            ServerConfig::default()
+                .with_workers(2)
+                .with_eviction_policy(EvictionPolicy::TwoQ)
+                .with_prefetch(true),
+            Some(counters),
+            &registry,
+        );
+        let ctl = server.storage_control().expect("the world carries a storage handle");
+        assert_eq!(ctl.policy(), EvictionPolicy::TwoQ, "config applied at startup");
+        assert!(ctl.prefetch_enabled(), "config applied at startup");
+
+        let tickets: Vec<Ticket> = (0..n)
+            .map(|q| server.submit(Request::new(Algorithm::Lazy, NodeId::new(q), 2)).unwrap())
+            .collect();
+        for (q, ticket) in tickets.into_iter().enumerate() {
+            let served = ticket.wait().expect("served");
+            let direct = run_rknn(
+                Algorithm::Lazy,
+                &*graph,
+                &*points,
+                Precomputed::none(),
+                NodeId::new(q),
+                2,
+            );
+            assert_eq!(served.outcome, direct, "prefetch/policy must not change results");
+        }
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("rnn_server_storage_policy"), Some(EvictionPolicy::TwoQ.code()));
+        assert_eq!(snap.gauge("rnn_server_storage_prefetch_enabled"), Some(1));
+        let issued = snap.counter("rnn_server_storage_prefetch_issued_total").unwrap();
+        let useful = snap.counter("rnn_server_storage_prefetch_useful_total").unwrap();
+        let wasted = snap.counter("rnn_server_storage_prefetch_wasted_total").unwrap();
+        assert!(issued > 0, "expansions over a paged world emit prefetch hints");
+        assert!(useful + wasted <= issued, "each issued page decides at most once");
+        assert!(
+            snap.gauge("rnn_server_storage_shard_hit_rate_permille{shard=\"0\"}").is_some(),
+            "per-shard hit-rate gauge is exported"
+        );
+        server.shutdown();
     }
 
     #[test]

@@ -21,9 +21,13 @@
 //! * [`lru`] — the workspace's one generic LRU ([`Lru`]): slot vector plus
 //!   intrusive recency list, shared by the buffer pool and `rnn-core`'s
 //!   result cache.
-//! * [`buffer`] — the striped LRU buffer manager ([`BufferPool`]): capacity
+//! * [`buffer`] — the striped buffer manager ([`BufferPool`]): capacity
 //!   split over independently locked shards ([`BufferPoolConfig`]) with
-//!   exact per-shard access/fault/eviction accounting ([`ShardStats`]).
+//!   exact per-shard access/fault/eviction accounting ([`ShardStats`]),
+//!   batched fetches and speculative prefetch with its own accounting.
+//! * [`policy`] — pluggable page-eviction policies ([`EvictionPolicy`]):
+//!   exact LRU (default, the paper's buffer), Clock (second-chance) and 2Q
+//!   (scan-resistant).
 //! * [`node_index`] — the node-id index ([`NodeIndex`]).
 //! * [`paged_graph`] — [`PagedGraph`], which ties everything together and
 //!   implements [`rnn_graph::Topology`], so every query algorithm of
@@ -50,6 +54,7 @@ pub mod metrics;
 pub mod node_index;
 pub mod page;
 pub mod paged_graph;
+pub mod policy;
 
 pub use buffer::{BufferPool, BufferPoolConfig, BufferPoolStats, ShardStats};
 pub use disk::{FileDisk, MemoryDisk, PageStore};
@@ -60,4 +65,5 @@ pub use lru::Lru;
 pub use metrics::{register_buffer_pool, register_io_counters};
 pub use node_index::{NodeIndex, NodeIndexEntry};
 pub use page::{Page, PageId, PAGE_SIZE};
-pub use paged_graph::PagedGraph;
+pub use paged_graph::{PagedGraph, StorageControl};
+pub use policy::EvictionPolicy;

@@ -13,9 +13,11 @@ use crate::error::StorageError;
 use crate::io_stats::{IoCounters, IoStats};
 use crate::layout::{LayoutStrategy, PageLayout};
 use crate::node_index::NodeIndex;
-use crate::page::PageEntry;
+use crate::page::{PageEntry, PageId};
+use crate::policy::EvictionPolicy;
 use rnn_graph::{Graph, Neighbor, NodeId, Topology};
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 thread_local! {
     /// Scratch buffer reused across adjacency fetches to avoid per-call
@@ -24,14 +26,24 @@ thread_local! {
     /// shares no mutable state between worker threads — the old shared
     /// `Mutex<Vec<_>>` was a lock on every fetch of every worker.
     static FETCH_SCRATCH: RefCell<Vec<PageEntry>> = const { RefCell::new(Vec::new()) };
+
+    /// Scratch for translating prefetch-hint nodes to page ids. Separate
+    /// from `FETCH_SCRATCH` because hints arrive between fetches on the
+    /// same thread.
+    static HINT_SCRATCH: RefCell<Vec<PageId>> = const { RefCell::new(Vec::new()) };
 }
 
-/// A graph stored on simulated disk pages and read through a striped LRU
-/// buffer.
+/// A graph stored on simulated disk pages and read through a striped,
+/// policy-driven page buffer.
 pub struct PagedGraph<S: PageStore = MemoryDisk> {
     buffer: BufferPool<S>,
     index: NodeIndex,
     num_nodes: usize,
+    /// Whether expansion loops should send frontier prefetch hints
+    /// ([`Topology::wants_prefetch_hints`]). Off by default: hints are an
+    /// opt-in speculation knob, and the paper's accounting is exactly
+    /// reproduced with them off.
+    prefetch: AtomicBool,
 }
 
 impl PagedGraph<MemoryDisk> {
@@ -70,7 +82,12 @@ impl PagedGraph<MemoryDisk> {
         let layout = PageLayout::build(graph, strategy)?;
         let disk = MemoryDisk::new(layout.pages);
         let buffer = BufferPool::with_config(disk, config, counters);
-        Ok(PagedGraph { buffer, index: layout.index, num_nodes: graph.num_nodes() })
+        Ok(PagedGraph {
+            buffer,
+            index: layout.index,
+            num_nodes: graph.num_nodes(),
+            prefetch: AtomicBool::new(false),
+        })
     }
 }
 
@@ -78,7 +95,28 @@ impl<S: PageStore> PagedGraph<S> {
     /// Assembles a paged graph from pre-built parts (e.g. a [`crate::FileDisk`]
     /// store opened from an existing page file).
     pub fn from_parts(buffer: BufferPool<S>, index: NodeIndex, num_nodes: usize) -> Self {
-        PagedGraph { buffer, index, num_nodes }
+        PagedGraph { buffer, index, num_nodes, prefetch: AtomicBool::new(false) }
+    }
+
+    /// Builder-style [`PagedGraph::set_prefetch`].
+    pub fn with_prefetch(self, enabled: bool) -> Self {
+        self.set_prefetch(enabled);
+        self
+    }
+
+    /// Enables or disables expansion-frontier prefetch hints at runtime.
+    ///
+    /// When enabled, [`Topology::wants_prefetch_hints`] returns `true` and
+    /// hinted nodes' pages are speculatively faulted in through
+    /// [`BufferPool::prefetch`] — never changing results or demand
+    /// accounting, only the pool's separate `prefetch_*` counters.
+    pub fn set_prefetch(&self, enabled: bool) {
+        self.prefetch.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether prefetch hints are currently enabled.
+    pub fn prefetch_enabled(&self) -> bool {
+        self.prefetch.load(Ordering::Relaxed)
     }
 
     /// The underlying buffer pool.
@@ -146,17 +184,35 @@ impl<S: PageStore> PagedGraph<S> {
         let mut scratch = FETCH_SCRATCH.with(|cell| std::mem::take(&mut *cell.borrow_mut()));
         scratch.clear();
         let mut result = Ok(());
-        for page_id in entry.pages() {
-            match self.buffer.fetch(page_id) {
-                Ok(page) => {
-                    if let Err(e) = page.entries_of(page_id, node, &mut scratch) {
+        if entry.span > 1 {
+            // A multi-page record (high-degree hub node): fetch the whole
+            // span in one batched call — one lock round per owning shard
+            // instead of one per page, with identical accounting.
+            let ids: Vec<PageId> = entry.pages().collect();
+            match self.buffer.fetch_many(&ids) {
+                Ok(pages) => {
+                    for (page_id, page) in ids.into_iter().zip(pages) {
+                        if let Err(e) = page.entries_of(page_id, node, &mut scratch) {
+                            result = Err(e);
+                            break;
+                        }
+                    }
+                }
+                Err(e) => result = Err(e),
+            }
+        } else {
+            for page_id in entry.pages() {
+                match self.buffer.fetch(page_id) {
+                    Ok(page) => {
+                        if let Err(e) = page.entries_of(page_id, node, &mut scratch) {
+                            result = Err(e);
+                            break;
+                        }
+                    }
+                    Err(e) => {
                         result = Err(e);
                         break;
                     }
-                }
-                Err(e) => {
-                    result = Err(e);
-                    break;
                 }
             }
         }
@@ -186,6 +242,104 @@ impl<S: PageStore> Topology for PagedGraph<S> {
         self.fetch_neighbors(node, visit)
             .expect("pages built by PageLayout are well formed and in bounds");
     }
+
+    fn wants_prefetch_hints(&self) -> bool {
+        self.prefetch_enabled()
+    }
+
+    fn prefetch_hint(&self, nodes: &[NodeId]) {
+        if nodes.is_empty() || !self.prefetch_enabled() {
+            return;
+        }
+        // Translate hinted nodes to the pages holding their adjacency lists
+        // and fault them in speculatively. Best effort by contract: demand
+        // accounting and results are untouched ([`BufferPool::prefetch`]
+        // only moves `prefetch_*` counters).
+        let mut scratch = HINT_SCRATCH.with(|cell| std::mem::take(&mut *cell.borrow_mut()));
+        scratch.clear();
+        for &node in nodes {
+            if node.index() < self.num_nodes {
+                scratch.extend(self.index.entry(node).pages());
+            }
+        }
+        self.buffer.prefetch(&scratch);
+        HINT_SCRATCH.with(|cell| {
+            let mut slot = cell.borrow_mut();
+            if slot.capacity() < scratch.capacity() {
+                *slot = scratch;
+            }
+        });
+    }
+}
+
+/// Runtime tuning and introspection of a paged storage backend.
+///
+/// The serving layer (`rnn-server`) keeps its storage backend behind this
+/// object-safe trait so configuration knobs — eviction policy, frontier
+/// prefetch — can be applied without knowing the concrete [`PageStore`]
+/// type, mirroring how query algorithms only see [`Topology`]. All methods
+/// take `&self`: the handle is shared with live query traffic and every
+/// operation is safe to apply while queries run (policy switches drain and
+/// re-admit resident pages without changing demand counters).
+pub trait StorageControl: Send + Sync {
+    /// The eviction policy currently driving the page buffer.
+    fn policy(&self) -> EvictionPolicy;
+
+    /// Switches the buffer's eviction policy at runtime, preserving resident
+    /// pages and all accounting ([`BufferPool::set_policy`]).
+    fn set_policy(&self, policy: EvictionPolicy);
+
+    /// Whether expansion-frontier prefetch hints are enabled.
+    fn prefetch_enabled(&self) -> bool;
+
+    /// Enables or disables expansion-frontier prefetch hints.
+    fn set_prefetch(&self, enabled: bool);
+
+    /// Per-shard counter breakdown plus merged totals of the page buffer.
+    fn pool_stats(&self) -> BufferPoolStats;
+
+    /// Buffer capacity in pages (summed over shards).
+    fn buffer_capacity(&self) -> usize;
+
+    /// Number of independently locked buffer shards.
+    fn num_shards(&self) -> usize;
+
+    /// Number of pages currently resident in the buffer.
+    fn resident_pages(&self) -> usize;
+}
+
+impl<S: PageStore + Send> StorageControl for PagedGraph<S> {
+    fn policy(&self) -> EvictionPolicy {
+        self.buffer.policy()
+    }
+
+    fn set_policy(&self, policy: EvictionPolicy) {
+        self.buffer.set_policy(policy);
+    }
+
+    fn prefetch_enabled(&self) -> bool {
+        PagedGraph::prefetch_enabled(self)
+    }
+
+    fn set_prefetch(&self, enabled: bool) {
+        PagedGraph::set_prefetch(self, enabled);
+    }
+
+    fn pool_stats(&self) -> BufferPoolStats {
+        PagedGraph::pool_stats(self)
+    }
+
+    fn buffer_capacity(&self) -> usize {
+        PagedGraph::buffer_capacity(self)
+    }
+
+    fn num_shards(&self) -> usize {
+        self.buffer.num_shards()
+    }
+
+    fn resident_pages(&self) -> usize {
+        self.buffer.resident_pages()
+    }
 }
 
 impl<S: PageStore> std::fmt::Debug for PagedGraph<S> {
@@ -194,6 +348,8 @@ impl<S: PageStore> std::fmt::Debug for PagedGraph<S> {
             .field("num_nodes", &self.num_nodes)
             .field("num_pages", &self.num_pages())
             .field("buffer_capacity", &self.buffer_capacity())
+            .field("policy", &self.buffer.policy())
+            .field("prefetch", &self.prefetch_enabled())
             .field("io", &self.io_stats())
             .finish()
     }
@@ -336,6 +492,100 @@ mod tests {
         pg.cold_start();
         assert_eq!(pg.io_stats(), IoStats::default());
         assert_eq!(pg.pool_stats().total, crate::ShardStats::default());
+    }
+
+    #[test]
+    fn prefetch_hints_warm_the_buffer_without_demand_accounting() {
+        let g = grid_graph(10);
+        let pg = PagedGraph::build_with(&g, LayoutStrategy::BfsLocality, 16, IoCounters::new())
+            .unwrap()
+            .with_prefetch(true);
+        assert!(Topology::wants_prefetch_hints(&pg));
+
+        let node = NodeId::new(42);
+        Topology::prefetch_hint(&pg, &[node]);
+        let after_hint = pg.pool_stats().total;
+        assert!(after_hint.prefetch_issued >= 1);
+        assert_eq!(after_hint.accesses(), 0, "hints must not count as demand accesses");
+        assert_eq!(after_hint.faults, 0, "hints must not count as demand faults");
+        assert_eq!(pg.io_stats(), IoStats::default());
+
+        // The demand fetch now hits the prefetched page: no fault, and the
+        // speculation is credited as useful.
+        assert_eq!(pg.neighbors_vec(node), g.neighbors_vec(node));
+        let warm = pg.pool_stats().total;
+        assert_eq!(warm.faults, 0, "prefetched page serves the demand fetch");
+        assert!(warm.prefetch_useful >= 1);
+    }
+
+    #[test]
+    fn prefetch_hints_are_a_no_op_when_disabled_or_out_of_range() {
+        let g = grid_graph(6);
+        let pg =
+            PagedGraph::build_with(&g, LayoutStrategy::BfsLocality, 8, IoCounters::new()).unwrap();
+        assert!(!Topology::wants_prefetch_hints(&pg));
+        Topology::prefetch_hint(&pg, &[NodeId::new(0)]);
+        assert_eq!(pg.pool_stats().total.prefetch_issued, 0, "disabled hints do nothing");
+
+        pg.set_prefetch(true);
+        // Out-of-range nodes are silently skipped; in-range ones still land.
+        Topology::prefetch_hint(&pg, &[NodeId::new(1_000_000), NodeId::new(3)]);
+        assert!(pg.pool_stats().total.prefetch_issued >= 1);
+        assert_eq!(pg.io_stats(), IoStats::default());
+    }
+
+    #[test]
+    fn storage_control_tunes_policy_and_prefetch_through_dyn_handle() {
+        let g = grid_graph(8);
+        let pg =
+            PagedGraph::build_with(&g, LayoutStrategy::BfsLocality, 8, IoCounters::new()).unwrap();
+        for v in g.node_ids() {
+            pg.neighbors_vec(v);
+        }
+        let ctl: &dyn StorageControl = &pg;
+        assert_eq!(ctl.policy(), EvictionPolicy::Lru);
+        assert!(!ctl.prefetch_enabled());
+        assert_eq!(ctl.buffer_capacity(), 8);
+        assert_eq!(ctl.num_shards(), 1);
+        assert!(ctl.resident_pages() > 0);
+
+        let before = ctl.pool_stats().total;
+        ctl.set_policy(EvictionPolicy::TwoQ);
+        ctl.set_prefetch(true);
+        assert_eq!(ctl.policy(), EvictionPolicy::TwoQ);
+        assert!(ctl.prefetch_enabled());
+        // The switch preserves residency and accounting, and queries still
+        // return in-memory-identical results.
+        assert_eq!(ctl.pool_stats().total, before);
+        for v in g.node_ids() {
+            assert_eq!(pg.neighbors_vec(v), g.neighbors_vec(v), "node {v}");
+        }
+        let dbg = format!("{pg:?}");
+        assert!(dbg.contains("2q") || dbg.contains("TwoQ"), "Debug shows the policy: {dbg}");
+    }
+
+    #[test]
+    fn multi_page_adjacency_spans_are_fetched_batched_and_identical() {
+        // A star graph: the hub's adjacency list overflows one 4 KB page, so
+        // its index entry spans several pages and `fetch_neighbors` takes the
+        // `fetch_many` path.
+        let leaves = 700;
+        let mut b = GraphBuilder::new(leaves + 1);
+        for l in 0..leaves {
+            b.add_edge(0, l + 1, 1.0 + (l % 7) as f64).unwrap();
+        }
+        let g = b.build().unwrap();
+        let pg =
+            PagedGraph::build_with(&g, LayoutStrategy::BfsLocality, 64, IoCounters::new()).unwrap();
+        let hub = NodeId::new(0);
+        assert!(
+            pg.node_index().entry(hub).span > 1,
+            "the hub adjacency list must span multiple pages for this test"
+        );
+        assert_eq!(pg.neighbors_vec(hub), g.neighbors_vec(hub));
+        // The paper's cost model counts one access per page of the list,
+        // batched or not.
+        assert_eq!(pg.io_stats().accesses, u64::from(pg.node_index().entry(hub).span));
     }
 
     #[test]
