@@ -1,0 +1,234 @@
+//! Perf-regression gate: compare a fresh run's `BENCH_*.json` against the
+//! committed baselines with per-metric tolerance bands.
+//!
+//! Every `repro --json` artifact is an `rnn-bench-report/v1` document (see
+//! [`crate::report::Report::to_json`]). The gate walks the baseline's rows
+//! and columns, classifies each column by name into a tolerance [`Band`],
+//! and reports a violation per cell outside its band — structural drift
+//! (missing files, renamed columns, added/removed rows) is always a
+//! violation, because the artifacts are committed and their shape is part
+//! of the perf-trajectory contract.
+//!
+//! The bands encode how the metrics behave across machines:
+//!
+//! * [`Band::Timing`] — throughput, latency and CPU-time columns. These
+//!   swing with the hardware (a laptop vs the 1-CPU CI runner), so the band
+//!   is wide: a ratio within 8x either way passes, as does any
+//!   absolute drift below 1.0 unit (which keeps near-zero queue-wait
+//!   percentiles from tripping on ratio noise). The gate is therefore
+//!   *advisory* for speed and decisive for shape.
+//! * [`Band::Count`] — determinism and size metrics: page faults, node
+//!   expansions, label entries, MiB, percentages, SLO states. Same seed and
+//!   scale must give (almost exactly) the same value anywhere, so the band
+//!   is tight: 5% relative or an absolute slack of 0.5 for tiny counts.
+
+use crate::report::Report;
+use rnn_obs::JsonValue;
+
+/// Tolerance class of one report column, decided by [`band_for`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Band {
+    /// Machine-dependent timing/throughput: wide multiplicative band.
+    Timing,
+    /// Deterministic count/size metric: tight relative band.
+    Count,
+}
+
+impl Band {
+    /// Whether `fresh` is within this band of `baseline`.
+    pub fn accepts(self, baseline: f64, fresh: f64) -> bool {
+        let diff = (fresh - baseline).abs();
+        match self {
+            Band::Timing => {
+                if diff <= 1.0 {
+                    return true;
+                }
+                let (lo, hi) = (baseline.min(fresh), baseline.max(fresh));
+                lo > 0.0 && hi <= 8.0 * lo
+            }
+            Band::Count => diff <= 0.5 || diff <= 0.05 * baseline.abs(),
+        }
+    }
+}
+
+/// Substrings that mark a column as a timing/throughput metric. Matched
+/// case-insensitively against the column name.
+const TIMING_MARKERS: [&str; 10] =
+    ["q/s", "qps", "(s)", "(ms)", "(us)", "sec", "cpu", "wait", "speedup", "burn"];
+
+/// Classifies a column name into its tolerance band.
+pub fn band_for(column: &str) -> Band {
+    let lower = column.to_ascii_lowercase();
+    if TIMING_MARKERS.iter().any(|m| lower.contains(m)) {
+        Band::Timing
+    } else {
+        Band::Count
+    }
+}
+
+/// One report row parsed back from JSON: `(label, cell values)`.
+type ParsedRow = (String, Vec<f64>);
+
+/// Parses one `rnn-bench-report/v1` JSON document back into its parts:
+/// `(id, columns, rows)`. `Err` carries a one-line description of what made
+/// the document unreadable.
+fn parse_report(text: &str) -> Result<(String, Vec<String>, Vec<ParsedRow>), String> {
+    let doc = JsonValue::parse(text).map_err(|e| format!("not valid JSON: {e:?}"))?;
+    let schema = doc.get("schema").and_then(|s| s.as_str());
+    if schema != Some("rnn-bench-report/v1") {
+        return Err(format!("unexpected schema {schema:?}"));
+    }
+    let id = doc.get("id").and_then(|s| s.as_str()).ok_or("missing id")?.to_string();
+    let columns: Vec<String> = doc
+        .get("columns")
+        .and_then(|c| c.as_array())
+        .ok_or("missing columns")?
+        .iter()
+        .filter_map(|c| c.as_str().map(str::to_string))
+        .collect();
+    let mut rows = Vec::new();
+    for row in doc.get("rows").and_then(|r| r.as_array()).ok_or("missing rows")? {
+        let label = row.get("label").and_then(|l| l.as_str()).ok_or("row without label")?;
+        let values: Vec<f64> = row
+            .get("values")
+            .and_then(|v| v.as_array())
+            .ok_or("row without values")?
+            .iter()
+            // `null` marks a non-finite measurement; NAN re-enters the
+            // same skip path in the comparison below.
+            .map(|v| v.as_f64().unwrap_or(f64::NAN))
+            .collect();
+        rows.push((label.to_string(), values));
+    }
+    Ok((id, columns, rows))
+}
+
+/// Compares a fresh artifact against its committed baseline. Returns one
+/// human-readable line per violation (empty = pass); `name` prefixes each
+/// line so a directory sweep stays readable.
+pub fn compare_artifact(name: &str, baseline: &str, fresh: &str) -> Vec<String> {
+    let (base_id, base_cols, base_rows) = match parse_report(baseline) {
+        Ok(parts) => parts,
+        Err(e) => return vec![format!("{name}: unreadable baseline ({e})")],
+    };
+    let (fresh_id, fresh_cols, fresh_rows) = match parse_report(fresh) {
+        Ok(parts) => parts,
+        Err(e) => return vec![format!("{name}: unreadable fresh artifact ({e})")],
+    };
+
+    let mut violations = Vec::new();
+    if base_id != fresh_id {
+        violations.push(format!("{name}: id changed: {base_id:?} -> {fresh_id:?}"));
+    }
+    if base_cols != fresh_cols {
+        violations.push(format!("{name}: columns changed: {base_cols:?} -> {fresh_cols:?}"));
+        return violations; // cell comparison would misalign
+    }
+    let base_labels: Vec<&String> = base_rows.iter().map(|(l, _)| l).collect();
+    let fresh_labels: Vec<&String> = fresh_rows.iter().map(|(l, _)| l).collect();
+    if base_labels != fresh_labels {
+        violations.push(format!("{name}: rows changed: {base_labels:?} -> {fresh_labels:?}"));
+        return violations;
+    }
+
+    for ((label, base_values), (_, fresh_values)) in base_rows.iter().zip(&fresh_rows) {
+        for (c, column) in base_cols.iter().enumerate() {
+            let (b, f) = match (base_values.get(c), fresh_values.get(c)) {
+                (Some(&b), Some(&f)) => (b, f),
+                _ => {
+                    violations.push(format!("{name}: row {label:?} lost column {column:?}"));
+                    continue;
+                }
+            };
+            if !b.is_finite() || !f.is_finite() {
+                continue; // null cells carry no comparable measurement
+            }
+            let band = band_for(column);
+            if !band.accepts(b, f) {
+                violations.push(format!(
+                    "{name}: {label:?} / {column:?} ({band:?}): baseline {b} vs fresh {f}"
+                ));
+            }
+        }
+    }
+    violations
+}
+
+/// Compares a freshly produced [`Report`] against a committed baseline
+/// document — the in-process form of the gate, used by `repro check` after
+/// regenerating an experiment and by tests.
+pub fn compare_fresh(name: &str, baseline: &str, fresh: &Report) -> Vec<String> {
+    compare_artifact(name, baseline, &fresh.to_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(id: &str, columns: &[&str], rows: &[(&str, &[f64])]) -> String {
+        let mut r = Report::new(id, "t", "x", columns.iter().map(|c| c.to_string()).collect());
+        for (label, values) in rows {
+            r.push_row(*label, values.to_vec());
+        }
+        r.to_json()
+    }
+
+    #[test]
+    fn bands_are_classified_by_column_name() {
+        for timing in ["best q/s", "E cpu(s)", "int qwait p99(ms)", "speedup", "short burn"] {
+            assert_eq!(band_for(timing), Band::Timing, "{timing}");
+        }
+        for count in ["E faults", "full MiB", "cut %", "state", "completed", "avg |label|"] {
+            assert_eq!(band_for(count), Band::Count, "{count}");
+        }
+    }
+
+    #[test]
+    fn timing_band_is_wide_and_count_band_is_tight() {
+        assert!(Band::Timing.accepts(100.0, 799.0));
+        assert!(Band::Timing.accepts(100.0, 12.6));
+        assert!(!Band::Timing.accepts(100.0, 801.0));
+        assert!(Band::Timing.accepts(0.0, 0.9), "near-zero latencies pass on absolute slack");
+        assert!(!Band::Timing.accepts(0.0, 1.1));
+
+        assert!(Band::Count.accepts(1000.0, 1049.0));
+        assert!(!Band::Count.accepts(1000.0, 1051.0));
+        assert!(Band::Count.accepts(2.0, 2.4), "tiny counts pass on absolute slack");
+        assert!(!Band::Count.accepts(2.0, 2.6));
+    }
+
+    #[test]
+    fn identical_artifacts_pass_and_regressions_are_itemized() {
+        let base =
+            doc("Serving", &["served q/s", "E faults"], &[("1x", &[500.0, 120.0] as &[f64])]);
+        assert!(compare_artifact("serving", &base, &base).is_empty());
+
+        // 10x slower passes nothing through the wide band; faults drifting
+        // 10% breaks the tight band. Both cells are reported.
+        let bad = doc("Serving", &["served q/s", "E faults"], &[("1x", &[50.0, 132.0] as &[f64])]);
+        let violations = compare_artifact("serving", &base, &bad);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations[0].contains("served q/s") && violations[0].contains("Timing"));
+        assert!(violations[1].contains("E faults") && violations[1].contains("Count"));
+    }
+
+    #[test]
+    fn structural_drift_is_always_a_violation() {
+        let base = doc("Fig", &["a", "b"], &[("r1", &[1.0, 2.0] as &[f64])]);
+        let renamed = doc("Fig", &["a", "c"], &[("r1", &[1.0, 2.0] as &[f64])]);
+        assert_eq!(compare_artifact("fig", &base, &renamed).len(), 1);
+        let rerowed = doc("Fig", &["a", "b"], &[("r2", &[1.0, 2.0] as &[f64])]);
+        assert!(compare_artifact("fig", &base, &rerowed)[0].contains("rows changed"));
+        assert!(compare_artifact("fig", &base, "not json")[0].contains("unreadable"));
+        assert!(compare_artifact("fig", "{}", &base)[0].contains("unexpected schema"));
+    }
+
+    #[test]
+    fn null_cells_are_skipped_not_compared() {
+        let mut with_nan = Report::new("X", "t", "x", vec!["a q/s".into()]);
+        with_nan.push_row("r", vec![f64::NAN]);
+        let base = with_nan.to_json();
+        let fresh = doc("X", &["a q/s"], &[("r", &[1e9] as &[f64])]);
+        assert!(compare_artifact("x", &base, &fresh).is_empty());
+    }
+}

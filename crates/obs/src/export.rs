@@ -13,7 +13,9 @@
 //! label composes with the existing ones.
 
 use crate::histogram::LatencyHistogram;
+use crate::recorder::{Event, EventKind};
 use crate::registry::MetricsSnapshot;
+use crate::trace::{Phase, QueryTrace};
 
 /// Splits `name{labels}` into `(name, Some("labels"))`, or `(name, None)`
 /// when the name carries no label set.
@@ -220,6 +222,158 @@ pub fn report_json(snapshot: &MetricsSnapshot) -> String {
     out
 }
 
+/// Microseconds with millisecond-of-a-microsecond precision: the Chrome
+/// trace format's `ts`/`dur` unit, rendered deterministically from integer
+/// nanoseconds (no float formatting).
+fn micros(nanos: u64) -> String {
+    format!("{}.{:03}", nanos / 1_000, nanos % 1_000)
+}
+
+fn push_span(
+    out: &mut String,
+    name: &str,
+    cat: &str,
+    ts_nanos: u64,
+    dur_nanos: u64,
+    tid: u32,
+    args: &[(&str, u64)],
+) {
+    out.push_str(&format!(
+        "    {{\"name\": {}, \"cat\": {}, \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \
+         \"pid\": 1, \"tid\": {}",
+        json_string(name),
+        json_string(cat),
+        micros(ts_nanos),
+        micros(dur_nanos),
+        tid
+    ));
+    push_args(out, args);
+}
+
+fn push_args(out: &mut String, args: &[(&str, u64)]) {
+    if !args.is_empty() {
+        out.push_str(", \"args\": {");
+        for (i, (k, v)) in args.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{}: {v}", json_string(k)));
+        }
+        out.push('}');
+    }
+    out.push_str("},\n");
+}
+
+/// Renders per-query traces and drained flight-recorder events as a Chrome
+/// trace (the `{"traceEvents": [...]}` JSON form), loadable in
+/// `chrome://tracing` and Perfetto.
+///
+/// Layout: `pid` 1 is the server; each worker is one `tid` track carrying,
+/// per query, a queue-wait span (submit → dequeue), a service span
+/// (dequeue → completion) and the per-phase spans laid back to back inside
+/// it (phases are accumulated, not timestamped — the trace stores only
+/// per-phase totals, so spans show proportion, in recorded phase order).
+/// Flight-recorder events render as instant events on `tid` 0, named by
+/// [`EventKind::name`](crate::recorder::EventKind::name) with their payload,
+/// `seq` and `epoch` in `args`. Traces without a stamped
+/// [`start_nanos`](crate::QueryTrace::start_nanos) are placed at their queue
+/// wait's length, so standalone traces still render.
+///
+/// Byte-deterministic for given inputs: timestamps come from the inputs, in
+/// input order, and numbers are formatted from integers.
+pub fn chrome_trace(traces: &[QueryTrace], events: &[Event]) -> String {
+    let mut out = String::from("{\"traceEvents\": [\n");
+    for trace in traces {
+        let tid = trace.worker + 1; // tid 0 is the event track
+        let start = if trace.start_nanos > 0 { trace.start_nanos } else { trace.queue_wait_nanos };
+        let ids: &[(&str, u64)] = &[("query", trace.query), ("k", u64::from(trace.k))];
+        if trace.queue_wait_nanos > 0 {
+            push_span(
+                &mut out,
+                &format!("queue:{}", trace.algorithm),
+                "queue",
+                start.saturating_sub(trace.queue_wait_nanos),
+                trace.queue_wait_nanos,
+                tid,
+                ids,
+            );
+        }
+        push_span(
+            &mut out,
+            &format!("serve:{}", trace.algorithm),
+            "service",
+            start,
+            trace.service_nanos,
+            tid,
+            ids,
+        );
+        let mut cursor = start;
+        for (phase, rec) in Phase::ALL.iter().zip(&trace.phases) {
+            if rec.calls == 0 && rec.work == 0 {
+                continue;
+            }
+            push_span(
+                &mut out,
+                phase.name(),
+                "phase",
+                cursor,
+                rec.nanos,
+                tid,
+                &[("calls", rec.calls), ("work", rec.work)],
+            );
+            cursor += rec.nanos;
+        }
+    }
+    for event in events {
+        out.push_str(&format!(
+            "    {{\"name\": {}, \"cat\": \"event\", \"ph\": \"i\", \"ts\": {}, \
+             \"pid\": 1, \"tid\": 0, \"s\": \"g\"",
+            json_string(event.kind.name()),
+            micros(event.nanos),
+        ));
+        let mut args: Vec<(&str, u64)> = vec![("seq", event.seq), ("epoch", event.epoch)];
+        match event.kind {
+            EventKind::AdmissionShed { class, count } => {
+                args.push(("class", class));
+                args.push(("count", count));
+            }
+            EventKind::PointsSwap { points, delta } => {
+                args.push(("points", points));
+                args.push(("delta", u64::from(delta)));
+            }
+            EventKind::PoolResize { pages } => args.push(("pages", pages)),
+            EventKind::PoolPolicy { policy } => args.push(("policy", policy)),
+            EventKind::PoolClear { reset_stats } => {
+                args.push(("reset_stats", u64::from(reset_stats)));
+            }
+            EventKind::WorkerStart { worker } => args.push(("worker", worker)),
+            EventKind::WorkerStop { worker, served } => {
+                args.push(("worker", worker));
+                args.push(("served", served));
+            }
+            EventKind::SloTransition { slo, from, to } => {
+                args.push(("slo", slo));
+                args.push(("from", from));
+                args.push(("to", to));
+            }
+            EventKind::SlowQuery { query, service_nanos, algorithm } => {
+                args.push(("query", query));
+                args.push(("service_nanos", service_nanos));
+                args.push(("algorithm", algorithm));
+            }
+        }
+        push_args(&mut out, &args);
+    }
+    // Strip the trailing comma of the last record (the writer emits one per
+    // line); an empty trace stays a bare array.
+    if out.ends_with(",\n") {
+        out.truncate(out.len() - 2);
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,5 +462,78 @@ mod tests {
         assert_eq!(prometheus_text(&snap), "");
         let json = report_json(&snap);
         assert!(json.contains("\"rows\": [\n  ]"));
+    }
+
+    #[test]
+    fn chrome_trace_renders_spans_and_instants_that_parse_back() {
+        use crate::json::JsonValue;
+        use crate::trace::PhaseRecord;
+
+        let mut trace = QueryTrace {
+            algorithm: "eager",
+            query: 42,
+            k: 2,
+            queue_wait_nanos: 1_500,
+            service_nanos: 10_000,
+            start_nanos: 50_000,
+            worker: 3,
+            ..Default::default()
+        };
+        trace.phases[Phase::Expansion.index()] = PhaseRecord { nanos: 6_000, calls: 1, work: 30 };
+        trace.phases[Phase::RangeNn.index()] = PhaseRecord { nanos: 4_000, calls: 5, work: 12 };
+        let events = vec![
+            Event {
+                seq: 0,
+                epoch: 2,
+                nanos: 55_000,
+                kind: EventKind::AdmissionShed { class: 0, count: 7 },
+            },
+            Event {
+                seq: 1,
+                epoch: 3,
+                nanos: 60_000,
+                kind: EventKind::SloTransition { slo: 0, from: 0, to: 2 },
+            },
+        ];
+
+        let text = chrome_trace(&[trace], &events);
+        assert_eq!(text, chrome_trace(&[trace], &events), "byte-deterministic");
+        let doc = JsonValue::parse(&text).expect("valid JSON");
+        let records = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // queue span + service span + 2 phase spans + 2 instants.
+        assert_eq!(records.len(), 6);
+        let queue = &records[0];
+        assert_eq!(queue.get("name").unwrap().as_str(), Some("queue:eager"));
+        assert_eq!(queue.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(queue.get("ts").unwrap().as_f64(), Some(48.5), "50µs start - 1.5µs wait");
+        assert_eq!(queue.get("dur").unwrap().as_f64(), Some(1.5));
+        let serve = &records[1];
+        assert_eq!(serve.get("name").unwrap().as_str(), Some("serve:eager"));
+        assert_eq!(serve.get("ts").unwrap().as_f64(), Some(50.0));
+        assert_eq!(serve.get("dur").unwrap().as_f64(), Some(10.0));
+        assert_eq!(serve.get("tid").unwrap().as_f64(), Some(4.0), "worker 3 on tid 4");
+        assert_eq!(serve.get("args").unwrap().get("query").unwrap().as_f64(), Some(42.0));
+        // Phase spans lie back to back inside the service span.
+        let (p0, p1) = (&records[2], &records[3]);
+        assert_eq!(p0.get("name").unwrap().as_str(), Some("expansion"));
+        assert_eq!(p0.get("ts").unwrap().as_f64(), Some(50.0));
+        assert_eq!(p1.get("name").unwrap().as_str(), Some("range_nn"));
+        assert_eq!(p1.get("ts").unwrap().as_f64(), Some(56.0));
+        assert_eq!(p1.get("args").unwrap().get("calls").unwrap().as_f64(), Some(5.0));
+        // Instants carry seq/epoch plus the payload on the event track.
+        let shed = &records[4];
+        assert_eq!(shed.get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(shed.get("tid").unwrap().as_f64(), Some(0.0));
+        assert_eq!(shed.get("args").unwrap().get("count").unwrap().as_f64(), Some(7.0));
+        let slo = &records[5];
+        assert_eq!(slo.get("name").unwrap().as_str(), Some("slo_transition"));
+        assert_eq!(slo.get("args").unwrap().get("to").unwrap().as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn empty_chrome_trace_is_still_valid_json() {
+        let text = chrome_trace(&[], &[]);
+        let doc = crate::json::JsonValue::parse(&text).expect("valid JSON");
+        assert_eq!(doc.get("traceEvents").unwrap().as_array().unwrap().len(), 0);
     }
 }

@@ -41,12 +41,20 @@
 
 pub mod export;
 pub mod histogram;
+pub mod json;
+pub mod recorder;
 pub mod registry;
+pub mod slo;
 pub mod slowlog;
 pub mod trace;
+pub mod window;
 
-pub use export::{prometheus_text, report_json};
+pub use export::{chrome_trace, prometheus_text, report_json};
 pub use histogram::LatencyHistogram;
+pub use json::{JsonError, JsonValue};
+pub use recorder::{Drained, Event, EventKind, FlightRecorder};
 pub use registry::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, SampleSet};
+pub use slo::{SloEngine, SloEngineBuilder, SloObjective, SloSpec, SloState, SloTransition};
 pub use slowlog::{SlowQueryLog, SlowQueryReport};
 pub use trace::{Phase, PhaseRecord, PhaseTimer, QueryTrace, TraceRecorder, Tracer};
+pub use window::{Clock, WindowedCounter, WindowedHistogram};

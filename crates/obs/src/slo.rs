@@ -1,0 +1,554 @@
+//! The SLO engine: declarative objectives, multi-window burn rates, and an
+//! `ok / warning / critical` alert state machine.
+//!
+//! An SLO ("99% of interactive requests under 10ms") defines an **error
+//! budget** — the fraction of events allowed to violate the objective
+//! (1% here). The **burn rate** over a window is the observed bad fraction
+//! divided by that budget: burn 1.0 spends the budget exactly as fast as
+//! allowed, burn 10 spends it ten times too fast. Following the multi-window
+//! discipline from the SRE literature, an alert fires only when **both** a
+//! short and a long window burn too fast: the short window gives detection
+//! latency (one epoch after a calibrated overload, see the `slo` repro
+//! experiment), the long window suppresses one-epoch blips, and recovery is
+//! symmetric — when the burst ends, the short window clears first and the
+//! state drops as soon as either window stops burning.
+//!
+//! Everything is evaluated against [`WindowedHistogram`] /
+//! [`WindowedCounter`] views on the same logical [`Clock`](crate::window::Clock)
+//! the instruments record under, so SLO evaluation is as deterministic as
+//! the window tests: no wall-clock anywhere.
+//!
+//! This PR is observe-only: the engine exports state and burn gauges,
+//! appends [`EventKind::SloTransition`] events to a flight recorder, and
+//! returns transitions from [`SloEngine::evaluate`] — nothing feeds
+//! admission control yet, but the state codes are shaped so a later PR can.
+
+use crate::recorder::{EventKind, FlightRecorder};
+use crate::registry::{Gauge, MetricsRegistry};
+use crate::window::{WindowedCounter, WindowedHistogram};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What an [`SloSpec`] promises.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SloObjective {
+    /// `quantile` of latencies stays at or under `threshold`: the error
+    /// budget is `1 - quantile`, and a sample is bad when it lands in a
+    /// bucket strictly above the threshold's
+    /// (see [`LatencyHistogram::count_over`](crate::LatencyHistogram::count_over)).
+    LatencyQuantile {
+        /// The promised quantile (e.g. `0.99`), in `(0, 1)`.
+        quantile: f64,
+        /// The latency objective.
+        threshold: Duration,
+    },
+    /// At most `max_ratio` of events are bad (e.g. shed / submitted): the
+    /// error budget *is* `max_ratio`.
+    ErrorRatio {
+        /// The tolerated bad fraction, in `(0, 1]`.
+        max_ratio: f64,
+    },
+}
+
+/// One declarative objective plus its alerting windows.
+#[derive(Clone, Debug)]
+pub struct SloSpec {
+    /// Stable name, used as the `slo` label on exported gauges.
+    pub name: String,
+    /// The promise.
+    pub objective: SloObjective,
+    /// Epochs in the fast-detection window (≥ 1).
+    pub short_window: u64,
+    /// Epochs in the blip-suppression window (≥ `short_window`).
+    pub long_window: u64,
+    /// Burn rate at or above which both windows must agree for `warning`.
+    pub warning_burn: f64,
+    /// Burn rate at or above which both windows must agree for `critical`.
+    pub critical_burn: f64,
+}
+
+impl SloSpec {
+    /// A latency-quantile SLO with conventional burn thresholds
+    /// (warning 2, critical 10) over a 1-epoch short and 4-epoch long
+    /// window.
+    pub fn latency(name: impl Into<String>, quantile: f64, threshold: Duration) -> Self {
+        SloSpec {
+            name: name.into(),
+            objective: SloObjective::LatencyQuantile { quantile, threshold },
+            short_window: 1,
+            long_window: 4,
+            warning_burn: 2.0,
+            critical_burn: 10.0,
+        }
+    }
+
+    /// An error-ratio SLO with the same conventional windows and burns.
+    pub fn error_ratio(name: impl Into<String>, max_ratio: f64) -> Self {
+        SloSpec {
+            name: name.into(),
+            objective: SloObjective::ErrorRatio { max_ratio },
+            short_window: 1,
+            long_window: 4,
+            warning_burn: 2.0,
+            critical_burn: 10.0,
+        }
+    }
+
+    /// Overrides the windows.
+    pub fn with_windows(mut self, short: u64, long: u64) -> Self {
+        self.short_window = short.max(1);
+        self.long_window = long.max(self.short_window);
+        self
+    }
+
+    /// Overrides the burn thresholds.
+    pub fn with_burns(mut self, warning: f64, critical: f64) -> Self {
+        self.warning_burn = warning;
+        self.critical_burn = critical.max(warning);
+        self
+    }
+}
+
+/// The alert state machine's states, ordered by severity. The `u64` codes
+/// (`Ok = 0`, `Warning = 1`, `Critical = 2`) are what the state gauge and
+/// [`EventKind::SloTransition`] carry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SloState {
+    /// Burning within budget on at least one window.
+    Ok,
+    /// Both windows burning at `warning_burn` or faster.
+    Warning,
+    /// Both windows burning at `critical_burn` or faster.
+    Critical,
+}
+
+impl SloState {
+    /// The exported code.
+    pub fn code(self) -> u64 {
+        match self {
+            SloState::Ok => 0,
+            SloState::Warning => 1,
+            SloState::Critical => 2,
+        }
+    }
+
+    /// Decodes an exported code (saturating at `Critical`).
+    pub fn from_code(code: u64) -> SloState {
+        match code {
+            0 => SloState::Ok,
+            1 => SloState::Warning,
+            _ => SloState::Critical,
+        }
+    }
+
+    /// A stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SloState::Ok => "ok",
+            SloState::Warning => "warning",
+            SloState::Critical => "critical",
+        }
+    }
+}
+
+/// One state change, as returned by [`SloEngine::evaluate`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloTransition {
+    /// Index of the spec in the engine (also the `slo` word of the recorded
+    /// event).
+    pub slo: usize,
+    /// The spec's name.
+    pub name: String,
+    /// The epoch the evaluation ran at.
+    pub epoch: u64,
+    /// Previous state.
+    pub from: SloState,
+    /// New state.
+    pub to: SloState,
+    /// Burn rate over the short window at evaluation time.
+    pub short_burn: f64,
+    /// Burn rate over the long window at evaluation time.
+    pub long_burn: f64,
+}
+
+/// What a spec is evaluated against.
+enum Binding {
+    /// Latency objective over a windowed histogram.
+    Latency(WindowedHistogram),
+    /// Ratio objective over `(bad, total)` windowed counters.
+    Ratio(WindowedCounter, WindowedCounter),
+}
+
+struct BoundSlo {
+    spec: SloSpec,
+    binding: Binding,
+    state: AtomicU64,
+    state_gauge: Option<Gauge>,
+    short_gauge: Option<Gauge>,
+    long_gauge: Option<Gauge>,
+}
+
+impl BoundSlo {
+    /// Burn rate over `window` epochs: observed bad fraction / error budget.
+    /// An empty window burns at 0 (nothing happened, nothing burned).
+    fn burn(&self, window: u64) -> f64 {
+        let (bad, total, budget) = match (&self.binding, self.spec.objective) {
+            (Binding::Latency(wh), SloObjective::LatencyQuantile { quantile, threshold }) => {
+                let h = wh.window_histogram(window);
+                (h.count_over(threshold), h.count(), 1.0 - quantile)
+            }
+            (Binding::Ratio(bad, total), SloObjective::ErrorRatio { max_ratio }) => {
+                (bad.window_sum(window), total.window_sum(window), max_ratio)
+            }
+            // `add_latency` / `add_ratio` pair bindings with matching
+            // objectives; the arms below are unreachable by construction.
+            (Binding::Latency(_), SloObjective::ErrorRatio { .. })
+            | (Binding::Ratio(..), SloObjective::LatencyQuantile { .. }) => unreachable!(),
+        };
+        if total == 0 || budget <= 0.0 {
+            return 0.0;
+        }
+        (bad as f64 / total as f64) / budget
+    }
+}
+
+/// Evaluates a set of bound [`SloSpec`]s at each clock tick. Shareable
+/// (`Arc` inside); the server ticks it from the same place it advances the
+/// clock.
+#[derive(Clone)]
+pub struct SloEngine {
+    slos: Arc<Vec<BoundSlo>>,
+}
+
+/// Builder for [`SloEngine`]: bind each spec to the windowed instrument it
+/// judges, then [`build`](SloEngineBuilder::build).
+#[derive(Default)]
+pub struct SloEngineBuilder {
+    slos: Vec<BoundSlo>,
+}
+
+impl SloEngineBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds a latency-quantile spec to the windowed histogram carrying the
+    /// latencies it judges.
+    ///
+    /// # Panics
+    /// Panics if the spec's objective is not [`SloObjective::LatencyQuantile`].
+    pub fn latency(mut self, spec: SloSpec, histogram: WindowedHistogram) -> Self {
+        assert!(
+            matches!(spec.objective, SloObjective::LatencyQuantile { .. }),
+            "'{}' is not a latency objective",
+            spec.name
+        );
+        self.slos.push(BoundSlo {
+            spec,
+            binding: Binding::Latency(histogram),
+            state: AtomicU64::new(SloState::Ok.code()),
+            state_gauge: None,
+            short_gauge: None,
+            long_gauge: None,
+        });
+        self
+    }
+
+    /// Binds an error-ratio spec to `(bad, total)` windowed counters.
+    ///
+    /// # Panics
+    /// Panics if the spec's objective is not [`SloObjective::ErrorRatio`].
+    pub fn ratio(mut self, spec: SloSpec, bad: WindowedCounter, total: WindowedCounter) -> Self {
+        assert!(
+            matches!(spec.objective, SloObjective::ErrorRatio { .. }),
+            "'{}' is not a ratio objective",
+            spec.name
+        );
+        self.slos.push(BoundSlo {
+            spec,
+            binding: Binding::Ratio(bad, total),
+            state: AtomicU64::new(SloState::Ok.code()),
+            state_gauge: None,
+            short_gauge: None,
+            long_gauge: None,
+        });
+        self
+    }
+
+    /// Registers per-spec gauges in `registry` — `rnn_slo_state{slo="..."}`
+    /// (the state code) and `rnn_slo_burn_{short,long}_permille{slo="..."}`
+    /// (burn rates scaled by 1000, saturating) — updated on every
+    /// [`SloEngine::evaluate`].
+    pub fn register(mut self, registry: &MetricsRegistry) -> Self {
+        for slo in &mut self.slos {
+            let label = format!("{{slo=\"{}\"}}", slo.spec.name);
+            slo.state_gauge = Some(registry.gauge(&format!("rnn_slo_state{label}")));
+            slo.short_gauge = Some(registry.gauge(&format!("rnn_slo_burn_short_permille{label}")));
+            slo.long_gauge = Some(registry.gauge(&format!("rnn_slo_burn_long_permille{label}")));
+        }
+        self
+    }
+
+    /// Finishes the engine.
+    pub fn build(self) -> SloEngine {
+        SloEngine { slos: Arc::new(self.slos) }
+    }
+}
+
+impl SloEngine {
+    /// Number of bound specs.
+    pub fn len(&self) -> usize {
+        self.slos.len()
+    }
+
+    /// `true` when no specs are bound.
+    pub fn is_empty(&self) -> bool {
+        self.slos.is_empty()
+    }
+
+    /// The spec at `index`.
+    pub fn spec(&self, index: usize) -> Option<&SloSpec> {
+        self.slos.get(index).map(|s| &s.spec)
+    }
+
+    /// The current state of the spec at `index`.
+    pub fn state(&self, index: usize) -> Option<SloState> {
+        self.slos.get(index).map(|s| SloState::from_code(s.state.load(Ordering::Relaxed)))
+    }
+
+    /// Evaluates every spec at `epoch`, updates gauges, appends an
+    /// [`EventKind::SloTransition`] per state change to `recorder` (when
+    /// given), and returns the transitions. Call once per clock tick from
+    /// one driver; evaluation is not a hot path (it merges window slots).
+    pub fn evaluate(&self, epoch: u64, recorder: Option<&FlightRecorder>) -> Vec<SloTransition> {
+        let mut transitions = Vec::new();
+        for (index, slo) in self.slos.iter().enumerate() {
+            let short_burn = slo.burn(slo.spec.short_window);
+            let long_burn = slo.burn(slo.spec.long_window);
+            let both_at_least = |t: f64| short_burn >= t && long_burn >= t;
+            let next = if both_at_least(slo.spec.critical_burn) {
+                SloState::Critical
+            } else if both_at_least(slo.spec.warning_burn) {
+                SloState::Warning
+            } else {
+                SloState::Ok
+            };
+            let prev = SloState::from_code(slo.state.swap(next.code(), Ordering::Relaxed));
+            let permille = |burn: f64| (burn * 1000.0).min(u64::MAX as f64) as u64;
+            if let Some(g) = &slo.state_gauge {
+                g.set(next.code());
+            }
+            if let Some(g) = &slo.short_gauge {
+                g.set(permille(short_burn));
+            }
+            if let Some(g) = &slo.long_gauge {
+                g.set(permille(long_burn));
+            }
+            if prev != next {
+                if let Some(rec) = recorder {
+                    rec.record(EventKind::SloTransition {
+                        slo: index as u64,
+                        from: prev.code(),
+                        to: next.code(),
+                    });
+                }
+                transitions.push(SloTransition {
+                    slo: index,
+                    name: slo.spec.name.clone(),
+                    epoch,
+                    from: prev,
+                    to: next,
+                    short_burn,
+                    long_burn,
+                });
+            }
+        }
+        transitions
+    }
+}
+
+impl std::fmt::Debug for SloEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_map();
+        for (i, slo) in self.slos.iter().enumerate() {
+            d.entry(&slo.spec.name, &self.state(i).unwrap_or(SloState::Ok).name());
+        }
+        d.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::Clock;
+    use crate::Counter;
+
+    /// 1ms objective at p99: the error budget is 1%.
+    fn latency_engine(clock: &Clock) -> (SloEngine, WindowedHistogram) {
+        let wh = WindowedHistogram::new(clock, 8);
+        let spec = SloSpec::latency("interactive-p99", 0.99, Duration::from_millis(1))
+            .with_windows(1, 4)
+            .with_burns(2.0, 10.0);
+        (SloEngineBuilder::new().latency(spec, wh.clone()).build(), wh)
+    }
+
+    #[test]
+    fn calibrated_burst_flips_to_critical_within_one_window_and_recovers() {
+        let clock = Clock::new();
+        let (engine, wh) = latency_engine(&clock);
+
+        // The driver pattern: record the epoch's traffic, evaluate (the
+        // current epoch is the newest window slot), then advance.
+        // Healthy epochs: 100 fast samples each, nothing over 1ms.
+        for _ in 0..4 {
+            for _ in 0..100 {
+                wh.record(Duration::from_micros(100));
+            }
+            let t = engine.evaluate(clock.now(), None);
+            assert!(t.is_empty(), "healthy traffic never transitions");
+            assert_eq!(engine.state(0), Some(SloState::Ok));
+            clock.advance();
+        }
+
+        // The burst: half the epoch's samples blow the objective. Bad
+        // fraction 0.5 / budget 0.01 = burn 50 on the short window; the
+        // long window sees 50/400 bad = burn 12.5 — both over critical.
+        for _ in 0..50 {
+            wh.record(Duration::from_micros(100));
+            wh.record(Duration::from_millis(20));
+        }
+        let t = engine.evaluate(clock.now(), None);
+        assert_eq!(t.len(), 1, "detected within one window");
+        assert_eq!(t[0].from, SloState::Ok);
+        assert_eq!(t[0].to, SloState::Critical);
+        assert!(t[0].short_burn >= 10.0 && t[0].long_burn >= 10.0);
+        clock.advance();
+
+        // Recovery: a healthy epoch again. The short window clears
+        // immediately, dropping the state out of critical even while the
+        // long window still remembers the burst.
+        for _ in 0..100 {
+            wh.record(Duration::from_micros(100));
+        }
+        let t = engine.evaluate(clock.now(), None);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].to, SloState::Ok, "short window cleared: {t:?}");
+        assert_eq!(engine.state(0), Some(SloState::Ok));
+    }
+
+    #[test]
+    fn one_epoch_blip_never_reaches_critical_without_the_long_window() {
+        let clock = Clock::new();
+        let (engine, wh) = latency_engine(&clock);
+        // A long healthy history...
+        for _ in 0..3 {
+            for _ in 0..1_000 {
+                wh.record(Duration::from_micros(50));
+            }
+            engine.evaluate(clock.now(), None);
+            clock.advance();
+        }
+        // ...then one epoch with a couple of slow queries out of 1000:
+        // short burn = (2/1000)/0.01 = 0.2 — under warning, no transition.
+        for _ in 0..998 {
+            wh.record(Duration::from_micros(50));
+        }
+        wh.record(Duration::from_millis(5));
+        wh.record(Duration::from_millis(5));
+        assert!(engine.evaluate(clock.now(), None).is_empty());
+        assert_eq!(engine.state(0), Some(SloState::Ok));
+    }
+
+    #[test]
+    fn ratio_slo_burns_on_shed_fraction_and_records_transitions() {
+        let clock = Clock::new();
+        let shed = WindowedCounter::new(&clock, 8, Counter::detached());
+        let submitted = WindowedCounter::new(&clock, 8, Counter::detached());
+        let spec = SloSpec::error_ratio("shed-ratio", 0.05).with_windows(1, 2).with_burns(2.0, 4.0);
+        let engine = SloEngineBuilder::new().ratio(spec, shed.clone(), submitted.clone()).build();
+        let recorder = FlightRecorder::new(8);
+
+        submitted.add(100);
+        assert!(engine.evaluate(clock.now(), Some(&recorder)).is_empty());
+        clock.advance();
+        // First bursty epoch: 30% shed against a 5% budget burns the short
+        // window at 6, but the long window still spans the healthy epoch
+        // (30/200 = 15% → burn 3) — warning, not critical.
+        submitted.add(100);
+        shed.add(30);
+        let t = engine.evaluate(clock.now(), Some(&recorder));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].to, SloState::Warning);
+        clock.advance();
+        // Second bursty epoch pushes the long window over too: critical.
+        submitted.add(100);
+        shed.add(30);
+        let t = engine.evaluate(clock.now(), Some(&recorder));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].from, SloState::Warning);
+        assert_eq!(t[0].to, SloState::Critical);
+        let kinds: Vec<EventKind> = recorder.drain().events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::SloTransition { slo: 0, from: 0, to: 1 },
+                EventKind::SloTransition { slo: 0, from: 1, to: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_windows_burn_nothing() {
+        let clock = Clock::new();
+        let (engine, _wh) = latency_engine(&clock);
+        for _ in 0..10 {
+            assert!(engine.evaluate(clock.now(), None).is_empty());
+            clock.advance();
+        }
+        assert_eq!(engine.state(0), Some(SloState::Ok));
+    }
+
+    #[test]
+    fn gauges_export_state_and_burn() {
+        let registry = MetricsRegistry::new();
+        let clock = Clock::new();
+        let wh = WindowedHistogram::new(&clock, 4);
+        let spec = SloSpec::latency("api", 0.99, Duration::from_millis(1)).with_windows(1, 1);
+        let engine = SloEngineBuilder::new().latency(spec, wh.clone()).register(&registry).build();
+        for _ in 0..10 {
+            wh.record(Duration::from_millis(20));
+        }
+        engine.evaluate(clock.now(), None);
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("rnn_slo_state{slo=\"api\"}"), Some(2));
+        // Bad fraction 1.0 / budget 0.01 = burn 100 → ~100_000 permille
+        // (within one ulp of the f64 budget).
+        let short = snap.gauge("rnn_slo_burn_short_permille{slo=\"api\"}").unwrap();
+        let long = snap.gauge("rnn_slo_burn_long_permille{slo=\"api\"}").unwrap();
+        assert!((99_990..=100_010).contains(&short), "short burn {short}");
+        assert_eq!(short, long);
+    }
+
+    #[test]
+    fn warning_sits_between_ok_and_critical() {
+        let clock = Clock::new();
+        let wh = WindowedHistogram::new(&clock, 4);
+        let spec = SloSpec::latency("mid", 0.9, Duration::from_millis(1))
+            .with_windows(1, 1)
+            .with_burns(2.0, 5.0);
+        let engine = SloEngineBuilder::new().latency(spec, wh.clone()).build();
+        // Bad fraction 0.3 against a 10% budget: burn 3 — warning only.
+        for _ in 0..7 {
+            wh.record(Duration::from_micros(10));
+        }
+        for _ in 0..3 {
+            wh.record(Duration::from_millis(10));
+        }
+        let t = engine.evaluate(clock.now(), None);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].to, SloState::Warning);
+        assert!(SloState::Warning > SloState::Ok && SloState::Critical > SloState::Warning);
+    }
+}

@@ -93,15 +93,18 @@ impl SlowQueryLog {
     }
 
     /// Offers one finished trace. Wait-free unless the trace is sampled or
-    /// beats the current worst-N threshold.
-    pub fn observe(&self, trace: &QueryTrace) {
+    /// beats the current worst-N threshold. Returns `true` when the trace
+    /// was admitted into the worst-N set (a *capture* — the server turns
+    /// these into flight-recorder events), `false` for fast-path exits and
+    /// uniform samples.
+    pub fn observe(&self, trace: &QueryTrace) -> bool {
         let n = self.seq.fetch_add(1, Ordering::Relaxed);
         let sampled =
             self.sample_every > 0 && splitmix64(self.seed ^ n).is_multiple_of(self.sample_every);
         let slow = self.worst_capacity > 0
             && trace.service_nanos >= self.threshold.load(Ordering::Relaxed);
         if !sampled && !slow {
-            return;
+            return false;
         }
         let mut state = lock(&self.state);
         if sampled && self.sample_capacity > 0 {
@@ -110,9 +113,11 @@ impl SlowQueryLog {
             }
             state.samples.push_back(*trace);
         }
+        let mut captured = false;
         if slow {
             if state.worst.len() < self.worst_capacity {
                 state.worst.push(*trace);
+                captured = true;
             } else if let Some((i, min)) = state
                 .worst
                 .iter()
@@ -122,6 +127,7 @@ impl SlowQueryLog {
             {
                 if trace.service_nanos > min {
                     state.worst[i] = *trace;
+                    captured = true;
                 }
             }
             if state.worst.len() == self.worst_capacity {
@@ -129,6 +135,7 @@ impl SlowQueryLog {
                 self.threshold.store(min, Ordering::Relaxed);
             }
         }
+        captured
     }
 
     /// Takes everything captured so far (worst traces slowest-first, samples

@@ -122,6 +122,14 @@ pub struct QueryTrace {
     pub queue_wait_nanos: u64,
     /// Dequeue-to-completion service time, nanoseconds.
     pub service_nanos: u64,
+    /// Service start on the owning process's monotonic timeline, nanoseconds
+    /// (0 when unstamped). The server stamps this so the Chrome-trace
+    /// exporter ([`crate::export::chrome_trace`]) can place the queue-wait
+    /// and phase spans on a shared timeline.
+    pub start_nanos: u64,
+    /// Index of the worker that served the query (one exporter track per
+    /// worker; 0 when unstamped).
+    pub worker: u32,
     /// Per-phase breakdown, indexed by [`Phase::index`].
     pub phases: [PhaseRecord; Phase::COUNT],
 }
@@ -134,6 +142,8 @@ impl Default for QueryTrace {
             k: 0,
             queue_wait_nanos: 0,
             service_nanos: 0,
+            start_nanos: 0,
+            worker: 0,
             phases: [PhaseRecord::default(); Phase::COUNT],
         }
     }

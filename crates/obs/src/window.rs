@@ -1,0 +1,473 @@
+//! Windowed telemetry: rate-over-window and quantile-over-window views.
+//!
+//! Everything else in this crate is cumulative-since-start — a p99 from
+//! [`MetricsRegistry::snapshot`] averages over the whole process lifetime,
+//! so an overload that started 30 seconds ago is invisible until it
+//! dominates history. [`WindowedCounter`] and [`WindowedHistogram`] fix that
+//! with a ring of `N` epoch buckets over the same striped counters and
+//! log-scale histograms, advanced by an explicit logical [`Clock`].
+//!
+//! # Clock semantics
+//!
+//! The clock is **logical**: an epoch is whatever the caller makes it — the
+//! server ticks once per drained micro-batch round, a benchmark ticks once
+//! per run phase, a test calls [`Clock::advance`] by hand. The record path
+//! never reads wall-clock time (it loads one atomic to learn the current
+//! epoch), so every window test is deterministic: record, advance, and the
+//! window views are exact functions of that interleaving.
+//!
+//! # Rotation protocol
+//!
+//! Rotation happens in [`Clock::advance`], not on the record path. `advance`
+//! first resets the ring slot the *new* epoch will use in every registered
+//! instrument, then publishes the new epoch (`Release`). A recorder that
+//! loads the new epoch (`Acquire`) therefore always finds its slot already
+//! reset; a recorder still holding the old epoch keeps adding to the old
+//! slot, which stays valid for `windows - 1` more epochs. The only hazard is
+//! a recorder stalled across a full ring lap (`windows` advances between
+//! loading the epoch and recording) — its sample lands in the wrong window,
+//! never corrupts totals (cumulative values are recorded separately), and
+//! cannot happen in single-threaded use at all.
+//!
+//! # Picking the window width
+//!
+//! `windows` bounds the longest view any consumer can ask for, and the SLO
+//! engine ([`crate::slo`]) wants its long window to fit inside it. Epochs
+//! cost one slot of memory each (`8` words for a counter, a full bucket
+//! array for a histogram), so tens of epochs are cheap; the server defaults
+//! to ring widths that hold the SLO engine's longest window plus slack.
+
+use crate::histogram::LatencyHistogram;
+use crate::registry::{Counter, HistogramCell, MetricsRegistry};
+use crate::trace::lock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A shared logical epoch counter driving windowed instruments.
+///
+/// Cloning shares the epoch and the instrument registrations. See the
+/// module docs for the rotation protocol.
+#[derive(Clone)]
+pub struct Clock {
+    inner: Arc<ClockInner>,
+}
+
+struct ClockInner {
+    epoch: AtomicU64,
+    rings: Mutex<Vec<Arc<dyn Rotate + Send + Sync>>>,
+}
+
+/// Ring rotation, called by [`Clock::advance`] before the new epoch is
+/// published.
+trait Rotate {
+    fn rotate(&self, next_epoch: u64);
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock {
+    /// A new clock at epoch 0 with no registered instruments.
+    pub fn new() -> Self {
+        Clock {
+            inner: Arc::new(ClockInner { epoch: AtomicU64::new(0), rings: Mutex::new(Vec::new()) }),
+        }
+    }
+
+    /// The current epoch.
+    pub fn now(&self) -> u64 {
+        self.inner.epoch.load(Ordering::Acquire)
+    }
+
+    /// Advances to the next epoch and returns it. Resets the slot the new
+    /// epoch maps to in every registered instrument *before* publishing the
+    /// epoch, so recorders never observe a fresh epoch with a stale slot.
+    /// O(instruments); call it from one driver (the server's micro-batch
+    /// tick, a test), not from record paths.
+    pub fn advance(&self) -> u64 {
+        let rings = lock(&self.inner.rings);
+        let next = self.inner.epoch.load(Ordering::Relaxed) + 1;
+        for ring in rings.iter() {
+            ring.rotate(next);
+        }
+        self.inner.epoch.store(next, Ordering::Release);
+        next
+    }
+
+    fn register(&self, ring: Arc<dyn Rotate + Send + Sync>) {
+        lock(&self.inner.rings).push(ring);
+    }
+}
+
+impl std::fmt::Debug for Clock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Clock")
+            .field("epoch", &self.now())
+            .field("instruments", &lock(&self.inner.rings).len())
+            .finish()
+    }
+}
+
+/// Inserts `suffix` before the label set of `name` (or appends it when the
+/// name carries no labels): `a{b="c"}` + `_window` → `a_window{b="c"}`.
+fn suffixed(name: &str, suffix: &str) -> String {
+    match name.find('{') {
+        Some(i) => format!("{}{}{}", &name[..i], suffix, &name[i..]),
+        None => format!("{name}{suffix}"),
+    }
+}
+
+struct CounterSlot {
+    epoch: AtomicU64,
+    value: AtomicU64,
+}
+
+struct WindowedCounterInner {
+    clock: Clock,
+    cumulative: Counter,
+    slots: Vec<CounterSlot>,
+}
+
+impl Rotate for WindowedCounterInner {
+    fn rotate(&self, next_epoch: u64) {
+        let slot = &self.slots[(next_epoch % self.slots.len() as u64) as usize];
+        slot.value.store(0, Ordering::Relaxed);
+        slot.epoch.store(next_epoch, Ordering::Release);
+    }
+}
+
+impl WindowedCounterInner {
+    /// Sum over the slots whose epoch lies in the last `window` epochs
+    /// (current epoch included).
+    fn window_sum(&self, window: u64) -> u64 {
+        let now = self.clock.now();
+        let oldest = now.saturating_sub(window.saturating_sub(1).min(self.slots.len() as u64 - 1));
+        self.slots
+            .iter()
+            .filter(|s| {
+                let e = s.epoch.load(Ordering::Acquire);
+                e >= oldest && e <= now
+            })
+            .map(|s| s.value.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A counter with both a cumulative total and a ring of per-epoch buckets.
+///
+/// [`add`](WindowedCounter::add) bumps the cumulative [`Counter`] (striped,
+/// wait-free) and the current epoch's ring slot (one `fetch_add`). Window
+/// views sum the in-window slots. Cloning shares the ring.
+#[derive(Clone)]
+pub struct WindowedCounter {
+    inner: Arc<WindowedCounterInner>,
+}
+
+impl WindowedCounter {
+    /// A windowed counter over `windows` epoch buckets, rotated by `clock`,
+    /// accumulating into `cumulative` (pass a registry counter to keep the
+    /// cumulative value exported, or [`Counter::detached`]).
+    ///
+    /// # Panics
+    /// Panics if `windows == 0`.
+    pub fn new(clock: &Clock, windows: usize, cumulative: Counter) -> Self {
+        assert!(windows > 0, "a windowed counter needs at least one epoch bucket");
+        let inner = Arc::new(WindowedCounterInner {
+            clock: clock.clone(),
+            cumulative,
+            slots: (0..windows)
+                .map(|_| CounterSlot { epoch: AtomicU64::new(0), value: AtomicU64::new(0) })
+                .collect(),
+        });
+        clock.register(Arc::clone(&inner) as Arc<dyn Rotate + Send + Sync>);
+        WindowedCounter { inner }
+    }
+
+    /// Registers `name` as a cumulative counter in `registry` plus a source
+    /// `{name}_window` (suffix inserted before any label set) exporting the
+    /// full-window sum as a gauge, and returns the windowed handle.
+    pub fn register(registry: &MetricsRegistry, name: &str, clock: &Clock, windows: usize) -> Self {
+        let wc = WindowedCounter::new(clock, windows, registry.counter(name));
+        let view = wc.clone();
+        let view_name = suffixed(name, "_window");
+        registry.register_source(&view_name.clone(), move |out| {
+            out.gauge(&view_name, view.window_sum(windows as u64));
+        });
+        wc
+    }
+
+    /// Adds `n` to the cumulative counter and the current epoch's bucket.
+    pub fn add(&self, n: u64) {
+        self.inner.cumulative.add(n);
+        let e = self.inner.clock.now();
+        let slot = &self.inner.slots[(e % self.inner.slots.len() as u64) as usize];
+        slot.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The cumulative-since-start value.
+    pub fn cumulative(&self) -> u64 {
+        self.inner.cumulative.value()
+    }
+
+    /// Sum over the last `window` epochs (current included); `window` is
+    /// capped at the ring width.
+    pub fn window_sum(&self, window: u64) -> u64 {
+        self.inner.window_sum(window)
+    }
+
+    /// The ring width in epochs.
+    pub fn windows(&self) -> usize {
+        self.inner.slots.len()
+    }
+}
+
+impl std::fmt::Debug for WindowedCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WindowedCounter")
+            .field("cumulative", &self.cumulative())
+            .field("window_sum", &self.window_sum(self.windows() as u64))
+            .finish()
+    }
+}
+
+struct HistogramSlot {
+    epoch: AtomicU64,
+    cell: HistogramCell,
+}
+
+struct WindowedHistogramInner {
+    clock: Clock,
+    cumulative: HistogramCell,
+    slots: Vec<HistogramSlot>,
+}
+
+impl Rotate for WindowedHistogramInner {
+    fn rotate(&self, next_epoch: u64) {
+        let slot = &self.slots[(next_epoch % self.slots.len() as u64) as usize];
+        slot.cell.reset();
+        slot.epoch.store(next_epoch, Ordering::Release);
+    }
+}
+
+impl WindowedHistogramInner {
+    fn window_histogram(&self, window: u64) -> LatencyHistogram {
+        let now = self.clock.now();
+        let oldest = now.saturating_sub(window.saturating_sub(1).min(self.slots.len() as u64 - 1));
+        let mut out = LatencyHistogram::new();
+        for slot in &self.slots {
+            let e = slot.epoch.load(Ordering::Acquire);
+            if e >= oldest && e <= now {
+                out.merge(&slot.cell.load());
+            }
+        }
+        out
+    }
+}
+
+/// A histogram with both a cumulative distribution and a ring of per-epoch
+/// buckets, yielding quantile-over-window views.
+///
+/// [`record`](WindowedHistogram::record) feeds the cumulative cell and the
+/// current epoch's slot; [`window_histogram`](Self::window_histogram) merges
+/// the in-window slots into one [`LatencyHistogram`], so a windowed p99 is
+/// `window_histogram(n).p99()`. Cloning shares the ring.
+#[derive(Clone)]
+pub struct WindowedHistogram {
+    inner: Arc<WindowedHistogramInner>,
+}
+
+impl WindowedHistogram {
+    /// A windowed histogram over `windows` epoch buckets rotated by `clock`.
+    ///
+    /// # Panics
+    /// Panics if `windows == 0`.
+    pub fn new(clock: &Clock, windows: usize) -> Self {
+        assert!(windows > 0, "a windowed histogram needs at least one epoch bucket");
+        let inner = Arc::new(WindowedHistogramInner {
+            clock: clock.clone(),
+            cumulative: HistogramCell::default(),
+            slots: (0..windows)
+                .map(|_| HistogramSlot { epoch: AtomicU64::new(0), cell: HistogramCell::default() })
+                .collect(),
+        });
+        clock.register(Arc::clone(&inner) as Arc<dyn Rotate + Send + Sync>);
+        WindowedHistogram { inner }
+    }
+
+    /// Registers the cumulative distribution under `name` in `registry` plus
+    /// a `{name}_window` histogram source carrying the full-window merge,
+    /// and returns the windowed handle.
+    pub fn register(registry: &MetricsRegistry, name: &str, clock: &Clock, windows: usize) -> Self {
+        let wh = WindowedHistogram::new(clock, windows);
+        let cumulative = wh.clone();
+        let cumulative_name = name.to_string();
+        registry.register_source(name, move |out| {
+            out.histogram(&cumulative_name, cumulative.cumulative());
+        });
+        let view = wh.clone();
+        let view_name = suffixed(name, "_window");
+        registry.register_source(&view_name.clone(), move |out| {
+            out.histogram(&view_name, view.window_histogram(windows as u64));
+        });
+        wh
+    }
+
+    /// Records one sample into the cumulative cell and the current epoch's
+    /// slot. Wait-free: two concurrent-histogram records plus one epoch
+    /// load.
+    pub fn record(&self, sample: Duration) {
+        self.record_nanos(u64::try_from(sample.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Records a sample already expressed in nanoseconds.
+    pub fn record_nanos(&self, nanos: u64) {
+        self.inner.cumulative.record(nanos);
+        let e = self.inner.clock.now();
+        let slot = &self.inner.slots[(e % self.inner.slots.len() as u64) as usize];
+        slot.cell.record(nanos);
+    }
+
+    /// The cumulative-since-start distribution.
+    pub fn cumulative(&self) -> LatencyHistogram {
+        self.inner.cumulative.load()
+    }
+
+    /// The merged distribution over the last `window` epochs (current
+    /// included); `window` is capped at the ring width.
+    pub fn window_histogram(&self, window: u64) -> LatencyHistogram {
+        self.inner.window_histogram(window)
+    }
+
+    /// The ring width in epochs.
+    pub fn windows(&self) -> usize {
+        self.inner.slots.len()
+    }
+}
+
+impl std::fmt::Debug for WindowedHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WindowedHistogram")
+            .field("cumulative", &self.cumulative())
+            .field("window", &self.window_histogram(self.windows() as u64))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windowed_counter_expires_old_epochs() {
+        let clock = Clock::new();
+        let wc = WindowedCounter::new(&clock, 3, Counter::detached());
+        wc.add(5);
+        assert_eq!(wc.window_sum(3), 5);
+        clock.advance(); // epoch 1
+        wc.add(7);
+        clock.advance(); // epoch 2
+        wc.add(11);
+        assert_eq!(wc.window_sum(1), 11);
+        assert_eq!(wc.window_sum(2), 18);
+        assert_eq!(wc.window_sum(3), 23);
+        clock.advance(); // epoch 3: the ring reuses epoch 0's slot
+        assert_eq!(wc.window_sum(3), 18, "epoch 0 expired");
+        clock.advance();
+        clock.advance(); // epoch 5: everything expired
+        assert_eq!(wc.window_sum(3), 0);
+        assert_eq!(wc.cumulative(), 23, "cumulative survives expiry");
+    }
+
+    #[test]
+    fn windowed_histogram_views_are_per_window_merges() {
+        let clock = Clock::new();
+        let wh = WindowedHistogram::new(&clock, 4);
+        wh.record(Duration::from_micros(10));
+        clock.advance();
+        wh.record(Duration::from_micros(1000));
+        assert_eq!(wh.window_histogram(1).count(), 1);
+        assert_eq!(wh.window_histogram(1).max(), Duration::from_micros(1000));
+        assert_eq!(wh.window_histogram(2).count(), 2);
+        assert_eq!(wh.window_histogram(2).min(), Duration::from_micros(10));
+        // Advance until the slow epoch falls out of a 2-epoch window.
+        clock.advance();
+        assert_eq!(wh.window_histogram(2).count(), 1);
+        clock.advance();
+        assert_eq!(wh.window_histogram(2).count(), 0);
+        assert_eq!(wh.cumulative().count(), 2);
+    }
+
+    #[test]
+    fn window_wider_than_ring_is_capped() {
+        let clock = Clock::new();
+        let wc = WindowedCounter::new(&clock, 2, Counter::detached());
+        wc.add(1);
+        clock.advance();
+        wc.add(2);
+        assert_eq!(wc.window_sum(100), 3, "capped at the 2-slot ring");
+        clock.advance();
+        assert_eq!(wc.window_sum(100), 2);
+    }
+
+    #[test]
+    fn registered_instruments_export_cumulative_and_window_views() {
+        let registry = MetricsRegistry::new();
+        let clock = Clock::new();
+        let wc = WindowedCounter::register(&registry, "rnn_x_total{k=\"v\"}", &clock, 4);
+        let wh = WindowedHistogram::register(&registry, "rnn_y_nanos", &clock, 4);
+        wc.add(3);
+        wh.record(Duration::from_micros(5));
+        clock.advance();
+        wc.add(4);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("rnn_x_total{k=\"v\"}"), Some(7));
+        assert_eq!(snap.gauge("rnn_x_total_window{k=\"v\"}"), Some(7));
+        assert_eq!(snap.histogram("rnn_y_nanos").unwrap().count(), 1);
+        assert_eq!(snap.histogram("rnn_y_nanos_window").unwrap().count(), 1);
+        // Expire everything out of the ring: window views drop, cumulative
+        // stays.
+        for _ in 0..4 {
+            clock.advance();
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("rnn_x_total{k=\"v\"}"), Some(7));
+        assert_eq!(snap.gauge("rnn_x_total_window{k=\"v\"}"), Some(0));
+        assert_eq!(snap.histogram("rnn_y_nanos_window").unwrap().count(), 0);
+    }
+
+    #[test]
+    fn concurrent_recorders_never_lose_cumulative_counts() {
+        let clock = Clock::new();
+        let wh = WindowedHistogram::new(&clock, 4);
+        let wc = WindowedCounter::new(&clock, 4, Counter::detached());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let (wh, wc) = (wh.clone(), wc.clone());
+                s.spawn(move || {
+                    for i in 0..2_000u64 {
+                        wh.record_nanos(i + 1);
+                        wc.inc();
+                    }
+                });
+            }
+            for _ in 0..50 {
+                clock.advance();
+                std::thread::yield_now();
+            }
+        });
+        assert_eq!(wh.cumulative().count(), 8_000);
+        assert_eq!(wc.cumulative(), 8_000);
+        // Ring slots only ever hold a subset of the cumulative stream.
+        assert!(wh.window_histogram(4).count() <= 8_000);
+        assert!(wc.window_sum(4) <= 8_000);
+    }
+}

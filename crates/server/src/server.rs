@@ -47,12 +47,16 @@
 use crate::queue::{Admission, BackpressurePolicy, RequestQueue};
 use crate::request::{Priority, Queued, Request, ServeError, ServedQuery, Ticket};
 use crate::stats::{algorithm_index, ClassStats, PublishedMetrics, ServerStats, WorkerMetrics};
+use crate::telemetry::{Telemetry, TelemetryConfig};
 use parking_lot::RwLock;
 use rnn_core::engine::QueryEngine;
 use rnn_core::{Algorithm, HubLabelRknn, MaterializedKnn, Scratch, SharedResultCache};
 use rnn_graph::{NodeId, PointsOnNodes, Topology};
 use rnn_index::HubLabelIndex;
-use rnn_obs::{LatencyHistogram, MetricsRegistry, SlowQueryLog, SlowQueryReport, TraceRecorder};
+use rnn_obs::{
+    Drained, EventKind, FlightRecorder, LatencyHistogram, MetricsRegistry, SloEngine,
+    SloTransition, SlowQueryLog, SlowQueryReport, TraceRecorder,
+};
 use rnn_storage::{EvictionPolicy, IoCounters, StorageControl};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -384,9 +388,23 @@ struct Shared {
     /// Worst-N + uniform-sample trace capture, drained through
     /// [`Server::drain_slow_queries`].
     slow_log: Option<SlowQueryLog>,
+    /// The time-aware half of the observability stack — windowed
+    /// instruments, SLO engine and flight recorder (present only under
+    /// [`Server::start_with_telemetry`]).
+    telemetry: Option<Telemetry>,
+    /// When the server started: the zero point of every
+    /// [`rnn_obs::QueryTrace::start_nanos`] stamp and flight-recorder event
+    /// timestamp, so one serving run shares one trace timeline.
+    started: Instant,
 }
 
 impl Shared {
+    /// Nanoseconds since the server started — the shared timeline of trace
+    /// `start_nanos` stamps and flight-recorder event timestamps.
+    fn nanos_since_start(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
     /// Resolves one admission decision into the caller-visible result,
     /// updating the submitter's (and, for an evicted victim, the victim's)
     /// class counters. Shared by [`Server::submit`] and
@@ -408,7 +426,11 @@ impl Shared {
                 class.accepted.fetch_add(1, Ordering::Relaxed);
                 // The victim is shed against *its* class, not the
                 // submitter's.
-                self.counts.class(victim.request.priority).shed.fetch_add(1, Ordering::Relaxed);
+                let victim_class = victim.request.priority;
+                self.counts.class(victim_class).shed.fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = &self.telemetry {
+                    t.on_dropped(victim_class, true, self.nanos_since_start());
+                }
                 victim.fail(ServeError::Shed);
                 Ok(ticket)
             }
@@ -417,17 +439,26 @@ impl Shared {
                 // was never enqueued, and resolves through its ticket like
                 // every other shed.
                 class.shed.fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = &self.telemetry {
+                    t.on_dropped(priority, true, self.nanos_since_start());
+                }
                 newcomer.fail(ServeError::Shed);
                 Ok(ticket)
             }
             Admission::Rejected(unadmitted) => {
                 class.rejected.fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = &self.telemetry {
+                    t.on_dropped(priority, false, self.nanos_since_start());
+                }
                 // The drop resolves the never-handed-out ticket (Lost).
                 drop(unadmitted);
                 Err(ServeError::QueueFull)
             }
             Admission::Closed(unadmitted) => {
                 class.rejected.fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = &self.telemetry {
+                    t.on_dropped(priority, false, self.nanos_since_start());
+                }
                 drop(unadmitted);
                 Err(ServeError::ShuttingDown)
             }
@@ -609,14 +640,14 @@ impl Server {
     /// To serve a disk-resident world with I/O accounting, pass the paged
     /// graph's counters via [`Server::start_with_io`].
     pub fn start(world: World, config: ServerConfig) -> Server {
-        Self::start_inner(world, config, None, None)
+        Self::start_inner(world, config, None, None, None)
     }
 
     /// [`Server::start`] plus I/O attribution: `counters` (e.g.
     /// `PagedGraph::counters()`) are snapshotted into [`ServerStats::io`]
     /// and retired per worker on shutdown.
     pub fn start_with_io(world: World, config: ServerConfig, counters: IoCounters) -> Server {
-        Self::start_inner(world, config, Some(counters), None)
+        Self::start_inner(world, config, Some(counters), None, None)
     }
 
     /// [`Server::start_with_io`] (with `io` optional) plus observability:
@@ -632,7 +663,26 @@ impl Server {
         io: Option<IoCounters>,
         registry: &MetricsRegistry,
     ) -> Server {
-        Self::start_inner(world, config, io, Some(registry))
+        Self::start_inner(world, config, io, Some(registry), None)
+    }
+
+    /// [`Server::start_observed`] plus the time-aware telemetry stack:
+    /// windowed per-class latency and admission instruments on a logical
+    /// clock, an SLO engine evaluated at every epoch tick, and a flight
+    /// recorder of structured serving events (admission sheds, point
+    /// swaps, worker lifecycle, slow-query captures, SLO transitions —
+    /// and, when the world carries a storage-control handle, buffer-pool
+    /// resize / policy / clear events). See [`TelemetryConfig`] for the
+    /// clock-driving options and [`Server::advance_epoch`] for the manual
+    /// driver.
+    pub fn start_with_telemetry(
+        world: World,
+        config: ServerConfig,
+        telemetry: TelemetryConfig,
+        io: Option<IoCounters>,
+        registry: &MetricsRegistry,
+    ) -> Server {
+        Self::start_inner(world, config, io, Some(registry), Some(telemetry))
     }
 
     fn start_inner(
@@ -640,6 +690,7 @@ impl Server {
         config: ServerConfig,
         io: Option<IoCounters>,
         registry: Option<&MetricsRegistry>,
+        telemetry: Option<TelemetryConfig>,
     ) -> Server {
         // Apply the storage knobs before any worker can fetch a page, so the
         // whole serving lifetime runs under one policy/prefetch setting.
@@ -674,6 +725,18 @@ impl Server {
                     config.slow_seed,
                 )
             });
+        let telemetry = match (telemetry, registry) {
+            (Some(t), Some(registry)) => Some(Telemetry::new(t, registry)),
+            _ => None,
+        };
+        // Hand the flight recorder to the storage layer's control paths, so
+        // runtime resize / policy / clear actions land on the same event
+        // timeline as the serving events.
+        if let (Some(t), Some(storage)) = (&telemetry, &world.storage) {
+            if let Some(events) = t.recorder() {
+                storage.set_event_sink(events);
+            }
+        }
         let shared = Arc::new(Shared {
             queue: RequestQueue::new(
                 config.queue_capacity.max(1),
@@ -689,6 +752,8 @@ impl Server {
             tracing: config.tracing,
             recorder,
             slow_log,
+            telemetry,
+            started: Instant::now(),
         });
         if let Some(registry) = registry {
             register_server_source(registry, &shared);
@@ -719,10 +784,16 @@ impl Server {
     pub fn submit(&self, request: Request) -> Result<Ticket, ServeError> {
         let class = self.shared.counts.class(request.priority);
         class.submitted.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = &self.shared.telemetry {
+            t.on_arrival(request.priority);
+        }
         // Admission validation: refuse now what no worker could ever serve
         // (panicking a worker thread instead would poison the whole pool).
         if request.k == 0 || !self.shared.world.read().can_serve(request.algorithm) {
             class.rejected.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = &self.shared.telemetry {
+                t.on_dropped(request.priority, false, self.shared.nanos_since_start());
+            }
             return Err(ServeError::Unservable);
         }
         let (queued, ticket) = Queued::new(request);
@@ -753,8 +824,14 @@ impl Server {
             for (slot, &request) in requests.iter().enumerate() {
                 let class = counts.class(request.priority);
                 class.submitted.fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = &self.shared.telemetry {
+                    t.on_arrival(request.priority);
+                }
                 if request.k == 0 || !world.can_serve(request.algorithm) {
                     class.rejected.fetch_add(1, Ordering::Relaxed);
+                    if let Some(t) = &self.shared.telemetry {
+                        t.on_dropped(request.priority, false, self.shared.nanos_since_start());
+                    }
                     results.push(Some(Err(ServeError::Unservable)));
                 } else {
                     let (queued, ticket) = Queued::new(request);
@@ -785,6 +862,7 @@ impl Server {
         hub_labels: Option<Arc<dyn HubLabelRknn + Send + Sync>>,
     ) {
         let mut world = self.shared.world.write();
+        let num_points = points.num_points() as u64;
         world.points = points;
         world.materialized = materialized;
         world.hub_labels = hub_labels;
@@ -795,6 +873,12 @@ impl Server {
         world.hub_index = None;
         if let Some(cache) = &self.shared.cache {
             cache.invalidate_all();
+        }
+        if let Some(t) = &self.shared.telemetry {
+            t.record_event(
+                self.shared.nanos_since_start(),
+                EventKind::PointsSwap { points: num_points, delta: false },
+            );
         }
     }
 
@@ -848,12 +932,19 @@ impl Server {
             "updates must reconcile the index with the new point set"
         );
         world.hub_labels = Some(Arc::clone(shared_index) as Arc<dyn HubLabelRknn + Send + Sync>);
+        let num_points = points.num_points() as u64;
         world.points = points;
         world.materialized = materialized;
         // Sweep under the write lock, like the full swap: no in-flight
         // micro-batch can insert a stale answer after this.
         if let Some(cache) = &self.shared.cache {
             cache.invalidate_all();
+        }
+        if let Some(t) = &self.shared.telemetry {
+            t.record_event(
+                self.shared.nanos_since_start(),
+                EventKind::PointsSwap { points: num_points, delta: true },
+            );
         }
         true
     }
@@ -890,6 +981,45 @@ impl Server {
         self.shared.slow_log.as_ref().map(|log| log.drain()).unwrap_or_default()
     }
 
+    /// Takes everything the flight recorder captured since the last drain
+    /// (ascending sequence order, plus the count of events lost to ring
+    /// lapping). Empty without telemetry
+    /// ([`Server::start_with_telemetry`]). Like
+    /// [`Server::drain_slow_queries`], this works on a [`Server::close`]d
+    /// or [`Server::join`]ed server — drain *after* joining to be sure the
+    /// worker-stop events are in.
+    pub fn drain_events(&self) -> Drained {
+        self.shared.telemetry.as_ref().map(|t| t.drain_events()).unwrap_or_default()
+    }
+
+    /// The flight recorder itself, when telemetry is on — for handing to
+    /// other emitting layers or exporters.
+    pub fn flight_recorder(&self) -> Option<Arc<FlightRecorder>> {
+        self.shared.telemetry.as_ref().and_then(|t| t.recorder())
+    }
+
+    /// The current logical telemetry epoch (0 without telemetry).
+    pub fn epoch(&self) -> u64 {
+        self.shared.telemetry.as_ref().map(|t| t.epoch()).unwrap_or(0)
+    }
+
+    /// The SLO engine, when telemetry is on (a clone sharing state — poll
+    /// [`SloEngine::state`] from anywhere).
+    pub fn slo(&self) -> Option<SloEngine> {
+        self.shared.telemetry.as_ref().map(|t| t.slo())
+    }
+
+    /// Manually ends the current telemetry epoch: evaluates every SLO
+    /// against the epoch's traffic (appending
+    /// [`rnn_obs::EventKind::SloTransition`] events), *then* advances the
+    /// clock, and returns the transitions. This is the deterministic
+    /// driver benchmarks and tests use; the automatic micro-batch tick
+    /// ([`TelemetryConfig::with_tick_micro_batches`]) does exactly the
+    /// same. Empty without telemetry.
+    pub fn advance_epoch(&self) -> Vec<SloTransition> {
+        self.shared.telemetry.as_ref().map(|t| t.advance_epoch()).unwrap_or_default()
+    }
+
     /// A point-in-time snapshot of counters, latency histograms and the
     /// cache / I/O rollups. **Wait-free**: atomic loads plus one seqlock
     /// snapshot read per worker — a poll never contends with an in-flight
@@ -914,11 +1044,17 @@ impl Server {
     /// accepted request is completed (or shed) before this returns; blocked
     /// submitters wake with [`ServeError::ShuttingDown`].
     pub fn shutdown(mut self) -> ServerStats {
-        self.close_and_join();
+        self.join();
         self.stats()
     }
 
-    fn close_and_join(&mut self) {
+    /// [`Server::shutdown`] without consuming the handle: stops admission,
+    /// drains the queue, joins the workers — and leaves the server alive
+    /// so the post-mortem drains ([`Server::drain_slow_queries`],
+    /// [`Server::drain_events`]) and [`Server::stats`] still work. This is
+    /// the shape a crash handler or test harness wants: quiesce first,
+    /// *then* pull the flight recorder and slow-query evidence. Idempotent.
+    pub fn join(&mut self) {
         self.shared.queue.close();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
@@ -931,7 +1067,7 @@ impl Drop for Server {
     /// drain-then-join as [`Server::shutdown`] (which has already emptied
     /// `workers` when it was called first).
     fn drop(&mut self) {
-        self.close_and_join();
+        self.join();
     }
 }
 
@@ -957,7 +1093,14 @@ fn worker_loop(shared: &Shared, worker_id: usize) {
     // micro-batch they are published wait-free through the seqlock snapshot
     // (never a lock a stats() poll could contend on).
     let mut metrics = WorkerMetrics::default();
+    let mut served: u64 = 0;
     let shedding = shared.queue.policy() == BackpressurePolicy::Shed;
+    if let Some(t) = &shared.telemetry {
+        t.record_event(
+            shared.nanos_since_start(),
+            EventKind::WorkerStart { worker: worker_id as u64 },
+        );
+    }
     loop {
         batch.clear();
         shared.queue.pop_batch(&mut batch, shared.micro_batch);
@@ -986,6 +1129,9 @@ fn worker_loop(shared: &Shared, worker_id: usize) {
             // engine panic (which would kill the worker for good).
             if !world.can_serve(queued.request.algorithm) {
                 class.rejected.fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = &shared.telemetry {
+                    t.on_dropped(priority, false, shared.nanos_since_start());
+                }
                 queued.fail(ServeError::Unservable);
                 continue;
             }
@@ -996,6 +1142,9 @@ fn worker_loop(shared: &Shared, worker_id: usize) {
                 latencies.queue_wait.record(queue_wait);
                 class.shed.fetch_add(1, Ordering::Relaxed);
                 class.shed_at_dequeue.fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = &shared.telemetry {
+                    t.on_dropped(priority, true, shared.nanos_since_start());
+                }
                 queued.fail(ServeError::Shed);
                 continue;
             }
@@ -1004,31 +1153,64 @@ fn worker_loop(shared: &Shared, worker_id: usize) {
             if shared.tracing {
                 if let Some(mut trace) = scratch.tracer_mut().take_completed() {
                     // The engine stamped the compute-side split; the server
-                    // adds what only it knows — the queue wait.
+                    // adds what only it knows — the queue wait, the worker,
+                    // and where the service span sits on the shared
+                    // timeline.
                     trace.queue_wait_nanos =
                         u64::try_from(queue_wait.as_nanos()).unwrap_or(u64::MAX);
+                    trace.worker = worker_id as u32;
+                    trace.start_nanos =
+                        u64::try_from(start.duration_since(shared.started).as_nanos())
+                            .unwrap_or(u64::MAX);
                     if let Some(recorder) = &shared.recorder {
                         recorder.record(algorithm_index(queued.request.algorithm), &trace);
                     }
                     if let Some(log) = &shared.slow_log {
-                        log.observe(&trace);
+                        let captured = log.observe(&trace);
+                        if captured {
+                            if let Some(t) = &shared.telemetry {
+                                t.record_event(
+                                    trace.start_nanos,
+                                    EventKind::SlowQuery {
+                                        query: trace.query,
+                                        service_nanos: trace.service_nanos,
+                                        algorithm: algorithm_index(queued.request.algorithm) as u64,
+                                    },
+                                );
+                            }
+                        }
                     }
                 }
             }
             latencies.queue_wait.record(queue_wait);
             latencies.service.record(service_time);
             class.completed.fetch_add(1, Ordering::Relaxed);
+            served += 1;
+            if let Some(t) = &shared.telemetry {
+                t.on_completed(priority, queue_wait + service_time);
+            }
             shared.counts.per_algorithm[algorithm_index(queued.request.algorithm)]
                 .fetch_add(1, Ordering::Relaxed);
             queued.complete(ServedQuery { outcome, queue_wait, service_time, worker: worker_id });
         }
         metrics.micro_batches += 1;
         shared.metrics[worker_id].publish(&metrics);
+        // The automatic clock driver: the worker that completes the Nth
+        // micro-batch evaluates the SLOs and advances the epoch.
+        if let Some(t) = &shared.telemetry {
+            t.on_micro_batch();
+        }
     }
     // Fold this worker's per-thread I/O into the retired total, exactly as
     // the batch engine's workers do (ThreadIds are never reused).
     if let Some(io) = &shared.io {
         io.retire_current_thread();
+    }
+    if let Some(t) = &shared.telemetry {
+        t.record_event(
+            shared.nanos_since_start(),
+            EventKind::WorkerStop { worker: worker_id as u64, served },
+        );
     }
 }
 
@@ -1704,6 +1886,159 @@ mod tests {
         let snap = registry.snapshot();
         assert_eq!(snap.counter("rnn_server_completed_total"), Some(1));
         assert_eq!(snap.counter("rnn_trace_queries_total{algorithm=\"naive\"}"), None);
+    }
+
+    #[test]
+    fn telemetry_windows_slos_and_flight_recorder_work_end_to_end() {
+        use crate::telemetry::TelemetryConfig;
+        use rnn_obs::{SloSpec, SloState};
+
+        let (_, points, w) = world(9, 7);
+        let registry = MetricsRegistry::new();
+        // Threshold ZERO makes every completed request an SLO violation:
+        // burn = 1.0 / 0.01 = 100 >> critical. Windows of (1, 2) epochs.
+        let telemetry = TelemetryConfig::new()
+            .with_window_epochs(8)
+            .with_recorder_capacity(128)
+            .with_latency_slo(
+                Priority::Interactive,
+                SloSpec::latency("interactive_latency", 0.99, Duration::ZERO).with_windows(1, 2),
+            )
+            .with_dropped_slo(
+                Priority::Interactive,
+                SloSpec::error_ratio("interactive_drops", 0.05).with_windows(1, 2),
+            );
+        let mut server = Server::start_with_telemetry(
+            w,
+            ServerConfig::default().with_workers(2).with_slow_query_log(3, 0, 0, 7),
+            telemetry,
+            None,
+            &registry,
+        );
+        assert_eq!(server.epoch(), 0);
+        let slo = server.slo().expect("telemetry carries an SLO engine");
+        assert_eq!(slo.len(), 2);
+
+        for q in 0..30 {
+            server
+                .submit(Request::new(Algorithm::Eager, NodeId::new(q), 2))
+                .unwrap()
+                .wait()
+                .unwrap();
+        }
+        // Evaluate-then-advance: epoch 0's traffic flips the latency SLO.
+        let transitions = server.advance_epoch();
+        assert_eq!(server.epoch(), 1);
+        assert_eq!(transitions.len(), 1, "only the latency SLO transitions");
+        assert_eq!(transitions[0].name, "interactive_latency");
+        assert_eq!(transitions[0].from, SloState::Ok);
+        assert_eq!(transitions[0].to, SloState::Critical);
+        assert_eq!(slo.state(0), Some(SloState::Critical));
+        assert_eq!(slo.state(1), Some(SloState::Ok), "no drops: the ratio SLO stays ok");
+
+        // An empty epoch recovers: the 1-epoch short window stops burning.
+        let transitions = server.advance_epoch();
+        assert_eq!(transitions.len(), 1);
+        assert_eq!(transitions[0].to, SloState::Ok);
+
+        // A swap lands on the event timeline.
+        server.swap_points(points.clone(), None, None);
+
+        // Windowed instruments exported alongside the cumulative values.
+        let snap = registry.snapshot();
+        let cumulative = snap.histogram("rnn_server_latency_nanos{class=\"interactive\"}").unwrap();
+        assert_eq!(cumulative.count(), 30);
+        let window =
+            snap.histogram("rnn_server_latency_nanos_window{class=\"interactive\"}").unwrap();
+        assert_eq!(window.count(), 30, "the 8-epoch ring still holds epoch 0");
+        assert_eq!(snap.counter("rnn_server_arrivals_total{class=\"interactive\"}"), Some(30));
+        assert_eq!(snap.gauge("rnn_server_dropped_total_window{class=\"interactive\"}"), Some(0));
+        assert_eq!(snap.gauge("rnn_telemetry_epoch"), Some(2));
+        assert_eq!(snap.gauge("rnn_slo_state{slo=\"interactive_latency\"}"), Some(0));
+        assert_eq!(snap.gauge("rnn_recorder_capacity"), Some(128));
+
+        // Quiesce without consuming the handle, then pull the evidence.
+        server.join();
+        let drained = server.drain_events();
+        assert_eq!(drained.dropped, 0);
+        let names: Vec<&str> = drained.events.iter().map(|e| e.kind.name()).collect();
+        assert_eq!(names.iter().filter(|n| **n == "worker_start").count(), 2);
+        assert_eq!(names.iter().filter(|n| **n == "worker_stop").count(), 2);
+        assert_eq!(names.iter().filter(|n| **n == "slo_transition").count(), 2);
+        assert_eq!(names.iter().filter(|n| **n == "points_swap").count(), 1);
+        assert!(names.contains(&"slow_query"), "worst-N captures become events");
+        let served: u64 = drained
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                rnn_obs::EventKind::WorkerStop { served, .. } => Some(served),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(served, 30, "worker-stop events account for every completion");
+        assert!(
+            drained.events.windows(2).all(|w| w[0].seq < w[1].seq),
+            "drain returns ascending sequence order"
+        );
+        let report = server.drain_slow_queries();
+        assert_eq!(report.worst.len(), 3, "slow-query drain still works after join()");
+        for trace in &report.worst {
+            assert!(trace.start_nanos > 0, "server stamps the trace timeline");
+        }
+        assert_eq!(server.stats().completed, 30);
+        assert!(server.drain_events().events.is_empty(), "a second drain starts empty");
+    }
+
+    #[test]
+    fn telemetry_counts_sheds_in_windows_and_events() {
+        use crate::telemetry::TelemetryConfig;
+
+        let (_, _, w) = world(9, 7);
+        let registry = MetricsRegistry::new();
+        let server = Server::start_with_telemetry(
+            w,
+            ServerConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(2)
+                .with_micro_batch(1)
+                .with_policy(BackpressurePolicy::Shed),
+            TelemetryConfig::new(),
+            None,
+            &registry,
+        );
+        let expired =
+            || Request::new(Algorithm::Eager, NodeId::new(40), 1).with_deadline_in(Duration::ZERO);
+        let mut tickets = Vec::new();
+        for _ in 0..30 {
+            if let Ok(t) = server.submit(expired()) {
+                tickets.push(t);
+            }
+        }
+        for t in tickets {
+            let _ = t.wait();
+        }
+        let mut server = server;
+        server.join();
+        let stats = server.stats();
+        assert!(stats.shed > 0, "this workload sheds");
+        // Every shed (either admission edge) and rejection lands in the
+        // windowed drop counter and — for sheds — on the event timeline.
+        let snap = registry.snapshot();
+        let dropped = snap.counter("rnn_server_dropped_total{class=\"interactive\"}").unwrap_or(0);
+        assert_eq!(dropped, stats.shed + stats.rejected);
+        let drained = server.drain_events();
+        let shed_events: u64 = drained
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                rnn_obs::EventKind::AdmissionShed { class, count } => {
+                    assert_eq!(class, Priority::Interactive.index() as u64);
+                    Some(count)
+                }
+                _ => None,
+            })
+            .sum();
+        assert_eq!(shed_events, stats.shed, "one admission-shed event per shed request");
     }
 
     #[test]

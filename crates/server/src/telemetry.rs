@@ -1,0 +1,294 @@
+//! Time-aware serving telemetry: the server-side assembly of the
+//! observability crate's windowed instruments, SLO engine and flight
+//! recorder.
+//!
+//! [`crate::ServerConfig`] stays a `Copy` engine config; everything
+//! time-aware lives in a [`TelemetryConfig`] consumed by
+//! [`Server::start_with_telemetry`](crate::Server::start_with_telemetry).
+//! The server then owns one logical [`Clock`] and, per priority class, a
+//! windowed total-latency histogram (queue wait + service) and windowed
+//! arrival / drop counters — everything an [`SloEngine`] needs to judge
+//! per-class latency and shed/reject-ratio objectives with multi-window
+//! burn rates.
+//!
+//! # Clock semantics
+//!
+//! The clock is **logical** and driven by the server, never by wall time on
+//! a record path. Two drivers exist:
+//!
+//! * automatic — every [`TelemetryConfig::tick_micro_batches`] completed
+//!   micro-batches (across all workers), the finishing worker evaluates the
+//!   SLOs at the current epoch and then advances the clock;
+//! * manual — [`Server::advance_epoch`](crate::Server::advance_epoch) does
+//!   the same on demand, which is what benchmarks and tests use to make
+//!   window boundaries deterministic.
+//!
+//! Both follow the *evaluate-then-advance* discipline: the epoch's traffic
+//! is judged before its slots rotate out, so a one-epoch short window always
+//! sees the epoch that just ended.
+
+use crate::request::Priority;
+use rnn_obs::{
+    Clock, Drained, EventKind, FlightRecorder, MetricsRegistry, SloEngine, SloEngineBuilder,
+    SloSpec, SloTransition, WindowedCounter, WindowedHistogram,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration of the server's time-aware telemetry — windowed
+/// instruments, SLO objectives and the flight recorder. Separate from
+/// [`crate::ServerConfig`] (which stays `Copy`); consumed by
+/// [`Server::start_with_telemetry`](crate::Server::start_with_telemetry).
+#[derive(Clone, Debug, Default)]
+pub struct TelemetryConfig {
+    /// Ring width of every windowed instrument, in epochs (clamped to at
+    /// least 1). Bounds the longest window any SLO can use; the default 16
+    /// holds the conventional 4-epoch long window four times over.
+    pub window_epochs: usize,
+    /// Flight-recorder capacity in events; 0 disables the recorder.
+    pub recorder_capacity: usize,
+    /// Completed micro-batches (across all workers) per automatic epoch
+    /// tick; 0 disables automatic ticking (epochs advance only through
+    /// [`Server::advance_epoch`](crate::Server::advance_epoch)).
+    pub tick_micro_batches: u64,
+    /// Per-class latency objectives (total latency: queue wait + service).
+    /// Specs must carry [`rnn_obs::SloObjective::LatencyQuantile`].
+    pub latency_slos: Vec<(Priority, SloSpec)>,
+    /// Per-class drop-ratio objectives (shed + rejected over submitted).
+    /// Specs must carry [`rnn_obs::SloObjective::ErrorRatio`].
+    pub dropped_slos: Vec<(Priority, SloSpec)>,
+}
+
+impl TelemetryConfig {
+    /// A 16-epoch ring, a 256-event flight recorder, manual ticking, no
+    /// SLOs.
+    pub fn new() -> Self {
+        TelemetryConfig {
+            window_epochs: 16,
+            recorder_capacity: 256,
+            tick_micro_batches: 0,
+            latency_slos: Vec::new(),
+            dropped_slos: Vec::new(),
+        }
+    }
+
+    /// Sets the windowed-instrument ring width in epochs.
+    pub fn with_window_epochs(mut self, epochs: usize) -> Self {
+        self.window_epochs = epochs.max(1);
+        self
+    }
+
+    /// Sets the flight-recorder capacity (0 disables it).
+    pub fn with_recorder_capacity(mut self, events: usize) -> Self {
+        self.recorder_capacity = events;
+        self
+    }
+
+    /// Enables automatic epoch ticking every `micro_batches` completed
+    /// micro-batches (0 = manual only).
+    pub fn with_tick_micro_batches(mut self, micro_batches: u64) -> Self {
+        self.tick_micro_batches = micro_batches;
+        self
+    }
+
+    /// Adds a latency SLO over `class`'s windowed total latency.
+    pub fn with_latency_slo(mut self, class: Priority, spec: SloSpec) -> Self {
+        self.latency_slos.push((class, spec));
+        self
+    }
+
+    /// Adds a drop-ratio SLO (shed + rejected over submitted) for `class`.
+    pub fn with_dropped_slo(mut self, class: Priority, spec: SloSpec) -> Self {
+        self.dropped_slos.push((class, spec));
+        self
+    }
+}
+
+/// The assembled runtime: one clock, per-class windowed instruments, the
+/// SLO engine and the (optional) flight recorder. Lives in the server's
+/// `Shared`, recorded into by admission and worker paths.
+pub(crate) struct Telemetry {
+    clock: Clock,
+    /// Per-class windowed total latency (queue wait + service), indexed by
+    /// [`Priority::index`].
+    latency: Vec<WindowedHistogram>,
+    /// Per-class windowed submissions.
+    arrivals: Vec<WindowedCounter>,
+    /// Per-class windowed drops (shed + rejected, both admission edges).
+    dropped: Vec<WindowedCounter>,
+    recorder: Option<Arc<FlightRecorder>>,
+    slo: SloEngine,
+    tick_every: u64,
+    /// Completed micro-batches across all workers — the automatic tick's
+    /// denominator.
+    batches: AtomicU64,
+}
+
+impl Telemetry {
+    /// Builds the instruments, binds the SLOs and registers everything in
+    /// `registry`: per class `rnn_server_latency_nanos{class=...}` (+
+    /// `_window`), `rnn_server_arrivals_total{class=...}` (+ `_window`),
+    /// `rnn_server_dropped_total{class=...}` (+ `_window`), the
+    /// `rnn_slo_*` gauges, and a `telemetry` source with the clock epoch
+    /// and flight-recorder counters.
+    ///
+    /// # Panics
+    /// Panics if a latency SLO carries a ratio objective or vice versa
+    /// (see [`SloEngineBuilder::latency`] / [`SloEngineBuilder::ratio`]).
+    pub(crate) fn new(config: TelemetryConfig, registry: &MetricsRegistry) -> Telemetry {
+        let clock = Clock::new();
+        let windows = config.window_epochs.max(1);
+        let instrument = |stem: &str, p: Priority| format!("{stem}{{class=\"{}\"}}", p.name());
+        let latency: Vec<WindowedHistogram> = Priority::ALL
+            .iter()
+            .map(|&p| {
+                WindowedHistogram::register(
+                    registry,
+                    &instrument("rnn_server_latency_nanos", p),
+                    &clock,
+                    windows,
+                )
+            })
+            .collect();
+        let arrivals: Vec<WindowedCounter> = Priority::ALL
+            .iter()
+            .map(|&p| {
+                WindowedCounter::register(
+                    registry,
+                    &instrument("rnn_server_arrivals_total", p),
+                    &clock,
+                    windows,
+                )
+            })
+            .collect();
+        let dropped: Vec<WindowedCounter> = Priority::ALL
+            .iter()
+            .map(|&p| {
+                WindowedCounter::register(
+                    registry,
+                    &instrument("rnn_server_dropped_total", p),
+                    &clock,
+                    windows,
+                )
+            })
+            .collect();
+        let recorder = (config.recorder_capacity > 0).then(|| {
+            Arc::new(FlightRecorder::new(config.recorder_capacity).with_clock(clock.clone()))
+        });
+        let mut builder = SloEngineBuilder::new();
+        for (p, spec) in config.latency_slos {
+            builder = builder.latency(spec, latency[p.index()].clone());
+        }
+        for (p, spec) in config.dropped_slos {
+            builder = builder.ratio(spec, dropped[p.index()].clone(), arrivals[p.index()].clone());
+        }
+        let slo = builder.register(registry).build();
+        {
+            let clock = clock.clone();
+            let recorder = recorder.clone();
+            registry.register_source("telemetry", move |set| {
+                set.gauge("rnn_telemetry_epoch", clock.now());
+                if let Some(r) = &recorder {
+                    set.counter("rnn_recorder_recorded_total", r.recorded());
+                    set.gauge("rnn_recorder_capacity", r.capacity() as u64);
+                }
+            });
+        }
+        Telemetry {
+            clock,
+            latency,
+            arrivals,
+            dropped,
+            recorder,
+            slo,
+            tick_every: config.tick_micro_batches,
+            batches: AtomicU64::new(0),
+        }
+    }
+
+    /// The current logical epoch.
+    pub(crate) fn epoch(&self) -> u64 {
+        self.clock.now()
+    }
+
+    /// A clone of the SLO engine (shares state).
+    pub(crate) fn slo(&self) -> SloEngine {
+        self.slo.clone()
+    }
+
+    /// One submission entered admission for `class`.
+    pub(crate) fn on_arrival(&self, class: Priority) {
+        self.arrivals[class.index()].inc();
+    }
+
+    /// One request of `class` was dropped — shed (either admission edge)
+    /// or rejected. Sheds additionally append an
+    /// [`EventKind::AdmissionShed`] at `nanos`.
+    pub(crate) fn on_dropped(&self, class: Priority, shed: bool, nanos: u64) {
+        self.dropped[class.index()].inc();
+        if shed {
+            self.record_event(
+                nanos,
+                EventKind::AdmissionShed { class: class.index() as u64, count: 1 },
+            );
+        }
+    }
+
+    /// One request of `class` completed with `total` latency (queue wait +
+    /// service).
+    pub(crate) fn on_completed(&self, class: Priority, total: Duration) {
+        self.latency[class.index()].record(total);
+    }
+
+    /// Appends a structured event at `nanos` (no-op without a recorder).
+    pub(crate) fn record_event(&self, nanos: u64, kind: EventKind) {
+        if let Some(recorder) = &self.recorder {
+            recorder.record_at(nanos, kind);
+        }
+    }
+
+    /// A shareable handle to the flight recorder, when one is configured —
+    /// this is what the storage layer's control paths append to.
+    pub(crate) fn recorder(&self) -> Option<Arc<FlightRecorder>> {
+        self.recorder.clone()
+    }
+
+    /// Evaluate-then-advance: judges every SLO at the current epoch
+    /// (recording transitions), then advances the clock. Returns the
+    /// transitions.
+    pub(crate) fn advance_epoch(&self) -> Vec<SloTransition> {
+        let transitions = self.slo.evaluate(self.clock.now(), self.recorder.as_deref());
+        self.clock.advance();
+        transitions
+    }
+
+    /// The automatic driver: counts one completed micro-batch and performs
+    /// an [`advance_epoch`](Self::advance_epoch) whenever the count crosses
+    /// a `tick_micro_batches` multiple.
+    pub(crate) fn on_micro_batch(&self) {
+        if self.tick_every == 0 {
+            return;
+        }
+        let n = self.batches.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(self.tick_every) {
+            self.advance_epoch();
+        }
+    }
+
+    /// Drains the flight recorder (empty without one).
+    pub(crate) fn drain_events(&self) -> Drained {
+        self.recorder.as_ref().map(|r| r.drain()).unwrap_or_default()
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("epoch", &self.epoch())
+            .field("slos", &self.slo.len())
+            .field("recorder", &self.recorder.is_some())
+            .field("tick_every", &self.tick_every)
+            .finish()
+    }
+}

@@ -37,8 +37,10 @@ use crate::lru::mix64;
 use crate::page::{Page, PageId};
 use crate::policy::{EvictionPolicy, PageCache};
 use parking_lot::Mutex;
+use rnn_obs::{EventKind, FlightRecorder};
 use std::ops::AddAssign;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Number of pages in the paper's default 1 MB buffer.
 pub const DEFAULT_BUFFER_PAGES: usize = 256;
@@ -214,6 +216,10 @@ pub struct BufferPool<S> {
     mask: usize, // shards.len() - 1; shards.len() is a power of two
     shards: Vec<Shard>,
     counters: IoCounters,
+    /// Optional flight-recorder sink for control-plane events (resize,
+    /// policy switch, clear). Touched only on those paths — never on
+    /// `fetch` — so attaching a sink costs the hot path nothing.
+    events: Mutex<Option<Arc<FlightRecorder>>>,
 }
 
 impl<S: PageStore> BufferPool<S> {
@@ -242,6 +248,26 @@ impl<S: PageStore> BufferPool<S> {
             mask: shards.len() - 1,
             shards,
             counters,
+            events: Mutex::new(None),
+        }
+    }
+
+    /// Attaches a flight recorder: from here on, every control-plane
+    /// mutation — [`BufferPool::resize`], [`BufferPool::set_policy`],
+    /// [`BufferPool::clear`] / [`BufferPool::clear_and_reset`] — appends a
+    /// structured event ([`EventKind::PoolResize`] /
+    /// [`EventKind::PoolPolicy`] / [`EventKind::PoolClear`]), so runtime
+    /// tuning actions land on the same timeline as the serving events.
+    /// Replaces any previous sink.
+    pub fn set_event_sink(&self, recorder: Arc<FlightRecorder>) {
+        *self.events.lock() = Some(recorder);
+    }
+
+    /// Appends `kind` to the attached flight recorder, if any.
+    fn emit(&self, kind: EventKind) {
+        let sink = self.events.lock().clone();
+        if let Some(recorder) = sink {
+            recorder.record(kind);
         }
     }
 
@@ -308,6 +334,7 @@ impl<S: PageStore> BufferPool<S> {
     pub fn clear(&self) {
         let guards = self.lock_all();
         self.clear_locked(guards);
+        self.emit(EventKind::PoolClear { reset_stats: false });
     }
 
     /// [`BufferPool::clear`] plus an [`IoCounters::reset`], with every shard
@@ -320,6 +347,7 @@ impl<S: PageStore> BufferPool<S> {
         let guards = self.lock_all();
         self.counters.reset();
         self.clear_locked(guards);
+        self.emit(EventKind::PoolClear { reset_stats: true });
     }
 
     /// Zeroes both accounting systems — the per-shard counters and the
@@ -372,6 +400,8 @@ impl<S: PageStore> BufferPool<S> {
             }
         }
         self.capacity.store(new_capacity, Ordering::Relaxed);
+        drop(guards);
+        self.emit(EventKind::PoolResize { pages: new_capacity as u64 });
     }
 
     /// Switches every shard to `policy` at runtime, holding all shard locks
@@ -405,6 +435,8 @@ impl<S: PageStore> BufferPool<S> {
             }
             guard.cache = cache;
         }
+        drop(guards);
+        self.emit(EventKind::PoolPolicy { policy: policy.code() });
     }
 
     fn clear_locked(&self, mut guards: Vec<std::sync::MutexGuard<'_, ShardState>>) {
@@ -679,6 +711,32 @@ mod tests {
     /// tests asserted on).
     fn totals<S: PageStore>(pool: &BufferPool<S>) -> IoStats {
         pool.io_stats().total.as_io_stats()
+    }
+
+    #[test]
+    fn control_plane_mutations_reach_the_attached_event_sink() {
+        let pool = BufferPool::new(disk_with_pages(4), 4, IoCounters::new());
+        let recorder = Arc::new(FlightRecorder::new(16));
+        // Pre-attachment mutations emit nothing; fetches never do.
+        pool.resize(3);
+        pool.set_event_sink(Arc::clone(&recorder));
+        pool.fetch(PageId(0)).unwrap();
+        pool.resize(2);
+        pool.set_policy(EvictionPolicy::Clock);
+        pool.clear();
+        pool.clear_and_reset();
+        let drained = recorder.drain();
+        let kinds: Vec<EventKind> = drained.events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::PoolResize { pages: 2 },
+                EventKind::PoolPolicy { policy: EvictionPolicy::Clock.code() },
+                EventKind::PoolClear { reset_stats: false },
+                EventKind::PoolClear { reset_stats: true },
+            ]
+        );
+        assert_eq!(drained.dropped, 0);
     }
 
     #[test]

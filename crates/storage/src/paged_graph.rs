@@ -306,6 +306,16 @@ pub trait StorageControl: Send + Sync {
 
     /// Number of pages currently resident in the buffer.
     fn resident_pages(&self) -> usize;
+
+    /// Attaches a flight recorder to the backend's control plane: resize,
+    /// policy-switch and clear operations then append structured events
+    /// ([`rnn_obs::EventKind::PoolResize`] and friends) so runtime tuning
+    /// shows up on the serving layer's event timeline. The default
+    /// implementation ignores the sink (for backends with no control-plane
+    /// events to report).
+    fn set_event_sink(&self, events: std::sync::Arc<rnn_obs::FlightRecorder>) {
+        let _ = events;
+    }
 }
 
 impl<S: PageStore + Send> StorageControl for PagedGraph<S> {
@@ -339,6 +349,10 @@ impl<S: PageStore + Send> StorageControl for PagedGraph<S> {
 
     fn resident_pages(&self) -> usize {
         self.buffer.resident_pages()
+    }
+
+    fn set_event_sink(&self, events: std::sync::Arc<rnn_obs::FlightRecorder>) {
+        self.buffer.set_event_sink(events);
     }
 }
 

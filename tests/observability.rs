@@ -27,10 +27,12 @@ use rnn::datagen::{grid_map, GridConfig};
 use rnn::graph::{NodeId, NodePointSet, PointsOnNodes};
 use rnn::index::HubLabelIndex;
 use rnn::obs::{
-    prometheus_text, report_json, LatencyHistogram, MetricsRegistry, Phase, QueryTrace,
-    SlowQueryLog,
+    prometheus_text, report_json, Clock, LatencyHistogram, MetricsRegistry, MetricsSnapshot, Phase,
+    QueryTrace, SlowQueryLog, WindowedHistogram,
 };
-use rnn::server::{Request, Server, ServerConfig, World};
+use rnn::server::{
+    EventKind, Priority, Request, Server, ServerConfig, SloSpec, TelemetryConfig, World,
+};
 use rnn::storage::{
     register_io_counters, BufferPoolConfig, IoCounters, LayoutStrategy, PagedGraph,
 };
@@ -324,4 +326,241 @@ fn one_snapshot_exposes_every_layer_and_exports_deterministically() {
     assert_eq!(json, report_json(&snap), "report json is byte-deterministic");
     assert!(json.contains("\"schema\": \"rnn-bench-report/v1\""));
     assert!(json.contains("rnn_trace_queries_total{algorithm=\\\"hub-label\\\"}"));
+}
+
+// ---------------------------------------------------------------------------
+// 5. Windowed quantiles vs. a sorted-vector reference model
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Two workers record into separate windowed histograms sharing one
+    /// clock; over an arbitrary record/advance interleaving, every merged
+    /// window view must equal a sorted-vector reference built from the
+    /// samples whose epoch is still inside the window — including views
+    /// wider than the ring (capped) and bucket-expiry boundaries.
+    #[test]
+    fn windowed_histogram_views_match_the_reference_model(
+        windows in 1usize..5,
+        ops in proptest::collection::vec((0u8..8, 0u64..4_000_000_000), 1..120),
+    ) {
+        let clock = Clock::new();
+        let shards =
+            [WindowedHistogram::new(&clock, windows), WindowedHistogram::new(&clock, windows)];
+        // The model: every recorded sample tagged with its record epoch.
+        let mut recorded: Vec<(u64, u64)> = Vec::new();
+        let mut epoch = 0u64;
+        for &(tag, value) in &ops {
+            if tag == 7 {
+                epoch = clock.advance();
+            } else {
+                shards[usize::from(tag % 2)].record_nanos(value);
+                recorded.push((epoch, value));
+            }
+        }
+        prop_assert_eq!(epoch, clock.now());
+
+        for w in 1..=(windows as u64 + 2) {
+            let mut view = shards[0].window_histogram(w);
+            view.merge(&shards[1].window_histogram(w));
+            // In-window samples: the last min(w, windows) epochs.
+            let oldest = epoch.saturating_sub(w.min(windows as u64) - 1);
+            let mut inside: Vec<u64> =
+                recorded.iter().filter(|&&(e, _)| e >= oldest).map(|&(_, v)| v).collect();
+            inside.sort_unstable();
+            prop_assert_eq!(view.count(), inside.len() as u64);
+            if inside.is_empty() {
+                prop_assert!(view.is_empty());
+                continue;
+            }
+            prop_assert_eq!(view.min().as_nanos(), u128::from(inside[0]));
+            prop_assert_eq!(view.max().as_nanos(), u128::from(*inside.last().unwrap()));
+            let (_, _, sum, _, _) = view.raw();
+            prop_assert_eq!(sum, inside.iter().map(|&s| u128::from(s)).sum::<u128>());
+            // Same quantile-bucket property as the cumulative histograms:
+            // the reported value is the upper bound of the reference order
+            // statistic's power-of-two bucket.
+            for q in [0.5, 0.99, 1.0] {
+                let rank = ((q * inside.len() as f64).ceil() as usize).clamp(1, inside.len());
+                let reference = inside[rank - 1];
+                let reported = view.quantile(q).as_nanos() as u64;
+                prop_assert!(reported >= reference, "q={q}: {reported} < ref {reference}");
+                prop_assert!(
+                    u128::from(reported) < 2 * u128::from(reference.max(1)),
+                    "q={q}: {reported} not in ref {reference}'s bucket"
+                );
+            }
+        }
+        // Cumulative views never expire, no matter the interleaving.
+        let total = shards[0].cumulative().count() + shards[1].cumulative().count();
+        prop_assert_eq!(total, recorded.len() as u64);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 6. Metric-name hygiene and the golden exporter layout
+// ---------------------------------------------------------------------------
+
+/// Builds the fully-wired registry: every layer of the stack — paged
+/// storage, hub labels, result caches, the traced server — plus the
+/// time-aware telemetry (windowed instruments, SLO gauges, flight-recorder
+/// counters), with traffic from all six algorithms and one epoch tick so
+/// every aggregate is live.
+fn fully_wired_snapshot() -> MetricsSnapshot {
+    let registry = MetricsRegistry::new();
+    let graph =
+        Arc::new(grid_map(&GridConfig { rows: 10, cols: 10, seed: 42, ..Default::default() }));
+    let n = graph.num_nodes();
+    let points = Arc::new(NodePointSet::from_nodes(n, (0..n).step_by(7).map(NodeId::new)));
+    let table = Arc::new(MaterializedKnn::build(&*graph, &*points, 2));
+    let hub_index = Arc::new(HubLabelIndex::build(&*graph, &*points));
+    let counters = IoCounters::new();
+    let paged = Arc::new(
+        PagedGraph::build_with_config(
+            &graph,
+            LayoutStrategy::BfsLocality,
+            BufferPoolConfig::new(64).with_shards(2),
+            counters.clone(),
+        )
+        .expect("paged graph"),
+    );
+    register_io_counters(&registry, "graph", &counters);
+    hub_index.register_metrics(&registry);
+    SharedResultCache::new(32, 2).register_metrics(&registry, "adhoc");
+
+    let world =
+        World::new(paged, points.clone()).with_materialized(table).with_hub_labels(hub_index);
+    let server = Server::start_with_telemetry(
+        world,
+        ServerConfig::default()
+            .with_workers(2)
+            .with_result_cache(64, 0)
+            .with_slow_query_log(4, 4, 16, 9),
+        TelemetryConfig::new()
+            .with_latency_slo(
+                Priority::Interactive,
+                SloSpec::latency("interactive_p99", 0.99, Duration::from_millis(50)),
+            )
+            .with_dropped_slo(Priority::Batch, SloSpec::error_ratio("batch_drops", 0.05)),
+        Some(counters),
+        &registry,
+    );
+    let queries: Vec<NodeId> = points.nodes().iter().copied().take(6).collect();
+    for algorithm in Algorithm::ALL {
+        for &q in &queries {
+            server.submit(Request::new(algorithm, q, 2)).unwrap().wait().unwrap();
+        }
+    }
+    server.advance_epoch();
+    server.shutdown();
+    registry.snapshot()
+}
+
+#[test]
+fn metric_names_are_unique_snake_case_and_rnn_prefixed() {
+    let snap = fully_wired_snapshot();
+    let mut names: Vec<&String> = Vec::new();
+    names.extend(snap.counters.iter().map(|(n, _)| n));
+    names.extend(snap.gauges.iter().map(|(n, _)| n));
+    names.extend(snap.histograms.iter().map(|(n, _)| n));
+    assert!(names.len() > 50, "the fully-wired registry must be rich ({} names)", names.len());
+
+    let mut seen = std::collections::BTreeSet::new();
+    for name in names {
+        assert!(seen.insert(name.as_str()), "duplicate metric name (across kinds): {name}");
+        let base = name.split('{').next().unwrap();
+        assert!(base.starts_with("rnn_"), "{name}: metric not rnn_-prefixed");
+        assert!(
+            base.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+            "{name}: base name not snake_case"
+        );
+        assert!(!base.contains("__") && !base.ends_with('_'), "{name}: malformed snake_case");
+        if let Some(i) = name.find('{') {
+            assert!(name.ends_with('}'), "{name}: unterminated label set");
+            for label in name[i + 1..name.len() - 1].split(',') {
+                let (key, value) = label.split_once('=').expect("label is key=\"value\"");
+                assert!(
+                    key.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                    "{name}: label key {key:?} not snake_case"
+                );
+                assert!(
+                    value.starts_with('"') && value.ends_with('"') && value.len() >= 2,
+                    "{name}: label value {value:?} not quoted"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn prometheus_text_layout_is_pinned_by_a_golden_file() {
+    let mut snap = fully_wired_snapshot();
+    // Normalize the measured values: the golden pins the *name set and
+    // rendered layout* (so exporter renames are deliberate), not the
+    // machine-dependent numbers.
+    for (_, v) in &mut snap.counters {
+        *v = 0;
+    }
+    for (_, v) in &mut snap.gauges {
+        *v = 0;
+    }
+    for (_, h) in &mut snap.histograms {
+        *h = LatencyHistogram::new();
+    }
+    let text = prometheus_text(&snap);
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/prometheus_text.golden");
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        std::fs::write(&path, &text).expect("bless the golden file");
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("committed golden file missing; regenerate with GOLDEN_BLESS=1");
+    assert_eq!(
+        text, golden,
+        "prometheus_text drifted from tests/golden/prometheus_text.golden; renames must be \
+         deliberate — rerun this test with GOLDEN_BLESS=1 and review the diff"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// 7. Telemetry evidence survives close (join), before drop
+// ---------------------------------------------------------------------------
+
+#[test]
+fn slow_queries_and_flight_recorder_drain_from_a_joined_server() {
+    let registry = MetricsRegistry::new();
+    let graph = Arc::new(grid_map(&GridConfig { rows: 9, cols: 9, seed: 7, ..Default::default() }));
+    let n = graph.num_nodes();
+    let points = Arc::new(NodePointSet::from_nodes(n, (0..n).step_by(5).map(NodeId::new)));
+    let mut server = Server::start_with_telemetry(
+        World::new(graph, points.clone()),
+        ServerConfig::default().with_workers(2).with_tracing(true).with_slow_query_log(4, 0, 0, 3),
+        TelemetryConfig::new(),
+        None,
+        &registry,
+    );
+    let queries: Vec<NodeId> = points.nodes().iter().copied().take(10).collect();
+    for &q in &queries {
+        server.submit(Request::new(Algorithm::Eager, q, 1)).unwrap().wait().unwrap();
+    }
+
+    // Quiesce the workers *first*, then pull the evidence from the closed
+    // (not yet dropped) handle: worst-N slow queries, ordered flight
+    // recorder, final stats — nothing of it is lost to the join.
+    server.join();
+    assert_eq!(server.stats().completed, queries.len() as u64);
+    let slow = server.drain_slow_queries();
+    assert_eq!(slow.worst.len(), 4, "worst-N capture survives the join");
+    let drained = server.drain_events();
+    assert_eq!(drained.dropped, 0);
+    assert!(drained.events.windows(2).all(|w| w[0].seq < w[1].seq), "drain order is by seq");
+    let count =
+        |pred: fn(&EventKind) -> bool| drained.events.iter().filter(|e| pred(&e.kind)).count();
+    assert_eq!(count(|k| matches!(k, EventKind::WorkerStart { .. })), 2);
+    assert_eq!(count(|k| matches!(k, EventKind::WorkerStop { .. })), 2);
+    assert!(count(|k| matches!(k, EventKind::SlowQuery { .. })) > 0);
+    // A second drain finds the ring empty; submissions are refused.
+    assert!(server.drain_events().events.is_empty());
+    assert!(server.submit(Request::new(Algorithm::Eager, queries[0], 1)).is_err());
 }
